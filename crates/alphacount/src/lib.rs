@@ -1,0 +1,505 @@
+//! # afta-alphacount — count-and-threshold fault discrimination
+//!
+//! The run-time strategy of §3.2 feeds fault notifications "into an
+//! Alpha-count filter, that is, a count-and-threshold mechanism to
+//! discriminate between different types of faults" (Bondavalli,
+//! Chiaradonna, Di Giandomenico & Grandoni, IEEE ToC 49(3), 2000).
+//!
+//! The mechanism keeps a score α per monitored component:
+//!
+//! * when the component is judged **erroneous** in a round, α increases by
+//!   a unit increment;
+//! * when it is judged **correct**, α decays — multiplicatively (α ← K·α,
+//!   0 ≤ K < 1) or subtractively (α ← max(0, α − D));
+//! * when α crosses the threshold αT the fault is declared
+//!   **permanent-or-intermittent**; below it, observed errors are still
+//!   compatible with **transient** faults.
+//!
+//! The Fig. 4 scenario of the paper uses a threshold of 3.0: a permanent
+//! design fault is repeatedly injected, the watchdog fires, α rises until
+//! it "overcomes a threshold (3.0) and correspondingly the fault is
+//! labeled as 'permanent or intermittent'".
+//!
+//! ```
+//! use afta_alphacount::{AlphaCount, Judgment, Verdict};
+//!
+//! let mut ac = AlphaCount::with_threshold(3.0);
+//! // Three errors in a row are still compatible with transients...
+//! assert_eq!(ac.record(Judgment::Erroneous), Verdict::Transient);
+//! assert_eq!(ac.record(Judgment::Erroneous), Verdict::Transient);
+//! assert_eq!(ac.record(Judgment::Erroneous), Verdict::Transient);
+//! // ...the fourth crosses αT = 3.0.
+//! assert_eq!(ac.record(Judgment::Erroneous), Verdict::PermanentOrIntermittent);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod windowed;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The per-round judgment fed to the filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Judgment {
+    /// The monitored component behaved correctly this round.
+    Correct,
+    /// The monitored component was caught misbehaving this round.
+    Erroneous,
+}
+
+/// The filter's current discrimination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Errors seen so far are compatible with transient faults.
+    Transient,
+    /// The error density is too high for transients: the fault is
+    /// permanent or intermittent, and reconfiguration-style treatment is
+    /// warranted.
+    PermanentOrIntermittent,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Transient => write!(f, "transient"),
+            Verdict::PermanentOrIntermittent => write!(f, "permanent or intermittent"),
+        }
+    }
+}
+
+/// How α decays on a correct round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DecayPolicy {
+    /// α ← K·α with 0 ≤ K < 1 (the canonical alpha-count).
+    Multiplicative(f64),
+    /// α ← max(0, α − D) with D > 0 (the alpha-count variant with linear
+    /// forgiveness).
+    Subtractive(f64),
+}
+
+impl DecayPolicy {
+    fn apply(self, alpha: f64) -> f64 {
+        match self {
+            DecayPolicy::Multiplicative(k) => alpha * k,
+            DecayPolicy::Subtractive(d) => (alpha - d).max(0.0),
+        }
+    }
+
+    fn validate(self) {
+        match self {
+            DecayPolicy::Multiplicative(k) => {
+                assert!(
+                    (0.0..1.0).contains(&k),
+                    "multiplicative decay K must satisfy 0 <= K < 1, got {k}"
+                );
+            }
+            DecayPolicy::Subtractive(d) => {
+                assert!(d > 0.0, "subtractive decay D must be positive, got {d}");
+            }
+        }
+    }
+}
+
+/// The alpha-count filter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlphaCount {
+    alpha: f64,
+    increment: f64,
+    threshold: f64,
+    decay: DecayPolicy,
+    rounds: u64,
+    errors: u64,
+    crossed_at: Option<u64>,
+}
+
+impl AlphaCount {
+    /// The default decay used by the Fig. 4 reproduction.
+    pub const DEFAULT_DECAY: DecayPolicy = DecayPolicy::Multiplicative(0.5);
+
+    /// Creates a filter with unit increment, the given threshold, and the
+    /// default multiplicative decay K = 0.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not strictly positive.
+    #[must_use]
+    pub fn with_threshold(threshold: f64) -> Self {
+        Self::new(1.0, threshold, Self::DEFAULT_DECAY)
+    }
+
+    /// Creates a fully parameterised filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `increment <= 0`, `threshold <= 0`, or the decay policy's
+    /// parameter is out of range.
+    #[must_use]
+    pub fn new(increment: f64, threshold: f64, decay: DecayPolicy) -> Self {
+        assert!(increment > 0.0, "increment must be positive");
+        assert!(threshold > 0.0, "threshold must be positive");
+        decay.validate();
+        Self {
+            alpha: 0.0,
+            increment,
+            threshold,
+            decay,
+            rounds: 0,
+            errors: 0,
+            crossed_at: None,
+        }
+    }
+
+    /// Current score α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The threshold αT.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Rounds processed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Erroneous rounds seen so far.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// The round at which α first exceeded αT, if it ever did.
+    #[must_use]
+    pub fn crossed_at(&self) -> Option<u64> {
+        self.crossed_at
+    }
+
+    /// Current verdict without recording a new round.
+    #[must_use]
+    pub fn verdict(&self) -> Verdict {
+        if self.alpha > self.threshold {
+            Verdict::PermanentOrIntermittent
+        } else {
+            Verdict::Transient
+        }
+    }
+
+    /// Records one round and returns the updated verdict.
+    pub fn record(&mut self, judgment: Judgment) -> Verdict {
+        self.rounds += 1;
+        match judgment {
+            Judgment::Erroneous => {
+                self.errors += 1;
+                self.alpha += self.increment;
+            }
+            Judgment::Correct => {
+                self.alpha = self.decay.apply(self.alpha);
+            }
+        }
+        let v = self.verdict();
+        if v == Verdict::PermanentOrIntermittent && self.crossed_at.is_none() {
+            self.crossed_at = Some(self.rounds);
+        }
+        v
+    }
+
+    /// Resets α and the round counters (e.g. after the faulty component
+    /// was replaced).
+    pub fn reset(&mut self) {
+        self.alpha = 0.0;
+        self.rounds = 0;
+        self.errors = 0;
+        self.crossed_at = None;
+    }
+}
+
+impl fmt::Display for AlphaCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "alpha-count: α={:.3} / αT={:.3} ({})",
+            self.alpha,
+            self.threshold,
+            self.verdict()
+        )
+    }
+}
+
+/// A bank of alpha-count filters, one per monitored component, sharing one
+/// parameterisation — the shape the §3.2 middleware uses when several
+/// components publish fault notifications on the same bus.
+#[derive(Debug, Clone, Default)]
+pub struct AlphaCountBank {
+    template: Option<AlphaCount>,
+    counters: std::collections::BTreeMap<String, AlphaCount>,
+}
+
+impl AlphaCountBank {
+    /// Creates a bank whose filters are clones of `template` (with fresh
+    /// state).
+    #[must_use]
+    pub fn new(template: AlphaCount) -> Self {
+        let mut t = template;
+        t.reset();
+        Self {
+            template: Some(t),
+            counters: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Records a judgment for `component`, creating its filter on first
+    /// use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank was built with `Default::default()` and has no
+    /// template.
+    pub fn record(&mut self, component: &str, judgment: Judgment) -> Verdict {
+        let template = self
+            .template
+            .as_ref()
+            .expect("AlphaCountBank requires a template filter");
+        self.counters
+            .entry(component.to_owned())
+            .or_insert_with(|| template.clone())
+            .record(judgment)
+    }
+
+    /// The filter for `component`, if it has reported at least once.
+    #[must_use]
+    pub fn get(&self, component: &str) -> Option<&AlphaCount> {
+        self.counters.get(component)
+    }
+
+    /// Components whose verdict is currently permanent-or-intermittent.
+    pub fn suspects(&self) -> impl Iterator<Item = &str> {
+        self.counters
+            .iter()
+            .filter(|(_, c)| c.verdict() == Verdict::PermanentOrIntermittent)
+            .map(|(k, _)| k.as_str())
+    }
+
+    /// Number of tracked components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when no component has reported yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_transient_at_zero() {
+        let ac = AlphaCount::with_threshold(3.0);
+        assert_eq!(ac.alpha(), 0.0);
+        assert_eq!(ac.verdict(), Verdict::Transient);
+        assert_eq!(ac.rounds(), 0);
+    }
+
+    #[test]
+    fn fig4_scenario_crosses_at_fourth_error() {
+        // Permanent fault injected every round: α = 1, 2, 3, 4 — the
+        // verdict flips strictly above 3.0, i.e. at round 4.
+        let mut ac = AlphaCount::with_threshold(3.0);
+        for _ in 0..3 {
+            assert_eq!(ac.record(Judgment::Erroneous), Verdict::Transient);
+        }
+        assert_eq!(
+            ac.record(Judgment::Erroneous),
+            Verdict::PermanentOrIntermittent
+        );
+        assert_eq!(ac.crossed_at(), Some(4));
+        assert_eq!(ac.errors(), 4);
+    }
+
+    #[test]
+    fn transient_bursts_decay_away() {
+        let mut ac = AlphaCount::with_threshold(3.0);
+        ac.record(Judgment::Erroneous);
+        ac.record(Judgment::Erroneous);
+        assert_eq!(ac.alpha(), 2.0);
+        // A long correct streak pulls α back toward zero.
+        for _ in 0..20 {
+            ac.record(Judgment::Correct);
+        }
+        assert!(ac.alpha() < 1e-4);
+        assert_eq!(ac.verdict(), Verdict::Transient);
+        assert_eq!(ac.crossed_at(), None);
+    }
+
+    #[test]
+    fn isolated_errors_never_cross() {
+        // One error every 10 rounds with K=0.5 keeps α ≤ 1 + ε forever.
+        let mut ac = AlphaCount::with_threshold(3.0);
+        for round in 0..1000 {
+            let j = if round % 10 == 0 {
+                Judgment::Erroneous
+            } else {
+                Judgment::Correct
+            };
+            ac.record(j);
+        }
+        assert_eq!(ac.verdict(), Verdict::Transient);
+        assert!(ac.alpha() < 1.01);
+    }
+
+    #[test]
+    fn intermittent_fault_eventually_crosses() {
+        // Errors every other round with K=0.5: α converges upward past 3.
+        let mut ac = AlphaCount::with_threshold(3.0);
+        let mut crossed = false;
+        for round in 0..100 {
+            let j = if round % 2 == 0 {
+                Judgment::Erroneous
+            } else {
+                Judgment::Correct
+            };
+            if ac.record(j) == Verdict::PermanentOrIntermittent {
+                crossed = true;
+                break;
+            }
+        }
+        assert!(!crossed, "K=0.5 alternating stays below 3.0 (converges to 2)");
+        // But with a gentler decay the same pattern crosses:
+        let mut ac = AlphaCount::new(1.0, 3.0, DecayPolicy::Multiplicative(0.9));
+        let mut crossed = false;
+        for round in 0..100 {
+            let j = if round % 2 == 0 {
+                Judgment::Erroneous
+            } else {
+                Judgment::Correct
+            };
+            if ac.record(j) == Verdict::PermanentOrIntermittent {
+                crossed = true;
+                break;
+            }
+        }
+        assert!(crossed);
+    }
+
+    #[test]
+    fn subtractive_decay() {
+        let mut ac = AlphaCount::new(1.0, 2.5, DecayPolicy::Subtractive(0.25));
+        ac.record(Judgment::Erroneous);
+        ac.record(Judgment::Correct);
+        assert!((ac.alpha() - 0.75).abs() < 1e-12);
+        // Floor at zero.
+        for _ in 0..10 {
+            ac.record(Judgment::Correct);
+        }
+        assert_eq!(ac.alpha(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut ac = AlphaCount::with_threshold(1.0);
+        ac.record(Judgment::Erroneous);
+        ac.record(Judgment::Erroneous);
+        assert_eq!(ac.verdict(), Verdict::PermanentOrIntermittent);
+        ac.reset();
+        assert_eq!(ac.alpha(), 0.0);
+        assert_eq!(ac.rounds(), 0);
+        assert_eq!(ac.errors(), 0);
+        assert_eq!(ac.crossed_at(), None);
+        assert_eq!(ac.verdict(), Verdict::Transient);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let _ = AlphaCount::with_threshold(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 <= K < 1")]
+    fn bad_multiplicative_decay_rejected() {
+        let _ = AlphaCount::new(1.0, 3.0, DecayPolicy::Multiplicative(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn bad_subtractive_decay_rejected() {
+        let _ = AlphaCount::new(1.0, 3.0, DecayPolicy::Subtractive(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "increment must be positive")]
+    fn bad_increment_rejected() {
+        let _ = AlphaCount::new(0.0, 3.0, AlphaCount::DEFAULT_DECAY);
+    }
+
+    #[test]
+    fn crossed_at_records_first_crossing_only() {
+        let mut ac = AlphaCount::with_threshold(1.0);
+        ac.record(Judgment::Erroneous);
+        ac.record(Judgment::Erroneous); // crosses here (α=2 > 1)
+        let first = ac.crossed_at().unwrap();
+        ac.record(Judgment::Erroneous);
+        assert_eq!(ac.crossed_at(), Some(first));
+    }
+
+    #[test]
+    fn bank_tracks_components_independently() {
+        let mut bank = AlphaCountBank::new(AlphaCount::with_threshold(3.0));
+        assert!(bank.is_empty());
+        for _ in 0..4 {
+            bank.record("c3", Judgment::Erroneous);
+            bank.record("c5", Judgment::Correct);
+        }
+        assert_eq!(bank.len(), 2);
+        assert_eq!(
+            bank.get("c3").unwrap().verdict(),
+            Verdict::PermanentOrIntermittent
+        );
+        assert_eq!(bank.get("c5").unwrap().verdict(), Verdict::Transient);
+        let suspects: Vec<&str> = bank.suspects().collect();
+        assert_eq!(suspects, vec!["c3"]);
+        assert!(bank.get("ghost").is_none());
+    }
+
+    #[test]
+    fn bank_template_state_is_fresh() {
+        let mut dirty = AlphaCount::with_threshold(3.0);
+        for _ in 0..10 {
+            dirty.record(Judgment::Erroneous);
+        }
+        let mut bank = AlphaCountBank::new(dirty);
+        assert_eq!(bank.record("x", Judgment::Correct), Verdict::Transient);
+        assert_eq!(bank.get("x").unwrap().alpha(), 0.0);
+    }
+
+    #[test]
+    fn displays() {
+        let mut ac = AlphaCount::with_threshold(3.0);
+        assert!(ac.to_string().contains("transient"));
+        for _ in 0..4 {
+            ac.record(Judgment::Erroneous);
+        }
+        assert!(ac.to_string().contains("permanent"));
+        assert_eq!(Verdict::Transient.to_string(), "transient");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut ac = AlphaCount::with_threshold(3.0);
+        ac.record(Judgment::Erroneous);
+        let json = serde_json::to_string(&ac).unwrap();
+        let back: AlphaCount = serde_json::from_str(&json).unwrap();
+        assert_eq!(ac, back);
+    }
+}

@@ -1,0 +1,238 @@
+//! The windowed count-and-threshold variant.
+//!
+//! Bondavalli et al. study a family of count-and-threshold mechanisms;
+//! besides the exponentially-forgetting alpha-count this crate's root
+//! module implements, the *sliding-window* variant counts the errors in
+//! the last `W` rounds and declares the fault non-transient when that
+//! count reaches `T`.  It reacts faster to dense bursts and forgets
+//! sharply (a round falling out of the window stops counting entirely),
+//! at the price of keeping `W` bits of history.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Judgment, Verdict};
+
+/// Sliding-window count-and-threshold filter.
+///
+/// ```
+/// use afta_alphacount::{Judgment, Verdict};
+/// use afta_alphacount::windowed::WindowedCount;
+///
+/// let mut wc = WindowedCount::new(10, 3);
+/// for _ in 0..2 {
+///     assert_eq!(wc.record(Judgment::Erroneous), Verdict::Transient);
+/// }
+/// assert_eq!(wc.record(Judgment::Erroneous), Verdict::PermanentOrIntermittent);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowedCount {
+    window: usize,
+    threshold: usize,
+    history: VecDeque<bool>,
+    errors_in_window: usize,
+    rounds: u64,
+    crossed_at: Option<u64>,
+}
+
+impl WindowedCount {
+    /// Creates a filter over the last `window` rounds declaring
+    /// non-transient at `threshold` errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`, `threshold == 0`, or
+    /// `threshold > window`.
+    #[must_use]
+    pub fn new(window: usize, threshold: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(threshold > 0, "threshold must be positive");
+        assert!(
+            threshold <= window,
+            "threshold cannot exceed the window length"
+        );
+        Self {
+            window,
+            threshold,
+            history: VecDeque::with_capacity(window),
+            errors_in_window: 0,
+            rounds: 0,
+            crossed_at: None,
+        }
+    }
+
+    /// Errors currently inside the window.
+    #[must_use]
+    pub fn errors_in_window(&self) -> usize {
+        self.errors_in_window
+    }
+
+    /// Rounds processed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The round at which the count first reached the threshold, if ever.
+    #[must_use]
+    pub fn crossed_at(&self) -> Option<u64> {
+        self.crossed_at
+    }
+
+    /// Current verdict without recording a new round.
+    #[must_use]
+    pub fn verdict(&self) -> Verdict {
+        if self.errors_in_window >= self.threshold {
+            Verdict::PermanentOrIntermittent
+        } else {
+            Verdict::Transient
+        }
+    }
+
+    /// Records one round and returns the updated verdict.
+    pub fn record(&mut self, judgment: Judgment) -> Verdict {
+        self.rounds += 1;
+        let is_error = judgment == Judgment::Erroneous;
+        if self.history.len() == self.window
+            && self.history.pop_front() == Some(true) {
+                self.errors_in_window -= 1;
+            }
+        self.history.push_back(is_error);
+        if is_error {
+            self.errors_in_window += 1;
+        }
+        let v = self.verdict();
+        if v == Verdict::PermanentOrIntermittent && self.crossed_at.is_none() {
+            self.crossed_at = Some(self.rounds);
+        }
+        v
+    }
+
+    /// Clears all history.
+    pub fn reset(&mut self) {
+        self.history.clear();
+        self.errors_in_window = 0;
+        self.rounds = 0;
+        self.crossed_at = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_burst_crosses() {
+        let mut wc = WindowedCount::new(5, 3);
+        wc.record(Judgment::Erroneous);
+        wc.record(Judgment::Erroneous);
+        assert_eq!(wc.verdict(), Verdict::Transient);
+        assert_eq!(
+            wc.record(Judgment::Erroneous),
+            Verdict::PermanentOrIntermittent
+        );
+        assert_eq!(wc.crossed_at(), Some(3));
+    }
+
+    #[test]
+    fn sparse_errors_never_cross() {
+        let mut wc = WindowedCount::new(5, 3);
+        for round in 0..100 {
+            let j = if round % 4 == 0 {
+                Judgment::Erroneous
+            } else {
+                Judgment::Correct
+            };
+            assert_eq!(wc.record(j), Verdict::Transient, "round {round}");
+        }
+        // At most 2 errors ever share a 5-round window under period 4.
+        assert!(wc.errors_in_window() <= 2);
+    }
+
+    #[test]
+    fn forgetting_is_sharp() {
+        let mut wc = WindowedCount::new(4, 3);
+        wc.record(Judgment::Erroneous);
+        wc.record(Judgment::Erroneous);
+        assert_eq!(wc.errors_in_window(), 2);
+        // Four quiet rounds flush the window completely.
+        for _ in 0..4 {
+            wc.record(Judgment::Correct);
+        }
+        assert_eq!(wc.errors_in_window(), 0);
+        assert_eq!(wc.verdict(), Verdict::Transient);
+    }
+
+    #[test]
+    fn recovery_after_crossing_is_possible() {
+        // Unlike the hold-style alpha-count, the window forgets a crossed
+        // verdict once the burst leaves the window.
+        let mut wc = WindowedCount::new(4, 2);
+        wc.record(Judgment::Erroneous);
+        wc.record(Judgment::Erroneous);
+        assert_eq!(wc.verdict(), Verdict::PermanentOrIntermittent);
+        for _ in 0..4 {
+            wc.record(Judgment::Correct);
+        }
+        assert_eq!(wc.verdict(), Verdict::Transient);
+        // The first crossing stays on record.
+        assert_eq!(wc.crossed_at(), Some(2));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut wc = WindowedCount::new(3, 2);
+        wc.record(Judgment::Erroneous);
+        wc.record(Judgment::Erroneous);
+        wc.reset();
+        assert_eq!(wc.errors_in_window(), 0);
+        assert_eq!(wc.rounds(), 0);
+        assert_eq!(wc.crossed_at(), None);
+        assert_eq!(wc.verdict(), Verdict::Transient);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn threshold_bounded_by_window() {
+        let _ = WindowedCount::new(3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = WindowedCount::new(0, 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut wc = WindowedCount::new(5, 2);
+        wc.record(Judgment::Erroneous);
+        let json = serde_json::to_string(&wc).unwrap();
+        let back: WindowedCount = serde_json::from_str(&json).unwrap();
+        assert_eq!(wc, back);
+    }
+
+    #[test]
+    fn comparison_with_alpha_count_on_alternating_pattern() {
+        // Alternating error/correct: the K=0.5 alpha-count never crosses
+        // 3.0 (converges to 2), while a 6-window/3-threshold windowed
+        // count does cross — the two mechanisms genuinely discriminate
+        // differently.
+        let mut ac = crate::AlphaCount::with_threshold(3.0);
+        let mut wc = WindowedCount::new(6, 3);
+        let mut ac_crossed = false;
+        let mut wc_crossed = false;
+        for round in 0..50 {
+            let j = if round % 2 == 0 {
+                Judgment::Erroneous
+            } else {
+                Judgment::Correct
+            };
+            ac_crossed |= ac.record(j) == Verdict::PermanentOrIntermittent;
+            wc_crossed |= wc.record(j) == Verdict::PermanentOrIntermittent;
+        }
+        assert!(!ac_crossed);
+        assert!(wc_crossed);
+    }
+}

@@ -1,0 +1,43 @@
+//! B1: alpha-count update cost — the per-round overhead the §3.2 oracle
+//! adds to every monitored component.
+
+use afta_alphacount::{AlphaCount, AlphaCountBank, DecayPolicy, Judgment};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_alphacount(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alphacount");
+
+    g.bench_function("record_correct", |b| {
+        let mut ac = AlphaCount::with_threshold(3.0);
+        b.iter(|| black_box(ac.record(Judgment::Correct)));
+    });
+
+    g.bench_function("record_erroneous", |b| {
+        let mut ac = AlphaCount::with_threshold(3.0);
+        b.iter(|| {
+            let v = ac.record(Judgment::Erroneous);
+            ac.reset();
+            black_box(v)
+        });
+    });
+
+    g.bench_function("record_subtractive", |b| {
+        let mut ac = AlphaCount::new(1.0, 3.0, DecayPolicy::Subtractive(0.1));
+        b.iter(|| black_box(ac.record(Judgment::Correct)));
+    });
+
+    g.bench_function("bank_record_16_components", |b| {
+        let mut bank = AlphaCountBank::new(AlphaCount::with_threshold(3.0));
+        let names: Vec<String> = (0..16).map(|i| format!("c{i}")).collect();
+        b.iter(|| {
+            for n in &names {
+                black_box(bank.record(n, Judgment::Correct));
+            }
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_alphacount);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! B6: the core framework's runtime overhead — what continuous
+//! assumption monitoring costs per observation, binding, and contract
+//! check.
+
+use afta_core::contract::Contract;
+use afta_core::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn registry_with(n: usize) -> AssumptionRegistry {
+    let mut r = AssumptionRegistry::new();
+    for i in 0..n {
+        r.register(
+            Assumption::builder(format!("a{i}"))
+                .expects(format!("fact{i}"), Expectation::int_range(0, 100))
+                .build(),
+        )
+        .unwrap();
+    }
+    r
+}
+
+fn bench_assumptions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("assumptions");
+
+    g.bench_function("observe_satisfied_of_64", |b| {
+        let mut r = registry_with(64);
+        b.iter(|| black_box(r.observe(Observation::new("fact7", 50i64))));
+    });
+
+    g.bench_function("observe_clash_of_64", |b| {
+        let mut r = registry_with(64);
+        b.iter(|| black_box(r.observe(Observation::new("fact7", 500i64))));
+    });
+
+    g.bench_function("verify_all_64", |b| {
+        let mut r = registry_with(64);
+        for i in 0..64 {
+            r.observe(Observation::new(format!("fact{i}"), 50i64));
+        }
+        b.iter(|| black_box(r.verify_all()));
+    });
+
+    g.bench_function("assumption_var_bind", |b| {
+        let mut var = AssumptionVar::new("m", BindingTime::RunTime)
+            .with(Alternative::new("A", 1u8, ["x"], 1.0))
+            .with(Alternative::new("B", 2u8, ["x", "y"], 2.0))
+            .with(Alternative::new("C", 3u8, ["y", "z"], 3.0));
+        b.iter(|| black_box(*var.bind(black_box("y"), &MinCostBinder).unwrap()));
+    });
+
+    g.bench_function("contract_execute", |b| {
+        let contract = Contract::<i32>::builder()
+            .pre("non-negative", |&x| x >= 0)
+            .post("bounded", |&x| x <= 1000)
+            .invariant("sane", |&x| x > -1000)
+            .build();
+        let mut state = 1;
+        b.iter(|| {
+            contract.execute(&mut state, |x| *x += 0).unwrap();
+            black_box(())
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_assumptions);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! B3: reflective-DAG operations — the cost of a §3.2 snapshot injection
+//! (the D1 <-> D2 swap) and of the supporting graph queries.
+
+use afta_dag::{fig3_snapshots, Component, ComponentGraph, GraphDiff, ReflectiveArchitecture};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn chain(n: usize) -> ComponentGraph {
+    let mut g = ComponentGraph::new();
+    for i in 0..n {
+        g.add(Component::new(format!("c{i}"), "svc")).unwrap();
+    }
+    for i in 1..n {
+        g.connect(format!("c{}", i - 1), format!("c{i}")).unwrap();
+    }
+    g
+}
+
+fn bench_dag(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dag");
+
+    g.bench_function("inject_fig3_swap", |b| {
+        let (d1, d2) = fig3_snapshots();
+        let mut arch = ReflectiveArchitecture::new(d1.clone());
+        arch.store_snapshot("D1", d1).unwrap();
+        arch.store_snapshot("D2", d2).unwrap();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            black_box(arch.inject(if flip { "D2" } else { "D1" }).unwrap())
+        });
+    });
+
+    g.bench_function("connect_with_cycle_check_64", |b| {
+        b.iter_batched(
+            || chain(64),
+            |mut g| {
+                g.connect("c0", "c63").unwrap();
+                black_box(g)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("topological_order_64", |b| {
+        let g64 = chain(64);
+        b.iter(|| black_box(g64.topological_order()));
+    });
+
+    g.bench_function("diff_64", |b| {
+        let a = chain(64);
+        let mut bgraph = a.clone();
+        bgraph.remove("c32").unwrap();
+        b.iter(|| black_box(GraphDiff::between(&a, &bgraph)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_dag);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! B4: SEC-DED encode/decode — the per-byte cost the §3.1 methods M1..M4
+//! pay over raw access.
+
+use afta_memaccess::ecc;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_ecc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ecc");
+
+    g.bench_function("encode", |b| {
+        let mut x: u8 = 0;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            black_box(ecc::encode(black_box(x)))
+        });
+    });
+
+    g.bench_function("decode_clean", |b| {
+        let check = ecc::encode(0xA5);
+        b.iter(|| black_box(ecc::decode(black_box(0xA5), black_box(check))));
+    });
+
+    g.bench_function("decode_corrected", |b| {
+        let check = ecc::encode(0xA5);
+        let corrupted = 0xA5 ^ 0x10;
+        b.iter(|| black_box(ecc::decode(black_box(corrupted), black_box(check))));
+    });
+
+    g.bench_function("decode_double_error", |b| {
+        let check = ecc::encode(0xA5);
+        let corrupted = 0xA5 ^ 0x11;
+        b.iter(|| black_box(ecc::decode(black_box(corrupted), black_box(check))));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ecc);
+criterion_main!(benches);

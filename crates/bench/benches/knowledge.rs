@@ -1,0 +1,66 @@
+//! B8: knowledge-web propagation cost — what a §5 cross-layer deduction
+//! costs end to end (runtime oracle -> model planner -> deployment
+//! agent), plus the assumption-monitor polling cycle.
+
+use afta_core::{
+    Assumption, AssumptionMonitor, AssumptionRegistry, Expectation, FnProbe, KnowledgeWeb,
+    Observation, ProbeSet,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_knowledge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("knowledge");
+
+    g.bench_function("web_publish_no_reaction", |b| {
+        struct Silent(&'static str);
+        impl afta_core::KnowledgeAgent for Silent {
+            fn name(&self) -> &str {
+                self.0
+            }
+            fn layer(&self) -> afta_core::Layer {
+                afta_core::Layer::Runtime
+            }
+            fn consider(&mut self, _d: &afta_core::Deduction) -> Vec<afta_core::Deduction> {
+                Vec::new()
+            }
+        }
+        let mut web = KnowledgeWeb::new();
+        for name in ["a", "b", "c", "d"] {
+            web.attach(Silent(name));
+        }
+        b.iter(|| {
+            black_box(web.publish(afta_core::Deduction::new(
+                "src",
+                afta_core::Layer::Runtime,
+                "noise",
+                Observation::new("k", 1i64),
+                "",
+            )))
+        });
+    });
+
+    g.bench_function("monitor_poll_16_probes", |b| {
+        let mut registry = AssumptionRegistry::new();
+        let mut probes = ProbeSet::new();
+        for i in 0..16 {
+            registry
+                .register(
+                    Assumption::builder(format!("a{i}"))
+                        .expects(format!("fact{i}"), Expectation::int_range(0, 100))
+                        .build(),
+                )
+                .unwrap();
+            let key = format!("fact{i}");
+            probes.add(FnProbe::new(format!("p{i}"), move || {
+                vec![Observation::new(key.clone(), 50i64)]
+            }));
+        }
+        let mut monitor = AssumptionMonitor::new(registry, probes);
+        b.iter(|| black_box(monitor.poll()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_knowledge);
+criterion_main!(benches);

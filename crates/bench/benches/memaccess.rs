@@ -1,0 +1,41 @@
+//! B5: the §3.1 cost model, measured.  Store+load throughput of every
+//! method M0..M4 on pristine hardware — the time side of the cost
+//! function that drives min-cost selection.
+
+use afta_memaccess::MethodKind;
+use afta_memsim::FaultRates;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_methods(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memaccess");
+
+    for kind in MethodKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("store_load_64B", kind.label()),
+            &kind,
+            |b, &kind| {
+                let mut m = kind.instantiate(4096, FaultRates::none(), 1);
+                let data = [0xABu8; 64];
+                let mut buf = [0u8; 64];
+                b.iter(|| {
+                    m.store(0, black_box(&data)).unwrap();
+                    m.load(0, black_box(&mut buf)).unwrap();
+                    black_box(buf[0])
+                });
+            },
+        );
+    }
+
+    // The configure step itself (introspection + KB lookup + binding).
+    g.bench_function("configure", |b| {
+        let kb = afta_memaccess::FailureKnowledgeBase::builtin();
+        let machine = afta_memsim::MachineInventory::dell_inspiron_6000();
+        let spd = &machine.banks()[0].spd;
+        b.iter(|| black_box(afta_memaccess::configure(black_box(spd), &kb).unwrap()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

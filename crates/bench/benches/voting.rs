@@ -1,0 +1,40 @@
+//! B2: voting-round cost — dtof evaluation, exact/epsilon majority
+//! voting, and a full restoring-organ round at the Fig. 5/7 replica
+//! counts.
+
+use afta_voting::{dtof, epsilon_vote, majority_vote, VotingFarm};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_voting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("voting");
+
+    g.bench_function("dtof", |b| {
+        b.iter(|| black_box(dtof(black_box(7), black_box(Some(2)))));
+    });
+
+    for n in [3usize, 5, 7, 9] {
+        let votes: Vec<u64> = (0..n).map(|i| if i == 0 { 99 } else { 7 }).collect();
+        g.bench_with_input(BenchmarkId::new("majority_vote", n), &votes, |b, votes| {
+            b.iter(|| black_box(majority_vote(black_box(votes))));
+        });
+    }
+
+    g.bench_function("epsilon_vote_7", |b| {
+        let votes = [1.0, 1.001, 0.999, 1.0002, 5.0, 1.0, -2.0];
+        b.iter(|| black_box(epsilon_vote(black_box(&votes), 0.01)));
+    });
+
+    for n in [3usize, 9] {
+        g.bench_with_input(BenchmarkId::new("farm_round", n), &n, |b, &n| {
+            let mut farm = VotingFarm::new(n, |i: usize, x: &u64| {
+                if i == 1 { u64::MAX } else { *x }
+            });
+            b.iter(|| black_box(farm.round(&42)));
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_voting);
+criterion_main!(benches);

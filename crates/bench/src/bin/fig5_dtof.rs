@@ -1,0 +1,29 @@
+//! E4 (Fig. 5): distance-to-failure in a replication-and-voting scheme
+//! with 7 replicas, panel by panel.
+
+use afta_voting::{dtof, dtof_max, majority_vote, VoteOutcome};
+
+fn main() {
+    let n = 7;
+    println!("distance-to-failure, n = {n} replicas (dtof_max = {})\n", dtof_max(n));
+    println!("{:<6} {:<28} {:>4} {:>6}", "panel", "vote vector", "m", "dtof");
+
+    // The four panels of Fig. 5: consensus, growing dissent, no majority.
+    let panels: [(&str, Vec<u32>); 4] = [
+        ("(a)", vec![1, 1, 1, 1, 1, 1, 1]),
+        ("(b)", vec![1, 1, 1, 9, 1, 1, 1]),
+        ("(c)", vec![1, 9, 1, 8, 1, 1, 1]),
+        ("(d)", vec![1, 9, 2, 8, 3, 7, 4]),
+    ];
+    for (panel, votes) in panels {
+        let outcome = majority_vote(&votes);
+        let (m, d) = match &outcome {
+            VoteOutcome::Majority { dissent, .. } => {
+                (dissent.to_string(), dtof(n, Some(*dissent)))
+            }
+            VoteOutcome::NoMajority => ("-".to_owned(), dtof(n, None)),
+        };
+        println!("{panel:<6} {:<28} {m:>4} {d:>6}", format!("{votes:?}"));
+    }
+    println!("\n(d) reaches dtof = 0: no majority can be found — failure.");
+}

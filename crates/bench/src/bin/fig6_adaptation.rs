@@ -1,0 +1,106 @@
+//! E5 (Fig. 6): "During a simulated experiment, faults are injected, and
+//! consequently distance-to-failure decreases.  This triggers an
+//! autonomic adaptation of the degree of redundancy."
+//!
+//! Prints the adaptation time series plus an ASCII strip chart of the
+//! redundancy level across the calm -> storm -> calm environment.
+//!
+//! Flags: `--steps N` (default 30000), `--seed N` (default 42),
+//! `--json` (emit the trace + report as JSON instead of the chart).
+
+use afta_bench::arg_u64;
+use afta_faultinject::{EnvironmentProfile, Phase};
+use afta_sim::Tick;
+use afta_switchboard::{run_experiment, ExperimentConfig, RedundancyPolicy};
+
+fn main() {
+    let steps = arg_u64("--steps", 30_000);
+    let seed = arg_u64("--seed", 42);
+    let storm_start = steps / 4;
+    let storm_len = steps / 10;
+
+    let profile = EnvironmentProfile::new(
+        vec![
+            Phase::new(storm_start, 0.00001),
+            Phase::new(storm_len, 0.08),
+            Phase::new(steps - storm_start - storm_len, 0.00001),
+        ],
+        false,
+    );
+    let config = ExperimentConfig {
+        steps,
+        seed,
+        profile: profile.clone(),
+        policy: RedundancyPolicy::default(),
+        trace_stride: steps / 60,
+    };
+    let report = run_experiment(&config, None);
+
+    if std::env::args().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serialises")
+        );
+        return;
+    }
+
+    println!(
+        "environment: calm p=1e-5 | storm p=0.08 during t=[{storm_start}, {})\n",
+        storm_start + storm_len
+    );
+    println!("adaptation events:");
+    let mut prev_n = 3;
+    for p in &report.trace {
+        if p.n != prev_n {
+            let dir = if p.n > prev_n { "RAISE" } else { "lower" };
+            println!(
+                "  t={:>8}  {dir} {prev_n} -> {} (dtof was {}, faults this round {})",
+                p.tick.0, p.n, p.dtof, p.faults
+            );
+            prev_n = p.n;
+        }
+    }
+
+    // ASCII strip chart of redundancy over time.
+    println!("\nredundancy level over time (one column per {} steps):", steps / 60);
+    let samples: Vec<usize> = sample_levels(&report.trace, steps, 60);
+    for level in [9usize, 7, 5, 3] {
+        let row: String = samples
+            .iter()
+            .map(|&n| if n >= level { '#' } else { ' ' })
+            .collect();
+        println!("  r={level}: {row}");
+    }
+    let storm_cols_start = (storm_start * 60 / steps) as usize;
+    let storm_cols_end = ((storm_start + storm_len) * 60 / steps) as usize;
+    let mut marker = vec![' '; 60];
+    for c in marker.iter_mut().take(storm_cols_end.min(60)).skip(storm_cols_start) {
+        *c = '~';
+    }
+    println!("  storm {}", marker.into_iter().collect::<String>());
+
+    println!(
+        "\nfaults injected {} | voting failures {} | raises {} | lowers {}",
+        report.faults_injected, report.voting_failures, report.raises, report.lowers
+    );
+    println!(
+        "fraction of time at minimal redundancy: {:.3}%",
+        100.0 * report.fraction_at_min(3)
+    );
+}
+
+/// Resamples the (sparse) trace into `cols` redundancy levels.
+fn sample_levels(trace: &[afta_switchboard::TracePoint], steps: u64, cols: u64) -> Vec<usize> {
+    let mut out = Vec::with_capacity(cols as usize);
+    let mut level = 3usize;
+    let mut idx = 0usize;
+    for col in 0..cols {
+        let t_end = Tick((col + 1) * steps / cols);
+        while idx < trace.len() && trace[idx].tick <= t_end {
+            level = trace[idx].n;
+            idx += 1;
+        }
+        out.push(level);
+    }
+    out
+}

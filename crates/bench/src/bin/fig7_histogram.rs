@@ -1,0 +1,68 @@
+//! E6 (Fig. 7): the dwell-time histogram of the employed redundancy over
+//! a long fault-injection run, log scale, with the fraction of time
+//! spent at the minimal degree (the paper reports 99.92798 % at r = 3
+//! over 65 million steps, with zero voting failures).
+//!
+//! Flags: `--steps N` (default 1_000_000; pass 65_000_000 for the paper's
+//! full run — use `--release`), `--seed N` (default 42), `--json` (emit
+//! the full plot-ready report as JSON on stdout instead of the table).
+
+use afta_bench::arg_u64;
+use afta_faultinject::EnvironmentProfile;
+use afta_switchboard::{run_experiment, ExperimentConfig, RedundancyPolicy};
+
+
+fn main() {
+    let steps = arg_u64("--steps", 1_000_000);
+    let seed = arg_u64("--seed", 42);
+
+    // Rare, short disturbance storms over a long calm background — the
+    // §3.3 "heavy and diversified fault injection" environment whose
+    // long-run shape Fig. 7 reports.  The cycle length scales with the
+    // run so every run sees ~13 storm episodes; each episode costs the
+    // system ≈3.7k elevated-redundancy steps (storm + the 3×1000-round
+    // lowering staircase), which at 65M steps reproduces the paper's
+    // ≈99.93% at r = 3.
+    let calm = (steps / 13).max(20_000);
+    let profile = EnvironmentProfile::cyclic_storms(calm, 500, 0.0000001, 0.05);
+    let config = ExperimentConfig {
+        steps,
+        seed,
+        profile,
+        policy: RedundancyPolicy::default(), // lower_after = 1000, as in the paper
+        trace_stride: 0,
+    };
+    let report = run_experiment(&config, None);
+
+    if std::env::args().any(|a| a == "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serialises")
+        );
+        return;
+    }
+
+    println!("lifespan of assumption a(r): \"degree of employed redundancy is r\"\n");
+    println!(
+        "{:>4} {:>16} {:>12} {:>10}  log-scale",
+        "r", "time steps", "% of run", "log10"
+    );
+    for (r, count) in report.histogram.iter() {
+        let frac = 100.0 * count as f64 / steps as f64;
+        let log = (count as f64).log10();
+        let bar = "#".repeat(log.max(0.0).round() as usize * 4);
+        println!("{r:>4} {count:>16} {frac:>11.5}% {log:>10.2}  {bar}");
+    }
+    println!(
+        "\nfraction at minimal redundancy (r=3): {:.5}%",
+        100.0 * report.fraction_at_min(3)
+    );
+    println!(
+        "faults injected: {} | voting failures: {} | raises: {} | lowers: {}",
+        report.faults_injected, report.voting_failures, report.raises, report.lowers
+    );
+    println!(
+        "\npaper (65M steps): 99.92798% at r=3, zero observed clashes; \
+         shape check: minimal degree dominates by orders of magnitude on the log scale."
+    );
+}

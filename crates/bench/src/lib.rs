@@ -1,0 +1,40 @@
+//! # afta-bench — experiment regenerators and benchmarks
+//!
+//! One binary per figure/table of the paper (see DESIGN.md's
+//! per-experiment index) plus Criterion micro-benchmarks:
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `fig2_lshw` | Fig. 2 — `lshw`-style memory introspection |
+//! | `table_memaccess` | §3.1 — method selection table per memory profile |
+//! | `fig4_watchdog` | Fig. 4 — watchdog + alpha-count trace |
+//! | `fig5_dtof` | Fig. 5 — distance-to-failure examples, n = 7 |
+//! | `fig6_adaptation` | Fig. 6 — disturbance vs redundancy time series |
+//! | `fig7_histogram` | Fig. 7 — redundancy dwell-time histogram |
+//! | `table_clash` | §3.2 — the e1/e2 clash table |
+//!
+//! Run e.g. `cargo run -p afta-bench --release --bin fig7_histogram -- --steps 65000000`.
+
+#![forbid(unsafe_code)]
+
+/// Parses a `--flag value` style u64 argument from the command line,
+/// returning `default` when absent or malformed.
+#[must_use]
+pub fn arg_u64(flag: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_u64_defaults_when_missing() {
+        assert_eq!(arg_u64("--definitely-not-passed", 42), 42);
+    }
+}

@@ -1,0 +1,491 @@
+//! The first-class design assumption.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::value::Expectation;
+
+/// Identifier of an assumption within a registry.
+///
+/// Ids are short, stable, kebab-case strings chosen by the designer, e.g.
+/// `"hvel-16bit"` or `"mem-failure-semantics"`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AssumptionId(pub String);
+
+impl AssumptionId {
+    /// Creates an id from anything string-like.
+    pub fn new(id: impl Into<String>) -> Self {
+        Self(id.into())
+    }
+
+    /// The id as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AssumptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for AssumptionId {
+    fn from(s: &str) -> Self {
+        Self(s.to_owned())
+    }
+}
+impl From<String> for AssumptionId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// The four classes of hypotheses the paper's introduction enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AssumptionKind {
+    /// Expected properties/behaviours of hardware components, e.g. the
+    /// failure semantics of memory modules.
+    HardwareComponent,
+    /// Expected properties of third-party software, e.g. the reliability of
+    /// an open-source library.
+    ThirdPartySoftware,
+    /// Expected properties of the execution environment, e.g. security
+    /// provisions of the runtime platform.
+    ExecutionEnvironment,
+    /// Expected characteristics of the physical environment, e.g. the fault
+    /// model experienced by a space-borne vehicle.
+    PhysicalEnvironment,
+    /// Assumptions about the system's own internal state or residual
+    /// faults (the Therac-25's "no residual fault exists").
+    InternalState,
+}
+
+impl fmt::Display for AssumptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AssumptionKind::HardwareComponent => "hardware component",
+            AssumptionKind::ThirdPartySoftware => "third-party software",
+            AssumptionKind::ExecutionEnvironment => "execution environment",
+            AssumptionKind::PhysicalEnvironment => "physical environment",
+            AssumptionKind::InternalState => "internal state",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The "time stages" of software development at which an assumption's value
+/// can be bound (paper §4/§6: design, verification, compile, deployment,
+/// run time).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum BindingTime {
+    /// Fixed once and for all when the system is designed — the default,
+    /// and the root cause of the paper's three syndromes.
+    #[default]
+    DesignTime,
+    /// Checked/chosen during verification and validation.
+    VerificationTime,
+    /// Chosen when the code is compiled for a concrete target (§3.1).
+    CompileTime,
+    /// Chosen when the application is assembled on its deployment stage.
+    DeploymentTime,
+    /// Revised continuously while the system runs (§3.2, §3.3).
+    RunTime,
+}
+
+impl fmt::Display for BindingTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BindingTime::DesignTime => "design-time",
+            BindingTime::VerificationTime => "verification-time",
+            BindingTime::CompileTime => "compile-time",
+            BindingTime::DeploymentTime => "deployment-time",
+            BindingTime::RunTime => "run-time",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// How severe the consequences of this assumption failing are.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Criticality {
+    /// Cosmetic or performance-only consequences.
+    Low,
+    /// Degraded service.
+    #[default]
+    Medium,
+    /// Loss of service.
+    High,
+    /// Loss of mission or life (Ariane 5, Therac-25).
+    Catastrophic,
+}
+
+/// Whether the assumption is recorded somewhere inspectable or buried in
+/// the executable code.
+///
+/// `Hardwired` is the paper's Hidden Intelligence precondition: "those
+/// removed or concealed hypotheses cannot be easily inspected, verified, or
+/// maintained".  Registering a hardwired assumption models *legacy* code
+/// whose hypotheses were excavated after the fact; clashes on it are
+/// co-diagnosed as [`crate::Syndrome::HiddenIntelligence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Visibility {
+    /// Expressed, stored, and inspectable (the goal state).
+    #[default]
+    Exposed,
+    /// Implicit in the code; not inspectable where it matters.
+    Hardwired,
+}
+
+/// Where an assumption came from: the paper's knowledge-propagation trail.
+///
+/// The Ariane failure happened because the 16-bit-velocity hypothesis
+/// "originated at Ariane 4's design time" but "the software code ... did
+/// not include any mechanism to store, inspect, or validate such
+/// assumption".  `Provenance` is that mechanism.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Provenance {
+    /// The system/component the assumption was first drawn for,
+    /// e.g. `"ariane4/flight-software"`.
+    pub origin: String,
+    /// The binding stage at which it was drawn.
+    pub stage: BindingTime,
+    /// Free-form rationale: why the assumption was believed valid.
+    pub rationale: String,
+}
+
+/// A first-class design assumption.
+///
+/// Use [`Assumption::builder`] to construct one; the builder enforces the
+/// mandatory fields (id, fact key, expectation).
+///
+/// ```
+/// use afta_core::prelude::*;
+///
+/// let a = Assumption::builder("mem-cmos")
+///     .statement("memory exhibits CMOS-like single-bit transient errors only")
+///     .kind(AssumptionKind::HardwareComponent)
+///     .expects("memory_technology", Expectation::equals("cmos"))
+///     .binding_time(BindingTime::CompileTime)
+///     .criticality(Criticality::High)
+///     .build();
+/// assert_eq!(a.id().as_str(), "mem-cmos");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assumption {
+    id: AssumptionId,
+    statement: String,
+    kind: AssumptionKind,
+    fact_key: String,
+    expectation: Expectation,
+    binding_time: BindingTime,
+    criticality: Criticality,
+    visibility: Visibility,
+    provenance: Provenance,
+}
+
+impl Assumption {
+    /// Starts building an assumption with the given id.
+    #[must_use]
+    pub fn builder(id: impl Into<AssumptionId>) -> AssumptionBuilder {
+        AssumptionBuilder::new(id)
+    }
+
+    /// The assumption's identifier.
+    #[must_use]
+    pub fn id(&self) -> &AssumptionId {
+        &self.id
+    }
+
+    /// Human-readable statement of the hypothesis.
+    #[must_use]
+    pub fn statement(&self) -> &str {
+        &self.statement
+    }
+
+    /// Which class of hypothesis this is.
+    #[must_use]
+    pub fn kind(&self) -> AssumptionKind {
+        self.kind
+    }
+
+    /// The context fact this assumption constrains.
+    #[must_use]
+    pub fn fact_key(&self) -> &str {
+        &self.fact_key
+    }
+
+    /// The constraint placed on the fact.
+    #[must_use]
+    pub fn expectation(&self) -> &Expectation {
+        &self.expectation
+    }
+
+    /// When the assumption's value is (re)bound.
+    #[must_use]
+    pub fn binding_time(&self) -> BindingTime {
+        self.binding_time
+    }
+
+    /// Consequence severity of a failure.
+    #[must_use]
+    pub fn criticality(&self) -> Criticality {
+        self.criticality
+    }
+
+    /// Exposed or hardwired.
+    #[must_use]
+    pub fn visibility(&self) -> Visibility {
+        self.visibility
+    }
+
+    /// Origin trail.
+    #[must_use]
+    pub fn provenance(&self) -> &Provenance {
+        &self.provenance
+    }
+
+    /// Does the given observed value satisfy this assumption?
+    #[must_use]
+    pub fn holds_for(&self, value: &crate::value::Value) -> bool {
+        self.expectation.admits(value)
+    }
+}
+
+impl fmt::Display for Assumption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} ({}; {} {}; {})",
+            self.id, self.statement, self.kind, self.fact_key, self.expectation, self.binding_time
+        )
+    }
+}
+
+/// Builder for [`Assumption`].
+#[derive(Debug, Clone)]
+pub struct AssumptionBuilder {
+    id: AssumptionId,
+    statement: String,
+    kind: AssumptionKind,
+    fact_key: Option<String>,
+    expectation: Option<Expectation>,
+    binding_time: BindingTime,
+    criticality: Criticality,
+    visibility: Visibility,
+    provenance: Provenance,
+}
+
+impl AssumptionBuilder {
+    fn new(id: impl Into<AssumptionId>) -> Self {
+        Self {
+            id: id.into(),
+            statement: String::new(),
+            kind: AssumptionKind::ExecutionEnvironment,
+            fact_key: None,
+            expectation: None,
+            binding_time: BindingTime::DesignTime,
+            criticality: Criticality::Medium,
+            visibility: Visibility::Exposed,
+            provenance: Provenance::default(),
+        }
+    }
+
+    /// Sets the human-readable statement.
+    #[must_use]
+    pub fn statement(mut self, s: impl Into<String>) -> Self {
+        self.statement = s.into();
+        self
+    }
+
+    /// Sets the assumption kind.
+    #[must_use]
+    pub fn kind(mut self, k: AssumptionKind) -> Self {
+        self.kind = k;
+        self
+    }
+
+    /// Sets the constrained fact and the expectation on it (mandatory).
+    #[must_use]
+    pub fn expects(mut self, fact_key: impl Into<String>, e: Expectation) -> Self {
+        self.fact_key = Some(fact_key.into());
+        self.expectation = Some(e);
+        self
+    }
+
+    /// Sets the binding time.
+    #[must_use]
+    pub fn binding_time(mut self, b: BindingTime) -> Self {
+        self.binding_time = b;
+        self
+    }
+
+    /// Sets the criticality.
+    #[must_use]
+    pub fn criticality(mut self, c: Criticality) -> Self {
+        self.criticality = c;
+        self
+    }
+
+    /// Marks the assumption as hardwired (legacy, uninspectable in situ).
+    #[must_use]
+    pub fn hardwired(mut self) -> Self {
+        self.visibility = Visibility::Hardwired;
+        self
+    }
+
+    /// Sets the origin system in the provenance trail.
+    #[must_use]
+    pub fn origin(mut self, origin: impl Into<String>) -> Self {
+        self.provenance.origin = origin.into();
+        self
+    }
+
+    /// Sets the provenance rationale.
+    #[must_use]
+    pub fn rationale(mut self, r: impl Into<String>) -> Self {
+        self.provenance.rationale = r.into();
+        self
+    }
+
+    /// Sets the stage at which the assumption was drawn.
+    #[must_use]
+    pub fn drawn_at(mut self, stage: BindingTime) -> Self {
+        self.provenance.stage = stage;
+        self
+    }
+
+    /// Finalises the assumption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`AssumptionBuilder::expects`] was never called: an
+    /// assumption without a verifiable expectation is exactly the hidden
+    /// intelligence this crate exists to eliminate.
+    #[must_use]
+    pub fn build(self) -> Assumption {
+        let fact_key = self
+            .fact_key
+            .expect("assumption must constrain a fact: call .expects(key, expectation)");
+        let expectation = self.expectation.expect("expectation set with fact_key");
+        Assumption {
+            id: self.id,
+            statement: self.statement,
+            kind: self.kind,
+            fact_key,
+            expectation,
+            binding_time: self.binding_time,
+            criticality: self.criticality,
+            visibility: self.visibility,
+            provenance: self.provenance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Expectation, Value};
+
+    fn sample() -> Assumption {
+        Assumption::builder("hvel-16bit")
+            .statement("horizontal velocity fits i16")
+            .kind(AssumptionKind::PhysicalEnvironment)
+            .expects("horizontal_velocity", Expectation::int_range(-32768, 32767))
+            .binding_time(BindingTime::DesignTime)
+            .criticality(Criticality::Catastrophic)
+            .origin("ariane4")
+            .rationale("Ariane 4 trajectory envelope")
+            .drawn_at(BindingTime::DesignTime)
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let a = sample();
+        assert_eq!(a.id(), &AssumptionId::new("hvel-16bit"));
+        assert_eq!(a.kind(), AssumptionKind::PhysicalEnvironment);
+        assert_eq!(a.fact_key(), "horizontal_velocity");
+        assert_eq!(a.binding_time(), BindingTime::DesignTime);
+        assert_eq!(a.criticality(), Criticality::Catastrophic);
+        assert_eq!(a.visibility(), Visibility::Exposed);
+        assert_eq!(a.provenance().origin, "ariane4");
+    }
+
+    #[test]
+    fn holds_for_checks_expectation() {
+        let a = sample();
+        assert!(a.holds_for(&Value::Int(100)));
+        assert!(!a.holds_for(&Value::Int(40_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn build_without_expectation_panics() {
+        let _ = Assumption::builder("x").statement("no fact").build();
+    }
+
+    #[test]
+    fn hardwired_marks_visibility() {
+        let a = Assumption::builder("legacy")
+            .expects("k", Expectation::Present)
+            .hardwired()
+            .build();
+        assert_eq!(a.visibility(), Visibility::Hardwired);
+    }
+
+    #[test]
+    fn binding_time_ordering() {
+        assert!(BindingTime::DesignTime < BindingTime::CompileTime);
+        assert!(BindingTime::CompileTime < BindingTime::DeploymentTime);
+        assert!(BindingTime::DeploymentTime < BindingTime::RunTime);
+    }
+
+    #[test]
+    fn criticality_ordering() {
+        assert!(Criticality::Low < Criticality::Catastrophic);
+        assert_eq!(Criticality::default(), Criticality::Medium);
+    }
+
+    #[test]
+    fn id_conversions_and_display() {
+        let id: AssumptionId = "abc".into();
+        assert_eq!(id.as_str(), "abc");
+        assert_eq!(id.to_string(), "abc");
+        let id2: AssumptionId = String::from("abc").into();
+        assert_eq!(id, id2);
+    }
+
+    #[test]
+    fn display_mentions_key_parts() {
+        let s = sample().to_string();
+        assert!(s.contains("hvel-16bit"));
+        assert!(s.contains("horizontal_velocity"));
+        assert!(s.contains("design-time"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = sample();
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Assumption = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(
+            AssumptionKind::HardwareComponent.to_string(),
+            "hardware component"
+        );
+        assert_eq!(
+            AssumptionKind::PhysicalEnvironment.to_string(),
+            "physical environment"
+        );
+    }
+}

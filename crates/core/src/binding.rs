@@ -1,0 +1,377 @@
+//! Assumption variables with postponed binding.
+//!
+//! The paper's "key idea" (§6) is "to provide the designer with the ability
+//! to formulate dynamic assumptions (assumption variables) whose boundings
+//! get postponed at a later, more appropriate, time".  [`AssumptionVar`]
+//! is that construct: a set of design-time [`Alternative`]s plus a
+//! [`Binder`] strategy that picks one when the truth of the context is
+//! finally known.
+//!
+//! [`MinCostBinder`] implements the §3.1 selection algorithm verbatim:
+//! "first we isolate those methods that are able to tolerate **f**, then we
+//! arrange them into a list ordered according to some cost function;
+//! finally we select the minimum element of that list."
+
+use std::fmt;
+
+use crate::assumption::{AssumptionId, BindingTime};
+
+/// One design-time alternative for an assumption variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alternative<T> {
+    /// Short label, e.g. `"M3"`.
+    pub label: String,
+    /// The artefact selected when this alternative is bound (a memory
+    /// access method, a design-pattern snapshot, a replica count, ...).
+    pub payload: T,
+    /// Context behaviours this alternative tolerates, e.g. `["f0","f1"]`.
+    pub tolerates: Vec<String>,
+    /// Cost under the designer's cost function ("e.g. proportional to the
+    /// expenditure of resources").  Lower is better.
+    pub cost: f64,
+}
+
+impl<T> Alternative<T> {
+    /// Creates an alternative.
+    pub fn new(
+        label: impl Into<String>,
+        payload: T,
+        tolerates: impl IntoIterator<Item = impl Into<String>>,
+        cost: f64,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            payload,
+            tolerates: tolerates.into_iter().map(Into::into).collect(),
+            cost,
+        }
+    }
+
+    /// Whether this alternative tolerates the named context behaviour.
+    #[must_use]
+    pub fn tolerates(&self, behavior: &str) -> bool {
+        self.tolerates.iter().any(|t| t == behavior)
+    }
+}
+
+/// Errors arising from (re)binding an assumption variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindingError {
+    /// The variable has no alternatives at all.
+    NoAlternatives,
+    /// No alternative tolerates the observed behaviour: a guaranteed
+    /// assumption failure, surfaced *before* deployment instead of after.
+    NoneTolerates(String),
+    /// The variable has not been bound yet.
+    NotBound,
+}
+
+impl fmt::Display for BindingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindingError::NoAlternatives => write!(f, "assumption variable has no alternatives"),
+            BindingError::NoneTolerates(b) => {
+                write!(f, "no alternative tolerates observed behavior {b:?}")
+            }
+            BindingError::NotBound => write!(f, "assumption variable is not bound yet"),
+        }
+    }
+}
+
+impl std::error::Error for BindingError {}
+
+/// A binding strategy: picks one alternative given the observed context
+/// behaviour.
+pub trait Binder<T> {
+    /// Returns the index of the alternative to bind.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`BindingError::NoAlternatives`] or
+    /// [`BindingError::NoneTolerates`] when no choice is possible.
+    fn select(
+        &self,
+        observed_behavior: &str,
+        alternatives: &[Alternative<T>],
+    ) -> Result<usize, BindingError>;
+}
+
+/// The §3.1 binder: among the alternatives tolerating the observed
+/// behaviour, pick the one with minimal cost (first declared wins ties).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinCostBinder;
+
+impl<T> Binder<T> for MinCostBinder {
+    fn select(
+        &self,
+        observed_behavior: &str,
+        alternatives: &[Alternative<T>],
+    ) -> Result<usize, BindingError> {
+        if alternatives.is_empty() {
+            return Err(BindingError::NoAlternatives);
+        }
+        alternatives
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.tolerates(observed_behavior))
+            .min_by(|(_, a), (_, b)| {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .ok_or_else(|| BindingError::NoneTolerates(observed_behavior.to_owned()))
+    }
+}
+
+/// One entry in the rebinding audit trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BindingRecord {
+    /// Index of the alternative bound.
+    pub index: usize,
+    /// Label of the alternative bound.
+    pub label: String,
+    /// The observed behaviour that triggered the binding.
+    pub observed_behavior: String,
+}
+
+/// An assumption variable: alternatives declared at design time, bound at
+/// [`BindingTime`] `binding_time`, rebindable thereafter.
+///
+/// ```
+/// use afta_core::{Alternative, AssumptionVar, BindingTime, MinCostBinder};
+///
+/// let mut var = AssumptionVar::new("mem-method", BindingTime::CompileTime)
+///     .with(Alternative::new("M0", "raw", ["f0"], 1.0))
+///     .with(Alternative::new("M1", "retry", ["f0", "f1"], 2.0))
+///     .with(Alternative::new("M4", "ecc+rep", ["f0", "f1", "f3", "f4"], 8.0));
+///
+/// // The deployment machine turns out to have SDRAM with SEL+SEU (f4):
+/// let chosen = var.bind("f4", &MinCostBinder)?;
+/// assert_eq!(*chosen, "ecc+rep");
+/// assert_eq!(var.bound_label(), Some("M4"));
+/// # Ok::<(), afta_core::BindingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssumptionVar<T> {
+    id: AssumptionId,
+    binding_time: BindingTime,
+    alternatives: Vec<Alternative<T>>,
+    bound: Option<usize>,
+    history: Vec<BindingRecord>,
+}
+
+impl<T> AssumptionVar<T> {
+    /// Creates an unbound variable.
+    pub fn new(id: impl Into<AssumptionId>, binding_time: BindingTime) -> Self {
+        Self {
+            id: id.into(),
+            binding_time,
+            alternatives: Vec::new(),
+            bound: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// Adds an alternative (builder style).
+    #[must_use]
+    pub fn with(mut self, alt: Alternative<T>) -> Self {
+        self.alternatives.push(alt);
+        self
+    }
+
+    /// Adds an alternative in place.
+    pub fn push(&mut self, alt: Alternative<T>) {
+        self.alternatives.push(alt);
+    }
+
+    /// The variable's id.
+    #[must_use]
+    pub fn id(&self) -> &AssumptionId {
+        &self.id
+    }
+
+    /// The stage this variable is meant to be bound at.
+    #[must_use]
+    pub fn binding_time(&self) -> BindingTime {
+        self.binding_time
+    }
+
+    /// The declared alternatives.
+    #[must_use]
+    pub fn alternatives(&self) -> &[Alternative<T>] {
+        &self.alternatives
+    }
+
+    /// Binds (or rebinds) the variable for the observed behaviour using
+    /// `binder`, returning the selected payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the binder's [`BindingError`].
+    pub fn bind<B: Binder<T>>(
+        &mut self,
+        observed_behavior: &str,
+        binder: &B,
+    ) -> Result<&T, BindingError> {
+        let idx = binder.select(observed_behavior, &self.alternatives)?;
+        self.bound = Some(idx);
+        self.history.push(BindingRecord {
+            index: idx,
+            label: self.alternatives[idx].label.clone(),
+            observed_behavior: observed_behavior.to_owned(),
+        });
+        Ok(&self.alternatives[idx].payload)
+    }
+
+    /// The currently bound payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BindingError::NotBound`] before the first successful bind.
+    pub fn value(&self) -> Result<&T, BindingError> {
+        self.bound
+            .map(|i| &self.alternatives[i].payload)
+            .ok_or(BindingError::NotBound)
+    }
+
+    /// Label of the currently bound alternative, if bound.
+    #[must_use]
+    pub fn bound_label(&self) -> Option<&str> {
+        self.bound.map(|i| self.alternatives[i].label.as_str())
+    }
+
+    /// The full rebinding audit trail, oldest first.
+    #[must_use]
+    pub fn history(&self) -> &[BindingRecord] {
+        &self.history
+    }
+
+    /// Number of times the variable has been (re)bound.
+    #[must_use]
+    pub fn rebind_count(&self) -> usize {
+        self.history.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var() -> AssumptionVar<&'static str> {
+        AssumptionVar::new("mem", BindingTime::CompileTime)
+            .with(Alternative::new("M0", "raw", ["f0"], 1.0))
+            .with(Alternative::new("M1", "retry", ["f0", "f1"], 2.0))
+            .with(Alternative::new("M2", "remap", ["f0", "f2"], 3.0))
+            .with(Alternative::new("M3", "rep", ["f0", "f1", "f3"], 5.0))
+            .with(Alternative::new("M4", "ecc", ["f0", "f1", "f3", "f4"], 8.0))
+    }
+
+    #[test]
+    fn min_cost_picks_cheapest_tolerant() {
+        let mut v = var();
+        assert_eq!(*v.bind("f0", &MinCostBinder).unwrap(), "raw");
+        assert_eq!(*v.bind("f1", &MinCostBinder).unwrap(), "retry");
+        assert_eq!(*v.bind("f2", &MinCostBinder).unwrap(), "remap");
+        assert_eq!(*v.bind("f3", &MinCostBinder).unwrap(), "rep");
+        assert_eq!(*v.bind("f4", &MinCostBinder).unwrap(), "ecc");
+        assert_eq!(v.rebind_count(), 5);
+    }
+
+    #[test]
+    fn min_cost_ties_go_to_first_declared() {
+        let mut v = AssumptionVar::new("x", BindingTime::RunTime)
+            .with(Alternative::new("A", 1, ["b"], 2.0))
+            .with(Alternative::new("B", 2, ["b"], 2.0));
+        v.bind("b", &MinCostBinder).unwrap();
+        assert_eq!(v.bound_label(), Some("A"));
+    }
+
+    #[test]
+    fn unknown_behavior_is_surfaced() {
+        let mut v = var();
+        assert_eq!(
+            v.bind("f9", &MinCostBinder).unwrap_err(),
+            BindingError::NoneTolerates("f9".into())
+        );
+        // A failed bind leaves the previous binding intact.
+        assert_eq!(v.value().unwrap_err(), BindingError::NotBound);
+    }
+
+    #[test]
+    fn empty_variable_errors() {
+        let mut v: AssumptionVar<u8> = AssumptionVar::new("e", BindingTime::DeploymentTime);
+        assert_eq!(
+            v.bind("anything", &MinCostBinder).unwrap_err(),
+            BindingError::NoAlternatives
+        );
+    }
+
+    #[test]
+    fn value_before_bind_is_not_bound() {
+        let v = var();
+        assert_eq!(v.value().unwrap_err(), BindingError::NotBound);
+        assert_eq!(v.bound_label(), None);
+    }
+
+    #[test]
+    fn history_records_rebindings() {
+        let mut v = var();
+        v.bind("f1", &MinCostBinder).unwrap();
+        v.bind("f4", &MinCostBinder).unwrap();
+        let labels: Vec<&str> = v.history().iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, vec!["M1", "M4"]);
+        assert_eq!(v.history()[0].observed_behavior, "f1");
+        assert_eq!(v.history()[1].index, 4);
+    }
+
+    #[test]
+    fn push_adds_alternative() {
+        let mut v: AssumptionVar<u8> = AssumptionVar::new("p", BindingTime::RunTime);
+        v.push(Alternative::new("A", 7, ["x"], 1.0));
+        assert_eq!(v.alternatives().len(), 1);
+        assert_eq!(*v.bind("x", &MinCostBinder).unwrap(), 7);
+    }
+
+    #[test]
+    fn accessors() {
+        let v = var();
+        assert_eq!(v.id().as_str(), "mem");
+        assert_eq!(v.binding_time(), BindingTime::CompileTime);
+        assert!(v.alternatives()[0].tolerates("f0"));
+        assert!(!v.alternatives()[0].tolerates("f4"));
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(BindingError::NoAlternatives.to_string().contains("no"));
+        assert!(BindingError::NoneTolerates("f7".into())
+            .to_string()
+            .contains("f7"));
+        assert!(BindingError::NotBound.to_string().contains("not bound"));
+    }
+
+    #[test]
+    fn custom_binder_is_usable() {
+        // A binder that always picks the most expensive tolerant option
+        // (e.g. a safety-first policy).
+        struct MaxCost;
+        impl<T> Binder<T> for MaxCost {
+            fn select(
+                &self,
+                behavior: &str,
+                alts: &[Alternative<T>],
+            ) -> Result<usize, BindingError> {
+                alts.iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.tolerates(behavior))
+                    .max_by(|(_, a), (_, b)| a.cost.partial_cmp(&b.cost).unwrap())
+                    .map(|(i, _)| i)
+                    .ok_or_else(|| BindingError::NoneTolerates(behavior.into()))
+            }
+        }
+        let mut v = var();
+        v.bind("f1", &MaxCost).unwrap();
+        assert_eq!(v.bound_label(), Some("M4")); // M4 tolerates f1 at cost 8
+    }
+}

@@ -1,0 +1,474 @@
+//! Design-by-Contract, wired to assumptions.
+//!
+//! §4 of the paper credits Design by Contract with forcing the designer
+//! "to consider explicitly the mutual dependencies and assumptions among
+//! correlated software components".  This module provides a small DbC
+//! engine whose pre-/post-conditions and invariants *name the assumptions
+//! they rest on*, so that a contract violation immediately implicates the
+//! assumptions to re-examine — the cross-layer feedback loop of §5.
+
+use std::fmt;
+
+use crate::assumption::AssumptionId;
+
+/// Which clause of a contract was violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// A client obligation did not hold on entry.
+    Precondition,
+    /// A supplier benefit did not hold on exit.
+    Postcondition,
+    /// A stable property did not hold at a check boundary.
+    Invariant,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Precondition => write!(f, "precondition"),
+            ViolationKind::Postcondition => write!(f, "postcondition"),
+            ViolationKind::Invariant => write!(f, "invariant"),
+        }
+    }
+}
+
+/// A contract violation, implicating the assumptions the failed condition
+/// rested on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractViolation {
+    /// Which clause failed.
+    pub kind: ViolationKind,
+    /// The name of the failed condition.
+    pub condition: String,
+    /// Assumptions the condition declared itself dependent on; these are
+    /// the hypotheses to re-verify when diagnosing the failure.
+    pub implicated: Vec<AssumptionId>,
+}
+
+impl fmt::Display for ContractViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:?} violated", self.kind, self.condition)?;
+        if !self.implicated.is_empty() {
+            write!(f, " (implicates assumptions:")?;
+            for id in &self.implicated {
+                write!(f, " {id}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ContractViolation {}
+
+/// A named predicate over a state `S`, annotated with the assumptions it
+/// rests on.
+pub struct Condition<S: ?Sized> {
+    name: String,
+    assumes: Vec<AssumptionId>,
+    check: Box<dyn Fn(&S) -> bool + Send + Sync>,
+}
+
+impl<S: ?Sized> fmt::Debug for Condition<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condition")
+            .field("name", &self.name)
+            .field("assumes", &self.assumes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: ?Sized> Condition<S> {
+    /// Creates a condition.
+    pub fn new(
+        name: impl Into<String>,
+        check: impl Fn(&S) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            assumes: Vec::new(),
+            check: Box::new(check),
+        }
+    }
+
+    /// Declares that this condition rests on the given assumption.
+    #[must_use]
+    pub fn assuming(mut self, id: impl Into<AssumptionId>) -> Self {
+        self.assumes.push(id.into());
+        self
+    }
+
+    /// The condition's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates the condition on `state`.
+    #[must_use]
+    pub fn holds(&self, state: &S) -> bool {
+        (self.check)(state)
+    }
+
+    fn violation(&self, kind: ViolationKind) -> ContractViolation {
+        ContractViolation {
+            kind,
+            condition: self.name.clone(),
+            implicated: self.assumes.clone(),
+        }
+    }
+}
+
+/// A contract over operations on state `S`: preconditions, postconditions,
+/// invariants.
+///
+/// ```
+/// use afta_core::contract::Contract;
+///
+/// // The Therac-25 contract the hardware used to enforce:
+/// let contract = Contract::<i32>::builder()
+///     .invariant("beam energy within safe bounds", |&e| (0..=100).contains(&e))
+///     .pre("machine not in fault state", |&e| e >= 0)
+///     .build();
+///
+/// assert!(contract.check_entry(&50).is_ok());
+/// let violation = contract.check_entry(&1_000).unwrap_err();
+/// assert_eq!(violation.condition, "beam energy within safe bounds");
+/// ```
+pub struct Contract<S: ?Sized> {
+    pre: Vec<Condition<S>>,
+    post: Vec<Condition<S>>,
+    invariants: Vec<Condition<S>>,
+}
+
+impl<S: ?Sized> fmt::Debug for Contract<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Contract")
+            .field("pre", &self.pre.len())
+            .field("post", &self.post.len())
+            .field("invariants", &self.invariants.len())
+            .finish()
+    }
+}
+
+impl<S: ?Sized> Default for Contract<S> {
+    fn default() -> Self {
+        Self {
+            pre: Vec::new(),
+            post: Vec::new(),
+            invariants: Vec::new(),
+        }
+    }
+}
+
+impl<S: ?Sized> Contract<S> {
+    /// Starts building a contract.
+    #[must_use]
+    pub fn builder() -> ContractBuilder<S> {
+        ContractBuilder {
+            contract: Contract::default(),
+        }
+    }
+
+    /// Checks invariants then preconditions (entry protocol).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ContractViolation`] found.
+    pub fn check_entry(&self, state: &S) -> Result<(), ContractViolation> {
+        for c in &self.invariants {
+            if !c.holds(state) {
+                return Err(c.violation(ViolationKind::Invariant));
+            }
+        }
+        for c in &self.pre {
+            if !c.holds(state) {
+                return Err(c.violation(ViolationKind::Precondition));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks postconditions then invariants (exit protocol).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ContractViolation`] found.
+    pub fn check_exit(&self, state: &S) -> Result<(), ContractViolation> {
+        for c in &self.post {
+            if !c.holds(state) {
+                return Err(c.violation(ViolationKind::Postcondition));
+            }
+        }
+        for c in &self.invariants {
+            if !c.holds(state) {
+                return Err(c.violation(ViolationKind::Invariant));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `op` under the contract: entry checks, the operation, exit
+    /// checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation encountered; the operation does not run
+    /// if entry checks fail.
+    pub fn execute<R>(
+        &self,
+        state: &mut S,
+        op: impl FnOnce(&mut S) -> R,
+    ) -> Result<R, ContractViolation>
+    where
+        S: Sized,
+    {
+        self.check_entry(state)?;
+        let r = op(state);
+        self.check_exit(state)?;
+        Ok(r)
+    }
+
+    /// Number of conditions across all clauses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pre.len() + self.post.len() + self.invariants.len()
+    }
+
+    /// True when the contract has no conditions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Builder for [`Contract`].
+#[derive(Debug)]
+pub struct ContractBuilder<S: ?Sized> {
+    contract: Contract<S>,
+}
+
+impl<S: ?Sized> ContractBuilder<S> {
+    /// Adds a precondition.
+    #[must_use]
+    pub fn pre(
+        mut self,
+        name: impl Into<String>,
+        check: impl Fn(&S) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.contract.pre.push(Condition::new(name, check));
+        self
+    }
+
+    /// Adds a postcondition.
+    #[must_use]
+    pub fn post(
+        mut self,
+        name: impl Into<String>,
+        check: impl Fn(&S) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.contract.post.push(Condition::new(name, check));
+        self
+    }
+
+    /// Adds an invariant.
+    #[must_use]
+    pub fn invariant(
+        mut self,
+        name: impl Into<String>,
+        check: impl Fn(&S) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.contract.invariants.push(Condition::new(name, check));
+        self
+    }
+
+    /// Adds a fully built condition as a precondition (use this form to
+    /// attach assumption ids via [`Condition::assuming`]).
+    #[must_use]
+    pub fn pre_condition(mut self, c: Condition<S>) -> Self {
+        self.contract.pre.push(c);
+        self
+    }
+
+    /// Adds a fully built condition as a postcondition.
+    #[must_use]
+    pub fn post_condition(mut self, c: Condition<S>) -> Self {
+        self.contract.post.push(c);
+        self
+    }
+
+    /// Adds a fully built condition as an invariant.
+    #[must_use]
+    pub fn invariant_condition(mut self, c: Condition<S>) -> Self {
+        self.contract.invariants.push(c);
+        self
+    }
+
+    /// Finalises the contract.
+    #[must_use]
+    pub fn build(self) -> Contract<S> {
+        self.contract
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Machine {
+        energy: i32,
+        interlock_engaged: bool,
+    }
+
+    fn therac_contract() -> Contract<Machine> {
+        Contract::builder()
+            .invariant_condition(
+                Condition::new("beam energy within safe bounds", |m: &Machine| {
+                    (0..=100).contains(&m.energy)
+                })
+                .assuming("no-residual-fault")
+                .assuming("hw-interlocks-present"),
+            )
+            .pre("interlock engaged before dosing", |m: &Machine| {
+                m.interlock_engaged
+            })
+            .post("energy delivered is non-negative", |m: &Machine| {
+                m.energy >= 0
+            })
+            .build()
+    }
+
+    #[test]
+    fn entry_ok_when_all_hold() {
+        let c = therac_contract();
+        let m = Machine {
+            energy: 50,
+            interlock_engaged: true,
+        };
+        assert!(c.check_entry(&m).is_ok());
+    }
+
+    #[test]
+    fn invariant_violation_implicates_assumptions() {
+        let c = therac_contract();
+        let m = Machine {
+            energy: 25_000,
+            interlock_engaged: true,
+        };
+        let v = c.check_entry(&m).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::Invariant);
+        assert_eq!(
+            v.implicated,
+            vec![
+                AssumptionId::new("no-residual-fault"),
+                AssumptionId::new("hw-interlocks-present")
+            ]
+        );
+        let msg = v.to_string();
+        assert!(msg.contains("invariant"));
+        assert!(msg.contains("no-residual-fault"));
+    }
+
+    #[test]
+    fn precondition_checked_after_invariants() {
+        let c = therac_contract();
+        let m = Machine {
+            energy: 50,
+            interlock_engaged: false,
+        };
+        let v = c.check_entry(&m).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::Precondition);
+        assert_eq!(v.condition, "interlock engaged before dosing");
+    }
+
+    #[test]
+    fn execute_runs_op_between_checks() {
+        let c = therac_contract();
+        let mut m = Machine {
+            energy: 10,
+            interlock_engaged: true,
+        };
+        let delivered = c.execute(&mut m, |m| {
+            m.energy += 5;
+            m.energy
+        });
+        assert_eq!(delivered.unwrap(), 15);
+    }
+
+    #[test]
+    fn execute_catches_bad_exit_state() {
+        let c = therac_contract();
+        let mut m = Machine {
+            energy: 10,
+            interlock_engaged: true,
+        };
+        // The op drives the machine out of the safe envelope — exactly the
+        // Therac-25 failure the removed hardware interlocks used to catch.
+        let v = c
+            .execute(&mut m, |m| {
+                m.energy = 25_000;
+            })
+            .unwrap_err();
+        assert_eq!(v.kind, ViolationKind::Invariant);
+    }
+
+    #[test]
+    fn execute_skips_op_on_entry_failure() {
+        let c = therac_contract();
+        let mut m = Machine {
+            energy: 10,
+            interlock_engaged: false,
+        };
+        let mut ran = false;
+        let r = c.execute(&mut m, |_| {
+            ran = true;
+        });
+        assert!(r.is_err());
+        assert!(!ran);
+    }
+
+    #[test]
+    fn postcondition_violation() {
+        let c = Contract::<i32>::builder()
+            .post("result is even", |&x| x % 2 == 0)
+            .build();
+        let mut x = 0;
+        let v = c.execute(&mut x, |x| *x = 3).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::Postcondition);
+        assert!(v.implicated.is_empty());
+    }
+
+    #[test]
+    fn empty_contract_admits_everything() {
+        let c = Contract::<u8>::default();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert!(c.check_entry(&0).is_ok());
+        assert!(c.check_exit(&255).is_ok());
+    }
+
+    #[test]
+    fn condition_accessors() {
+        let cond = Condition::new("positive", |&x: &i32| x > 0).assuming("a1");
+        assert_eq!(cond.name(), "positive");
+        assert!(cond.holds(&1));
+        assert!(!cond.holds(&-1));
+        let dbg = format!("{cond:?}");
+        assert!(dbg.contains("positive"));
+    }
+
+    #[test]
+    fn violation_kind_display() {
+        assert_eq!(ViolationKind::Precondition.to_string(), "precondition");
+        assert_eq!(ViolationKind::Postcondition.to_string(), "postcondition");
+        assert_eq!(ViolationKind::Invariant.to_string(), "invariant");
+    }
+
+    #[test]
+    fn contract_debug() {
+        let c = therac_contract();
+        let dbg = format!("{c:?}");
+        assert!(dbg.contains("Contract"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the core framework.
+
+use std::fmt;
+
+use crate::assumption::AssumptionId;
+
+/// Errors returned by the core assumption framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An assumption with the same id is already registered.
+    DuplicateAssumption(AssumptionId),
+    /// No assumption with this id is registered.
+    UnknownAssumption(AssumptionId),
+    /// An adaptation handler is already attached to this assumption.
+    HandlerAlreadyAttached(AssumptionId),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateAssumption(id) => {
+                write!(f, "assumption {id:?} is already registered")
+            }
+            Error::UnknownAssumption(id) => write!(f, "unknown assumption {id:?}"),
+            Error::HandlerAlreadyAttached(id) => {
+                write!(f, "an adaptation handler is already attached to {id:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let id = AssumptionId::new("x");
+        assert!(Error::DuplicateAssumption(id.clone())
+            .to_string()
+            .contains("already registered"));
+        assert!(Error::UnknownAssumption(id.clone())
+            .to_string()
+            .contains("unknown"));
+        assert!(Error::HandlerAlreadyAttached(id)
+            .to_string()
+            .contains("handler"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

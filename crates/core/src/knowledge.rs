@@ -1,0 +1,381 @@
+//! The cross-layer knowledge web of §5.
+//!
+//! The paper envisions "a web of cooperating reactive agents serving
+//! different software design concerns (e.g. model-specific,
+//! deployment-specific, verification-specific, execution-specific)
+//! responding to external stimuli and autonomically adjusting their
+//! internal state", such that "a design assumption failure caught by a
+//! run-time detector should trigger a request for adaptation at model
+//! level, and vice-versa".
+//!
+//! [`KnowledgeWeb`] is that fabric: [`KnowledgeAgent`]s attached to the
+//! development-time layers exchange [`Deduction`]s; publishing one
+//! propagates it to every other agent, and any deductions they produce in
+//! response are propagated in turn, breadth-first, until quiescence (or a
+//! safety cap).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Observation;
+
+/// A software-development "time stage" hosting knowledge agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// Model/design level (MDE tools, UML, contracts).
+    Model,
+    /// Verification and validation activities.
+    Verification,
+    /// Compile-time (the §3.1 Autoconf-like stage).
+    Compile,
+    /// Deployment-time (descriptors, assembly).
+    Deployment,
+    /// Run-time (detectors, autonomic executives).
+    Runtime,
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Layer::Model => "model",
+            Layer::Verification => "verification",
+            Layer::Compile => "compile",
+            Layer::Deployment => "deployment",
+            Layer::Runtime => "runtime",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A piece of knowledge unraveled in one layer and shared with the others.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deduction {
+    /// The agent that produced the deduction.
+    pub producer: String,
+    /// The layer it originated in.
+    pub origin: Layer,
+    /// Topic for coarse routing, e.g. `"fault-model"`.
+    pub topic: String,
+    /// The fact deduced.
+    pub observation: Observation,
+    /// Free-form explanation.
+    pub note: String,
+}
+
+impl Deduction {
+    /// Creates a deduction.
+    pub fn new(
+        producer: impl Into<String>,
+        origin: Layer,
+        topic: impl Into<String>,
+        observation: Observation,
+        note: impl Into<String>,
+    ) -> Self {
+        Self {
+            producer: producer.into(),
+            origin,
+            topic: topic.into(),
+            observation,
+            note: note.into(),
+        }
+    }
+}
+
+impl fmt::Display for Deduction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}@{}] {}: {} — {}",
+            self.producer, self.origin, self.topic, self.observation, self.note
+        )
+    }
+}
+
+/// A cooperating reactive agent serving one design concern.
+pub trait KnowledgeAgent: Send {
+    /// The agent's unique name within its web.
+    fn name(&self) -> &str;
+
+    /// The layer the agent serves.
+    fn layer(&self) -> Layer;
+
+    /// Reacts to a deduction from another agent, possibly producing
+    /// follow-on deductions (which the web will propagate).
+    fn consider(&mut self, deduction: &Deduction) -> Vec<Deduction>;
+}
+
+/// Outcome of a propagation round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropagationOutcome {
+    /// Total deductions propagated (the seed plus follow-ons).
+    pub propagated: usize,
+    /// True if the safety cap cut propagation short.
+    pub truncated: bool,
+}
+
+/// The web of cooperating agents.
+pub struct KnowledgeWeb {
+    agents: Vec<Box<dyn KnowledgeAgent>>,
+    log: Vec<Deduction>,
+    cap: usize,
+}
+
+impl fmt::Debug for KnowledgeWeb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.agents.iter().map(|a| a.name()).collect();
+        f.debug_struct("KnowledgeWeb")
+            .field("agents", &names)
+            .field("log", &self.log.len())
+            .field("cap", &self.cap)
+            .finish()
+    }
+}
+
+impl Default for KnowledgeWeb {
+    fn default() -> Self {
+        Self {
+            agents: Vec::new(),
+            log: Vec::new(),
+            cap: 10_000,
+        }
+    }
+}
+
+impl KnowledgeWeb {
+    /// Creates an empty web with the default propagation cap (10 000
+    /// deductions per publish).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the per-publish propagation cap.  The cap guards against
+    /// non-quiescent agent loops (agent A's reaction re-triggering agent B
+    /// forever).
+    pub fn set_propagation_cap(&mut self, cap: usize) {
+        self.cap = cap;
+    }
+
+    /// Attaches an agent.
+    pub fn attach(&mut self, agent: impl KnowledgeAgent + 'static) {
+        self.agents.push(Box::new(agent));
+    }
+
+    /// Number of attached agents.
+    #[must_use]
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Every deduction ever propagated through the web, oldest first.
+    #[must_use]
+    pub fn log(&self) -> &[Deduction] {
+        &self.log
+    }
+
+    /// Deductions on a given topic.
+    pub fn on_topic<'a>(&'a self, topic: &'a str) -> impl Iterator<Item = &'a Deduction> + 'a {
+        self.log.iter().filter(move |d| d.topic == topic)
+    }
+
+    /// Publishes a deduction and propagates it (and all follow-ons) to
+    /// quiescence, breadth-first.  A deduction is delivered to every agent
+    /// except its own producer.
+    pub fn publish(&mut self, seed: Deduction) -> PropagationOutcome {
+        let mut queue = VecDeque::new();
+        queue.push_back(seed);
+        let mut propagated = 0usize;
+        let mut truncated = false;
+
+        while let Some(d) = queue.pop_front() {
+            if propagated >= self.cap {
+                truncated = true;
+                break;
+            }
+            propagated += 1;
+            for agent in &mut self.agents {
+                if agent.name() == d.producer {
+                    continue;
+                }
+                for follow_on in agent.consider(&d) {
+                    queue.push_back(follow_on);
+                }
+            }
+            self.log.push(d);
+        }
+
+        PropagationOutcome {
+            propagated,
+            truncated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    /// A runtime detector that reports fault classes; on hearing about a
+    /// permanent fault it asks the model layer for adaptation.
+    struct RuntimeDetector;
+    impl KnowledgeAgent for RuntimeDetector {
+        fn name(&self) -> &str {
+            "runtime-detector"
+        }
+        fn layer(&self) -> Layer {
+            Layer::Runtime
+        }
+        fn consider(&mut self, _d: &Deduction) -> Vec<Deduction> {
+            Vec::new()
+        }
+    }
+
+    /// A model-layer agent that reacts to fault-model news by recording an
+    /// adaptation request (the §5 example flow).
+    struct ModelAgent {
+        adaptation_requests: usize,
+    }
+    impl KnowledgeAgent for ModelAgent {
+        fn name(&self) -> &str {
+            "model-agent"
+        }
+        fn layer(&self) -> Layer {
+            Layer::Model
+        }
+        fn consider(&mut self, d: &Deduction) -> Vec<Deduction> {
+            if d.topic == "fault-model" {
+                self.adaptation_requests += 1;
+                vec![Deduction::new(
+                    "model-agent",
+                    Layer::Model,
+                    "adaptation-request",
+                    Observation::new("pattern", "reconfiguration"),
+                    "fault model changed; requesting pattern rebinding",
+                )]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    fn fault_news() -> Deduction {
+        Deduction::new(
+            "runtime-detector",
+            Layer::Runtime,
+            "fault-model",
+            Observation::new("fault_class", "permanent"),
+            "alpha-count crossed threshold",
+        )
+    }
+
+    #[test]
+    fn publish_reaches_other_layers_and_propagates_follow_ons() {
+        let mut web = KnowledgeWeb::new();
+        web.attach(RuntimeDetector);
+        web.attach(ModelAgent {
+            adaptation_requests: 0,
+        });
+        let out = web.publish(fault_news());
+        assert_eq!(out.propagated, 2); // seed + model agent's follow-on
+        assert!(!out.truncated);
+        assert_eq!(web.log().len(), 2);
+        assert_eq!(web.on_topic("adaptation-request").count(), 1);
+        assert_eq!(web.on_topic("fault-model").count(), 1);
+    }
+
+    #[test]
+    fn producer_does_not_hear_itself() {
+        // An agent that would echo forever if it heard its own deductions.
+        struct Echo;
+        impl KnowledgeAgent for Echo {
+            fn name(&self) -> &str {
+                "echo"
+            }
+            fn layer(&self) -> Layer {
+                Layer::Deployment
+            }
+            fn consider(&mut self, d: &Deduction) -> Vec<Deduction> {
+                vec![Deduction::new(
+                    "echo",
+                    Layer::Deployment,
+                    d.topic.clone(),
+                    d.observation.clone(),
+                    "echoed",
+                )]
+            }
+        }
+        let mut web = KnowledgeWeb::new();
+        web.attach(Echo);
+        let out = web.publish(fault_news());
+        // seed delivered to echo -> echo emits one -> echo skips itself -> done
+        assert_eq!(out.propagated, 2);
+        assert!(!out.truncated);
+    }
+
+    #[test]
+    fn cap_stops_nonquiescent_loops() {
+        struct PingPong(&'static str);
+        impl KnowledgeAgent for PingPong {
+            fn name(&self) -> &str {
+                self.0
+            }
+            fn layer(&self) -> Layer {
+                Layer::Runtime
+            }
+            fn consider(&mut self, d: &Deduction) -> Vec<Deduction> {
+                vec![Deduction::new(
+                    self.0,
+                    Layer::Runtime,
+                    d.topic.clone(),
+                    d.observation.clone(),
+                    "ping",
+                )]
+            }
+        }
+        let mut web = KnowledgeWeb::new();
+        web.set_propagation_cap(50);
+        web.attach(PingPong("a"));
+        web.attach(PingPong("b"));
+        let out = web.publish(fault_news());
+        assert!(out.truncated);
+        assert_eq!(out.propagated, 50);
+    }
+
+    #[test]
+    fn empty_web_logs_seed_only() {
+        let mut web = KnowledgeWeb::new();
+        assert_eq!(web.agent_count(), 0);
+        let out = web.publish(fault_news());
+        assert_eq!(out.propagated, 1);
+        assert_eq!(web.log().len(), 1);
+    }
+
+    #[test]
+    fn layer_and_deduction_display() {
+        assert_eq!(Layer::Runtime.to_string(), "runtime");
+        assert_eq!(Layer::Compile.to_string(), "compile");
+        let d = fault_news();
+        let s = d.to_string();
+        assert!(s.contains("runtime-detector"));
+        assert!(s.contains("fault-model"));
+    }
+
+    #[test]
+    fn deduction_serde_roundtrip() {
+        let d = fault_news();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Deduction = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(back.observation.value, Value::Text("permanent".into()));
+    }
+
+    #[test]
+    fn web_debug_lists_agents() {
+        let mut web = KnowledgeWeb::new();
+        web.attach(RuntimeDetector);
+        assert!(format!("{web:?}").contains("runtime-detector"));
+    }
+}

@@ -1,0 +1,112 @@
+//! # afta-core — explicit, late-bound, runtime-monitored design assumptions
+//!
+//! This crate is the primary contribution of the AFTA reproduction: a
+//! framework that turns the *design assumptions* a software system rests on
+//! into first-class, inspectable, verifiable objects, following De Florio's
+//! DSN 2009 position paper "Software Assumptions Failure Tolerance: Role,
+//! Strategies, and Visions".
+//!
+//! The paper's thesis is that most design assumptions — about hardware
+//! failure semantics, third-party software, the execution environment, and
+//! the physical environment — end up "sifted off or hardwired in the
+//! executable code", and that three hazards follow:
+//!
+//! * the **Horning syndrome**: the environment does something the designer
+//!   never anticipated (Ariane 5's horizontal-velocity overflow);
+//! * the **Hidden Intelligence syndrome**: vital knowledge is concealed or
+//!   discarded while hiding complexity (the Ariane 4 range assumption that
+//!   was never recorded anywhere inspectable);
+//! * the **Boulding syndrome**: the system is designed with less
+//!   context-awareness than its environment demands (the Therac-25 as a
+//!   "clockwork" deployed where a self-monitoring "cell" was needed).
+//!
+//! The framework addresses them with four cooperating pieces:
+//!
+//! 1. [`Assumption`] — a named, documented hypothesis with an explicit
+//!    [`Expectation`] about a context *fact*, a [`BindingTime`], a
+//!    [`Provenance`] trail, and a [`Visibility`] (exposed vs. hardwired).
+//! 2. [`AssumptionRegistry`] — stores assumptions, ingests
+//!    [`Observation`]s from [`ContextProbe`]s, detects
+//!    assumption-versus-context **clashes**, diagnoses the syndromes, and
+//!    invokes registered adaptation handlers (turning a clash into a
+//!    recovery where possible).
+//! 3. [`AssumptionVar`] — the paper's *assumption variable*: a set of
+//!    design-time alternatives whose **binding is postponed** to compile,
+//!    deployment, or run time, selected by the §3.1 min-cost-among-tolerant
+//!    algorithm or by a custom [`Binder`].
+//! 4. [`KnowledgeWeb`] — the §5 vision: cooperating agents attached to the
+//!    model/compile/deployment/run-time layers that exchange deductions so
+//!    that "knowledge slipping from one layer is still caught in another".
+//!
+//! # Quickstart
+//!
+//! ```
+//! use afta_core::prelude::*;
+//!
+//! // Declare the (in)famous Ariane-4 assumption explicitly.
+//! let assumption = Assumption::builder("hvel-16bit")
+//!     .statement("horizontal velocity fits a 16-bit signed integer")
+//!     .kind(AssumptionKind::PhysicalEnvironment)
+//!     .expects("horizontal_velocity", Expectation::int_range(-32768, 32767))
+//!     .binding_time(BindingTime::DesignTime)
+//!     .origin("ariane4/flight-software")
+//!     .build();
+//!
+//! let mut registry = AssumptionRegistry::new();
+//! registry.register(assumption)?;
+//!
+//! // The run-time environment reports a context fact...
+//! let report = registry.observe(Observation::new("horizontal_velocity", 40_000i64));
+//!
+//! // ...and the clash is detected instead of exploding the rocket.
+//! assert_eq!(report.clashes.len(), 1);
+//! assert!(report.clashes[0].syndromes.contains(&Syndrome::Horning));
+//! # Ok::<(), afta_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assumption;
+pub mod binding;
+pub mod contract;
+pub mod error;
+pub mod knowledge;
+#[macro_use]
+pub mod macros;
+pub mod manifest;
+pub mod monitor;
+pub mod probe;
+pub mod registry;
+pub mod syndrome;
+pub mod value;
+
+pub use assumption::{
+    Assumption, AssumptionBuilder, AssumptionId, AssumptionKind, BindingTime, Criticality,
+    Provenance, Visibility,
+};
+pub use binding::{Alternative, Binder, AssumptionVar, BindingError, MinCostBinder};
+pub use contract::{Condition, Contract, ContractBuilder, ContractViolation, ViolationKind};
+pub use error::Error;
+pub use knowledge::{Deduction, KnowledgeAgent, KnowledgeWeb, Layer};
+pub use manifest::RegistryManifest;
+pub use monitor::{AssumptionMonitor, MonitorEvent, MonitorStats};
+pub use probe::{ContextProbe, FnProbe, ProbeSet};
+pub use registry::{AssumptionRegistry, Clash, ClashDisposition, ObservationReport};
+pub use syndrome::{BouldingCategory, Syndrome};
+pub use value::{Expectation, Observation, Value};
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::assumption::{
+        Assumption, AssumptionId, AssumptionKind, BindingTime, Criticality, Provenance,
+        Visibility,
+    };
+    pub use crate::binding::{Alternative, AssumptionVar, Binder, MinCostBinder};
+    pub use crate::contract::{Contract, ContractViolation};
+    pub use crate::knowledge::{Deduction, KnowledgeAgent, KnowledgeWeb, Layer};
+    pub use crate::probe::{ContextProbe, FnProbe, ProbeSet};
+    pub use crate::registry::{AssumptionRegistry, Clash, ClashDisposition};
+    pub use crate::syndrome::{BouldingCategory, Syndrome};
+    pub use crate::value::{Expectation, Observation, Value};
+}

@@ -1,0 +1,156 @@
+//! The `assumptions!` declaration macro.
+//!
+//! The paper's complaint is that assumptions are "either sifted off or
+//! hardwired in the executable code" because expressing them is tedious.
+//! [`assumptions!`](crate::assumptions) makes declaring a whole registry
+//! as cheap as writing
+//! the comment the assumption would otherwise hide in.
+
+/// Declares an [`AssumptionRegistry`](crate::AssumptionRegistry) from a
+/// list of assumption blocks.
+///
+/// Each block requires `id` and `expects`, in that order, followed by any
+/// of the optional fields `statement`, `kind`, `criticality`, `binding`,
+/// `origin`, `rationale`, `hardwired` — in the order shown below.
+/// Evaluates to `Result<AssumptionRegistry, Error>` (duplicate ids are
+/// reported, not panicked on).
+///
+/// ```
+/// use afta_core::{assumptions, Expectation};
+///
+/// let registry = afta_core::assumptions![
+///     {
+///         id: "hvel-16bit",
+///         expects: "horizontal_velocity" => Expectation::int_range(-32768, 32767),
+///         statement: "horizontal velocity fits a 16-bit signed integer",
+///         kind: PhysicalEnvironment,
+///         criticality: Catastrophic,
+///         origin: "ariane4/flight-software",
+///     },
+///     {
+///         id: "mem-cmos",
+///         expects: "memory_technology" => Expectation::equals("cmos"),
+///         binding: CompileTime,
+///         hardwired: true,
+///     },
+/// ]?;
+/// assert_eq!(registry.len(), 2);
+/// # Ok::<(), afta_core::Error>(())
+/// ```
+#[macro_export]
+macro_rules! assumptions {
+    (
+        $(
+            {
+                id: $id:expr,
+                expects: $fact:expr => $exp:expr
+                $(, statement: $stmt:expr)?
+                $(, kind: $kind:ident)?
+                $(, criticality: $crit:ident)?
+                $(, binding: $bind:ident)?
+                $(, origin: $origin:expr)?
+                $(, rationale: $rat:expr)?
+                $(, hardwired: $hw:expr)?
+                $(,)?
+            }
+        ),* $(,)?
+    ) => {{
+        let build = || -> ::std::result::Result<$crate::AssumptionRegistry, $crate::Error> {
+            let mut registry = $crate::AssumptionRegistry::new();
+            $(
+                {
+                    #[allow(unused_mut)]
+                    let mut builder = $crate::Assumption::builder($id).expects($fact, $exp);
+                    $( builder = builder.statement($stmt); )?
+                    $( builder = builder.kind($crate::AssumptionKind::$kind); )?
+                    $( builder = builder.criticality($crate::Criticality::$crit); )?
+                    $( builder = builder.binding_time($crate::BindingTime::$bind); )?
+                    $( builder = builder.origin($origin); )?
+                    $( builder = builder.rationale($rat); )?
+                    $(
+                        if $hw {
+                            builder = builder.hardwired();
+                        }
+                    )?
+                    registry.register(builder.build())?;
+                }
+            )*
+            Ok(registry)
+        };
+        build()
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn full_blocks_build_everything() {
+        let registry = crate::assumptions![
+            {
+                id: "hvel",
+                expects: "hvel" => Expectation::int_range(-32768, 32767),
+                statement: "velocity fits i16",
+                kind: PhysicalEnvironment,
+                criticality: Catastrophic,
+                binding: DesignTime,
+                origin: "ariane4",
+                rationale: "envelope",
+                hardwired: false,
+            },
+        ]
+        .unwrap();
+        let a = registry.assumption(&"hvel".into()).unwrap();
+        assert_eq!(a.kind(), AssumptionKind::PhysicalEnvironment);
+        assert_eq!(a.criticality(), Criticality::Catastrophic);
+        assert_eq!(a.provenance().origin, "ariane4");
+        assert_eq!(a.visibility(), Visibility::Exposed);
+    }
+
+    #[test]
+    fn minimal_blocks_use_defaults() {
+        let registry = crate::assumptions![
+            { id: "a", expects: "k" => Expectation::Present },
+            { id: "b", expects: "k2" => Expectation::equals(true), hardwired: true },
+        ]
+        .unwrap();
+        assert_eq!(registry.len(), 2);
+        assert_eq!(
+            registry.assumption(&"b".into()).unwrap().visibility(),
+            Visibility::Hardwired
+        );
+    }
+
+    #[test]
+    fn duplicate_ids_surface_as_errors() {
+        let result = crate::assumptions![
+            { id: "dup", expects: "k" => Expectation::Present },
+            { id: "dup", expects: "k" => Expectation::Present },
+        ];
+        assert!(matches!(result, Err(crate::Error::DuplicateAssumption(_))));
+    }
+
+    #[test]
+    fn works_in_function_scope_and_module_scope() {
+        // Function scope (this test); module scope is exercised by the
+        // doctest on the macro itself.
+        fn build() -> crate::AssumptionRegistry {
+            crate::assumptions![{ id: "x", expects: "k" => Expectation::Present }].unwrap()
+        }
+        assert_eq!(build().len(), 1);
+    }
+
+    #[test]
+    fn registry_behaves_normally_afterwards() {
+        let mut registry = crate::assumptions![
+            {
+                id: "temp",
+                expects: "temperature_c" => Expectation::int_range(-10, 40),
+            },
+        ]
+        .unwrap();
+        let report = registry.observe(Observation::new("temperature_c", 99i64));
+        assert_eq!(report.clashes.len(), 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Serialisable registry manifests.
+//!
+//! §4 of the paper discusses XML deployment descriptors whose purpose is
+//! to *expose* knowledge for machines to reason upon.  A
+//! [`RegistryManifest`] is that artefact for the assumption registry: a
+//! complete, serialisable snapshot of the declared assumptions, the
+//! observed facts, and the clash history — everything except the live
+//! adaptation handlers (code does not serialise).  Manifests travel
+//! between the development-time layers: a compile-time tool can emit
+//! one, a deployment-time tool can check it against the target, and a
+//! run-time monitor can re-import it.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::assumption::Assumption;
+use crate::error::Error;
+use crate::registry::{AssumptionRegistry, Clash};
+use crate::syndrome::BouldingCategory;
+use crate::value::Value;
+
+/// A serialisable snapshot of an [`AssumptionRegistry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RegistryManifest {
+    /// Every registered assumption, in id order.
+    pub assumptions: Vec<Assumption>,
+    /// The current fact base.
+    pub facts: BTreeMap<String, Value>,
+    /// The clash history, oldest first.
+    pub clashes: Vec<Clash>,
+    /// The declared environmental requirement.
+    pub required_category: BouldingCategory,
+}
+
+impl RegistryManifest {
+    /// Serialises to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if serialisation fails (practically
+    /// impossible for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a manifest from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl AssumptionRegistry {
+    /// Exports the registry's serialisable state.
+    #[must_use]
+    pub fn manifest(&self) -> RegistryManifest {
+        RegistryManifest {
+            assumptions: self.iter().cloned().collect(),
+            facts: self.facts_snapshot().collect(),
+            clashes: self.clash_log().to_vec(),
+            required_category: self.required_category(),
+        }
+    }
+
+    /// Reconstructs a registry from a manifest.  Adaptation handlers are
+    /// *not* part of a manifest and must be re-attached by the importing
+    /// layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DuplicateAssumption`] if the manifest contains two
+    /// assumptions with the same id.
+    pub fn from_manifest(manifest: RegistryManifest) -> Result<Self, Error> {
+        let mut registry = AssumptionRegistry::new();
+        registry.set_required_category(manifest.required_category);
+        for a in manifest.assumptions {
+            registry.register(a)?;
+        }
+        // Replay the facts (silently; historical clashes are restored
+        // verbatim below rather than re-derived).
+        for (key, value) in manifest.facts {
+            registry.restore_fact(key, value);
+        }
+        registry.restore_clash_log(manifest.clashes);
+        Ok(registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn populated() -> AssumptionRegistry {
+        let mut r = AssumptionRegistry::new();
+        r.set_required_category(BouldingCategory::Cell);
+        r.register(
+            Assumption::builder("hvel")
+                .statement("velocity fits i16")
+                .kind(AssumptionKind::PhysicalEnvironment)
+                .expects("hvel", Expectation::int_range(-32768, 32767))
+                .criticality(Criticality::Catastrophic)
+                .origin("ariane4")
+                .build(),
+        )
+        .unwrap();
+        r.register(
+            Assumption::builder("mem")
+                .expects("memory_technology", Expectation::equals("cmos"))
+                .hardwired()
+                .build(),
+        )
+        .unwrap();
+        r.observe(Observation::new("hvel", 40_000i64));
+        r.observe(Observation::new("memory_technology", "cmos"));
+        r.observe(Observation::new("unrelated_fact", true));
+        r
+    }
+
+    #[test]
+    fn manifest_captures_everything_serialisable() {
+        let r = populated();
+        let m = r.manifest();
+        assert_eq!(m.assumptions.len(), 2);
+        assert_eq!(m.clashes.len(), 1);
+        assert_eq!(m.required_category, BouldingCategory::Cell);
+        assert_eq!(m.facts.get("hvel"), Some(&Value::Int(40_000)));
+        assert_eq!(m.facts.get("unrelated_fact"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = populated().manifest();
+        let json = m.to_json().unwrap();
+        assert!(json.contains("hvel"));
+        assert!(json.contains("Horning"));
+        let back = RegistryManifest::from_json(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn registry_roundtrip_preserves_state() {
+        let original = populated();
+        let restored = AssumptionRegistry::from_manifest(original.manifest()).unwrap();
+        assert_eq!(restored.len(), original.len());
+        assert_eq!(restored.clash_log(), original.clash_log());
+        assert_eq!(restored.required_category(), original.required_category());
+        assert_eq!(restored.fact("hvel"), original.fact("hvel"));
+        // The restored registry verifies identically.
+        assert_eq!(restored.verify_all(), original.verify_all());
+        // Handlers are gone: the restored registry is a Clockwork until
+        // the importing layer re-attaches its machinery.
+        assert_eq!(restored.effective_category(), BouldingCategory::Clockwork);
+    }
+
+    #[test]
+    fn duplicate_ids_in_manifest_rejected() {
+        let mut m = populated().manifest();
+        let dup = m.assumptions[0].clone();
+        m.assumptions.push(dup);
+        assert!(matches!(
+            AssumptionRegistry::from_manifest(m),
+            Err(Error::DuplicateAssumption(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_json_is_error() {
+        assert!(RegistryManifest::from_json("{oops").is_err());
+    }
+
+    #[test]
+    fn empty_manifest_roundtrip() {
+        let m = RegistryManifest::default();
+        let r = AssumptionRegistry::from_manifest(m.clone()).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.manifest(), m);
+    }
+}

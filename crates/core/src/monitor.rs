@@ -1,0 +1,290 @@
+//! The continuous assumption monitor: the paper's "novel autonomic
+//! run-time executives that continuously verify those hypotheses and
+//! assumptions by matching them with endogenous knowledge deducted from
+//! the processing subsystems as well as exogenous knowledge derived from
+//! their execution and physical environments".
+//!
+//! [`AssumptionMonitor`] owns a registry and a probe set and polls them
+//! on a configurable cadence, emitting [`MonitorEvent`]s to an optional
+//! sink.  It is deliberately dependency-free (no event-bus coupling):
+//! embedders wire the sink to whatever middleware they use.
+
+use std::fmt;
+
+use crate::probe::ProbeSet;
+use crate::registry::{AssumptionRegistry, Clash};
+use crate::value::Observation;
+
+/// The sink callback type invoked on every [`MonitorEvent`].
+pub type EventSink = Box<dyn FnMut(&MonitorEvent) + Send>;
+
+/// An event emitted by the monitor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorEvent {
+    /// A polling cycle completed with every assumption satisfied.
+    CycleClean {
+        /// The cycle number (1-based).
+        cycle: u64,
+        /// Observations ingested this cycle.
+        observations: usize,
+    },
+    /// A clash was detected (one event per clash).
+    ClashDetected {
+        /// The cycle number.
+        cycle: u64,
+        /// The clash, including syndromes and disposition.
+        clash: Clash,
+    },
+}
+
+impl fmt::Display for MonitorEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorEvent::CycleClean {
+                cycle,
+                observations,
+            } => write!(f, "cycle {cycle}: clean ({observations} observations)"),
+            MonitorEvent::ClashDetected { cycle, clash } => {
+                write!(f, "cycle {cycle}: {clash}")
+            }
+        }
+    }
+}
+
+/// Aggregate statistics of a monitor's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MonitorStats {
+    /// Polling cycles run.
+    pub cycles: u64,
+    /// Total observations ingested.
+    pub observations: u64,
+    /// Total clashes detected.
+    pub clashes: u64,
+    /// Clashes whose adaptation handler recovered.
+    pub recovered: u64,
+}
+
+/// A polling executive over an [`AssumptionRegistry`] and a [`ProbeSet`].
+pub struct AssumptionMonitor {
+    registry: AssumptionRegistry,
+    probes: ProbeSet,
+    stats: MonitorStats,
+    sink: Option<EventSink>,
+}
+
+impl fmt::Debug for AssumptionMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AssumptionMonitor")
+            .field("registry", &self.registry)
+            .field("probes", &self.probes)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AssumptionMonitor {
+    /// Creates a monitor over a registry and probes.
+    #[must_use]
+    pub fn new(registry: AssumptionRegistry, probes: ProbeSet) -> Self {
+        Self {
+            registry,
+            probes,
+            stats: MonitorStats::default(),
+            sink: None,
+        }
+    }
+
+    /// Attaches an event sink (e.g. a bus publisher or a logger).
+    pub fn set_sink(&mut self, sink: impl FnMut(&MonitorEvent) + Send + 'static) {
+        self.sink = Some(Box::new(sink));
+    }
+
+    /// The monitored registry (for inspection or direct observation).
+    #[must_use]
+    pub fn registry(&self) -> &AssumptionRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the registry (to register more assumptions or
+    /// attach handlers after construction).
+    pub fn registry_mut(&mut self) -> &mut AssumptionRegistry {
+        &mut self.registry
+    }
+
+    /// Lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    fn emit(&mut self, event: MonitorEvent) -> MonitorEvent {
+        if let Some(sink) = &mut self.sink {
+            sink(&event);
+        }
+        event
+    }
+
+    /// Runs one polling cycle: snapshot every probe, feed the registry,
+    /// emit events.  Returns the events of this cycle.
+    pub fn poll(&mut self) -> Vec<MonitorEvent> {
+        self.stats.cycles += 1;
+        let cycle = self.stats.cycles;
+        let observations = self.probes.snapshot();
+        self.stats.observations += observations.len() as u64;
+        self.ingest(cycle, observations)
+    }
+
+    /// Feeds externally supplied observations (exogenous knowledge)
+    /// through the same event pipeline, outside the probe cadence.
+    pub fn observe(&mut self, observations: Vec<Observation>) -> Vec<MonitorEvent> {
+        self.stats.cycles += 1;
+        self.stats.observations += observations.len() as u64;
+        let cycle = self.stats.cycles;
+        self.ingest(cycle, observations)
+    }
+
+    fn ingest(&mut self, cycle: u64, observations: Vec<Observation>) -> Vec<MonitorEvent> {
+        let count = observations.len();
+        let report = self.registry.observe_all(observations);
+        let mut events = Vec::new();
+        if report.clashes.is_empty() {
+            events.push(self.emit(MonitorEvent::CycleClean {
+                cycle,
+                observations: count,
+            }));
+            return events;
+        }
+        for clash in report.clashes {
+            self.stats.clashes += 1;
+            if matches!(
+                clash.disposition,
+                crate::registry::ClashDisposition::Recovered(_)
+            ) {
+                self.stats.recovered += 1;
+            }
+            events.push(self.emit(MonitorEvent::ClashDetected { cycle, clash }));
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use std::sync::{Arc, Mutex};
+
+    fn registry() -> AssumptionRegistry {
+        let mut r = AssumptionRegistry::new();
+        r.register(
+            Assumption::builder("temp")
+                .expects("temperature_c", Expectation::int_range(-10, 40))
+                .build(),
+        )
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn clean_cycles_emit_clean_events() {
+        let probes = ProbeSet::new().with(FnProbe::new("thermo", || {
+            vec![Observation::new("temperature_c", 20i64)]
+        }));
+        let mut m = AssumptionMonitor::new(registry(), probes);
+        let events = m.poll();
+        assert_eq!(
+            events,
+            vec![MonitorEvent::CycleClean {
+                cycle: 1,
+                observations: 1
+            }]
+        );
+        assert_eq!(m.stats().cycles, 1);
+        assert_eq!(m.stats().clashes, 0);
+    }
+
+    #[test]
+    fn escalating_probe_produces_clash_events() {
+        let reading = Arc::new(Mutex::new(20i64));
+        let probe_reading = reading.clone();
+        let probes = ProbeSet::new().with(FnProbe::new("thermo", move || {
+            vec![Observation::new("temperature_c", *probe_reading.lock().unwrap())]
+        }));
+        let mut m = AssumptionMonitor::new(registry(), probes);
+
+        assert!(matches!(m.poll()[0], MonitorEvent::CycleClean { .. }));
+        *reading.lock().unwrap() = 120; // the environment heats up
+        let events = m.poll();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            MonitorEvent::ClashDetected { cycle, clash } => {
+                assert_eq!(*cycle, 2);
+                assert_eq!(clash.observed, Value::Int(120));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(m.stats().clashes, 1);
+        assert_eq!(m.stats().recovered, 0);
+    }
+
+    #[test]
+    fn sink_sees_every_event() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sink_log = log.clone();
+        let probes = ProbeSet::new().with(FnProbe::new("thermo", || {
+            vec![Observation::new("temperature_c", 99i64)]
+        }));
+        let mut m = AssumptionMonitor::new(registry(), probes);
+        m.set_sink(move |e| sink_log.lock().unwrap().push(e.to_string()));
+        m.poll();
+        m.poll();
+        let entries = log.lock().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].contains("cycle 1"));
+        assert!(entries[1].contains("cycle 2"));
+    }
+
+    #[test]
+    fn recovery_is_counted() {
+        let mut reg = registry();
+        reg.attach_handler("temp", Box::new(|_, _| Ok("throttled".into())))
+            .unwrap();
+        let probes = ProbeSet::new().with(FnProbe::new("thermo", || {
+            vec![Observation::new("temperature_c", 99i64)]
+        }));
+        let mut m = AssumptionMonitor::new(reg, probes);
+        m.poll();
+        assert_eq!(m.stats().clashes, 1);
+        assert_eq!(m.stats().recovered, 1);
+    }
+
+    #[test]
+    fn external_observations_share_the_pipeline() {
+        let mut m = AssumptionMonitor::new(registry(), ProbeSet::new());
+        let events = m.observe(vec![Observation::new("temperature_c", -40i64)]);
+        assert!(matches!(events[0], MonitorEvent::ClashDetected { .. }));
+        assert_eq!(m.stats().observations, 1);
+    }
+
+    #[test]
+    fn registry_mut_allows_late_registration() {
+        let mut m = AssumptionMonitor::new(AssumptionRegistry::new(), ProbeSet::new());
+        m.registry_mut()
+            .register(
+                Assumption::builder("late")
+                    .expects("k", Expectation::Present)
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(m.registry().len(), 1);
+    }
+
+    #[test]
+    fn event_display() {
+        let e = MonitorEvent::CycleClean {
+            cycle: 3,
+            observations: 2,
+        };
+        assert!(e.to_string().contains("clean"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Context probes: the introspection mechanisms the Therac-25 lacked.
+//!
+//! §2.2 observes that the Therac machines "were missing introspection
+//! mechanisms (for instance, self-tests) able to verify whether the target
+//! platform did include the expected mechanisms and behaviors".  A
+//! [`ContextProbe`] is such a self-test: it inspects some slice of the
+//! platform or environment and reports [`Observation`]s that the
+//! [`AssumptionRegistry`](crate::registry::AssumptionRegistry) matches
+//! against the registered assumptions.
+
+use std::fmt;
+
+use crate::value::Observation;
+
+/// A source of endogenous or exogenous knowledge about the current
+/// context.
+pub trait ContextProbe: Send {
+    /// A short name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Inspects the context and reports zero or more observations.
+    fn probe(&mut self) -> Vec<Observation>;
+}
+
+/// A probe built from a closure.
+///
+/// ```
+/// use afta_core::{ContextProbe, FnProbe, Observation};
+///
+/// let mut p = FnProbe::new("thermometer", || {
+///     vec![Observation::new("temperature_c", 21i64)]
+/// });
+/// assert_eq!(p.name(), "thermometer");
+/// assert_eq!(p.probe().len(), 1);
+/// ```
+pub struct FnProbe<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnProbe<F>
+where
+    F: FnMut() -> Vec<Observation> + Send,
+{
+    /// Creates a probe from a closure.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F> fmt::Debug for FnProbe<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnProbe")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F> ContextProbe for FnProbe<F>
+where
+    F: FnMut() -> Vec<Observation> + Send,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn probe(&mut self) -> Vec<Observation> {
+        (self.f)()
+    }
+}
+
+/// A collection of probes, run together to take a full context snapshot.
+#[derive(Default)]
+pub struct ProbeSet {
+    probes: Vec<Box<dyn ContextProbe>>,
+}
+
+impl fmt::Debug for ProbeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.probes.iter().map(|p| p.name()).collect();
+        f.debug_struct("ProbeSet").field("probes", &names).finish()
+    }
+}
+
+impl ProbeSet {
+    /// Creates an empty probe set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a probe (builder style).
+    #[must_use]
+    pub fn with(mut self, probe: impl ContextProbe + 'static) -> Self {
+        self.probes.push(Box::new(probe));
+        self
+    }
+
+    /// Adds a probe in place.
+    pub fn add(&mut self, probe: impl ContextProbe + 'static) {
+        self.probes.push(Box::new(probe));
+    }
+
+    /// Number of probes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// True when the set holds no probes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Runs every probe in registration order and concatenates their
+    /// observations.
+    pub fn snapshot(&mut self) -> Vec<Observation> {
+        let mut out = Vec::new();
+        for p in &mut self.probes {
+            out.extend(p.probe());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn fn_probe_reports() {
+        let mut calls = 0;
+        {
+            let mut p = FnProbe::new("counter", move || {
+                calls += 1;
+                vec![Observation::new("calls", calls)]
+            });
+            let o = p.probe();
+            assert_eq!(o[0].value, Value::Int(1));
+            let o = p.probe();
+            assert_eq!(o[0].value, Value::Int(2));
+        }
+    }
+
+    #[test]
+    fn probe_set_concatenates_in_order() {
+        let mut set = ProbeSet::new()
+            .with(FnProbe::new("a", || vec![Observation::new("x", 1i64)]))
+            .with(FnProbe::new("b", || {
+                vec![Observation::new("y", 2i64), Observation::new("z", 3i64)]
+            }));
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        let snap = set.snapshot();
+        let keys: Vec<&str> = snap.iter().map(|o| o.key.as_str()).collect();
+        assert_eq!(keys, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn empty_set_snapshot_is_empty() {
+        let mut set = ProbeSet::new();
+        assert!(set.is_empty());
+        assert!(set.snapshot().is_empty());
+    }
+
+    #[test]
+    fn add_in_place() {
+        let mut set = ProbeSet::new();
+        set.add(FnProbe::new("p", Vec::new));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let set = ProbeSet::new().with(FnProbe::new("spd-reader", Vec::new));
+        assert!(format!("{set:?}").contains("spd-reader"));
+        let p = FnProbe::new("x", Vec::new);
+        assert!(format!("{p:?}").contains('x'));
+    }
+
+    #[test]
+    fn probe_set_feeds_registry() {
+        use crate::prelude::*;
+        let mut reg = AssumptionRegistry::new();
+        reg.register(
+            Assumption::builder("temp-range")
+                .expects("temperature_c", Expectation::int_range(-10, 40))
+                .build(),
+        )
+        .unwrap();
+        let mut probes =
+            ProbeSet::new().with(FnProbe::new("thermo", || {
+                vec![Observation::new("temperature_c", 80i64)]
+            }));
+        let report = reg.observe_all(probes.snapshot());
+        assert_eq!(report.clashes.len(), 1);
+    }
+}

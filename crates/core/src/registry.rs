@@ -1,0 +1,666 @@
+//! The assumption registry: stores assumptions, ingests observations,
+//! detects clashes, diagnoses syndromes, and drives adaptation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::assumption::{Assumption, AssumptionId, Criticality, Visibility};
+use crate::error::Error;
+use crate::syndrome::{BouldingCategory, Syndrome};
+use crate::value::{Expectation, Observation, Value};
+
+/// What happened to a clash after detection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClashDisposition {
+    /// Nobody was prepared to react: the clash stands.
+    Unhandled,
+    /// An adaptation handler rebound the assumption / reconfigured the
+    /// system.  The note records what it did.
+    Recovered(String),
+    /// An adaptation handler ran but could not recover.  The note records
+    /// why.
+    RecoveryFailed(String),
+}
+
+impl fmt::Display for ClashDisposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClashDisposition::Unhandled => write!(f, "unhandled"),
+            ClashDisposition::Recovered(n) => write!(f, "recovered: {n}"),
+            ClashDisposition::RecoveryFailed(n) => write!(f, "recovery failed: {n}"),
+        }
+    }
+}
+
+/// An assumption-versus-context clash: the paper's "assumption failure".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clash {
+    /// The violated assumption.
+    pub assumption: AssumptionId,
+    /// The fact whose observed truth violated it.
+    pub fact_key: String,
+    /// What the assumption expected.
+    pub expected: Expectation,
+    /// What was actually observed.
+    pub observed: Value,
+    /// Severity inherited from the assumption.
+    pub criticality: Criticality,
+    /// The syndromes this clash exhibits.
+    pub syndromes: Vec<Syndrome>,
+    /// Whether adaptation handled it.
+    pub disposition: ClashDisposition,
+}
+
+impl fmt::Display for Clash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "clash on [{}]: expected {} {} but observed {} ({})",
+            self.assumption, self.fact_key, self.expected, self.observed, self.disposition
+        )
+    }
+}
+
+/// Result of feeding one observation into the registry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ObservationReport {
+    /// Assumptions (re-)confirmed by the observation.
+    pub satisfied: Vec<AssumptionId>,
+    /// Assumptions violated by the observation.
+    pub clashes: Vec<Clash>,
+}
+
+impl ObservationReport {
+    /// True if the observation violated no assumption.
+    #[must_use]
+    pub fn all_satisfied(&self) -> bool {
+        self.clashes.is_empty()
+    }
+
+    /// Clashes that remain unhandled or unrecovered.
+    pub fn unrecovered(&self) -> impl Iterator<Item = &Clash> {
+        self.clashes
+            .iter()
+            .filter(|c| !matches!(c.disposition, ClashDisposition::Recovered(_)))
+    }
+}
+
+/// An adaptation handler: the registry's hook for turning clashes into
+/// recoveries (the paper's "autonomic run-time executive").
+///
+/// Returns `Ok(note)` when the system was reconfigured to cope with the
+/// observed truth, `Err(note)` when it could not.
+pub type AdaptationHandler =
+    Box<dyn FnMut(&Assumption, &Value) -> Result<String, String> + Send>;
+
+/// Stores assumptions, matches them against observed context facts, and
+/// keeps the audit trail the paper finds missing in practice.
+///
+/// See the [crate-level documentation](crate) for a walkthrough.
+#[derive(Default)]
+pub struct AssumptionRegistry {
+    assumptions: BTreeMap<AssumptionId, Assumption>,
+    facts: BTreeMap<String, Value>,
+    handlers: BTreeMap<AssumptionId, AdaptationHandler>,
+    clash_log: Vec<Clash>,
+    required_category: BouldingCategory,
+}
+
+impl fmt::Debug for AssumptionRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AssumptionRegistry")
+            .field("assumptions", &self.assumptions.len())
+            .field("facts", &self.facts.len())
+            .field("handlers", &self.handlers.len())
+            .field("clash_log", &self.clash_log.len())
+            .field("required_category", &self.required_category)
+            .finish()
+    }
+}
+
+impl AssumptionRegistry {
+    /// Creates an empty registry.  The environment's required Boulding
+    /// category defaults to [`BouldingCategory::Clockwork`] (a benign,
+    /// static environment).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares how much context-awareness the target environment demands.
+    /// Clashes are co-diagnosed with [`Syndrome::Boulding`] when the
+    /// system's *effective* category falls short of this.
+    pub fn set_required_category(&mut self, required: BouldingCategory) {
+        self.required_category = required;
+    }
+
+    /// The declared environmental requirement.
+    #[must_use]
+    pub fn required_category(&self) -> BouldingCategory {
+        self.required_category
+    }
+
+    /// The system's effective Boulding category, deduced from its
+    /// adaptation machinery:
+    ///
+    /// * no handlers at all → [`BouldingCategory::Clockwork`] ("predetermined,
+    ///   necessary motions");
+    /// * some but not all assumptions covered → [`BouldingCategory::Thermostat`]
+    ///   (equilibrium maintenance "within limits");
+    /// * every registered assumption covered → [`BouldingCategory::Cell`]
+    ///   (open, self-maintaining structure).
+    #[must_use]
+    pub fn effective_category(&self) -> BouldingCategory {
+        if self.handlers.is_empty() {
+            BouldingCategory::Clockwork
+        } else if self
+            .assumptions
+            .keys()
+            .all(|id| self.handlers.contains_key(id))
+        {
+            BouldingCategory::Cell
+        } else {
+            BouldingCategory::Thermostat
+        }
+    }
+
+    /// Registers an assumption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DuplicateAssumption`] if the id is taken.
+    pub fn register(&mut self, a: Assumption) -> Result<(), Error> {
+        if self.assumptions.contains_key(a.id()) {
+            return Err(Error::DuplicateAssumption(a.id().clone()));
+        }
+        self.assumptions.insert(a.id().clone(), a);
+        Ok(())
+    }
+
+    /// Attaches an adaptation handler to an assumption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownAssumption`] if the id is not registered, or
+    /// [`Error::HandlerAlreadyAttached`] if a handler is already present.
+    pub fn attach_handler(
+        &mut self,
+        id: impl Into<AssumptionId>,
+        handler: AdaptationHandler,
+    ) -> Result<(), Error> {
+        let id = id.into();
+        if !self.assumptions.contains_key(&id) {
+            return Err(Error::UnknownAssumption(id));
+        }
+        if self.handlers.contains_key(&id) {
+            return Err(Error::HandlerAlreadyAttached(id));
+        }
+        self.handlers.insert(id, handler);
+        Ok(())
+    }
+
+    /// Detaches the adaptation handler from an assumption, returning
+    /// whether one was attached.  Detaching demotes the system's
+    /// effective Boulding category accordingly.
+    pub fn detach_handler(&mut self, id: &AssumptionId) -> bool {
+        self.handlers.remove(id).is_some()
+    }
+
+    /// Number of assumptions with adaptation handlers attached.
+    #[must_use]
+    pub fn handler_count(&self) -> usize {
+        self.handlers.len()
+    }
+
+    /// Looks up an assumption.
+    #[must_use]
+    pub fn assumption(&self, id: &AssumptionId) -> Option<&Assumption> {
+        self.assumptions.get(id)
+    }
+
+    /// Iterates over all registered assumptions in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Assumption> {
+        self.assumptions.values()
+    }
+
+    /// Number of registered assumptions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.assumptions.len()
+    }
+
+    /// True when no assumptions are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.assumptions.is_empty()
+    }
+
+    /// The current truth of a fact, if any observation reported it.
+    #[must_use]
+    pub fn fact(&self, key: &str) -> Option<&Value> {
+        self.facts.get(key)
+    }
+
+    /// All observed facts, in key order.
+    pub fn facts_snapshot(&self) -> impl Iterator<Item = (String, Value)> + '_ {
+        self.facts.iter().map(|(k, v)| (k.clone(), v.clone()))
+    }
+
+    /// Restores a fact without re-checking assumptions (manifest import).
+    pub(crate) fn restore_fact(&mut self, key: String, value: Value) {
+        self.facts.insert(key, value);
+    }
+
+    /// Restores a clash history verbatim (manifest import).
+    pub(crate) fn restore_clash_log(&mut self, clashes: Vec<Clash>) {
+        self.clash_log = clashes;
+    }
+
+    /// All recorded clashes, oldest first.
+    #[must_use]
+    pub fn clash_log(&self) -> &[Clash] {
+        &self.clash_log
+    }
+
+    /// Hardwired assumptions: latent Hidden Intelligence waiting to strike.
+    /// Auditing them is the §2.3 prescription ("mistakenly concealing or
+    /// discarding important knowledge").
+    pub fn hidden_intelligence_audit(&self) -> impl Iterator<Item = &Assumption> {
+        self.assumptions
+            .values()
+            .filter(|a| a.visibility() == Visibility::Hardwired)
+    }
+
+    /// Feeds one observation into the registry: updates the fact base,
+    /// re-checks every assumption constraining that fact, diagnoses
+    /// syndromes for each clash, and runs adaptation handlers.
+    pub fn observe(&mut self, obs: Observation) -> ObservationReport {
+        self.facts.insert(obs.key.clone(), obs.value.clone());
+        let mut report = ObservationReport::default();
+
+        // Collect affected ids first: handler invocation needs &mut self
+        // disjoint from the assumption map iteration.
+        let affected: Vec<AssumptionId> = self
+            .assumptions
+            .values()
+            .filter(|a| a.fact_key() == obs.key)
+            .map(|a| a.id().clone())
+            .collect();
+
+        let boulding_shortfall = !self
+            .effective_category()
+            .suffices_for(self.required_category);
+
+        for id in affected {
+            let a = &self.assumptions[&id];
+            if a.holds_for(&obs.value) {
+                report.satisfied.push(id);
+                continue;
+            }
+
+            let mut syndromes = vec![Syndrome::Horning];
+            if a.visibility() == Visibility::Hardwired {
+                syndromes.push(Syndrome::HiddenIntelligence);
+            }
+            if boulding_shortfall || !self.handlers.contains_key(&id) {
+                syndromes.push(Syndrome::Boulding);
+            }
+
+            let disposition = match self.handlers.get_mut(&id) {
+                None => ClashDisposition::Unhandled,
+                Some(h) => {
+                    let a = &self.assumptions[&id];
+                    match h(a, &obs.value) {
+                        Ok(note) => ClashDisposition::Recovered(note),
+                        Err(note) => ClashDisposition::RecoveryFailed(note),
+                    }
+                }
+            };
+
+            let a = &self.assumptions[&id];
+            let clash = Clash {
+                assumption: id,
+                fact_key: obs.key.clone(),
+                expected: a.expectation().clone(),
+                observed: obs.value.clone(),
+                criticality: a.criticality(),
+                syndromes,
+                disposition,
+            };
+            self.clash_log.push(clash.clone());
+            report.clashes.push(clash);
+        }
+        report
+    }
+
+    /// Runs every probe in a probe set and feeds all resulting
+    /// observations through [`AssumptionRegistry::observe`], returning the
+    /// concatenated reports.
+    pub fn observe_all(
+        &mut self,
+        observations: impl IntoIterator<Item = Observation>,
+    ) -> ObservationReport {
+        let mut total = ObservationReport::default();
+        for obs in observations {
+            let r = self.observe(obs);
+            total.satisfied.extend(r.satisfied);
+            total.clashes.extend(r.clashes);
+        }
+        total
+    }
+
+    /// Verifies every registered assumption against the *current* fact
+    /// base.  Facts never observed count as unverifiable and are returned
+    /// separately — an unknown truth is not (yet) a clash, but it is a gap.
+    #[must_use]
+    pub fn verify_all(&self) -> VerificationSummary {
+        let mut summary = VerificationSummary::default();
+        for a in self.assumptions.values() {
+            match self.facts.get(a.fact_key()) {
+                None => summary.unverifiable.push(a.id().clone()),
+                Some(v) if a.holds_for(v) => summary.holding.push(a.id().clone()),
+                Some(_) => summary.violated.push(a.id().clone()),
+            }
+        }
+        summary
+    }
+}
+
+/// Outcome of [`AssumptionRegistry::verify_all`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VerificationSummary {
+    /// Assumptions whose fact is known and satisfied.
+    pub holding: Vec<AssumptionId>,
+    /// Assumptions whose fact is known and violated.
+    pub violated: Vec<AssumptionId>,
+    /// Assumptions whose fact has never been observed.
+    pub unverifiable: Vec<AssumptionId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assumption::{AssumptionKind, BindingTime};
+
+    fn velocity_assumption() -> Assumption {
+        Assumption::builder("hvel")
+            .statement("horizontal velocity fits i16")
+            .kind(AssumptionKind::PhysicalEnvironment)
+            .expects("hvel", Expectation::int_range(-32768, 32767))
+            .criticality(Criticality::Catastrophic)
+            .build()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = AssumptionRegistry::new();
+        assert!(r.is_empty());
+        r.register(velocity_assumption()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.assumption(&"hvel".into()).is_some());
+        assert!(r.assumption(&"nope".into()).is_none());
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let mut r = AssumptionRegistry::new();
+        r.register(velocity_assumption()).unwrap();
+        assert_eq!(
+            r.register(velocity_assumption()),
+            Err(Error::DuplicateAssumption("hvel".into()))
+        );
+    }
+
+    #[test]
+    fn satisfying_observation_reports_satisfied() {
+        let mut r = AssumptionRegistry::new();
+        r.register(velocity_assumption()).unwrap();
+        let rep = r.observe(Observation::new("hvel", 1000i64));
+        assert!(rep.all_satisfied());
+        assert_eq!(rep.satisfied, vec![AssumptionId::new("hvel")]);
+        assert_eq!(r.fact("hvel"), Some(&Value::Int(1000)));
+    }
+
+    #[test]
+    fn clash_is_detected_and_logged() {
+        let mut r = AssumptionRegistry::new();
+        r.register(velocity_assumption()).unwrap();
+        let rep = r.observe(Observation::new("hvel", 40_000i64));
+        assert_eq!(rep.clashes.len(), 1);
+        let c = &rep.clashes[0];
+        assert_eq!(c.observed, Value::Int(40_000));
+        assert_eq!(c.criticality, Criticality::Catastrophic);
+        assert!(c.syndromes.contains(&Syndrome::Horning));
+        assert_eq!(c.disposition, ClashDisposition::Unhandled);
+        assert_eq!(r.clash_log().len(), 1);
+        assert_eq!(rep.unrecovered().count(), 1);
+    }
+
+    #[test]
+    fn hardwired_clash_adds_hidden_intelligence() {
+        let mut r = AssumptionRegistry::new();
+        r.register(
+            Assumption::builder("legacy")
+                .expects("k", Expectation::equals(1i64))
+                .hardwired()
+                .build(),
+        )
+        .unwrap();
+        let rep = r.observe(Observation::new("k", 2i64));
+        assert!(rep.clashes[0]
+            .syndromes
+            .contains(&Syndrome::HiddenIntelligence));
+    }
+
+    #[test]
+    fn exposed_clash_has_no_hidden_intelligence() {
+        let mut r = AssumptionRegistry::new();
+        r.register(velocity_assumption()).unwrap();
+        let rep = r.observe(Observation::new("hvel", 40_000i64));
+        assert!(!rep.clashes[0]
+            .syndromes
+            .contains(&Syndrome::HiddenIntelligence));
+    }
+
+    #[test]
+    fn handler_turns_clash_into_recovery() {
+        let mut r = AssumptionRegistry::new();
+        r.register(velocity_assumption()).unwrap();
+        r.attach_handler(
+            "hvel",
+            Box::new(|_, v| Ok(format!("re-bound range to cover {v}"))),
+        )
+        .unwrap();
+        let rep = r.observe(Observation::new("hvel", 40_000i64));
+        assert!(matches!(
+            rep.clashes[0].disposition,
+            ClashDisposition::Recovered(_)
+        ));
+        assert_eq!(rep.unrecovered().count(), 0);
+        // With handlers on every assumption the system is a Cell...
+        assert_eq!(r.effective_category(), BouldingCategory::Cell);
+        // ...so no Boulding co-diagnosis.
+        assert!(!rep.clashes[0].syndromes.contains(&Syndrome::Boulding));
+    }
+
+    #[test]
+    fn failed_recovery_is_reported() {
+        let mut r = AssumptionRegistry::new();
+        r.register(velocity_assumption()).unwrap();
+        r.attach_handler("hvel", Box::new(|_, _| Err("no spare range".into())))
+            .unwrap();
+        let rep = r.observe(Observation::new("hvel", 40_000i64));
+        assert!(matches!(
+            rep.clashes[0].disposition,
+            ClashDisposition::RecoveryFailed(_)
+        ));
+        assert_eq!(rep.unrecovered().count(), 1);
+    }
+
+    #[test]
+    fn handler_errors() {
+        let mut r = AssumptionRegistry::new();
+        assert_eq!(
+            r.attach_handler("ghost", Box::new(|_, _| Ok(String::new())))
+                .unwrap_err(),
+            Error::UnknownAssumption("ghost".into())
+        );
+        r.register(velocity_assumption()).unwrap();
+        r.attach_handler("hvel", Box::new(|_, _| Ok(String::new())))
+            .unwrap();
+        assert_eq!(
+            r.attach_handler("hvel", Box::new(|_, _| Ok(String::new())))
+                .unwrap_err(),
+            Error::HandlerAlreadyAttached("hvel".into())
+        );
+    }
+
+    #[test]
+    fn detach_handler_demotes_category() {
+        let mut r = AssumptionRegistry::new();
+        r.register(velocity_assumption()).unwrap();
+        r.attach_handler("hvel", Box::new(|_, _| Ok(String::new())))
+            .unwrap();
+        assert_eq!(r.handler_count(), 1);
+        assert_eq!(r.effective_category(), BouldingCategory::Cell);
+        assert!(r.detach_handler(&"hvel".into()));
+        assert!(!r.detach_handler(&"hvel".into()));
+        assert_eq!(r.handler_count(), 0);
+        assert_eq!(r.effective_category(), BouldingCategory::Clockwork);
+        // The handler slot is free again.
+        r.attach_handler("hvel", Box::new(|_, _| Ok(String::new())))
+            .unwrap();
+    }
+
+    #[test]
+    fn boulding_diagnosis_without_handler() {
+        let mut r = AssumptionRegistry::new();
+        r.set_required_category(BouldingCategory::Cell);
+        assert_eq!(r.required_category(), BouldingCategory::Cell);
+        r.register(velocity_assumption()).unwrap();
+        assert_eq!(r.effective_category(), BouldingCategory::Clockwork);
+        let rep = r.observe(Observation::new("hvel", 40_000i64));
+        assert!(rep.clashes[0].syndromes.contains(&Syndrome::Boulding));
+    }
+
+    #[test]
+    fn effective_category_progression() {
+        let mut r = AssumptionRegistry::new();
+        r.register(velocity_assumption()).unwrap();
+        r.register(
+            Assumption::builder("other")
+                .expects("o", Expectation::Present)
+                .build(),
+        )
+        .unwrap();
+        assert_eq!(r.effective_category(), BouldingCategory::Clockwork);
+        r.attach_handler("hvel", Box::new(|_, _| Ok(String::new())))
+            .unwrap();
+        assert_eq!(r.effective_category(), BouldingCategory::Thermostat);
+        r.attach_handler("other", Box::new(|_, _| Ok(String::new())))
+            .unwrap();
+        assert_eq!(r.effective_category(), BouldingCategory::Cell);
+    }
+
+    #[test]
+    fn observe_all_concatenates() {
+        let mut r = AssumptionRegistry::new();
+        r.register(velocity_assumption()).unwrap();
+        let rep = r.observe_all(vec![
+            Observation::new("hvel", 10i64),
+            Observation::new("hvel", 40_000i64),
+            Observation::new("unrelated", true),
+        ]);
+        assert_eq!(rep.satisfied.len(), 1);
+        assert_eq!(rep.clashes.len(), 1);
+    }
+
+    #[test]
+    fn verify_all_three_way_split() {
+        let mut r = AssumptionRegistry::new();
+        r.register(velocity_assumption()).unwrap();
+        r.register(
+            Assumption::builder("never-observed")
+                .expects("ghost_fact", Expectation::Present)
+                .build(),
+        )
+        .unwrap();
+        r.observe(Observation::new("hvel", 5i64));
+        let s = r.verify_all();
+        assert_eq!(s.holding, vec![AssumptionId::new("hvel")]);
+        assert!(s.violated.is_empty());
+        assert_eq!(s.unverifiable, vec![AssumptionId::new("never-observed")]);
+
+        r.observe(Observation::new("hvel", 99_999i64));
+        let s = r.verify_all();
+        assert_eq!(s.violated, vec![AssumptionId::new("hvel")]);
+    }
+
+    #[test]
+    fn audit_lists_hardwired_only() {
+        let mut r = AssumptionRegistry::new();
+        r.register(velocity_assumption()).unwrap();
+        r.register(
+            Assumption::builder("legacy")
+                .expects("k", Expectation::Present)
+                .hardwired()
+                .build(),
+        )
+        .unwrap();
+        let audited: Vec<_> = r
+            .hidden_intelligence_audit()
+            .map(|a| a.id().clone())
+            .collect();
+        assert_eq!(audited, vec![AssumptionId::new("legacy")]);
+    }
+
+    #[test]
+    fn unrelated_fact_touches_nothing() {
+        let mut r = AssumptionRegistry::new();
+        r.register(velocity_assumption()).unwrap();
+        let rep = r.observe(Observation::new("temperature", 20i64));
+        assert!(rep.satisfied.is_empty());
+        assert!(rep.clashes.is_empty());
+        assert_eq!(r.fact("temperature"), Some(&Value::Int(20)));
+    }
+
+    #[test]
+    fn clash_and_disposition_display() {
+        let mut r = AssumptionRegistry::new();
+        r.register(velocity_assumption()).unwrap();
+        let rep = r.observe(Observation::new("hvel", 40_000i64));
+        let s = rep.clashes[0].to_string();
+        assert!(s.contains("hvel"));
+        assert!(s.contains("40000"));
+        assert!(ClashDisposition::Recovered("x".into())
+            .to_string()
+            .contains("recovered"));
+        assert!(ClashDisposition::RecoveryFailed("y".into())
+            .to_string()
+            .contains("failed"));
+    }
+
+    #[test]
+    fn debug_impl_summarizes() {
+        let r = AssumptionRegistry::new();
+        let dbg = format!("{r:?}");
+        assert!(dbg.contains("AssumptionRegistry"));
+    }
+
+    #[test]
+    fn binding_time_recorded() {
+        // Regression guard: registering doesn't mutate the assumption.
+        let mut r = AssumptionRegistry::new();
+        let a = Assumption::builder("x")
+            .expects("k", Expectation::Present)
+            .binding_time(BindingTime::RunTime)
+            .build();
+        r.register(a).unwrap();
+        assert_eq!(
+            r.assumption(&"x".into()).unwrap().binding_time(),
+            BindingTime::RunTime
+        );
+    }
+}

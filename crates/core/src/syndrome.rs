@@ -1,0 +1,199 @@
+//! The three hazards of software development (paper §2) and Boulding's
+//! classification of systems (§2.2, §3.3, §6).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the paper's three assumption-failure hazards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Syndrome {
+    /// **S_H** — "the environment will do something the designer never
+    /// anticipated" (Horning): an assumption about the physical environment
+    /// or platform clashes with a real-life fact.
+    Horning,
+    /// **S_HI** — vital knowledge was concealed or discarded for the sake
+    /// of hiding complexity, so the clash could not be inspected, verified,
+    /// or maintained.
+    HiddenIntelligence,
+    /// **S_B** — the system's Boulding category (its degree of
+    /// context-awareness) is below what its operational environment
+    /// actually requires.
+    Boulding,
+}
+
+impl fmt::Display for Syndrome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Syndrome::Horning => write!(f, "Horning syndrome (S_H)"),
+            Syndrome::HiddenIntelligence => write!(f, "Hidden Intelligence syndrome (S_HI)"),
+            Syndrome::Boulding => write!(f, "Boulding syndrome (S_B)"),
+        }
+    }
+}
+
+/// Kenneth Boulding's hierarchy of system complexity (1956), as used by the
+/// paper to grade a software system's context-awareness.
+///
+/// The paper names five levels explicitly: *Clockworks* and *Thermostats*
+/// (the "naivest classes", closed-world, change-blind), *Cells* and
+/// *Plants* (open, self-maintaining — what the §3.3 autonomic scheme
+/// achieves), and *Beings* (fully autonomically resilient, the vision of
+/// §6).  The enum carries the full nine-level skeleton so the ordering is
+/// meaningful.
+///
+/// ```
+/// use afta_core::BouldingCategory;
+/// assert!(BouldingCategory::Clockwork < BouldingCategory::Cell);
+/// assert!(BouldingCategory::Thermostat.is_closed_world());
+/// assert!(!BouldingCategory::Plant.is_closed_world());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum BouldingCategory {
+    /// Level 1 — static structure: frameworks.
+    Framework,
+    /// Level 2 — "simple dynamic system with predetermined, necessary
+    /// motions": the paper's first "sitting duck" category.
+    #[default]
+    Clockwork,
+    /// Level 3 — "control mechanisms in which the system will move to the
+    /// maintenance of any given equilibrium, within limits".
+    Thermostat,
+    /// Level 4 — open, self-maintaining structures: the first rung of
+    /// context-aware software.
+    Cell,
+    /// Level 5 — genetic-societal level: division of labour among parts.
+    Plant,
+    /// Level 6 — mobility, teleological behaviour, self-awareness of a
+    /// rudimentary kind.
+    Animal,
+    /// Level 7 — self-consciousness: Boulding's "human" level; the paper's
+    /// "Beings" (fully autonomically resilient software).
+    Being,
+    /// Level 8 — social organisations.
+    SocialOrganization,
+    /// Level 9 — transcendental systems.
+    Transcendental,
+}
+
+impl BouldingCategory {
+    /// Numeric level in Boulding's hierarchy (1-based).
+    #[must_use]
+    pub fn level(self) -> u8 {
+        match self {
+            BouldingCategory::Framework => 1,
+            BouldingCategory::Clockwork => 2,
+            BouldingCategory::Thermostat => 3,
+            BouldingCategory::Cell => 4,
+            BouldingCategory::Plant => 5,
+            BouldingCategory::Animal => 6,
+            BouldingCategory::Being => 7,
+            BouldingCategory::SocialOrganization => 8,
+            BouldingCategory::Transcendental => 9,
+        }
+    }
+
+    /// Whether this category is one of the paper's closed-world "sitting
+    /// duck" classes (Framework, Clockwork, Thermostat).
+    #[must_use]
+    pub fn is_closed_world(self) -> bool {
+        self <= BouldingCategory::Thermostat
+    }
+
+    /// Whether a system of this category suffices for an environment that
+    /// demands `required` awareness.  A mismatch is a [`Syndrome::Boulding`]
+    /// hazard.
+    #[must_use]
+    pub fn suffices_for(self, required: BouldingCategory) -> bool {
+        self >= required
+    }
+}
+
+impl fmt::Display for BouldingCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BouldingCategory::Framework => "Framework",
+            BouldingCategory::Clockwork => "Clockwork",
+            BouldingCategory::Thermostat => "Thermostat",
+            BouldingCategory::Cell => "Cell",
+            BouldingCategory::Plant => "Plant",
+            BouldingCategory::Animal => "Animal",
+            BouldingCategory::Being => "Being",
+            BouldingCategory::SocialOrganization => "Social organization",
+            BouldingCategory::Transcendental => "Transcendental",
+        };
+        write!(f, "{name} (level {})", self.level())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_levels() {
+        let all = [
+            BouldingCategory::Framework,
+            BouldingCategory::Clockwork,
+            BouldingCategory::Thermostat,
+            BouldingCategory::Cell,
+            BouldingCategory::Plant,
+            BouldingCategory::Animal,
+            BouldingCategory::Being,
+            BouldingCategory::SocialOrganization,
+            BouldingCategory::Transcendental,
+        ];
+        for w in all.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].level() < w[1].level());
+        }
+        assert_eq!(all[0].level(), 1);
+        assert_eq!(all[8].level(), 9);
+    }
+
+    #[test]
+    fn closed_world_split() {
+        assert!(BouldingCategory::Framework.is_closed_world());
+        assert!(BouldingCategory::Clockwork.is_closed_world());
+        assert!(BouldingCategory::Thermostat.is_closed_world());
+        assert!(!BouldingCategory::Cell.is_closed_world());
+        assert!(!BouldingCategory::Being.is_closed_world());
+    }
+
+    #[test]
+    fn sufficiency() {
+        // The Therac-25 case: a Clockwork deployed where a Cell was needed.
+        assert!(!BouldingCategory::Clockwork.suffices_for(BouldingCategory::Cell));
+        assert!(BouldingCategory::Plant.suffices_for(BouldingCategory::Cell));
+        assert!(BouldingCategory::Cell.suffices_for(BouldingCategory::Cell));
+    }
+
+    #[test]
+    fn default_is_clockwork() {
+        // Absent any declaration, software is presumed a closed-world
+        // clockwork — the paper's diagnosis of current practice.
+        assert_eq!(BouldingCategory::default(), BouldingCategory::Clockwork);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            BouldingCategory::Thermostat.to_string(),
+            "Thermostat (level 3)"
+        );
+        assert!(Syndrome::Horning.to_string().contains("S_H"));
+        assert!(Syndrome::HiddenIntelligence.to_string().contains("S_HI"));
+        assert!(Syndrome::Boulding.to_string().contains("S_B"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = BouldingCategory::Plant;
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<BouldingCategory>(&json).unwrap(), c);
+        let s = Syndrome::Boulding;
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<Syndrome>(&json).unwrap(), s);
+    }
+}

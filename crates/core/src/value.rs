@@ -1,0 +1,478 @@
+//! Context facts, observed values, and the expectations assumptions place
+//! on them.
+//!
+//! The paper formalises an assumption failure as a clash between an
+//! assumption *f* ("horizontal velocity can be represented by a short
+//! integer") and the bold-face truth **f** ("horizontal velocity is now
+//! *n*", with *n* out of range).  [`Value`] is the truth side,
+//! [`Expectation`] is the assumption side, and [`Expectation::admits`]
+//! decides whether they clash.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dynamically typed context value: the current truth of a fact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A boolean fact, e.g. "ECC is present".
+    Bool(bool),
+    /// An integer fact, e.g. a velocity or a replica count.
+    Int(i64),
+    /// A floating-point fact, e.g. a failure rate.
+    Float(f64),
+    /// A textual fact, e.g. a memory technology name.
+    Text(String),
+}
+
+impl Value {
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload; integers are widened to floats.
+    #[must_use]
+    pub fn as_float(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::Int(i) => Some(i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`Value::Bool`].
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the text payload, if this is a [`Value::Text`].
+    #[must_use]
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+/// What an assumption expects of a context fact.
+///
+/// ```
+/// use afta_core::{Expectation, Value};
+/// let e = Expectation::int_range(-32768, 32767);
+/// assert!(e.admits(&Value::Int(1000)));
+/// assert!(!e.admits(&Value::Int(40_000)));   // the Ariane-5 clash
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expectation {
+    /// The fact must equal this value exactly.
+    Equals(Value),
+    /// The fact must differ from this value.
+    NotEquals(Value),
+    /// An integer fact must lie in `[min, max]` (inclusive).
+    IntRange {
+        /// Inclusive lower bound.
+        min: i64,
+        /// Inclusive upper bound.
+        max: i64,
+    },
+    /// A numeric fact must lie in `[min, max]` (inclusive).
+    FloatRange {
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// The fact must be one of the listed values.
+    OneOf(Vec<Value>),
+    /// The fact must be a numeric value at most `max`.
+    AtMost(f64),
+    /// The fact must be a numeric value at least `min`.
+    AtLeast(f64),
+    /// The fact must merely be *known* (present), whatever its value.
+    Present,
+    /// Every sub-expectation must admit the value (conjunction).
+    AllOf(Vec<Expectation>),
+    /// At least one sub-expectation must admit the value (disjunction).
+    AnyOf(Vec<Expectation>),
+    /// The sub-expectation must reject the value (negation).
+    Not(Box<Expectation>),
+}
+
+impl Expectation {
+    /// Shorthand for [`Expectation::IntRange`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    #[must_use]
+    pub fn int_range(min: i64, max: i64) -> Self {
+        assert!(min <= max, "int_range requires min <= max");
+        Expectation::IntRange { min, max }
+    }
+
+    /// Shorthand for [`Expectation::FloatRange`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or either bound is NaN.
+    #[must_use]
+    pub fn float_range(min: f64, max: f64) -> Self {
+        assert!(!min.is_nan() && !max.is_nan(), "bounds must not be NaN");
+        assert!(min <= max, "float_range requires min <= max");
+        Expectation::FloatRange { min, max }
+    }
+
+    /// Shorthand for [`Expectation::Equals`].
+    pub fn equals(v: impl Into<Value>) -> Self {
+        Expectation::Equals(v.into())
+    }
+
+    /// Does the observed value satisfy this expectation?
+    ///
+    /// A type mismatch (e.g. expecting an int range but observing text) is
+    /// treated as *not admitted*: an assumption about a fact of the wrong
+    /// shape is exactly the kind of latent clash the framework must flag.
+    #[must_use]
+    pub fn admits(&self, observed: &Value) -> bool {
+        match self {
+            Expectation::Equals(v) => observed == v,
+            Expectation::NotEquals(v) => observed != v,
+            Expectation::IntRange { min, max } => observed
+                .as_int()
+                .is_some_and(|i| i >= *min && i <= *max),
+            Expectation::FloatRange { min, max } => observed
+                .as_float()
+                .is_some_and(|f| f >= *min && f <= *max),
+            Expectation::OneOf(vs) => vs.contains(observed),
+            Expectation::AtMost(max) => observed.as_float().is_some_and(|f| f <= *max),
+            Expectation::AtLeast(min) => observed.as_float().is_some_and(|f| f >= *min),
+            Expectation::Present => true,
+            Expectation::AllOf(es) => es.iter().all(|e| e.admits(observed)),
+            Expectation::AnyOf(es) => es.iter().any(|e| e.admits(observed)),
+            Expectation::Not(e) => !e.admits(observed),
+        }
+    }
+
+    /// Conjunction of `self` and `other`.
+    #[must_use]
+    pub fn and(self, other: Expectation) -> Self {
+        match self {
+            Expectation::AllOf(mut es) => {
+                es.push(other);
+                Expectation::AllOf(es)
+            }
+            first => Expectation::AllOf(vec![first, other]),
+        }
+    }
+
+    /// Disjunction of `self` and `other`.
+    #[must_use]
+    pub fn or(self, other: Expectation) -> Self {
+        match self {
+            Expectation::AnyOf(mut es) => {
+                es.push(other);
+                Expectation::AnyOf(es)
+            }
+            first => Expectation::AnyOf(vec![first, other]),
+        }
+    }
+
+    /// Negation of `self`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Expectation::Not(Box::new(self))
+    }
+}
+
+impl fmt::Display for Expectation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expectation::Equals(v) => write!(f, "= {v}"),
+            Expectation::NotEquals(v) => write!(f, "!= {v}"),
+            Expectation::IntRange { min, max } => write!(f, "in [{min}, {max}]"),
+            Expectation::FloatRange { min, max } => write!(f, "in [{min}, {max}]"),
+            Expectation::OneOf(vs) => {
+                write!(f, "one of {{")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Expectation::AtMost(x) => write!(f, "<= {x}"),
+            Expectation::AtLeast(x) => write!(f, ">= {x}"),
+            Expectation::Present => write!(f, "present"),
+            Expectation::AllOf(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expectation::AnyOf(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " or ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expectation::Not(e) => write!(f, "not {e}"),
+        }
+    }
+}
+
+/// A single observed context fact: key plus current truth.
+///
+/// Observations are produced by [`crate::probe::ContextProbe`]s (endogenous
+/// knowledge) or fed in directly by the embedding system (exogenous
+/// knowledge) and consumed by
+/// [`AssumptionRegistry::observe`](crate::registry::AssumptionRegistry::observe).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The fact key, e.g. `"horizontal_velocity"`.
+    pub key: String,
+    /// The observed truth.
+    pub value: Value,
+}
+
+impl Observation {
+    /// Creates an observation for fact `key` with value `value`.
+    pub fn new(key: impl Into<String>, value: impl Into<Value>) -> Self {
+        Self {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+}
+
+impl fmt::Display for Observation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.key, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Bool(true).as_int(), None);
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(Value::Int(1).as_text(), None);
+    }
+
+    #[test]
+    fn value_from_impls() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3u32), Value::Int(3));
+        assert_eq!(Value::from(1.5), Value::Float(1.5));
+        assert_eq!(Value::from("hi"), Value::Text("hi".into()));
+    }
+
+    #[test]
+    fn int_range_admits() {
+        let e = Expectation::int_range(-32768, 32767);
+        assert!(e.admits(&Value::Int(-32768)));
+        assert!(e.admits(&Value::Int(32767)));
+        assert!(!e.admits(&Value::Int(32768)));
+        assert!(!e.admits(&Value::Int(-32769)));
+        // Type mismatch is a clash.
+        assert!(!e.admits(&Value::Text("fast".into())));
+        assert!(!e.admits(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn float_range_widens_ints() {
+        let e = Expectation::float_range(0.0, 1.0);
+        assert!(e.admits(&Value::Int(0)));
+        assert!(e.admits(&Value::Int(1)));
+        assert!(e.admits(&Value::Float(0.5)));
+        assert!(!e.admits(&Value::Int(2)));
+        assert!(!e.admits(&Value::Float(f64::NAN)));
+    }
+
+    #[test]
+    fn equals_and_not_equals() {
+        assert!(Expectation::equals("sdram").admits(&Value::Text("sdram".into())));
+        assert!(!Expectation::equals("sdram").admits(&Value::Text("cmos".into())));
+        assert!(Expectation::NotEquals(Value::Bool(false)).admits(&Value::Bool(true)));
+        assert!(!Expectation::NotEquals(Value::Bool(false)).admits(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn one_of() {
+        let e = Expectation::OneOf(vec![Value::Int(3), Value::Int(5)]);
+        assert!(e.admits(&Value::Int(3)));
+        assert!(!e.admits(&Value::Int(4)));
+    }
+
+    #[test]
+    fn at_most_at_least() {
+        assert!(Expectation::AtMost(3.0).admits(&Value::Int(3)));
+        assert!(!Expectation::AtMost(3.0).admits(&Value::Float(3.1)));
+        assert!(Expectation::AtLeast(3.0).admits(&Value::Float(3.0)));
+        assert!(!Expectation::AtLeast(3.0).admits(&Value::Int(2)));
+        // Non-numeric values never satisfy numeric expectations.
+        assert!(!Expectation::AtMost(3.0).admits(&Value::Text("x".into())));
+    }
+
+    #[test]
+    fn combinators_compose() {
+        // "In the Ariane-4 envelope OR flagged as wide-range mode."
+        let e = Expectation::int_range(-32768, 32767)
+            .or(Expectation::equals("wide-range"));
+        assert!(e.admits(&Value::Int(100)));
+        assert!(e.admits(&Value::Text("wide-range".into())));
+        assert!(!e.admits(&Value::Int(40_000)));
+
+        // Conjunction narrows: in [0, 100] AND not 13.
+        let e = Expectation::int_range(0, 100).and(Expectation::equals(13i64).not());
+        assert!(e.admits(&Value::Int(12)));
+        assert!(!e.admits(&Value::Int(13)));
+        assert!(!e.admits(&Value::Int(101)));
+
+        // Chaining keeps flattening into the same conjunction.
+        let e = Expectation::AtLeast(0.0)
+            .and(Expectation::AtMost(10.0))
+            .and(Expectation::equals(5i64).not());
+        assert!(matches!(&e, Expectation::AllOf(es) if es.len() == 3));
+        assert!(e.admits(&Value::Int(4)));
+        assert!(!e.admits(&Value::Int(5)));
+
+        let e = Expectation::equals(1i64)
+            .or(Expectation::equals(2i64))
+            .or(Expectation::equals(3i64));
+        assert!(matches!(&e, Expectation::AnyOf(es) if es.len() == 3));
+        assert!(e.admits(&Value::Int(3)));
+        assert!(!e.admits(&Value::Int(4)));
+    }
+
+    #[test]
+    fn combinator_displays() {
+        let e = Expectation::int_range(0, 9).and(Expectation::Present);
+        assert_eq!(e.to_string(), "(in [0, 9] and present)");
+        let e = Expectation::equals(1i64).or(Expectation::equals(2i64));
+        assert_eq!(e.to_string(), "(= 1 or = 2)");
+        assert_eq!(Expectation::Present.not().to_string(), "not present");
+    }
+
+    #[test]
+    fn combinators_roundtrip_serde() {
+        let e = Expectation::int_range(0, 9)
+            .and(Expectation::equals(5i64).not())
+            .or(Expectation::equals("special"));
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Expectation = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn present_admits_anything() {
+        assert!(Expectation::Present.admits(&Value::Bool(false)));
+        assert!(Expectation::Present.admits(&Value::Text("whatever".into())));
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= max")]
+    fn int_range_validates_bounds() {
+        let _ = Expectation::int_range(5, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn float_range_rejects_nan() {
+        let _ = Expectation::float_range(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(Expectation::int_range(0, 9).to_string(), "in [0, 9]");
+        assert_eq!(Expectation::equals(true).to_string(), "= true");
+        assert_eq!(
+            Expectation::OneOf(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "one of {1, 2}"
+        );
+        assert_eq!(Observation::new("k", 3i64).to_string(), "k = 3");
+        assert_eq!(Value::Text("a".into()).to_string(), "\"a\"");
+    }
+
+    #[test]
+    fn observation_roundtrips_serde() {
+        let o = Observation::new("horizontal_velocity", 40_000i64);
+        let json = serde_json::to_string(&o).unwrap();
+        let back: Observation = serde_json::from_str(&json).unwrap();
+        assert_eq!(o, back);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests on the core assumption framework.
+
+use afta_core::prelude::*;
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e9f64..1e9).prop_map(Value::Float),
+        "[a-z]{0,8}".prop_map(Value::Text),
+    ]
+}
+
+proptest! {
+    /// De Morgan-ish laws for expectation combinators: `not(any) ==
+    /// all(not)` and vice versa, pointwise on arbitrary values.
+    #[test]
+    fn combinator_duality(
+        a in -100i64..100,
+        b in -100i64..100,
+        observed in value_strategy(),
+    ) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let e1 = Expectation::int_range(lo, hi);
+        let e2 = Expectation::equals(a);
+        let any = e1.clone().or(e2.clone());
+        let not_any = any.not();
+        let all_not = e1.not().and(e2.not());
+        prop_assert_eq!(not_any.admits(&observed), all_not.admits(&observed));
+    }
+
+    /// Double negation is the identity, pointwise.
+    #[test]
+    fn double_negation(x in -1000i64..1000, observed in value_strategy()) {
+        let e = Expectation::AtMost(x as f64);
+        prop_assert_eq!(e.clone().not().not().admits(&observed), e.admits(&observed));
+    }
+
+    /// Registry bookkeeping: after any interleaving of observations, the
+    /// clash log length equals the total clashes reported, and verify_all
+    /// partitions the assumptions exactly.
+    #[test]
+    fn registry_accounting(
+        observations in proptest::collection::vec((0usize..4, -50i64..50), 0..60),
+    ) {
+        let mut registry = AssumptionRegistry::new();
+        let keys = ["k0", "k1", "k2", "k3"];
+        for (i, key) in keys.iter().enumerate() {
+            registry
+                .register(
+                    Assumption::builder(format!("a{i}"))
+                        .expects(*key, Expectation::int_range(0, 25))
+                        .build(),
+                )
+                .unwrap();
+        }
+        let mut reported = 0usize;
+        for (ki, v) in observations {
+            let report = registry.observe(Observation::new(keys[ki], v));
+            reported += report.clashes.len();
+            prop_assert!(report.satisfied.len() + report.clashes.len() <= 1);
+        }
+        prop_assert_eq!(registry.clash_log().len(), reported);
+        let summary = registry.verify_all();
+        prop_assert_eq!(
+            summary.holding.len() + summary.violated.len() + summary.unverifiable.len(),
+            registry.len()
+        );
+    }
+
+    /// Manifest roundtrip preserves assumptions, facts, and clash history
+    /// for arbitrary observation sequences.
+    #[test]
+    fn manifest_roundtrip(
+        observations in proptest::collection::vec(-50i64..50, 0..30),
+    ) {
+        let mut registry = AssumptionRegistry::new();
+        registry
+            .register(
+                Assumption::builder("bounded")
+                    .expects("x", Expectation::int_range(0, 10))
+                    .build(),
+            )
+            .unwrap();
+        for v in observations {
+            registry.observe(Observation::new("x", v));
+        }
+        let manifest = registry.manifest();
+        let restored = AssumptionRegistry::from_manifest(manifest.clone()).unwrap();
+        prop_assert_eq!(restored.manifest(), manifest);
+    }
+
+    /// Min-cost binding is optimal and stable: the chosen alternative
+    /// tolerates the behaviour and no tolerant alternative is cheaper.
+    #[test]
+    fn min_cost_binding_optimality(
+        costs in proptest::collection::vec(0.0f64..100.0, 1..10),
+        tolerance_mask in proptest::collection::vec(any::<bool>(), 10),
+    ) {
+        let mut var = AssumptionVar::new("v", BindingTime::RunTime);
+        for (i, &cost) in costs.iter().enumerate() {
+            let tolerates: Vec<&str> = if tolerance_mask[i] { vec!["b"] } else { vec![] };
+            var.push(Alternative::new(format!("alt{i}"), i, tolerates, cost));
+        }
+        let any_tolerant = costs.iter().enumerate().any(|(i, _)| tolerance_mask[i]);
+        match var.bind("b", &MinCostBinder) {
+            Ok(&chosen) => {
+                prop_assert!(tolerance_mask[chosen]);
+                for (i, &cost) in costs.iter().enumerate() {
+                    if tolerance_mask[i] {
+                        prop_assert!(cost >= costs[chosen]);
+                    }
+                }
+            }
+            Err(_) => prop_assert!(!any_tolerant),
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Graph export and integrity reporting.
+//!
+//! A reflective architecture is only useful if its meta-structure can be
+//! *inspected* — the whole point of the paper's campaign against hidden
+//! intelligence.  [`ComponentGraph::to_dot`] renders the running
+//! architecture in Graphviz DOT for humans; [`GraphStats`] summarises it
+//! for dashboards and tests.
+
+use std::fmt::Write as _;
+
+use crate::graph::{ComponentGraph, ComponentId};
+
+/// Structural summary of a component graph.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GraphStats {
+    /// Number of components.
+    pub components: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Components with no predecessors (entry points).
+    pub sources: usize,
+    /// Components with no successors (sinks).
+    pub sinks: usize,
+    /// Length of the longest path (in edges); 0 for graphs without edges.
+    pub depth: usize,
+}
+
+impl ComponentGraph {
+    /// Computes structural statistics.
+    #[must_use]
+    pub fn stats(&self) -> GraphStats {
+        let order = self.topological_order();
+        let mut depth_of: std::collections::BTreeMap<&ComponentId, usize> =
+            order.iter().map(|c| (c, 0)).collect();
+        let mut max_depth = 0;
+        // Longest path via the topological order.
+        for id in &order {
+            let d = depth_of[id];
+            for succ in self.successors(id) {
+                let entry = depth_of.get_mut(succ).expect("succ in order");
+                if d + 1 > *entry {
+                    *entry = d + 1;
+                    max_depth = max_depth.max(d + 1);
+                }
+            }
+        }
+        let sources = order
+            .iter()
+            .filter(|id| self.predecessors(id).next().is_none())
+            .count();
+        let sinks = order
+            .iter()
+            .filter(|id| self.successors(id).next().is_none())
+            .count();
+        GraphStats {
+            components: self.len(),
+            edges: self.edge_count(),
+            sources,
+            sinks,
+            depth: max_depth,
+        }
+    }
+
+    /// Renders the graph in Graphviz DOT syntax.  Component kinds become
+    /// node labels; metadata is ignored (DOT stays readable).
+    #[must_use]
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {:?} {{", name);
+        let _ = writeln!(out, "    rankdir=LR;");
+        for c in self.components() {
+            let _ = writeln!(
+                out,
+                "    {:?} [label=\"{}\\n[{}]\"];",
+                c.id.as_str(),
+                c.id,
+                c.kind
+            );
+        }
+        for (a, b) in self.edges() {
+            let _ = writeln!(out, "    {:?} -> {:?};", a.as_str(), b.as_str());
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Component;
+    use crate::reflective::fig3_snapshots;
+
+    #[test]
+    fn stats_of_fig3_snapshots() {
+        let (d1, d2) = fig3_snapshots();
+        let s1 = d1.stats();
+        assert_eq!(s1.components, 4);
+        assert_eq!(s1.edges, 3);
+        assert_eq!(s1.sources, 1); // c1
+        assert_eq!(s1.sinks, 1); // c4
+        assert_eq!(s1.depth, 3); // c1 -> c2 -> c3 -> c4
+
+        let s2 = d2.stats();
+        assert_eq!(s2.components, 5);
+        assert_eq!(s2.edges, 4);
+        assert_eq!(s2.sinks, 2); // c3.2 and c4
+        assert_eq!(s2.depth, 3); // c1 -> c2 -> c3.1 -> {c3.2, c4}
+    }
+
+    #[test]
+    fn stats_of_empty_and_disconnected() {
+        let empty = ComponentGraph::new();
+        assert_eq!(empty.stats(), GraphStats::default());
+
+        let mut g = ComponentGraph::new();
+        g.add(Component::new("a", "x")).unwrap();
+        g.add(Component::new("b", "x")).unwrap();
+        let s = g.stats();
+        assert_eq!(s.components, 2);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.sources, 2);
+        assert_eq!(s.sinks, 2);
+        assert_eq!(s.depth, 0);
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let (d1, _) = fig3_snapshots();
+        let dot = d1.to_dot("D1");
+        assert!(dot.starts_with("digraph \"D1\" {"));
+        assert!(dot.contains("\"c3\" [label=\"c3\\n[redoing]\"];"));
+        assert!(dot.contains("\"c2\" -> \"c3\";"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_of_empty_graph_is_valid() {
+        let dot = ComponentGraph::new().to_dot("empty");
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("rankdir"));
+    }
+}

@@ -1,0 +1,548 @@
+//! The component graph: a directed acyclic meta-structure describing a
+//! software architecture.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a component within a graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ComponentId(pub String);
+
+impl ComponentId {
+    /// Creates an id.
+    pub fn new(id: impl Into<String>) -> Self {
+        Self(id.into())
+    }
+
+    /// The id as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for ComponentId {
+    fn from(s: &str) -> Self {
+        Self(s.to_owned())
+    }
+}
+impl From<String> for ComponentId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// A component node: an id, a kind tag, and free-form metadata
+/// (deployment descriptors, §4's "exposed knowledge").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Component {
+    /// The component's id.
+    pub id: ComponentId,
+    /// Kind tag, e.g. `"service"`, `"watchdog"`, `"voter"`.
+    pub kind: String,
+    /// Arbitrary key/value annotations.
+    pub metadata: BTreeMap<String, String>,
+}
+
+impl Component {
+    /// Creates a component with no metadata.
+    pub fn new(id: impl Into<ComponentId>, kind: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            kind: kind.into(),
+            metadata: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a metadata annotation (builder style).
+    #[must_use]
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.metadata.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// Errors from graph mutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A component with this id already exists.
+    DuplicateComponent(ComponentId),
+    /// No component with this id exists.
+    UnknownComponent(ComponentId),
+    /// The edge already exists.
+    DuplicateEdge(ComponentId, ComponentId),
+    /// The edge does not exist.
+    UnknownEdge(ComponentId, ComponentId),
+    /// Adding the edge would create a cycle — the structure must remain a
+    /// DAG.
+    WouldCreateCycle(ComponentId, ComponentId),
+    /// Self-loops are never allowed.
+    SelfLoop(ComponentId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateComponent(c) => write!(f, "component {c} already exists"),
+            GraphError::UnknownComponent(c) => write!(f, "unknown component {c}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "edge {a} -> {b} already exists"),
+            GraphError::UnknownEdge(a, b) => write!(f, "edge {a} -> {b} does not exist"),
+            GraphError::WouldCreateCycle(a, b) => {
+                write!(f, "edge {a} -> {b} would create a cycle")
+            }
+            GraphError::SelfLoop(c) => write!(f, "self-loop on {c} not allowed"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A directed acyclic graph of components.
+///
+/// The graph enforces acyclicity on every [`ComponentGraph::connect`], so
+/// a stored snapshot is a valid architecture by construction.
+///
+/// ```
+/// use afta_dag::{Component, ComponentGraph};
+///
+/// let mut g = ComponentGraph::new();
+/// g.add(Component::new("c1", "service"))?;
+/// g.add(Component::new("c2", "service"))?;
+/// g.connect("c1", "c2")?;
+/// assert!(g.connect("c2", "c1").is_err()); // cycle rejected
+/// # Ok::<(), afta_dag::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ComponentGraph {
+    components: BTreeMap<ComponentId, Component>,
+    edges: BTreeSet<(ComponentId, ComponentId)>,
+}
+
+impl ComponentGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the graph has no components.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a component.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateComponent`] when the id is taken.
+    pub fn add(&mut self, c: Component) -> Result<(), GraphError> {
+        if self.components.contains_key(&c.id) {
+            return Err(GraphError::DuplicateComponent(c.id));
+        }
+        self.components.insert(c.id.clone(), c);
+        Ok(())
+    }
+
+    /// Removes a component and every edge touching it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownComponent`] when absent.
+    pub fn remove(&mut self, id: impl Into<ComponentId>) -> Result<Component, GraphError> {
+        let id = id.into();
+        let c = self
+            .components
+            .remove(&id)
+            .ok_or_else(|| GraphError::UnknownComponent(id.clone()))?;
+        self.edges.retain(|(a, b)| a != &id && b != &id);
+        Ok(c)
+    }
+
+    /// Looks up a component.
+    #[must_use]
+    pub fn get(&self, id: &ComponentId) -> Option<&Component> {
+        self.components.get(id)
+    }
+
+    /// Whether the component exists.
+    #[must_use]
+    pub fn contains(&self, id: &ComponentId) -> bool {
+        self.components.contains_key(id)
+    }
+
+    /// Iterates over components in id order.
+    pub fn components(&self) -> impl Iterator<Item = &Component> {
+        self.components.values()
+    }
+
+    /// Iterates over edges in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (&ComponentId, &ComponentId)> {
+        self.edges.iter().map(|(a, b)| (a, b))
+    }
+
+    /// Connects `from -> to`, preserving acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown endpoints, duplicates, self-loops, or
+    /// edges that would close a cycle.
+    pub fn connect(
+        &mut self,
+        from: impl Into<ComponentId>,
+        to: impl Into<ComponentId>,
+    ) -> Result<(), GraphError> {
+        let from = from.into();
+        let to = to.into();
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        if !self.components.contains_key(&from) {
+            return Err(GraphError::UnknownComponent(from));
+        }
+        if !self.components.contains_key(&to) {
+            return Err(GraphError::UnknownComponent(to));
+        }
+        if self.edges.contains(&(from.clone(), to.clone())) {
+            return Err(GraphError::DuplicateEdge(from, to));
+        }
+        // A cycle appears iff `from` is reachable from `to`.
+        if self.reaches(&to, &from) {
+            return Err(GraphError::WouldCreateCycle(from, to));
+        }
+        self.edges.insert((from, to));
+        Ok(())
+    }
+
+    /// Removes the edge `from -> to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownEdge`] when absent.
+    pub fn disconnect(
+        &mut self,
+        from: impl Into<ComponentId>,
+        to: impl Into<ComponentId>,
+    ) -> Result<(), GraphError> {
+        let key = (from.into(), to.into());
+        if !self.edges.remove(&key) {
+            return Err(GraphError::UnknownEdge(key.0, key.1));
+        }
+        Ok(())
+    }
+
+    /// Direct successors of a component.
+    pub fn successors<'a>(
+        &'a self,
+        id: &'a ComponentId,
+    ) -> impl Iterator<Item = &'a ComponentId> + 'a {
+        self.edges
+            .iter()
+            .filter(move |(a, _)| a == id)
+            .map(|(_, b)| b)
+    }
+
+    /// Direct predecessors of a component.
+    pub fn predecessors<'a>(
+        &'a self,
+        id: &'a ComponentId,
+    ) -> impl Iterator<Item = &'a ComponentId> + 'a {
+        self.edges
+            .iter()
+            .filter(move |(_, b)| b == id)
+            .map(|(a, _)| a)
+    }
+
+    /// BFS reachability from `src` to `dst`.
+    fn reaches(&self, src: &ComponentId, dst: &ComponentId) -> bool {
+        if src == dst {
+            return true;
+        }
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(src.clone());
+        while let Some(cur) = queue.pop_front() {
+            for next in self.successors(&cur) {
+                if next == dst {
+                    return true;
+                }
+                if seen.insert(next.clone()) {
+                    queue.push_back(next.clone());
+                }
+            }
+        }
+        false
+    }
+
+    /// A topological ordering of the components (Kahn's algorithm).
+    /// Always succeeds thanks to the acyclicity invariant.
+    #[must_use]
+    pub fn topological_order(&self) -> Vec<ComponentId> {
+        let mut in_degree: BTreeMap<&ComponentId, usize> =
+            self.components.keys().map(|k| (k, 0)).collect();
+        for (_, to) in &self.edges {
+            *in_degree.get_mut(to).expect("edge endpoints exist") += 1;
+        }
+        let mut ready: VecDeque<&ComponentId> = in_degree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&k, _)| k)
+            .collect();
+        let mut order = Vec::with_capacity(self.components.len());
+        while let Some(cur) = ready.pop_front() {
+            order.push(cur.clone());
+            for next in self.successors(cur) {
+                let d = in_degree.get_mut(next).expect("edge endpoints exist");
+                *d -= 1;
+                if *d == 0 {
+                    ready.push_back(next);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.components.len(), "graph must be acyclic");
+        order
+    }
+}
+
+/// The difference between two graphs, as component/edge additions and
+/// removals (what an injection will do).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GraphDiff {
+    /// Components present in `to` but not in `from`.
+    pub added_components: Vec<ComponentId>,
+    /// Components present in `from` but not in `to`.
+    pub removed_components: Vec<ComponentId>,
+    /// Edges present in `to` but not in `from`.
+    pub added_edges: Vec<(ComponentId, ComponentId)>,
+    /// Edges present in `from` but not in `to`.
+    pub removed_edges: Vec<(ComponentId, ComponentId)>,
+}
+
+impl GraphDiff {
+    /// Computes the diff from `from` to `to`.
+    #[must_use]
+    pub fn between(from: &ComponentGraph, to: &ComponentGraph) -> Self {
+        let mut diff = GraphDiff::default();
+        for c in to.components() {
+            if !from.contains(&c.id) {
+                diff.added_components.push(c.id.clone());
+            }
+        }
+        for c in from.components() {
+            if !to.contains(&c.id) {
+                diff.removed_components.push(c.id.clone());
+            }
+        }
+        for (a, b) in to.edges() {
+            if !from.edges.contains(&(a.clone(), b.clone())) {
+                diff.added_edges.push((a.clone(), b.clone()));
+            }
+        }
+        for (a, b) in from.edges() {
+            if !to.edges.contains(&(a.clone(), b.clone())) {
+                diff.removed_edges.push((a.clone(), b.clone()));
+            }
+        }
+        diff
+    }
+
+    /// True when the two graphs are structurally identical.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.added_components.is_empty()
+            && self.removed_components.is_empty()
+            && self.added_edges.is_empty()
+            && self.removed_edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> ComponentGraph {
+        let mut g = ComponentGraph::new();
+        for i in 0..n {
+            g.add(Component::new(format!("c{i}"), "service")).unwrap();
+        }
+        for i in 1..n {
+            g.connect(format!("c{}", i - 1), format!("c{i}")).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut g = ComponentGraph::new();
+        assert!(g.is_empty());
+        g.add(Component::new("a", "svc").with_meta("ver", "1")).unwrap();
+        assert_eq!(g.len(), 1);
+        let c = g.get(&"a".into()).unwrap();
+        assert_eq!(c.kind, "svc");
+        assert_eq!(c.metadata["ver"], "1");
+        assert!(g.contains(&"a".into()));
+        assert!(!g.contains(&"b".into()));
+    }
+
+    #[test]
+    fn duplicate_component_rejected() {
+        let mut g = ComponentGraph::new();
+        g.add(Component::new("a", "x")).unwrap();
+        assert_eq!(
+            g.add(Component::new("a", "y")),
+            Err(GraphError::DuplicateComponent("a".into()))
+        );
+    }
+
+    #[test]
+    fn connect_and_neighbors() {
+        let g = chain(3);
+        assert_eq!(g.edge_count(), 2);
+        let c1: ComponentId = "c1".into();
+        let succ: Vec<&ComponentId> = g.successors(&c1).collect();
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].as_str(), "c2");
+        let pred: Vec<&ComponentId> = g.predecessors(&c1).collect();
+        assert_eq!(pred[0].as_str(), "c0");
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = chain(3);
+        assert_eq!(
+            g.connect("c2", "c0"),
+            Err(GraphError::WouldCreateCycle("c2".into(), "c0".into()))
+        );
+        // Direct back-edge too.
+        assert!(g.connect("c1", "c0").is_err());
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = chain(1);
+        assert_eq!(
+            g.connect("c0", "c0"),
+            Err(GraphError::SelfLoop("c0".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_endpoints_rejected() {
+        let mut g = chain(2);
+        assert_eq!(
+            g.connect("c0", "ghost"),
+            Err(GraphError::UnknownComponent("ghost".into()))
+        );
+        assert_eq!(
+            g.connect("ghost", "c0"),
+            Err(GraphError::UnknownComponent("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut g = chain(2);
+        assert_eq!(
+            g.connect("c0", "c1"),
+            Err(GraphError::DuplicateEdge("c0".into(), "c1".into()))
+        );
+    }
+
+    #[test]
+    fn disconnect() {
+        let mut g = chain(2);
+        g.disconnect("c0", "c1").unwrap();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(
+            g.disconnect("c0", "c1"),
+            Err(GraphError::UnknownEdge("c0".into(), "c1".into()))
+        );
+        // After removal the reverse edge is legal.
+        g.connect("c1", "c0").unwrap();
+    }
+
+    #[test]
+    fn remove_cascades_edges() {
+        let mut g = chain(3);
+        let removed = g.remove("c1").unwrap();
+        assert_eq!(removed.id.as_str(), "c1");
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(
+            g.remove("c1"),
+            Err(GraphError::UnknownComponent("c1".into()))
+        );
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let mut g = chain(4);
+        g.add(Component::new("side", "svc")).unwrap();
+        g.connect("side", "c2").unwrap();
+        let order = g.topological_order();
+        assert_eq!(order.len(), 5);
+        let pos =
+            |id: &str| order.iter().position(|c| c.as_str() == id).unwrap();
+        assert!(pos("c0") < pos("c1"));
+        assert!(pos("c1") < pos("c2"));
+        assert!(pos("side") < pos("c2"));
+    }
+
+    #[test]
+    fn diff_detects_changes() {
+        let d1 = chain(3);
+        let mut d2 = d1.clone();
+        // The paper's Fig. 3: replace c2 with a primary/secondary pair.
+        d2.remove("c2").unwrap();
+        d2.add(Component::new("c2.1", "primary")).unwrap();
+        d2.add(Component::new("c2.2", "secondary")).unwrap();
+        d2.connect("c1", "c2.1").unwrap();
+        d2.connect("c2.1", "c2.2").unwrap();
+
+        let diff = GraphDiff::between(&d1, &d2);
+        assert_eq!(diff.removed_components, vec![ComponentId::new("c2")]);
+        assert_eq!(diff.added_components.len(), 2);
+        assert_eq!(diff.removed_edges, vec![("c1".into(), "c2".into())]);
+        assert_eq!(diff.added_edges.len(), 2);
+        assert!(!diff.is_empty());
+        assert!(GraphDiff::between(&d1, &d1).is_empty());
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(GraphError::WouldCreateCycle("a".into(), "b".into())
+            .to_string()
+            .contains("cycle"));
+        assert!(GraphError::SelfLoop("a".into())
+            .to_string()
+            .contains("self-loop"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = chain(3);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: ComponentGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,29 @@
+//! # afta-dag — the reflective architecture meta-structure
+//!
+//! §3.2 of the paper assumes "that the software architecture can be
+//! adapted by changing a reflective meta-structure in the form of a
+//! directed acyclic graph (DAG)", citing the ACCADA middleware.  This
+//! crate is that meta-structure:
+//!
+//! * [`ComponentGraph`] — a DAG of [`Component`]s with enforced
+//!   acyclicity, neighbour queries, topological ordering, and structural
+//!   diffing;
+//! * [`ReflectiveArchitecture`] — named snapshots (`D1`, `D2`, ...) plus
+//!   runtime [`ReflectiveArchitecture::inject`], which reshapes the
+//!   running architecture and records the audit trail;
+//! * [`fig3_snapshots`] — the paper's Fig. 3 example pair: a *redoing*
+//!   component versus a primary/secondary *reconfiguration* scheme.
+//!
+//! The adaptive fault-tolerance manager in `afta-ftpatterns` drives
+//! injections from alpha-count verdicts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod graph;
+pub mod reflective;
+
+pub use export::GraphStats;
+pub use graph::{Component, ComponentGraph, ComponentId, GraphDiff, GraphError};
+pub use reflective::{fig3_snapshots, InjectionRecord, ReflectiveArchitecture, ReflectiveError};

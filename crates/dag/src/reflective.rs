@@ -1,0 +1,287 @@
+//! The reflective meta-structure: named snapshots and runtime injection.
+//!
+//! §3.2: "we assume that the software architecture can be adapted by
+//! changing a reflective meta-structure in the form of a directed acyclic
+//! graph (DAG). [...] The corresponding DAG snapshots are stored in data
+//! structures `D1` and `D2`.  [...] Depending on the assessment of the
+//! Alpha-count oracle, either `D1` or `D2` are injected on the reflective
+//! DAG.  This has the effect of reshaping the software architecture."
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::graph::{ComponentGraph, GraphDiff};
+
+/// Errors from the reflective layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReflectiveError {
+    /// No snapshot stored under this label.
+    UnknownSnapshot(String),
+    /// A snapshot with this label already exists.
+    DuplicateSnapshot(String),
+}
+
+impl fmt::Display for ReflectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReflectiveError::UnknownSnapshot(l) => write!(f, "unknown snapshot {l:?}"),
+            ReflectiveError::DuplicateSnapshot(l) => {
+                write!(f, "snapshot {l:?} already stored")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReflectiveError {}
+
+/// One entry in the injection audit trail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionRecord {
+    /// The label injected.
+    pub label: String,
+    /// The structural change it caused.
+    pub diff: GraphDiff,
+}
+
+/// A running architecture whose structure can be reshaped at run time by
+/// injecting stored snapshots.
+///
+/// ```
+/// use afta_dag::{Component, ComponentGraph, ReflectiveArchitecture};
+///
+/// let mut d1 = ComponentGraph::new();
+/// d1.add(Component::new("c3", "redoing"))?;
+/// let mut d2 = ComponentGraph::new();
+/// d2.add(Component::new("c3.1", "primary"))?;
+/// d2.add(Component::new("c3.2", "secondary"))?;
+/// d2.connect("c3.1", "c3.2")?;
+///
+/// let mut arch = ReflectiveArchitecture::new(d1);
+/// arch.store_snapshot("D2", d2).unwrap();
+/// let diff = arch.inject("D2").unwrap();
+/// assert_eq!(diff.removed_components.len(), 1); // c3 replaced
+/// assert_eq!(arch.current().len(), 2);
+/// # Ok::<(), afta_dag::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReflectiveArchitecture {
+    current: ComponentGraph,
+    snapshots: BTreeMap<String, ComponentGraph>,
+    history: Vec<InjectionRecord>,
+}
+
+impl ReflectiveArchitecture {
+    /// Creates an architecture running `initial`.
+    #[must_use]
+    pub fn new(initial: ComponentGraph) -> Self {
+        Self {
+            current: initial,
+            snapshots: BTreeMap::new(),
+            history: Vec::new(),
+        }
+    }
+
+    /// The architecture as currently running.
+    #[must_use]
+    pub fn current(&self) -> &ComponentGraph {
+        &self.current
+    }
+
+    /// Stores a snapshot under `label` (e.g. `"D1"`, `"D2"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReflectiveError::DuplicateSnapshot`] when the label is
+    /// taken.
+    pub fn store_snapshot(
+        &mut self,
+        label: impl Into<String>,
+        graph: ComponentGraph,
+    ) -> Result<(), ReflectiveError> {
+        let label = label.into();
+        if self.snapshots.contains_key(&label) {
+            return Err(ReflectiveError::DuplicateSnapshot(label));
+        }
+        self.snapshots.insert(label, graph);
+        Ok(())
+    }
+
+    /// Stores the *current* architecture as a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReflectiveError::DuplicateSnapshot`] when the label is
+    /// taken.
+    pub fn snapshot_current(&mut self, label: impl Into<String>) -> Result<(), ReflectiveError> {
+        let graph = self.current.clone();
+        self.store_snapshot(label, graph)
+    }
+
+    /// Labels of stored snapshots, sorted.
+    pub fn snapshot_labels(&self) -> impl Iterator<Item = &str> {
+        self.snapshots.keys().map(String::as_str)
+    }
+
+    /// A stored snapshot.
+    #[must_use]
+    pub fn snapshot(&self, label: &str) -> Option<&ComponentGraph> {
+        self.snapshots.get(label)
+    }
+
+    /// Injects the snapshot stored under `label`, reshaping the running
+    /// architecture.  Returns the structural diff that was applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReflectiveError::UnknownSnapshot`] when absent.
+    pub fn inject(&mut self, label: &str) -> Result<GraphDiff, ReflectiveError> {
+        let target = self
+            .snapshots
+            .get(label)
+            .ok_or_else(|| ReflectiveError::UnknownSnapshot(label.to_owned()))?
+            .clone();
+        let diff = GraphDiff::between(&self.current, &target);
+        self.current = target;
+        self.history.push(InjectionRecord {
+            label: label.to_owned(),
+            diff: diff.clone(),
+        });
+        Ok(diff)
+    }
+
+    /// The injection audit trail, oldest first.
+    #[must_use]
+    pub fn history(&self) -> &[InjectionRecord] {
+        &self.history
+    }
+
+    /// Label of the most recently injected snapshot, if any.
+    #[must_use]
+    pub fn active_label(&self) -> Option<&str> {
+        self.history.last().map(|r| r.label.as_str())
+    }
+}
+
+/// Builds the paper's Fig. 3 pair of snapshots over a 4-component chain
+/// `c1 -> c2 -> c3 -> c4`:
+///
+/// * `D1` — `c3` is a single component tolerating transient faults by
+///   redoing its computation;
+/// * `D2` — `c3` is replaced by a 2-version scheme where primary `c3.1`
+///   is taken over by secondary `c3.2` in case of permanent faults.
+///
+/// Returns `(d1, d2)`.
+///
+/// # Panics
+///
+/// Never panics; graph construction over fresh ids cannot fail.
+#[must_use]
+pub fn fig3_snapshots() -> (ComponentGraph, ComponentGraph) {
+    use crate::graph::Component;
+
+    let mut d1 = ComponentGraph::new();
+    for (id, kind) in [
+        ("c1", "service"),
+        ("c2", "service"),
+        ("c3", "redoing"),
+        ("c4", "service"),
+    ] {
+        d1.add(Component::new(id, kind)).expect("fresh id");
+    }
+    d1.connect("c1", "c2").expect("valid edge");
+    d1.connect("c2", "c3").expect("valid edge");
+    d1.connect("c3", "c4").expect("valid edge");
+
+    let mut d2 = ComponentGraph::new();
+    for (id, kind) in [
+        ("c1", "service"),
+        ("c2", "service"),
+        ("c3.1", "primary"),
+        ("c3.2", "secondary"),
+        ("c4", "service"),
+    ] {
+        d2.add(Component::new(id, kind)).expect("fresh id");
+    }
+    d2.connect("c1", "c2").expect("valid edge");
+    d2.connect("c2", "c3.1").expect("valid edge");
+    d2.connect("c3.1", "c3.2").expect("valid edge");
+    d2.connect("c3.1", "c4").expect("valid edge");
+
+    (d1, d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_transition_replaces_c3_with_two_versions() {
+        let (d1, d2) = fig3_snapshots();
+        let mut arch = ReflectiveArchitecture::new(d1.clone());
+        arch.store_snapshot("D1", d1).unwrap();
+        arch.store_snapshot("D2", d2).unwrap();
+
+        let diff = arch.inject("D2").unwrap();
+        assert_eq!(diff.removed_components, vec!["c3".into()]);
+        assert_eq!(
+            diff.added_components,
+            vec!["c3.1".into(), "c3.2".into()]
+        );
+        assert!(arch.current().contains(&"c3.1".into()));
+        assert!(!arch.current().contains(&"c3".into()));
+        assert_eq!(arch.active_label(), Some("D2"));
+
+        // And back: the architecture can return to the redoing scheme.
+        let diff_back = arch.inject("D1").unwrap();
+        assert_eq!(diff_back.added_components, vec!["c3".into()]);
+        assert_eq!(arch.history().len(), 2);
+    }
+
+    #[test]
+    fn inject_unknown_label_fails() {
+        let mut arch = ReflectiveArchitecture::new(ComponentGraph::new());
+        assert_eq!(
+            arch.inject("D9"),
+            Err(ReflectiveError::UnknownSnapshot("D9".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_snapshot_rejected() {
+        let mut arch = ReflectiveArchitecture::new(ComponentGraph::new());
+        arch.store_snapshot("D1", ComponentGraph::new()).unwrap();
+        assert_eq!(
+            arch.store_snapshot("D1", ComponentGraph::new()),
+            Err(ReflectiveError::DuplicateSnapshot("D1".into()))
+        );
+    }
+
+    #[test]
+    fn snapshot_current_captures_running_state() {
+        let (d1, _) = fig3_snapshots();
+        let mut arch = ReflectiveArchitecture::new(d1);
+        arch.snapshot_current("boot").unwrap();
+        assert_eq!(arch.snapshot("boot").unwrap().len(), 4);
+        let labels: Vec<&str> = arch.snapshot_labels().collect();
+        assert_eq!(labels, vec!["boot"]);
+    }
+
+    #[test]
+    fn idempotent_injection_has_empty_diff() {
+        let (d1, _) = fig3_snapshots();
+        let mut arch = ReflectiveArchitecture::new(d1.clone());
+        arch.store_snapshot("D1", d1).unwrap();
+        let diff = arch.inject("D1").unwrap();
+        assert!(diff.is_empty());
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(ReflectiveError::UnknownSnapshot("x".into())
+            .to_string()
+            .contains("unknown"));
+        assert!(ReflectiveError::DuplicateSnapshot("x".into())
+            .to_string()
+            .contains("already"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests on snapshot injection and diffing.
+
+use afta_dag::{Component, ComponentGraph, GraphDiff, ReflectiveArchitecture};
+use proptest::prelude::*;
+
+/// Builds a random DAG over `n` nodes: only forward edges (i -> j with
+/// i < j) are attempted, so every edge insertion is legal.
+fn graph_strategy(n: usize) -> impl Strategy<Value = ComponentGraph> {
+    proptest::collection::vec((0usize..n, 0usize..n), 0..n * 2).prop_map(move |pairs| {
+        let mut g = ComponentGraph::new();
+        for i in 0..n {
+            g.add(Component::new(format!("c{i}"), "svc")).unwrap();
+        }
+        for (a, b) in pairs {
+            if a < b {
+                let _ = g.connect(format!("c{a}"), format!("c{b}"));
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    /// diff(A, B) applied conceptually to A yields B: injecting B over a
+    /// running A makes the architecture equal to B, and the recorded diff
+    /// is exactly diff(A, B).
+    #[test]
+    fn injection_applies_exactly_the_diff(
+        a in graph_strategy(8),
+        b in graph_strategy(8),
+    ) {
+        let expected = GraphDiff::between(&a, &b);
+        let mut arch = ReflectiveArchitecture::new(a);
+        arch.store_snapshot("B", b.clone()).unwrap();
+        let applied = arch.inject("B").unwrap();
+        prop_assert_eq!(applied, expected);
+        prop_assert_eq!(arch.current(), &b);
+    }
+
+    /// Diff is antisymmetric: swapping from/to swaps added and removed.
+    #[test]
+    fn diff_antisymmetry(a in graph_strategy(6), b in graph_strategy(6)) {
+        let fwd = GraphDiff::between(&a, &b);
+        let bwd = GraphDiff::between(&b, &a);
+        prop_assert_eq!(&fwd.added_components, &bwd.removed_components);
+        prop_assert_eq!(&fwd.removed_components, &bwd.added_components);
+        prop_assert_eq!(&fwd.added_edges, &bwd.removed_edges);
+        prop_assert_eq!(&fwd.removed_edges, &bwd.added_edges);
+    }
+
+    /// Self-diff is empty; injecting a snapshot twice is idempotent.
+    #[test]
+    fn injection_is_idempotent(g in graph_strategy(6)) {
+        prop_assert!(GraphDiff::between(&g, &g).is_empty());
+        let mut arch = ReflectiveArchitecture::new(ComponentGraph::new());
+        arch.store_snapshot("G", g.clone()).unwrap();
+        arch.inject("G").unwrap();
+        let second = arch.inject("G").unwrap();
+        prop_assert!(second.is_empty());
+        prop_assert_eq!(arch.current(), &g);
+        prop_assert_eq!(arch.history().len(), 2);
+    }
+
+    /// Graph stats are internally consistent for arbitrary DAGs.
+    #[test]
+    fn stats_consistency(g in graph_strategy(10)) {
+        let s = g.stats();
+        prop_assert_eq!(s.components, g.len());
+        prop_assert_eq!(s.edges, g.edge_count());
+        prop_assert!(s.sources >= 1 || g.is_empty());
+        prop_assert!(s.sinks >= 1 || g.is_empty());
+        prop_assert!(s.depth < s.components.max(1));
+        // DOT render mentions every component.
+        let dot = g.to_dot("g");
+        for c in g.components() {
+            prop_assert!(dot.contains(c.id.as_str()));
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! # afta-eventbus — typed in-process publish/subscribe middleware
+//!
+//! §3.2 of the paper wires its adaptive fault-tolerance manager "through
+//! e.g. publish/subscribe": "the supporting middleware component receives
+//! notifications regarding the faults being detected by the main
+//! components of the software system".  The authors prototyped this with
+//! Apache Axis2/MUSE; this crate is the in-process equivalent — a typed
+//! topic bus over which components publish fault notifications, dtof
+//! readings, and knowledge events, and middleware subscribes.
+//!
+//! Two delivery styles are offered:
+//!
+//! * [`Bus::subscribe`] — a pull-style [`Subscription`] backed by a
+//!   crossbeam channel (usable across threads);
+//! * [`Bus::on`] — a push-style callback invoked synchronously at publish
+//!   time.
+//!
+//! ```
+//! use afta_eventbus::Bus;
+//!
+//! #[derive(Debug, Clone, PartialEq)]
+//! struct FaultDetected { component: &'static str }
+//!
+//! let bus = Bus::new();
+//! let sub = bus.subscribe::<FaultDetected>();
+//! bus.publish(FaultDetected { component: "c3" });
+//! assert_eq!(sub.try_recv().unwrap().component, "c3");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+type Callback = Box<dyn FnMut(&dyn Any) + Send>;
+type SenderFn = Box<dyn Fn(&dyn Any) -> bool + Send>;
+
+#[derive(Default)]
+struct Topic {
+    /// Channel senders for pull-style subscribers; each entry forwards a
+    /// clone of the event and reports whether the receiver is still alive.
+    senders: Vec<SenderFn>,
+    /// Push-style callbacks.
+    callbacks: Vec<Callback>,
+    /// Events published on this topic (for diagnostics).
+    published: u64,
+    /// Whether to retain the last event for late joiners.
+    retain: bool,
+    /// The last event published, when retention is on.
+    retained: Option<Box<dyn Any + Send>>,
+}
+
+/// A pull-style subscription to events of type `E`.
+///
+/// Dropping the subscription detaches it from the bus lazily: the bus
+/// prunes dead senders on the next publish of that event type.
+#[derive(Debug)]
+pub struct Subscription<E> {
+    rx: Receiver<E>,
+}
+
+impl<E> Subscription<E> {
+    /// Receives the next pending event without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryRecvError::Empty`] when no event is pending and
+    /// [`TryRecvError::Disconnected`] when the bus side is gone.
+    pub fn try_recv(&self) -> Result<E, TryRecvError> {
+        self.rx.try_recv()
+    }
+
+    /// Drains every pending event.
+    pub fn drain(&self) -> Vec<E> {
+        let mut out = Vec::new();
+        while let Ok(e) = self.rx.try_recv() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Number of events currently queued.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+/// A typed publish/subscribe bus.
+///
+/// Cloning the bus is cheap and yields a handle onto the same topics, so
+/// producer components and the adaptation middleware can each hold one.
+#[derive(Clone, Default)]
+pub struct Bus {
+    topics: Arc<Mutex<HashMap<TypeId, Topic>>>,
+}
+
+impl fmt::Debug for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let topics = self.topics.lock();
+        f.debug_struct("Bus")
+            .field("topics", &topics.len())
+            .finish()
+    }
+}
+
+impl Bus {
+    /// Creates an empty bus.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes to events of type `E` (pull style).
+    #[must_use]
+    pub fn subscribe<E: Clone + Send + 'static>(&self) -> Subscription<E> {
+        let (tx, rx): (Sender<E>, Receiver<E>) = unbounded();
+        let mut topics = self.topics.lock();
+        let topic = topics.entry(TypeId::of::<E>()).or_default();
+        topic.senders.push(Box::new(move |any| {
+            let Some(e) = any.downcast_ref::<E>() else {
+                return true; // type mismatch cannot happen; keep the sender
+            };
+            tx.send(e.clone()).is_ok()
+        }));
+        Subscription { rx }
+    }
+
+    /// Registers a push-style callback for events of type `E`, invoked
+    /// synchronously (in publish order) on the publisher's thread.
+    pub fn on<E: Send + 'static>(&self, mut f: impl FnMut(&E) + Send + 'static) {
+        let mut topics = self.topics.lock();
+        let topic = topics.entry(TypeId::of::<E>()).or_default();
+        topic.callbacks.push(Box::new(move |any| {
+            if let Some(e) = any.downcast_ref::<E>() {
+                f(e);
+            }
+        }));
+    }
+
+    /// Publishes an event to every subscriber and callback of its type.
+    /// Returns the number of pull-subscribers that received it.
+    pub fn publish<E: Clone + Send + 'static>(&self, event: E) -> usize {
+        let mut topics = self.topics.lock();
+        let Some(topic) = topics.get_mut(&TypeId::of::<E>()) else {
+            return 0;
+        };
+        topic.published += 1;
+        // Deliver and prune disconnected pull-subscribers in one pass.
+        topic.senders.retain(|send| send(&event));
+        let delivered = topic.senders.len();
+        for cb in &mut topic.callbacks {
+            cb(&event);
+        }
+        if topic.retain {
+            topic.retained = Some(Box::new(event));
+        }
+        delivered
+    }
+
+    /// Enables last-value retention for events of type `E`: after any
+    /// publish, [`Bus::latest`] returns a clone of the most recent event.
+    /// Late joiners (e.g. knowledge agents attached mid-run) use this to
+    /// catch up on slow-changing state such as the current fault class.
+    pub fn retain<E: Clone + Send + 'static>(&self) {
+        let mut topics = self.topics.lock();
+        topics.entry(TypeId::of::<E>()).or_default().retain = true;
+    }
+
+    /// The most recent retained event of type `E`, if retention is on and
+    /// something was published since.
+    #[must_use]
+    pub fn latest<E: Clone + Send + 'static>(&self) -> Option<E> {
+        let topics = self.topics.lock();
+        topics
+            .get(&TypeId::of::<E>())
+            .and_then(|t| t.retained.as_ref())
+            .and_then(|any| any.downcast_ref::<E>())
+            .cloned()
+    }
+
+    /// Number of events ever published with type `E`.
+    #[must_use]
+    pub fn published_count<E: 'static>(&self) -> u64 {
+        self.topics
+            .lock()
+            .get(&TypeId::of::<E>())
+            .map_or(0, |t| t.published)
+    }
+
+    /// Number of live pull-subscribers for `E` (as of the last publish).
+    #[must_use]
+    pub fn subscriber_count<E: 'static>(&self) -> usize {
+        self.topics
+            .lock()
+            .get(&TypeId::of::<E>())
+            .map_or(0, |t| t.senders.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Ping(u32);
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Pong(u32);
+
+    #[test]
+    fn publish_reaches_subscriber() {
+        let bus = Bus::new();
+        let sub = bus.subscribe::<Ping>();
+        assert_eq!(bus.publish(Ping(1)), 1);
+        assert_eq!(sub.try_recv(), Ok(Ping(1)));
+        assert!(sub.try_recv().is_err());
+    }
+
+    #[test]
+    fn types_are_isolated() {
+        let bus = Bus::new();
+        let pings = bus.subscribe::<Ping>();
+        let pongs = bus.subscribe::<Pong>();
+        bus.publish(Ping(7));
+        assert_eq!(pings.pending(), 1);
+        assert_eq!(pongs.pending(), 0);
+    }
+
+    #[test]
+    fn multiple_subscribers_all_receive() {
+        let bus = Bus::new();
+        let a = bus.subscribe::<Ping>();
+        let b = bus.subscribe::<Ping>();
+        assert_eq!(bus.publish(Ping(3)), 2);
+        assert_eq!(a.try_recv(), Ok(Ping(3)));
+        assert_eq!(b.try_recv(), Ok(Ping(3)));
+    }
+
+    #[test]
+    fn publish_without_subscribers_is_zero() {
+        let bus = Bus::new();
+        assert_eq!(bus.publish(Ping(0)), 0);
+        assert_eq!(bus.published_count::<Ping>(), 0);
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let bus = Bus::new();
+        let sub = bus.subscribe::<Ping>();
+        for i in 0..5 {
+            bus.publish(Ping(i));
+        }
+        assert_eq!(sub.pending(), 5);
+        let all = sub.drain();
+        assert_eq!(all.len(), 5);
+        assert_eq!(all[4], Ping(4));
+        assert_eq!(sub.pending(), 0);
+    }
+
+    #[test]
+    fn dropped_subscription_is_pruned() {
+        let bus = Bus::new();
+        let sub = bus.subscribe::<Ping>();
+        drop(sub);
+        assert_eq!(bus.publish(Ping(1)), 0);
+        assert_eq!(bus.subscriber_count::<Ping>(), 0);
+    }
+
+    #[test]
+    fn callbacks_fire_in_order() {
+        let bus = Bus::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l1 = log.clone();
+        let l2 = log.clone();
+        bus.on::<Ping>(move |p| l1.lock().push(("first", p.0)));
+        bus.on::<Ping>(move |p| l2.lock().push(("second", p.0)));
+        bus.publish(Ping(9));
+        assert_eq!(&*log.lock(), &[("first", 9), ("second", 9)]);
+    }
+
+    #[test]
+    fn published_count_tracks() {
+        let bus = Bus::new();
+        bus.on::<Ping>(|_| {});
+        bus.publish(Ping(1));
+        bus.publish(Ping(2));
+        assert_eq!(bus.published_count::<Ping>(), 2);
+        assert_eq!(bus.published_count::<Pong>(), 0);
+    }
+
+    #[test]
+    fn cloned_bus_shares_topics() {
+        let bus = Bus::new();
+        let handle = bus.clone();
+        let sub = bus.subscribe::<Ping>();
+        handle.publish(Ping(11));
+        assert_eq!(sub.try_recv(), Ok(Ping(11)));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let bus = Bus::new();
+        let sub = bus.subscribe::<Ping>();
+        let handle = bus.clone();
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                handle.publish(Ping(i));
+            }
+        });
+        t.join().unwrap();
+        assert_eq!(sub.drain().len(), 100);
+    }
+
+    #[test]
+    fn retention_serves_late_joiners() {
+        let bus = Bus::new();
+        assert_eq!(bus.latest::<Ping>(), None);
+        bus.retain::<Ping>();
+        // Still nothing published.
+        assert_eq!(bus.latest::<Ping>(), None);
+        bus.on::<Ping>(|_| {});
+        bus.publish(Ping(1));
+        bus.publish(Ping(2));
+        assert_eq!(bus.latest::<Ping>(), Some(Ping(2)));
+        // Other types are unaffected.
+        assert_eq!(bus.latest::<Pong>(), None);
+    }
+
+    #[test]
+    fn retention_is_opt_in() {
+        let bus = Bus::new();
+        bus.on::<Ping>(|_| {});
+        bus.publish(Ping(1));
+        assert_eq!(bus.latest::<Ping>(), None);
+    }
+
+    #[test]
+    fn debug_impl() {
+        let bus = Bus::new();
+        let _sub = bus.subscribe::<Ping>();
+        assert!(format!("{bus:?}").contains("Bus"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Property tests on bus delivery semantics.
+
+use afta_eventbus::Bus;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Event(u32);
+
+proptest! {
+    /// Every subscriber receives every event published after it
+    /// subscribed, in publish order.
+    #[test]
+    fn delivery_is_complete_and_ordered(
+        before in proptest::collection::vec(any::<u32>(), 0..20),
+        after in proptest::collection::vec(any::<u32>(), 0..40),
+    ) {
+        let bus = Bus::new();
+        for &v in &before {
+            bus.publish(Event(v)); // nobody is listening yet
+        }
+        let sub = bus.subscribe::<Event>();
+        for &v in &after {
+            bus.publish(Event(v));
+        }
+        let received: Vec<u32> = sub.drain().into_iter().map(|e| e.0).collect();
+        prop_assert_eq!(received, after);
+    }
+
+    /// Callbacks and subscribers see the same stream; retained value is
+    /// always the last published.
+    #[test]
+    fn callbacks_match_subscriptions(values in proptest::collection::vec(any::<u32>(), 1..40)) {
+        let bus = Bus::new();
+        bus.retain::<Event>();
+        let seen = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        bus.on::<Event>(move |e| sink.lock().push(e.0));
+        let sub = bus.subscribe::<Event>();
+        for &v in &values {
+            bus.publish(Event(v));
+        }
+        prop_assert_eq!(&*seen.lock(), &values);
+        let received: Vec<u32> = sub.drain().into_iter().map(|e| e.0).collect();
+        prop_assert_eq!(received, values.clone());
+        prop_assert_eq!(bus.latest::<Event>(), Some(Event(*values.last().unwrap())));
+        prop_assert_eq!(bus.published_count::<Event>(), values.len() as u64);
+    }
+}

@@ -1,0 +1,275 @@
+//! Fault-trace recording and replay.
+//!
+//! §3.1 motivates "shared databases reporting known failure behaviors";
+//! the run-time analogue is a *fault trace*: the exact sequence of fault
+//! events one run experienced, serialisable so another layer (or another
+//! run) can replay it.  [`TraceRecorder`] wraps any [`Injector`] and logs
+//! what it emits; [`TraceInjector`] replays a recorded (or hand-written)
+//! trace deterministically.
+
+use serde::{Deserialize, Serialize};
+
+use afta_sim::Tick;
+
+use crate::{FaultClass, Injector};
+
+/// One recorded fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the fault fired.
+    pub tick: Tick2,
+    /// What fired.
+    pub class: FaultClass,
+}
+
+/// A serialisable stand-in for [`Tick`] (the sim crate keeps `Tick`
+/// serde-free to stay dependency-light; traces store the raw `u64`).
+pub type Tick2 = u64;
+
+/// A recorded fault trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FaultTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl FaultTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a trace from `(tick, class)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ticks are not strictly increasing.
+    #[must_use]
+    pub fn from_events(events: impl IntoIterator<Item = (u64, FaultClass)>) -> Self {
+        let events: Vec<TraceEvent> = events
+            .into_iter()
+            .map(|(tick, class)| TraceEvent { tick, class })
+            .collect();
+        for w in events.windows(2) {
+            assert!(
+                w[0].tick < w[1].tick,
+                "trace ticks must be strictly increasing"
+            );
+        }
+        Self { events }
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick` is not after the last recorded event.
+    pub fn push(&mut self, tick: u64, class: FaultClass) {
+        if let Some(last) = self.events.last() {
+            assert!(tick > last.tick, "trace ticks must be strictly increasing");
+        }
+        self.events.push(TraceEvent { tick, class });
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events, in tick order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Serialises to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if serialisation fails.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Replays a [`FaultTrace`] as an [`Injector`].  Ticks must be queried in
+/// non-decreasing order; events whose tick was skipped are dropped (they
+/// belong to a moment that never happened in the replaying run).
+#[derive(Debug, Clone)]
+pub struct TraceInjector {
+    trace: FaultTrace,
+    next: usize,
+}
+
+impl TraceInjector {
+    /// Creates a replayer.
+    #[must_use]
+    pub fn new(trace: FaultTrace) -> Self {
+        Self { trace, next: 0 }
+    }
+
+    /// Events not yet replayed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.trace.len() - self.next
+    }
+}
+
+impl Injector for TraceInjector {
+    fn inject(&mut self, tick: Tick) -> Option<FaultClass> {
+        // Skip events strictly before the queried tick.
+        while self
+            .trace
+            .events
+            .get(self.next)
+            .is_some_and(|e| e.tick < tick.0)
+        {
+            self.next += 1;
+        }
+        match self.trace.events.get(self.next) {
+            Some(e) if e.tick == tick.0 => {
+                self.next += 1;
+                Some(e.class)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Wraps an injector and records everything it emits, producing a
+/// replayable [`FaultTrace`].
+#[derive(Debug)]
+pub struct TraceRecorder<I> {
+    inner: I,
+    trace: FaultTrace,
+}
+
+impl<I: Injector> TraceRecorder<I> {
+    /// Wraps `inner`.
+    #[must_use]
+    pub fn new(inner: I) -> Self {
+        Self {
+            inner,
+            trace: FaultTrace::new(),
+        }
+    }
+
+    /// The trace recorded so far.
+    #[must_use]
+    pub fn trace(&self) -> &FaultTrace {
+        &self.trace
+    }
+
+    /// Consumes the recorder, returning the trace.
+    #[must_use]
+    pub fn into_trace(self) -> FaultTrace {
+        self.trace
+    }
+}
+
+impl<I: Injector> Injector for TraceRecorder<I> {
+    fn inject(&mut self, tick: Tick) -> Option<FaultClass> {
+        let out = self.inner.inject(tick);
+        if let Some(class) = out {
+            self.trace.push(tick.0, class);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BernoulliInjector, PeriodicInjector};
+    use afta_sim::SeedFactory;
+
+    #[test]
+    fn replay_matches_recording() {
+        let inner = BernoulliInjector::new(
+            0.2,
+            FaultClass::Transient,
+            SeedFactory::new(5).stream("rec"),
+        );
+        let mut recorder = TraceRecorder::new(inner);
+        let original: Vec<Option<FaultClass>> =
+            (0..500).map(|t| recorder.inject(Tick(t))).collect();
+        let trace = recorder.into_trace();
+        assert!(trace.len() > 50, "recorded {} events", trace.len());
+
+        let mut replayer = TraceInjector::new(trace);
+        let replayed: Vec<Option<FaultClass>> =
+            (0..500).map(|t| replayer.inject(Tick(t))).collect();
+        assert_eq!(original, replayed);
+        assert_eq!(replayer.remaining(), 0);
+    }
+
+    #[test]
+    fn hand_written_trace() {
+        let trace = FaultTrace::from_events([
+            (3, FaultClass::Transient),
+            (7, FaultClass::Permanent),
+        ]);
+        let mut inj = TraceInjector::new(trace);
+        assert_eq!(inj.inject(Tick(0)), None);
+        assert_eq!(inj.inject(Tick(3)), Some(FaultClass::Transient));
+        assert_eq!(inj.inject(Tick(5)), None);
+        assert_eq!(inj.inject(Tick(7)), Some(FaultClass::Permanent));
+        assert_eq!(inj.inject(Tick(8)), None);
+    }
+
+    #[test]
+    fn skipped_ticks_drop_events() {
+        let trace = FaultTrace::from_events([(3, FaultClass::Transient), (9, FaultClass::Transient)]);
+        let mut inj = TraceInjector::new(trace);
+        // Jump straight past tick 3.
+        assert_eq!(inj.inject(Tick(5)), None);
+        assert_eq!(inj.remaining(), 1);
+        assert_eq!(inj.inject(Tick(9)), Some(FaultClass::Transient));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_trace_rejected() {
+        let _ = FaultTrace::from_events([(5, FaultClass::Transient), (5, FaultClass::Permanent)]);
+    }
+
+    #[test]
+    fn push_validates_order() {
+        let mut t = FaultTrace::new();
+        assert!(t.is_empty());
+        t.push(1, FaultClass::Transient);
+        t.push(2, FaultClass::Permanent);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[1].class, FaultClass::Permanent);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut recorder = TraceRecorder::new(PeriodicInjector::new(10, 0, FaultClass::Intermittent));
+        for t in 0..50 {
+            recorder.inject(Tick(t));
+        }
+        let trace = recorder.trace().clone();
+        let json = trace.to_json().unwrap();
+        let back = FaultTrace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+        assert_eq!(back.len(), 5);
+        assert!(FaultTrace::from_json("{bad").is_err());
+    }
+}

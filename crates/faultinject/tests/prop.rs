@@ -1,0 +1,94 @@
+//! Property tests on injector semantics.
+
+use afta_faultinject::{
+    BernoulliInjector, ComponentFaultModel, EnvironmentProfile, FaultClass, FaultTrace, Injector,
+    PeriodicInjector, Phase, TraceInjector, TraceRecorder,
+};
+use afta_sim::{SeedFactory, Tick};
+use proptest::prelude::*;
+
+proptest! {
+    /// Record/replay is an identity for any injector and any horizon.
+    #[test]
+    fn record_replay_identity(seed: u64, p in 0.0f64..0.5, horizon in 1u64..400) {
+        let inner = BernoulliInjector::new(
+            p,
+            FaultClass::Transient,
+            SeedFactory::new(seed).stream("prop"),
+        );
+        let mut rec = TraceRecorder::new(inner);
+        let original: Vec<bool> = (0..horizon).map(|t| rec.inject(Tick(t)).is_some()).collect();
+        let mut replay = TraceInjector::new(rec.into_trace());
+        let replayed: Vec<bool> = (0..horizon).map(|t| replay.inject(Tick(t)).is_some()).collect();
+        prop_assert_eq!(original, replayed);
+    }
+
+    /// A permanent fault, once manifested, holds forever (until repair),
+    /// whatever the injector schedule.
+    #[test]
+    fn permanent_faults_are_absorbing(period in 1u64..50, offset in 0u64..50) {
+        let inj = PeriodicInjector::new(period, offset, FaultClass::Permanent);
+        let mut model = ComponentFaultModel::new(inj, 3);
+        let mut seen_fault = false;
+        for t in 0..200u64 {
+            let faulty = model.is_faulty_at(Tick(t));
+            if seen_fault {
+                prop_assert!(faulty, "permanent fault released at t={t}");
+            }
+            seen_fault |= faulty;
+        }
+        prop_assert!(seen_fault);
+        model.repair();
+        // The injector fires again eventually, but right after repair the
+        // component is clean until the next occurrence.
+        prop_assert_eq!(model.permanent_since(), None);
+    }
+
+    /// The profile's probability function is piecewise-consistent: every
+    /// tick maps to the probability of the phase containing it.
+    #[test]
+    fn profile_lookup_matches_phases(
+        durations in proptest::collection::vec(1u64..50, 1..6),
+        probs in proptest::collection::vec(0.0f64..1.0, 6),
+        cyclic: bool,
+        probe in 0u64..500,
+    ) {
+        let phases: Vec<Phase> = durations
+            .iter()
+            .zip(&probs)
+            .map(|(&d, &p)| Phase::new(d, p))
+            .collect();
+        let profile = EnvironmentProfile::new(phases.clone(), cyclic);
+        let cycle = profile.cycle_length();
+        let t = probe;
+        let effective = profile.probability_at(Tick(t));
+        // Reference computation.
+        let expected = if cyclic || t < cycle {
+            let mut rem = t % cycle;
+            let mut val = phases[phases.len() - 1].fault_probability;
+            for ph in &phases {
+                if rem < ph.duration {
+                    val = ph.fault_probability;
+                    break;
+                }
+                rem -= ph.duration;
+            }
+            val
+        } else {
+            phases[phases.len() - 1].fault_probability
+        };
+        prop_assert_eq!(effective, expected);
+    }
+
+    /// Traces reject non-monotone pushes but accept any strictly
+    /// increasing sequence.
+    #[test]
+    fn trace_accepts_strictly_increasing(ticks in proptest::collection::btree_set(0u64..1000, 0..50)) {
+        let ticks: Vec<u64> = ticks.iter().copied().collect();
+        let mut trace = FaultTrace::new();
+        for &t in &ticks {
+            trace.push(t, FaultClass::Transient);
+        }
+        prop_assert_eq!(trace.len(), ticks.len());
+    }
+}

@@ -1,0 +1,376 @@
+//! The §3.2 run-time strategy: postpone the binding of the fault-tolerance
+//! design pattern and condition it on the observed behaviour of the
+//! environment.
+//!
+//! The moving parts, exactly as the paper wires them:
+//!
+//! * components publish [`FaultNotification`]s on a publish/subscribe
+//!   [`Bus`];
+//! * the notifications feed an [`AlphaCount`] oracle;
+//! * "depending on the assessment of the Alpha-count oracle, either `D1`
+//!   or `D2` are injected on the reflective DAG", reshaping the
+//!   architecture between the *redoing* scheme and the *reconfiguration*
+//!   scheme.
+
+use afta_alphacount::{AlphaCount, Judgment, Verdict};
+use afta_core::{Alternative, AssumptionVar, BindingTime, MinCostBinder};
+use afta_dag::{fig3_snapshots, ReflectiveArchitecture};
+use afta_eventbus::Bus;
+use afta_sim::Tick;
+
+use crate::patterns::{Fault, ReconfigOutcome, Reconfiguration, Redoing};
+
+/// A fault notification as published by a monitored component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultNotification {
+    /// The reporting component.
+    pub component: String,
+    /// When the fault was observed.
+    pub tick: Tick,
+}
+
+/// Which design pattern the manager currently has bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivePattern {
+    /// `D1` — redoing (repeat on failure): assumption `e1`, transient
+    /// faults.
+    Redoing,
+    /// `D2` — reconfiguration (replace on failure): assumption `e2`,
+    /// permanent faults.
+    Reconfiguration,
+}
+
+impl std::fmt::Display for ActivePattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActivePattern::Redoing => write!(f, "redoing (D1)"),
+            ActivePattern::Reconfiguration => write!(f, "reconfiguration (D2)"),
+        }
+    }
+}
+
+/// Statistics of an adaptive run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdaptiveStats {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Rounds that delivered a result.
+    pub successes: u64,
+    /// Rounds that delivered nothing (all tolerance exhausted).
+    pub round_failures: u64,
+    /// Retry attempts burned beyond first tries (redoing side).
+    pub retries: u64,
+    /// Spares consumed (reconfiguration side).
+    pub spares_consumed: u64,
+    /// Times the architecture was reshaped (D1 <-> D2 injections).
+    pub reshapes: u64,
+}
+
+/// The adaptive fault-tolerance manager.
+///
+/// Owns the reflective architecture (with the Fig. 3 `D1`/`D2` snapshots
+/// pre-stored), the alpha-count oracle, and a run-time [`AssumptionVar`]
+/// over the two patterns.  Drive it by calling
+/// [`AdaptiveFtManager::execute_round`] once per work item.
+///
+/// ```
+/// use afta_eventbus::Bus;
+/// use afta_ftpatterns::{ActivePattern, AdaptiveFtManager, Fault};
+/// use afta_sim::Tick;
+///
+/// let mut mgr = AdaptiveFtManager::new(3, 4, 3.0, Bus::new());
+/// assert_eq!(mgr.active_pattern(), ActivePattern::Redoing);
+/// // A healthy round keeps the optimistic pattern bound.
+/// let out = mgr.execute_round(Tick(1), |_version, _retry| Ok::<_, Fault>(42));
+/// assert_eq!(out, Some(42));
+/// ```
+pub struct AdaptiveFtManager {
+    arch: ReflectiveArchitecture,
+    oracle: AlphaCount,
+    pattern_var: AssumptionVar<ActivePattern>,
+    active: ActivePattern,
+    redoing: Redoing,
+    reconfig: Reconfiguration,
+    bus: Bus,
+    stats: AdaptiveStats,
+}
+
+impl std::fmt::Debug for AdaptiveFtManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveFtManager")
+            .field("active", &self.active)
+            .field("alpha", &self.oracle.alpha())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AdaptiveFtManager {
+    /// Creates the manager.
+    ///
+    /// * `retry_budget` — attempts per round while redoing;
+    /// * `spares` — replacement versions available to reconfiguration;
+    /// * `threshold` — alpha-count threshold (the paper's Fig. 4 uses
+    ///   3.0);
+    /// * `bus` — the publish/subscribe middleware fault notifications
+    ///   travel on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retry_budget == 0` or `threshold <= 0.0`.
+    #[must_use]
+    pub fn new(retry_budget: u32, spares: usize, threshold: f64, bus: Bus) -> Self {
+        let (d1, d2) = fig3_snapshots();
+        let mut arch = ReflectiveArchitecture::new(d1.clone());
+        arch.store_snapshot("D1", d1).expect("fresh label");
+        arch.store_snapshot("D2", d2).expect("fresh label");
+
+        // The run-time assumption variable of §3.2: e1 -> redoing,
+        // e2 -> reconfiguration.  Redoing is cheaper, so under equal
+        // tolerance it wins the min-cost binding.
+        let pattern_var = AssumptionVar::new("ft-pattern", BindingTime::RunTime)
+            .with(Alternative::new(
+                "D1",
+                ActivePattern::Redoing,
+                ["transient"],
+                1.0,
+            ))
+            .with(Alternative::new(
+                "D2",
+                ActivePattern::Reconfiguration,
+                ["permanent", "intermittent"],
+                3.0,
+            ));
+
+        Self {
+            arch,
+            oracle: AlphaCount::with_threshold(threshold),
+            pattern_var,
+            active: ActivePattern::Redoing,
+            redoing: Redoing::new(retry_budget),
+            reconfig: Reconfiguration::new(spares + 1),
+            bus,
+            stats: AdaptiveStats::default(),
+        }
+    }
+
+    /// The currently bound pattern.
+    #[must_use]
+    pub fn active_pattern(&self) -> ActivePattern {
+        self.active
+    }
+
+    /// The reflective architecture (for inspection).
+    #[must_use]
+    pub fn architecture(&self) -> &ReflectiveArchitecture {
+        &self.arch
+    }
+
+    /// The oracle's current alpha value.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.oracle.alpha()
+    }
+
+    /// Run statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> AdaptiveStats {
+        self.stats
+    }
+
+    /// Remaining versions on the reconfiguration side (including the
+    /// active one).
+    #[must_use]
+    pub fn versions_left(&self) -> usize {
+        self.reconfig.versions_left()
+    }
+
+    /// Feeds the oracle and, when its verdict warrants it, rebinds the
+    /// pattern assumption variable and injects the matching DAG snapshot.
+    fn adapt(&mut self, judgment: Judgment) {
+        let verdict = self.oracle.record(judgment);
+        let wanted = match verdict {
+            Verdict::Transient => "transient",
+            Verdict::PermanentOrIntermittent => "permanent",
+        };
+        let new_pattern = *self
+            .pattern_var
+            .bind(wanted, &MinCostBinder)
+            .expect("both behaviours are covered by the two alternatives");
+        if new_pattern != self.active {
+            let label = match new_pattern {
+                ActivePattern::Redoing => "D1",
+                ActivePattern::Reconfiguration => "D2",
+            };
+            self.arch.inject(label).expect("snapshots pre-stored");
+            self.active = new_pattern;
+            self.stats.reshapes += 1;
+            if new_pattern == ActivePattern::Redoing {
+                // Returning to the optimistic scheme: give the oracle a
+                // clean slate for the (possibly replaced) component.
+                self.oracle.reset();
+            }
+        }
+    }
+
+    /// Executes one round of the protected operation.
+    ///
+    /// `attempt(version, retry)` runs the computation on `version`
+    /// (0 = original primary; reconfiguration advances it permanently) at
+    /// retry number `retry`.  Returns the round's value if any tolerance
+    /// path delivered one.
+    pub fn execute_round<T>(
+        &mut self,
+        tick: Tick,
+        mut attempt: impl FnMut(usize, u32) -> Result<T, Fault>,
+    ) -> Option<T> {
+        self.stats.rounds += 1;
+        let (result, needed_tolerance) = match self.active {
+            ActivePattern::Redoing => {
+                let version = self.reconfig.current_version();
+                let out = self.redoing.execute(|retry| attempt(version, retry));
+                let extra = out.attempts().saturating_sub(1);
+                self.stats.retries += u64::from(extra);
+                (out.value(), extra > 0)
+            }
+            ActivePattern::Reconfiguration => match self.reconfig.execute(|v| attempt(v, 0)) {
+                ReconfigOutcome::Success {
+                    value,
+                    spares_consumed,
+                    ..
+                } => {
+                    self.stats.spares_consumed += spares_consumed as u64;
+                    (Some(value), spares_consumed > 0)
+                }
+                ReconfigOutcome::Exhausted { spares_consumed } => {
+                    self.stats.spares_consumed += spares_consumed as u64;
+                    (None, true)
+                }
+            },
+        };
+
+        // The oracle judges the *component*, not the tolerance wrapper: a
+        // round that needed retries or spares is an error signal even if
+        // the wrapper ultimately delivered.
+        if result.is_none() || needed_tolerance {
+            self.bus.publish(FaultNotification {
+                component: "c3".to_owned(),
+                tick,
+            });
+            self.adapt(Judgment::Erroneous);
+        } else {
+            self.adapt(Judgment::Correct);
+        }
+
+        if result.is_some() {
+            self.stats.successes += 1;
+        } else {
+            self.stats.round_failures += 1;
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Helper: run `rounds` rounds against a component oracle saying
+    /// whether an attempt at (version, tick, retry) fails.
+    fn run<F>(mgr: &mut AdaptiveFtManager, rounds: u64, mut faulty: F)
+    where
+        F: FnMut(usize, Tick, u32) -> bool,
+    {
+        for t in 1..=rounds {
+            let tick = Tick(t);
+            let _ = mgr.execute_round(tick, |version, retry| {
+                if faulty(version, tick, retry) {
+                    Err(Fault)
+                } else {
+                    Ok(version)
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn healthy_component_keeps_redoing_bound() {
+        let mut mgr = AdaptiveFtManager::new(3, 4, 3.0, Bus::new());
+        run(&mut mgr, 100, |_, _, _| false);
+        assert_eq!(mgr.active_pattern(), ActivePattern::Redoing);
+        let s = mgr.stats();
+        assert_eq!(s.successes, 100);
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.spares_consumed, 0);
+        assert_eq!(s.reshapes, 0);
+        assert!(mgr.architecture().current().contains(&"c3".into()));
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_by_retries_without_reshaping() {
+        let mut mgr = AdaptiveFtManager::new(3, 4, 3.0, Bus::new());
+        // One isolated transient every 10 rounds: first retry succeeds.
+        run(&mut mgr, 200, |_, tick, retry| tick.0 % 10 == 0 && retry == 0);
+        assert_eq!(mgr.active_pattern(), ActivePattern::Redoing);
+        let s = mgr.stats();
+        assert_eq!(s.successes, 200);
+        assert_eq!(s.retries, 20);
+        assert_eq!(s.spares_consumed, 0);
+        assert_eq!(s.reshapes, 0);
+    }
+
+    #[test]
+    fn permanent_fault_triggers_reshape_to_d2_and_replacement() {
+        let bus = Bus::new();
+        let sub = bus.subscribe::<FaultNotification>();
+        let mut mgr = AdaptiveFtManager::new(3, 4, 3.0, bus);
+        // Version 0 dies permanently at tick 50; replacements are healthy.
+        run(&mut mgr, 100, |version, tick, _| {
+            version == 0 && tick.0 >= 50
+        });
+        let s = mgr.stats();
+        // The oracle needed a few bad rounds to flip, then D2 replaced
+        // the component and service resumed.
+        assert!(s.reshapes >= 1);
+        assert!(s.spares_consumed >= 1);
+        assert!(s.successes > 90, "stats: {s:?}");
+        // After replacement the system settles back on redoing (D1) with
+        // a healthy version.
+        assert_eq!(mgr.active_pattern(), ActivePattern::Redoing);
+        assert!(sub.pending() > 0, "fault notifications were published");
+    }
+
+    #[test]
+    fn alpha_rises_then_resets_after_recovery() {
+        let mut mgr = AdaptiveFtManager::new(2, 2, 3.0, Bus::new());
+        run(&mut mgr, 3, |version, _, _| version == 0);
+        assert!(mgr.alpha() > 0.0);
+        // Keep going until the reshape + replacement resets the oracle.
+        run(&mut mgr, 20, |version, _, _| version == 0);
+        assert_eq!(mgr.active_pattern(), ActivePattern::Redoing);
+        assert!(mgr.versions_left() < 3, "a spare was consumed");
+    }
+
+    #[test]
+    fn architecture_reflects_active_pattern() {
+        let mut mgr = AdaptiveFtManager::new(2, 2, 1.0, Bus::new());
+        // Threshold 1.0 flips quickly under a permanent fault.
+        run(&mut mgr, 5, |version, _, _| version == 0);
+        // The D2 injection replaced c3 by c3.1/c3.2 at some point.
+        let labels: Vec<&str> = mgr
+            .architecture()
+            .history()
+            .iter()
+            .map(|r| r.label.as_str())
+            .collect();
+        assert!(labels.contains(&"D2"), "history: {labels:?}");
+    }
+
+    #[test]
+    fn debug_and_display() {
+        let mgr = AdaptiveFtManager::new(1, 1, 3.0, Bus::new());
+        assert!(format!("{mgr:?}").contains("AdaptiveFtManager"));
+        assert!(ActivePattern::Redoing.to_string().contains("D1"));
+        assert!(ActivePattern::Reconfiguration.to_string().contains("D2"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Checkpoint/rollback: time redundancy over state.
+//!
+//! §3.3 lists the redundancy families — "time-, physical-, information-,
+//! or design-redundancy".  This workspace covers physical redundancy
+//! (the voting farm), information redundancy (SEC-DED ECC), design
+//! redundancy (N-version programming), and time redundancy twice: the
+//! stateless *redoing* pattern, and — here — stateful
+//! checkpoint/rollback for computations whose faults corrupt state rather
+//! than merely failing an attempt.
+
+use std::fmt;
+
+use crate::patterns::Fault;
+
+/// Statistics of a checkpointed execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointStats {
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Operations executed (including retried ones).
+    pub operations: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+}
+
+/// Outcome of a checkpointed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointOutcome<T> {
+    /// The operation committed; the new state is checkpointed.
+    Committed(T),
+    /// Every attempt failed the acceptance test; the state was rolled
+    /// back to the last checkpoint.
+    RolledBack {
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+impl<T> CheckpointOutcome<T> {
+    /// The committed value, if any.
+    #[must_use]
+    pub fn value(self) -> Option<T> {
+        match self {
+            CheckpointOutcome::Committed(v) => Some(v),
+            CheckpointOutcome::RolledBack { .. } => None,
+        }
+    }
+}
+
+/// A checkpointed state machine: operations run against a working copy
+/// and only commit when they pass the acceptance test; otherwise the
+/// state rolls back and the operation is retried up to a budget.
+///
+/// ```
+/// use afta_ftpatterns::checkpoint::Checkpointer;
+/// use afta_ftpatterns::Fault;
+///
+/// let mut cp = Checkpointer::new(vec![1, 2, 3], 3);
+/// // An operation that corrupts state on its first attempt.
+/// let mut first = true;
+/// let out = cp.execute(|state| {
+///     if first {
+///         first = false;
+///         state.clear(); // the fault corrupts the state...
+///         Err(Fault)
+///     } else {
+///         state.push(4);
+///         Ok(state.len())
+///     }
+/// });
+/// assert_eq!(out.value(), Some(4));
+/// assert_eq!(cp.state(), &vec![1, 2, 3, 4]); // corruption never committed
+/// assert_eq!(cp.stats().rollbacks, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Checkpointer<S: Clone> {
+    committed: S,
+    budget: u32,
+    stats: CheckpointStats,
+}
+
+impl<S: Clone + fmt::Debug> Checkpointer<S> {
+    /// Creates a checkpointer over `initial` state with a per-operation
+    /// retry `budget`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    #[must_use]
+    pub fn new(initial: S, budget: u32) -> Self {
+        assert!(budget > 0, "checkpointer needs at least one attempt");
+        Self {
+            committed: initial,
+            budget,
+            stats: CheckpointStats {
+                checkpoints: 1,
+                ..CheckpointStats::default()
+            },
+        }
+    }
+
+    /// The last committed state.
+    #[must_use]
+    pub fn state(&self) -> &S {
+        &self.committed
+    }
+
+    /// Consumes the checkpointer, returning the committed state.
+    #[must_use]
+    pub fn into_state(self) -> S {
+        self.committed
+    }
+
+    /// Execution statistics.
+    #[must_use]
+    pub fn stats(&self) -> CheckpointStats {
+        self.stats
+    }
+
+    /// Runs `op` on a working copy of the state.  On `Ok`, the working
+    /// copy is committed (checkpointed) and the value returned; on
+    /// `Err(Fault)`, the copy is discarded (rollback) and the operation
+    /// retried, up to the budget.
+    pub fn execute<T>(
+        &mut self,
+        mut op: impl FnMut(&mut S) -> Result<T, Fault>,
+    ) -> CheckpointOutcome<T> {
+        for attempt in 0..self.budget {
+            let mut working = self.committed.clone();
+            self.stats.operations += 1;
+            match op(&mut working) {
+                Ok(value) => {
+                    self.committed = working;
+                    self.stats.checkpoints += 1;
+                    return CheckpointOutcome::Committed(value);
+                }
+                Err(Fault) => {
+                    self.stats.rollbacks += 1;
+                    let _ = attempt;
+                }
+            }
+        }
+        CheckpointOutcome::RolledBack {
+            attempts: self.budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successful_ops_commit() {
+        let mut cp = Checkpointer::new(0u64, 3);
+        for i in 1..=10u64 {
+            let out = cp.execute(|s| {
+                *s += i;
+                Ok(*s)
+            });
+            assert!(matches!(out, CheckpointOutcome::Committed(_)));
+        }
+        assert_eq!(*cp.state(), 55);
+        assert_eq!(cp.stats().checkpoints, 11); // initial + 10 commits
+        assert_eq!(cp.stats().rollbacks, 0);
+    }
+
+    #[test]
+    fn corrupting_fault_never_reaches_committed_state() {
+        let mut cp = Checkpointer::new(vec![1, 2, 3], 5);
+        let mut attempts = 0;
+        let out = cp.execute(|state| {
+            attempts += 1;
+            if attempts <= 2 {
+                // The fault scribbles over the state before failing.
+                state.iter_mut().for_each(|x| *x = 999);
+                Err(Fault)
+            } else {
+                state.push(4);
+                Ok(())
+            }
+        });
+        assert!(out.value().is_some());
+        assert_eq!(cp.state(), &vec![1, 2, 3, 4]);
+        assert_eq!(cp.stats().rollbacks, 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_rolls_back_fully() {
+        let mut cp = Checkpointer::new(String::from("pristine"), 4);
+        let out: CheckpointOutcome<()> = cp.execute(|s| {
+            s.push_str("-corrupted");
+            Err(Fault)
+        });
+        assert_eq!(out, CheckpointOutcome::RolledBack { attempts: 4 });
+        assert_eq!(out.value(), None);
+        assert_eq!(cp.state(), "pristine");
+        assert_eq!(cp.stats().operations, 4);
+        assert_eq!(cp.stats().rollbacks, 4);
+    }
+
+    #[test]
+    fn into_state_returns_committed() {
+        let mut cp = Checkpointer::new(7i32, 1);
+        let _ = cp.execute(|s| {
+            *s = 8;
+            Ok(())
+        });
+        assert_eq!(cp.into_state(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_budget_rejected() {
+        let _ = Checkpointer::new(0u8, 0);
+    }
+}

@@ -1,0 +1,469 @@
+//! The §3.2 clash experiments (E7/E8 in DESIGN.md).
+//!
+//! The paper's two claims:
+//!
+//! 1. "A clash of assumption `e1` implies a livelock (endless repetition)
+//!    as a result of redoing actions in the face of permanent faults."
+//! 2. "A clash of assumption `e2` implies an unnecessary expenditure of
+//!    resources as a result of applying reconfiguration in the face of
+//!    transient faults."
+//!
+//! [`run_scenario`] executes a workload under one of three managers —
+//! static redoing, static reconfiguration, or the adaptive §3.2 manager —
+//! against one of three environments (transient-dominated, intermittent
+//! windows, or a permanent fault), and reports the quantities that reveal
+//! the clashes.
+
+use std::fmt;
+
+use afta_eventbus::Bus;
+use afta_sim::{SeedFactory, Tick};
+use rand::Rng;
+
+use crate::adaptive::AdaptiveFtManager;
+use crate::patterns::{Fault, ReconfigOutcome, Reconfiguration, RedoOutcome, Redoing};
+
+/// The environment the workload runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Environment {
+    /// Transient faults only: each attempt independently fails with the
+    /// given probability ×1000 (permille).  Retries usually succeed.
+    Transient {
+        /// Per-attempt fault probability in permille.
+        permille: u32,
+    },
+    /// A permanent fault strikes the original component at the given
+    /// tick; replacement versions are healthy.
+    PermanentAt(u64),
+    /// An intermittent fault: from the given tick the original component
+    /// fails during recurring windows (`period` ticks on, `period` off);
+    /// replacement versions are healthy.
+    IntermittentAt {
+        /// Onset tick.
+        onset: u64,
+        /// Window length (fail `period` ticks, recover `period` ticks).
+        period: u64,
+    },
+}
+
+impl fmt::Display for Environment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Environment::Transient { permille } => {
+                write!(f, "transient faults ({}%)", *permille as f64 / 10.0)
+            }
+            Environment::PermanentAt(t) => write!(f, "permanent fault at t={t}"),
+            Environment::IntermittentAt { onset, period } => {
+                write!(f, "intermittent fault at t={onset} (period {period})")
+            }
+        }
+    }
+}
+
+/// Which manager protects the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Static redoing — assumption `e1` fixed at design time.
+    StaticRedoing,
+    /// Static reconfiguration — assumption `e2` fixed at design time.
+    StaticReconfiguration,
+    /// The adaptive §3.2 manager (alpha-count + DAG injection).
+    Adaptive,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::StaticRedoing => write!(f, "static redoing (e1)"),
+            Strategy::StaticReconfiguration => write!(f, "static reconfiguration (e2)"),
+            Strategy::Adaptive => write!(f, "adaptive (alpha-count + DAG)"),
+        }
+    }
+}
+
+/// Results of one scenario run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClashReport {
+    /// The strategy exercised.
+    pub strategy: Strategy,
+    /// The environment it faced.
+    pub environment: Environment,
+    /// Rounds attempted.
+    pub rounds: u64,
+    /// Rounds that delivered a value.
+    pub successes: u64,
+    /// Rounds that delivered nothing.
+    pub failures: u64,
+    /// Retry attempts beyond first tries.
+    pub retries: u64,
+    /// Spare versions consumed.
+    pub spares_consumed: u64,
+    /// Rounds that hit the retry budget — each one is a detected
+    /// livelock (in an unbounded implementation the system would hang
+    /// here forever).
+    pub livelocks: u64,
+}
+
+impl ClashReport {
+    /// Whether the run exhibits the paper's `e1` clash signature:
+    /// detected livelocks.
+    #[must_use]
+    pub fn shows_livelock(&self) -> bool {
+        self.livelocks > 0
+    }
+
+    /// Whether the run exhibits the paper's `e2` clash signature:
+    /// spares burned on faults that a retry would have absorbed.
+    #[must_use]
+    pub fn shows_waste(&self) -> bool {
+        self.spares_consumed > 0
+            && matches!(self.environment, Environment::Transient { .. })
+    }
+}
+
+impl fmt::Display for ClashReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vs {}: {}/{} ok, retries {}, spares {}, livelocks {}",
+            self.strategy,
+            self.environment,
+            self.successes,
+            self.rounds,
+            self.retries,
+            self.spares_consumed,
+            self.livelocks
+        )
+    }
+}
+
+/// Parameters shared by all scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioConfig {
+    /// Number of workload rounds.
+    pub rounds: u64,
+    /// Redoing attempt budget per round.
+    pub retry_budget: u32,
+    /// Spare versions available to reconfiguration.
+    pub spares: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 1000,
+            retry_budget: 8,
+            spares: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs one (strategy, environment) cell of the clash table.
+#[must_use]
+pub fn run_scenario(
+    strategy: Strategy,
+    environment: Environment,
+    config: ScenarioConfig,
+) -> ClashReport {
+    let seeds = SeedFactory::new(config.seed);
+    let mut rng = seeds.stream("clash-env");
+
+    // The component oracle: does an attempt on `version` at `tick` fail?
+    let mut attempt_fails = move |version: usize, tick: Tick| -> bool {
+        match environment {
+            Environment::Transient { permille } => rng.gen_range(0..1000) < permille,
+            Environment::PermanentAt(onset) => version == 0 && tick.0 >= onset,
+            Environment::IntermittentAt { onset, period } => {
+                version == 0 && tick.0 >= onset && ((tick.0 - onset) / period).is_multiple_of(2)
+            }
+        }
+    };
+
+    let mut report = ClashReport {
+        strategy,
+        environment,
+        rounds: config.rounds,
+        successes: 0,
+        failures: 0,
+        retries: 0,
+        spares_consumed: 0,
+        livelocks: 0,
+    };
+
+    match strategy {
+        Strategy::StaticRedoing => {
+            let redo = Redoing::new(config.retry_budget);
+            for t in 1..=config.rounds {
+                let tick = Tick(t);
+                let out = redo.execute(|_retry| {
+                    if attempt_fails(0, tick) {
+                        Err(Fault)
+                    } else {
+                        Ok(())
+                    }
+                });
+                report.retries += u64::from(out.attempts().saturating_sub(1));
+                match out {
+                    RedoOutcome::Success { .. } => report.successes += 1,
+                    RedoOutcome::Livelock { .. } => {
+                        report.failures += 1;
+                        report.livelocks += 1;
+                    }
+                }
+            }
+        }
+        Strategy::StaticReconfiguration => {
+            let mut rc = Reconfiguration::new(config.spares + 1);
+            for t in 1..=config.rounds {
+                let tick = Tick(t);
+                let out = rc.execute(|version| {
+                    if attempt_fails(version, tick) {
+                        Err(Fault)
+                    } else {
+                        Ok(())
+                    }
+                });
+                match out {
+                    ReconfigOutcome::Success {
+                        spares_consumed, ..
+                    } => {
+                        report.successes += 1;
+                        report.spares_consumed += spares_consumed as u64;
+                    }
+                    ReconfigOutcome::Exhausted { spares_consumed } => {
+                        report.failures += 1;
+                        report.spares_consumed += spares_consumed as u64;
+                    }
+                }
+            }
+        }
+        Strategy::Adaptive => {
+            let mut mgr = AdaptiveFtManager::new(
+                config.retry_budget,
+                config.spares,
+                3.0,
+                Bus::new(),
+            );
+            for t in 1..=config.rounds {
+                let tick = Tick(t);
+                let _ = mgr.execute_round(tick, |version, _retry| {
+                    if attempt_fails(version, tick) {
+                        Err(Fault)
+                    } else {
+                        Ok(())
+                    }
+                });
+            }
+            let s = mgr.stats();
+            report.successes = s.successes;
+            report.failures = s.round_failures;
+            report.retries = s.retries;
+            report.spares_consumed = s.spares_consumed;
+            // With the adaptive manager, a round failure under redoing is
+            // a budget exhaustion, i.e. a (bounded) livelock episode.
+            report.livelocks = s.round_failures.min(s.retries / u64::from(config.retry_budget).max(1));
+        }
+    }
+
+    report
+}
+
+/// Runs the full 3×3 clash table the `table_clash` bench prints.
+#[must_use]
+pub fn run_clash_table(config: ScenarioConfig) -> Vec<ClashReport> {
+    let transient = Environment::Transient { permille: 50 };
+    let permanent = Environment::PermanentAt(config.rounds / 10);
+    let intermittent = Environment::IntermittentAt {
+        onset: config.rounds / 10,
+        period: 25,
+    };
+    let mut out = Vec::new();
+    for strategy in [
+        Strategy::StaticRedoing,
+        Strategy::StaticReconfiguration,
+        Strategy::Adaptive,
+    ] {
+        for env in [transient, intermittent, permanent] {
+            out.push(run_scenario(strategy, env, config));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> ScenarioConfig {
+        ScenarioConfig {
+            rounds: 500,
+            retry_budget: 8,
+            spares: 16,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn e1_clash_static_redoing_livelocks_under_permanent_fault() {
+        let r = run_scenario(
+            Strategy::StaticRedoing,
+            Environment::PermanentAt(50),
+            config(),
+        );
+        assert!(r.shows_livelock());
+        // Every round after the onset burns the whole budget.
+        assert!(r.livelocks > 400, "report: {r}");
+        assert!(r.retries > 3000, "report: {r}");
+    }
+
+    #[test]
+    fn static_redoing_is_fine_under_transients() {
+        let r = run_scenario(
+            Strategy::StaticRedoing,
+            Environment::Transient { permille: 50 },
+            config(),
+        );
+        assert!(!r.shows_livelock() || r.livelocks < 3);
+        assert!(r.successes >= 498, "report: {r}");
+        assert_eq!(r.spares_consumed, 0);
+    }
+
+    #[test]
+    fn e2_clash_static_reconfiguration_wastes_spares_under_transients() {
+        let r = run_scenario(
+            Strategy::StaticReconfiguration,
+            Environment::Transient { permille: 50 },
+            config(),
+        );
+        assert!(r.shows_waste(), "report: {r}");
+        // ~5% of 500 rounds hit a transient; each costs a spare until
+        // they run out.
+        assert!(r.spares_consumed >= 10, "report: {r}");
+    }
+
+    #[test]
+    fn static_reconfiguration_is_fine_under_permanent_fault() {
+        let r = run_scenario(
+            Strategy::StaticReconfiguration,
+            Environment::PermanentAt(50),
+            config(),
+        );
+        assert_eq!(r.spares_consumed, 1, "one replacement, then healthy");
+        assert_eq!(r.failures, 0);
+    }
+
+    #[test]
+    fn adaptive_avoids_both_clashes() {
+        let transient = run_scenario(
+            Strategy::Adaptive,
+            Environment::Transient { permille: 50 },
+            config(),
+        );
+        // No spare waste under transients (the oracle keeps D1 bound, or
+        // flips at most briefly).
+        assert!(
+            transient.spares_consumed <= 2,
+            "adaptive wasted spares: {transient}"
+        );
+        assert!(transient.successes >= 495, "report: {transient}");
+
+        let permanent = run_scenario(
+            Strategy::Adaptive,
+            Environment::PermanentAt(50),
+            config(),
+        );
+        // The oracle flips to D2 after a few bad rounds; the replacement
+        // restores service, so failures stay bounded by the flip latency.
+        assert!(permanent.failures < 10, "report: {permanent}");
+        assert!(permanent.spares_consumed >= 1, "report: {permanent}");
+        assert!(
+            permanent.successes > config().rounds - 10,
+            "report: {permanent}"
+        );
+    }
+
+    #[test]
+    fn clash_table_has_nine_cells() {
+        let table = run_clash_table(ScenarioConfig {
+            rounds: 200,
+            ..config()
+        });
+        assert_eq!(table.len(), 9);
+        // Headline cells of the paper's analysis:
+        let cell = |s, matcher: fn(&Environment) -> bool| {
+            *table
+                .iter()
+                .find(|r| r.strategy == s && matcher(&r.environment))
+                .unwrap()
+        };
+        let redo_perm = cell(Strategy::StaticRedoing, |e| {
+            matches!(e, Environment::PermanentAt(_))
+        });
+        assert!(redo_perm.shows_livelock());
+        let reconf_trans = cell(Strategy::StaticReconfiguration, |e| {
+            matches!(e, Environment::Transient { .. })
+        });
+        assert!(reconf_trans.shows_waste());
+    }
+
+    #[test]
+    fn intermittent_fault_livelocks_static_redoing_in_windows() {
+        // During each failing window, every round exhausts the budget —
+        // the alpha-count's "permanent or intermittent" lumping is
+        // justified: both demand replacement.
+        let r = run_scenario(
+            Strategy::StaticRedoing,
+            Environment::IntermittentAt { onset: 50, period: 25 },
+            config(),
+        );
+        assert!(r.shows_livelock());
+        // Roughly half the post-onset rounds are in failing windows.
+        assert!(r.livelocks > 150, "report: {r}");
+        assert!(r.livelocks < 300, "report: {r}");
+
+        // The adaptive manager replaces the component once and recovers.
+        let a = run_scenario(
+            Strategy::Adaptive,
+            Environment::IntermittentAt { onset: 50, period: 25 },
+            config(),
+        );
+        assert!(a.successes > 450, "report: {a}");
+        assert!(a.spares_consumed >= 1, "report: {a}");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run_scenario(
+            Strategy::Adaptive,
+            Environment::Transient { permille: 100 },
+            config(),
+        );
+        let b = run_scenario(
+            Strategy::Adaptive,
+            Environment::Transient { permille: 100 },
+            config(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn displays() {
+        assert!(Strategy::Adaptive.to_string().contains("adaptive"));
+        assert!(Environment::PermanentAt(5).to_string().contains("t=5"));
+        assert!(Environment::Transient { permille: 50 }
+            .to_string()
+            .contains("5%"));
+        let r = run_scenario(
+            Strategy::StaticRedoing,
+            Environment::Transient { permille: 0 },
+            ScenarioConfig {
+                rounds: 10,
+                ..config()
+            },
+        );
+        assert!(r.to_string().contains("10/10 ok"));
+    }
+}

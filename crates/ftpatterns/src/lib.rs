@@ -1,0 +1,34 @@
+//! # afta-ftpatterns — fault-tolerance design patterns with run-time binding
+//!
+//! The run-time strategy of the paper's §3.2: the choice between the
+//! *redoing* pattern (assumption `e1`: transient faults) and the
+//! *reconfiguration* pattern (assumption `e2`: permanent faults) is
+//! postponed to run time and conditioned on the observed behaviour of the
+//! environment, as assessed by an alpha-count oracle.
+//!
+//! * [`patterns`] — the pattern executors: [`Redoing`],
+//!   [`Reconfiguration`], [`NVersion`], [`RecoveryBlocks`];
+//! * [`watchdog`] — deadline watchdogs and the Fig. 4 scenario
+//!   ([`fig4_scenario`]);
+//! * [`adaptive`] — [`AdaptiveFtManager`], wiring the event bus, the
+//!   alpha-count, and the reflective DAG's D1/D2 snapshot injection;
+//! * [`clash`] — the experiments demonstrating the paper's two clash
+//!   claims (livelock under `e1`, waste under `e2`) and the adaptive
+//!   manager avoiding both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod checkpoint;
+pub mod clash;
+pub mod patterns;
+pub mod watchdog;
+
+pub use adaptive::{ActivePattern, AdaptiveFtManager, AdaptiveStats, FaultNotification};
+pub use checkpoint::{CheckpointOutcome, CheckpointStats, Checkpointer};
+pub use clash::{run_clash_table, run_scenario, ClashReport, Environment, ScenarioConfig, Strategy};
+pub use patterns::{
+    Fault, NVersion, ReconfigOutcome, Reconfiguration, RecoveryBlocks, RedoOutcome, Redoing,
+};
+pub use watchdog::{fig4_scenario, Fig4Row, Fig4Trace, Watchdog};

@@ -1,0 +1,498 @@
+//! The fault-tolerance design patterns of §3.2.
+//!
+//! "A choice like the **redoing** design pattern — i.e., repeat on failure
+//! — implies assumption `e1`: {'The physical environment shall exhibit
+//! transient faults'}, while a design pattern such as **reconfiguration**
+//! — that is, replace on failure — is the natural choice after an
+//! assumption such as `e2`: {'The physical environment shall exhibit
+//! permanent faults'}."
+//!
+//! Each pattern here is an execution strategy over *attempts*: closures
+//! that either produce a value or report a fault.  The strategies count
+//! exactly the quantities the paper's clash analysis cares about —
+//! retries burned (the `e1` livelock) and spares consumed (the `e2`
+//! waste).
+
+use std::fmt;
+
+use afta_voting::{majority_vote, VoteOutcome};
+
+/// A boxed version/alternate implementation: input in, output out.
+pub type VersionFn<In, Out> = Box<dyn FnMut(&In) -> Out + Send>;
+/// A boxed acceptance test over (input, output).
+pub type AcceptanceFn<In, Out> = Box<dyn FnMut(&In, &Out) -> bool + Send>;
+
+/// A failed attempt.  Carried as a value (not an `Err(String)`) so
+/// experiments can construct it en masse at no cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fault;
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attempt faulted")
+    }
+}
+
+/// Outcome of a redoing execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedoOutcome<T> {
+    /// The computation eventually succeeded.
+    Success {
+        /// The computed value.
+        value: T,
+        /// Total attempts used (1 = first try succeeded).
+        attempts: u32,
+    },
+    /// The attempt budget ran out with every attempt faulting — in an
+    /// unbounded implementation this is the *livelock* ("endless
+    /// repetition") the paper predicts when `e1` clashes with a permanent
+    /// fault.
+    Livelock {
+        /// Attempts burned before giving up.
+        attempts: u32,
+    },
+}
+
+impl<T> RedoOutcome<T> {
+    /// The value, if the redoing succeeded.
+    #[must_use]
+    pub fn value(self) -> Option<T> {
+        match self {
+            RedoOutcome::Success { value, .. } => Some(value),
+            RedoOutcome::Livelock { .. } => None,
+        }
+    }
+
+    /// Attempts used either way.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        match self {
+            RedoOutcome::Success { attempts, .. } | RedoOutcome::Livelock { attempts } => {
+                *attempts
+            }
+        }
+    }
+}
+
+/// The **redoing** pattern: repeat on failure, up to a budget.
+///
+/// The budget models the watchdog/timeout that real deployments bolt on;
+/// hitting it is how we *observe* the livelock in finite time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Redoing {
+    budget: u32,
+}
+
+impl Redoing {
+    /// Creates the pattern with an attempt budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget == 0`.
+    #[must_use]
+    pub fn new(budget: u32) -> Self {
+        assert!(budget > 0, "redoing needs at least one attempt");
+        Self { budget }
+    }
+
+    /// The attempt budget.
+    #[must_use]
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// Runs `attempt` until it succeeds or the budget is exhausted.  The
+    /// closure receives the 0-based attempt number.
+    pub fn execute<T>(
+        &self,
+        mut attempt: impl FnMut(u32) -> Result<T, Fault>,
+    ) -> RedoOutcome<T> {
+        for i in 0..self.budget {
+            if let Ok(value) = attempt(i) {
+                return RedoOutcome::Success {
+                    value,
+                    attempts: i + 1,
+                };
+            }
+        }
+        RedoOutcome::Livelock {
+            attempts: self.budget,
+        }
+    }
+}
+
+/// Outcome of a reconfiguration execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigOutcome<T> {
+    /// Some version delivered a value.
+    Success {
+        /// The computed value.
+        value: T,
+        /// Index of the version that delivered (0 = original primary).
+        version: usize,
+        /// Spares consumed *this call* (0 = primary was fine).
+        spares_consumed: usize,
+    },
+    /// Every remaining version faulted.
+    Exhausted {
+        /// Spares consumed this call.
+        spares_consumed: usize,
+    },
+}
+
+impl<T> ReconfigOutcome<T> {
+    /// The value, if any version succeeded.
+    #[must_use]
+    pub fn value(self) -> Option<T> {
+        match self {
+            ReconfigOutcome::Success { value, .. } => Some(value),
+            ReconfigOutcome::Exhausted { .. } => None,
+        }
+    }
+}
+
+/// The **reconfiguration** pattern: replace on failure.
+///
+/// The pattern is stateful: once a version is declared failed it is never
+/// retried (it has been replaced).  `total_versions` bounds the spares;
+/// consuming them on transient faults is the `e2`-clash waste.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reconfiguration {
+    total_versions: usize,
+    current: usize,
+    spares_consumed_total: usize,
+}
+
+impl Reconfiguration {
+    /// Creates the pattern with a primary plus `total_versions - 1`
+    /// spares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_versions == 0`.
+    #[must_use]
+    pub fn new(total_versions: usize) -> Self {
+        assert!(total_versions > 0, "reconfiguration needs a primary");
+        Self {
+            total_versions,
+            current: 0,
+            spares_consumed_total: 0,
+        }
+    }
+
+    /// Index of the currently active version.
+    #[must_use]
+    pub fn current_version(&self) -> usize {
+        self.current
+    }
+
+    /// Spares consumed over the pattern's lifetime.
+    #[must_use]
+    pub fn spares_consumed_total(&self) -> usize {
+        self.spares_consumed_total
+    }
+
+    /// Remaining versions (including the active one).
+    #[must_use]
+    pub fn versions_left(&self) -> usize {
+        self.total_versions - self.current
+    }
+
+    /// Runs `attempt` on the active version; on fault, permanently
+    /// switches to the next version and tries again, until success or
+    /// exhaustion.  The closure receives the version index.
+    pub fn execute<T>(
+        &mut self,
+        mut attempt: impl FnMut(usize) -> Result<T, Fault>,
+    ) -> ReconfigOutcome<T> {
+        let mut consumed = 0;
+        while self.current < self.total_versions {
+            match attempt(self.current) {
+                Ok(value) => {
+                    return ReconfigOutcome::Success {
+                        value,
+                        version: self.current,
+                        spares_consumed: consumed,
+                    }
+                }
+                Err(Fault) => {
+                    // Replace on failure.
+                    self.current += 1;
+                    consumed += 1;
+                    self.spares_consumed_total += 1;
+                }
+            }
+        }
+        ReconfigOutcome::Exhausted {
+            spares_consumed: consumed,
+        }
+    }
+}
+
+/// N-version programming: run `n` *diverse* versions and vote (§3.3's
+/// footnote: "simple replication would not suffice to tolerate design
+/// faults, in which case a design diversity scheme such as N-Version
+/// Programming would be required").
+pub struct NVersion<In, Out> {
+    versions: Vec<VersionFn<In, Out>>,
+}
+
+impl<In, Out> fmt::Debug for NVersion<In, Out> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NVersion")
+            .field("versions", &self.versions.len())
+            .finish()
+    }
+}
+
+impl<In, Out: Eq + std::hash::Hash + Clone> NVersion<In, Out> {
+    /// Creates an empty scheme; add versions with [`NVersion::push`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            versions: Vec::new(),
+        }
+    }
+
+    /// Adds a version.
+    pub fn push(&mut self, version: impl FnMut(&In) -> Out + Send + 'static) {
+        self.versions.push(Box::new(version));
+    }
+
+    /// Number of versions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True when no versions are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Runs all versions and votes on the results.
+    pub fn run(&mut self, input: &In) -> VoteOutcome<Out> {
+        let votes: Vec<Out> = self.versions.iter_mut().map(|v| v(input)).collect();
+        majority_vote(&votes)
+    }
+}
+
+impl<In, Out: Eq + std::hash::Hash + Clone> Default for NVersion<In, Out> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Recovery blocks: try alternates in order until one passes the
+/// acceptance test.
+pub struct RecoveryBlocks<In, Out> {
+    alternates: Vec<VersionFn<In, Out>>,
+    acceptance: AcceptanceFn<In, Out>,
+}
+
+impl<In, Out> fmt::Debug for RecoveryBlocks<In, Out> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecoveryBlocks")
+            .field("alternates", &self.alternates.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<In, Out> RecoveryBlocks<In, Out> {
+    /// Creates the scheme with an acceptance test.
+    #[must_use]
+    pub fn new(acceptance: impl FnMut(&In, &Out) -> bool + Send + 'static) -> Self {
+        Self {
+            alternates: Vec::new(),
+            acceptance: Box::new(acceptance),
+        }
+    }
+
+    /// Adds an alternate (first added = primary).
+    pub fn push(&mut self, alternate: impl FnMut(&In) -> Out + Send + 'static) {
+        self.alternates.push(Box::new(alternate));
+    }
+
+    /// Number of alternates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.alternates.len()
+    }
+
+    /// True when no alternates are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.alternates.is_empty()
+    }
+
+    /// Runs alternates in order; returns the first accepted output and
+    /// the index that produced it, or `None` when all alternates fail the
+    /// test.
+    pub fn run(&mut self, input: &In) -> Option<(usize, Out)> {
+        for (i, alt) in self.alternates.iter_mut().enumerate() {
+            let out = alt(input);
+            if (self.acceptance)(input, &out) {
+                return Some((i, out));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redoing_succeeds_eventually() {
+        let r = Redoing::new(10);
+        // Fails twice, then succeeds — a transient burst.
+        let out = r.execute(|i| if i < 2 { Err(Fault) } else { Ok(i * 10) });
+        assert_eq!(
+            out,
+            RedoOutcome::Success {
+                value: 20,
+                attempts: 3
+            }
+        );
+        assert_eq!(out.attempts(), 3);
+        assert_eq!(out.value(), Some(20));
+    }
+
+    #[test]
+    fn redoing_first_try() {
+        let out = Redoing::new(5).execute(|_| Ok::<_, Fault>(1));
+        assert_eq!(out.attempts(), 1);
+    }
+
+    #[test]
+    fn redoing_livelocks_on_permanent_fault() {
+        // The paper's claim 1: "a clash of assumption e1 implies a
+        // livelock (endless repetition) as a result of redoing actions in
+        // the face of permanent faults."
+        let r = Redoing::new(100);
+        let out: RedoOutcome<()> = r.execute(|_| Err(Fault));
+        assert_eq!(out, RedoOutcome::Livelock { attempts: 100 });
+        assert_eq!(out.value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn redoing_zero_budget_rejected() {
+        let _ = Redoing::new(0);
+    }
+
+    #[test]
+    fn reconfiguration_switches_on_failure() {
+        let mut rc = Reconfiguration::new(3);
+        // Version 0 is permanently broken.
+        let out = rc.execute(|v| if v == 0 { Err(Fault) } else { Ok(v) });
+        assert_eq!(
+            out,
+            ReconfigOutcome::Success {
+                value: 1,
+                version: 1,
+                spares_consumed: 1
+            }
+        );
+        assert_eq!(rc.current_version(), 1);
+        assert_eq!(rc.versions_left(), 2);
+        // The switch is permanent: next call starts at version 1.
+        let out = rc.execute(|v| Ok::<_, Fault>(v * 100));
+        assert_eq!(out.value(), Some(100));
+    }
+
+    #[test]
+    fn reconfiguration_wastes_spares_on_transients() {
+        // The paper's claim 2: "a clash of assumption e2 implies an
+        // unnecessary expenditure of resources as a result of applying
+        // reconfiguration in the face of transient faults."
+        let mut rc = Reconfiguration::new(5);
+        let mut first_call = true;
+        // A single transient fault hits whichever version is active on
+        // the first call, then everything is healthy again.
+        let out = rc.execute(|_| {
+            if first_call {
+                first_call = false;
+                Err(Fault)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(matches!(
+            out,
+            ReconfigOutcome::Success {
+                spares_consumed: 1,
+                ..
+            }
+        ));
+        // One perfectly good version was discarded for a fault that would
+        // have vanished on retry.
+        assert_eq!(rc.spares_consumed_total(), 1);
+    }
+
+    #[test]
+    fn reconfiguration_exhausts() {
+        let mut rc = Reconfiguration::new(2);
+        let out: ReconfigOutcome<()> = rc.execute(|_| Err(Fault));
+        assert_eq!(out, ReconfigOutcome::Exhausted { spares_consumed: 2 });
+        assert_eq!(out.value(), None);
+        assert_eq!(rc.versions_left(), 0);
+        // Further calls fail immediately without consuming anything.
+        let out: ReconfigOutcome<()> = rc.execute(|_| Err(Fault));
+        assert_eq!(out, ReconfigOutcome::Exhausted { spares_consumed: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a primary")]
+    fn reconfiguration_zero_versions_rejected() {
+        let _ = Reconfiguration::new(0);
+    }
+
+    #[test]
+    fn nversion_masks_a_design_fault() {
+        let mut nvp: NVersion<i32, i32> = NVersion::new();
+        nvp.push(|x| x * 2);
+        nvp.push(|x| x + x);
+        nvp.push(|x| x * 3); // the buggy diverse version
+        assert_eq!(nvp.len(), 3);
+        let out = nvp.run(&5);
+        assert_eq!(out.value(), Some(&10));
+        assert_eq!(out.dissent(), Some(1));
+    }
+
+    #[test]
+    fn nversion_empty_and_default() {
+        let mut nvp: NVersion<i32, i32> = NVersion::default();
+        assert!(nvp.is_empty());
+        assert_eq!(nvp.run(&1), VoteOutcome::NoMajority);
+    }
+
+    #[test]
+    fn recovery_blocks_falls_through_to_alternate() {
+        let mut rb: RecoveryBlocks<i32, i32> =
+            RecoveryBlocks::new(|input, out| *out >= *input);
+        rb.push(|x| x - 1); // primary fails the acceptance test
+        rb.push(|x| x + 1); // alternate passes
+        assert_eq!(rb.len(), 2);
+        assert_eq!(rb.run(&10), Some((1, 11)));
+    }
+
+    #[test]
+    fn recovery_blocks_all_fail() {
+        let mut rb: RecoveryBlocks<i32, i32> = RecoveryBlocks::new(|_, out| *out > 100);
+        rb.push(|x| *x);
+        assert_eq!(rb.run(&1), None);
+        assert!(!rb.is_empty());
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert!(Fault.to_string().contains("fault"));
+        let nvp: NVersion<i32, i32> = NVersion::new();
+        assert!(format!("{nvp:?}").contains("NVersion"));
+        let rb: RecoveryBlocks<i32, i32> = RecoveryBlocks::new(|_, _| true);
+        assert!(format!("{rb:?}").contains("RecoveryBlocks"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Watchdog timers and the paper's Fig. 4 scenario.
+//!
+//! Fig. 4 shows "a watchdog (left-hand window) and a watched task
+//! (right-hand).  A permanent design fault is repeatedly injected in the
+//! watched task.  As a consequence, the watchdog 'fires' and an
+//! alpha-count variable is updated.  The value of that variable increases
+//! until it overcomes a threshold (3.0) and correspondingly the fault is
+//! labeled as 'permanent or intermittent.'"
+
+use afta_alphacount::{AlphaCount, Judgment, Verdict};
+use afta_sim::Tick;
+
+/// A deadline watchdog: the watched task must *kick* it at least once per
+/// period; a check past the deadline fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Watchdog {
+    period: u64,
+    last_kick: Tick,
+    fired: u64,
+}
+
+impl Watchdog {
+    /// Creates a watchdog with the given period (in ticks), armed at
+    /// `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    #[must_use]
+    pub fn new(period: u64, start: Tick) -> Self {
+        assert!(period > 0, "watchdog period must be positive");
+        Self {
+            period,
+            last_kick: start,
+            fired: 0,
+        }
+    }
+
+    /// The watchdog period.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The watched task signals liveness.
+    pub fn kick(&mut self, now: Tick) {
+        self.last_kick = now;
+    }
+
+    /// Checks the deadline: returns `true` (and counts a firing) when at
+    /// least a full period has elapsed since the last kick.
+    pub fn check(&mut self, now: Tick) -> bool {
+        if now.since(self.last_kick) >= self.period {
+            self.fired += 1;
+            // Re-arm relative to now so one hang yields one firing per
+            // check period, not a firing on every subsequent check.
+            self.last_kick = now;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total firings so far.
+    #[must_use]
+    pub fn firings(&self) -> u64 {
+        self.fired
+    }
+}
+
+/// One row of the Fig. 4 trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Row {
+    /// Watchdog check round.
+    pub round: u64,
+    /// Virtual time of the check.
+    pub tick: Tick,
+    /// Whether the watched task was alive this period.
+    pub task_alive: bool,
+    /// Whether the watchdog fired.
+    pub fired: bool,
+    /// Alpha-count value after recording the round.
+    pub alpha: f64,
+    /// Discrimination after the round.
+    pub verdict: Verdict,
+}
+
+/// Summary of a Fig. 4 run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Trace {
+    /// Per-round rows.
+    pub rows: Vec<Fig4Row>,
+    /// The round at which the alpha-count crossed the 3.0 threshold, if
+    /// it did.
+    pub labeled_permanent_at: Option<u64>,
+}
+
+/// Runs the Fig. 4 scenario: a watched task kicks its watchdog every tick
+/// until a permanent design fault manifests at `fault_onset`; from then on
+/// it hangs.  The watchdog checks every `period` ticks and feeds an
+/// alpha-count with threshold 3.0 (decay K = 0.5).
+///
+/// # Panics
+///
+/// Panics if `period == 0` (via [`Watchdog::new`]).
+#[must_use]
+pub fn fig4_scenario(rounds: u64, period: u64, fault_onset: Tick) -> Fig4Trace {
+    let mut wd = Watchdog::new(period, Tick::ZERO);
+    let mut ac = AlphaCount::with_threshold(3.0);
+    let mut rows = Vec::with_capacity(rounds as usize);
+    let mut labeled_at = None;
+
+    for round in 1..=rounds {
+        let check_at = Tick(round * period + 1); // just past each deadline
+        // The task kicks at every tick of the period while healthy.
+        let period_start = Tick((round - 1) * period);
+        let mut alive = false;
+        for t in period_start.0..check_at.0 {
+            let now = Tick(t);
+            if now < fault_onset {
+                wd.kick(now);
+                alive = true;
+            }
+        }
+        let fired = wd.check(check_at);
+        let judgment = if fired {
+            Judgment::Erroneous
+        } else {
+            Judgment::Correct
+        };
+        let verdict = ac.record(judgment);
+        if verdict == Verdict::PermanentOrIntermittent && labeled_at.is_none() {
+            labeled_at = Some(round);
+        }
+        rows.push(Fig4Row {
+            round,
+            tick: check_at,
+            task_alive: alive,
+            fired,
+            alpha: ac.alpha(),
+            verdict,
+        });
+    }
+
+    Fig4Trace {
+        rows,
+        labeled_permanent_at: labeled_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_quiet_while_kicked() {
+        let mut wd = Watchdog::new(10, Tick::ZERO);
+        wd.kick(Tick(5));
+        assert!(!wd.check(Tick(10)));
+        wd.kick(Tick(12));
+        assert!(!wd.check(Tick(20)));
+        assert_eq!(wd.firings(), 0);
+    }
+
+    #[test]
+    fn watchdog_fires_past_deadline() {
+        let mut wd = Watchdog::new(10, Tick::ZERO);
+        assert!(wd.check(Tick(11)));
+        assert_eq!(wd.firings(), 1);
+        // Re-armed: an immediate re-check does not fire again.
+        assert!(!wd.check(Tick(12)));
+        // But another full silent period does.
+        assert!(wd.check(Tick(23)));
+        assert_eq!(wd.firings(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = Watchdog::new(0, Tick::ZERO);
+    }
+
+    #[test]
+    fn fig4_crosses_threshold_after_fourth_firing() {
+        // Task healthy for 5 rounds (period 10), then hangs permanently.
+        let trace = fig4_scenario(15, 10, Tick(50));
+        // Healthy rounds: no firing, verdict transient, alpha 0.
+        for row in &trace.rows[..4] {
+            assert!(!row.fired, "round {}", row.round);
+            assert_eq!(row.verdict, Verdict::Transient);
+            assert_eq!(row.alpha, 0.0);
+        }
+        // Hang starts inside round 5's period; firings accumulate alpha
+        // 1, 2, 3, 4 — label flips strictly above 3.0.
+        let labeled = trace.labeled_permanent_at.expect("must be labeled");
+        let first_fired = trace.rows.iter().find(|r| r.fired).unwrap().round;
+        assert_eq!(labeled, first_fired + 3);
+        let row = &trace.rows[(labeled - 1) as usize];
+        assert!(row.alpha > 3.0);
+        assert_eq!(row.verdict, Verdict::PermanentOrIntermittent);
+    }
+
+    #[test]
+    fn fig4_healthy_task_never_labeled() {
+        let trace = fig4_scenario(50, 10, Tick(u64::MAX));
+        assert_eq!(trace.labeled_permanent_at, None);
+        assert!(trace.rows.iter().all(|r| !r.fired));
+        assert!(trace.rows.iter().all(|r| r.task_alive));
+    }
+
+    #[test]
+    fn fig4_trace_has_requested_rounds() {
+        let trace = fig4_scenario(7, 5, Tick(1000));
+        assert_eq!(trace.rows.len(), 7);
+        assert_eq!(trace.rows[0].round, 1);
+        assert_eq!(trace.rows[6].round, 7);
+    }
+
+    #[test]
+    fn fig4_alpha_decays_after_transient_hang() {
+        // A task that hangs for one period and then recovers would be
+        // judged transient: alpha rises once then halves away.
+        // Build it manually from the primitives.
+        let mut wd = Watchdog::new(10, Tick::ZERO);
+        let mut ac = AlphaCount::with_threshold(3.0);
+        // Round 1: hang.
+        assert!(wd.check(Tick(11)));
+        ac.record(Judgment::Erroneous);
+        assert_eq!(ac.alpha(), 1.0);
+        // Rounds 2..: healthy again.
+        for round in 2..10u64 {
+            wd.kick(Tick(round * 10 + 5));
+            let fired = wd.check(Tick((round + 1) * 10));
+            assert!(!fired);
+            ac.record(Judgment::Correct);
+        }
+        assert!(ac.alpha() < 0.01);
+        assert_eq!(ac.verdict(), Verdict::Transient);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests on the pattern executors' resource accounting.
+
+use afta_eventbus::Bus;
+use afta_ftpatterns::{
+    AdaptiveFtManager, Fault, ReconfigOutcome, Reconfiguration, RedoOutcome, Redoing, Watchdog,
+};
+use afta_sim::Tick;
+use proptest::prelude::*;
+
+proptest! {
+    /// Redoing never exceeds its budget, and succeeds exactly when some
+    /// attempt within the budget would succeed.
+    #[test]
+    fn redoing_budget_is_respected(
+        budget in 1u32..50,
+        fail_first in 0u32..60,
+    ) {
+        let r = Redoing::new(budget);
+        let out = r.execute(|attempt| {
+            if attempt < fail_first {
+                Err(Fault)
+            } else {
+                Ok(attempt)
+            }
+        });
+        prop_assert!(out.attempts() <= budget);
+        if fail_first < budget {
+            prop_assert_eq!(
+                out,
+                RedoOutcome::Success { value: fail_first, attempts: fail_first + 1 }
+            );
+        } else {
+            prop_assert_eq!(out, RedoOutcome::Livelock { attempts: budget });
+        }
+    }
+
+    /// Reconfiguration consumes each version at most once over its whole
+    /// lifetime, regardless of the failure pattern.
+    #[test]
+    fn reconfiguration_spares_bounded_by_versions(
+        versions in 1usize..10,
+        failure_mask in proptest::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let mut rc = Reconfiguration::new(versions);
+        for _round in 0..10 {
+            let mask = failure_mask.clone();
+            let out = rc.execute(|v| {
+                if mask.get(v).copied().unwrap_or(false) {
+                    Err(Fault)
+                } else {
+                    Ok(v)
+                }
+            });
+            if let ReconfigOutcome::Success { version, .. } = out {
+                prop_assert!(!failure_mask.get(version).copied().unwrap_or(false));
+            }
+        }
+        prop_assert!(rc.spares_consumed_total() <= versions);
+        prop_assert!(rc.current_version() <= versions);
+    }
+
+    /// The watchdog fires iff at least one full period elapsed since the
+    /// last kick, for arbitrary kick/check schedules.
+    #[test]
+    fn watchdog_fires_exactly_on_expiry(
+        period in 1u64..20,
+        schedule in proptest::collection::vec((any::<bool>(), 1u64..5), 1..50),
+    ) {
+        let mut wd = Watchdog::new(period, Tick::ZERO);
+        let mut now = 0u64;
+        let mut last_kick = 0u64;
+        let mut expected_firings = 0u64;
+        for (is_kick, dt) in schedule {
+            now += dt;
+            if is_kick {
+                wd.kick(Tick(now));
+                last_kick = now;
+            } else {
+                let should_fire = now - last_kick >= period;
+                let fired = wd.check(Tick(now));
+                prop_assert_eq!(fired, should_fire, "t={} last_kick={}", now, last_kick);
+                if fired {
+                    expected_firings += 1;
+                    last_kick = now; // the check re-arms
+                }
+            }
+        }
+        prop_assert_eq!(wd.firings(), expected_firings);
+    }
+
+    /// The adaptive manager conserves rounds: successes + failures equals
+    /// rounds executed, for arbitrary fault patterns.
+    #[test]
+    fn adaptive_manager_conserves_rounds(
+        pattern in proptest::collection::vec(any::<bool>(), 1..100),
+        budget in 1u32..5,
+        spares in 1usize..5,
+    ) {
+        let mut mgr = AdaptiveFtManager::new(budget, spares, 3.0, Bus::new());
+        for (i, &faulty) in pattern.iter().enumerate() {
+            let _ = mgr.execute_round(Tick(i as u64 + 1), |_v, _r| {
+                if faulty {
+                    Err(Fault)
+                } else {
+                    Ok(())
+                }
+            });
+        }
+        let s = mgr.stats();
+        prop_assert_eq!(s.rounds, pattern.len() as u64);
+        prop_assert_eq!(s.successes + s.round_failures, s.rounds);
+        prop_assert!(s.spares_consumed <= spares as u64 + 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! Deployment-time rebinding: the §3.1 strategy applied when software
+//! *moves*.
+//!
+//! "Our position is that existing tools will have to be augmented so as
+//! to minimize the risks of assumption failures e.g. when porting,
+//! deploying, or moving software to a new machine."  The paper notes the
+//! compile-time selection "could be embedded in the execution
+//! environment", selecting "at deployment time ... which of the
+//! design-time alternative assumptions has the highest chance to match
+//! reality".
+//!
+//! [`DeploymentManager`] is that executive: it holds the method
+//! assumption variable and, every time the software lands on a machine
+//! (initial deployment, migration, DIMM swap), re-runs introspection +
+//! knowledge lookup and rebinds if the new truth demands it.  Every
+//! rebinding is recorded — the Ariane-4-to-5 move with the paperwork the
+//! real one lacked.
+
+use std::fmt;
+
+use afta_core::AssumptionVar;
+use afta_memsim::{BehaviorClass, MachineInventory, Severity};
+
+use crate::knowledge::FailureKnowledgeBase;
+use crate::select::{configure, ConfigureError, MethodKind};
+
+/// One deployment decision in the manager's history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentRecord {
+    /// A caller-supplied name for the machine (hostname, rack slot, ...).
+    pub machine: String,
+    /// The worst behaviour class across the machine's banks (the binding
+    /// must tolerate every bank).
+    pub worst_behavior: BehaviorClass,
+    /// The worst severity seen.
+    pub worst_severity: Severity,
+    /// The method bound for this machine.
+    pub method: MethodKind,
+    /// Whether the move changed the binding.
+    pub rebound: bool,
+}
+
+impl fmt::Display for DeploymentRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: worst behavior {} ({:?}) -> {} ({})",
+            self.machine,
+            self.worst_behavior,
+            self.worst_severity,
+            self.method,
+            if self.rebound { "REBOUND" } else { "unchanged" }
+        )
+    }
+}
+
+/// The deployment-time binding executive.
+#[derive(Debug)]
+pub struct DeploymentManager {
+    kb: FailureKnowledgeBase,
+    var: AssumptionVar<MethodKind>,
+    history: Vec<DeploymentRecord>,
+}
+
+impl DeploymentManager {
+    /// Creates a manager around a knowledge base.
+    #[must_use]
+    pub fn new(kb: FailureKnowledgeBase) -> Self {
+        Self {
+            kb,
+            var: crate::select::method_assumption_var(),
+            history: Vec::new(),
+        }
+    }
+
+    /// The currently bound method, if any deployment has happened.
+    #[must_use]
+    pub fn current_method(&self) -> Option<MethodKind> {
+        self.var.value().ok().copied()
+    }
+
+    /// The deployment history, oldest first.
+    #[must_use]
+    pub fn history(&self) -> &[DeploymentRecord] {
+        &self.history
+    }
+
+    /// Deploys (or migrates) onto `machine`: introspects every bank,
+    /// resolves the *worst* behaviour across them, and rebinds the method
+    /// variable if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigureError`] when the machine has no banks the
+    /// knowledge base can resolve, or no method tolerates the worst
+    /// behaviour.
+    pub fn deploy(
+        &mut self,
+        machine_name: impl Into<String>,
+        machine: &MachineInventory,
+    ) -> Result<&DeploymentRecord, ConfigureError> {
+        let machine_name = machine_name.into();
+        let mut worst: Option<(BehaviorClass, Severity)> = None;
+        for bank in machine.banks() {
+            let report = configure(&bank.spd, &self.kb)?;
+            let candidate = (report.behavior, report.severity);
+            worst = Some(match worst {
+                None => candidate,
+                Some(current) => {
+                    // Behaviour dominates; severity breaks ties.
+                    if (candidate.0, severity_rank(candidate.1))
+                        > (current.0, severity_rank(current.1))
+                    {
+                        candidate
+                    } else {
+                        current
+                    }
+                }
+            });
+        }
+        let (worst_behavior, worst_severity) = worst.ok_or_else(|| {
+            ConfigureError::UnknownModule {
+                lot_key: format!("{machine_name}/<no banks>"),
+            }
+        })?;
+
+        let before = self.current_method();
+        let method = *self
+            .var
+            .bind(worst_behavior.label(), &afta_core::MinCostBinder)
+            .map_err(ConfigureError::NoTolerantMethod)?;
+        let record = DeploymentRecord {
+            machine: machine_name,
+            worst_behavior,
+            worst_severity,
+            method,
+            rebound: before != Some(method),
+        };
+        self.history.push(record);
+        Ok(self.history.last().expect("just pushed"))
+    }
+}
+
+fn severity_rank(s: Severity) -> u8 {
+    match s {
+        Severity::Benign => 0,
+        Severity::Nominal => 1,
+        Severity::Harsh => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afta_memsim::{MemoryTechnology, Spd};
+
+    fn machine(tech: MemoryTechnology, model: &str) -> MachineInventory {
+        MachineInventory::new().with_bank(
+            "DIMM_A",
+            Spd {
+                vendor: "CE00".into(),
+                model: model.into(),
+                serial: "1".into(),
+                lot: "L1".into(),
+                size_mib: 512,
+                clock_mhz: 533,
+                width_bits: 64,
+                technology: tech,
+            },
+        )
+    }
+
+    #[test]
+    fn migration_from_cmos_to_sdram_rebinds() {
+        // The Ariane scenario at the memory level: software validated on
+        // a CMOS machine (f1 -> M1) moves to an SDRAM machine (f3 -> M3).
+        let mut mgr = DeploymentManager::new(FailureKnowledgeBase::builtin());
+        let rec = mgr
+            .deploy("lab-cmos", &machine(MemoryTechnology::Cmos, "GENERIC"))
+            .unwrap();
+        assert_eq!(rec.method, MethodKind::M1);
+        assert!(rec.rebound);
+
+        let rec = mgr
+            .deploy("prod-sdram", &machine(MemoryTechnology::Sdram, "GENERIC"))
+            .unwrap();
+        assert_eq!(rec.method, MethodKind::M3);
+        assert!(rec.rebound);
+        assert_eq!(mgr.current_method(), Some(MethodKind::M3));
+        assert_eq!(mgr.history().len(), 2);
+    }
+
+    #[test]
+    fn redeploy_on_same_class_does_not_rebind() {
+        let mut mgr = DeploymentManager::new(FailureKnowledgeBase::builtin());
+        mgr.deploy("a", &machine(MemoryTechnology::Sdram, "GENERIC"))
+            .unwrap();
+        let rec = mgr
+            .deploy("b", &machine(MemoryTechnology::Sdram, "GENERIC"))
+            .unwrap();
+        assert!(!rec.rebound);
+        assert_eq!(rec.method, MethodKind::M3);
+    }
+
+    #[test]
+    fn worst_bank_wins() {
+        // One benign CMOS bank plus the notorious f4 SDRAM part: the
+        // binding must tolerate the worst.
+        let mixed = MachineInventory::new()
+            .with_bank(
+                "DIMM_A",
+                Spd {
+                    vendor: "RAD".into(),
+                    model: "HM6264".into(), // f0 in the builtin KB
+                    serial: "1".into(),
+                    lot: "L1".into(),
+                    size_mib: 8,
+                    clock_mhz: 100,
+                    width_bits: 8,
+                    technology: MemoryTechnology::Cmos,
+                },
+            )
+            .with_bank(
+                "DIMM_B",
+                Spd {
+                    vendor: "CE00".into(),
+                    model: "K4H510838B".into(), // f4
+                    serial: "2".into(),
+                    lot: "L2".into(),
+                    size_mib: 512,
+                    clock_mhz: 533,
+                    width_bits: 64,
+                    technology: MemoryTechnology::Sdram,
+                },
+            );
+        let mut mgr = DeploymentManager::new(FailureKnowledgeBase::builtin());
+        let rec = mgr.deploy("mixed", &mixed).unwrap();
+        assert_eq!(rec.worst_behavior, BehaviorClass::F4);
+        assert_eq!(rec.method, MethodKind::M4);
+    }
+
+    #[test]
+    fn empty_machine_is_an_error() {
+        let mut mgr = DeploymentManager::new(FailureKnowledgeBase::builtin());
+        let err = mgr.deploy("ghost", &MachineInventory::new()).unwrap_err();
+        assert!(err.to_string().contains("no banks"));
+        assert!(mgr.current_method().is_none());
+    }
+
+    #[test]
+    fn unknown_module_propagates() {
+        let mut mgr = DeploymentManager::new(FailureKnowledgeBase::new());
+        assert!(mgr
+            .deploy("x", &machine(MemoryTechnology::Cmos, "UNKNOWN"))
+            .is_err());
+    }
+
+    #[test]
+    fn record_display() {
+        let mut mgr = DeploymentManager::new(FailureKnowledgeBase::builtin());
+        let rec = mgr
+            .deploy("host-1", &machine(MemoryTechnology::Cmos, "GENERIC"))
+            .unwrap();
+        let s = rec.to_string();
+        assert!(s.contains("host-1"));
+        assert!(s.contains("M1"));
+        assert!(s.contains("REBOUND"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Hamming SEC-DED error-correcting code, built from scratch.
+//!
+//! The fault-tolerant access methods `M1..M4` need a way to *detect and
+//! correct* the single-bit upsets that CMOS and SDRAM memories suffer
+//! (§3.1).  This module implements the classic single-error-correcting,
+//! double-error-detecting Hamming code over one data byte: 8 data bits
+//! protected by 4 Hamming check bits plus 1 overall parity bit, i.e. a
+//! (13,8) SEC-DED code.  The codeword is stored as the raw data byte plus
+//! a 5-bit check byte, which maps directly onto the byte-oriented
+//! [`afta_memsim::SimMemory`] device.
+//!
+//! Guarantees (proven by the property tests below):
+//!
+//! * any **single** bit error across the 13 stored bits is corrected;
+//! * any **double** bit error is detected (reported uncorrectable), never
+//!   miscorrected into silently wrong data.
+
+use std::fmt;
+
+/// Number of Hamming check bits (positions 1, 2, 4, 8).
+const HAMMING_BITS: usize = 4;
+
+/// Positions (1-based) of the 8 data bits inside the 12-bit Hamming frame.
+const DATA_POSITIONS: [usize; 8] = [3, 5, 6, 7, 9, 10, 11, 12];
+
+/// Outcome of decoding a protected byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decoded {
+    /// The codeword was clean.
+    Clean(u8),
+    /// One bit error was found and corrected.
+    Corrected(u8),
+    /// Two (or more detectable) bit errors: the data is unrecoverable from
+    /// this codeword alone.
+    Uncorrectable,
+}
+
+impl Decoded {
+    /// The recovered byte, if any.
+    #[must_use]
+    pub fn value(self) -> Option<u8> {
+        match self {
+            Decoded::Clean(b) | Decoded::Corrected(b) => Some(b),
+            Decoded::Uncorrectable => None,
+        }
+    }
+
+    /// Whether a correction was applied.
+    #[must_use]
+    pub fn was_corrected(self) -> bool {
+        matches!(self, Decoded::Corrected(_))
+    }
+}
+
+impl fmt::Display for Decoded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decoded::Clean(b) => write!(f, "clean ({b:#04x})"),
+            Decoded::Corrected(b) => write!(f, "corrected ({b:#04x})"),
+            Decoded::Uncorrectable => write!(f, "uncorrectable"),
+        }
+    }
+}
+
+/// Builds the 12-bit Hamming frame (positions 1..=12) for a data byte,
+/// with check bits zeroed.
+fn frame_of(data: u8) -> u16 {
+    let mut frame: u16 = 0;
+    for (i, &pos) in DATA_POSITIONS.iter().enumerate() {
+        if data & (1 << i) != 0 {
+            frame |= 1 << (pos - 1);
+        }
+    }
+    frame
+}
+
+/// Extracts the data byte from a 12-bit frame.
+fn data_of(frame: u16) -> u8 {
+    let mut data: u8 = 0;
+    for (i, &pos) in DATA_POSITIONS.iter().enumerate() {
+        if frame & (1 << (pos - 1)) != 0 {
+            data |= 1 << i;
+        }
+    }
+    data
+}
+
+/// Computes the 4 Hamming check bits for a frame (data bits only).
+fn check_bits(frame: u16) -> u8 {
+    let mut check: u8 = 0;
+    for c in 0..HAMMING_BITS {
+        let mask = 1usize << c; // parity position 1, 2, 4, 8
+        let mut parity = 0u16;
+        for pos in 1..=12usize {
+            // Parity bit c covers positions whose index has bit c set,
+            // excluding the parity positions themselves (they are zero in
+            // `frame`).
+            if pos & mask != 0 && frame & (1 << (pos - 1)) != 0 {
+                parity ^= 1;
+            }
+        }
+        if parity != 0 {
+            check |= 1 << c;
+        }
+    }
+    check
+}
+
+/// Encodes a data byte into its 5-bit check byte: bits 0..=3 are the
+/// Hamming check bits, bit 4 is the overall parity of data + check bits.
+#[must_use]
+pub fn encode(data: u8) -> u8 {
+    let frame = frame_of(data);
+    let check = check_bits(frame);
+    let overall =
+        (u32::from(data).count_ones() + u32::from(check).count_ones()) as u8 & 1;
+    check | (overall << 4)
+}
+
+/// Decodes a (data, check) pair, correcting a single-bit error anywhere in
+/// the 13 stored bits.
+///
+/// Bits 5..=7 of `check` are ignored (the storage byte's unused bits may
+/// rot freely without harming the code).
+#[must_use]
+pub fn decode(data: u8, check: u8) -> Decoded {
+    let check = check & 0x1F;
+    let stored_check = check & 0x0F;
+    let stored_overall = (check >> 4) & 1;
+
+    // Reassemble the full 12-bit frame including the stored check bits at
+    // their positions, then compute the syndrome.
+    let mut frame = frame_of(data);
+    for c in 0..HAMMING_BITS {
+        if stored_check & (1 << c) != 0 {
+            frame |= 1 << ((1usize << c) - 1);
+        }
+    }
+    let mut syndrome: usize = 0;
+    for c in 0..HAMMING_BITS {
+        let mask = 1usize << c;
+        let mut parity = 0u16;
+        for pos in 1..=12usize {
+            if pos & mask != 0 && frame & (1 << (pos - 1)) != 0 {
+                parity ^= 1;
+            }
+        }
+        if parity != 0 {
+            syndrome |= mask;
+        }
+    }
+
+    let actual_overall =
+        (u32::from(data).count_ones() + u32::from(stored_check).count_ones()) as u8 & 1;
+    let overall_ok = actual_overall == stored_overall;
+
+    match (syndrome, overall_ok) {
+        (0, true) => Decoded::Clean(data),
+        (0, false) => {
+            // The overall parity bit itself flipped; data is intact.
+            Decoded::Corrected(data)
+        }
+        (s, false) => {
+            // Single error at position s: flip it and re-extract.
+            if s > 12 {
+                return Decoded::Uncorrectable;
+            }
+            let fixed = frame ^ (1 << (s - 1));
+            Decoded::Corrected(data_of(fixed))
+        }
+        (_, true) => {
+            // Non-zero syndrome but overall parity consistent: double
+            // error.
+            Decoded::Uncorrectable
+        }
+    }
+}
+
+/// Convenience: encodes `data` and returns `(data, check)` as stored.
+#[must_use]
+pub fn encode_pair(data: u8) -> (u8, u8) {
+    (data, encode(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_roundtrip_all_bytes() {
+        for b in 0..=255u8 {
+            let check = encode(b);
+            assert_eq!(decode(b, check), Decoded::Clean(b), "byte {b:#04x}");
+        }
+    }
+
+    #[test]
+    fn corrects_any_single_data_bit_flip() {
+        for b in [0u8, 0xFF, 0xA5, 0x3C, 0x01] {
+            let check = encode(b);
+            for bit in 0..8 {
+                let corrupted = b ^ (1 << bit);
+                let d = decode(corrupted, check);
+                assert_eq!(d, Decoded::Corrected(b), "byte {b:#04x} bit {bit}");
+                assert!(d.was_corrected());
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_any_single_check_bit_flip() {
+        for b in [0u8, 0xFF, 0xA5, 0x3C] {
+            let check = encode(b);
+            for bit in 0..5 {
+                let corrupted_check = check ^ (1 << bit);
+                let d = decode(b, corrupted_check);
+                assert_eq!(d.value(), Some(b), "byte {b:#04x} check bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn detects_double_errors_without_miscorrection() {
+        for b in [0u8, 0xFF, 0xA5, 0x3C, 0x42] {
+            let check = encode(b);
+            // Two flips within the data byte.
+            for i in 0..8 {
+                for j in (i + 1)..8 {
+                    let corrupted = b ^ (1 << i) ^ (1 << j);
+                    assert_eq!(
+                        decode(corrupted, check),
+                        Decoded::Uncorrectable,
+                        "byte {b:#04x} bits {i},{j}"
+                    );
+                }
+            }
+            // One data flip plus one check flip.
+            for i in 0..8 {
+                for j in 0..5 {
+                    let d = decode(b ^ (1 << i), check ^ (1 << j));
+                    // Must be detected OR corrected to the right value —
+                    // never silently wrong.
+                    if let Some(v) = d.value() {
+                        assert_eq!(v, b, "miscorrected {b:#04x} bits d{i} c{j}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unused_check_bits_are_ignored() {
+        let b = 0x5A;
+        let check = encode(b);
+        // Rot in bits 5..7 of the stored check byte is harmless.
+        for garbage in [0x20u8, 0x40, 0x80, 0xE0] {
+            assert_eq!(decode(b, check | garbage), Decoded::Clean(b));
+        }
+    }
+
+    #[test]
+    fn encode_pair_matches_encode() {
+        let (d, c) = encode_pair(0x7E);
+        assert_eq!(d, 0x7E);
+        assert_eq!(c, encode(0x7E));
+    }
+
+    #[test]
+    fn decoded_accessors_and_display() {
+        assert_eq!(Decoded::Clean(3).value(), Some(3));
+        assert_eq!(Decoded::Corrected(3).value(), Some(3));
+        assert_eq!(Decoded::Uncorrectable.value(), None);
+        assert!(!Decoded::Clean(0).was_corrected());
+        assert!(Decoded::Clean(0xAB).to_string().contains("clean"));
+        assert!(Decoded::Corrected(1).to_string().contains("corrected"));
+        assert!(Decoded::Uncorrectable.to_string().contains("uncorrectable"));
+    }
+
+    #[test]
+    fn check_byte_uses_only_low_five_bits() {
+        for b in 0..=255u8 {
+            assert_eq!(encode(b) & 0xE0, 0, "byte {b:#04x}");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The failure-knowledge base of §3.1.
+//!
+//! "Such rules could access local or remote, shared databases reporting
+//! known failure behaviors for models and even specific lots thereof."
+//!
+//! [`FailureKnowledgeBase`] maps memory-module identities — at lot,
+//! model, or technology granularity — to the [`BehaviorClass`] (`f0..f4`)
+//! and [`Severity`] the field has observed for them.  Lookup resolves
+//! most-specific-first: lot, then model, then technology default.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use afta_memsim::{BehaviorClass, MemoryTechnology, Severity, Spd};
+
+/// A knowledge-base record: what is known about a module population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureRecord {
+    /// The failure behaviour observed in the field.
+    pub behavior: BehaviorClass,
+    /// How far off nominal the observed rates run.
+    pub severity: Severity,
+}
+
+impl FailureRecord {
+    /// Creates a record.
+    #[must_use]
+    pub fn new(behavior: BehaviorClass, severity: Severity) -> Self {
+        Self { behavior, severity }
+    }
+}
+
+/// At which granularity a lookup resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MatchLevel {
+    /// Fell back to the technology-wide default.
+    Technology,
+    /// Matched vendor/model.
+    Model,
+    /// Matched vendor/model/lot — the paper's "even specific lots
+    /// thereof".
+    Lot,
+}
+
+/// The shared database of known failure behaviours.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct FailureKnowledgeBase {
+    by_lot: BTreeMap<String, FailureRecord>,
+    by_model: BTreeMap<String, FailureRecord>,
+    by_technology: BTreeMap<String, FailureRecord>,
+}
+
+impl FailureKnowledgeBase {
+    /// Creates an empty knowledge base.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records behaviour for a specific lot (`vendor/model/lot`).
+    pub fn insert_lot(&mut self, lot_key: impl Into<String>, record: FailureRecord) {
+        self.by_lot.insert(lot_key.into(), record);
+    }
+
+    /// Records behaviour for a model (`vendor/model`).
+    pub fn insert_model(&mut self, model_key: impl Into<String>, record: FailureRecord) {
+        self.by_model.insert(model_key.into(), record);
+    }
+
+    /// Records the default behaviour of a technology.
+    pub fn insert_technology(&mut self, tech: MemoryTechnology, record: FailureRecord) {
+        self.by_technology.insert(tech.to_string(), record);
+    }
+
+    /// Number of records across all granularities.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_lot.len() + self.by_model.len() + self.by_technology.len()
+    }
+
+    /// True when the base holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves the most probable behaviour for the module described by
+    /// `spd`, most specific record first.  Returns the record and the
+    /// granularity it matched at, or `None` when nothing is known.
+    #[must_use]
+    pub fn lookup(&self, spd: &Spd) -> Option<(FailureRecord, MatchLevel)> {
+        if let Some(r) = self.by_lot.get(&spd.lot_key()) {
+            return Some((*r, MatchLevel::Lot));
+        }
+        if let Some(r) = self.by_model.get(&spd.model_key()) {
+            return Some((*r, MatchLevel::Model));
+        }
+        if let Some(r) = self.by_technology.get(&spd.technology.to_string()) {
+            return Some((*r, MatchLevel::Technology));
+        }
+        None
+    }
+
+    /// Serialises the base to JSON (the stand-in for the paper's shared
+    /// remote databases).
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if serialisation fails (practically
+    /// impossible for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Loads a base from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// A small built-in field database used by the examples and benches:
+    /// CMOS defaults to `f1`, SDRAM to `f3`, with some model- and
+    /// lot-specific refinements (including a notorious bad lot, after the
+    /// paper's "from lot to lot error and failure rates can vary more than
+    /// one order of magnitude").
+    #[must_use]
+    pub fn builtin() -> Self {
+        let mut kb = Self::new();
+        kb.insert_technology(
+            MemoryTechnology::Cmos,
+            FailureRecord::new(BehaviorClass::F1, Severity::Nominal),
+        );
+        kb.insert_technology(
+            MemoryTechnology::Sdram,
+            FailureRecord::new(BehaviorClass::F3, Severity::Nominal),
+        );
+        // A rugged aerospace-qualified CMOS part: stable.
+        kb.insert_model(
+            "RAD/HM6264",
+            FailureRecord::new(BehaviorClass::F0, Severity::Benign),
+        );
+        // An aging CMOS family that develops stuck cells.
+        kb.insert_model(
+            "CE00/CMOS-AG4",
+            FailureRecord::new(BehaviorClass::F2, Severity::Nominal),
+        );
+        // A dense SDRAM part known for the full single-event menagerie.
+        kb.insert_model(
+            "CE00/K4H510838B",
+            FailureRecord::new(BehaviorClass::F4, Severity::Nominal),
+        );
+        // ...and its notorious bad lot.
+        kb.insert_lot(
+            "CE00/K4H510838B/L2004-17",
+            FailureRecord::new(BehaviorClass::F4, Severity::Harsh),
+        );
+        kb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(vendor: &str, model: &str, lot: &str, tech: MemoryTechnology) -> Spd {
+        Spd {
+            vendor: vendor.into(),
+            model: model.into(),
+            serial: "S".into(),
+            lot: lot.into(),
+            size_mib: 512,
+            clock_mhz: 533,
+            width_bits: 64,
+            technology: tech,
+        }
+    }
+
+    #[test]
+    fn lookup_prefers_lot_over_model_over_technology() {
+        let kb = FailureKnowledgeBase::builtin();
+        let bad_lot = spd("CE00", "K4H510838B", "L2004-17", MemoryTechnology::Sdram);
+        let (r, level) = kb.lookup(&bad_lot).unwrap();
+        assert_eq!(level, MatchLevel::Lot);
+        assert_eq!(r.severity, Severity::Harsh);
+
+        let other_lot = spd("CE00", "K4H510838B", "L2010-01", MemoryTechnology::Sdram);
+        let (r, level) = kb.lookup(&other_lot).unwrap();
+        assert_eq!(level, MatchLevel::Model);
+        assert_eq!(r.behavior, BehaviorClass::F4);
+        assert_eq!(r.severity, Severity::Nominal);
+
+        let unknown_model = spd("XX", "UNKNOWN", "L0", MemoryTechnology::Sdram);
+        let (r, level) = kb.lookup(&unknown_model).unwrap();
+        assert_eq!(level, MatchLevel::Technology);
+        assert_eq!(r.behavior, BehaviorClass::F3);
+    }
+
+    #[test]
+    fn cmos_defaults_to_f1() {
+        let kb = FailureKnowledgeBase::builtin();
+        let part = spd("YY", "NEW-CMOS", "L1", MemoryTechnology::Cmos);
+        let (r, _) = kb.lookup(&part).unwrap();
+        assert_eq!(r.behavior, BehaviorClass::F1);
+    }
+
+    #[test]
+    fn empty_base_knows_nothing() {
+        let kb = FailureKnowledgeBase::new();
+        assert!(kb.is_empty());
+        assert_eq!(kb.len(), 0);
+        let part = spd("A", "B", "C", MemoryTechnology::Cmos);
+        assert!(kb.lookup(&part).is_none());
+    }
+
+    #[test]
+    fn match_level_ordering() {
+        assert!(MatchLevel::Lot > MatchLevel::Model);
+        assert!(MatchLevel::Model > MatchLevel::Technology);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let kb = FailureKnowledgeBase::builtin();
+        let json = kb.to_json().unwrap();
+        let back = FailureKnowledgeBase::from_json(&json).unwrap();
+        assert_eq!(kb, back);
+        assert!(json.contains("K4H510838B"));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(FailureKnowledgeBase::from_json("{nope").is_err());
+    }
+
+    #[test]
+    fn inserts_count() {
+        let mut kb = FailureKnowledgeBase::new();
+        kb.insert_lot("a/b/c", FailureRecord::new(BehaviorClass::F1, Severity::Nominal));
+        kb.insert_model("a/b", FailureRecord::new(BehaviorClass::F2, Severity::Benign));
+        kb.insert_technology(
+            MemoryTechnology::Cmos,
+            FailureRecord::new(BehaviorClass::F0, Severity::Nominal),
+        );
+        assert_eq!(kb.len(), 3);
+        assert!(!kb.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! # afta-memaccess — fault-tolerant memory access with postponed binding
+//!
+//! The compile-time strategy of the paper's §3.1, end to end:
+//!
+//! 1. memory access is abstracted behind the [`AccessMethod`] trait;
+//! 2. design-time hypotheses `f0..f4` about the hardware's failure
+//!    semantics each get a matching method `M0..M4`
+//!    ([`M0Raw`], [`M1Ecc`], [`M2EccRemap`], [`MirroredEcc`]);
+//! 3. at configuration time, Serial-Presence-Detect introspection plus a
+//!    [`FailureKnowledgeBase`] resolve the *most probable* behaviour
+//!    **f** of the actual modules;
+//! 4. [`configure`] selects the cheapest method that tolerates **f** —
+//!    an [`afta_core::AssumptionVar`] bound with the min-cost rule.
+//!
+//! The SEC-DED error-correcting code the methods rely on is implemented
+//! from scratch in [`ecc`].
+//!
+//! ```
+//! use afta_memaccess::{configure, FailureKnowledgeBase};
+//! use afta_memsim::MachineInventory;
+//!
+//! let kb = FailureKnowledgeBase::builtin();
+//! let machine = MachineInventory::dell_inspiron_6000();
+//! for bank in machine.banks() {
+//!     let report = configure(&bank.spd, &kb)?;
+//!     println!("{report}");
+//! }
+//! # Ok::<(), afta_memaccess::ConfigureError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod ecc;
+pub mod knowledge;
+pub mod methods;
+pub mod select;
+pub mod workload;
+
+pub use knowledge::{FailureKnowledgeBase, FailureRecord, MatchLevel};
+pub use methods::{
+    AccessError, AccessMethod, M0Raw, M1Ecc, M2EccRemap, MethodStats, MirroredEcc,
+};
+pub use deployment::{DeploymentManager, DeploymentRecord};
+pub use select::{configure, method_assumption_var, ConfigReport, ConfigureError, MethodKind};
+pub use workload::{run_workload, WorkloadConfig, WorkloadReport};

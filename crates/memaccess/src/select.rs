@@ -1,0 +1,371 @@
+//! The Autoconf-like configuration step of §3.1.
+//!
+//! "To compile the code on the target platform, an Autoconf-like toolset
+//! is assumed to be available.  Special checking rules are coded in the
+//! toolset making use of e.g. Serial Presence Detect to get access to
+//! information related to the memory modules on the target computer. [...]
+//! Once the most probable memory behavior **f** is retrieved, a method
+//! `M_j` is selected to actually access memory on the target computer.
+//! Selection is done as follows: first we isolate those methods that are
+//! able to tolerate **f**, then we arrange them into a list ordered
+//! according to some cost function [...]; finally we select the minimum
+//! element of that list."
+//!
+//! [`configure`] is that step, built literally on
+//! [`afta_core::AssumptionVar`] + [`afta_core::MinCostBinder`]: the five
+//! methods are the design-time alternatives of an assumption variable
+//! bound at compile time.
+
+use std::fmt;
+
+use afta_core::{Alternative, AssumptionVar, BindingError, BindingTime, MinCostBinder};
+use afta_memsim::{
+    BehaviorClass, FaultRates, Severity, SimMemory, SimMemoryConfig, Spd,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::knowledge::{FailureKnowledgeBase, MatchLevel};
+use crate::methods::{AccessMethod, M0Raw, M1Ecc, M2EccRemap, MirroredEcc};
+
+/// The five method families of §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    /// Raw access.
+    M0,
+    /// ECC + scrub-on-read.
+    M1,
+    /// ECC + write-verify + remapping.
+    M2,
+    /// ECC + mirroring (SEL recovery).
+    M3,
+    /// ECC + mirroring + scrubbing + SEFI recovery.
+    M4,
+}
+
+impl MethodKind {
+    /// All methods, cheapest first.
+    pub const ALL: [MethodKind; 5] = [
+        MethodKind::M0,
+        MethodKind::M1,
+        MethodKind::M2,
+        MethodKind::M3,
+        MethodKind::M4,
+    ];
+
+    /// The paper's label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MethodKind::M0 => "M0",
+            MethodKind::M1 => "M1",
+            MethodKind::M2 => "M2",
+            MethodKind::M3 => "M3",
+            MethodKind::M4 => "M4",
+        }
+    }
+
+    /// Which behaviour classes the method tolerates.
+    #[must_use]
+    pub fn tolerates(self) -> &'static [BehaviorClass] {
+        use BehaviorClass::{F0, F1, F2, F3, F4};
+        match self {
+            MethodKind::M0 => &[F0],
+            MethodKind::M1 => &[F0, F1],
+            MethodKind::M2 => &[F0, F1, F2],
+            MethodKind::M3 => &[F0, F1, F3],
+            MethodKind::M4 => &[F0, F1, F3, F4],
+        }
+    }
+
+    /// The deterministic cost model: a weighted sum of the method's time
+    /// overhead per access and its space overhead.  Lower is better; the
+    /// ordering (M0 < M1 < M2 < M3 < M4) realises the paper's
+    /// "proportional to the expenditure of resources".
+    #[must_use]
+    pub fn cost(self) -> f64 {
+        let (time_factor, space_factor) = match self {
+            MethodKind::M0 => (1.0, 1.0),
+            MethodKind::M1 => (2.2, 2.0),   // 2 physical accesses + decode
+            MethodKind::M2 => (3.5, 2.3),   // + verify read-back + spares
+            MethodKind::M3 => (4.5, 4.0),   // 2 modules, ECC on both
+            MethodKind::M4 => (5.5, 4.0),   // + scrubbing bandwidth
+        };
+        time_factor + space_factor
+    }
+
+    /// Instantiates the method over freshly created simulated modules of
+    /// `module_size` physical bytes each, with fault processes matching
+    /// `rates`.
+    #[must_use]
+    pub fn instantiate(self, module_size: usize, rates: FaultRates, seed: u64) -> Box<dyn AccessMethod> {
+        let mk = |salt: u64| {
+            let cfg = SimMemoryConfig {
+                rates,
+                chips: 4,
+                ..SimMemoryConfig::pristine(module_size)
+            };
+            SimMemory::new(cfg, StdRng::seed_from_u64(seed ^ salt))
+        };
+        match self {
+            MethodKind::M0 => Box::new(M0Raw::new(mk(0x51))),
+            MethodKind::M1 => Box::new(M1Ecc::new(mk(0x52))),
+            MethodKind::M2 => Box::new(M2EccRemap::new(mk(0x53))),
+            MethodKind::M3 => Box::new(MirroredEcc::m3(mk(0x54), mk(0x55))),
+            MethodKind::M4 => Box::new(MirroredEcc::m4(mk(0x56), mk(0x57), 256)),
+        }
+    }
+}
+
+impl fmt::Display for MethodKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Why configuration failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigureError {
+    /// The knowledge base knows nothing about this module and no
+    /// conservative default was allowed.
+    UnknownModule {
+        /// The module's lot key.
+        lot_key: String,
+    },
+    /// No method tolerates the resolved behaviour (cannot happen with the
+    /// builtin method set, which covers `f0..f4`).
+    NoTolerantMethod(BindingError),
+}
+
+impl fmt::Display for ConfigureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigureError::UnknownModule { lot_key } => {
+                write!(f, "no failure knowledge for module {lot_key}")
+            }
+            ConfigureError::NoTolerantMethod(e) => write!(f, "selection failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigureError {}
+
+/// The outcome of the §3.1 configuration step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigReport {
+    /// The module that was introspected.
+    pub spd: Spd,
+    /// The behaviour the knowledge base resolved.
+    pub behavior: BehaviorClass,
+    /// The observed severity for that population.
+    pub severity: Severity,
+    /// At which granularity the knowledge matched.
+    pub match_level: MatchLevel,
+    /// The selected method.
+    pub method: MethodKind,
+    /// The selected method's cost.
+    pub cost: f64,
+    /// Labels of all methods that tolerated the behaviour (the "ordered
+    /// list" before taking the minimum), cheapest first.
+    pub tolerant_methods: Vec<&'static str>,
+}
+
+impl fmt::Display for ConfigReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: behavior {} ({:?} match) -> method {} (cost {:.1}; tolerant: {})",
+            self.spd.model_key(),
+            self.behavior,
+            self.match_level,
+            self.method,
+            self.cost,
+            self.tolerant_methods.join(", ")
+        )
+    }
+}
+
+/// Builds the compile-time assumption variable holding the five methods.
+#[must_use]
+pub fn method_assumption_var() -> AssumptionVar<MethodKind> {
+    let mut var = AssumptionVar::new("mem-access-method", BindingTime::CompileTime);
+    for kind in MethodKind::ALL {
+        var.push(Alternative::new(
+            kind.label(),
+            kind,
+            kind.tolerates().iter().map(|c| c.label()),
+            kind.cost(),
+        ));
+    }
+    var
+}
+
+/// Runs the full §3.1 flow: introspect the module (`spd`), consult the
+/// knowledge base, and bind the method assumption variable with the
+/// min-cost-among-tolerant rule.
+///
+/// # Errors
+///
+/// Returns [`ConfigureError::UnknownModule`] when the knowledge base has
+/// no record at any granularity for the module.
+pub fn configure(
+    spd: &Spd,
+    kb: &FailureKnowledgeBase,
+) -> Result<ConfigReport, ConfigureError> {
+    let (record, match_level) =
+        kb.lookup(spd)
+            .ok_or_else(|| ConfigureError::UnknownModule {
+                lot_key: spd.lot_key(),
+            })?;
+
+    let mut var = method_assumption_var();
+    let behavior_label = record.behavior.label();
+    let method = *var
+        .bind(behavior_label, &MinCostBinder)
+        .map_err(ConfigureError::NoTolerantMethod)?;
+
+    let mut tolerant: Vec<MethodKind> = MethodKind::ALL
+        .into_iter()
+        .filter(|m| m.tolerates().contains(&record.behavior))
+        .collect();
+    tolerant.sort_by(|a, b| a.cost().total_cmp(&b.cost()));
+
+    Ok(ConfigReport {
+        spd: spd.clone(),
+        behavior: record.behavior,
+        severity: record.severity,
+        match_level,
+        method,
+        cost: method.cost(),
+        tolerant_methods: tolerant.into_iter().map(MethodKind::label).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afta_memsim::MemoryTechnology;
+
+    fn spd(vendor: &str, model: &str, lot: &str, tech: MemoryTechnology) -> Spd {
+        Spd {
+            vendor: vendor.into(),
+            model: model.into(),
+            serial: "S".into(),
+            lot: lot.into(),
+            size_mib: 512,
+            clock_mhz: 533,
+            width_bits: 64,
+            technology: tech,
+        }
+    }
+
+    #[test]
+    fn costs_are_strictly_increasing() {
+        for w in MethodKind::ALL.windows(2) {
+            assert!(w[0].cost() < w[1].cost(), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn every_class_has_a_tolerant_method() {
+        for class in BehaviorClass::ALL {
+            assert!(
+                MethodKind::ALL
+                    .iter()
+                    .any(|m| m.tolerates().contains(&class)),
+                "{class} uncovered"
+            );
+        }
+    }
+
+    #[test]
+    fn selection_picks_cheapest_tolerant_per_class() {
+        let kb = FailureKnowledgeBase::builtin();
+        let cases = [
+            ("RAD", "HM6264", MemoryTechnology::Cmos, MethodKind::M0), // f0
+            ("ANY", "NEW", MemoryTechnology::Cmos, MethodKind::M1),    // f1 default
+            ("CE00", "CMOS-AG4", MemoryTechnology::Cmos, MethodKind::M2), // f2
+            ("ANY", "NEW", MemoryTechnology::Sdram, MethodKind::M3),   // f3 default
+            ("CE00", "K4H510838B", MemoryTechnology::Sdram, MethodKind::M4), // f4
+        ];
+        for (vendor, model, tech, expected) in cases {
+            let report = configure(&spd(vendor, model, "L9", tech), &kb).unwrap();
+            assert_eq!(report.method, expected, "{vendor}/{model}");
+            // The tolerant list is ordered by cost and starts with the
+            // selected method.
+            assert_eq!(report.tolerant_methods[0], expected.label());
+        }
+    }
+
+    #[test]
+    fn bad_lot_changes_severity_not_method() {
+        let kb = FailureKnowledgeBase::builtin();
+        let report = configure(
+            &spd("CE00", "K4H510838B", "L2004-17", MemoryTechnology::Sdram),
+            &kb,
+        )
+        .unwrap();
+        assert_eq!(report.method, MethodKind::M4);
+        assert_eq!(report.severity, Severity::Harsh);
+        assert_eq!(report.match_level, MatchLevel::Lot);
+    }
+
+    #[test]
+    fn unknown_module_is_an_error() {
+        let kb = FailureKnowledgeBase::new();
+        let err = configure(&spd("A", "B", "C", MemoryTechnology::Cmos), &kb).unwrap_err();
+        assert_eq!(
+            err,
+            ConfigureError::UnknownModule {
+                lot_key: "A/B/C".into()
+            }
+        );
+        assert!(err.to_string().contains("A/B/C"));
+    }
+
+    #[test]
+    fn assumption_var_is_compile_time_bound() {
+        let var = method_assumption_var();
+        assert_eq!(var.binding_time(), BindingTime::CompileTime);
+        assert_eq!(var.alternatives().len(), 5);
+    }
+
+    #[test]
+    fn selected_method_actually_tolerates_its_class() {
+        // End-to-end: instantiate the selected method over a device with
+        // the resolved behaviour and verify data survives a workload.
+        let kb = FailureKnowledgeBase::builtin();
+        for tech in [MemoryTechnology::Cmos, MemoryTechnology::Sdram] {
+            let spd = spd("ANY", "NEW", "L1", tech);
+            let report = configure(&spd, &kb).unwrap();
+            let rates = FaultRates::for_class(report.behavior, report.severity);
+            let mut m = report.method.instantiate(512, rates, 99);
+            let n = m.logical_size().min(64);
+            for i in 0..n {
+                m.store(i, &[i as u8]).unwrap();
+            }
+            for _ in 0..20 {
+                for i in 0..n {
+                    let mut b = [0u8; 1];
+                    m.load(i, &mut b).unwrap();
+                    assert_eq!(b[0], i as u8, "method {} under {tech}", report.method);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_display_mentions_selection() {
+        let kb = FailureKnowledgeBase::builtin();
+        let report = configure(&spd("ANY", "NEW", "L1", MemoryTechnology::Sdram), &kb).unwrap();
+        let s = report.to_string();
+        assert!(s.contains("f3"));
+        assert!(s.contains("M3"));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MethodKind::M0.label(), "M0");
+        assert_eq!(MethodKind::M4.to_string(), "M4");
+    }
+}

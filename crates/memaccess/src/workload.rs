@@ -1,0 +1,163 @@
+//! A deterministic randomized workload harness for access methods.
+//!
+//! Used by the `table_memaccess` regenerator, the examples, and the test
+//! suites to measure what actually matters about a method on given
+//! hardware: *silently wrong reads* (the failure the paper's Ariane
+//! analysis dreads most) and *lost accesses* (untolerated device errors).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::methods::AccessMethod;
+
+/// Parameters of a workload run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadConfig {
+    /// Number of logical slots exercised (clamped to the method's size).
+    pub slots: usize,
+    /// Number of operations (each a read or a write at a random slot).
+    pub operations: u64,
+    /// Fraction of operations that are writes, in percent.
+    pub write_percent: u32,
+    /// Seed for the operation stream.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            slots: 256,
+            operations: 10_000,
+            write_percent: 30,
+            seed: 42,
+        }
+    }
+}
+
+/// What the workload observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkloadReport {
+    /// Reads that returned successfully but with the wrong byte — silent
+    /// corruption that reached the application.
+    pub wrong_reads: u64,
+    /// Operations that failed with an access error.
+    pub lost_accesses: u64,
+    /// Total reads performed.
+    pub reads: u64,
+    /// Total writes performed.
+    pub writes: u64,
+}
+
+impl WorkloadReport {
+    /// True when the method served every operation correctly.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.wrong_reads == 0 && self.lost_accesses == 0
+    }
+}
+
+/// Runs the workload against `method`: writes maintain a shadow model,
+/// reads are checked against it.
+///
+/// # Panics
+///
+/// Panics if `write_percent > 100` or the method has no logical space.
+#[must_use]
+pub fn run_workload(method: &mut dyn AccessMethod, config: &WorkloadConfig) -> WorkloadReport {
+    assert!(config.write_percent <= 100, "write_percent is a percentage");
+    let slots = config.slots.min(method.logical_size());
+    assert!(slots > 0, "method has no logical space");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut model = vec![0u8; slots];
+    let mut report = WorkloadReport::default();
+
+    // Deterministic initialisation pass.
+    for (slot, cell) in model.iter_mut().enumerate() {
+        let byte = (slot % 251) as u8;
+        if method.store(slot, &[byte]).is_ok() {
+            *cell = byte;
+        } else {
+            report.lost_accesses += 1;
+        }
+        report.writes += 1;
+    }
+
+    for _ in 0..config.operations {
+        let slot = rng.gen_range(0..slots);
+        if rng.gen_range(0..100) < config.write_percent {
+            let byte: u8 = rng.gen();
+            report.writes += 1;
+            if method.store(slot, &[byte]).is_ok() {
+                model[slot] = byte;
+            } else {
+                report.lost_accesses += 1;
+            }
+        } else {
+            report.reads += 1;
+            let mut buf = [0u8; 1];
+            match method.load(slot, &mut buf) {
+                Ok(()) if buf[0] != model[slot] => report.wrong_reads += 1,
+                Ok(()) => {}
+                Err(_) => report.lost_accesses += 1,
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::MethodKind;
+    use afta_memsim::{BehaviorClass, FaultRates, Severity};
+
+    #[test]
+    fn pristine_hardware_is_clean_for_every_method() {
+        for kind in MethodKind::ALL {
+            let mut m = kind.instantiate(2048, FaultRates::none(), 3);
+            let report = run_workload(m.as_mut(), &WorkloadConfig::default());
+            assert!(report.is_clean(), "{kind}: {report:?}");
+            assert!(report.reads > 0 && report.writes > 0);
+        }
+    }
+
+    #[test]
+    fn m0_is_dirty_on_harsh_f4_but_m4_is_clean() {
+        let rates = FaultRates::for_class(BehaviorClass::F4, Severity::Harsh);
+        let config = WorkloadConfig {
+            operations: 5_000,
+            ..WorkloadConfig::default()
+        };
+        let mut m0 = MethodKind::M0.instantiate(2048, rates, 3);
+        let r0 = run_workload(m0.as_mut(), &config);
+        assert!(!r0.is_clean(), "M0 must corrupt under f4/Harsh: {r0:?}");
+
+        let mut m4 = MethodKind::M4.instantiate(2048, rates, 3);
+        let r4 = run_workload(m4.as_mut(), &config);
+        assert!(r4.is_clean(), "M4 must survive f4/Harsh: {r4:?}");
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let rates = FaultRates::for_class(BehaviorClass::F1, Severity::Harsh);
+        let run = || {
+            let mut m = MethodKind::M1.instantiate(1024, rates, 9);
+            run_workload(m.as_mut(), &WorkloadConfig::default())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage")]
+    fn invalid_write_percent_rejected() {
+        let mut m = MethodKind::M0.instantiate(64, FaultRates::none(), 1);
+        let _ = run_workload(
+            m.as_mut(),
+            &WorkloadConfig {
+                write_percent: 101,
+                ..WorkloadConfig::default()
+            },
+        );
+    }
+}

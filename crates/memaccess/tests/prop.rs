@@ -1,0 +1,154 @@
+//! Property tests on the access methods and the selection algorithm.
+
+use afta_memaccess::{configure, FailureKnowledgeBase, FailureRecord, MethodKind};
+use afta_memsim::{BehaviorClass, FaultRates, MemoryTechnology, Severity, Spd};
+use proptest::prelude::*;
+
+fn spd_for(class: BehaviorClass, lot: &str) -> Spd {
+    Spd {
+        vendor: "V".into(),
+        model: class.label().into(),
+        serial: "S".into(),
+        lot: lot.into(),
+        size_mib: 64,
+        clock_mhz: 400,
+        width_bits: 64,
+        technology: MemoryTechnology::Sdram,
+    }
+}
+
+fn kb_all_classes() -> FailureKnowledgeBase {
+    let mut kb = FailureKnowledgeBase::new();
+    for class in BehaviorClass::ALL {
+        kb.insert_model(
+            format!("V/{}", class.label()),
+            FailureRecord::new(class, Severity::Nominal),
+        );
+    }
+    kb
+}
+
+fn class_strategy() -> impl Strategy<Value = BehaviorClass> {
+    prop_oneof![
+        Just(BehaviorClass::F0),
+        Just(BehaviorClass::F1),
+        Just(BehaviorClass::F2),
+        Just(BehaviorClass::F3),
+        Just(BehaviorClass::F4),
+    ]
+}
+
+fn method_strategy() -> impl Strategy<Value = MethodKind> {
+    prop_oneof![
+        Just(MethodKind::M0),
+        Just(MethodKind::M1),
+        Just(MethodKind::M2),
+        Just(MethodKind::M3),
+        Just(MethodKind::M4),
+    ]
+}
+
+proptest! {
+    /// Every method is a correct store on pristine hardware: arbitrary
+    /// buffers at arbitrary offsets roundtrip.
+    #[test]
+    fn methods_roundtrip_on_pristine_hardware(
+        kind in method_strategy(),
+        offset in 0usize..32,
+        data in proptest::collection::vec(any::<u8>(), 1..48),
+        seed: u64,
+    ) {
+        let mut m = kind.instantiate(1024, FaultRates::none(), seed);
+        prop_assume!(offset + data.len() <= m.logical_size());
+        m.store(offset, &data).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        m.load(offset, &mut buf).unwrap();
+        prop_assert_eq!(buf, data);
+        prop_assert_eq!(m.stats().corrected, 0);
+    }
+
+    /// The §3.1 selection always returns a method tolerating the resolved
+    /// class, and no *cheaper* tolerant method exists (min-cost
+    /// optimality).
+    #[test]
+    fn selection_is_tolerant_and_cost_minimal(class in class_strategy(), lot in "[A-Z][0-9]{3}") {
+        let kb = kb_all_classes();
+        let report = configure(&spd_for(class, &lot), &kb).unwrap();
+        prop_assert!(report.method.tolerates().contains(&class));
+        for other in MethodKind::ALL {
+            if other.tolerates().contains(&class) {
+                prop_assert!(
+                    other.cost() >= report.method.cost(),
+                    "{} is cheaper than the selected {}",
+                    other,
+                    report.method
+                );
+            }
+        }
+    }
+
+    /// The selected method survives a randomized workload on hardware
+    /// exhibiting exactly the resolved behaviour — for any seed.
+    #[test]
+    fn selected_method_survives_its_class(
+        class in class_strategy(),
+        seed in 0u64..50,
+        ops in proptest::collection::vec((0usize..64, any::<u8>()), 1..60),
+    ) {
+        let kb = kb_all_classes();
+        let report = configure(&spd_for(class, "L0"), &kb).unwrap();
+        let rates = FaultRates::for_class(class, Severity::Nominal);
+        let mut m = report.method.instantiate(1024, rates, seed);
+        let n = m.logical_size().min(64);
+        let mut model = vec![0u8; n];
+        for slot in 0..n {
+            m.store(slot, &[0]).unwrap();
+        }
+        for (addr, byte) in ops {
+            let addr = addr % n;
+            m.store(addr, &[byte]).unwrap();
+            model[addr] = byte;
+            let mut b = [0u8; 1];
+            m.load(addr, &mut b).unwrap();
+            prop_assert_eq!(b[0], byte);
+        }
+        // Full sweep at the end: nothing rotted silently.
+        for (addr, &expected) in model.iter().enumerate() {
+            let mut b = [0u8; 1];
+            m.load(addr, &mut b).unwrap();
+            prop_assert_eq!(b[0], expected, "slot {} under {}", addr, class);
+        }
+    }
+
+    /// Out-of-range accesses are rejected by every method, with the
+    /// method's logical size in the error.
+    #[test]
+    fn bounds_respected_by_all_methods(kind in method_strategy(), past in 1usize..100) {
+        let mut m = kind.instantiate(256, FaultRates::none(), 1);
+        let size = m.logical_size();
+        let mut buf = [0u8; 1];
+        let r = m.load(size + past - 1, &mut buf);
+        let out_of_bounds = matches!(r, Err(afta_memaccess::AccessError::OutOfBounds { .. }));
+        prop_assert!(out_of_bounds, "got {:?}", r);
+    }
+
+    /// ECC guarantee at the method level: M1 reads back stored data even
+    /// when each stored byte suffers one injected bit flip between write
+    /// and read (exercised via a harsh f1 device across seeds).
+    #[test]
+    fn m1_under_harsh_f1_never_serves_wrong_data(seed in 0u64..30) {
+        let rates = FaultRates::for_class(BehaviorClass::F1, Severity::Harsh);
+        let mut m = MethodKind::M1.instantiate(512, rates, seed);
+        let n = m.logical_size().min(64);
+        for slot in 0..n {
+            m.store(slot, &[slot as u8]).unwrap();
+        }
+        for _pass in 0..10 {
+            for slot in 0..n {
+                let mut b = [0u8; 1];
+                m.load(slot, &mut b).unwrap();
+                prop_assert_eq!(b[0], slot as u8);
+            }
+        }
+    }
+}

@@ -1,0 +1,644 @@
+//! The simulated memory device.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+
+use crate::fault::FaultRates;
+use crate::spd::{MemoryTechnology, Spd};
+
+/// Errors a memory access can surface.
+///
+/// Note that *silent corruption* (bit flips, stuck cells) is deliberately
+/// **not** an error: the device returns wrong data without complaint,
+/// exactly like real hardware.  Only detectable conditions — bounds, a
+/// latched-up chip, a halted device — are errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryError {
+    /// Address beyond the device.
+    OutOfBounds {
+        /// The offending address.
+        addr: usize,
+        /// The device size.
+        size: usize,
+    },
+    /// The chip holding the address latched up (SEL) and needs a power
+    /// reset; its data is lost.
+    ChipLatchedUp {
+        /// Index of the latched chip.
+        chip: usize,
+    },
+    /// The device took a SEFI and halts all operations until power reset.
+    DeviceHalted,
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::OutOfBounds { addr, size } => {
+                write!(f, "address {addr} out of bounds (size {size})")
+            }
+            MemoryError::ChipLatchedUp { chip } => {
+                write!(f, "chip {chip} latched up (SEL); power reset required")
+            }
+            MemoryError::DeviceHalted => {
+                write!(f, "device halted (SEFI); power reset required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Running tally of the fault events the device has suffered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Transient flips of accessed bytes.
+    pub transient_flips: u64,
+    /// Cells gone permanently stuck.
+    pub stuck_cells: u64,
+    /// Single-event upsets (flips in random bytes).
+    pub seus: u64,
+    /// Single-event latch-ups (chip losses).
+    pub sels: u64,
+    /// Single-event functional interrupts (device halts).
+    pub sefis: u64,
+}
+
+impl FaultCounters {
+    /// Total fault events of any class.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.transient_flips + self.stuck_cells + self.seus + self.sels + self.sefis
+    }
+}
+
+/// Configuration for [`SimMemory`].
+#[derive(Debug, Clone)]
+pub struct SimMemoryConfig {
+    /// Device size in bytes.
+    pub size: usize,
+    /// Number of chips the address space is split across (contiguous
+    /// ranges).
+    pub chips: usize,
+    /// The fault processes to run.
+    pub rates: FaultRates,
+    /// The module's SPD self-description.
+    pub spd: Spd,
+}
+
+impl SimMemoryConfig {
+    /// A small fault-free device for tests and examples.
+    #[must_use]
+    pub fn pristine(size: usize) -> Self {
+        Self {
+            size,
+            chips: 1,
+            rates: FaultRates::none(),
+            spd: Spd {
+                vendor: "SIM".into(),
+                model: "PRISTINE".into(),
+                serial: "0000".into(),
+                lot: "L0".into(),
+                size_mib: (size / (1024 * 1024)).max(1) as u64,
+                clock_mhz: 533,
+                width_bits: 64,
+                technology: MemoryTechnology::Cmos,
+            },
+        }
+    }
+}
+
+/// The behavioural interface `afta-memaccess` programs against.
+pub trait MemoryDevice {
+    /// Device size in bytes.
+    fn size(&self) -> usize;
+
+    /// Number of chips.
+    fn chip_count(&self) -> usize;
+
+    /// Which chip an address lives on.
+    fn chip_of(&self, addr: usize) -> usize;
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemoryError`] for out-of-bounds, latched-up, or halted
+    /// conditions.  Silent corruption returns `Ok` with wrong data.
+    fn read(&mut self, addr: usize) -> Result<u8, MemoryError>;
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MemoryDevice::read`].
+    fn write(&mut self, addr: usize, byte: u8) -> Result<(), MemoryError>;
+
+    /// Power-cycles the device: clears SEFI halts and SEL latches.  Data on
+    /// latched chips is lost (zeroed); stuck cells remain stuck (silicon
+    /// damage is permanent).
+    fn power_reset(&mut self);
+}
+
+/// A chip-structured memory with configurable fault processes.
+///
+/// ```
+/// use afta_memsim::{MemoryDevice, SimMemory, SimMemoryConfig};
+/// use rand::SeedableRng;
+///
+/// let rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut mem = SimMemory::new(SimMemoryConfig::pristine(64), rng);
+/// mem.write(0, 0xAB)?;
+/// assert_eq!(mem.read(0)?, 0xAB);
+/// # Ok::<(), afta_memsim::MemoryError>(())
+/// ```
+pub struct SimMemory {
+    data: Vec<u8>,
+    /// Bits that are permanently stuck (1 = stuck).
+    stuck_mask: Vec<u8>,
+    /// Values of stuck bits.
+    stuck_value: Vec<u8>,
+    chip_size: usize,
+    chips: usize,
+    latched: Vec<bool>,
+    halted: bool,
+    rates: FaultRates,
+    rng: StdRng,
+    counters: FaultCounters,
+    spd: Spd,
+}
+
+impl fmt::Debug for SimMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimMemory")
+            .field("size", &self.data.len())
+            .field("chips", &self.chips)
+            .field("halted", &self.halted)
+            .field("latched", &self.latched)
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+impl SimMemory {
+    /// Creates the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`, `chips == 0`, `size % chips != 0`, or a
+    /// fault rate is out of `[0, 1]`.
+    #[must_use]
+    pub fn new(config: SimMemoryConfig, rng: StdRng) -> Self {
+        assert!(config.size > 0, "size must be positive");
+        assert!(config.chips > 0, "chip count must be positive");
+        assert!(
+            config.size.is_multiple_of(config.chips),
+            "size must divide evenly across chips"
+        );
+        config.rates.validate();
+        Self {
+            data: vec![0; config.size],
+            stuck_mask: vec![0; config.size],
+            stuck_value: vec![0; config.size],
+            chip_size: config.size / config.chips,
+            chips: config.chips,
+            latched: vec![false; config.chips],
+            halted: false,
+            rates: config.rates,
+            rng,
+            counters: FaultCounters::default(),
+            spd: config.spd,
+        }
+    }
+
+    /// The module's SPD record.
+    #[must_use]
+    pub fn spd(&self) -> &Spd {
+        &self.spd
+    }
+
+    /// The fault tallies so far.
+    #[must_use]
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// Replaces the fault processes (e.g. when a radiation environment
+    /// changes with virtual time).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a rate is outside `[0, 1]`.
+    pub fn set_rates(&mut self, rates: FaultRates) {
+        rates.validate();
+        self.rates = rates;
+    }
+
+    /// Whether the device is currently halted by SEFI.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Whether the given chip is latched up.
+    #[must_use]
+    pub fn is_latched(&self, chip: usize) -> bool {
+        self.latched.get(chip).copied().unwrap_or(false)
+    }
+
+    fn check(&self, addr: usize) -> Result<(), MemoryError> {
+        if self.halted {
+            return Err(MemoryError::DeviceHalted);
+        }
+        if addr >= self.data.len() {
+            return Err(MemoryError::OutOfBounds {
+                addr,
+                size: self.data.len(),
+            });
+        }
+        let chip = self.chip_of(addr);
+        if self.latched[chip] {
+            return Err(MemoryError::ChipLatchedUp { chip });
+        }
+        Ok(())
+    }
+
+    /// Runs the per-access fault processes for an access to `addr`.
+    fn maybe_fault(&mut self, addr: usize) {
+        let chip = addr / self.chip_size;
+        if self.rates.transient_flip > 0.0 && self.rng.gen_bool(self.rates.transient_flip) {
+            let bit = self.rng.gen_range(0..8);
+            self.data[addr] ^= 1 << bit;
+            self.counters.transient_flips += 1;
+        }
+        if self.rates.stuck_at > 0.0 && self.rng.gen_bool(self.rates.stuck_at) {
+            let bit: u8 = self.rng.gen_range(0..8);
+            let value: bool = self.rng.gen();
+            self.stuck_mask[addr] |= 1 << bit;
+            if value {
+                self.stuck_value[addr] |= 1 << bit;
+            } else {
+                self.stuck_value[addr] &= !(1 << bit);
+            }
+            self.counters.stuck_cells += 1;
+        }
+        if self.rates.seu > 0.0 && self.rng.gen_bool(self.rates.seu) {
+            let victim = chip * self.chip_size + self.rng.gen_range(0..self.chip_size);
+            let bit = self.rng.gen_range(0..8);
+            self.data[victim] ^= 1 << bit;
+            self.counters.seus += 1;
+        }
+        if self.rates.sel > 0.0 && self.rng.gen_bool(self.rates.sel) {
+            self.trigger_sel(chip);
+        }
+        if self.rates.sefi > 0.0 && self.rng.gen_bool(self.rates.sefi) {
+            self.halted = true;
+            self.counters.sefis += 1;
+        }
+    }
+
+    fn trigger_sel(&mut self, chip: usize) {
+        self.latched[chip] = true;
+        // "A threat that can bring to the loss of all data stored on chip":
+        // scramble the chip contents immediately.
+        let start = chip * self.chip_size;
+        for b in &mut self.data[start..start + self.chip_size] {
+            *b = self.rng.gen();
+        }
+        self.counters.sels += 1;
+    }
+
+    fn effective_byte(&self, addr: usize) -> u8 {
+        (self.data[addr] & !self.stuck_mask[addr]) | (self.stuck_value[addr] & self.stuck_mask[addr])
+    }
+
+    // ------------------------------------------------------------------
+    // Deterministic injection hooks (for tests and directed experiments).
+    // ------------------------------------------------------------------
+
+    /// Flips one stored bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds or `bit >= 8`.
+    pub fn inject_bit_flip(&mut self, addr: usize, bit: u8) {
+        assert!(addr < self.data.len() && bit < 8);
+        self.data[addr] ^= 1 << bit;
+        self.counters.transient_flips += 1;
+    }
+
+    /// Permanently sticks one cell bit at `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds or `bit >= 8`.
+    pub fn inject_stuck_at(&mut self, addr: usize, bit: u8, value: bool) {
+        assert!(addr < self.data.len() && bit < 8);
+        self.stuck_mask[addr] |= 1 << bit;
+        if value {
+            self.stuck_value[addr] |= 1 << bit;
+        } else {
+            self.stuck_value[addr] &= !(1 << bit);
+        }
+        self.counters.stuck_cells += 1;
+    }
+
+    /// Latches up a chip (SEL), losing its data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is out of range.
+    pub fn inject_sel(&mut self, chip: usize) {
+        assert!(chip < self.chips);
+        self.trigger_sel(chip);
+    }
+
+    /// Halts the device (SEFI).
+    pub fn inject_sefi(&mut self) {
+        self.halted = true;
+        self.counters.sefis += 1;
+    }
+}
+
+impl MemoryDevice for SimMemory {
+    fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    fn chip_count(&self) -> usize {
+        self.chips
+    }
+
+    fn chip_of(&self, addr: usize) -> usize {
+        addr / self.chip_size
+    }
+
+    fn read(&mut self, addr: usize) -> Result<u8, MemoryError> {
+        self.check(addr)?;
+        self.maybe_fault(addr);
+        // The fault may have latched this very chip or halted the device;
+        // the access then fails like on real hardware.
+        self.check(addr)?;
+        Ok(self.effective_byte(addr))
+    }
+
+    fn write(&mut self, addr: usize, byte: u8) -> Result<(), MemoryError> {
+        self.check(addr)?;
+        self.maybe_fault(addr);
+        self.check(addr)?;
+        self.data[addr] = byte;
+        Ok(())
+    }
+
+    fn power_reset(&mut self) {
+        self.halted = false;
+        for chip in 0..self.chips {
+            if self.latched[chip] {
+                self.latched[chip] = false;
+                let start = chip * self.chip_size;
+                for b in &mut self.data[start..start + self.chip_size] {
+                    *b = 0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{BehaviorClass, Severity};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn pristine(size: usize) -> SimMemory {
+        SimMemory::new(SimMemoryConfig::pristine(size), rng())
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = pristine(16);
+        for addr in 0..16 {
+            m.write(addr, addr as u8 * 3).unwrap();
+        }
+        for addr in 0..16 {
+            assert_eq!(m.read(addr).unwrap(), addr as u8 * 3);
+        }
+        assert_eq!(m.counters().total(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds() {
+        let mut m = pristine(8);
+        assert_eq!(
+            m.read(8),
+            Err(MemoryError::OutOfBounds { addr: 8, size: 8 })
+        );
+        assert_eq!(
+            m.write(100, 0),
+            Err(MemoryError::OutOfBounds { addr: 100, size: 8 })
+        );
+    }
+
+    #[test]
+    fn bit_flip_corrupts_silently() {
+        let mut m = pristine(8);
+        m.write(3, 0b0000_0000).unwrap();
+        m.inject_bit_flip(3, 5);
+        assert_eq!(m.read(3).unwrap(), 0b0010_0000);
+        // Overwriting heals a transient flip.
+        m.write(3, 0).unwrap();
+        assert_eq!(m.read(3).unwrap(), 0);
+    }
+
+    #[test]
+    fn stuck_at_defeats_writes() {
+        let mut m = pristine(8);
+        m.inject_stuck_at(0, 0, true);
+        m.write(0, 0b0000_0000).unwrap();
+        assert_eq!(m.read(0).unwrap(), 0b0000_0001); // bit 0 stuck high
+        m.write(0, 0b1111_1110).unwrap();
+        assert_eq!(m.read(0).unwrap(), 0b1111_1111);
+        // Power reset does not heal silicon damage.
+        m.power_reset();
+        m.write(0, 0).unwrap();
+        assert_eq!(m.read(0).unwrap(), 1);
+    }
+
+    #[test]
+    fn stuck_at_zero() {
+        let mut m = pristine(8);
+        m.inject_stuck_at(1, 7, false);
+        m.write(1, 0xFF).unwrap();
+        assert_eq!(m.read(1).unwrap(), 0x7F);
+    }
+
+    #[test]
+    fn sel_loses_chip_and_latches() {
+        let cfg = SimMemoryConfig {
+            chips: 4,
+            ..SimMemoryConfig::pristine(64)
+        };
+        let mut m = SimMemory::new(cfg, rng());
+        for addr in 0..64 {
+            m.write(addr, 0x55).unwrap();
+        }
+        m.inject_sel(1); // chip 1 covers addresses 16..32
+        assert!(m.is_latched(1));
+        assert_eq!(m.read(20), Err(MemoryError::ChipLatchedUp { chip: 1 }));
+        assert_eq!(m.write(20, 0), Err(MemoryError::ChipLatchedUp { chip: 1 }));
+        // Other chips unaffected.
+        assert_eq!(m.read(0).unwrap(), 0x55);
+        assert_eq!(m.read(40).unwrap(), 0x55);
+        // After power reset the chip works again but its data is gone.
+        m.power_reset();
+        assert!(!m.is_latched(1));
+        assert_eq!(m.read(20).unwrap(), 0);
+        assert_eq!(m.read(0).unwrap(), 0x55); // survivors keep data
+    }
+
+    #[test]
+    fn sefi_halts_everything_until_reset() {
+        let mut m = pristine(8);
+        m.write(0, 9).unwrap();
+        m.inject_sefi();
+        assert!(m.is_halted());
+        assert_eq!(m.read(0), Err(MemoryError::DeviceHalted));
+        assert_eq!(m.write(1, 1), Err(MemoryError::DeviceHalted));
+        m.power_reset();
+        // SEFI retains data ("places the device into a test mode, halt, or
+        // undefined state" — we model the halt variant, data retained).
+        assert_eq!(m.read(0).unwrap(), 9);
+    }
+
+    #[test]
+    fn chip_of_maps_ranges() {
+        let cfg = SimMemoryConfig {
+            chips: 4,
+            ..SimMemoryConfig::pristine(64)
+        };
+        let m = SimMemory::new(cfg, rng());
+        assert_eq!(m.chip_count(), 4);
+        assert_eq!(m.chip_of(0), 0);
+        assert_eq!(m.chip_of(15), 0);
+        assert_eq!(m.chip_of(16), 1);
+        assert_eq!(m.chip_of(63), 3);
+    }
+
+    #[test]
+    fn stochastic_f1_produces_flips() {
+        let cfg = SimMemoryConfig {
+            rates: FaultRates {
+                transient_flip: 0.01,
+                ..FaultRates::none()
+            },
+            ..SimMemoryConfig::pristine(64)
+        };
+        let mut m = SimMemory::new(cfg, rng());
+        for _ in 0..10_000 {
+            let _ = m.read(0);
+        }
+        let flips = m.counters().transient_flips;
+        assert!((50..200).contains(&flips), "flips={flips}");
+    }
+
+    #[test]
+    fn stochastic_f4_produces_single_event_effects() {
+        let cfg = SimMemoryConfig {
+            chips: 4,
+            rates: FaultRates {
+                seu: 0.01,
+                sel: 0.001,
+                sefi: 0.0005,
+                ..FaultRates::none()
+            },
+            ..SimMemoryConfig::pristine(64)
+        };
+        let mut m = SimMemory::new(cfg, rng());
+        let mut resets = 0;
+        for i in 0..20_000usize {
+            match m.read(i % 64) {
+                Ok(_) => {}
+                Err(MemoryError::ChipLatchedUp { .. }) | Err(MemoryError::DeviceHalted) => {
+                    m.power_reset();
+                    resets += 1;
+                }
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        let c = m.counters();
+        assert!(c.seus > 50, "seus={}", c.seus);
+        assert!(c.sels > 2, "sels={}", c.sels);
+        assert!(c.sefis > 0, "sefis={}", c.sefis);
+        assert!(resets > 0);
+    }
+
+    #[test]
+    fn nominal_class_rates_are_accepted() {
+        for class in BehaviorClass::ALL {
+            let cfg = SimMemoryConfig {
+                rates: FaultRates::for_class(class, Severity::Harsh),
+                ..SimMemoryConfig::pristine(64)
+            };
+            let mut m = SimMemory::new(cfg, rng());
+            let _ = m.read(0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn uneven_chips_rejected() {
+        let cfg = SimMemoryConfig {
+            chips: 3,
+            ..SimMemoryConfig::pristine(64)
+        };
+        let _ = SimMemory::new(cfg, rng());
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let run = |seed: u64| {
+            let cfg = SimMemoryConfig {
+                rates: FaultRates::for_class(BehaviorClass::F4, Severity::Harsh),
+                chips: 4,
+                ..SimMemoryConfig::pristine(64)
+            };
+            let mut m = SimMemory::new(cfg, StdRng::seed_from_u64(seed));
+            let mut log = Vec::new();
+            for i in 0..2000usize {
+                match m.read(i % 64) {
+                    Ok(b) => log.push(i64::from(b)),
+                    Err(_) => {
+                        log.push(-1);
+                        m.power_reset();
+                    }
+                }
+            }
+            log
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn error_displays() {
+        assert!(MemoryError::OutOfBounds { addr: 9, size: 8 }
+            .to_string()
+            .contains("out of bounds"));
+        assert!(MemoryError::ChipLatchedUp { chip: 2 }
+            .to_string()
+            .contains("SEL"));
+        assert!(MemoryError::DeviceHalted.to_string().contains("SEFI"));
+    }
+
+    #[test]
+    fn debug_and_spd() {
+        let m = pristine(8);
+        assert!(format!("{m:?}").contains("SimMemory"));
+        assert_eq!(m.spd().model, "PRISTINE");
+    }
+}

@@ -1,0 +1,308 @@
+//! Fault behaviour classes `f0..f4` and the per-access fault rates that
+//! realise them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The design-time hypotheses of §3.1, verbatim:
+///
+/// * `f0`: "Memory is stable and unaffected by failures."
+/// * `f1`: "Memory is affected by transient faults and CMOS-like failure
+///   behaviors."
+/// * `f2`: "Memory is affected by permanent stuck-at faults and CMOS-like
+///   failure behaviors."
+/// * `f3`: "Memory is affected by transient faults and SDRAM-like failure
+///   behaviors, including SEL."
+/// * `f4`: "Memory is affected by transient faults and SDRAM-like failure
+///   behaviors, including SEL and SEU."
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum BehaviorClass {
+    /// `f0` — stable, failure-free memory.
+    F0,
+    /// `f1` — transient faults, CMOS-like.
+    F1,
+    /// `f2` — permanent stuck-at faults plus CMOS-like behaviour.
+    F2,
+    /// `f3` — SDRAM-like behaviour including SEL.
+    F3,
+    /// `f4` — SDRAM-like behaviour including SEL and SEU.
+    F4,
+}
+
+impl BehaviorClass {
+    /// All classes, mildest first.
+    pub const ALL: [BehaviorClass; 5] = [
+        BehaviorClass::F0,
+        BehaviorClass::F1,
+        BehaviorClass::F2,
+        BehaviorClass::F3,
+        BehaviorClass::F4,
+    ];
+
+    /// The paper's label, `"f0"`..`"f4"`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BehaviorClass::F0 => "f0",
+            BehaviorClass::F1 => "f1",
+            BehaviorClass::F2 => "f2",
+            BehaviorClass::F3 => "f3",
+            BehaviorClass::F4 => "f4",
+        }
+    }
+
+    /// Parses a label produced by [`BehaviorClass::label`].
+    #[must_use]
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "f0" => Some(BehaviorClass::F0),
+            "f1" => Some(BehaviorClass::F1),
+            "f2" => Some(BehaviorClass::F2),
+            "f3" => Some(BehaviorClass::F3),
+            "f4" => Some(BehaviorClass::F4),
+            _ => None,
+        }
+    }
+
+    /// The statement of the hypothesis, as the paper words it.
+    #[must_use]
+    pub fn statement(self) -> &'static str {
+        match self {
+            BehaviorClass::F0 => "Memory is stable and unaffected by failures",
+            BehaviorClass::F1 => {
+                "Memory is affected by transient faults and CMOS-like failure behaviors"
+            }
+            BehaviorClass::F2 => {
+                "Memory is affected by permanent stuck-at faults and CMOS-like failure behaviors"
+            }
+            BehaviorClass::F3 => {
+                "Memory is affected by transient faults and SDRAM-like failure behaviors, \
+                 including SEL"
+            }
+            BehaviorClass::F4 => {
+                "Memory is affected by transient faults and SDRAM-like failure behaviors, \
+                 including SEL and SEU"
+            }
+        }
+    }
+}
+
+impl fmt::Display for BehaviorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// How aggressive the fault processes are, relative to the nominal rates —
+/// the paper's "from lot to lot error and failure rates can vary more than
+/// one order of magnitude".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Severity {
+    /// A good lot: one order of magnitude below nominal.
+    Benign,
+    /// The nominal rates.
+    #[default]
+    Nominal,
+    /// A bad lot: one order of magnitude above nominal.
+    Harsh,
+}
+
+impl Severity {
+    /// Multiplier applied to nominal rates.
+    #[must_use]
+    pub fn multiplier(self) -> f64 {
+        match self {
+            Severity::Benign => 0.1,
+            Severity::Nominal => 1.0,
+            Severity::Harsh => 10.0,
+        }
+    }
+}
+
+/// Per-access probabilities of each fault process.
+///
+/// "Per access" keeps the simulator clockless: the access stream is the
+/// time base, which is also how the §3.1 methods experience the device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultRates {
+    /// Transient single-bit flip of the accessed byte (CMOS-style soft
+    /// error).
+    pub transient_flip: f64,
+    /// A random bit of the accessed byte becomes permanently stuck at its
+    /// current value.
+    pub stuck_at: f64,
+    /// Single-event upset: a bit flips in a *random* byte of the chip
+    /// being accessed (radiation does not aim).
+    pub seu: f64,
+    /// Single-event latch-up: the accessed chip loses all data and latches
+    /// until power reset.
+    pub sel: f64,
+    /// Single-event functional interrupt: the whole device halts until
+    /// power reset.
+    pub sefi: f64,
+}
+
+impl FaultRates {
+    /// No faults at all (`f0`).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Nominal rates for behaviour class `class`.
+    ///
+    /// The absolute values are synthetic but ordered like the literature
+    /// the paper cites: flips dominate, stuck-ats are rarer, single-event
+    /// effects rarer still, SEFI rarest.
+    #[must_use]
+    pub fn for_class(class: BehaviorClass, severity: Severity) -> Self {
+        let m = severity.multiplier();
+        match class {
+            BehaviorClass::F0 => Self::none(),
+            BehaviorClass::F1 => Self {
+                transient_flip: 1e-4 * m,
+                ..Self::default()
+            },
+            BehaviorClass::F2 => Self {
+                transient_flip: 1e-4 * m,
+                stuck_at: 2e-5 * m,
+                ..Self::default()
+            },
+            BehaviorClass::F3 => Self {
+                transient_flip: 2e-4 * m,
+                sel: 5e-6 * m,
+                ..Self::default()
+            },
+            BehaviorClass::F4 => Self {
+                transient_flip: 2e-4 * m,
+                seu: 1e-4 * m,
+                sel: 5e-6 * m,
+                sefi: 1e-6 * m,
+                ..Self::default()
+            },
+        }
+    }
+
+    /// Validates every probability lies in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a rate is out of range.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("transient_flip", self.transient_flip),
+            ("stuck_at", self.stuck_at),
+            ("seu", self.seu),
+            ("sel", self.sel),
+            ("sefi", self.sefi),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be in [0,1], got {p}");
+        }
+    }
+
+    /// Whether all rates are zero.
+    #[must_use]
+    pub fn is_fault_free(&self) -> bool {
+        self.transient_flip == 0.0
+            && self.stuck_at == 0.0
+            && self.seu == 0.0
+            && self.sel == 0.0
+            && self.sefi == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for c in BehaviorClass::ALL {
+            assert_eq!(BehaviorClass::from_label(c.label()), Some(c));
+            assert_eq!(c.to_string(), c.label());
+        }
+        assert_eq!(BehaviorClass::from_label("f9"), None);
+    }
+
+    #[test]
+    fn statements_match_paper() {
+        assert!(BehaviorClass::F0.statement().contains("stable"));
+        assert!(BehaviorClass::F2.statement().contains("stuck-at"));
+        assert!(BehaviorClass::F3.statement().contains("SEL"));
+        assert!(BehaviorClass::F4.statement().contains("SEU"));
+    }
+
+    #[test]
+    fn ordering_mildest_first() {
+        assert!(BehaviorClass::F0 < BehaviorClass::F4);
+        let mut sorted = BehaviorClass::ALL;
+        sorted.sort();
+        assert_eq!(sorted, BehaviorClass::ALL);
+    }
+
+    #[test]
+    fn class_rates_shape() {
+        let f0 = FaultRates::for_class(BehaviorClass::F0, Severity::Nominal);
+        assert!(f0.is_fault_free());
+        let f1 = FaultRates::for_class(BehaviorClass::F1, Severity::Nominal);
+        assert!(f1.transient_flip > 0.0);
+        assert_eq!(f1.sel, 0.0);
+        let f2 = FaultRates::for_class(BehaviorClass::F2, Severity::Nominal);
+        assert!(f2.stuck_at > 0.0);
+        let f3 = FaultRates::for_class(BehaviorClass::F3, Severity::Nominal);
+        assert!(f3.sel > 0.0);
+        assert_eq!(f3.seu, 0.0);
+        let f4 = FaultRates::for_class(BehaviorClass::F4, Severity::Nominal);
+        assert!(f4.seu > 0.0);
+        assert!(f4.sefi > 0.0);
+    }
+
+    #[test]
+    fn severity_scales_by_order_of_magnitude() {
+        let nominal = FaultRates::for_class(BehaviorClass::F1, Severity::Nominal);
+        let harsh = FaultRates::for_class(BehaviorClass::F1, Severity::Harsh);
+        let benign = FaultRates::for_class(BehaviorClass::F1, Severity::Benign);
+        assert!((harsh.transient_flip / nominal.transient_flip - 10.0).abs() < 1e-9);
+        assert!((nominal.transient_flip / benign.transient_flip - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_accepts_class_rates() {
+        for c in BehaviorClass::ALL {
+            for s in [Severity::Benign, Severity::Nominal, Severity::Harsh] {
+                FaultRates::for_class(c, s).validate();
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sel must be in [0,1]")]
+    fn validate_rejects_out_of_range() {
+        FaultRates {
+            sel: 2.0,
+            ..FaultRates::none()
+        }
+        .validate();
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        // serde_json's default float parsing is within 1 ULP but not exact
+        // (the `float_roundtrip` feature would make it so); compare
+        // approximately.
+        let r = FaultRates::for_class(BehaviorClass::F4, Severity::Harsh);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: FaultRates = serde_json::from_str(&json).unwrap();
+        for (a, b) in [
+            (r.transient_flip, back.transient_flip),
+            (r.stuck_at, back.stuck_at),
+            (r.seu, back.seu),
+            (r.sel, back.sel),
+            (r.sefi, back.sefi),
+        ] {
+            assert!((a - b).abs() <= a.abs() * 1e-12, "{a} vs {b}");
+        }
+    }
+}

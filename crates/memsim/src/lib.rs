@@ -1,0 +1,35 @@
+//! # afta-memsim — a memory-hardware simulator with explicit failure semantics
+//!
+//! §3.1 of the paper builds its compile-time strategy on knowledge about
+//! how memory hardware *fails*: CMOS memories "mostly experience single
+//! bit errors", while SDRAM chips suffer "several classes of severe
+//! faults", including single-event latch-up (SEL, "loss of all data
+//! stored on chip"), single-event upset (SEU, "frequent soft errors") and
+//! single-event functional interrupt (SEFI, which "halts normal
+//! operations, and requires a power reset to recover").
+//!
+//! This crate is the simulated substrate standing in for that hardware:
+//!
+//! * [`Spd`] / [`MachineInventory`] — Serial-Presence-Detect records and an
+//!   `lshw`-style introspection dump (the paper's Figs. 1–2);
+//! * [`BehaviorClass`] — the design-time hypotheses `f0..f4` verbatim;
+//! * [`FaultRates`] — per-access probabilities for each fault process;
+//! * [`SimMemory`] — a chip-structured memory device that corrupts, sticks,
+//!   latches up, and halts exactly as configured, deterministically under a
+//!   seed.
+//!
+//! The companion crate `afta-memaccess` builds the fault-tolerant access
+//! methods `M0..M4` on top of this device.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod fault;
+pub mod radiation;
+pub mod spd;
+
+pub use device::{MemoryDevice, MemoryError, SimMemory, SimMemoryConfig};
+pub use fault::{BehaviorClass, FaultRates, Severity};
+pub use radiation::{MissionPhase, RadiationEnvironment};
+pub use spd::{MachineInventory, MemoryTechnology, Spd};

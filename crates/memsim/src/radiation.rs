@@ -1,0 +1,211 @@
+//! Radiation environments: time-varying fault-rate profiles.
+//!
+//! The paper's motivating hypothesis class includes "the characteristics
+//! of the faults experienced in a space-borne vehicle orbiting around
+//! the sun".  A [`RadiationEnvironment`] models that: a mission profile
+//! mapping virtual time to a multiplier over the module's base fault
+//! rates (quiet cruise, South-Atlantic-Anomaly style hot zones, solar
+//! flares).  Pair it with [`crate::SimMemory::set_rates`] to run a
+//! mission.
+
+use serde::{Deserialize, Serialize};
+
+use afta_sim::Tick;
+
+use crate::fault::FaultRates;
+
+/// One phase of a mission profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissionPhase {
+    /// Phase length in ticks.
+    pub duration: u64,
+    /// Multiplier applied to the base rates during the phase.
+    pub multiplier: f64,
+}
+
+impl MissionPhase {
+    /// Creates a phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration == 0` or the multiplier is negative/NaN.
+    #[must_use]
+    pub fn new(duration: u64, multiplier: f64) -> Self {
+        assert!(duration > 0, "phase duration must be positive");
+        assert!(
+            multiplier.is_finite() && multiplier >= 0.0,
+            "multiplier must be non-negative"
+        );
+        Self {
+            duration,
+            multiplier,
+        }
+    }
+}
+
+/// A cyclic mission profile over base fault rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadiationEnvironment {
+    base: FaultRates,
+    phases: Vec<MissionPhase>,
+}
+
+impl RadiationEnvironment {
+    /// Creates an environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or the base rates are invalid.
+    #[must_use]
+    pub fn new(base: FaultRates, phases: Vec<MissionPhase>) -> Self {
+        base.validate();
+        assert!(!phases.is_empty(), "mission needs at least one phase");
+        Self { base, phases }
+    }
+
+    /// Low Earth orbit: mostly quiet with brief hot zones each pass
+    /// (an SAA-like region occupying ~6% of the cycle at 20× rates).
+    #[must_use]
+    pub fn low_earth_orbit(base: FaultRates) -> Self {
+        Self::new(
+            base,
+            vec![MissionPhase::new(9_400, 1.0), MissionPhase::new(600, 20.0)],
+        )
+    }
+
+    /// Interplanetary cruise punctuated by rare solar flares (0.5% of the
+    /// cycle at 200× rates).
+    #[must_use]
+    pub fn solar_flare_mission(base: FaultRates) -> Self {
+        Self::new(
+            base,
+            vec![MissionPhase::new(99_500, 1.0), MissionPhase::new(500, 200.0)],
+        )
+    }
+
+    /// Cycle length in ticks.
+    #[must_use]
+    pub fn cycle_length(&self) -> u64 {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// The multiplier in force at `tick` (the profile repeats).
+    #[must_use]
+    pub fn multiplier_at(&self, tick: Tick) -> f64 {
+        let mut t = tick.0 % self.cycle_length();
+        for phase in &self.phases {
+            if t < phase.duration {
+                return phase.multiplier;
+            }
+            t -= phase.duration;
+        }
+        unreachable!("t < cycle_length is covered by the loop");
+    }
+
+    /// The effective fault rates at `tick`, each capped at 1.0.
+    #[must_use]
+    pub fn rates_at(&self, tick: Tick) -> FaultRates {
+        let m = self.multiplier_at(tick);
+        let scale = |p: f64| (p * m).min(1.0);
+        FaultRates {
+            transient_flip: scale(self.base.transient_flip),
+            stuck_at: scale(self.base.stuck_at),
+            seu: scale(self.base.seu),
+            sel: scale(self.base.sel),
+            sefi: scale(self.base.sefi),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{MemoryDevice, SimMemory, SimMemoryConfig};
+    use crate::fault::{BehaviorClass, Severity};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base() -> FaultRates {
+        FaultRates::for_class(BehaviorClass::F4, Severity::Nominal)
+    }
+
+    #[test]
+    fn multiplier_follows_phases() {
+        let env = RadiationEnvironment::low_earth_orbit(base());
+        assert_eq!(env.cycle_length(), 10_000);
+        assert_eq!(env.multiplier_at(Tick(0)), 1.0);
+        assert_eq!(env.multiplier_at(Tick(9_399)), 1.0);
+        assert_eq!(env.multiplier_at(Tick(9_400)), 20.0);
+        assert_eq!(env.multiplier_at(Tick(9_999)), 20.0);
+        // Wraps.
+        assert_eq!(env.multiplier_at(Tick(10_000)), 1.0);
+        assert_eq!(env.multiplier_at(Tick(19_500)), 20.0);
+    }
+
+    #[test]
+    fn rates_scale_and_cap() {
+        let env = RadiationEnvironment::new(
+            FaultRates {
+                seu: 0.02,
+                ..FaultRates::none()
+            },
+            vec![MissionPhase::new(10, 1.0), MissionPhase::new(10, 100.0)],
+        );
+        assert_eq!(env.rates_at(Tick(0)).seu, 0.02);
+        // 0.02 * 100 = 2.0, capped at 1.0.
+        assert_eq!(env.rates_at(Tick(10)).seu, 1.0);
+        env.rates_at(Tick(10)).validate();
+    }
+
+    #[test]
+    fn flare_mission_spikes_device_fault_counters() {
+        let env = RadiationEnvironment::new(
+            base(),
+            vec![MissionPhase::new(1_000, 1.0), MissionPhase::new(1_000, 500.0)],
+        );
+        let cfg = SimMemoryConfig {
+            rates: env.rates_at(Tick(0)),
+            chips: 4,
+            ..SimMemoryConfig::pristine(256)
+        };
+        let mut mem = SimMemory::new(cfg, StdRng::seed_from_u64(5));
+
+        let run_phase = |mem: &mut SimMemory, start: u64| {
+            let before = mem.counters().total();
+            for t in start..start + 1_000 {
+                mem.set_rates(env.rates_at(Tick(t)));
+                match mem.read((t % 256) as usize) {
+                    Ok(_) => {}
+                    Err(_) => mem.power_reset(),
+                }
+            }
+            mem.counters().total() - before
+        };
+        let quiet = run_phase(&mut mem, 0);
+        let flare = run_phase(&mut mem, 1_000);
+        assert!(
+            flare > 10 * quiet.max(1),
+            "flare {flare} vs quiet {quiet}: the storm must dominate"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_mission_rejected() {
+        let _ = RadiationEnvironment::new(FaultRates::none(), Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_multiplier_rejected() {
+        let _ = MissionPhase::new(10, -1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let env = RadiationEnvironment::solar_flare_mission(base());
+        let json = serde_json::to_string(&env).unwrap();
+        let back: RadiationEnvironment = serde_json::from_str(&json).unwrap();
+        assert_eq!(env, back);
+    }
+}

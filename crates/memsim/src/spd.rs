@@ -1,0 +1,282 @@
+//! Serial Presence Detect records and `lshw`-style introspection.
+//!
+//! Fig. 1 of the paper shows the SPD EEPROM on a DIMM; Fig. 2 shows the
+//! output of `sudo lshw` on a laptop with two memory banks.  §3.1 uses
+//! exactly this information — "the memory modules' manufacturer, models,
+//! and characteristics" — as the lookup key into a failure-knowledge base.
+//! [`Spd`] is that record, and [`MachineInventory::render_lshw`]
+//! regenerates the Fig. 2 dump from simulated hardware.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Memory cell technology, the coarse discriminator of §3.1's discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryTechnology {
+    /// Older CMOS memories: "mostly experience single bit errors".
+    Cmos,
+    /// SDRAM: faster/cheaper but "subjected to several classes of severe
+    /// faults", the single-event effects.
+    Sdram,
+}
+
+impl fmt::Display for MemoryTechnology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryTechnology::Cmos => write!(f, "CMOS"),
+            MemoryTechnology::Sdram => write!(f, "SDRAM"),
+        }
+    }
+}
+
+/// A Serial-Presence-Detect record: what the module tells the host about
+/// itself.
+///
+/// The paper notes that "even from lot to lot error and failure rates can
+/// vary more than one order of magnitude", so the lot code is part of the
+/// identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Spd {
+    /// Manufacturer id string (Fig. 2 shows JEDEC-style hex vendor codes).
+    pub vendor: String,
+    /// Model/part number.
+    pub model: String,
+    /// Serial number of the module.
+    pub serial: String,
+    /// Production lot code.
+    pub lot: String,
+    /// Module size in MiB.
+    pub size_mib: u64,
+    /// Clock in MHz.
+    pub clock_mhz: u32,
+    /// Data width in bits.
+    pub width_bits: u32,
+    /// Cell technology.
+    pub technology: MemoryTechnology,
+}
+
+impl Spd {
+    /// The knowledge-base lookup key at model granularity.
+    #[must_use]
+    pub fn model_key(&self) -> String {
+        format!("{}/{}", self.vendor, self.model)
+    }
+
+    /// The knowledge-base lookup key at lot granularity (most specific).
+    #[must_use]
+    pub fn lot_key(&self) -> String {
+        format!("{}/{}/{}", self.vendor, self.model, self.lot)
+    }
+
+    /// Nanoseconds per clock, as `lshw` prints it.
+    #[must_use]
+    pub fn cycle_ns(&self) -> f64 {
+        1000.0 / f64::from(self.clock_mhz)
+    }
+}
+
+impl fmt::Display for Spd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} ({} MiB {} @ {} MHz, lot {})",
+            self.vendor, self.model, self.size_mib, self.technology, self.clock_mhz, self.lot
+        )
+    }
+}
+
+/// One populated memory bank: slot name plus the module's SPD.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bank {
+    /// Slot label, e.g. `DIMM_A`.
+    pub slot: String,
+    /// The module's self-description.
+    pub spd: Spd,
+}
+
+/// The memory subsystem of a (simulated) machine, as introspection sees
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct MachineInventory {
+    banks: Vec<Bank>,
+}
+
+impl MachineInventory {
+    /// Creates an empty inventory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a populated bank (builder style).
+    #[must_use]
+    pub fn with_bank(mut self, slot: impl Into<String>, spd: Spd) -> Self {
+        self.banks.push(Bank {
+            slot: slot.into(),
+            spd,
+        });
+        self
+    }
+
+    /// The populated banks in slot order.
+    #[must_use]
+    pub fn banks(&self) -> &[Bank] {
+        &self.banks
+    }
+
+    /// Total installed memory in MiB.
+    #[must_use]
+    pub fn total_mib(&self) -> u64 {
+        self.banks.iter().map(|b| b.spd.size_mib).sum()
+    }
+
+    /// The Fig. 2 Dell Inspiron 6000 configuration: 1 GiB DDR-533 plus
+    /// 512 MiB DDR-667.
+    #[must_use]
+    pub fn dell_inspiron_6000() -> Self {
+        Self::new()
+            .with_bank(
+                "DIMM_A",
+                Spd {
+                    vendor: "CE00000000000000".into(),
+                    model: "DDR Synchronous 533 MHz".into(),
+                    serial: "F504F679".into(),
+                    lot: "L2004-17".into(),
+                    size_mib: 1024,
+                    clock_mhz: 533,
+                    width_bits: 64,
+                    technology: MemoryTechnology::Sdram,
+                },
+            )
+            .with_bank(
+                "DIMM_B",
+                Spd {
+                    vendor: "CE000000000000000".into(),
+                    model: "DDR Synchronous 667 MHz".into(),
+                    serial: "F33DD2FD".into(),
+                    lot: "L2005-03".into(),
+                    size_mib: 512,
+                    clock_mhz: 667,
+                    width_bits: 64,
+                    technology: MemoryTechnology::Sdram,
+                },
+            )
+    }
+
+    /// Renders the inventory in the `lshw` format of the paper's Fig. 2.
+    #[must_use]
+    pub fn render_lshw(&self) -> String {
+        let mut out = String::new();
+        out.push_str("*-memory\n");
+        out.push_str("     description: System Memory\n");
+        out.push_str("     physical id: 1000\n");
+        out.push_str("     slot: System board or motherboard\n");
+        out.push_str(&format!("     size: {}MiB\n", self.total_mib()));
+        for (i, bank) in self.banks.iter().enumerate() {
+            let spd = &bank.spd;
+            out.push_str(&format!("   *-bank:{i}\n"));
+            out.push_str(&format!(
+                "        description: DIMM {} ({:.1} ns)\n",
+                spd.model,
+                spd.cycle_ns()
+            ));
+            out.push_str(&format!("        vendor: {}\n", spd.vendor));
+            out.push_str(&format!("        physical id: {i}\n"));
+            out.push_str(&format!("        serial: {}\n", spd.serial));
+            out.push_str(&format!("        slot: {}\n", bank.slot));
+            let size = if spd.size_mib >= 1024 && spd.size_mib % 1024 == 0 {
+                format!("{}GiB", spd.size_mib / 1024)
+            } else {
+                format!("{}MiB", spd.size_mib)
+            };
+            out.push_str(&format!("        size: {size}\n"));
+            out.push_str(&format!("        width: {} bits\n", spd.width_bits));
+            out.push_str(&format!(
+                "        clock: {}MHz ({:.1}ns)\n",
+                spd.clock_mhz,
+                spd.cycle_ns()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd() -> Spd {
+        Spd {
+            vendor: "CE00".into(),
+            model: "K4H510838B".into(),
+            serial: "F504F679".into(),
+            lot: "L2004-17".into(),
+            size_mib: 1024,
+            clock_mhz: 533,
+            width_bits: 64,
+            technology: MemoryTechnology::Sdram,
+        }
+    }
+
+    #[test]
+    fn keys_have_expected_granularity() {
+        let s = spd();
+        assert_eq!(s.model_key(), "CE00/K4H510838B");
+        assert_eq!(s.lot_key(), "CE00/K4H510838B/L2004-17");
+    }
+
+    #[test]
+    fn cycle_ns_inverts_clock() {
+        let s = spd();
+        assert!((s.cycle_ns() - 1.876).abs() < 0.01);
+    }
+
+    #[test]
+    fn inventory_totals() {
+        let inv = MachineInventory::dell_inspiron_6000();
+        assert_eq!(inv.banks().len(), 2);
+        assert_eq!(inv.total_mib(), 1536);
+    }
+
+    #[test]
+    fn lshw_render_matches_fig2_content() {
+        let out = MachineInventory::dell_inspiron_6000().render_lshw();
+        // The load-bearing lines of the paper's Fig. 2.
+        assert!(out.contains("*-memory"));
+        assert!(out.contains("description: System Memory"));
+        assert!(out.contains("size: 1536MiB"));
+        assert!(out.contains("*-bank:0"));
+        assert!(out.contains("DDR Synchronous 533 MHz (1.9 ns)"));
+        assert!(out.contains("serial: F504F679"));
+        assert!(out.contains("slot: DIMM_A"));
+        assert!(out.contains("size: 1GiB"));
+        assert!(out.contains("*-bank:1"));
+        assert!(out.contains("DDR Synchronous 667 MHz (1.5 ns)"));
+        assert!(out.contains("size: 512MiB"));
+        assert!(out.contains("clock: 667MHz (1.5ns)"));
+    }
+
+    #[test]
+    fn empty_inventory() {
+        let inv = MachineInventory::new();
+        assert_eq!(inv.total_mib(), 0);
+        assert!(inv.render_lshw().contains("size: 0MiB"));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(MemoryTechnology::Cmos.to_string(), "CMOS");
+        assert_eq!(MemoryTechnology::Sdram.to_string(), "SDRAM");
+        let s = spd().to_string();
+        assert!(s.contains("K4H510838B"));
+        assert!(s.contains("lot L2004-17"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let inv = MachineInventory::dell_inspiron_6000();
+        let json = serde_json::to_string(&inv).unwrap();
+        let back: MachineInventory = serde_json::from_str(&json).unwrap();
+        assert_eq!(inv, back);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests on the memory device's failure semantics.
+
+use afta_memsim::{FaultRates, MemoryDevice, MemoryError, SimMemory, SimMemoryConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pristine(size: usize, chips: usize) -> SimMemory {
+    let cfg = SimMemoryConfig {
+        chips,
+        ..SimMemoryConfig::pristine(size)
+    };
+    SimMemory::new(cfg, StdRng::seed_from_u64(1))
+}
+
+proptest! {
+    /// A fault-free device is a perfect byte store under any interleaving
+    /// of writes: the last write to each address wins.
+    #[test]
+    fn pristine_memory_is_a_perfect_store(
+        writes in proptest::collection::vec((0usize..64, any::<u8>()), 0..200),
+    ) {
+        let mut mem = pristine(64, 4);
+        let mut model = [0u8; 64];
+        for (addr, byte) in writes {
+            mem.write(addr, byte).unwrap();
+            model[addr] = byte;
+        }
+        for (addr, &expected) in model.iter().enumerate() {
+            prop_assert_eq!(mem.read(addr).unwrap(), expected);
+        }
+        prop_assert_eq!(mem.counters().total(), 0);
+    }
+
+    /// A stuck bit pins exactly that bit; all other bits of the byte stay
+    /// writable.
+    #[test]
+    fn stuck_bit_is_surgical(
+        addr in 0usize..32,
+        bit in 0u8..8,
+        value: bool,
+        attempts in proptest::collection::vec(any::<u8>(), 1..20),
+    ) {
+        let mut mem = pristine(32, 1);
+        mem.inject_stuck_at(addr, bit, value);
+        for byte in attempts {
+            mem.write(addr, byte).unwrap();
+            let got = mem.read(addr).unwrap();
+            let mask = 1u8 << bit;
+            // The stuck bit reads the stuck value...
+            prop_assert_eq!(got & mask != 0, value);
+            // ...every other bit reads what was written.
+            prop_assert_eq!(got & !mask, byte & !mask);
+        }
+    }
+
+    /// SEL on one chip never perturbs data on other chips, and a power
+    /// reset always restores service (with the latched chip zeroed).
+    #[test]
+    fn sel_is_contained_to_its_chip(victim in 0usize..4, probe in 0usize..64) {
+        let mut mem = pristine(64, 4);
+        for addr in 0..64 {
+            mem.write(addr, 0x5A).unwrap();
+        }
+        mem.inject_sel(victim);
+        let chip_of_probe = mem.chip_of(probe);
+        match mem.read(probe) {
+            Err(MemoryError::ChipLatchedUp { chip }) => {
+                prop_assert_eq!(chip, victim);
+                prop_assert_eq!(chip_of_probe, victim);
+            }
+            Ok(b) => {
+                prop_assert_ne!(chip_of_probe, victim);
+                prop_assert_eq!(b, 0x5A);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+        mem.power_reset();
+        let after = mem.read(probe).unwrap();
+        if chip_of_probe == victim {
+            prop_assert_eq!(after, 0, "latched chip data is lost (zeroed)");
+        } else {
+            prop_assert_eq!(after, 0x5A, "survivor chips keep their data");
+        }
+    }
+
+    /// chip_of partitions the address space into equal contiguous ranges.
+    #[test]
+    fn chip_of_partitions(size_exp in 4u32..10, chips_exp in 0u32..3) {
+        let size = 1usize << size_exp;
+        let chips = 1usize << chips_exp;
+        let mem = pristine(size, chips);
+        let chip_size = size / chips;
+        for addr in 0..size {
+            prop_assert_eq!(mem.chip_of(addr), addr / chip_size);
+        }
+    }
+
+    /// SEFI always halts everything and power reset always recovers with
+    /// data intact.
+    #[test]
+    fn sefi_halts_and_reset_recovers(addr in 0usize..32, byte: u8) {
+        let mut mem = pristine(32, 2);
+        mem.write(addr, byte).unwrap();
+        mem.inject_sefi();
+        prop_assert_eq!(mem.read(addr), Err(MemoryError::DeviceHalted));
+        prop_assert_eq!(mem.write(addr, 0), Err(MemoryError::DeviceHalted));
+        mem.power_reset();
+        prop_assert_eq!(mem.read(addr).unwrap(), byte);
+    }
+
+    /// Whatever the fault rates, the device never reports success with an
+    /// out-of-bounds address.
+    #[test]
+    fn bounds_always_enforced(addr in 64usize..1000, seed: u64) {
+        let cfg = SimMemoryConfig {
+            rates: FaultRates {
+                transient_flip: 0.1,
+                stuck_at: 0.05,
+                seu: 0.05,
+                sel: 0.01,
+                sefi: 0.01,
+            },
+            chips: 4,
+            ..SimMemoryConfig::pristine(64)
+        };
+        let mut mem = SimMemory::new(cfg, StdRng::seed_from_u64(seed));
+        let r = mem.read(addr);
+        let rejected = matches!(
+            r,
+            Err(MemoryError::OutOfBounds { .. }) | Err(MemoryError::DeviceHalted)
+        );
+        prop_assert!(rejected, "got {:?}", r);
+    }
+}

@@ -1,0 +1,235 @@
+//! Virtual time: discrete ticks and a monotone clock.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A discrete instant of virtual time.
+///
+/// Ticks are the unit in which all AFTA experiments measure time: one tick
+/// is one voting round in the §3.3 experiments, one watchdog period in the
+/// Fig. 4 scenario, one memory-access opportunity in the memory simulator.
+///
+/// ```
+/// use afta_sim::Tick;
+/// let t = Tick(10) + 5;
+/// assert_eq!(t, Tick(15));
+/// assert_eq!(t - Tick(10), 5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Tick(pub u64);
+
+impl Tick {
+    /// The origin of virtual time.
+    pub const ZERO: Tick = Tick(0);
+
+    /// Returns the tick `n` units later.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow of the underlying `u64` (debug builds) or wraps
+    /// (release); experiments never approach `u64::MAX`.
+    #[must_use]
+    pub fn after(self, n: u64) -> Tick {
+        Tick(self.0 + n)
+    }
+
+    /// Saturating distance from `earlier` to `self` (0 when `earlier` is
+    /// in the future).
+    #[must_use]
+    pub fn since(self, earlier: Tick) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl Add<u64> for Tick {
+    type Output = Tick;
+    fn add(self, rhs: u64) -> Tick {
+        Tick(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Tick {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Tick> for Tick {
+    type Output = u64;
+    fn sub(self, rhs: Tick) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for Tick {
+    fn from(v: u64) -> Tick {
+        Tick(v)
+    }
+}
+
+/// A monotone virtual clock.
+///
+/// The clock only moves forward; [`VirtualClock::advance_to`] refuses to
+/// travel into the past, which protects experiments from accidentally
+/// re-ordering cause and effect.
+///
+/// ```
+/// use afta_sim::{Tick, VirtualClock};
+/// let mut clock = VirtualClock::new();
+/// clock.tick();
+/// clock.advance_to(Tick(10)).unwrap();
+/// assert_eq!(clock.now(), Tick(10));
+/// assert!(clock.advance_to(Tick(3)).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Tick,
+}
+
+/// Error returned when a clock is asked to move backwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockWentBackwards {
+    /// The clock's current time.
+    pub now: Tick,
+    /// The (earlier) time requested.
+    pub requested: Tick,
+}
+
+impl fmt::Display for ClockWentBackwards {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "virtual clock cannot move backwards: now {} requested {}",
+            self.now, self.requested
+        )
+    }
+}
+
+impl std::error::Error for ClockWentBackwards {}
+
+impl VirtualClock {
+    /// Creates a clock at [`Tick::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Advances by exactly one tick and returns the new time.
+    pub fn tick(&mut self) -> Tick {
+        self.now += 1;
+        self.now
+    }
+
+    /// Advances by `n` ticks and returns the new time.
+    pub fn advance(&mut self, n: u64) -> Tick {
+        self.now += n;
+        self.now
+    }
+
+    /// Jumps to absolute time `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockWentBackwards`] if `target` is before the current
+    /// time. Jumping to the current time is a no-op and succeeds.
+    pub fn advance_to(&mut self, target: Tick) -> Result<Tick, ClockWentBackwards> {
+        if target < self.now {
+            return Err(ClockWentBackwards {
+                now: self.now,
+                requested: target,
+            });
+        }
+        self.now = target;
+        Ok(self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_zero_is_default() {
+        assert_eq!(Tick::default(), Tick::ZERO);
+    }
+
+    #[test]
+    fn tick_arithmetic() {
+        assert_eq!(Tick(3) + 4, Tick(7));
+        assert_eq!(Tick(7) - Tick(3), 4);
+        assert_eq!(Tick(3).after(4), Tick(7));
+    }
+
+    #[test]
+    fn tick_since_saturates() {
+        assert_eq!(Tick(3).since(Tick(10)), 0);
+        assert_eq!(Tick(10).since(Tick(3)), 7);
+    }
+
+    #[test]
+    fn tick_display() {
+        assert_eq!(Tick(42).to_string(), "t=42");
+    }
+
+    #[test]
+    fn tick_add_assign() {
+        let mut t = Tick(1);
+        t += 2;
+        assert_eq!(t, Tick(3));
+    }
+
+    #[test]
+    fn tick_from_u64() {
+        assert_eq!(Tick::from(9u64), Tick(9));
+    }
+
+    #[test]
+    fn clock_starts_at_zero() {
+        assert_eq!(VirtualClock::new().now(), Tick::ZERO);
+    }
+
+    #[test]
+    fn clock_ticks_forward() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.tick(), Tick(1));
+        assert_eq!(c.advance(9), Tick(10));
+        assert_eq!(c.now(), Tick(10));
+    }
+
+    #[test]
+    fn clock_advance_to_future_ok() {
+        let mut c = VirtualClock::new();
+        c.advance_to(Tick(100)).unwrap();
+        assert_eq!(c.now(), Tick(100));
+        // Advancing to "now" is allowed.
+        c.advance_to(Tick(100)).unwrap();
+    }
+
+    #[test]
+    fn clock_refuses_past() {
+        let mut c = VirtualClock::new();
+        c.advance(5);
+        let err = c.advance_to(Tick(2)).unwrap_err();
+        assert_eq!(err.now, Tick(5));
+        assert_eq!(err.requested, Tick(2));
+        assert!(err.to_string().contains("backwards"));
+        // Time unchanged on error.
+        assert_eq!(c.now(), Tick(5));
+    }
+}

@@ -1,0 +1,184 @@
+//! A stable discrete-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::clock::Tick;
+
+/// One queued event: a payload due at a tick, with a sequence number that
+/// makes same-tick ordering FIFO (insertion order).
+#[derive(Debug)]
+struct Entry<E> {
+    due: Tick,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (due, seq) pops
+        // first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic discrete-event scheduler.
+///
+/// Events scheduled for the same tick are delivered in the order they were
+/// scheduled, which keeps multi-component experiments deterministic without
+/// requiring totally ordered payloads.
+///
+/// ```
+/// use afta_sim::{Scheduler, Tick};
+/// let mut s = Scheduler::new();
+/// s.schedule(Tick(1), 'a');
+/// assert_eq!(s.peek_due(), Some(Tick(1)));
+/// assert_eq!(s.pop(), Some((Tick(1), 'a')));
+/// assert!(s.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` for delivery at `due`.
+    pub fn schedule(&mut self, due: Tick, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { due, seq, payload });
+    }
+
+    /// The due time of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_due(&self) -> Option<Tick> {
+        self.heap.peek().map(|e| e.due)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(Tick, E)> {
+        self.heap.pop().map(|e| (e.due, e.payload))
+    }
+
+    /// Removes and returns the earliest event only if it is due at or
+    /// before `now`.
+    pub fn pop_due(&mut self, now: Tick) -> Option<(Tick, E)> {
+        if self.peek_due().is_some_and(|d| d <= now) {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Drains every event due at or before `now`, in order.
+    pub fn drain_due(&mut self, now: Tick) -> Vec<(Tick, E)> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.pop_due(now) {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(Tick(9), 9);
+        s.schedule(Tick(1), 1);
+        s.schedule(Tick(5), 5);
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn same_tick_is_fifo() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule(Tick(3), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut s = Scheduler::new();
+        s.schedule(Tick(5), "later");
+        assert_eq!(s.pop_due(Tick(4)), None);
+        assert_eq!(s.pop_due(Tick(5)), Some((Tick(5), "later")));
+    }
+
+    #[test]
+    fn drain_due_takes_prefix() {
+        let mut s = Scheduler::new();
+        for t in [1u64, 2, 3, 10] {
+            s.schedule(Tick(t), t);
+        }
+        let drained = s.drain_due(Tick(3));
+        assert_eq!(drained.len(), 3);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.peek_due(), Some(Tick(10)));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = Scheduler::new();
+        s.schedule(Tick(1), ());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.peek_due(), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! A step-loop experiment driver.
+//!
+//! The §3.3 experiments of the paper run "voting rounds" for up to 65
+//! million simulated time steps.  [`Experiment`] owns the clock and the
+//! seed factory and repeatedly calls a user-supplied step function until
+//! the step budget is exhausted or the step function asks to stop.
+
+use crate::clock::{Tick, VirtualClock};
+use crate::rng::SeedFactory;
+
+/// What a step function tells the driver to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepControl {
+    /// Keep stepping.
+    #[default]
+    Continue,
+    /// Stop the experiment after this step.
+    Stop,
+}
+
+/// Why an experiment run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The configured step budget was exhausted.
+    BudgetExhausted {
+        /// Number of steps executed (equal to the budget).
+        steps: u64,
+    },
+    /// The step function requested an early stop.
+    StoppedEarly {
+        /// Number of steps executed before stopping.
+        steps: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Number of steps executed.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        match *self {
+            RunOutcome::BudgetExhausted { steps } | RunOutcome::StoppedEarly { steps } => steps,
+        }
+    }
+}
+
+/// A reproducible step-loop experiment.
+///
+/// ```
+/// use afta_sim::{Experiment, StepControl, Tick};
+///
+/// let mut exp = Experiment::new(42, 1_000);
+/// let mut pulses = 0u64;
+/// let outcome = exp.run(|tick, _rngs| {
+///     if tick.0 % 100 == 0 {
+///         pulses += 1;
+///     }
+///     StepControl::Continue
+/// });
+/// assert_eq!(outcome.steps(), 1_000);
+/// assert_eq!(pulses, 10); // ticks 1..=1000, multiples of 100
+/// ```
+#[derive(Debug)]
+pub struct Experiment {
+    clock: VirtualClock,
+    seeds: SeedFactory,
+    budget: u64,
+}
+
+impl Experiment {
+    /// Creates an experiment with a master `seed` and a step `budget`.
+    #[must_use]
+    pub fn new(seed: u64, budget: u64) -> Self {
+        Self {
+            clock: VirtualClock::new(),
+            seeds: SeedFactory::new(seed),
+            budget,
+        }
+    }
+
+    /// The seed factory for this experiment.
+    #[must_use]
+    pub fn seeds(&self) -> SeedFactory {
+        self.seeds
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Tick {
+        self.clock.now()
+    }
+
+    /// Configured step budget.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Runs the step loop.  The step function receives the tick *after*
+    /// the clock has advanced (so the first call sees `Tick(1)`), and the
+    /// experiment's seed factory.
+    pub fn run<F>(&mut self, mut step: F) -> RunOutcome
+    where
+        F: FnMut(Tick, &SeedFactory) -> StepControl,
+    {
+        for i in 0..self.budget {
+            let now = self.clock.tick();
+            if step(now, &self.seeds) == StepControl::Stop {
+                return RunOutcome::StoppedEarly { steps: i + 1 };
+            }
+        }
+        RunOutcome::BudgetExhausted {
+            steps: self.budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_full_budget() {
+        let mut exp = Experiment::new(1, 10);
+        let mut n = 0;
+        let out = exp.run(|_, _| {
+            n += 1;
+            StepControl::Continue
+        });
+        assert_eq!(out, RunOutcome::BudgetExhausted { steps: 10 });
+        assert_eq!(n, 10);
+        assert_eq!(exp.now(), Tick(10));
+    }
+
+    #[test]
+    fn stops_early() {
+        let mut exp = Experiment::new(1, 10);
+        let out = exp.run(|tick, _| {
+            if tick.0 == 3 {
+                StepControl::Stop
+            } else {
+                StepControl::Continue
+            }
+        });
+        assert_eq!(out, RunOutcome::StoppedEarly { steps: 3 });
+        assert_eq!(out.steps(), 3);
+        assert_eq!(exp.now(), Tick(3));
+    }
+
+    #[test]
+    fn zero_budget_runs_nothing() {
+        let mut exp = Experiment::new(1, 0);
+        let out = exp.run(|_, _| panic!("should not be called"));
+        assert_eq!(out.steps(), 0);
+    }
+
+    #[test]
+    fn first_tick_is_one() {
+        let mut exp = Experiment::new(1, 1);
+        exp.run(|tick, _| {
+            assert_eq!(tick, Tick(1));
+            StepControl::Continue
+        });
+    }
+
+    #[test]
+    fn seed_factory_is_experiment_seeded() {
+        let a = Experiment::new(77, 1).seeds();
+        let b = Experiment::new(77, 5).seeds();
+        assert_eq!(a.derived_seed("x"), b.derived_seed("x"));
+    }
+
+    #[test]
+    fn step_control_default_is_continue() {
+        assert_eq!(StepControl::default(), StepControl::Continue);
+    }
+}

@@ -1,0 +1,435 @@
+//! Statistics helpers used by the experiment harnesses: integer histograms
+//! (Fig. 7), scalar summaries, and time-weighted occupancy counters.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::clock::Tick;
+
+/// A histogram over integer-valued categories (e.g. redundancy degrees).
+///
+/// ```
+/// use afta_sim::stats::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(3);
+/// h.record_n(3, 9);
+/// h.record(5);
+/// assert_eq!(h.count(3), 10);
+/// assert_eq!(h.total(), 11);
+/// assert!((h.fraction(3) - 10.0 / 11.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bins: BTreeMap<u64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        *self.bins.entry(value).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Observations recorded for `value`.
+    #[must_use]
+    pub fn count(&self, value: u64) -> u64 {
+        self.bins.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Total observations across all bins.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of observations in bin `value` (0.0 when empty).
+    #[must_use]
+    pub fn fraction(&self, value: u64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Iterator over `(value, count)` in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bins.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// The smallest recorded value, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        self.bins.keys().next().copied()
+    }
+
+    /// The largest recorded value, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        self.bins.keys().next_back().copied()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            self.record_n(v, c);
+        }
+    }
+
+    /// The smallest value `v` such that at least `q` of the observations
+    /// are `<= v` (the q-quantile), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q <= 1.0`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (v, c) in self.iter() {
+            seen += c;
+            if seen >= target {
+                return Some(v);
+            }
+        }
+        self.max()
+    }
+
+    /// The mean of the recorded values (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self.iter().map(|(v, c)| v as f64 * c as f64).sum();
+        sum / self.total as f64
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.total == 0 {
+            return write!(f, "(empty histogram)");
+        }
+        for (v, c) in self.iter() {
+            writeln!(
+                f,
+                "{v:>6}: {c:>12} ({:>9.5}%)",
+                100.0 * c as f64 / self.total as f64
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+/// Online scalar summary: count, mean, variance (Welford), min, max.
+///
+/// ```
+/// use afta_sim::stats::Summary;
+/// let s: Summary = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest observation.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for x in iter {
+            s.record(x);
+        }
+        s
+    }
+}
+
+/// Tracks how long (in ticks) a system spends in each integer-valued state.
+///
+/// This is exactly the accounting behind Fig. 7: “for each degree of
+/// redundancy *r* the graph displays the total amount of time steps the
+/// system adopted assumption a(r)”.
+///
+/// ```
+/// use afta_sim::stats::TimeWeighted;
+/// use afta_sim::Tick;
+///
+/// let mut tw = TimeWeighted::new(Tick(0), 3);
+/// tw.transition(Tick(10), 5);   // spent 10 ticks at 3
+/// tw.transition(Tick(25), 3);   // spent 15 ticks at 5
+/// let h = tw.finish(Tick(30));  // spent  5 ticks at 3
+/// assert_eq!(h.count(3), 15);
+/// assert_eq!(h.count(5), 15);
+/// assert_eq!(h.total(), 30);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    hist: Histogram,
+    since: Tick,
+    state: u64,
+}
+
+impl TimeWeighted {
+    /// Starts accounting at `start` in `initial_state`.
+    #[must_use]
+    pub fn new(start: Tick, initial_state: u64) -> Self {
+        Self {
+            hist: Histogram::new(),
+            since: start,
+            state: initial_state,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Records that the system switched to `new_state` at time `at`,
+    /// crediting the elapsed interval to the previous state.
+    pub fn transition(&mut self, at: Tick, new_state: u64) {
+        let dwell = at.since(self.since);
+        if dwell > 0 {
+            self.hist.record_n(self.state, dwell);
+        }
+        self.since = at;
+        self.state = new_state;
+    }
+
+    /// Closes the accounting at `end` and returns the dwell-time histogram.
+    #[must_use]
+    pub fn finish(mut self, end: Tick) -> Histogram {
+        let dwell = end.since(self.since);
+        if dwell > 0 {
+            self.hist.record_n(self.state, dwell);
+        }
+        self.hist
+    }
+
+    /// A snapshot of the histogram accumulated so far (excluding the
+    /// currently open interval).
+    #[must_use]
+    pub fn snapshot(&self) -> &Histogram {
+        &self.hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fraction(3), 0.0);
+        h.record(3);
+        h.record(3);
+        h.record(7);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(7), 1);
+        assert_eq!(h.count(5), 0);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(7));
+    }
+
+    #[test]
+    fn histogram_merge_and_collect() {
+        let a: Histogram = [1, 1, 2].into_iter().collect();
+        let mut b: Histogram = [2, 3].into_iter().collect();
+        b.merge(&a);
+        assert_eq!(b.count(1), 2);
+        assert_eq!(b.count(2), 2);
+        assert_eq!(b.count(3), 1);
+        assert_eq!(b.total(), 5);
+    }
+
+    #[test]
+    fn histogram_extend() {
+        let mut h = Histogram::new();
+        h.extend([4, 4, 4]);
+        assert_eq!(h.count(4), 3);
+    }
+
+    #[test]
+    fn histogram_display_nonempty() {
+        let h: Histogram = [3, 3, 5].into_iter().collect();
+        let s = h.to_string();
+        assert!(s.contains('3'));
+        assert!(s.contains('%'));
+        assert_eq!(Histogram::new().to_string(), "(empty histogram)");
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h: Histogram = [1, 2, 2, 3, 3, 3, 10].into_iter().collect();
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(3)); // 4th of 7
+        assert_eq!(h.quantile(0.85), Some(3)); // 6th of 7
+        assert_eq!(h.quantile(1.0), Some(10));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_validates_range() {
+        let h: Histogram = [1].into_iter().collect();
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let h: Histogram = [2, 4, 6].into_iter().collect();
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(Histogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn summary_mean_and_variance() {
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+
+        let one: Summary = [3.5].into_iter().collect();
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!(one.min(), Some(3.5));
+        assert_eq!(one.max(), Some(3.5));
+    }
+
+    #[test]
+    fn time_weighted_accounts_dwell() {
+        let mut tw = TimeWeighted::new(Tick(0), 3);
+        tw.transition(Tick(100), 5);
+        tw.transition(Tick(150), 7);
+        tw.transition(Tick(150), 9); // zero-dwell transition is fine
+        let h = tw.finish(Tick(200));
+        assert_eq!(h.count(3), 100);
+        assert_eq!(h.count(5), 50);
+        assert_eq!(h.count(7), 0);
+        assert_eq!(h.count(9), 50);
+        assert_eq!(h.total(), 200);
+    }
+
+    #[test]
+    fn time_weighted_snapshot_excludes_open_interval() {
+        let mut tw = TimeWeighted::new(Tick(0), 3);
+        tw.transition(Tick(10), 5);
+        assert_eq!(tw.snapshot().total(), 10);
+        assert_eq!(tw.state(), 5);
+    }
+}

@@ -1,0 +1,130 @@
+//! Ablation sweeps over the §3.3 control-law parameters.
+//!
+//! The paper fixes two design choices without exploring them: the
+//! *lowering quota* (1000 consecutive full-consensus rounds) and the
+//! *raise threshold* (dtof "critically low").  These sweeps quantify the
+//! trade-off each knob controls:
+//!
+//! * a small `lower_after` returns to minimal redundancy quickly (cheap)
+//!   but risks being caught under-provisioned by the next disturbance;
+//! * a high `raise_threshold` grows eagerly (safe) but burns redundancy
+//!   on isolated transients.
+
+use afta_faultinject::EnvironmentProfile;
+
+use crate::controller::RedundancyPolicy;
+use crate::experiment::{run_experiment, ExperimentConfig};
+
+/// One point of an ablation sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AblationPoint {
+    /// The swept parameter's value.
+    pub parameter: u64,
+    /// Fraction of time at minimal redundancy (resource efficiency).
+    pub fraction_at_min: f64,
+    /// Voting failures over the run (dependability).
+    pub voting_failures: u64,
+    /// Raise + lower adaptations (control activity).
+    pub adaptations: u64,
+}
+
+fn run_with_policy(base: &ExperimentConfig, policy: RedundancyPolicy, parameter: u64) -> AblationPoint {
+    let config = ExperimentConfig {
+        steps: base.steps,
+        seed: base.seed,
+        profile: base.profile.clone(),
+        policy,
+        trace_stride: 0,
+    };
+    let report = run_experiment(&config, None);
+    AblationPoint {
+        parameter,
+        fraction_at_min: report.fraction_at_min(policy.min),
+        voting_failures: report.voting_failures,
+        adaptations: report.raises + report.lowers,
+    }
+}
+
+/// Sweeps the lowering quota (`lower_after`).
+#[must_use]
+pub fn sweep_lower_after(base: &ExperimentConfig, values: &[u64]) -> Vec<AblationPoint> {
+    values
+        .iter()
+        .map(|&v| {
+            let policy = RedundancyPolicy {
+                lower_after: v,
+                ..base.policy
+            };
+            run_with_policy(base, policy, v)
+        })
+        .collect()
+}
+
+/// Sweeps the raise threshold (`raise_threshold`), i.e. how low dtof must
+/// dip before redundancy grows.
+#[must_use]
+pub fn sweep_raise_threshold(base: &ExperimentConfig, values: &[u32]) -> Vec<AblationPoint> {
+    values
+        .iter()
+        .map(|&v| {
+            let policy = RedundancyPolicy {
+                raise_threshold: v,
+                ..base.policy
+            };
+            run_with_policy(base, policy, u64::from(v))
+        })
+        .collect()
+}
+
+/// A storm-heavy base configuration suitable for ablation comparisons
+/// (storms frequent enough that every parameter choice is exercised).
+#[must_use]
+pub fn ablation_base(steps: u64, seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        steps,
+        seed,
+        profile: EnvironmentProfile::cyclic_storms(8_000, 600, 0.00001, 0.08),
+        policy: RedundancyPolicy::default(),
+        trace_stride: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_after_trades_efficiency_for_stability() {
+        let base = ablation_base(60_000, 3);
+        let points = sweep_lower_after(&base, &[50, 500, 5_000]);
+        assert_eq!(points.len(), 3);
+        // A short quota lowers quickly: more time at the minimum...
+        assert!(
+            points[0].fraction_at_min > points[2].fraction_at_min,
+            "{points:?}"
+        );
+        // ...and more control activity (raise/lower churn).
+        assert!(points[0].adaptations >= points[2].adaptations, "{points:?}");
+    }
+
+    #[test]
+    fn raise_threshold_zero_waits_for_failure() {
+        let base = ablation_base(30_000, 3);
+        let points = sweep_raise_threshold(&base, &[0, 1]);
+        // Raising only on dtof = 0 (an actual voting failure) means every
+        // storm first defeats a vote; threshold 1 reacts a step earlier
+        // and eats strictly fewer failures.
+        assert!(
+            points[0].voting_failures > points[1].voting_failures,
+            "{points:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let base = ablation_base(20_000, 9);
+        let a = sweep_lower_after(&base, &[100, 1000]);
+        let b = sweep_lower_after(&base, &[100, 1000]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,325 @@
+//! The §3.3 fault-injection experiments (Figs. 6 and 7).
+//!
+//! Each simulated time step is one voting round of a restoring organ
+//! whose replicas fail independently with the probability the
+//! [`EnvironmentProfile`] assigns to the current tick.  The round's dtof
+//! feeds the [`RedundancyController`]; its decisions resize the organ.
+//! Dwell time per redundancy degree is accounted exactly as in Fig. 7.
+
+use afta_eventbus::Bus;
+use afta_faultinject::EnvironmentProfile;
+use afta_sim::stats::{Histogram, TimeWeighted};
+use afta_sim::{SeedFactory, Tick};
+use afta_voting::{dtof, majority_vote, VoteOutcome};
+use rand::Rng;
+
+use crate::controller::{Decision, RedundancyController, RedundancyPolicy};
+
+/// A disturbance reading, published on the event bus after every round —
+/// the knowledge the Reflective Switchboards "deduct and publish".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisturbanceReading {
+    /// The voting round's virtual time.
+    pub tick: Tick,
+    /// Replicas used.
+    pub n: usize,
+    /// Faulty replicas this round.
+    pub faults: usize,
+    /// The round's distance-to-failure.
+    pub dtof: u32,
+}
+
+/// A redundancy adaptation, published on the event bus when it happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedundancyChange {
+    /// When the change happened.
+    pub tick: Tick,
+    /// The decision applied.
+    pub decision: Decision,
+}
+
+/// One sampled point of the Fig. 6 time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TracePoint {
+    /// Virtual time of the sample.
+    pub tick: Tick,
+    /// Replica count in effect.
+    pub n: usize,
+    /// The round's dtof.
+    pub dtof: u32,
+    /// Faults injected into the round's replicas.
+    pub faults: usize,
+}
+
+/// Configuration of a §3.3 experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Number of simulated time steps (the paper runs up to 65 million).
+    pub steps: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// The disturbance environment.
+    pub profile: EnvironmentProfile,
+    /// The control law.
+    pub policy: RedundancyPolicy,
+    /// Sample the Fig. 6 trace every this many steps (0 = no periodic
+    /// samples; adaptation events are always recorded).
+    pub trace_stride: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            steps: 100_000,
+            seed: 42,
+            profile: EnvironmentProfile::cyclic_storms(200_000, 2_000, 0.000001, 0.08),
+            policy: RedundancyPolicy::default(),
+            trace_stride: 0,
+        }
+    }
+}
+
+/// Results of a §3.3 experiment run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExperimentReport {
+    /// Steps simulated.
+    pub steps: u64,
+    /// Dwell time per redundancy degree (Fig. 7's histogram).
+    pub histogram: Histogram,
+    /// Rounds whose voting found no majority — the dimensioning failures
+    /// the scheme exists to avoid (the paper reports **zero**).
+    pub voting_failures: u64,
+    /// Total faults injected into replicas.
+    pub faults_injected: u64,
+    /// Raise adaptations.
+    pub raises: u64,
+    /// Lower adaptations.
+    pub lowers: u64,
+    /// The sampled Fig. 6 trace.
+    pub trace: Vec<TracePoint>,
+}
+
+impl ExperimentReport {
+    /// Fraction of time spent at the minimal redundancy degree — the
+    /// paper's headline "99.92798 % of its execution time making use of
+    /// the minimal degree of redundancy, namely 3".
+    #[must_use]
+    pub fn fraction_at_min(&self, min: usize) -> f64 {
+        self.histogram.fraction(min as u64)
+    }
+}
+
+/// Runs the experiment: a restoring organ under environmental fault
+/// injection with autonomic redundancy dimensioning.
+///
+/// An optional [`Bus`] receives [`DisturbanceReading`]s and
+/// [`RedundancyChange`]s, so external observers (e.g. the knowledge web)
+/// can follow along.
+///
+/// # Panics
+///
+/// Panics when the policy is invalid.
+#[must_use]
+pub fn run_experiment(config: &ExperimentConfig, bus: Option<&Bus>) -> ExperimentReport {
+    let seeds = SeedFactory::new(config.seed);
+    let mut rng = seeds.stream("replica-faults");
+    let mut controller = RedundancyController::new(config.policy);
+    let mut n = config.policy.min;
+    let mut dwell = TimeWeighted::new(Tick::ZERO, n as u64);
+
+    let mut voting_failures = 0u64;
+    let mut faults_injected = 0u64;
+    let mut trace = Vec::new();
+
+    // The replicated method: replica i returns the correct answer unless
+    // the environment corrupts it this round, in which case it returns a
+    // value unique to the replica (faulty channels do not collude).
+    const CORRECT: u64 = 0xC0FFEE;
+
+    for step in 1..=config.steps {
+        let tick = Tick(step);
+        let p = config.profile.probability_at(tick);
+
+        // Draw per-replica faults and synthesise the vote vector.
+        let mut votes: Vec<u64> = Vec::with_capacity(n);
+        let mut faults = 0usize;
+        for replica in 0..n {
+            if p > 0.0 && rng.gen_bool(p) {
+                faults += 1;
+                votes.push(u64::MAX - replica as u64);
+            } else {
+                votes.push(CORRECT);
+            }
+        }
+        faults_injected += faults as u64;
+
+        let outcome = majority_vote(&votes);
+        let round_dtof = match &outcome {
+            VoteOutcome::Majority { dissent, .. } => dtof(n, Some(*dissent)),
+            VoteOutcome::NoMajority => {
+                voting_failures += 1;
+                dtof(n, None)
+            }
+        };
+
+        if let Some(bus) = bus {
+            bus.publish(DisturbanceReading {
+                tick,
+                n,
+                faults,
+                dtof: round_dtof,
+            });
+        }
+
+        let decision = controller.observe(round_dtof, n);
+        let adapted = decision.new_count().is_some();
+        if let Some(new_n) = decision.new_count() {
+            n = new_n;
+            dwell.transition(tick, n as u64);
+            if let Some(bus) = bus {
+                bus.publish(RedundancyChange { tick, decision });
+            }
+        }
+
+        let periodic = config.trace_stride > 0 && step % config.trace_stride == 0;
+        if periodic || adapted {
+            trace.push(TracePoint {
+                tick,
+                n,
+                dtof: round_dtof,
+                faults,
+            });
+        }
+    }
+
+    let histogram = dwell.finish(Tick(config.steps));
+
+    ExperimentReport {
+        steps: config.steps,
+        histogram,
+        voting_failures,
+        faults_injected,
+        raises: controller.raises(),
+        lowers: controller.lowers(),
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afta_faultinject::Phase;
+
+    fn quick_config(steps: u64, profile: EnvironmentProfile) -> ExperimentConfig {
+        ExperimentConfig {
+            steps,
+            seed: 7,
+            profile,
+            policy: RedundancyPolicy {
+                lower_after: 200,
+                ..RedundancyPolicy::default()
+            },
+            trace_stride: 0,
+        }
+    }
+
+    #[test]
+    fn calm_environment_stays_at_minimum() {
+        let cfg = quick_config(10_000, EnvironmentProfile::calm(0.0));
+        let report = run_experiment(&cfg, None);
+        assert_eq!(report.voting_failures, 0);
+        assert_eq!(report.faults_injected, 0);
+        assert_eq!(report.raises, 0);
+        assert_eq!(report.lowers, 0);
+        assert_eq!(report.histogram.count(3), 10_000);
+        assert!((report.fraction_at_min(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storm_raises_redundancy_then_calm_lowers_it() {
+        // Fig. 6's shape: calm, storm, calm.  The storm intensity is
+        // chosen so the scheme can out-adapt it (the paper reports zero
+        // clashes "despite heavy and diversified fault injection").
+        let profile = EnvironmentProfile::new(
+            vec![
+                Phase::new(2_000, 0.00001),
+                Phase::new(1_000, 0.08),
+                Phase::new(7_000, 0.00001),
+            ],
+            false,
+        );
+        let cfg = quick_config(10_000, profile);
+        let report = run_experiment(&cfg, None);
+        assert!(report.raises > 0, "storm must trigger raises: {report:?}");
+        assert!(report.lowers > 0, "calm must trigger lowers");
+        assert!(report.histogram.count(5) + report.histogram.count(7) + report.histogram.count(9) > 0);
+        // The final calm stretch returns the system to the minimum.
+        let last = report.trace.last().unwrap();
+        assert_eq!(last.n, 3, "trace: ...{last:?}");
+        // (Essentially) no voting failure despite the storm: the scheme
+        // adapts before the disturbance can defeat the vote.
+        assert!(
+            report.voting_failures <= 2,
+            "failures: {}",
+            report.voting_failures
+        );
+    }
+
+    #[test]
+    fn fig7_shape_minimal_redundancy_dominates() {
+        // Long run with rare short storms: the system must spend the
+        // overwhelming majority of time at r = 3.
+        let profile = EnvironmentProfile::cyclic_storms(100_000, 500, 0.000001, 0.08);
+        let mut cfg = quick_config(300_000, profile);
+        cfg.policy.lower_after = 1000; // the paper's value
+        let report = run_experiment(&cfg, None);
+        let frac = report.fraction_at_min(3);
+        assert!(frac > 0.95, "fraction at min: {frac}");
+        assert!(report.voting_failures <= 2, "report: {report:?}");
+        // All four degrees of Fig. 7 appear.
+        for r in [3u64, 5, 7] {
+            assert!(report.histogram.count(r) > 0, "degree {r} never used");
+        }
+    }
+
+    #[test]
+    fn bus_receives_readings_and_changes() {
+        let bus = Bus::new();
+        let readings = bus.subscribe::<DisturbanceReading>();
+        let changes = bus.subscribe::<RedundancyChange>();
+        let profile = EnvironmentProfile::new(
+            vec![Phase::new(100, 0.0), Phase::new(100, 0.4), Phase::new(800, 0.0)],
+            false,
+        );
+        let cfg = quick_config(1_000, profile);
+        let report = run_experiment(&cfg, Some(&bus));
+        assert_eq!(readings.pending() as u64, cfg.steps);
+        assert_eq!(changes.pending() as u64, report.raises + report.lowers);
+        assert!(report.raises > 0);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let profile = EnvironmentProfile::cyclic_storms(500, 100, 0.001, 0.3);
+        let a = run_experiment(&quick_config(5_000, profile.clone()), None);
+        let b = run_experiment(&quick_config(5_000, profile), None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_stride_samples_periodically() {
+        let mut cfg = quick_config(1_000, EnvironmentProfile::calm(0.0));
+        cfg.trace_stride = 100;
+        let report = run_experiment(&cfg, None);
+        assert_eq!(report.trace.len(), 10);
+        assert_eq!(report.trace[0].tick, Tick(100));
+    }
+
+    #[test]
+    fn histogram_total_equals_steps() {
+        let profile = EnvironmentProfile::cyclic_storms(300, 200, 0.002, 0.3);
+        let cfg = quick_config(20_000, profile);
+        let report = run_experiment(&cfg, None);
+        assert_eq!(report.histogram.total(), 20_000);
+    }
+}

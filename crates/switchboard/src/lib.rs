@@ -1,0 +1,32 @@
+//! # afta-switchboard — Reflective Switchboards: autonomic redundancy
+//!
+//! The run-time strategy of the paper's §3.3: "isolate redundancy
+//! management at architectural level, and use an autonomic computing
+//! scheme to adjust it automatically".  After each voting round the
+//! middleware "deducts and publishes a measure of the current
+//! environmental disturbances" — the distance-to-failure — and revises
+//! the number of replicas accordingly:
+//!
+//! * [`RedundancyController`] — the control law (raise when dtof is
+//!   critically low; lower after 1000 consecutive full-consensus rounds);
+//! * [`run_experiment`] — the fault-injection experiment driver behind
+//!   Figs. 6 and 7, publishing [`DisturbanceReading`]s and
+//!   [`RedundancyChange`]s on an event bus.
+//!
+//! The resulting system "complies to Boulding's categories of 'Cells' and
+//! 'Plants', i.e. open software systems with a self-maintaining
+//! structure".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod controller;
+pub mod experiment;
+
+pub use ablation::{ablation_base, sweep_lower_after, sweep_raise_threshold, AblationPoint};
+pub use controller::{Decision, RedundancyController, RedundancyPolicy};
+pub use experiment::{
+    run_experiment, DisturbanceReading, ExperimentConfig, ExperimentReport, RedundancyChange,
+    TracePoint,
+};

@@ -1,0 +1,99 @@
+//! Property tests on the redundancy controller's safety envelope.
+
+use afta_switchboard::{Decision, RedundancyController, RedundancyPolicy};
+use afta_voting::dtof_max;
+use proptest::prelude::*;
+
+proptest! {
+    /// Under ANY stream of dtof observations the controller keeps the
+    /// replica count inside [min, max] and preserves odd parity.
+    #[test]
+    fn replica_count_stays_in_envelope(
+        observations in proptest::collection::vec(0u32..6, 0..500),
+        lower_after in 1u64..50,
+    ) {
+        let policy = RedundancyPolicy {
+            lower_after,
+            ..RedundancyPolicy::default()
+        };
+        let mut c = RedundancyController::new(policy);
+        let mut n = policy.min;
+        for dtof in observations {
+            // Clamp the observed dtof into the feasible range for n.
+            let dtof = dtof.min(dtof_max(n));
+            if let Some(new_n) = c.observe(dtof, n).new_count() {
+                n = new_n;
+            }
+            prop_assert!(n >= policy.min, "n={n} below min");
+            prop_assert!(n <= policy.max, "n={n} above max");
+            prop_assert_eq!(n % 2, 1, "parity lost: n={}", n);
+        }
+    }
+
+    /// A raise is only ever issued on a critically low dtof, and a lower
+    /// only after the configured quota of consecutive consensus rounds.
+    #[test]
+    fn decisions_match_the_control_law(
+        observations in proptest::collection::vec(0u32..6, 0..300),
+    ) {
+        let policy = RedundancyPolicy {
+            lower_after: 7,
+            ..RedundancyPolicy::default()
+        };
+        let mut c = RedundancyController::new(policy);
+        let mut n = policy.min;
+        let mut consensus_run = 0u64;
+        for dtof in observations {
+            let dtof = dtof.min(dtof_max(n));
+            let decision = c.observe(dtof, n);
+            match decision {
+                Decision::Raise { from, to } => {
+                    prop_assert!(dtof <= policy.raise_threshold);
+                    prop_assert_eq!(from, n);
+                    prop_assert!(to > from);
+                    consensus_run = 0;
+                }
+                Decision::Lower { from, to } => {
+                    prop_assert_eq!(dtof, dtof_max(n), "lower requires consensus");
+                    prop_assert!(consensus_run + 1 >= policy.lower_after);
+                    prop_assert_eq!(from, n);
+                    prop_assert!(to < from);
+                    consensus_run = 0;
+                }
+                Decision::Hold => {
+                    if dtof == dtof_max(n) && dtof > policy.raise_threshold {
+                        consensus_run += 1;
+                    } else {
+                        consensus_run = 0;
+                    }
+                }
+            }
+            if let Some(new_n) = decision.new_count() {
+                n = new_n;
+            }
+        }
+    }
+
+    /// The controller is a pure function of its observation history:
+    /// identical streams yield identical decision sequences.
+    #[test]
+    fn controller_is_deterministic(
+        observations in proptest::collection::vec((0u32..6, 0usize..4), 0..200),
+    ) {
+        let run = || {
+            let mut c = RedundancyController::new(RedundancyPolicy {
+                lower_after: 5,
+                ..RedundancyPolicy::default()
+            });
+            let sizes = [3usize, 5, 7, 9];
+            observations
+                .iter()
+                .map(|&(d, ni)| {
+                    let n = sizes[ni];
+                    c.observe(d.min(dtof_max(n)), n)
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,217 @@
+//! Additional voter flavours beyond strict majority.
+//!
+//! Johnson's *Design and Analysis of Fault-Tolerant Digital Systems* (the
+//! paper's reference for the restoring organ) catalogues several voter
+//! designs; the ones most useful alongside the strict-majority voter are
+//! implemented here:
+//!
+//! * [`plurality_vote`] — the most frequent value wins even without an
+//!   absolute majority (with a quorum guard);
+//! * [`weighted_majority_vote`] — replicas carry reliability weights;
+//! * [`median_vote`] — for ordered values, the middle element (immune to
+//!   up-to-`(n-1)/2` arbitrarily corrupted extremes).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::VoteOutcome;
+
+/// Plurality voting: the most frequent value wins provided it reaches the
+/// `quorum` count; ties between distinct values return
+/// [`VoteOutcome::NoMajority`] (a tie is indistinguishable from noise).
+///
+/// # Panics
+///
+/// Panics if `quorum == 0`.
+#[must_use]
+pub fn plurality_vote<V: Eq + Hash + Clone>(votes: &[V], quorum: usize) -> VoteOutcome<V> {
+    assert!(quorum > 0, "quorum must be positive");
+    if votes.is_empty() {
+        return VoteOutcome::NoMajority;
+    }
+    let mut counts: HashMap<&V, usize> = HashMap::new();
+    for v in votes {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let best_count = *counts.values().max().expect("non-empty");
+    if best_count < quorum {
+        return VoteOutcome::NoMajority;
+    }
+    let mut leaders = counts.iter().filter(|&(_, &c)| c == best_count);
+    let (leader, _) = leaders.next().expect("at least one leader");
+    if leaders.next().is_some() {
+        return VoteOutcome::NoMajority; // tie
+    }
+    VoteOutcome::Majority {
+        value: (*leader).clone(),
+        dissent: votes.len() - best_count,
+    }
+}
+
+/// Weighted majority voting: each vote carries a non-negative weight
+/// (e.g. a reliability estimate); a value wins when its weight sum
+/// strictly exceeds half the total weight.  `dissent` reports the *count*
+/// of disagreeing replicas, for dtof compatibility.
+///
+/// # Panics
+///
+/// Panics if any weight is negative or NaN.
+#[must_use]
+pub fn weighted_majority_vote<V: Eq + Hash + Clone>(votes: &[(V, f64)]) -> VoteOutcome<V> {
+    if votes.is_empty() {
+        return VoteOutcome::NoMajority;
+    }
+    let mut weights: HashMap<&V, f64> = HashMap::new();
+    let mut total = 0.0;
+    for (v, w) in votes {
+        assert!(w.is_finite() && *w >= 0.0, "weights must be non-negative");
+        *weights.entry(v).or_insert(0.0) += w;
+        total += w;
+    }
+    let (best, weight) = weights
+        .into_iter()
+        .max_by(|(_, a), (_, b)| a.total_cmp(b))
+        .expect("non-empty");
+    if 2.0 * weight > total {
+        let dissent = votes.iter().filter(|(v, _)| v != best).count();
+        VoteOutcome::Majority {
+            value: best.clone(),
+            dissent,
+        }
+    } else {
+        VoteOutcome::NoMajority
+    }
+}
+
+/// Median voting over ordered values: returns the middle element of the
+/// sorted votes.  With `n` replicas and at most `(n-1)/2` corrupted
+/// values the median is always produced by a correct replica, even when
+/// the corrupted values are arbitrary — which makes this the voter of
+/// choice for sensor-style numeric channels.
+///
+/// `dissent` counts votes different from the median value.
+#[must_use]
+pub fn median_vote<V: Ord + Clone>(votes: &[V]) -> VoteOutcome<V> {
+    if votes.is_empty() {
+        return VoteOutcome::NoMajority;
+    }
+    let mut sorted: Vec<&V> = votes.iter().collect();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2].clone();
+    let dissent = votes.iter().filter(|v| **v != median).count();
+    VoteOutcome::Majority {
+        value: median,
+        dissent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plurality_wins_without_absolute_majority() {
+        // 2-2-1 split with quorum 2: tie -> no result.
+        assert_eq!(
+            plurality_vote(&[1, 1, 2, 2, 3], 2),
+            VoteOutcome::NoMajority
+        );
+        // 2-1-1 split: plurality of 2 wins though it is not a majority.
+        assert_eq!(
+            plurality_vote(&[1, 1, 2, 3], 2),
+            VoteOutcome::Majority {
+                value: 1,
+                dissent: 2
+            }
+        );
+        // Strict-majority voter would reject the same vector.
+        assert_eq!(crate::majority_vote(&[1, 1, 2, 3]), VoteOutcome::NoMajority);
+    }
+
+    #[test]
+    fn plurality_respects_quorum() {
+        assert_eq!(plurality_vote(&[1, 2, 3], 2), VoteOutcome::NoMajority);
+        assert_eq!(
+            plurality_vote(&[1, 2, 3], 1),
+            VoteOutcome::NoMajority,
+            "three-way tie still fails"
+        );
+        assert_eq!(
+            plurality_vote(&[7], 1),
+            VoteOutcome::Majority {
+                value: 7,
+                dissent: 0
+            }
+        );
+    }
+
+    #[test]
+    fn plurality_empty() {
+        assert_eq!(plurality_vote::<u8>(&[], 1), VoteOutcome::NoMajority);
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum must be positive")]
+    fn plurality_zero_quorum_rejected() {
+        let _ = plurality_vote(&[1], 0);
+    }
+
+    #[test]
+    fn weighted_reliability_shifts_the_outcome() {
+        // Unweighted: 2 vs 1 in count -> value 1 wins.
+        // Weighted: the single high-reliability replica outweighs them.
+        let votes = [(1u8, 0.2), (1, 0.2), (2, 0.9)];
+        assert_eq!(
+            weighted_majority_vote(&votes),
+            VoteOutcome::Majority {
+                value: 2,
+                dissent: 2
+            }
+        );
+    }
+
+    #[test]
+    fn weighted_no_majority_on_balance() {
+        let votes = [(1u8, 1.0), (2, 1.0)];
+        assert_eq!(weighted_majority_vote(&votes), VoteOutcome::NoMajority);
+        assert_eq!(weighted_majority_vote::<u8>(&[]), VoteOutcome::NoMajority);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn weighted_rejects_negative_weights() {
+        let _ = weighted_majority_vote(&[(1u8, -1.0)]);
+    }
+
+    #[test]
+    fn median_ignores_arbitrary_extremes() {
+        // Two corrupted channels report absurd values; the median is
+        // still a correct reading.
+        let out = median_vote(&[100, 101, 99, i32::MAX, i32::MIN]);
+        let v = *out.value().unwrap();
+        assert!((99..=101).contains(&v));
+    }
+
+    #[test]
+    fn median_exact_agreement() {
+        assert_eq!(
+            median_vote(&[5, 5, 5]),
+            VoteOutcome::Majority {
+                value: 5,
+                dissent: 0
+            }
+        );
+        assert_eq!(median_vote::<i32>(&[]), VoteOutcome::NoMajority);
+    }
+
+    #[test]
+    fn median_single_value() {
+        assert_eq!(
+            median_vote(&[9]),
+            VoteOutcome::Majority {
+                value: 9,
+                dissent: 0
+            }
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests on the voter family.
+
+use afta_voting::{
+    dtof_max, majority_vote, median_vote, plurality_vote, weighted_majority_vote, VoteOutcome,
+    VotingFarm,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Plurality never returns a value with fewer than `quorum` votes,
+    /// and majority implies plurality (with quorum 1).
+    #[test]
+    fn plurality_quorum_and_consistency(
+        votes in proptest::collection::vec(0u8..6, 1..20),
+        quorum in 1usize..6,
+    ) {
+        if let VoteOutcome::Majority { value, dissent } = plurality_vote(&votes, quorum) {
+            let count = votes.iter().filter(|&&v| v == value).count();
+            prop_assert!(count >= quorum);
+            prop_assert_eq!(dissent, votes.len() - count);
+        }
+        // A strict majority is always found by plurality too.
+        if let VoteOutcome::Majority { value, .. } = majority_vote(&votes) {
+            match plurality_vote(&votes, 1) {
+                VoteOutcome::Majority { value: pv, .. } => prop_assert_eq!(pv, value),
+                VoteOutcome::NoMajority => prop_assert!(false, "plurality missed a majority"),
+            }
+        }
+    }
+
+    /// The median is always one of the votes and lies within [min, max].
+    #[test]
+    fn median_is_a_vote_within_bounds(votes in proptest::collection::vec(-1000i64..1000, 1..25)) {
+        match median_vote(&votes) {
+            VoteOutcome::Majority { value, .. } => {
+                prop_assert!(votes.contains(&value));
+                prop_assert!(value >= *votes.iter().min().unwrap());
+                prop_assert!(value <= *votes.iter().max().unwrap());
+            }
+            VoteOutcome::NoMajority => prop_assert!(false, "median always decides"),
+        }
+    }
+
+    /// With at most (n-1)/2 corrupted values, the median equals some
+    /// correct reading regardless of how the corrupted values are chosen.
+    #[test]
+    fn median_tolerates_minority_corruption(
+        n in proptest::sample::select(vec![3usize, 5, 7, 9]),
+        correct in -100i64..100,
+        corrupt in proptest::collection::vec(any::<i64>(), 0..4),
+    ) {
+        let faulty = corrupt.len().min((n - 1) / 2);
+        let mut votes: Vec<i64> = vec![correct; n - faulty];
+        votes.extend(corrupt.iter().take(faulty));
+        let out = median_vote(&votes);
+        prop_assert_eq!(out.value(), Some(&correct));
+    }
+
+    /// Uniform weights reduce weighted voting to plain majority voting.
+    #[test]
+    fn uniform_weights_match_majority(votes in proptest::collection::vec(0u8..5, 1..15)) {
+        let weighted: Vec<(u8, f64)> = votes.iter().map(|&v| (v, 1.0)).collect();
+        let a = weighted_majority_vote(&weighted);
+        let b = majority_vote(&votes);
+        match (a, b) {
+            (
+                VoteOutcome::Majority { value: va, dissent: da },
+                VoteOutcome::Majority { value: vb, dissent: db },
+            ) => {
+                prop_assert_eq!(va, vb);
+                prop_assert_eq!(da, db);
+            }
+            (VoteOutcome::NoMajority, VoteOutcome::NoMajority) => {}
+            (a, b) => prop_assert!(false, "{a:?} vs {b:?}"),
+        }
+    }
+
+    /// Farm round accounting: dtof is consistent with the outcome and n.
+    #[test]
+    fn farm_round_dtof_consistency(
+        n in proptest::sample::select(vec![1usize, 3, 5, 7, 9]),
+        broken in proptest::collection::vec(any::<bool>(), 9),
+    ) {
+        let mut farm = VotingFarm::new(n, |i: usize, x: &u32| {
+            if broken[i] { u32::MAX - i as u32 } else { *x }
+        });
+        let r = farm.round(&7);
+        prop_assert!(r.dtof <= dtof_max(n));
+        match &r.outcome {
+            VoteOutcome::Majority { dissent, .. } => {
+                prop_assert_eq!(r.dtof, dtof_max(n).saturating_sub(*dissent as u32));
+            }
+            VoteOutcome::NoMajority => prop_assert_eq!(r.dtof, 0),
+        }
+    }
+}

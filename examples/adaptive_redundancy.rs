@@ -1,0 +1,76 @@
+//! Strategy §3.3 end to end: a restoring organ under environmental fault
+//! injection, with the Reflective Switchboards autonomically dimensioning
+//! the redundancy via distance-to-failure (Figs. 5–7 in miniature).
+//!
+//! ```sh
+//! cargo run --example adaptive_redundancy
+//! ```
+
+use afta::eventbus::Bus;
+use afta::faultinject::{EnvironmentProfile, Phase};
+use afta::switchboard::{
+    run_experiment, ExperimentConfig, RedundancyChange, RedundancyPolicy,
+};
+use afta::voting::{dtof, dtof_max};
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Fig. 5: distance-to-failure for a 7-replica organ.
+    // ------------------------------------------------------------------
+    println!("=== Fig. 5: dtof(7, m) ===\n");
+    for m in 0..=3usize {
+        println!("  dissent m={m}: dtof = {}", dtof(7, Some(m)));
+    }
+    println!("  no majority : dtof = {} (failure)", dtof(7, None));
+    println!("  (maximum distance = {})\n", dtof_max(7));
+
+    // ------------------------------------------------------------------
+    // Fig. 6: a calm -> storm -> calm environment; redundancy follows.
+    // ------------------------------------------------------------------
+    println!("=== Fig. 6: redundancy follows the disturbance ===\n");
+    let bus = Bus::new();
+    let changes = bus.subscribe::<RedundancyChange>();
+    let config = ExperimentConfig {
+        steps: 30_000,
+        seed: 2024,
+        profile: EnvironmentProfile::new(
+            vec![
+                Phase::new(8_000, 0.00001), // calm
+                Phase::new(3_000, 0.08),    // storm
+                Phase::new(19_000, 0.00001), // calm again
+            ],
+            false,
+        ),
+        policy: RedundancyPolicy::default(),
+        trace_stride: 0,
+    };
+    let report = run_experiment(&config, Some(&bus));
+
+    println!("{:>8}  decision", "tick");
+    for change in changes.drain() {
+        println!("{:>8}  {}", change.tick.0, change.decision);
+    }
+
+    // ------------------------------------------------------------------
+    // Fig. 7: dwell-time histogram over the redundancy degrees.
+    // ------------------------------------------------------------------
+    println!("\n=== Fig. 7: time spent per degree of redundancy ===\n");
+    print!("{}", report.histogram);
+    println!(
+        "\nfraction at minimal redundancy (r=3): {:.5}%",
+        100.0 * report.fraction_at_min(3)
+    );
+    println!(
+        "faults injected: {} | voting failures: {} | raises: {} | lowers: {}",
+        report.faults_injected, report.voting_failures, report.raises, report.lowers
+    );
+    println!(
+        "\n=> despite fault injection the organ {} failed a vote, while spending most of its \
+         life at minimal cost — the §3.3 claim.",
+        if report.voting_failures == 0 {
+            "never"
+        } else {
+            "(almost) never"
+        }
+    );
+}

@@ -1,0 +1,103 @@
+//! The Ariane 5 Flight 501 scenario (paper §2.1), replayed twice:
+//!
+//! 1. **naive reuse** — the Ariane 4 velocity-conversion code is reused
+//!    unchanged; the unguarded 16-bit conversion overflows and the
+//!    "mission" is lost;
+//! 2. **assumption-aware reuse** — the same code ships with its design
+//!    assumption made explicit; the clash is detected on ascent and an
+//!    adaptation handler degrades gracefully instead of exploding.
+//!
+//! ```sh
+//! cargo run --example ariane5
+//! ```
+
+use afta::core::prelude::*;
+
+/// Simulated flight profile: horizontal velocity over time.  Ariane 4
+/// peaks inside i16 range; Ariane 5 is faster.
+fn horizontal_velocity(rocket: &str, t: u64) -> i64 {
+    let peak: f64 = match rocket {
+        "ariane4" => 28_000.0,
+        _ => 52_000.0, // Ariane 5: cannot be represented in an i16
+    };
+    // Simple monotone ascent profile towards the peak.
+    (peak * (1.0 - (-(t as f64) / 18.0).exp())) as i64
+}
+
+/// The reused Ariane 4 conversion: velocity into a 16-bit register.
+/// Returns `None` on overflow — the event that, unhandled, destroyed the
+/// real launcher.
+fn convert_bh(velocity: i64) -> Option<i16> {
+    i16::try_from(velocity).ok()
+}
+
+fn naive_flight(rocket: &str) -> Result<(), u64> {
+    for t in 0..120 {
+        let v = horizontal_velocity(rocket, t);
+        // The Ariane 4 code assumed this could not fail — no handler.
+        if convert_bh(v).is_none() {
+            return Err(t); // operand error -> IRS failure -> self-destruct
+        }
+    }
+    Ok(())
+}
+
+fn assumption_aware_flight(rocket: &str) -> Result<u32, afta::core::Error> {
+    let mut registry = AssumptionRegistry::new();
+    registry.register(
+        Assumption::builder("hvel-16bit")
+            .statement("horizontal velocity fits a 16-bit signed integer")
+            .kind(AssumptionKind::PhysicalEnvironment)
+            .expects("horizontal_velocity", Expectation::int_range(-32768, 32767))
+            .criticality(Criticality::Catastrophic)
+            .origin("ariane4/IRS")
+            .rationale("Ariane 4 trajectory envelope (peak ~28k)")
+            .build(),
+    )?;
+    // The handler the real IRS never had: fall back to the wide-range
+    // (64-bit) conversion path and keep flying.
+    registry.attach_handler(
+        "hvel-16bit",
+        Box::new(|_, v| Ok(format!("switched to 64-bit conversion path at v={v}"))),
+    )?;
+
+    let mut recoveries = 0;
+    for t in 0..120 {
+        let v = horizontal_velocity(rocket, t);
+        let report = registry.observe(Observation::new("horizontal_velocity", v));
+        for clash in &report.clashes {
+            match &clash.disposition {
+                ClashDisposition::Recovered(note) => {
+                    recoveries += 1;
+                    if recoveries == 1 {
+                        println!("  t={t:>3}: clash detected and recovered: {note}");
+                    }
+                }
+                other => println!("  t={t:>3}: clash NOT recovered: {other}"),
+            }
+        }
+    }
+    Ok(recoveries)
+}
+
+fn main() -> Result<(), afta::core::Error> {
+    println!("=== Ariane 4 heritage mission (the assumption holds) ===");
+    assert!(naive_flight("ariane4").is_ok());
+    println!("  naive code: mission nominal\n");
+
+    println!("=== Ariane 5 maiden flight, naive reuse (§2.1) ===");
+    match naive_flight("ariane5") {
+        Err(t) => println!(
+            "  naive code: OPERAND OVERFLOW at t={t}s -> IRS failure -> self-destruct\n"
+        ),
+        Ok(()) => unreachable!("Ariane 5 exceeds the i16 envelope"),
+    }
+
+    println!("=== Ariane 5 maiden flight, assumption-aware reuse ===");
+    let recoveries = assumption_aware_flight("ariane5")?;
+    println!(
+        "  mission completed; the hidden Ariane-4 hypothesis clashed {recoveries} time(s), \
+         each detected and handled"
+    );
+    Ok(())
+}

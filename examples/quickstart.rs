@@ -1,0 +1,83 @@
+//! Quickstart: declare assumptions, watch the context, survive a clash.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use afta::core::prelude::*;
+
+fn main() -> Result<(), afta::core::Error> {
+    // 1. Declare design assumptions explicitly instead of hardwiring
+    //    them.  Each one names the context fact it constrains, where it
+    //    came from, and how severe a violation would be.
+    let mut registry = AssumptionRegistry::new();
+    registry.set_required_category(BouldingCategory::Cell);
+
+    registry.register(
+        Assumption::builder("hvel-16bit")
+            .statement("horizontal velocity fits a 16-bit signed integer")
+            .kind(AssumptionKind::PhysicalEnvironment)
+            .expects("horizontal_velocity", Expectation::int_range(-32768, 32767))
+            .criticality(Criticality::Catastrophic)
+            .origin("ariane4/flight-software")
+            .rationale("Ariane 4 trajectory envelope; never re-validated for Ariane 5")
+            .build(),
+    )?;
+
+    registry.register(
+        Assumption::builder("mem-technology")
+            .statement("deployment machines use CMOS memory")
+            .kind(AssumptionKind::HardwareComponent)
+            .expects("memory_technology", Expectation::equals("cmos"))
+            .binding_time(BindingTime::CompileTime)
+            .build(),
+    )?;
+
+    // 2. Attach an adaptation handler: the difference between a Clockwork
+    //    (sitting duck) and a Cell (self-maintaining system).
+    registry.attach_handler(
+        "hvel-16bit",
+        Box::new(|_, observed| {
+            Ok(format!(
+                "switched guidance to wide-range filter (observed {observed})"
+            ))
+        }),
+    )?;
+    registry.attach_handler(
+        "mem-technology",
+        Box::new(|_, observed| {
+            Ok(format!("re-ran memory-method selection for {observed}"))
+        }),
+    )?;
+    println!("effective Boulding category: {}", registry.effective_category());
+
+    // 3. Feed observations from context probes.
+    let mut probes = ProbeSet::new().with(FnProbe::new("telemetry", || {
+        vec![
+            Observation::new("horizontal_velocity", 40_000i64), // Ariane-5 territory
+            Observation::new("memory_technology", "sdram"),
+        ]
+    }));
+
+    let report = registry.observe_all(probes.snapshot());
+
+    // 4. Every clash is detected, diagnosed, and (here) recovered.
+    for clash in &report.clashes {
+        println!("\n{clash}");
+        for syndrome in &clash.syndromes {
+            println!("  syndrome: {syndrome}");
+        }
+    }
+    println!(
+        "\n{} clash(es), {} recovered, {} unrecovered",
+        report.clashes.len(),
+        report.clashes.len() - report.unrecovered().count(),
+        report.unrecovered().count()
+    );
+
+    // 5. The audit trail persists for post-mortems.
+    println!("registry now tracks {} assumptions; log has {} clash(es)",
+        registry.len(),
+        registry.clash_log().len());
+    Ok(())
+}

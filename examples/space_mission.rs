@@ -1,0 +1,117 @@
+//! The paper's space-borne scenario: "the characteristics of the faults
+//! experienced in a space-borne vehicle orbiting around the sun" are an
+//! assumption with a *dynamically varying truth value*.
+//!
+//! A spacecraft memory subsystem flies a mission whose radiation level
+//! spikes 50-fold during solar flares.  An assumption monitor watches
+//! the level and flags the Horning clash when the cruise-phase hypothesis
+//! stops matching reality; flying one flare phase on the naive `M0`
+//! binding versus the `M4` binding (ECC + mirroring + scrubbing + SEFI
+//! recovery) shows why the clash matters.
+//!
+//! ```sh
+//! cargo run --example space_mission
+//! ```
+
+use afta::core::prelude::*;
+use afta::memaccess::{AccessMethod, M0Raw, MirroredEcc};
+use afta::memsim::{
+    BehaviorClass, FaultRates, MissionPhase, RadiationEnvironment, Severity, SimMemory,
+    SimMemoryConfig,
+};
+use afta::sim::Tick;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a device running at the given fault rates.
+fn device(rates: FaultRates, seed: u64) -> SimMemory {
+    let cfg = SimMemoryConfig {
+        rates,
+        chips: 4,
+        ..SimMemoryConfig::pristine(512)
+    };
+    SimMemory::new(cfg, StdRng::seed_from_u64(seed))
+}
+
+/// Runs `ticks` read cycles over pre-written data; returns
+/// `(wrong_reads, lost_accesses)`.
+fn fly(method: &mut dyn AccessMethod, ticks: u64) -> (u64, u64) {
+    let n = method.logical_size().min(128);
+    for slot in 0..n {
+        let _ = method.store(slot, &[slot as u8]);
+    }
+    let (mut wrong, mut lost) = (0u64, 0u64);
+    for t in 0..ticks {
+        let slot = (t % n as u64) as usize;
+        let mut b = [0u8; 1];
+        match method.load(slot, &mut b) {
+            Ok(()) if b[0] != slot as u8 => wrong += 1,
+            Ok(()) => {}
+            Err(_) => lost += 1,
+        }
+    }
+    (wrong, lost)
+}
+
+fn main() -> Result<(), afta::core::Error> {
+    let base = FaultRates::for_class(BehaviorClass::F4, Severity::Nominal);
+    let env = RadiationEnvironment::new(
+        base,
+        vec![MissionPhase::new(4_000, 1.0), MissionPhase::new(400, 50.0)],
+    );
+    println!(
+        "mission profile: {}-tick cycles; flares multiply fault rates 50x\n",
+        env.cycle_length()
+    );
+
+    // --- The assumption monitor watches the radiation level. ----------
+    let mut registry = AssumptionRegistry::new();
+    registry.register(
+        Assumption::builder("cruise-radiation")
+            .statement("radiation stays within the cruise envelope (multiplier <= 10)")
+            .kind(AssumptionKind::PhysicalEnvironment)
+            .expects("radiation_multiplier", Expectation::AtMost(10.0))
+            .criticality(Criticality::High)
+            .origin("mission-design/phase-A")
+            .build(),
+    )?;
+    registry.attach_handler(
+        "cruise-radiation",
+        Box::new(|_, m| Ok(format!("raised scrub rate for flare (multiplier {m})"))),
+    )?;
+
+    let mut flare_clashes = 0;
+    for t in (0..9_000u64).step_by(100) {
+        let report = registry.observe(Observation::new(
+            "radiation_multiplier",
+            env.multiplier_at(Tick(t)),
+        ));
+        flare_clashes += report.clashes.len();
+    }
+    println!(
+        "monitor: {flare_clashes} flare observations clashed with the cruise hypothesis — \
+         each detected and recovered\n"
+    );
+
+    // --- Fly one flare phase on each binding. ---------------------------
+    let flare_rates = env.rates_at(Tick(4_100)); // inside the flare window
+    let flare_ticks = 400;
+
+    let mut m0 = M0Raw::new(device(flare_rates, 1));
+    let (wrong0, lost0) = fly(&mut m0, flare_ticks);
+
+    let mut m4 = MirroredEcc::m4(device(flare_rates, 2), device(flare_rates, 3), 64);
+    let (wrong4, lost4) = fly(&mut m4, flare_ticks);
+
+    println!("one flare phase ({flare_ticks} ticks at 50x rates):");
+    println!("  M0 (naive):            {wrong0} wrong reads, {lost0} lost accesses");
+    println!(
+        "  M4 (ECC+mirror+scrub): {wrong4} wrong reads, {lost4} lost accesses  (stats: {:?})",
+        m4.stats()
+    );
+    println!(
+        "\n=> the f4 binding survives the environment the cruise-phase hypothesis never \
+         anticipated; the monitor caught the clash the moment it opened."
+    );
+    Ok(())
+}

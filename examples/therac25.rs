@@ -1,0 +1,136 @@
+//! The Therac-25 scenario (paper §2.2): a hardware interlock assumption
+//! silently invalidated by a platform redesign, caught by contracts and
+//! introspection probes.
+//!
+//! The Therac-20's software ran correctly *because* hardware interlocks
+//! masked its residual faults.  Model 25 removed the interlocks; the
+//! software's hidden assumptions — "no residual fault exists" and "all
+//! exceptions are caught by the hardware" — clashed with reality.
+//!
+//! ```sh
+//! cargo run --example therac25
+//! ```
+
+use afta::core::contract::Contract;
+use afta::core::prelude::*;
+
+/// The simulated linac platform.
+#[derive(Debug)]
+struct Linac {
+    model: &'static str,
+    hardware_interlocks: bool,
+    /// Beam energy as last commanded (MeV-ish units; safe <= 100).
+    energy: i32,
+}
+
+/// The (buggy) dosing routine shared by both models: a rare race
+/// condition commands a massive overdose.  On the Therac-20 the hardware
+/// interlock clamps it; on the 25 nothing does — unless the software
+/// checks its own contract.
+fn dose(linac: &mut Linac, editing_race: bool) {
+    linac.energy = if editing_race { 25_000 } else { 80 };
+    if linac.hardware_interlocks && linac.energy > 100 {
+        // The Therac-20 path: hardware shuts the beam down.
+        linac.energy = 0;
+    }
+}
+
+fn main() -> Result<(), afta::core::Error> {
+    // --- The excavated (previously hardwired) design assumptions. -----
+    let mut registry = AssumptionRegistry::new();
+    registry.set_required_category(BouldingCategory::Cell);
+    registry.register(
+        Assumption::builder("hw-interlocks-present")
+            .statement("all unsafe states are caught by hardware interlocks")
+            .kind(AssumptionKind::HardwareComponent)
+            .expects("hardware_interlocks", Expectation::equals(true))
+            .criticality(Criticality::Catastrophic)
+            .origin("therac20/platform")
+            .hardwired() // it was never written down anywhere inspectable
+            .build(),
+    )?;
+    registry.register(
+        Assumption::builder("no-residual-fault")
+            .statement("the dosing software contains no residual fault")
+            .kind(AssumptionKind::InternalState)
+            .expects("residual_faults_observed", Expectation::equals(false))
+            .criticality(Criticality::Catastrophic)
+            .origin("therac20/field-history")
+            .hardwired()
+            .build(),
+    )?;
+
+    // Audit: hardwired assumptions are latent Hidden Intelligence.
+    println!("Hidden-intelligence audit (assumptions buried in the code):");
+    for a in registry.hidden_intelligence_audit() {
+        println!("  [{}] {}", a.id(), a.statement());
+    }
+
+    // --- The software safety contract the hardware used to embody. ----
+    let contract = Contract::<Linac>::builder()
+        .invariant_condition(
+            afta::core::contract::Condition::new(
+                "beam energy within safe bounds",
+                |l: &Linac| l.energy <= 100,
+            )
+            .assuming("hw-interlocks-present")
+            .assuming("no-residual-fault"),
+        )
+        .build();
+
+    // --- Scenario A: Therac-20 (interlocks present, bug masked). -------
+    let mut t20 = Linac {
+        model: "Therac-20",
+        hardware_interlocks: true,
+        energy: 0,
+    };
+    dose(&mut t20, true); // the race fires, the interlock saves the day
+    assert!(contract.check_exit(&t20).is_ok());
+    println!("\n{}: race occurred, interlock masked it (energy={})", t20.model, t20.energy);
+    println!("  -> field history reports a fault-free software: the S_HI trap is set");
+
+    // --- Scenario B: Therac-25 (interlocks removed). -------------------
+    // Introspection probes — the self-tests the real machine lacked —
+    // report the platform truth before the first patient.
+    let mut probes = ProbeSet::new().with(FnProbe::new("platform-selftest", || {
+        vec![Observation::new("hardware_interlocks", false)]
+    }));
+    let report = registry.observe_all(probes.snapshot());
+    println!("\nTherac-25 pre-operation introspection:");
+    for clash in &report.clashes {
+        println!("  {clash}");
+        for s in &clash.syndromes {
+            println!("    syndrome: {s}");
+        }
+    }
+    assert!(
+        !report.all_satisfied(),
+        "the interlock assumption must clash on the new platform"
+    );
+
+    // The contract now guards what the hardware no longer does.
+    let mut t25 = Linac {
+        model: "Therac-25",
+        hardware_interlocks: false,
+        energy: 0,
+    };
+    dose(&mut t25, true);
+    match contract.check_exit(&t25) {
+        Err(v) => {
+            println!("\n{}: {v}", t25.model);
+            println!("  -> beam inhibited BEFORE dosing; implicated assumptions re-examined");
+        }
+        Ok(()) => unreachable!("the overdose must violate the invariant"),
+    }
+
+    // And the residual-fault assumption is now known false too.
+    registry.observe(Observation::new("residual_faults_observed", true));
+    let summary = registry.verify_all();
+    println!(
+        "\nfinal verification: {} holding, {} violated, {} unverifiable",
+        summary.holding.len(),
+        summary.violated.len(),
+        summary.unverifiable.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,483 @@
+//! Ready-made knowledge-web agents bridging the AFTA components into the
+//! §5 cross-layer fabric.
+//!
+//! The paper envisions "a web of cooperating reactive agents serving
+//! different software design concerns ... a design assumption failure
+//! caught by a run-time detector should trigger a request for adaptation
+//! at model level, and vice-versa."  These agents wire the *actual*
+//! components of this workspace into that loop:
+//!
+//! * [`RuntimeOracleAgent`] — run-time layer: feeds per-round component
+//!   judgments into an alpha-count and publishes a `fault-model`
+//!   deduction whenever the verdict changes;
+//! * [`PatternPlannerAgent`] — model layer: reacts to `fault-model` news
+//!   by rebinding the pattern assumption variable and requesting the
+//!   matching architecture;
+//! * [`ArchitectureAgent`] — deployment layer: reacts to
+//!   `adaptation-request` by injecting the requested DAG snapshot into a
+//!   shared [`ReflectiveArchitecture`] and confirming with a
+//!   `descriptor-updated` deduction.
+//!
+//! See `examples/knowledge_web.rs` for the full loop in action.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use afta_alphacount::{AlphaCount, Judgment, Verdict};
+use afta_core::{
+    Alternative, AssumptionVar, BindingTime, Deduction, KnowledgeAgent, Layer, MinCostBinder,
+    Observation, Value,
+};
+use afta_dag::ReflectiveArchitecture;
+
+/// Topic used for raw per-round component judgments.
+pub const TOPIC_JUDGMENT: &str = "component-judgment";
+/// Topic used for fault-model deductions (verdict changes).
+pub const TOPIC_FAULT_MODEL: &str = "fault-model";
+/// Topic used for model-level adaptation requests.
+pub const TOPIC_ADAPTATION: &str = "adaptation-request";
+/// Topic used for deployment-level confirmations.
+pub const TOPIC_DESCRIPTOR: &str = "descriptor-updated";
+
+/// Builds the judgment deduction a component publishes each round.
+#[must_use]
+pub fn judgment_deduction(producer: &str, component: &str, erroneous: bool) -> Deduction {
+    Deduction::new(
+        producer,
+        Layer::Runtime,
+        TOPIC_JUDGMENT,
+        Observation::new(component, erroneous),
+        if erroneous {
+            "component misbehaved this round"
+        } else {
+            "component behaved this round"
+        },
+    )
+}
+
+/// Run-time layer: the alpha-count oracle as a knowledge agent.
+///
+/// Consumes [`TOPIC_JUDGMENT`] deductions about its component and emits a
+/// [`TOPIC_FAULT_MODEL`] deduction whenever its verdict changes.
+#[derive(Debug)]
+pub struct RuntimeOracleAgent {
+    name: String,
+    component: String,
+    oracle: AlphaCount,
+    last_verdict: Verdict,
+}
+
+impl RuntimeOracleAgent {
+    /// Creates the oracle agent for `component` with the Fig. 4 threshold
+    /// 3.0.
+    #[must_use]
+    pub fn new(name: impl Into<String>, component: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            component: component.into(),
+            oracle: AlphaCount::with_threshold(3.0),
+            last_verdict: Verdict::Transient,
+        }
+    }
+
+    /// Current alpha value (for inspection).
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.oracle.alpha()
+    }
+}
+
+impl KnowledgeAgent for RuntimeOracleAgent {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn layer(&self) -> Layer {
+        Layer::Runtime
+    }
+
+    fn consider(&mut self, d: &Deduction) -> Vec<Deduction> {
+        if d.topic != TOPIC_JUDGMENT || d.observation.key != self.component {
+            return Vec::new();
+        }
+        let Some(erroneous) = d.observation.value.as_bool() else {
+            return Vec::new();
+        };
+        let judgment = if erroneous {
+            Judgment::Erroneous
+        } else {
+            Judgment::Correct
+        };
+        let verdict = self.oracle.record(judgment);
+        if verdict == self.last_verdict {
+            return Vec::new();
+        }
+        self.last_verdict = verdict;
+        let class = match verdict {
+            Verdict::Transient => "transient",
+            Verdict::PermanentOrIntermittent => "permanent",
+        };
+        vec![Deduction::new(
+            self.name.clone(),
+            Layer::Runtime,
+            TOPIC_FAULT_MODEL,
+            Observation::new("fault_class", class),
+            format!(
+                "alpha-count verdict changed (alpha {:.2} / threshold {:.1})",
+                self.oracle.alpha(),
+                self.oracle.threshold()
+            ),
+        )]
+    }
+}
+
+/// Model layer: rebinding the §3.2 pattern assumption variable.
+///
+/// Consumes [`TOPIC_FAULT_MODEL`] deductions, rebinds its
+/// [`AssumptionVar`] with the min-cost rule, and emits a
+/// [`TOPIC_ADAPTATION`] request naming the DAG snapshot to deploy.
+#[derive(Debug)]
+pub struct PatternPlannerAgent {
+    name: String,
+    var: AssumptionVar<&'static str>,
+}
+
+impl PatternPlannerAgent {
+    /// Creates the planner with the canonical D1/D2 pattern alternatives.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        let var = AssumptionVar::new("ft-pattern", BindingTime::RunTime)
+            .with(Alternative::new("D1", "D1", ["transient"], 1.0))
+            .with(Alternative::new(
+                "D2",
+                "D2",
+                ["permanent", "intermittent"],
+                3.0,
+            ));
+        Self {
+            name: name.into(),
+            var,
+        }
+    }
+
+    /// The currently bound snapshot label, if bound.
+    #[must_use]
+    pub fn bound(&self) -> Option<&str> {
+        self.var.bound_label()
+    }
+}
+
+impl KnowledgeAgent for PatternPlannerAgent {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn layer(&self) -> Layer {
+        Layer::Model
+    }
+
+    fn consider(&mut self, d: &Deduction) -> Vec<Deduction> {
+        if d.topic != TOPIC_FAULT_MODEL {
+            return Vec::new();
+        }
+        let Some(class) = d.observation.value.as_text() else {
+            return Vec::new();
+        };
+        let previous = self.var.bound_label().map(str::to_owned);
+        let Ok(&label) = self.var.bind(class, &MinCostBinder) else {
+            return Vec::new();
+        };
+        if previous.as_deref() == Some(label) {
+            return Vec::new();
+        }
+        vec![Deduction::new(
+            self.name.clone(),
+            Layer::Model,
+            TOPIC_ADAPTATION,
+            Observation::new("snapshot", label),
+            format!("pattern assumption rebound for {class} faults"),
+        )]
+    }
+}
+
+/// Deployment layer: applies adaptation requests to a shared reflective
+/// architecture.
+pub struct ArchitectureAgent {
+    name: String,
+    arch: Arc<Mutex<ReflectiveArchitecture>>,
+}
+
+impl std::fmt::Debug for ArchitectureAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArchitectureAgent")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ArchitectureAgent {
+    /// Creates the agent over a shared architecture handle.
+    #[must_use]
+    pub fn new(name: impl Into<String>, arch: Arc<Mutex<ReflectiveArchitecture>>) -> Self {
+        Self {
+            name: name.into(),
+            arch,
+        }
+    }
+}
+
+impl KnowledgeAgent for ArchitectureAgent {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn layer(&self) -> Layer {
+        Layer::Deployment
+    }
+
+    fn consider(&mut self, d: &Deduction) -> Vec<Deduction> {
+        if d.topic != TOPIC_ADAPTATION {
+            return Vec::new();
+        }
+        let Some(label) = d.observation.value.as_text() else {
+            return Vec::new();
+        };
+        let result = self.arch.lock().inject(label);
+        match result {
+            Ok(diff) => vec![Deduction::new(
+                self.name.clone(),
+                Layer::Deployment,
+                TOPIC_DESCRIPTOR,
+                Observation::new("snapshot", label),
+                format!(
+                    "architecture reshaped: +{} -{} components",
+                    diff.added_components.len(),
+                    diff.removed_components.len()
+                ),
+            )],
+            Err(e) => vec![Deduction::new(
+                self.name.clone(),
+                Layer::Deployment,
+                TOPIC_DESCRIPTOR,
+                Observation::new("error", Value::Text(e.to_string())),
+                "injection failed",
+            )],
+        }
+    }
+}
+
+/// Topic used for assumption-clash announcements.
+pub const TOPIC_CLASH: &str = "assumption-clash";
+
+/// Runtime layer: an assumption registry as a knowledge agent.
+///
+/// Consumes *every* deduction whose observation key matches a registered
+/// assumption's fact, feeds it to the registry, and announces any
+/// resulting clash on [`TOPIC_CLASH`] — so that a fact deduced anywhere
+/// in the web is automatically checked against the system's documented
+/// hypotheses.
+#[derive(Debug)]
+pub struct MonitorAgent {
+    name: String,
+    registry: afta_core::AssumptionRegistry,
+}
+
+impl MonitorAgent {
+    /// Wraps a registry.
+    #[must_use]
+    pub fn new(name: impl Into<String>, registry: afta_core::AssumptionRegistry) -> Self {
+        Self {
+            name: name.into(),
+            registry,
+        }
+    }
+
+    /// The wrapped registry (for audits).
+    #[must_use]
+    pub fn registry(&self) -> &afta_core::AssumptionRegistry {
+        &self.registry
+    }
+}
+
+impl KnowledgeAgent for MonitorAgent {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn layer(&self) -> Layer {
+        Layer::Runtime
+    }
+
+    fn consider(&mut self, d: &Deduction) -> Vec<Deduction> {
+        // Never react to our own clash announcements.
+        if d.topic == TOPIC_CLASH {
+            return Vec::new();
+        }
+        let report = self.registry.observe(d.observation.clone());
+        report
+            .clashes
+            .into_iter()
+            .map(|clash| {
+                Deduction::new(
+                    self.name.clone(),
+                    Layer::Runtime,
+                    TOPIC_CLASH,
+                    Observation::new(clash.fact_key.clone(), clash.observed.clone()),
+                    format!(
+                        "assumption [{}] violated ({}); syndromes: {}",
+                        clash.assumption,
+                        clash.disposition,
+                        clash
+                            .syndromes
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afta_core::KnowledgeWeb;
+    use afta_dag::fig3_snapshots;
+
+    fn web_with_shared_arch() -> (KnowledgeWeb, Arc<Mutex<ReflectiveArchitecture>>) {
+        let (d1, d2) = fig3_snapshots();
+        let mut arch = ReflectiveArchitecture::new(d1.clone());
+        arch.store_snapshot("D1", d1).unwrap();
+        arch.store_snapshot("D2", d2).unwrap();
+        let arch = Arc::new(Mutex::new(arch));
+
+        let mut web = KnowledgeWeb::new();
+        web.attach(RuntimeOracleAgent::new("oracle", "c3"));
+        web.attach(PatternPlannerAgent::new("planner"));
+        web.attach(ArchitectureAgent::new("deployer", arch.clone()));
+        (web, arch)
+    }
+
+    #[test]
+    fn full_cross_layer_loop_reshapes_the_architecture() {
+        let (mut web, arch) = web_with_shared_arch();
+        // Healthy rounds: nothing propagates beyond the oracle.
+        for _ in 0..5 {
+            web.publish(judgment_deduction("c3", "c3", false));
+        }
+        assert!(arch.lock().current().contains(&"c3".into()));
+
+        // A permanent fault: four erroneous rounds cross the threshold.
+        for _ in 0..4 {
+            web.publish(judgment_deduction("c3", "c3", true));
+        }
+        // The web propagated runtime -> model -> deployment and the
+        // architecture now runs the reconfiguration scheme.
+        assert!(arch.lock().current().contains(&"c3.1".into()));
+        assert!(!arch.lock().current().contains(&"c3".into()));
+        assert_eq!(web.on_topic(TOPIC_FAULT_MODEL).count(), 1);
+        assert_eq!(web.on_topic(TOPIC_ADAPTATION).count(), 1);
+        assert_eq!(web.on_topic(TOPIC_DESCRIPTOR).count(), 1);
+    }
+
+    #[test]
+    fn verdict_change_back_to_transient_restores_d1() {
+        let (mut web, arch) = web_with_shared_arch();
+        for _ in 0..4 {
+            web.publish(judgment_deduction("c3", "c3", true));
+        }
+        assert!(arch.lock().current().contains(&"c3.1".into()));
+        // A long healthy streak decays alpha below the threshold; the
+        // verdict flips back and D1 is re-deployed.
+        for _ in 0..10 {
+            web.publish(judgment_deduction("c3", "c3", false));
+        }
+        assert!(arch.lock().current().contains(&"c3".into()));
+    }
+
+    #[test]
+    fn oracle_ignores_other_components() {
+        let mut agent = RuntimeOracleAgent::new("oracle", "c3");
+        let out = agent.consider(&judgment_deduction("other", "c9", true));
+        assert!(out.is_empty());
+        assert_eq!(agent.alpha(), 0.0);
+    }
+
+    #[test]
+    fn planner_deduplicates_requests() {
+        let mut planner = PatternPlannerAgent::new("planner");
+        let fault = Deduction::new(
+            "oracle",
+            Layer::Runtime,
+            TOPIC_FAULT_MODEL,
+            Observation::new("fault_class", "permanent"),
+            "",
+        );
+        assert_eq!(planner.consider(&fault).len(), 1);
+        assert_eq!(planner.bound(), Some("D2"));
+        // Same news again: already bound, no new request.
+        assert!(planner.consider(&fault).is_empty());
+    }
+
+    #[test]
+    fn monitor_agent_announces_clashes_from_web_deductions() {
+        use afta_core::prelude::*;
+        let mut registry = AssumptionRegistry::new();
+        registry
+            .register(
+                Assumption::builder("fault-transient")
+                    .expects("fault_class", Expectation::equals("transient"))
+                    .build(),
+            )
+            .unwrap();
+
+        let (mut web, _arch) = web_with_shared_arch();
+        web.attach(MonitorAgent::new("monitor", registry));
+
+        // Drive the oracle to a permanent verdict; its fault-model
+        // deduction carries fact "fault_class" = "permanent", which the
+        // monitor checks against the documented hypothesis.
+        for _ in 0..4 {
+            web.publish(judgment_deduction("c3", "c3", true));
+        }
+        assert_eq!(web.on_topic(TOPIC_CLASH).count(), 1);
+        let clash = web.on_topic(TOPIC_CLASH).next().unwrap();
+        assert!(clash.note.contains("fault-transient"));
+        assert!(clash.note.contains("Horning"));
+    }
+
+    #[test]
+    fn monitor_agent_ignores_its_own_topic() {
+        let mut agent = MonitorAgent::new("m", afta_core::AssumptionRegistry::new());
+        let echo = Deduction::new(
+            "m",
+            Layer::Runtime,
+            TOPIC_CLASH,
+            Observation::new("k", 1i64),
+            "",
+        );
+        assert!(agent.consider(&echo).is_empty());
+        assert!(agent.registry().is_empty());
+    }
+
+    #[test]
+    fn deployer_reports_unknown_snapshots() {
+        let arch = Arc::new(Mutex::new(ReflectiveArchitecture::new(
+            afta_dag::ComponentGraph::new(),
+        )));
+        let mut agent = ArchitectureAgent::new("deployer", arch);
+        let req = Deduction::new(
+            "planner",
+            Layer::Model,
+            TOPIC_ADAPTATION,
+            Observation::new("snapshot", "D9"),
+            "",
+        );
+        let out = agent.consider(&req);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].note, "injection failed");
+    }
+}

@@ -1,0 +1,63 @@
+//! # afta — Assumption-Failure-Tolerant Architectures
+//!
+//! A Rust framework reproducing Vincenzo De Florio's DSN 2009 position
+//! paper *"Software Assumptions Failure Tolerance: Role, Strategies, and
+//! Visions"*: design assumptions as first-class, inspectable,
+//! late-bound, runtime-monitored objects, together with the three
+//! concrete strategies the paper proposes and every substrate they need.
+//!
+//! The workspace is organised as one crate per subsystem; this facade
+//! re-exports them under stable names:
+//!
+//! | Module | Crate | Paper section |
+//! |---|---|---|
+//! | [`core`] | `afta-core` | assumption variables, syndromes, contracts, knowledge web (§2, §5) |
+//! | [`sim`] | `afta-sim` | deterministic simulation substrate |
+//! | [`memsim`] | `afta-memsim` | memory hardware + SPD introspection (§3.1) |
+//! | [`memaccess`] | `afta-memaccess` | methods `M0..M4`, ECC, knowledge base, `configure()` (§3.1) |
+//! | [`alphacount`] | `afta-alphacount` | count-and-threshold fault discrimination (§3.2) |
+//! | [`eventbus`] | `afta-eventbus` | publish/subscribe middleware (§3.2) |
+//! | [`dag`] | `afta-dag` | reflective DAG, D1/D2 snapshot injection (§3.2) |
+//! | [`ftpatterns`] | `afta-ftpatterns` | redoing/reconfiguration, watchdog, adaptive manager (§3.2) |
+//! | [`voting`] | `afta-voting` | restoring organ, majority voting, dtof (§3.3) |
+//! | [`switchboard`] | `afta-switchboard` | autonomic redundancy dimensioning (§3.3) |
+//! | [`faultinject`] | `afta-faultinject` | fault classes, schedules, environment profiles |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use afta::core::prelude::*;
+//!
+//! let mut registry = AssumptionRegistry::new();
+//! registry.register(
+//!     Assumption::builder("hvel-16bit")
+//!         .statement("horizontal velocity fits a 16-bit signed integer")
+//!         .kind(AssumptionKind::PhysicalEnvironment)
+//!         .expects("horizontal_velocity", Expectation::int_range(-32768, 32767))
+//!         .origin("ariane4/flight-software")
+//!         .build(),
+//! )?;
+//! let report = registry.observe(Observation::new("horizontal_velocity", 40_000i64));
+//! assert!(!report.all_satisfied()); // the Ariane-5 clash, detected
+//! # Ok::<(), afta::core::Error>(())
+//! ```
+//!
+//! See the `examples/` directory for end-to-end walkthroughs of all
+//! three strategies, and `afta-bench` for the figure regenerators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agents;
+
+pub use afta_alphacount as alphacount;
+pub use afta_core as core;
+pub use afta_dag as dag;
+pub use afta_eventbus as eventbus;
+pub use afta_faultinject as faultinject;
+pub use afta_ftpatterns as ftpatterns;
+pub use afta_memaccess as memaccess;
+pub use afta_memsim as memsim;
+pub use afta_sim as sim;
+pub use afta_switchboard as switchboard;
+pub use afta_voting as voting;

@@ -1,0 +1,130 @@
+//! Pins the numbers recorded in EXPERIMENTS.md.
+//!
+//! Every quantitative claim that document makes about a seeded run is
+//! re-derived here, so a drive-by change to a substrate cannot silently
+//! invalidate the published paper-vs-measured table.
+
+use afta::faultinject::EnvironmentProfile;
+use afta::ftpatterns::{
+    fig4_scenario, run_scenario, Environment, ScenarioConfig, Strategy,
+};
+use afta::memaccess::{configure, FailureKnowledgeBase, MethodKind};
+use afta::memsim::MachineInventory;
+use afta::sim::Tick;
+use afta::switchboard::{run_experiment, ExperimentConfig, RedundancyPolicy};
+use afta::voting::{dtof, dtof_max};
+
+#[test]
+fn e1_fig2_lshw_fields() {
+    let out = MachineInventory::dell_inspiron_6000().render_lshw();
+    for line in [
+        "size: 1536MiB",
+        "DDR Synchronous 533 MHz (1.9 ns)",
+        "serial: F504F679",
+        "size: 1GiB",
+        "DDR Synchronous 667 MHz (1.5 ns)",
+        "size: 512MiB",
+    ] {
+        assert!(out.contains(line), "missing {line:?}");
+    }
+}
+
+#[test]
+fn e2_selection_ladder() {
+    // The EXPERIMENTS.md table: f0→M0 ... f4→M4, strictly increasing cost.
+    let expected = [
+        MethodKind::M0,
+        MethodKind::M1,
+        MethodKind::M2,
+        MethodKind::M3,
+        MethodKind::M4,
+    ];
+    for w in expected.windows(2) {
+        assert!(w[0].cost() < w[1].cost());
+    }
+    // Builtin KB bank mapping (Dell machine -> SDRAM defaults).
+    let kb = FailureKnowledgeBase::builtin();
+    for bank in MachineInventory::dell_inspiron_6000().banks() {
+        let report = configure(&bank.spd, &kb).unwrap();
+        assert_eq!(report.method, MethodKind::M3, "bank {}", bank.slot);
+    }
+}
+
+#[test]
+fn e3_fig4_labels_at_round_nine() {
+    // Default regenerator parameters: 15 rounds, period 10, onset t=45.
+    let trace = fig4_scenario(15, 10, Tick(45));
+    assert_eq!(trace.labeled_permanent_at, Some(9));
+    let row9 = &trace.rows[8];
+    assert_eq!(row9.alpha, 4.0);
+    assert!(row9.fired);
+}
+
+#[test]
+fn e4_fig5_exact_values() {
+    assert_eq!(dtof(7, Some(0)), 4);
+    assert_eq!(dtof(7, Some(1)), 3);
+    assert_eq!(dtof(7, Some(2)), 2);
+    assert_eq!(dtof(7, Some(3)), 1);
+    assert_eq!(dtof(7, None), 0);
+    assert_eq!(dtof_max(7), 4);
+}
+
+#[test]
+fn e7_e8_e9_clash_table_seed_42() {
+    // The exact cells EXPERIMENTS.md prints for the default config.
+    let config = ScenarioConfig::default();
+    assert_eq!(config.seed, 42);
+    assert_eq!(config.rounds, 1000);
+
+    let r = run_scenario(Strategy::StaticRedoing, Environment::PermanentAt(100), config);
+    assert_eq!((r.successes, r.failures, r.retries, r.livelocks), (99, 901, 6307, 901));
+
+    let r = run_scenario(
+        Strategy::StaticReconfiguration,
+        Environment::Transient { permille: 50 },
+        config,
+    );
+    assert_eq!((r.successes, r.failures, r.spares_consumed), (316, 684, 17));
+
+    let r = run_scenario(Strategy::Adaptive, Environment::PermanentAt(100), config);
+    assert_eq!(
+        (r.successes, r.failures, r.retries, r.spares_consumed),
+        (996, 4, 28, 1)
+    );
+
+    let r = run_scenario(Strategy::Adaptive, Environment::Transient { permille: 50 }, config);
+    assert_eq!((r.successes, r.spares_consumed), (1000, 0));
+}
+
+#[test]
+fn e6_fig7_shape_at_one_million_steps() {
+    // The default fig7 environment at 1M steps, seed 42: the r=3 fraction
+    // must dominate and no more than a couple of voting failures occur.
+    // (The 65M-step value 99.91561% is pinned loosely via the 1M run to
+    // keep test time reasonable.)
+    let steps = 1_000_000;
+    let calm = (steps / 13).max(20_000);
+    let profile = EnvironmentProfile::cyclic_storms(calm, 500, 0.0000001, 0.05);
+    let config = ExperimentConfig {
+        steps,
+        seed: 42,
+        profile,
+        policy: RedundancyPolicy::default(),
+        trace_stride: 0,
+    };
+    let report = run_experiment(&config, None);
+    let frac = report.fraction_at_min(3);
+    // ~13 storm episodes × ~3.7k elevated steps ≈ 4.8% of a 1M run (the
+    // same 48k elevated steps are 0.07% of the 65M run, hence the
+    // paper's 99.9%).
+    assert!(frac > 0.94, "fraction at min: {frac}");
+    // Deterministic for this seed: 3 storm-onset rounds defeated the
+    // vote at r = 3 before the first raise landed.
+    assert!(report.voting_failures <= 4, "failures: {}", report.voting_failures);
+    // All of Fig. 7's r values appear over the run.
+    for r in [3u64, 5] {
+        assert!(report.histogram.count(r) > 0, "r={r} unused");
+    }
+    assert_eq!(report.histogram.total(), steps);
+}

@@ -1,0 +1,199 @@
+//! The capstone test: the §5 holistic system.
+//!
+//! "We envision a general systems theory of software development in which
+//! the model, compile-, deployment-, and run-time layers feed one another
+//! with deductions and control knobs."
+//!
+//! One simulated mission exercises all three strategies *in the same
+//! system*, stitched together by the assumption registry and the
+//! knowledge web:
+//!
+//! * compile/deployment time — the memory access method is bound from SPD
+//!   introspection (§3.1) via the deployment manager;
+//! * run time — the processing component's FT pattern adapts via
+//!   alpha-count + DAG injection (§3.2);
+//! * run time — the output voting stage autonomically resizes via dtof
+//!   (§3.3);
+//! * all the while, an assumption monitor tracks the environment
+//!   hypotheses, and the knowledge web propagates the §3.2 verdict
+//!   changes across layers.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use afta::agents::{judgment_deduction, ArchitectureAgent, PatternPlannerAgent, RuntimeOracleAgent};
+use afta::core::prelude::*;
+use afta::core::KnowledgeWeb;
+use afta::dag::{fig3_snapshots, ReflectiveArchitecture};
+use afta::eventbus::Bus;
+use afta::faultinject::{EnvironmentProfile, Phase};
+use afta::ftpatterns::{AdaptiveFtManager, Fault};
+use afta::memaccess::{run_workload, DeploymentManager, FailureKnowledgeBase, WorkloadConfig};
+use afta::memsim::{FaultRates, MachineInventory};
+use afta::sim::Tick;
+use afta::switchboard::{run_experiment, ExperimentConfig, RedundancyPolicy};
+
+#[test]
+fn all_three_strategies_cooperate_in_one_system() {
+    // ------------------------------------------------------------------
+    // Layer 0: the assumption registry documents the system's hypotheses.
+    // ------------------------------------------------------------------
+    let mut registry = afta::core::assumptions![
+        {
+            id: "mem-behavior",
+            expects: "memory_behavior" => Expectation::OneOf(vec![
+                Value::Text("f0".into()),
+                Value::Text("f1".into()),
+                Value::Text("f2".into()),
+                Value::Text("f3".into()),
+                Value::Text("f4".into()),
+            ]),
+            kind: HardwareComponent,
+            binding: DeploymentTime,
+        },
+        {
+            id: "component-faults",
+            expects: "fault_class" => Expectation::equals("transient"),
+            kind: PhysicalEnvironment,
+            binding: RunTime,
+        },
+        {
+            id: "disturbance-level",
+            expects: "disturbance_p" => Expectation::AtMost(0.01),
+            kind: PhysicalEnvironment,
+            binding: RunTime,
+        },
+    ]
+    .unwrap();
+    registry
+        .attach_handler("component-faults", Box::new(|_, v| {
+            Ok(format!("pattern rebound for {v}"))
+        }))
+        .unwrap();
+    registry
+        .attach_handler("disturbance-level", Box::new(|_, v| {
+            Ok(format!("redundancy raised for p={v}"))
+        }))
+        .unwrap();
+
+    // ------------------------------------------------------------------
+    // Strategy §3.1 at deployment time: bind the memory method.
+    // ------------------------------------------------------------------
+    let kb = FailureKnowledgeBase::builtin();
+    let mut deployer = DeploymentManager::new(kb);
+    let machine = MachineInventory::dell_inspiron_6000();
+    let record = deployer.deploy("target", &machine).unwrap().clone();
+    registry.observe(Observation::new(
+        "memory_behavior",
+        record.worst_behavior.label(),
+    ));
+
+    // The bound method must survive this machine's hardware.
+    let rates = FaultRates::for_class(record.worst_behavior, record.worst_severity);
+    let mut method = record.method.instantiate(2048, rates, 11);
+    let mem_report = run_workload(
+        method.as_mut(),
+        &WorkloadConfig {
+            operations: 3_000,
+            ..WorkloadConfig::default()
+        },
+    );
+    assert!(mem_report.is_clean(), "memory layer: {mem_report:?}");
+
+    // ------------------------------------------------------------------
+    // Strategy §3.2 at run time, with the knowledge web watching.
+    // ------------------------------------------------------------------
+    let (d1, d2) = fig3_snapshots();
+    let mut arch = ReflectiveArchitecture::new(d1.clone());
+    arch.store_snapshot("D1", d1).unwrap();
+    arch.store_snapshot("D2", d2).unwrap();
+    let arch = Arc::new(Mutex::new(arch));
+
+    let mut web = KnowledgeWeb::new();
+    web.attach(RuntimeOracleAgent::new("oracle", "c3"));
+    web.attach(PatternPlannerAgent::new("planner"));
+    web.attach(ArchitectureAgent::new("deployer", arch.clone()));
+
+    let mut mgr = AdaptiveFtManager::new(3, 4, 3.0, Bus::new());
+    for t in 1..=80u64 {
+        let faulty_component = t >= 30; // permanent fault at t = 30
+        let _ = mgr.execute_round(Tick(t), |version, _| {
+            if version == 0 && faulty_component {
+                Err(Fault)
+            } else {
+                Ok(())
+            }
+        });
+        // The same judgment stream feeds the knowledge web.
+        let misbehaved = faulty_component && mgr.versions_left() == 5;
+        web.publish(judgment_deduction("c3-monitor", "c3", misbehaved));
+    }
+    // The §3.2 manager replaced the component and recovered...
+    assert!(mgr.stats().reshapes >= 1);
+    assert!(mgr.stats().successes > 70, "stats: {:?}", mgr.stats());
+    // ...and the web carried the verdict across layers: the shared
+    // architecture was reshaped by the deployment agent.
+    assert!(web.on_topic("fault-model").count() >= 1);
+    assert!(web.on_topic("descriptor-updated").count() >= 1);
+
+    // The registry heard about the fault-class change too.
+    let fault_news = web
+        .on_topic("fault-model")
+        .next()
+        .expect("verdict change published");
+    let clash_report = registry.observe(fault_news.observation.clone());
+    assert_eq!(clash_report.clashes.len(), 1, "transient hypothesis clashed");
+    assert!(matches!(
+        clash_report.clashes[0].disposition,
+        ClashDisposition::Recovered(_)
+    ));
+
+    // ------------------------------------------------------------------
+    // Strategy §3.3 at run time: the voting stage rides out a storm.
+    // ------------------------------------------------------------------
+    let profile = EnvironmentProfile::new(
+        vec![
+            Phase::new(2_000, 0.00001),
+            Phase::new(1_000, 0.08),
+            Phase::new(7_000, 0.00001),
+        ],
+        false,
+    );
+    let config = ExperimentConfig {
+        steps: 10_000,
+        seed: 17,
+        profile: profile.clone(),
+        policy: RedundancyPolicy {
+            lower_after: 300,
+            ..RedundancyPolicy::default()
+        },
+        trace_stride: 0,
+    };
+    let voting_report = run_experiment(&config, None);
+    assert!(voting_report.raises > 0);
+    assert!(voting_report.voting_failures <= 2);
+
+    // The disturbance hypothesis clashed during the storm and recovered.
+    let storm_p = profile.probability_at(Tick(2_500));
+    let report = registry.observe(Observation::new("disturbance_p", storm_p));
+    assert_eq!(report.clashes.len(), 1);
+    assert!(matches!(
+        report.clashes[0].disposition,
+        ClashDisposition::Recovered(_)
+    ));
+
+    // ------------------------------------------------------------------
+    // The holistic ledger: every hypothesis is inspectable, every clash
+    // recorded, and the system qualifies as a Boulding Cell.
+    // ------------------------------------------------------------------
+    let manifest = registry.manifest();
+    assert_eq!(manifest.assumptions.len(), 3);
+    assert!(manifest.clashes.len() >= 2);
+    let json = manifest.to_json().unwrap();
+    assert!(json.contains("mem-behavior"));
+    // Two of three hypotheses have adaptation machinery: a Thermostat on
+    // its way to Cell (the memory binding adapts at deployment, not via a
+    // runtime handler).
+    assert_eq!(registry.effective_category(), BouldingCategory::Thermostat);
+}

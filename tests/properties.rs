@@ -1,0 +1,210 @@
+//! Cross-crate property-based tests on the core invariants.
+
+use afta::alphacount::{AlphaCount, DecayPolicy, Judgment};
+use afta::dag::{Component, ComponentGraph};
+use afta::memaccess::ecc;
+use afta::sim::stats::Histogram;
+use afta::sim::{Scheduler, Tick};
+use afta::voting::{dtof, dtof_max, epsilon_vote, majority_vote, VoteOutcome};
+use proptest::prelude::*;
+
+proptest! {
+    // ------------------------------------------------------------------
+    // ECC: SEC-DED guarantees over the whole input space.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn ecc_roundtrips_clean(byte: u8) {
+        let check = ecc::encode(byte);
+        prop_assert_eq!(ecc::decode(byte, check), ecc::Decoded::Clean(byte));
+    }
+
+    #[test]
+    fn ecc_corrects_any_single_bit_error(byte: u8, bit in 0usize..13) {
+        let check = ecc::encode(byte);
+        let (d, c) = if bit < 8 {
+            (byte ^ (1 << bit), check)
+        } else {
+            (byte, check ^ (1 << (bit - 8)))
+        };
+        let decoded = ecc::decode(d, c);
+        prop_assert_eq!(decoded.value(), Some(byte));
+    }
+
+    #[test]
+    fn ecc_never_miscorrects_double_errors(
+        byte: u8,
+        bit_a in 0usize..13,
+        bit_b in 0usize..13,
+    ) {
+        prop_assume!(bit_a != bit_b);
+        let check = ecc::encode(byte);
+        let flip = |d: u8, c: u8, bit: usize| if bit < 8 {
+            (d ^ (1 << bit), c)
+        } else {
+            (d, c ^ (1 << (bit - 8)))
+        };
+        let (d, c) = flip(byte, check, bit_a);
+        let (d, c) = flip(d, c, bit_b);
+        // Either detected as uncorrectable, or (never) "corrected" to a
+        // wrong value.
+        if let Some(v) = ecc::decode(d, c).value() {
+            prop_assert_eq!(v, byte, "double error silently miscorrected");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Voting and dtof.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn dtof_is_bounded(n in 1usize..64, m_opt in proptest::option::of(0usize..64)) {
+        let m = m_opt.map(|m| m % (n + 1));
+        let d = dtof(n, m);
+        prop_assert!(d <= dtof_max(n));
+        if m == Some(0) {
+            prop_assert_eq!(d, dtof_max(n));
+        }
+        if m.is_none() {
+            prop_assert_eq!(d, 0);
+        }
+    }
+
+    #[test]
+    fn dtof_monotone_in_dissent(n in 1usize..64) {
+        let mut prev = dtof(n, Some(0));
+        for m in 1..=n {
+            let cur = dtof(n, Some(m));
+            prop_assert!(cur <= prev, "dtof must not grow with dissent");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn majority_vote_finds_planted_majority(
+        value in 0u8..8,
+        n in 1usize..25,
+        noise in proptest::collection::vec(8u8..255, 0..12),
+    ) {
+        // Plant `n` copies of `value` plus fewer-than-n distinct noise
+        // votes (all distinct from each other and from value).
+        prop_assume!(noise.len() < n);
+        let mut votes: Vec<u16> = Vec::new();
+        votes.extend(std::iter::repeat_n(u16::from(value), n));
+        // Make noise votes unique so they cannot form a majority.
+        votes.extend(noise.iter().enumerate().map(|(i, &x)| 256 + i as u16 * 300 + u16::from(x)));
+        match majority_vote(&votes) {
+            VoteOutcome::Majority { value: got, dissent } => {
+                prop_assert_eq!(got, u16::from(value));
+                prop_assert_eq!(dissent, noise.len());
+            }
+            VoteOutcome::NoMajority => prop_assert!(false, "planted majority missed"),
+        }
+    }
+
+    #[test]
+    fn epsilon_vote_majority_is_an_input(votes in proptest::collection::vec(-100.0f64..100.0, 1..16), eps in 0.0f64..10.0) {
+        if let VoteOutcome::Majority { value, .. } = epsilon_vote(&votes, eps) {
+            prop_assert!(votes.contains(&value));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Alpha-count.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn alpha_count_stays_nonnegative_and_bounded(
+        judgments in proptest::collection::vec(any::<bool>(), 0..200),
+        k in 0.01f64..0.99,
+    ) {
+        let mut ac = AlphaCount::new(1.0, 3.0, DecayPolicy::Multiplicative(k));
+        let mut errors = 0u64;
+        for &e in &judgments {
+            let j = if e { errors += 1; Judgment::Erroneous } else { Judgment::Correct };
+            ac.record(j);
+            prop_assert!(ac.alpha() >= 0.0);
+            // Alpha can never exceed the total number of errors seen.
+            prop_assert!(ac.alpha() <= errors as f64 + 1e-9);
+        }
+        prop_assert_eq!(ac.rounds(), judgments.len() as u64);
+        prop_assert_eq!(ac.errors(), errors);
+    }
+
+    #[test]
+    fn alpha_count_reset_restores_initial_state(
+        judgments in proptest::collection::vec(any::<bool>(), 1..50),
+    ) {
+        let mut ac = AlphaCount::with_threshold(3.0);
+        for &e in &judgments {
+            ac.record(if e { Judgment::Erroneous } else { Judgment::Correct });
+        }
+        ac.reset();
+        prop_assert_eq!(ac.alpha(), 0.0);
+        prop_assert_eq!(ac.rounds(), 0);
+        prop_assert_eq!(ac.crossed_at(), None);
+    }
+
+    // ------------------------------------------------------------------
+    // DAG invariants.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn random_edge_insertion_preserves_acyclicity(
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..60),
+    ) {
+        let mut g = ComponentGraph::new();
+        for i in 0..12 {
+            g.add(Component::new(format!("c{i}"), "svc")).unwrap();
+        }
+        for (a, b) in edges {
+            // Insert when legal; reject silently otherwise.
+            let _ = g.connect(format!("c{a}"), format!("c{b}"));
+        }
+        // Topological order must cover every component exactly once and
+        // respect all surviving edges.
+        let order = g.topological_order();
+        prop_assert_eq!(order.len(), 12);
+        let pos = |id: &afta::dag::ComponentId| order.iter().position(|x| x == id).unwrap();
+        for (from, to) in g.edges() {
+            prop_assert!(pos(from) < pos(to), "edge {from} -> {to} violates topo order");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Simulation substrate.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn scheduler_pops_sorted_stable(events in proptest::collection::vec((0u64..50, 0u32..1000), 0..100)) {
+        let mut s = Scheduler::new();
+        for &(t, payload) in &events {
+            s.schedule(Tick(t), payload);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, p)) = s.pop() {
+            popped.push((t, p));
+        }
+        prop_assert_eq!(popped.len(), events.len());
+        // Non-decreasing times; FIFO within equal times.
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+        // Stability: filter the original insertion order per tick.
+        for t in 0..50u64 {
+            let expected: Vec<u32> = events.iter().filter(|(et, _)| *et == t).map(|&(_, p)| p).collect();
+            let got: Vec<u32> = popped.iter().filter(|(pt, _)| *pt == Tick(t)).map(|&(_, p)| p).collect();
+            prop_assert_eq!(expected, got);
+        }
+    }
+
+    #[test]
+    fn histogram_totals_and_fractions(values in proptest::collection::vec(0u64..10, 0..200)) {
+        let h: Histogram = values.iter().copied().collect();
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let frac_sum: f64 = (0..10).map(|v| h.fraction(v)).sum();
+        if !values.is_empty() {
+            prop_assert!((frac_sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Scenario replays of the paper's two case studies (§2.1–§2.2) as
+//! integration tests, plus the knowledge-web vision (§5).
+
+use afta::core::contract::{Condition, Contract};
+use afta::core::prelude::*;
+
+// ----------------------------------------------------------------------
+// Ariane 5 (§2.1)
+// ----------------------------------------------------------------------
+
+#[test]
+fn ariane5_clash_detected_with_full_provenance() {
+    let mut registry = AssumptionRegistry::new();
+    registry
+        .register(
+            Assumption::builder("hvel-16bit")
+                .statement("horizontal velocity fits a 16-bit signed integer")
+                .kind(AssumptionKind::PhysicalEnvironment)
+                .expects("horizontal_velocity", Expectation::int_range(-32768, 32767))
+                .criticality(Criticality::Catastrophic)
+                .origin("ariane4/IRS")
+                .rationale("Ariane 4 trajectory envelope")
+                .drawn_at(BindingTime::DesignTime)
+                .build(),
+        )
+        .unwrap();
+
+    // Ariane 4 flight: the assumption holds everywhere.
+    for v in [0i64, 10_000, 28_000] {
+        assert!(registry
+            .observe(Observation::new("horizontal_velocity", v))
+            .all_satisfied());
+    }
+
+    // Ariane 5 ascent: the clash.
+    let report = registry.observe(Observation::new("horizontal_velocity", 40_000i64));
+    assert_eq!(report.clashes.len(), 1);
+    let clash = &report.clashes[0];
+    assert!(clash.syndromes.contains(&Syndrome::Horning));
+    assert_eq!(clash.criticality, Criticality::Catastrophic);
+
+    // The provenance that was lost in the real accident is right there.
+    let assumption = registry.assumption(&"hvel-16bit".into()).unwrap();
+    assert_eq!(assumption.provenance().origin, "ariane4/IRS");
+    assert_eq!(assumption.provenance().stage, BindingTime::DesignTime);
+}
+
+#[test]
+fn ariane5_hot_standby_replicas_fail_identically() {
+    // The IRS ran two identical replicas in hot standby: no design
+    // diversity, so the same assumption failure killed both.  An
+    // N-version check over *identical* versions catches nothing...
+    use afta::ftpatterns::NVersion;
+    let conv = |v: &i64| i16::try_from(*v).map(i32::from).unwrap_or(-1);
+    let mut identical: NVersion<i64, i32> = NVersion::new();
+    identical.push(conv);
+    identical.push(conv);
+    identical.push(conv);
+    let out = identical.run(&40_000);
+    // Consensus on the *wrong* answer: replication without diversity.
+    assert_eq!(out.value(), Some(&-1));
+    assert_eq!(out.dissent(), Some(0));
+
+    // ...while a diverse version (wide-range path) breaks the symmetry.
+    let mut diverse: NVersion<i64, i32> = NVersion::new();
+    diverse.push(conv);
+    diverse.push(|v: &i64| i32::try_from(*v).unwrap_or(-1)); // wide path
+    diverse.push(|v: &i64| i32::try_from(*v).unwrap_or(-1)); // wide path
+    let out = diverse.run(&40_000);
+    assert_eq!(out.value(), Some(&40_000));
+}
+
+// ----------------------------------------------------------------------
+// Therac-25 (§2.2)
+// ----------------------------------------------------------------------
+
+#[test]
+fn therac25_contract_catches_what_the_hardware_no_longer_does() {
+    #[derive(Debug)]
+    struct Beam {
+        energy: i32,
+    }
+    let contract = Contract::<Beam>::builder()
+        .invariant_condition(
+            Condition::new("energy within safe bounds", |b: &Beam| b.energy <= 100)
+                .assuming("hw-interlocks-present"),
+        )
+        .build();
+
+    let mut beam = Beam { energy: 0 };
+    // The race condition commands an overdose.
+    let violation = contract
+        .execute(&mut beam, |b| {
+            b.energy = 25_000;
+        })
+        .unwrap_err();
+    assert_eq!(
+        violation.implicated,
+        vec![AssumptionId::new("hw-interlocks-present")]
+    );
+}
+
+#[test]
+fn therac25_boulding_mismatch_is_diagnosed() {
+    let mut registry = AssumptionRegistry::new();
+    // The radiotherapy environment demands a self-checking system.
+    registry.set_required_category(BouldingCategory::Cell);
+    registry
+        .register(
+            Assumption::builder("hw-interlocks-present")
+                .expects("hardware_interlocks", Expectation::equals(true))
+                .hardwired()
+                .build(),
+        )
+        .unwrap();
+    // The Therac-25 software has no adaptation machinery: a Clockwork.
+    assert_eq!(registry.effective_category(), BouldingCategory::Clockwork);
+    assert!(!registry
+        .effective_category()
+        .suffices_for(registry.required_category()));
+
+    let report = registry.observe(Observation::new("hardware_interlocks", false));
+    let clash = &report.clashes[0];
+    // All three syndromes at once: the full §2.2 diagnosis.
+    assert!(clash.syndromes.contains(&Syndrome::Horning));
+    assert!(clash.syndromes.contains(&Syndrome::HiddenIntelligence));
+    assert!(clash.syndromes.contains(&Syndrome::Boulding));
+}
+
+// ----------------------------------------------------------------------
+// The §5 vision: cross-layer knowledge propagation.
+// ----------------------------------------------------------------------
+
+#[test]
+fn runtime_detection_triggers_model_level_adaptation_request() {
+    struct RuntimeDetector;
+    impl KnowledgeAgent for RuntimeDetector {
+        fn name(&self) -> &str {
+            "runtime-detector"
+        }
+        fn layer(&self) -> Layer {
+            Layer::Runtime
+        }
+        fn consider(&mut self, _d: &Deduction) -> Vec<Deduction> {
+            Vec::new()
+        }
+    }
+
+    struct ModelAgent;
+    impl KnowledgeAgent for ModelAgent {
+        fn name(&self) -> &str {
+            "mde-tool"
+        }
+        fn layer(&self) -> Layer {
+            Layer::Model
+        }
+        fn consider(&mut self, d: &Deduction) -> Vec<Deduction> {
+            if d.topic == "fault-model" {
+                vec![Deduction::new(
+                    "mde-tool",
+                    Layer::Model,
+                    "adaptation-request",
+                    Observation::new("pattern", "reconfiguration"),
+                    "regenerating deployment artefacts for permanent-fault profile",
+                )]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    struct DeploymentAgent;
+    impl KnowledgeAgent for DeploymentAgent {
+        fn name(&self) -> &str {
+            "deployer"
+        }
+        fn layer(&self) -> Layer {
+            Layer::Deployment
+        }
+        fn consider(&mut self, d: &Deduction) -> Vec<Deduction> {
+            if d.topic == "adaptation-request" {
+                vec![Deduction::new(
+                    "deployer",
+                    Layer::Deployment,
+                    "descriptor-updated",
+                    Observation::new("descriptor", "D2"),
+                    "deployment descriptor regenerated",
+                )]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    let mut web = KnowledgeWeb::new();
+    web.attach(RuntimeDetector);
+    web.attach(ModelAgent);
+    web.attach(DeploymentAgent);
+
+    // The §5 example flow: "a design assumption failure caught by a
+    // run-time detector should trigger a request for adaptation at model
+    // level" — and onward to deployment.
+    let outcome = web.publish(Deduction::new(
+        "runtime-detector",
+        Layer::Runtime,
+        "fault-model",
+        Observation::new("fault_class", "permanent"),
+        "alpha-count crossed threshold 3.0",
+    ));
+    assert_eq!(outcome.propagated, 3);
+    assert!(!outcome.truncated);
+    assert_eq!(web.on_topic("adaptation-request").count(), 1);
+    assert_eq!(web.on_topic("descriptor-updated").count(), 1);
+    // The chain is fully auditable, oldest first.
+    let layers: Vec<Layer> = web.log().iter().map(|d| d.origin).collect();
+    assert_eq!(layers, vec![Layer::Runtime, Layer::Model, Layer::Deployment]);
+}

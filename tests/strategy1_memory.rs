@@ -1,0 +1,124 @@
+//! Integration test for the §3.1 compile-time strategy: SPD introspection
+//! -> knowledge base -> min-cost tolerant method -> workload survival.
+
+use afta::memaccess::{configure, FailureKnowledgeBase, MatchLevel, MethodKind};
+use afta::memsim::{
+    BehaviorClass, FaultRates, MachineInventory, MemoryTechnology, Severity, Spd,
+};
+
+fn spd(vendor: &str, model: &str, lot: &str, tech: MemoryTechnology) -> Spd {
+    Spd {
+        vendor: vendor.into(),
+        model: model.into(),
+        serial: "S".into(),
+        lot: lot.into(),
+        size_mib: 256,
+        clock_mhz: 533,
+        width_bits: 64,
+        technology: tech,
+    }
+}
+
+#[test]
+fn dell_inspiron_banks_both_get_sdram_methods() {
+    let kb = FailureKnowledgeBase::builtin();
+    let machine = MachineInventory::dell_inspiron_6000();
+    for bank in machine.banks() {
+        let report = configure(&bank.spd, &kb).unwrap();
+        assert!(
+            matches!(report.method, MethodKind::M3 | MethodKind::M4),
+            "SDRAM banks need single-event-effect tolerance, got {}",
+            report.method
+        );
+    }
+}
+
+#[test]
+fn full_flow_selected_method_survives_what_m0_does_not() {
+    let kb = FailureKnowledgeBase::builtin();
+    let module = spd("CE00", "K4H510838B", "L2004-17", MemoryTechnology::Sdram);
+    let report = configure(&module, &kb).unwrap();
+    assert_eq!(report.method, MethodKind::M4);
+    assert_eq!(report.match_level, MatchLevel::Lot);
+    assert_eq!(report.severity, Severity::Harsh);
+
+    let rates = FaultRates::for_class(report.behavior, report.severity);
+
+    // The selected method serves every read correctly.
+    let mut selected = report.method.instantiate(2048, rates, 7);
+    let n = selected.logical_size().min(256);
+    for i in 0..n {
+        selected.store(i, &[(i % 251) as u8]).unwrap();
+    }
+    for _ in 0..30 {
+        for i in 0..n {
+            let mut b = [0u8; 1];
+            selected.load(i, &mut b).unwrap();
+            assert_eq!(b[0], (i % 251) as u8);
+        }
+    }
+
+    // Raw M0 on the same behaviour corrupts.
+    let mut raw = MethodKind::M0.instantiate(2048, rates, 7);
+    for i in 0..256usize {
+        let _ = raw.store(i, &[(i % 251) as u8]);
+    }
+    let mut wrong_or_lost = 0u64;
+    for _ in 0..30 {
+        for i in 0..256usize {
+            let mut b = [0u8; 1];
+            match raw.load(i, &mut b) {
+                Ok(()) if b[0] != (i % 251) as u8 => wrong_or_lost += 1,
+                Err(_) => wrong_or_lost += 1,
+                Ok(()) => {}
+            }
+        }
+    }
+    assert!(
+        wrong_or_lost > 0,
+        "the f4/harsh module must defeat raw access"
+    );
+}
+
+#[test]
+fn every_behavior_class_configures_and_survives() {
+    // Build a knowledge base mapping one synthetic model per class, and
+    // verify the end-to-end guarantee for all five.
+    let mut kb = FailureKnowledgeBase::new();
+    for (i, class) in BehaviorClass::ALL.into_iter().enumerate() {
+        kb.insert_model(
+            format!("V/{}", class.label()),
+            afta::memaccess::FailureRecord::new(class, Severity::Nominal),
+        );
+        let module = spd("V", class.label(), &format!("L{i}"), MemoryTechnology::Sdram);
+        let report = configure(&module, &kb).unwrap();
+        assert!(
+            report.method.tolerates().contains(&class),
+            "{} must tolerate {class}",
+            report.method
+        );
+        let rates = FaultRates::for_class(class, Severity::Nominal);
+        let mut m = report.method.instantiate(1024, rates, 13 + i as u64);
+        let n = m.logical_size().min(128);
+        for a in 0..n {
+            m.store(a, &[a as u8]).unwrap();
+        }
+        for a in 0..n {
+            let mut b = [0u8; 1];
+            m.load(a, &mut b).unwrap();
+            assert_eq!(b[0], a as u8, "class {class}");
+        }
+    }
+}
+
+#[test]
+fn binding_history_is_auditable() {
+    // The method choice is an assumption variable: rebinding it for a new
+    // machine leaves an audit trail.
+    let mut var = afta::memaccess::method_assumption_var();
+    use afta::core::MinCostBinder;
+    var.bind("f1", &MinCostBinder).unwrap();
+    var.bind("f4", &MinCostBinder).unwrap();
+    let labels: Vec<&str> = var.history().iter().map(|r| r.label.as_str()).collect();
+    assert_eq!(labels, vec!["M1", "M4"]);
+}

@@ -1,0 +1,127 @@
+//! Integration test for the §3.2 run-time strategy: alpha-count verdicts
+//! driving reflective-DAG pattern injection, plus the clash claims.
+
+use afta::eventbus::Bus;
+use afta::ftpatterns::{
+    fig4_scenario, run_scenario, AdaptiveFtManager, Environment, Fault, FaultNotification,
+    ScenarioConfig, Strategy,
+};
+use afta::sim::Tick;
+
+#[test]
+fn fig4_reproduction_threshold_crossing() {
+    let trace = fig4_scenario(20, 10, Tick(50));
+    let labeled = trace.labeled_permanent_at.expect("must label the fault");
+    // Alpha rises 1, 2, 3, 4 after the hang: crossing 3.0 takes exactly
+    // four firings.
+    let first_fire = trace.rows.iter().find(|r| r.fired).unwrap().round;
+    assert_eq!(labeled, first_fire + 3);
+    // The alpha value at labeling time is strictly above the threshold.
+    let row = &trace.rows[(labeled - 1) as usize];
+    assert!(row.alpha > 3.0);
+}
+
+#[test]
+fn clash_claim_1_livelock_magnitude() {
+    // Static redoing under a permanent fault burns its entire retry
+    // budget every round: the wasted work grows linearly with the run.
+    let short = run_scenario(
+        Strategy::StaticRedoing,
+        Environment::PermanentAt(0),
+        ScenarioConfig {
+            rounds: 100,
+            ..ScenarioConfig::default()
+        },
+    );
+    let long = run_scenario(
+        Strategy::StaticRedoing,
+        Environment::PermanentAt(0),
+        ScenarioConfig {
+            rounds: 1000,
+            ..ScenarioConfig::default()
+        },
+    );
+    assert_eq!(short.livelocks, 100);
+    assert_eq!(long.livelocks, 1000);
+    assert!(long.retries >= 9 * short.retries);
+}
+
+#[test]
+fn clash_claim_2_waste_scales_with_transient_rate() {
+    let mild = run_scenario(
+        Strategy::StaticReconfiguration,
+        Environment::Transient { permille: 10 },
+        ScenarioConfig {
+            spares: 1000,
+            ..ScenarioConfig::default()
+        },
+    );
+    let heavy = run_scenario(
+        Strategy::StaticReconfiguration,
+        Environment::Transient { permille: 100 },
+        ScenarioConfig {
+            spares: 1000,
+            ..ScenarioConfig::default()
+        },
+    );
+    assert!(
+        heavy.spares_consumed > 3 * mild.spares_consumed,
+        "mild {} vs heavy {}",
+        mild.spares_consumed,
+        heavy.spares_consumed
+    );
+}
+
+#[test]
+fn adaptive_manager_beats_both_static_choices_across_environments() {
+    let config = ScenarioConfig::default();
+    let environments = [
+        Environment::Transient { permille: 50 },
+        Environment::PermanentAt(config.rounds / 10),
+    ];
+    for env in environments {
+        let adaptive = run_scenario(Strategy::Adaptive, env, config);
+        let redo = run_scenario(Strategy::StaticRedoing, env, config);
+        let reconf = run_scenario(Strategy::StaticReconfiguration, env, config);
+        // The adaptive manager's success count matches or beats the best
+        // static choice within a small flip-latency allowance.
+        let best_static = redo.successes.max(reconf.successes);
+        assert!(
+            adaptive.successes + 5 >= best_static,
+            "{env}: adaptive {} vs best static {}",
+            adaptive.successes,
+            best_static
+        );
+        // And it never exhibits the catastrophic signature of the wrong
+        // static choice.
+        assert!(adaptive.livelocks < 10, "{env}: {adaptive}");
+        assert!(adaptive.spares_consumed <= 2, "{env}: {adaptive}");
+    }
+}
+
+#[test]
+fn dag_history_documents_every_reshape() {
+    let bus = Bus::new();
+    let sub = bus.subscribe::<FaultNotification>();
+    let mut mgr = AdaptiveFtManager::new(3, 5, 3.0, bus);
+    // Two successive permanent faults: versions 0 and 1 die in turn.
+    for t in 1..=200u64 {
+        let _ = mgr.execute_round(Tick(t), |version, _| {
+            let dead = (version == 0 && t >= 20) || (version == 1 && t >= 120);
+            if dead {
+                Err(Fault)
+            } else {
+                Ok(())
+            }
+        });
+    }
+    let stats = mgr.stats();
+    assert!(stats.reshapes >= 2, "stats: {stats:?}");
+    assert!(stats.spares_consumed >= 2);
+    // Each reshape is recorded on the architecture with its diff.
+    let history = mgr.architecture().history();
+    assert_eq!(history.len() as u64, stats.reshapes);
+    assert!(sub.pending() > 0);
+    // Service recovered after both replacements.
+    assert!(stats.successes > 180, "stats: {stats:?}");
+}

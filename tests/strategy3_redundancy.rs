@@ -1,0 +1,135 @@
+//! Integration test for the §3.3 run-time strategy: autonomic redundancy
+//! dimensioning under environmental fault injection (Figs. 6–7).
+
+use afta::eventbus::Bus;
+use afta::faultinject::{EnvironmentProfile, Phase};
+use afta::switchboard::{
+    run_experiment, DisturbanceReading, ExperimentConfig, RedundancyChange, RedundancyPolicy,
+};
+
+fn base_config(steps: u64, profile: EnvironmentProfile) -> ExperimentConfig {
+    ExperimentConfig {
+        steps,
+        seed: 11,
+        profile,
+        policy: RedundancyPolicy {
+            lower_after: 300,
+            ..RedundancyPolicy::default()
+        },
+        trace_stride: 0,
+    }
+}
+
+#[test]
+fn fig6_redundancy_tracks_the_disturbance() {
+    let profile = EnvironmentProfile::new(
+        vec![
+            Phase::new(3_000, 0.00001),
+            Phase::new(1_500, 0.08),
+            Phase::new(10_000, 0.00001),
+        ],
+        false,
+    );
+    let report = run_experiment(&base_config(14_500, profile), None);
+
+    // Raises happen during the storm window, lowers after it.
+    assert!(report.raises >= 1);
+    assert!(report.lowers >= 1);
+    let first_raise = report
+        .trace
+        .iter()
+        .find(|p| p.n > 3)
+        .expect("some raise sampled");
+    assert!(
+        (3_000..4_600).contains(&first_raise.tick.0),
+        "first raise at {}",
+        first_raise.tick.0
+    );
+    // Back at the floor by the end.
+    assert_eq!(report.trace.last().unwrap().n, 3);
+}
+
+#[test]
+fn fig7_histogram_dominated_by_minimal_redundancy_with_zero_failures() {
+    let profile = EnvironmentProfile::cyclic_storms(60_000, 400, 0.000001, 0.06);
+    let mut config = base_config(240_000, profile);
+    config.policy.lower_after = 1000; // the paper's parameter
+    let report = run_experiment(&config, None);
+
+    assert_eq!(report.histogram.total(), 240_000);
+    let frac = report.fraction_at_min(3);
+    assert!(frac > 0.9, "fraction at min: {frac}");
+    // The paper's headline: despite injection, no voting failures.
+    assert!(
+        report.voting_failures <= 1,
+        "failures: {}",
+        report.voting_failures
+    );
+    assert!(report.faults_injected > 0);
+}
+
+#[test]
+fn static_dimensioning_comparison_thermostat_vs_cell() {
+    // The same storm, faced by (a) a static 3-replica Thermostat and
+    // (b) the autonomic Cell.  The static system eats voting failures;
+    // the adaptive one does not (or nearly so).
+    let profile = EnvironmentProfile::new(
+        vec![Phase::new(1_000, 0.00001), Phase::new(2_000, 0.12), Phase::new(1_000, 0.00001)],
+        false,
+    );
+
+    // (a) static: max == min == 3 disables adaptation.
+    let mut static_cfg = base_config(4_000, profile.clone());
+    static_cfg.policy = RedundancyPolicy {
+        min: 3,
+        max: 3,
+        ..RedundancyPolicy::default()
+    };
+    let static_report = run_experiment(&static_cfg, None);
+
+    // (b) adaptive.
+    let adaptive_report = run_experiment(&base_config(4_000, profile), None);
+
+    assert!(
+        static_report.voting_failures > 10,
+        "static: {}",
+        static_report.voting_failures
+    );
+    assert!(
+        adaptive_report.voting_failures * 5 < static_report.voting_failures,
+        "adaptive {} vs static {}",
+        adaptive_report.voting_failures,
+        static_report.voting_failures
+    );
+}
+
+#[test]
+fn switchboard_publishes_knowledge_on_the_bus() {
+    let bus = Bus::new();
+    let readings = bus.subscribe::<DisturbanceReading>();
+    let changes = bus.subscribe::<RedundancyChange>();
+    let profile = EnvironmentProfile::new(
+        vec![Phase::new(200, 0.0), Phase::new(200, 0.3), Phase::new(600, 0.0)],
+        false,
+    );
+    let report = run_experiment(&base_config(1_000, profile), Some(&bus));
+    assert_eq!(readings.pending(), 1_000);
+    let change_events = changes.drain();
+    assert_eq!(change_events.len() as u64, report.raises + report.lowers);
+    // Readings include the dtof the controller acted on.
+    let drained = readings.drain();
+    assert!(drained.iter().any(|r| r.faults > 0));
+    assert!(drained.iter().all(|r| u64::from(r.dtof) <= r.n as u64));
+}
+
+#[test]
+fn seed_determinism_end_to_end() {
+    let profile = EnvironmentProfile::cyclic_storms(500, 100, 0.001, 0.2);
+    let a = run_experiment(&base_config(10_000, profile.clone()), None);
+    let b = run_experiment(&base_config(10_000, profile.clone()), None);
+    assert_eq!(a, b);
+    let mut other = base_config(10_000, profile);
+    other.seed = 12;
+    let c = run_experiment(&other, None);
+    assert_ne!(a.faults_injected, c.faults_injected);
+}
