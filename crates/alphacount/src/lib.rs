@@ -35,7 +35,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod observed;
 pub mod windowed;
+
+pub use observed::ObservedAlphaCount;
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -374,7 +377,10 @@ mod tests {
                 break;
             }
         }
-        assert!(!crossed, "K=0.5 alternating stays below 3.0 (converges to 2)");
+        assert!(
+            !crossed,
+            "K=0.5 alternating stays below 3.0 (converges to 2)"
+        );
         // But with a gentler decay the same pattern crosses:
         let mut ac = AlphaCount::new(1.0, 3.0, DecayPolicy::Multiplicative(0.9));
         let mut crossed = false;

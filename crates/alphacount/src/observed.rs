@@ -1,0 +1,162 @@
+//! A telemetry-aware wrapper around [`AlphaCount`].
+//!
+//! [`AlphaCount`] itself is a pure, serialisable value type; this wrapper
+//! adds the observability side effects: the `alphacount.*` counters and an
+//! [`TelemetryEvent::AlphaVerdictFlip`] journal record on every verdict
+//! change.
+
+use afta_telemetry::{Counter, Registry, TelemetryEvent, Tick};
+
+use crate::{AlphaCount, Judgment, Verdict};
+
+/// An [`AlphaCount`] that reports into a telemetry [`Registry`].
+///
+/// Counters maintained:
+///
+/// * `alphacount.rounds` / `alphacount.errors` — judgments processed;
+/// * `alphacount.flips` — verdict changes in either direction;
+/// * `alphacount.false_positives` — flips back to transient: the filter
+///   had crossed the threshold but subsequent correct rounds decayed α
+///   below it again, refuting the earlier suspicion.
+#[derive(Debug)]
+pub struct ObservedAlphaCount {
+    inner: AlphaCount,
+    component: String,
+    telemetry: Registry,
+    rounds: Counter,
+    errors: Counter,
+    flips: Counter,
+    false_positives: Counter,
+}
+
+impl ObservedAlphaCount {
+    /// Wraps `inner`, attributing journal records to `component`.
+    #[must_use]
+    pub fn new(inner: AlphaCount, component: impl Into<String>, telemetry: Registry) -> Self {
+        Self {
+            inner,
+            component: component.into(),
+            rounds: telemetry.counter("alphacount.rounds"),
+            errors: telemetry.counter("alphacount.errors"),
+            flips: telemetry.counter("alphacount.flips"),
+            false_positives: telemetry.counter("alphacount.false_positives"),
+            telemetry,
+        }
+    }
+
+    /// The wrapped filter.
+    #[must_use]
+    pub fn inner(&self) -> &AlphaCount {
+        &self.inner
+    }
+
+    /// Unwraps the filter, discarding the telemetry binding.
+    #[must_use]
+    pub fn into_inner(self) -> AlphaCount {
+        self.inner
+    }
+
+    /// The component this filter monitors.
+    #[must_use]
+    pub fn component(&self) -> &str {
+        &self.component
+    }
+
+    /// Records one judgment at virtual time `tick`, updating the counters
+    /// and journaling the flip if the verdict changed.
+    pub fn record(&mut self, tick: Tick, judgment: Judgment) -> Verdict {
+        let before = self.inner.verdict();
+        let after = self.inner.record(judgment);
+        self.rounds.inc();
+        if judgment == Judgment::Erroneous {
+            self.errors.inc();
+        }
+        if after != before {
+            self.flips.inc();
+            if after == Verdict::Transient {
+                self.false_positives.inc();
+            }
+            self.telemetry.record(
+                tick,
+                TelemetryEvent::AlphaVerdictFlip {
+                    component: self.component.clone(),
+                    alpha: self.inner.alpha(),
+                    verdict: after.to_string(),
+                },
+            );
+        }
+        after
+    }
+
+    /// Resets the wrapped filter (the counters are cumulative and keep
+    /// their values).
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flips_are_counted_and_journaled() {
+        let telemetry = Registry::new();
+        let mut ac =
+            ObservedAlphaCount::new(AlphaCount::with_threshold(1.0), "c3", telemetry.clone());
+        assert_eq!(ac.component(), "c3");
+
+        // α: 1 (still transient), 2 (flips to permanent-or-intermittent),
+        // then decay to 1.0 — no longer strictly above the threshold, so
+        // the verdict flips back at tick 3: a false positive.
+        ac.record(Tick(1), Judgment::Erroneous);
+        ac.record(Tick(2), Judgment::Erroneous);
+        ac.record(Tick(3), Judgment::Correct);
+        ac.record(Tick(4), Judgment::Correct);
+        assert_eq!(ac.inner().verdict(), Verdict::Transient);
+
+        let report = telemetry.report();
+        assert_eq!(report.counter("alphacount.rounds"), 4);
+        assert_eq!(report.counter("alphacount.errors"), 2);
+        assert_eq!(report.counter("alphacount.flips"), 2);
+        assert_eq!(report.counter("alphacount.false_positives"), 1);
+
+        let flips: Vec<_> = report.journal_of_kind("alpha-verdict-flip").collect();
+        assert_eq!(flips.len(), 2);
+        match &flips[0].event {
+            TelemetryEvent::AlphaVerdictFlip {
+                component,
+                alpha,
+                verdict,
+            } => {
+                assert_eq!(component, "c3");
+                assert_eq!(*alpha, 2.0);
+                assert_eq!(verdict, "permanent or intermittent");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(flips[1].tick, Tick(3));
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let mut ac =
+            ObservedAlphaCount::new(AlphaCount::with_threshold(3.0), "x", Registry::disabled());
+        for t in 0..10 {
+            ac.record(Tick(t), Judgment::Erroneous);
+        }
+        assert_eq!(ac.inner().errors(), 10);
+        assert_eq!(ac.into_inner().rounds(), 10);
+    }
+
+    #[test]
+    fn reset_preserves_cumulative_counters() {
+        let telemetry = Registry::new();
+        let mut ac =
+            ObservedAlphaCount::new(AlphaCount::with_threshold(3.0), "y", telemetry.clone());
+        ac.record(Tick(0), Judgment::Erroneous);
+        ac.reset();
+        assert_eq!(ac.inner().rounds(), 0);
+        assert_eq!(telemetry.report().counter("alphacount.rounds"), 1);
+    }
+}

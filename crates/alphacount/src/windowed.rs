@@ -94,10 +94,9 @@ impl WindowedCount {
     pub fn record(&mut self, judgment: Judgment) -> Verdict {
         self.rounds += 1;
         let is_error = judgment == Judgment::Erroneous;
-        if self.history.len() == self.window
-            && self.history.pop_front() == Some(true) {
-                self.errors_in_window -= 1;
-            }
+        if self.history.len() == self.window && self.history.pop_front() == Some(true) {
+            self.errors_in_window -= 1;
+        }
         self.history.push_back(is_error);
         if is_error {
             self.errors_in_window += 1;

@@ -3,9 +3,7 @@
 //! end to end.
 
 use afta_faultinject::EnvironmentProfile;
-use afta_switchboard::{
-    run_experiment, ExperimentConfig, RedundancyController, RedundancyPolicy,
-};
+use afta_switchboard::{run_experiment, ExperimentConfig, RedundancyController, RedundancyPolicy};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_switchboard(c: &mut Criterion) {

@@ -1,0 +1,106 @@
+//! B9: telemetry hot-path cost — the per-event overhead the
+//! observability layer adds to instrumented components.
+//!
+//! The budget (see ISSUE/DESIGN): a counter increment and a span record
+//! should stay in the tens-of-nanoseconds range on the enabled path, and
+//! a *disabled* registry must be near-zero — instrumentation left in
+//! place behind `Registry::disabled()` is free.
+
+use afta_telemetry::{Registry, TelemetryEvent, Tick};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry");
+
+    g.bench_function("counter_inc_enabled", |b| {
+        let registry = Registry::new();
+        let counter = registry.counter("bench.counter");
+        b.iter(|| {
+            counter.inc();
+            black_box(&counter);
+        });
+    });
+
+    g.bench_function("counter_inc_disabled", |b| {
+        let registry = Registry::disabled();
+        let counter = registry.counter("bench.counter");
+        b.iter(|| {
+            counter.inc();
+            black_box(&counter);
+        });
+    });
+
+    g.bench_function("counter_lookup_enabled", |b| {
+        let registry = Registry::new();
+        b.iter(|| black_box(registry.counter("bench.lookup")).inc());
+    });
+
+    g.bench_function("histogram_record_enabled", |b| {
+        let registry = Registry::new();
+        let hist = registry.histogram("bench.hist", &[1, 10, 100, 1000]);
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 7) % 2000;
+            hist.record(black_box(v));
+        });
+    });
+
+    g.bench_function("span_enabled", |b| {
+        let registry = Registry::new();
+        b.iter(|| {
+            let span = registry.span("bench.span_ns");
+            black_box(&span);
+        });
+    });
+
+    g.bench_function("span_disabled", |b| {
+        let registry = Registry::disabled();
+        b.iter(|| {
+            let span = registry.span("bench.span_ns");
+            black_box(&span);
+        });
+    });
+
+    g.bench_function("virtual_span_enabled", |b| {
+        let registry = Registry::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            let span = registry.virtual_span("bench.vspan", Tick(t));
+            t += 1;
+            span.finish(Tick(t + 3));
+        });
+    });
+
+    g.bench_function("journal_record_enabled", |b| {
+        let registry = Registry::with_journal_capacity(1024);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            registry.record(
+                Tick(t),
+                TelemetryEvent::Note {
+                    text: "bench".to_owned(),
+                },
+            );
+        });
+    });
+
+    g.bench_function("journal_record_disabled", |b| {
+        let registry = Registry::disabled();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            registry.record(
+                Tick(t),
+                TelemetryEvent::Note {
+                    text: "bench".to_owned(),
+                },
+            );
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

@@ -26,9 +26,8 @@ fn bench_voting(c: &mut Criterion) {
 
     for n in [3usize, 9] {
         g.bench_with_input(BenchmarkId::new("farm_round", n), &n, |b, &n| {
-            let mut farm = VotingFarm::new(n, |i: usize, x: &u64| {
-                if i == 1 { u64::MAX } else { *x }
-            });
+            let mut farm =
+                VotingFarm::new(n, |i: usize, x: &u64| if i == 1 { u64::MAX } else { *x });
             b.iter(|| black_box(farm.round(&42)));
         });
     }

@@ -9,7 +9,10 @@ use afta_memsim::MachineInventory;
 
 fn main() {
     let machine = MachineInventory::dell_inspiron_6000();
-    println!("Serial Presence Detect records ({} banks):\n", machine.banks().len());
+    println!(
+        "Serial Presence Detect records ({} banks):\n",
+        machine.banks().len()
+    );
     for bank in machine.banks() {
         let spd = &bank.spd;
         println!("slot {}:", bank.slot);
@@ -18,7 +21,11 @@ fn main() {
         println!("  serial:     {}", spd.serial);
         println!("  lot:        {}", spd.lot);
         println!("  size:       {} MiB", spd.size_mib);
-        println!("  clock:      {} MHz ({:.1} ns)", spd.clock_mhz, spd.cycle_ns());
+        println!(
+            "  clock:      {} MHz ({:.1} ns)",
+            spd.clock_mhz,
+            spd.cycle_ns()
+        );
         println!("  width:      {} bits", spd.width_bits);
         println!("  technology: {}", spd.technology);
         println!("  model key:  {}", spd.model_key());

@@ -7,8 +7,9 @@
 //! `--onset N` (fault onset tick, default 45).
 
 use afta_bench::arg_u64;
-use afta_ftpatterns::fig4_scenario;
+use afta_ftpatterns::fig4_scenario_observed;
 use afta_sim::Tick;
+use afta_telemetry::Registry;
 
 fn main() {
     let rounds = arg_u64("--rounds", 15);
@@ -20,7 +21,8 @@ fn main() {
         "{:>6} {:>6} {:>6} {:>6} {:>8}  verdict",
         "round", "tick", "alive", "fired", "alpha"
     );
-    let trace = fig4_scenario(rounds, period, Tick(onset));
+    let telemetry = Registry::new();
+    let trace = fig4_scenario_observed(rounds, period, Tick(onset), &telemetry);
     for row in &trace.rows {
         println!(
             "{:>6} {:>6} {:>6} {:>6} {:>8.3}  {}",
@@ -39,4 +41,13 @@ fn main() {
         ),
         None => println!("\nthe alpha-count never crossed the threshold"),
     }
+
+    let report = telemetry.report();
+    println!(
+        "\ntelemetry: checks {} | firings {} | heartbeat misses (journal) {} | verdict flips {}",
+        report.counter("watchdog.checks"),
+        report.counter("watchdog.firings"),
+        report.journal_of_kind("heartbeat-miss").count(),
+        report.counter("alphacount.flips"),
+    );
 }

@@ -5,8 +5,14 @@ use afta_voting::{dtof, dtof_max, majority_vote, VoteOutcome};
 
 fn main() {
     let n = 7;
-    println!("distance-to-failure, n = {n} replicas (dtof_max = {})\n", dtof_max(n));
-    println!("{:<6} {:<28} {:>4} {:>6}", "panel", "vote vector", "m", "dtof");
+    println!(
+        "distance-to-failure, n = {n} replicas (dtof_max = {})\n",
+        dtof_max(n)
+    );
+    println!(
+        "{:<6} {:<28} {:>4} {:>6}",
+        "panel", "vote vector", "m", "dtof"
+    );
 
     // The four panels of Fig. 5: consensus, growing dissent, no majority.
     let panels: [(&str, Vec<u32>); 4] = [
@@ -18,9 +24,7 @@ fn main() {
     for (panel, votes) in panels {
         let outcome = majority_vote(&votes);
         let (m, d) = match &outcome {
-            VoteOutcome::Majority { dissent, .. } => {
-                (dissent.to_string(), dtof(n, Some(*dissent)))
-            }
+            VoteOutcome::Majority { dissent, .. } => (dissent.to_string(), dtof(n, Some(*dissent))),
             VoteOutcome::NoMajority => ("-".to_owned(), dtof(n, None)),
         };
         println!("{panel:<6} {:<28} {m:>4} {d:>6}", format!("{votes:?}"));

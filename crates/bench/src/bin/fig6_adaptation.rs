@@ -11,7 +11,8 @@
 use afta_bench::arg_u64;
 use afta_faultinject::{EnvironmentProfile, Phase};
 use afta_sim::Tick;
-use afta_switchboard::{run_experiment, ExperimentConfig, RedundancyPolicy};
+use afta_switchboard::{run_experiment_observed, ExperimentConfig, RedundancyPolicy};
+use afta_telemetry::Registry;
 
 fn main() {
     let steps = arg_u64("--steps", 30_000);
@@ -34,7 +35,8 @@ fn main() {
         policy: RedundancyPolicy::default(),
         trace_stride: steps / 60,
     };
-    let report = run_experiment(&config, None);
+    let telemetry = Registry::new();
+    let report = run_experiment_observed(&config, None, &telemetry);
 
     if std::env::args().any(|a| a == "--json") {
         println!(
@@ -62,7 +64,10 @@ fn main() {
     }
 
     // ASCII strip chart of redundancy over time.
-    println!("\nredundancy level over time (one column per {} steps):", steps / 60);
+    println!(
+        "\nredundancy level over time (one column per {} steps):",
+        steps / 60
+    );
     let samples: Vec<usize> = sample_levels(&report.trace, steps, 60);
     for level in [9usize, 7, 5, 3] {
         let row: String = samples
@@ -74,7 +79,11 @@ fn main() {
     let storm_cols_start = (storm_start * 60 / steps) as usize;
     let storm_cols_end = ((storm_start + storm_len) * 60 / steps) as usize;
     let mut marker = vec![' '; 60];
-    for c in marker.iter_mut().take(storm_cols_end.min(60)).skip(storm_cols_start) {
+    for c in marker
+        .iter_mut()
+        .take(storm_cols_end.min(60))
+        .skip(storm_cols_start)
+    {
         *c = '~';
     }
     println!("  storm {}", marker.into_iter().collect::<String>());
@@ -86,6 +95,27 @@ fn main() {
     println!(
         "fraction of time at minimal redundancy: {:.3}%",
         100.0 * report.fraction_at_min(3)
+    );
+
+    // Flight-recorder replay: every adaptation above is also journaled
+    // by the telemetry layer, in causal order.
+    let telemetry_report = telemetry.report();
+    println!("\nflight-recorder journal (redundancy changes):");
+    for record in telemetry_report
+        .journal
+        .iter()
+        .filter(|r| r.event.kind().starts_with("redundancy-"))
+    {
+        println!(
+            "  #{:>4} t={:>8} {:?}",
+            record.seq, record.tick.0, record.event
+        );
+    }
+    println!(
+        "telemetry: rounds {} | dtof dips (journal) {} | dropped journal records {}",
+        telemetry_report.counter("voting.rounds"),
+        telemetry_report.journal_of_kind("dtof-dip").count(),
+        telemetry_report.journal_dropped
     );
 }
 

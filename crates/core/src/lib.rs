@@ -85,7 +85,7 @@ pub use assumption::{
     Assumption, AssumptionBuilder, AssumptionId, AssumptionKind, BindingTime, Criticality,
     Provenance, Visibility,
 };
-pub use binding::{Alternative, Binder, AssumptionVar, BindingError, MinCostBinder};
+pub use binding::{Alternative, AssumptionVar, Binder, BindingError, MinCostBinder};
 pub use contract::{Condition, Contract, ContractBuilder, ContractViolation, ViolationKind};
 pub use error::Error;
 pub use knowledge::{Deduction, KnowledgeAgent, KnowledgeWeb, Layer};
@@ -99,8 +99,7 @@ pub use value::{Expectation, Observation, Value};
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
     pub use crate::assumption::{
-        Assumption, AssumptionId, AssumptionKind, BindingTime, Criticality, Provenance,
-        Visibility,
+        Assumption, AssumptionId, AssumptionKind, BindingTime, Criticality, Provenance, Visibility,
     };
     pub use crate::binding::{Alternative, AssumptionVar, Binder, MinCostBinder};
     pub use crate::contract::{Contract, ContractViolation};

@@ -11,6 +11,8 @@
 
 use std::fmt;
 
+use afta_telemetry::{Registry as TelemetryRegistry, TelemetryEvent, Tick};
+
 use crate::probe::ProbeSet;
 use crate::registry::{AssumptionRegistry, Clash};
 use crate::value::Observation;
@@ -70,6 +72,7 @@ pub struct AssumptionMonitor {
     probes: ProbeSet,
     stats: MonitorStats,
     sink: Option<EventSink>,
+    telemetry: TelemetryRegistry,
 }
 
 impl fmt::Debug for AssumptionMonitor {
@@ -91,12 +94,22 @@ impl AssumptionMonitor {
             probes,
             stats: MonitorStats::default(),
             sink: None,
+            telemetry: TelemetryRegistry::disabled(),
         }
     }
 
     /// Attaches an event sink (e.g. a bus publisher or a logger).
     pub fn set_sink(&mut self, sink: impl FnMut(&MonitorEvent) + Send + 'static) {
         self.sink = Some(Box::new(sink));
+    }
+
+    /// Attaches a telemetry registry.  The monitor then maintains the
+    /// `monitor.cycles` / `monitor.observations` / `monitor.clashes` /
+    /// `monitor.recovered` counters and journals every clash as an
+    /// [`TelemetryEvent::AssumptionClash`] record (timestamped with the
+    /// cycle number as virtual time).
+    pub fn set_telemetry(&mut self, telemetry: TelemetryRegistry) {
+        self.telemetry = telemetry;
     }
 
     /// The monitored registry (for inspection or direct observation).
@@ -131,6 +144,7 @@ impl AssumptionMonitor {
         let cycle = self.stats.cycles;
         let observations = self.probes.snapshot();
         self.stats.observations += observations.len() as u64;
+        let _cycle_span = self.telemetry.span("monitor.cycle_ns");
         self.ingest(cycle, observations)
     }
 
@@ -145,6 +159,10 @@ impl AssumptionMonitor {
 
     fn ingest(&mut self, cycle: u64, observations: Vec<Observation>) -> Vec<MonitorEvent> {
         let count = observations.len();
+        self.telemetry.counter("monitor.cycles").inc();
+        self.telemetry
+            .counter("monitor.observations")
+            .add(count as u64);
         let report = self.registry.observe_all(observations);
         let mut events = Vec::new();
         if report.clashes.is_empty() {
@@ -156,12 +174,21 @@ impl AssumptionMonitor {
         }
         for clash in report.clashes {
             self.stats.clashes += 1;
+            self.telemetry.counter("monitor.clashes").inc();
             if matches!(
                 clash.disposition,
                 crate::registry::ClashDisposition::Recovered(_)
             ) {
                 self.stats.recovered += 1;
+                self.telemetry.counter("monitor.recovered").inc();
             }
+            self.telemetry.record(
+                Tick(cycle),
+                TelemetryEvent::AssumptionClash {
+                    assumption: clash.assumption.to_string(),
+                    disposition: clash.disposition.to_string(),
+                },
+            );
             events.push(self.emit(MonitorEvent::ClashDetected { cycle, clash }));
         }
         events
@@ -208,7 +235,10 @@ mod tests {
         let reading = Arc::new(Mutex::new(20i64));
         let probe_reading = reading.clone();
         let probes = ProbeSet::new().with(FnProbe::new("thermo", move || {
-            vec![Observation::new("temperature_c", *probe_reading.lock().unwrap())]
+            vec![Observation::new(
+                "temperature_c",
+                *probe_reading.lock().unwrap(),
+            )]
         }));
         let mut m = AssumptionMonitor::new(registry(), probes);
 
@@ -277,6 +307,46 @@ mod tests {
             )
             .unwrap();
         assert_eq!(m.registry().len(), 1);
+    }
+
+    #[test]
+    fn telemetry_counts_cycles_and_journals_clashes() {
+        let telemetry = TelemetryRegistry::new();
+        let reading = Arc::new(Mutex::new(20i64));
+        let probe_reading = reading.clone();
+        let probes = ProbeSet::new().with(FnProbe::new("thermo", move || {
+            vec![Observation::new(
+                "temperature_c",
+                *probe_reading.lock().unwrap(),
+            )]
+        }));
+        let mut m = AssumptionMonitor::new(registry(), probes);
+        m.set_telemetry(telemetry.clone());
+
+        m.poll(); // clean
+        *reading.lock().unwrap() = 120;
+        m.poll(); // clash
+
+        let report = telemetry.report();
+        assert_eq!(report.counter("monitor.cycles"), 2);
+        assert_eq!(report.counter("monitor.observations"), 2);
+        assert_eq!(report.counter("monitor.clashes"), 1);
+        assert_eq!(report.counter("monitor.recovered"), 0);
+        let clashes: Vec<_> = report.journal_of_kind("assumption-clash").collect();
+        assert_eq!(clashes.len(), 1);
+        assert_eq!(clashes[0].tick, afta_telemetry::Tick(2));
+        match &clashes[0].event {
+            TelemetryEvent::AssumptionClash {
+                assumption,
+                disposition,
+            } => {
+                assert_eq!(assumption, "temp");
+                assert_eq!(disposition, "unhandled");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Cycle spans were timed.
+        assert_eq!(report.histograms["monitor.cycle_ns"].count, 2);
     }
 
     #[test]

@@ -193,10 +193,9 @@ mod tests {
                 .build(),
         )
         .unwrap();
-        let mut probes =
-            ProbeSet::new().with(FnProbe::new("thermo", || {
-                vec![Observation::new("temperature_c", 80i64)]
-            }));
+        let mut probes = ProbeSet::new().with(FnProbe::new("thermo", || {
+            vec![Observation::new("temperature_c", 80i64)]
+        }));
         let report = reg.observe_all(probes.snapshot());
         assert_eq!(report.clashes.len(), 1);
     }

@@ -92,8 +92,7 @@ impl ObservationReport {
 ///
 /// Returns `Ok(note)` when the system was reconfigured to cope with the
 /// observed truth, `Err(note)` when it could not.
-pub type AdaptationHandler =
-    Box<dyn FnMut(&Assumption, &Value) -> Result<String, String> + Send>;
+pub type AdaptationHandler = Box<dyn FnMut(&Assumption, &Value) -> Result<String, String> + Send>;
 
 /// Stores assumptions, matches them against observed context facts, and
 /// keeps the audit trail the paper finds missing in practice.

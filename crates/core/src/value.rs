@@ -193,12 +193,12 @@ impl Expectation {
         match self {
             Expectation::Equals(v) => observed == v,
             Expectation::NotEquals(v) => observed != v,
-            Expectation::IntRange { min, max } => observed
-                .as_int()
-                .is_some_and(|i| i >= *min && i <= *max),
-            Expectation::FloatRange { min, max } => observed
-                .as_float()
-                .is_some_and(|f| f >= *min && f <= *max),
+            Expectation::IntRange { min, max } => {
+                observed.as_int().is_some_and(|i| i >= *min && i <= *max)
+            }
+            Expectation::FloatRange { min, max } => {
+                observed.as_float().is_some_and(|f| f >= *min && f <= *max)
+            }
             Expectation::OneOf(vs) => vs.contains(observed),
             Expectation::AtMost(max) => observed.as_float().is_some_and(|f| f <= *max),
             Expectation::AtLeast(min) => observed.as_float().is_some_and(|f| f >= *min),
@@ -391,8 +391,7 @@ mod tests {
     #[test]
     fn combinators_compose() {
         // "In the Ariane-4 envelope OR flagged as wide-range mode."
-        let e = Expectation::int_range(-32768, 32767)
-            .or(Expectation::equals("wide-range"));
+        let e = Expectation::int_range(-32768, 32767).or(Expectation::equals("wide-range"));
         assert!(e.admits(&Value::Int(100)));
         assert!(e.admits(&Value::Text("wide-range".into())));
         assert!(!e.admits(&Value::Int(40_000)));

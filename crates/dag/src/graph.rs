@@ -395,7 +395,8 @@ mod tests {
     fn add_and_lookup() {
         let mut g = ComponentGraph::new();
         assert!(g.is_empty());
-        g.add(Component::new("a", "svc").with_meta("ver", "1")).unwrap();
+        g.add(Component::new("a", "svc").with_meta("ver", "1"))
+            .unwrap();
         assert_eq!(g.len(), 1);
         let c = g.get(&"a".into()).unwrap();
         assert_eq!(c.kind, "svc");
@@ -501,8 +502,7 @@ mod tests {
         g.connect("side", "c2").unwrap();
         let order = g.topological_order();
         assert_eq!(order.len(), 5);
-        let pos =
-            |id: &str| order.iter().position(|c| c.as_str() == id).unwrap();
+        let pos = |id: &str| order.iter().position(|c| c.as_str() == id).unwrap();
         assert!(pos("c0") < pos("c1"));
         assert!(pos("c1") < pos("c2"));
         assert!(pos("side") < pos("c2"));

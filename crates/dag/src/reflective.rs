@@ -223,10 +223,7 @@ mod tests {
 
         let diff = arch.inject("D2").unwrap();
         assert_eq!(diff.removed_components, vec!["c3".into()]);
-        assert_eq!(
-            diff.added_components,
-            vec!["c3.1".into(), "c3.2".into()]
-        );
+        assert_eq!(diff.added_components, vec!["c3.1".into(), "c3.2".into()]);
         assert!(arch.current().contains(&"c3.1".into()));
         assert!(!arch.current().contains(&"c3".into()));
         assert_eq!(arch.active_label(), Some("D2"));

@@ -35,14 +35,16 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use afta_telemetry::{Counter, Registry};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 
 type Callback = Box<dyn FnMut(&dyn Any) + Send>;
 type SenderFn = Box<dyn Fn(&dyn Any) -> bool + Send>;
 
-#[derive(Default)]
 struct Topic {
+    /// Human-readable topic name (the event's Rust type path).
+    name: &'static str,
     /// Channel senders for pull-style subscribers; each entry forwards a
     /// clone of the event and reports whether the receiver is still alive.
     senders: Vec<SenderFn>,
@@ -50,10 +52,66 @@ struct Topic {
     callbacks: Vec<Callback>,
     /// Events published on this topic (for diagnostics).
     published: u64,
+    /// Total deliveries (pull-subscriber sends plus callback invocations).
+    delivered: u64,
+    /// Publishes that reached no subscriber and no callback.
+    dropped: u64,
     /// Whether to retain the last event for late joiners.
     retain: bool,
     /// The last event published, when retention is on.
     retained: Option<Box<dyn Any + Send>>,
+}
+
+impl Topic {
+    fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            senders: Vec::new(),
+            callbacks: Vec::new(),
+            published: 0,
+            delivered: 0,
+            dropped: 0,
+            retain: false,
+            retained: None,
+        }
+    }
+
+    fn stats(&self) -> TopicStats {
+        TopicStats {
+            topic: self.name,
+            published: self.published,
+            delivered: self.delivered,
+            dropped: self.dropped,
+            subscribers: self.senders.len(),
+            callbacks: self.callbacks.len(),
+        }
+    }
+}
+
+/// A snapshot of one topic's delivery counters, as returned by
+/// [`Bus::stats`] and [`Bus::topic_stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicStats {
+    /// The event type's Rust path (e.g. `my_crate::FaultDetected`).
+    pub topic: &'static str,
+    /// Events published on the topic.
+    pub published: u64,
+    /// Total deliveries: pull-subscriber sends plus callback invocations.
+    pub delivered: u64,
+    /// Publishes that reached no subscriber and no callback.
+    pub dropped: u64,
+    /// Live pull-subscribers (as of the last publish).
+    pub subscribers: usize,
+    /// Registered push callbacks.
+    pub callbacks: usize,
+}
+
+/// Aggregate counters mirrored into a telemetry [`Registry`] when one is
+/// attached via [`Bus::attach_telemetry`].
+struct BusCounters {
+    published: Counter,
+    delivered: Counter,
+    dropped: Counter,
 }
 
 /// A pull-style subscription to events of type `E`.
@@ -99,6 +157,7 @@ impl<E> Subscription<E> {
 #[derive(Clone, Default)]
 pub struct Bus {
     topics: Arc<Mutex<HashMap<TypeId, Topic>>>,
+    counters: Arc<Mutex<Option<BusCounters>>>,
 }
 
 impl fmt::Debug for Bus {
@@ -117,12 +176,42 @@ impl Bus {
         Self::default()
     }
 
+    /// Mirrors bus-wide delivery counters (`eventbus.published`,
+    /// `eventbus.delivered`, `eventbus.dropped`) into a telemetry
+    /// registry.  Per-topic breakdowns stay available via [`Bus::stats`].
+    pub fn attach_telemetry(&self, registry: &Registry) {
+        *self.counters.lock() = Some(BusCounters {
+            published: registry.counter("eventbus.published"),
+            delivered: registry.counter("eventbus.delivered"),
+            dropped: registry.counter("eventbus.dropped"),
+        });
+    }
+
+    /// Delivery counters for every topic the bus has seen, sorted by
+    /// topic name.
+    #[must_use]
+    pub fn stats(&self) -> Vec<TopicStats> {
+        let topics = self.topics.lock();
+        let mut out: Vec<TopicStats> = topics.values().map(Topic::stats).collect();
+        out.sort_by_key(|s| s.topic);
+        out
+    }
+
+    /// Delivery counters for the topic carrying events of type `E`, or
+    /// `None` if the bus has never seen that type.
+    #[must_use]
+    pub fn topic_stats<E: 'static>(&self) -> Option<TopicStats> {
+        self.topics.lock().get(&TypeId::of::<E>()).map(Topic::stats)
+    }
+
     /// Subscribes to events of type `E` (pull style).
     #[must_use]
     pub fn subscribe<E: Clone + Send + 'static>(&self) -> Subscription<E> {
         let (tx, rx): (Sender<E>, Receiver<E>) = unbounded();
         let mut topics = self.topics.lock();
-        let topic = topics.entry(TypeId::of::<E>()).or_default();
+        let topic = topics
+            .entry(TypeId::of::<E>())
+            .or_insert_with(|| Topic::new(std::any::type_name::<E>()));
         topic.senders.push(Box::new(move |any| {
             let Some(e) = any.downcast_ref::<E>() else {
                 return true; // type mismatch cannot happen; keep the sender
@@ -136,7 +225,9 @@ impl Bus {
     /// synchronously (in publish order) on the publisher's thread.
     pub fn on<E: Send + 'static>(&self, mut f: impl FnMut(&E) + Send + 'static) {
         let mut topics = self.topics.lock();
-        let topic = topics.entry(TypeId::of::<E>()).or_default();
+        let topic = topics
+            .entry(TypeId::of::<E>())
+            .or_insert_with(|| Topic::new(std::any::type_name::<E>()));
         topic.callbacks.push(Box::new(move |any| {
             if let Some(e) = any.downcast_ref::<E>() {
                 f(e);
@@ -155,11 +246,24 @@ impl Bus {
         // Deliver and prune disconnected pull-subscribers in one pass.
         topic.senders.retain(|send| send(&event));
         let delivered = topic.senders.len();
+        let reached = delivered + topic.callbacks.len();
+        topic.delivered += reached as u64;
+        if reached == 0 {
+            topic.dropped += 1;
+        }
         for cb in &mut topic.callbacks {
             cb(&event);
         }
         if topic.retain {
             topic.retained = Some(Box::new(event));
+        }
+        drop(topics);
+        if let Some(counters) = self.counters.lock().as_ref() {
+            counters.published.inc();
+            counters.delivered.add(reached as u64);
+            if reached == 0 {
+                counters.dropped.inc();
+            }
         }
         delivered
     }
@@ -170,7 +274,10 @@ impl Bus {
     /// catch up on slow-changing state such as the current fault class.
     pub fn retain<E: Clone + Send + 'static>(&self) {
         let mut topics = self.topics.lock();
-        topics.entry(TypeId::of::<E>()).or_default().retain = true;
+        topics
+            .entry(TypeId::of::<E>())
+            .or_insert_with(|| Topic::new(std::any::type_name::<E>()))
+            .retain = true;
     }
 
     /// The most recent retained event of type `E`, if retention is on and
@@ -346,5 +453,82 @@ mod tests {
         let bus = Bus::new();
         let _sub = bus.subscribe::<Ping>();
         assert!(format!("{bus:?}").contains("Bus"));
+    }
+
+    #[test]
+    fn stats_track_published_delivered_dropped() {
+        let bus = Bus::new();
+        let sub = bus.subscribe::<Ping>();
+        bus.on::<Ping>(|_| {});
+        bus.publish(Ping(1));
+        bus.publish(Ping(2));
+        let stats = bus.topic_stats::<Ping>().unwrap();
+        assert!(stats.topic.ends_with("Ping"));
+        assert_eq!(stats.published, 2);
+        assert_eq!(stats.delivered, 4); // one subscriber + one callback, twice
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.subscribers, 1);
+        assert_eq!(stats.callbacks, 1);
+
+        // A publish that reaches nobody is a drop.
+        drop(sub);
+        let _pongs = bus.subscribe::<Pong>();
+        bus.publish(Ping(3)); // callback still reaches it: not a drop
+        let sub2 = bus.subscribe::<Ping>();
+        drop(sub2);
+        assert_eq!(bus.topic_stats::<Ping>().unwrap().dropped, 0);
+
+        let all = bus.stats();
+        assert_eq!(all.len(), 2);
+        assert!(all.windows(2).all(|w| w[0].topic <= w[1].topic));
+        assert!(bus.topic_stats::<u128>().is_none());
+    }
+
+    #[test]
+    fn dropped_counts_unheard_publishes() {
+        let bus = Bus::new();
+        let sub = bus.subscribe::<Ping>();
+        drop(sub);
+        bus.publish(Ping(1)); // topic exists, nobody listening
+        let stats = bus.topic_stats::<Ping>().unwrap();
+        assert_eq!(stats.published, 1);
+        assert_eq!(stats.delivered, 0);
+        assert_eq!(stats.dropped, 1);
+    }
+
+    #[test]
+    fn telemetry_mirror_counts_bus_wide() {
+        let registry = afta_telemetry::Registry::new();
+        let bus = Bus::new();
+        bus.attach_telemetry(&registry);
+        let _sub = bus.subscribe::<Ping>();
+        bus.publish(Ping(1));
+        bus.publish(Ping(2));
+        let report = registry.report();
+        assert_eq!(report.counter("eventbus.published"), 2);
+        assert_eq!(report.counter("eventbus.delivered"), 2);
+        assert_eq!(report.counter("eventbus.dropped"), 0);
+    }
+
+    #[test]
+    fn retained_event_reaches_late_joiner() {
+        // Regression: a subscriber attached *after* the publish must be
+        // able to catch up via the retained value, and then receive live
+        // publishes like any other subscriber.
+        let bus = Bus::new();
+        bus.retain::<Ping>();
+        bus.on::<Ping>(|_| {});
+        bus.publish(Ping(41));
+        bus.publish(Ping(42));
+
+        // Late joiner: no queued history, but the last value is served.
+        let late = bus.subscribe::<Ping>();
+        assert_eq!(late.pending(), 0);
+        assert_eq!(bus.latest::<Ping>(), Some(Ping(42)));
+
+        // And the late joiner participates in subsequent publishes.
+        bus.publish(Ping(43));
+        assert_eq!(late.try_recv(), Ok(Ping(43)));
+        assert_eq!(bus.latest::<Ping>(), Some(Ping(43)));
     }
 }

@@ -19,8 +19,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod observed;
 pub mod trace;
 
+pub use observed::ObservedInjector;
 pub use trace::{FaultTrace, TraceEvent, TraceInjector, TraceRecorder};
 
 use rand::rngs::StdRng;
@@ -409,9 +411,7 @@ mod tests {
     #[test]
     fn periodic_fires_on_schedule() {
         let mut inj = PeriodicInjector::new(5, 2, FaultClass::Permanent);
-        let fired: Vec<u64> = (0..20)
-            .filter(|&t| inj.inject(Tick(t)).is_some())
-            .collect();
+        let fired: Vec<u64> = (0..20).filter(|&t| inj.inject(Tick(t)).is_some()).collect();
         assert_eq!(fired, vec![2, 7, 12, 17]);
     }
 
@@ -426,14 +426,14 @@ mod tests {
         let mut inj = BurstInjector::new(0.01, 0.1, 0.8, FaultClass::Transient, rng("burst"));
         let fired: Vec<bool> = (0..50_000).map(|t| inj.inject(Tick(t)).is_some()).collect();
         let total: usize = fired.iter().filter(|&&b| b).count();
-        assert!(total > 100, "bursts should produce many faults, got {total}");
+        assert!(
+            total > 100,
+            "bursts should produce many faults, got {total}"
+        );
         // Clustering: probability of a fault right after a fault should be
         // much higher than the marginal rate.
-        let after_fault = fired
-            .windows(2)
-            .filter(|w| w[0] && w[1])
-            .count() as f64
-            / total.max(1) as f64;
+        let after_fault =
+            fired.windows(2).filter(|w| w[0] && w[1]).count() as f64 / total.max(1) as f64;
         let marginal = total as f64 / fired.len() as f64;
         assert!(
             after_fault > 3.0 * marginal,

@@ -1,0 +1,118 @@
+//! A telemetry-aware [`Injector`] decorator.
+//!
+//! Wrap any injector in [`ObservedInjector`] to count injections by class
+//! (`faultinject.injections`, `faultinject.transient`, …) and journal each
+//! one as an [`TelemetryEvent::FaultInjected`] record, without touching
+//! the injection schedule itself.
+
+use afta_sim::Tick;
+use afta_telemetry::{Counter, Registry, TelemetryEvent};
+
+use crate::{FaultClass, Injector};
+
+/// An [`Injector`] that reports every injection into a telemetry
+/// [`Registry`] and then forwards it unchanged.
+#[derive(Debug)]
+pub struct ObservedInjector<I> {
+    inner: I,
+    telemetry: Registry,
+    total: Counter,
+    transient: Counter,
+    intermittent: Counter,
+    permanent: Counter,
+}
+
+impl<I: Injector> ObservedInjector<I> {
+    /// Wraps `inner`.
+    #[must_use]
+    pub fn new(inner: I, telemetry: Registry) -> Self {
+        Self {
+            inner,
+            total: telemetry.counter("faultinject.injections"),
+            transient: telemetry.counter("faultinject.transient"),
+            intermittent: telemetry.counter("faultinject.intermittent"),
+            permanent: telemetry.counter("faultinject.permanent"),
+            telemetry,
+        }
+    }
+
+    /// The wrapped injector.
+    #[must_use]
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    /// Unwraps the injector, discarding the telemetry binding.
+    #[must_use]
+    pub fn into_inner(self) -> I {
+        self.inner
+    }
+}
+
+impl<I: Injector> Injector for ObservedInjector<I> {
+    fn inject(&mut self, tick: Tick) -> Option<FaultClass> {
+        let fault = self.inner.inject(tick);
+        if let Some(class) = fault {
+            self.total.inc();
+            match class {
+                FaultClass::Transient => self.transient.inc(),
+                FaultClass::Intermittent => self.intermittent.inc(),
+                FaultClass::Permanent => self.permanent.inc(),
+            }
+            self.telemetry.record(
+                tick,
+                TelemetryEvent::FaultInjected {
+                    class: class.to_string(),
+                },
+            );
+        }
+        fault
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PeriodicInjector;
+
+    #[test]
+    fn injections_are_counted_by_class_and_journaled() {
+        let telemetry = Registry::new();
+        let mut inj = ObservedInjector::new(
+            PeriodicInjector::new(5, 0, FaultClass::Permanent),
+            telemetry.clone(),
+        );
+        for t in 0..20 {
+            inj.inject(Tick(t));
+        }
+        let report = telemetry.report();
+        assert_eq!(report.counter("faultinject.injections"), 4);
+        assert_eq!(report.counter("faultinject.permanent"), 4);
+        assert_eq!(report.counter("faultinject.transient"), 0);
+        let journal: Vec<_> = report.journal_of_kind("fault-injected").collect();
+        assert_eq!(journal.len(), 4);
+        assert_eq!(journal[0].tick, Tick(0));
+        assert_eq!(
+            journal[0].event,
+            TelemetryEvent::FaultInjected {
+                class: "permanent".into()
+            }
+        );
+    }
+
+    #[test]
+    fn schedule_is_unchanged_by_observation() {
+        let mut plain = PeriodicInjector::new(3, 1, FaultClass::Transient);
+        let mut observed = ObservedInjector::new(
+            PeriodicInjector::new(3, 1, FaultClass::Transient),
+            Registry::disabled(),
+        );
+        for t in 0..30 {
+            assert_eq!(plain.inject(Tick(t)), observed.inject(Tick(t)));
+        }
+        assert_eq!(
+            observed.into_inner(),
+            PeriodicInjector::new(3, 1, FaultClass::Transient)
+        );
+    }
+}

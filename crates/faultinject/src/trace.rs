@@ -221,10 +221,8 @@ mod tests {
 
     #[test]
     fn hand_written_trace() {
-        let trace = FaultTrace::from_events([
-            (3, FaultClass::Transient),
-            (7, FaultClass::Permanent),
-        ]);
+        let trace =
+            FaultTrace::from_events([(3, FaultClass::Transient), (7, FaultClass::Permanent)]);
         let mut inj = TraceInjector::new(trace);
         assert_eq!(inj.inject(Tick(0)), None);
         assert_eq!(inj.inject(Tick(3)), Some(FaultClass::Transient));
@@ -235,7 +233,8 @@ mod tests {
 
     #[test]
     fn skipped_ticks_drop_events() {
-        let trace = FaultTrace::from_events([(3, FaultClass::Transient), (9, FaultClass::Transient)]);
+        let trace =
+            FaultTrace::from_events([(3, FaultClass::Transient), (9, FaultClass::Transient)]);
         let mut inj = TraceInjector::new(trace);
         // Jump straight past tick 3.
         assert_eq!(inj.inject(Tick(5)), None);
@@ -261,7 +260,8 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        let mut recorder = TraceRecorder::new(PeriodicInjector::new(10, 0, FaultClass::Intermittent));
+        let mut recorder =
+            TraceRecorder::new(PeriodicInjector::new(10, 0, FaultClass::Intermittent));
         for t in 0..50 {
             recorder.inject(Tick(t));
         }

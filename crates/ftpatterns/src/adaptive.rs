@@ -17,6 +17,7 @@ use afta_core::{Alternative, AssumptionVar, BindingTime, MinCostBinder};
 use afta_dag::{fig3_snapshots, ReflectiveArchitecture};
 use afta_eventbus::Bus;
 use afta_sim::Tick;
+use afta_telemetry::{Registry, TelemetryEvent};
 
 use crate::patterns::{Fault, ReconfigOutcome, Reconfiguration, Redoing};
 
@@ -93,6 +94,7 @@ pub struct AdaptiveFtManager {
     reconfig: Reconfiguration,
     bus: Bus,
     stats: AdaptiveStats,
+    telemetry: Registry,
 }
 
 impl std::fmt::Debug for AdaptiveFtManager {
@@ -151,7 +153,16 @@ impl AdaptiveFtManager {
             reconfig: Reconfiguration::new(spares + 1),
             bus,
             stats: AdaptiveStats::default(),
+            telemetry: Registry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry registry: the manager then maintains the
+    /// `ftpatterns.*` counters and journals every architectural reshape
+    /// as a [`TelemetryEvent::PatternSwitch`] (plus the injected DAG
+    /// snapshot as a [`TelemetryEvent::SnapshotSwapped`]).
+    pub fn set_telemetry(&mut self, telemetry: Registry) {
+        self.telemetry = telemetry;
     }
 
     /// The currently bound pattern.
@@ -187,7 +198,7 @@ impl AdaptiveFtManager {
 
     /// Feeds the oracle and, when its verdict warrants it, rebinds the
     /// pattern assumption variable and injects the matching DAG snapshot.
-    fn adapt(&mut self, judgment: Judgment) {
+    fn adapt(&mut self, tick: Tick, judgment: Judgment) {
         let verdict = self.oracle.record(judgment);
         let wanted = match verdict {
             Verdict::Transient => "transient",
@@ -203,8 +214,23 @@ impl AdaptiveFtManager {
                 ActivePattern::Reconfiguration => "D2",
             };
             self.arch.inject(label).expect("snapshots pre-stored");
+            let previous = self.active;
             self.active = new_pattern;
             self.stats.reshapes += 1;
+            self.telemetry.counter("ftpatterns.reshapes").inc();
+            self.telemetry.record(
+                tick,
+                TelemetryEvent::PatternSwitch {
+                    from: previous.to_string(),
+                    to: new_pattern.to_string(),
+                },
+            );
+            self.telemetry.record(
+                tick,
+                TelemetryEvent::SnapshotSwapped {
+                    label: label.to_owned(),
+                },
+            );
             if new_pattern == ActivePattern::Redoing {
                 // Returning to the optimistic scheme: give the oracle a
                 // clean slate for the (possibly replaced) component.
@@ -225,12 +251,18 @@ impl AdaptiveFtManager {
         mut attempt: impl FnMut(usize, u32) -> Result<T, Fault>,
     ) -> Option<T> {
         self.stats.rounds += 1;
+        self.telemetry.counter("ftpatterns.rounds").inc();
         let (result, needed_tolerance) = match self.active {
             ActivePattern::Redoing => {
                 let version = self.reconfig.current_version();
                 let out = self.redoing.execute(|retry| attempt(version, retry));
                 let extra = out.attempts().saturating_sub(1);
                 self.stats.retries += u64::from(extra);
+                if extra > 0 {
+                    self.telemetry
+                        .counter("ftpatterns.retries")
+                        .add(u64::from(extra));
+                }
                 (out.value(), extra > 0)
             }
             ActivePattern::Reconfiguration => match self.reconfig.execute(|v| attempt(v, 0)) {
@@ -240,10 +272,20 @@ impl AdaptiveFtManager {
                     ..
                 } => {
                     self.stats.spares_consumed += spares_consumed as u64;
+                    if spares_consumed > 0 {
+                        self.telemetry
+                            .counter("ftpatterns.spares_consumed")
+                            .add(spares_consumed as u64);
+                    }
                     (Some(value), spares_consumed > 0)
                 }
                 ReconfigOutcome::Exhausted { spares_consumed } => {
                     self.stats.spares_consumed += spares_consumed as u64;
+                    if spares_consumed > 0 {
+                        self.telemetry
+                            .counter("ftpatterns.spares_consumed")
+                            .add(spares_consumed as u64);
+                    }
                     (None, true)
                 }
             },
@@ -257,15 +299,16 @@ impl AdaptiveFtManager {
                 component: "c3".to_owned(),
                 tick,
             });
-            self.adapt(Judgment::Erroneous);
+            self.adapt(tick, Judgment::Erroneous);
         } else {
-            self.adapt(Judgment::Correct);
+            self.adapt(tick, Judgment::Correct);
         }
 
         if result.is_some() {
             self.stats.successes += 1;
         } else {
             self.stats.round_failures += 1;
+            self.telemetry.counter("ftpatterns.round_failures").inc();
         }
         result
     }
@@ -310,7 +353,9 @@ mod tests {
     fn transient_faults_are_absorbed_by_retries_without_reshaping() {
         let mut mgr = AdaptiveFtManager::new(3, 4, 3.0, Bus::new());
         // One isolated transient every 10 rounds: first retry succeeds.
-        run(&mut mgr, 200, |_, tick, retry| tick.0 % 10 == 0 && retry == 0);
+        run(&mut mgr, 200, |_, tick, retry| {
+            tick.0 % 10 == 0 && retry == 0
+        });
         assert_eq!(mgr.active_pattern(), ActivePattern::Redoing);
         let s = mgr.stats();
         assert_eq!(s.successes, 200);

@@ -116,8 +116,7 @@ impl ClashReport {
     /// spares burned on faults that a retry would have absorbed.
     #[must_use]
     pub fn shows_waste(&self) -> bool {
-        self.spares_consumed > 0
-            && matches!(self.environment, Environment::Transient { .. })
+        self.spares_consumed > 0 && matches!(self.environment, Environment::Transient { .. })
     }
 }
 
@@ -174,7 +173,7 @@ pub fn run_scenario(
     // The component oracle: does an attempt on `version` at `tick` fail?
     let mut attempt_fails = move |version: usize, tick: Tick| -> bool {
         match environment {
-            Environment::Transient { permille } => rng.gen_range(0..1000) < permille,
+            Environment::Transient { permille } => rng.gen_range(0u32..1000) < permille,
             Environment::PermanentAt(onset) => version == 0 && tick.0 >= onset,
             Environment::IntermittentAt { onset, period } => {
                 version == 0 && tick.0 >= onset && ((tick.0 - onset) / period).is_multiple_of(2)
@@ -241,12 +240,8 @@ pub fn run_scenario(
             }
         }
         Strategy::Adaptive => {
-            let mut mgr = AdaptiveFtManager::new(
-                config.retry_budget,
-                config.spares,
-                3.0,
-                Bus::new(),
-            );
+            let mut mgr =
+                AdaptiveFtManager::new(config.retry_budget, config.spares, 3.0, Bus::new());
             for t in 1..=config.rounds {
                 let tick = Tick(t);
                 let _ = mgr.execute_round(tick, |version, _retry| {
@@ -264,7 +259,9 @@ pub fn run_scenario(
             report.spares_consumed = s.spares_consumed;
             // With the adaptive manager, a round failure under redoing is
             // a budget exhaustion, i.e. a (bounded) livelock episode.
-            report.livelocks = s.round_failures.min(s.retries / u64::from(config.retry_budget).max(1));
+            report.livelocks = s
+                .round_failures
+                .min(s.retries / u64::from(config.retry_budget).max(1));
         }
     }
 
@@ -370,11 +367,7 @@ mod tests {
         );
         assert!(transient.successes >= 495, "report: {transient}");
 
-        let permanent = run_scenario(
-            Strategy::Adaptive,
-            Environment::PermanentAt(50),
-            config(),
-        );
+        let permanent = run_scenario(Strategy::Adaptive, Environment::PermanentAt(50), config());
         // The oracle flips to D2 after a few bad rounds; the replacement
         // restores service, so failures stay bounded by the flip latency.
         assert!(permanent.failures < 10, "report: {permanent}");
@@ -416,7 +409,10 @@ mod tests {
         // justified: both demand replacement.
         let r = run_scenario(
             Strategy::StaticRedoing,
-            Environment::IntermittentAt { onset: 50, period: 25 },
+            Environment::IntermittentAt {
+                onset: 50,
+                period: 25,
+            },
             config(),
         );
         assert!(r.shows_livelock());
@@ -427,7 +423,10 @@ mod tests {
         // The adaptive manager replaces the component once and recovers.
         let a = run_scenario(
             Strategy::Adaptive,
-            Environment::IntermittentAt { onset: 50, period: 25 },
+            Environment::IntermittentAt {
+                onset: 50,
+                period: 25,
+            },
             config(),
         );
         assert!(a.successes > 450, "report: {a}");

@@ -27,8 +27,10 @@ pub mod watchdog;
 
 pub use adaptive::{ActivePattern, AdaptiveFtManager, AdaptiveStats, FaultNotification};
 pub use checkpoint::{CheckpointOutcome, CheckpointStats, Checkpointer};
-pub use clash::{run_clash_table, run_scenario, ClashReport, Environment, ScenarioConfig, Strategy};
+pub use clash::{
+    run_clash_table, run_scenario, ClashReport, Environment, ScenarioConfig, Strategy,
+};
 pub use patterns::{
     Fault, NVersion, ReconfigOutcome, Reconfiguration, RecoveryBlocks, RedoOutcome, Redoing,
 };
-pub use watchdog::{fig4_scenario, Fig4Row, Fig4Trace, Watchdog};
+pub use watchdog::{fig4_scenario, fig4_scenario_observed, Fig4Row, Fig4Trace, Watchdog};

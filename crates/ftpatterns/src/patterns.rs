@@ -67,9 +67,7 @@ impl<T> RedoOutcome<T> {
     #[must_use]
     pub fn attempts(&self) -> u32 {
         match self {
-            RedoOutcome::Success { attempts, .. } | RedoOutcome::Livelock { attempts } => {
-                *attempts
-            }
+            RedoOutcome::Success { attempts, .. } | RedoOutcome::Livelock { attempts } => *attempts,
         }
     }
 }
@@ -103,10 +101,7 @@ impl Redoing {
 
     /// Runs `attempt` until it succeeds or the budget is exhausted.  The
     /// closure receives the 0-based attempt number.
-    pub fn execute<T>(
-        &self,
-        mut attempt: impl FnMut(u32) -> Result<T, Fault>,
-    ) -> RedoOutcome<T> {
+    pub fn execute<T>(&self, mut attempt: impl FnMut(u32) -> Result<T, Fault>) -> RedoOutcome<T> {
         for i in 0..self.budget {
             if let Ok(value) = attempt(i) {
                 return RedoOutcome::Success {
@@ -471,8 +466,7 @@ mod tests {
 
     #[test]
     fn recovery_blocks_falls_through_to_alternate() {
-        let mut rb: RecoveryBlocks<i32, i32> =
-            RecoveryBlocks::new(|input, out| *out >= *input);
+        let mut rb: RecoveryBlocks<i32, i32> = RecoveryBlocks::new(|input, out| *out >= *input);
         rb.push(|x| x - 1); // primary fails the acceptance test
         rb.push(|x| x + 1); // alternate passes
         assert_eq!(rb.len(), 2);

@@ -7,8 +7,9 @@
 //! until it overcomes a threshold (3.0) and correspondingly the fault is
 //! labeled as 'permanent or intermittent.'"
 
-use afta_alphacount::{AlphaCount, Judgment, Verdict};
+use afta_alphacount::{AlphaCount, Judgment, ObservedAlphaCount, Verdict};
 use afta_sim::Tick;
+use afta_telemetry::{Registry, TelemetryEvent};
 
 /// A deadline watchdog: the watched task must *kick* it at least once per
 /// period; a check past the deadline fires.
@@ -105,14 +106,35 @@ pub struct Fig4Trace {
 /// Panics if `period == 0` (via [`Watchdog::new`]).
 #[must_use]
 pub fn fig4_scenario(rounds: u64, period: u64, fault_onset: Tick) -> Fig4Trace {
+    fig4_scenario_observed(rounds, period, fault_onset, &Registry::disabled())
+}
+
+/// [`fig4_scenario`] with telemetry: same trace, plus the
+/// `watchdog.checks` / `watchdog.firings` counters, a
+/// [`TelemetryEvent::HeartbeatMiss`] journal record per firing, and the
+/// alpha-count's own `alphacount.*` metrics and verdict-flip journal
+/// (via [`ObservedAlphaCount`]).
+#[must_use]
+pub fn fig4_scenario_observed(
+    rounds: u64,
+    period: u64,
+    fault_onset: Tick,
+    telemetry: &Registry,
+) -> Fig4Trace {
     let mut wd = Watchdog::new(period, Tick::ZERO);
-    let mut ac = AlphaCount::with_threshold(3.0);
+    let mut ac = ObservedAlphaCount::new(
+        AlphaCount::with_threshold(3.0),
+        "watched-task",
+        telemetry.clone(),
+    );
+    let checks = telemetry.counter("watchdog.checks");
+    let firings = telemetry.counter("watchdog.firings");
     let mut rows = Vec::with_capacity(rounds as usize);
     let mut labeled_at = None;
 
     for round in 1..=rounds {
         let check_at = Tick(round * period + 1); // just past each deadline
-        // The task kicks at every tick of the period while healthy.
+                                                 // The task kicks at every tick of the period while healthy.
         let period_start = Tick((round - 1) * period);
         let mut alive = false;
         for t in period_start.0..check_at.0 {
@@ -123,12 +145,20 @@ pub fn fig4_scenario(rounds: u64, period: u64, fault_onset: Tick) -> Fig4Trace {
             }
         }
         let fired = wd.check(check_at);
+        checks.inc();
         let judgment = if fired {
+            firings.inc();
+            telemetry.record(
+                check_at,
+                TelemetryEvent::HeartbeatMiss {
+                    component: "watched-task".to_owned(),
+                },
+            );
             Judgment::Erroneous
         } else {
             Judgment::Correct
         };
-        let verdict = ac.record(judgment);
+        let verdict = ac.record(check_at, judgment);
         if verdict == Verdict::PermanentOrIntermittent && labeled_at.is_none() {
             labeled_at = Some(round);
         }
@@ -137,7 +167,7 @@ pub fn fig4_scenario(rounds: u64, period: u64, fault_onset: Tick) -> Fig4Trace {
             tick: check_at,
             task_alive: alive,
             fired,
-            alpha: ac.alpha(),
+            alpha: ac.inner().alpha(),
             verdict,
         });
     }
@@ -214,6 +244,31 @@ mod tests {
         assert_eq!(trace.rows.len(), 7);
         assert_eq!(trace.rows[0].round, 1);
         assert_eq!(trace.rows[6].round, 7);
+    }
+
+    #[test]
+    fn fig4_observed_matches_plain_and_reports() {
+        let registry = Registry::new();
+        let plain = fig4_scenario(15, 10, Tick(45));
+        let observed = fig4_scenario_observed(15, 10, Tick(45), &registry);
+        assert_eq!(plain, observed);
+
+        let fired = plain.rows.iter().filter(|r| r.fired).count() as u64;
+        let report = registry.report();
+        assert_eq!(report.counter("watchdog.checks"), 15);
+        assert_eq!(report.counter("watchdog.firings"), fired);
+        assert!(fired > 0);
+        assert_eq!(
+            report.journal_of_kind("heartbeat-miss").count() as u64,
+            fired
+        );
+        // The alpha-count flip to permanent-or-intermittent is journaled
+        // at the labeled round's tick.
+        let flips: Vec<_> = report.journal_of_kind("alpha-verdict-flip").collect();
+        assert_eq!(flips.len(), 1);
+        let labeled = plain.labeled_permanent_at.unwrap();
+        assert_eq!(flips[0].tick, Tick(labeled * 10 + 1));
+        assert_eq!(report.counter("alphacount.rounds"), 15);
     }
 
     #[test]

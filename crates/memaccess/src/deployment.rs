@@ -118,11 +118,10 @@ impl DeploymentManager {
                 }
             });
         }
-        let (worst_behavior, worst_severity) = worst.ok_or_else(|| {
-            ConfigureError::UnknownModule {
+        let (worst_behavior, worst_severity) =
+            worst.ok_or_else(|| ConfigureError::UnknownModule {
                 lot_key: format!("{machine_name}/<no banks>"),
-            }
-        })?;
+            })?;
 
         let before = self.current_method();
         let method = *self

@@ -112,8 +112,7 @@ fn check_bits(frame: u16) -> u8 {
 pub fn encode(data: u8) -> u8 {
     let frame = frame_of(data);
     let check = check_bits(frame);
-    let overall =
-        (u32::from(data).count_ones() + u32::from(check).count_ones()) as u8 & 1;
+    let overall = (u32::from(data).count_ones() + u32::from(check).count_ones()) as u8 & 1;
     check | (overall << 4)
 }
 

@@ -239,8 +239,14 @@ mod tests {
     #[test]
     fn inserts_count() {
         let mut kb = FailureKnowledgeBase::new();
-        kb.insert_lot("a/b/c", FailureRecord::new(BehaviorClass::F1, Severity::Nominal));
-        kb.insert_model("a/b", FailureRecord::new(BehaviorClass::F2, Severity::Benign));
+        kb.insert_lot(
+            "a/b/c",
+            FailureRecord::new(BehaviorClass::F1, Severity::Nominal),
+        );
+        kb.insert_model(
+            "a/b",
+            FailureRecord::new(BehaviorClass::F2, Severity::Benign),
+        );
         kb.insert_technology(
             MemoryTechnology::Cmos,
             FailureRecord::new(BehaviorClass::F0, Severity::Nominal),

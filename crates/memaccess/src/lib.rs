@@ -38,10 +38,8 @@ pub mod methods;
 pub mod select;
 pub mod workload;
 
-pub use knowledge::{FailureKnowledgeBase, FailureRecord, MatchLevel};
-pub use methods::{
-    AccessError, AccessMethod, M0Raw, M1Ecc, M2EccRemap, MethodStats, MirroredEcc,
-};
 pub use deployment::{DeploymentManager, DeploymentRecord};
+pub use knowledge::{FailureKnowledgeBase, FailureRecord, MatchLevel};
+pub use methods::{AccessError, AccessMethod, M0Raw, M1Ecc, M2EccRemap, MethodStats, MirroredEcc};
 pub use select::{configure, method_assumption_var, ConfigReport, ConfigureError, MethodKind};
 pub use workload::{run_workload, WorkloadConfig, WorkloadReport};

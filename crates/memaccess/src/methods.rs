@@ -387,9 +387,7 @@ impl AccessMethod for M2EccRemap {
                     self.store_slot(logical, b)?;
                     *out = b;
                 }
-                Decoded::Uncorrectable => {
-                    return Err(AccessError::Uncorrectable { addr: logical })
-                }
+                Decoded::Uncorrectable => return Err(AccessError::Uncorrectable { addr: logical }),
             }
             self.stats.reads += 1;
         }
@@ -408,9 +406,7 @@ impl AccessMethod for M2EccRemap {
                     self.stats.corrected += 1;
                     self.store_slot(logical, b)?;
                 }
-                Decoded::Uncorrectable => {
-                    return Err(AccessError::Uncorrectable { addr: logical })
-                }
+                Decoded::Uncorrectable => return Err(AccessError::Uncorrectable { addr: logical }),
             }
         }
         self.stats.scrub_passes += 1;
@@ -523,9 +519,7 @@ impl MirroredEcc {
                     return Ok(None);
                 }
                 Err(MemoryError::DeviceHalted) => return Ok(None),
-                Err(e @ MemoryError::OutOfBounds { .. }) => {
-                    return Err(AccessError::Device(e))
-                }
+                Err(e @ MemoryError::OutOfBounds { .. }) => return Err(AccessError::Device(e)),
             }
         }
     }
@@ -557,9 +551,7 @@ impl MirroredEcc {
                     }
                 }
                 Err(MemoryError::DeviceHalted) => return Ok(false),
-                Err(e @ MemoryError::OutOfBounds { .. }) => {
-                    return Err(AccessError::Device(e))
-                }
+                Err(e @ MemoryError::OutOfBounds { .. }) => return Err(AccessError::Device(e)),
             }
         }
     }
@@ -578,8 +570,7 @@ impl MirroredEcc {
         stats: &mut MethodStats,
     ) -> Result<(), AccessError> {
         for slot in 0..slots {
-            let decoded =
-                Self::try_read_module(src, src_dirty, slot, sefi_recovery, stats)?;
+            let decoded = Self::try_read_module(src, src_dirty, slot, sefi_recovery, stats)?;
             if let Some(v) = decoded.and_then(Decoded::value) {
                 let _ = Self::write_module(dst, dst_dirty, slot, v, sefi_recovery, stats)?;
             }
@@ -626,13 +617,8 @@ impl MirroredEcc {
 
     fn load_slot(&mut self, slot: usize) -> Result<u8, AccessError> {
         let sefi = self.sefi_recovery;
-        let primary = Self::try_read_module(
-            &mut self.a,
-            &mut self.dirty_a,
-            slot,
-            sefi,
-            &mut self.stats,
-        )?;
+        let primary =
+            Self::try_read_module(&mut self.a, &mut self.dirty_a, slot, sefi, &mut self.stats)?;
         let value = match primary {
             Some(Decoded::Clean(v)) if !self.dirty_a => Some(v),
             Some(Decoded::Corrected(v)) if !self.dirty_a => {

@@ -19,9 +19,7 @@
 use std::fmt;
 
 use afta_core::{Alternative, AssumptionVar, BindingError, BindingTime, MinCostBinder};
-use afta_memsim::{
-    BehaviorClass, FaultRates, Severity, SimMemory, SimMemoryConfig, Spd,
-};
+use afta_memsim::{BehaviorClass, FaultRates, Severity, SimMemory, SimMemoryConfig, Spd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -86,10 +84,10 @@ impl MethodKind {
     pub fn cost(self) -> f64 {
         let (time_factor, space_factor) = match self {
             MethodKind::M0 => (1.0, 1.0),
-            MethodKind::M1 => (2.2, 2.0),   // 2 physical accesses + decode
-            MethodKind::M2 => (3.5, 2.3),   // + verify read-back + spares
-            MethodKind::M3 => (4.5, 4.0),   // 2 modules, ECC on both
-            MethodKind::M4 => (5.5, 4.0),   // + scrubbing bandwidth
+            MethodKind::M1 => (2.2, 2.0), // 2 physical accesses + decode
+            MethodKind::M2 => (3.5, 2.3), // + verify read-back + spares
+            MethodKind::M3 => (4.5, 4.0), // 2 modules, ECC on both
+            MethodKind::M4 => (5.5, 4.0), // + scrubbing bandwidth
         };
         time_factor + space_factor
     }
@@ -98,7 +96,12 @@ impl MethodKind {
     /// `module_size` physical bytes each, with fault processes matching
     /// `rates`.
     #[must_use]
-    pub fn instantiate(self, module_size: usize, rates: FaultRates, seed: u64) -> Box<dyn AccessMethod> {
+    pub fn instantiate(
+        self,
+        module_size: usize,
+        rates: FaultRates,
+        seed: u64,
+    ) -> Box<dyn AccessMethod> {
         let mk = |salt: u64| {
             let cfg = SimMemoryConfig {
                 rates,
@@ -208,15 +211,12 @@ pub fn method_assumption_var() -> AssumptionVar<MethodKind> {
 ///
 /// Returns [`ConfigureError::UnknownModule`] when the knowledge base has
 /// no record at any granularity for the module.
-pub fn configure(
-    spd: &Spd,
-    kb: &FailureKnowledgeBase,
-) -> Result<ConfigReport, ConfigureError> {
-    let (record, match_level) =
-        kb.lookup(spd)
-            .ok_or_else(|| ConfigureError::UnknownModule {
-                lot_key: spd.lot_key(),
-            })?;
+pub fn configure(spd: &Spd, kb: &FailureKnowledgeBase) -> Result<ConfigReport, ConfigureError> {
+    let (record, match_level) = kb
+        .lookup(spd)
+        .ok_or_else(|| ConfigureError::UnknownModule {
+            lot_key: spd.lot_key(),
+        })?;
 
     let mut var = method_assumption_var();
     let behavior_label = record.behavior.label();
@@ -286,7 +286,12 @@ mod tests {
             ("ANY", "NEW", MemoryTechnology::Cmos, MethodKind::M1),    // f1 default
             ("CE00", "CMOS-AG4", MemoryTechnology::Cmos, MethodKind::M2), // f2
             ("ANY", "NEW", MemoryTechnology::Sdram, MethodKind::M3),   // f3 default
-            ("CE00", "K4H510838B", MemoryTechnology::Sdram, MethodKind::M4), // f4
+            (
+                "CE00",
+                "K4H510838B",
+                MemoryTechnology::Sdram,
+                MethodKind::M4,
+            ), // f4
         ];
         for (vendor, model, tech, expected) in cases {
             let report = configure(&spd(vendor, model, "L9", tech), &kb).unwrap();

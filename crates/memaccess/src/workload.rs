@@ -85,7 +85,7 @@ pub fn run_workload(method: &mut dyn AccessMethod, config: &WorkloadConfig) -> W
 
     for _ in 0..config.operations {
         let slot = rng.gen_range(0..slots);
-        if rng.gen_range(0..100) < config.write_percent {
+        if rng.gen_range(0u32..100) < config.write_percent {
             let byte: u8 = rng.gen();
             report.writes += 1;
             if method.store(slot, &[byte]).is_ok() {

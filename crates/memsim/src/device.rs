@@ -268,7 +268,7 @@ impl SimMemory {
     fn maybe_fault(&mut self, addr: usize) {
         let chip = addr / self.chip_size;
         if self.rates.transient_flip > 0.0 && self.rng.gen_bool(self.rates.transient_flip) {
-            let bit = self.rng.gen_range(0..8);
+            let bit: u32 = self.rng.gen_range(0..8);
             self.data[addr] ^= 1 << bit;
             self.counters.transient_flips += 1;
         }
@@ -285,7 +285,7 @@ impl SimMemory {
         }
         if self.rates.seu > 0.0 && self.rng.gen_bool(self.rates.seu) {
             let victim = chip * self.chip_size + self.rng.gen_range(0..self.chip_size);
-            let bit = self.rng.gen_range(0..8);
+            let bit: u32 = self.rng.gen_range(0..8);
             self.data[victim] ^= 1 << bit;
             self.counters.seus += 1;
         }
@@ -310,7 +310,8 @@ impl SimMemory {
     }
 
     fn effective_byte(&self, addr: usize) -> u8 {
-        (self.data[addr] & !self.stuck_mask[addr]) | (self.stuck_value[addr] & self.stuck_mask[addr])
+        (self.data[addr] & !self.stuck_mask[addr])
+            | (self.stuck_value[addr] & self.stuck_mask[addr])
     }
 
     // ------------------------------------------------------------------

@@ -15,9 +15,7 @@ use std::fmt;
 ///   behaviors, including SEL."
 /// * `f4`: "Memory is affected by transient faults and SDRAM-like failure
 ///   behaviors, including SEL and SEU."
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum BehaviorClass {
     /// `f0` — stable, failure-free memory.
     F0,

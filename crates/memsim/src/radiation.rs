@@ -79,7 +79,10 @@ impl RadiationEnvironment {
     pub fn solar_flare_mission(base: FaultRates) -> Self {
         Self::new(
             base,
-            vec![MissionPhase::new(99_500, 1.0), MissionPhase::new(500, 200.0)],
+            vec![
+                MissionPhase::new(99_500, 1.0),
+                MissionPhase::new(500, 200.0),
+            ],
         )
     }
 
@@ -161,7 +164,10 @@ mod tests {
     fn flare_mission_spikes_device_fault_counters() {
         let env = RadiationEnvironment::new(
             base(),
-            vec![MissionPhase::new(1_000, 1.0), MissionPhase::new(1_000, 500.0)],
+            vec![
+                MissionPhase::new(1_000, 1.0),
+                MissionPhase::new(1_000, 500.0),
+            ],
         );
         let cfg = SimMemoryConfig {
             rates: env.rates_at(Tick(0)),

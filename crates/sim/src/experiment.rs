@@ -108,9 +108,7 @@ impl Experiment {
                 return RunOutcome::StoppedEarly { steps: i + 1 };
             }
         }
-        RunOutcome::BudgetExhausted {
-            steps: self.budget,
-        }
+        RunOutcome::BudgetExhausted { steps: self.budget }
     }
 }
 

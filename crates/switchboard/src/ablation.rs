@@ -28,7 +28,11 @@ pub struct AblationPoint {
     pub adaptations: u64,
 }
 
-fn run_with_policy(base: &ExperimentConfig, policy: RedundancyPolicy, parameter: u64) -> AblationPoint {
+fn run_with_policy(
+    base: &ExperimentConfig,
+    policy: RedundancyPolicy,
+    parameter: u64,
+) -> AblationPoint {
     let config = ExperimentConfig {
         steps: base.steps,
         seed: base.seed,

@@ -51,7 +51,10 @@ impl RedundancyPolicy {
         assert!(self.min % 2 == 1, "min must be odd for clean majorities");
         assert!(self.max >= self.min, "max must be >= min");
         assert!(self.step >= 1, "step must be positive");
-        assert!(self.step.is_multiple_of(2), "step must be even to preserve parity");
+        assert!(
+            self.step.is_multiple_of(2),
+            "step must be even to preserve parity"
+        );
         assert!(self.lower_after >= 1, "lower_after must be positive");
     }
 }

@@ -10,7 +10,8 @@ use afta_eventbus::Bus;
 use afta_faultinject::EnvironmentProfile;
 use afta_sim::stats::{Histogram, TimeWeighted};
 use afta_sim::{SeedFactory, Tick};
-use afta_voting::{dtof, majority_vote, VoteOutcome};
+use afta_telemetry::{Registry, TelemetryEvent};
+use afta_voting::{dtof, majority_vote, RoundReport, VoteOutcome, VoteTelemetry};
 use rand::Rng;
 
 use crate::controller::{Decision, RedundancyController, RedundancyPolicy};
@@ -121,11 +122,55 @@ impl ExperimentReport {
 /// Panics when the policy is invalid.
 #[must_use]
 pub fn run_experiment(config: &ExperimentConfig, bus: Option<&Bus>) -> ExperimentReport {
+    run_experiment_observed(config, bus, &Registry::disabled())
+}
+
+/// Bounds of the `switchboard.time_at_r` histogram for a policy: the
+/// redundancy degrees the control law can visit (`min`, `min + step`, …,
+/// `max`).
+#[must_use]
+pub fn redundancy_bounds(policy: &RedundancyPolicy) -> Vec<u64> {
+    (policy.min..=policy.max)
+        .step_by(policy.step.max(1))
+        .map(|r| r as u64)
+        .collect()
+}
+
+/// [`run_experiment`] with telemetry: identical simulation (same RNG
+/// stream, same report), plus
+///
+/// * `voting.rounds` / `voting.failures` / the `voting.dtof` histogram
+///   (via [`VoteTelemetry`], with dip and failed-round journal records);
+/// * `switchboard.faults_injected` / `switchboard.raises` /
+///   `switchboard.lowers` counters and the `switchboard.redundancy`
+///   gauge;
+/// * [`TelemetryEvent::RedundancyRaised`] / [`TelemetryEvent::RedundancyLowered`]
+///   journal records for every adaptation;
+/// * the `switchboard.time_at_r` histogram, loaded from the exact dwell
+///   accounting so its per-degree buckets equal
+///   [`ExperimentReport::histogram`]'s counts (Fig. 7's numbers).
+///
+/// # Panics
+///
+/// Panics when the policy is invalid.
+#[must_use]
+pub fn run_experiment_observed(
+    config: &ExperimentConfig,
+    bus: Option<&Bus>,
+    telemetry: &Registry,
+) -> ExperimentReport {
     let seeds = SeedFactory::new(config.seed);
     let mut rng = seeds.stream("replica-faults");
     let mut controller = RedundancyController::new(config.policy);
     let mut n = config.policy.min;
     let mut dwell = TimeWeighted::new(Tick::ZERO, n as u64);
+
+    let vote_telemetry = VoteTelemetry::new(telemetry);
+    let faults_counter = telemetry.counter("switchboard.faults_injected");
+    let raises_counter = telemetry.counter("switchboard.raises");
+    let lowers_counter = telemetry.counter("switchboard.lowers");
+    let redundancy_gauge = telemetry.gauge("switchboard.redundancy");
+    redundancy_gauge.set(n as i64);
 
     let mut voting_failures = 0u64;
     let mut faults_injected = 0u64;
@@ -152,6 +197,9 @@ pub fn run_experiment(config: &ExperimentConfig, bus: Option<&Bus>) -> Experimen
             }
         }
         faults_injected += faults as u64;
+        if faults > 0 {
+            faults_counter.add(faults as u64);
+        }
 
         let outcome = majority_vote(&votes);
         let round_dtof = match &outcome {
@@ -161,6 +209,14 @@ pub fn run_experiment(config: &ExperimentConfig, bus: Option<&Bus>) -> Experimen
                 dtof(n, None)
             }
         };
+        vote_telemetry.observe(
+            tick,
+            &RoundReport {
+                n,
+                outcome,
+                dtof: round_dtof,
+            },
+        );
 
         if let Some(bus) = bus {
             bus.publish(DisturbanceReading {
@@ -176,6 +232,18 @@ pub fn run_experiment(config: &ExperimentConfig, bus: Option<&Bus>) -> Experimen
         if let Some(new_n) = decision.new_count() {
             n = new_n;
             dwell.transition(tick, n as u64);
+            redundancy_gauge.set(n as i64);
+            match decision {
+                Decision::Raise { from, to } => {
+                    raises_counter.inc();
+                    telemetry.record(tick, TelemetryEvent::RedundancyRaised { from, to });
+                }
+                Decision::Lower { from, to } => {
+                    lowers_counter.inc();
+                    telemetry.record(tick, TelemetryEvent::RedundancyLowered { from, to });
+                }
+                Decision::Hold => {}
+            }
             if let Some(bus) = bus {
                 bus.publish(RedundancyChange { tick, decision });
             }
@@ -193,6 +261,16 @@ pub fn run_experiment(config: &ExperimentConfig, bus: Option<&Bus>) -> Experimen
     }
 
     let histogram = dwell.finish(Tick(config.steps));
+
+    // Mirror the exact dwell accounting into the registry so a
+    // TelemetryReport reproduces Fig. 7's per-degree numbers verbatim.
+    if telemetry.is_enabled() {
+        let bounds = redundancy_bounds(&config.policy);
+        let time_at_r = telemetry.histogram("switchboard.time_at_r", &bounds);
+        for (degree, ticks) in histogram.iter() {
+            time_at_r.record_n(degree, ticks);
+        }
+    }
 
     ExperimentReport {
         steps: config.steps,
@@ -252,7 +330,9 @@ mod tests {
         let report = run_experiment(&cfg, None);
         assert!(report.raises > 0, "storm must trigger raises: {report:?}");
         assert!(report.lowers > 0, "calm must trigger lowers");
-        assert!(report.histogram.count(5) + report.histogram.count(7) + report.histogram.count(9) > 0);
+        assert!(
+            report.histogram.count(5) + report.histogram.count(7) + report.histogram.count(9) > 0
+        );
         // The final calm stretch returns the system to the minimum.
         let last = report.trace.last().unwrap();
         assert_eq!(last.n, 3, "trace: ...{last:?}");
@@ -288,7 +368,11 @@ mod tests {
         let readings = bus.subscribe::<DisturbanceReading>();
         let changes = bus.subscribe::<RedundancyChange>();
         let profile = EnvironmentProfile::new(
-            vec![Phase::new(100, 0.0), Phase::new(100, 0.4), Phase::new(800, 0.0)],
+            vec![
+                Phase::new(100, 0.0),
+                Phase::new(100, 0.4),
+                Phase::new(800, 0.0),
+            ],
             false,
         );
         let cfg = quick_config(1_000, profile);
@@ -313,6 +397,106 @@ mod tests {
         let report = run_experiment(&cfg, None);
         assert_eq!(report.trace.len(), 10);
         assert_eq!(report.trace[0].tick, Tick(100));
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_mirrors_report() {
+        let profile = EnvironmentProfile::new(
+            vec![
+                Phase::new(500, 0.00001),
+                Phase::new(200, 0.2),
+                Phase::new(2_000, 0.00001),
+            ],
+            false,
+        );
+        let cfg = quick_config(2_700, profile);
+
+        let plain = run_experiment(&cfg, None);
+        let registry = Registry::new();
+        let observed = run_experiment_observed(&cfg, None, &registry);
+        // Telemetry must not perturb the simulation.
+        assert_eq!(plain, observed);
+
+        let report = registry.report();
+        assert_eq!(report.counter("voting.rounds"), cfg.steps);
+        assert_eq!(report.counter("voting.failures"), observed.voting_failures);
+        assert_eq!(
+            report.counter("switchboard.faults_injected"),
+            observed.faults_injected
+        );
+        assert_eq!(report.counter("switchboard.raises"), observed.raises);
+        assert_eq!(report.counter("switchboard.lowers"), observed.lowers);
+        assert_eq!(report.gauges["switchboard.redundancy"], 3);
+
+        // The time-at-r histogram equals the report's dwell accounting,
+        // bucket for bucket.
+        let time_at_r = report.histogram("switchboard.time_at_r").unwrap();
+        for degree in redundancy_bounds(&cfg.policy) {
+            assert_eq!(
+                time_at_r.bucket_count(degree),
+                Some(observed.histogram.count(degree)),
+                "degree {degree}"
+            );
+        }
+        assert_eq!(time_at_r.count, observed.histogram.total());
+
+        // Every adaptation is journaled.
+        let raised = report.journal_of_kind("redundancy-raised").count() as u64;
+        let lowered = report.journal_of_kind("redundancy-lowered").count() as u64;
+        assert_eq!(raised, observed.raises);
+        assert_eq!(lowered, observed.lowers);
+    }
+
+    #[test]
+    fn flight_recorder_is_deterministic_for_a_seeded_run() {
+        // Two observed runs with the same seed must produce
+        // byte-identical flight-recorder journals (same events, same
+        // order, same ticks) — the recorder is a replayable account of
+        // the deterministic §3.3 simulation.
+        let journal_of = |seed: u64| {
+            let profile = EnvironmentProfile::new(
+                vec![
+                    Phase::new(400, 0.0001),
+                    Phase::new(150, 0.25),
+                    Phase::new(1_500, 0.0001),
+                ],
+                false,
+            );
+            let mut cfg = quick_config(2_050, profile);
+            cfg.seed = seed;
+            let registry = Registry::new();
+            let _ = run_experiment_observed(&cfg, None, &registry);
+            registry.journal_jsonl()
+        };
+
+        let first = journal_of(99);
+        let second = journal_of(99);
+        assert!(!first.is_empty());
+        assert_eq!(first, second);
+
+        // Sequence numbers are gap-free and ticks monotone — the journal
+        // replays in causal order.
+        let records = afta_telemetry::FlightRecorder::from_jsonl(&first).unwrap();
+        for (i, pair) in records.windows(2).enumerate() {
+            assert_eq!(pair[1].seq, pair[0].seq + 1, "gap after record {i}");
+            assert!(pair[1].tick >= pair[0].tick, "tick regression at {i}");
+        }
+
+        // A different seed tells a different story.
+        assert_ne!(journal_of(100), first);
+    }
+
+    #[test]
+    fn redundancy_bounds_follow_policy() {
+        assert_eq!(
+            redundancy_bounds(&RedundancyPolicy::default()),
+            vec![3, 5, 7, 9]
+        );
+        let wide = RedundancyPolicy {
+            max: 13,
+            ..RedundancyPolicy::default()
+        };
+        assert_eq!(redundancy_bounds(&wide), vec![3, 5, 7, 9, 11, 13]);
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod experiment;
 pub use ablation::{ablation_base, sweep_lower_after, sweep_raise_threshold, AblationPoint};
 pub use controller::{Decision, RedundancyController, RedundancyPolicy};
 pub use experiment::{
-    run_experiment, DisturbanceReading, ExperimentConfig, ExperimentReport, RedundancyChange,
-    TracePoint,
+    redundancy_bounds, run_experiment, run_experiment_observed, DisturbanceReading,
+    ExperimentConfig, ExperimentReport, RedundancyChange, TracePoint,
 };

@@ -1,0 +1,350 @@
+//! The flight recorder: a bounded ring journal of typed, timestamped
+//! telemetry events, serialisable to JSON Lines.
+//!
+//! The recorder is the "black box" of an AFTA system: when an assumption
+//! clash or dimensioning failure is being diagnosed after the fact, the
+//! journal holds the last `capacity` noteworthy events in exact order.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use afta_sim::Tick;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A typed telemetry event.  Variants cover the noteworthy moments of
+/// every AFTA layer; [`TelemetryEvent::Note`] is the free-form escape
+/// hatch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// A fault was injected into the system under test.
+    FaultInjected {
+        /// Fault class name (`transient` / `intermittent` / `permanent`).
+        class: String,
+    },
+    /// An alpha-count filter's verdict flipped.
+    AlphaVerdictFlip {
+        /// The monitored component.
+        component: String,
+        /// The alpha value at the flip.
+        alpha: f64,
+        /// The new verdict, rendered.
+        verdict: String,
+    },
+    /// A voting round's distance-to-failure dipped to a critical level.
+    DtofDip {
+        /// Replicas in the round.
+        n: usize,
+        /// The round's dtof.
+        dtof: u32,
+    },
+    /// The redundancy controller raised the replica count.
+    RedundancyRaised {
+        /// Replica count before.
+        from: usize,
+        /// Replica count after.
+        to: usize,
+    },
+    /// The redundancy controller lowered the replica count.
+    RedundancyLowered {
+        /// Replica count before.
+        from: usize,
+        /// Replica count after.
+        to: usize,
+    },
+    /// A reflective-DAG snapshot was injected (architecture reshaped).
+    SnapshotSwapped {
+        /// The snapshot label (e.g. `D1`, `D2`).
+        label: String,
+    },
+    /// An assumption clash was detected by a monitor.
+    AssumptionClash {
+        /// The violated assumption's name.
+        assumption: String,
+        /// The clash disposition, rendered.
+        disposition: String,
+    },
+    /// A voting round completed.
+    VoteRound {
+        /// Replicas in the round.
+        n: usize,
+        /// Votes differing from the majority; `None` when no majority.
+        dissent: Option<usize>,
+        /// Whether the round failed to find a majority.
+        failed: bool,
+    },
+    /// The adaptive manager switched fault-tolerance patterns.
+    PatternSwitch {
+        /// The pattern left behind, rendered.
+        from: String,
+        /// The pattern now bound, rendered.
+        to: String,
+    },
+    /// A watchdog deadline passed without a heartbeat.
+    HeartbeatMiss {
+        /// The watched component.
+        component: String,
+    },
+    /// Free-form annotation.
+    Note {
+        /// The annotation text.
+        text: String,
+    },
+}
+
+impl TelemetryEvent {
+    /// A short stable kind label (used in the human-readable report).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::FaultInjected { .. } => "fault-injected",
+            TelemetryEvent::AlphaVerdictFlip { .. } => "alpha-verdict-flip",
+            TelemetryEvent::DtofDip { .. } => "dtof-dip",
+            TelemetryEvent::RedundancyRaised { .. } => "redundancy-raised",
+            TelemetryEvent::RedundancyLowered { .. } => "redundancy-lowered",
+            TelemetryEvent::SnapshotSwapped { .. } => "snapshot-swapped",
+            TelemetryEvent::AssumptionClash { .. } => "assumption-clash",
+            TelemetryEvent::VoteRound { .. } => "vote-round",
+            TelemetryEvent::PatternSwitch { .. } => "pattern-switch",
+            TelemetryEvent::HeartbeatMiss { .. } => "heartbeat-miss",
+            TelemetryEvent::Note { .. } => "note",
+        }
+    }
+}
+
+/// One journal entry: a sequence number (total order), the virtual time
+/// of the event, and the event itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryRecord {
+    /// Monotone sequence number, 1-based, gap-free across the journal's
+    /// lifetime (evicted records keep their numbers).
+    pub seq: u64,
+    /// Virtual time of the event.
+    pub tick: Tick,
+    /// The event.
+    pub event: TelemetryEvent,
+}
+
+struct Ring {
+    buf: VecDeque<TelemetryRecord>,
+    next_seq: u64,
+}
+
+/// A bounded ring journal.  Appends are O(1); when full, the oldest
+/// record is evicted and counted in [`FlightRecorder::dropped`].
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        Self {
+            ring: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(capacity),
+                next_seq: 1,
+            }),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an event at `tick`, evicting the oldest record when full.
+    pub fn record(&self, tick: Tick, event: TelemetryEvent) {
+        let mut ring = self.ring.lock();
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.buf.push_back(TelemetryRecord { seq, tick, event });
+    }
+
+    /// Records currently retained, oldest first.
+    #[must_use]
+    pub fn records(&self) -> Vec<TelemetryRecord> {
+        self.ring.lock().buf.iter().cloned().collect()
+    }
+
+    /// Number of retained records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.lock().buf.len()
+    }
+
+    /// Whether the journal is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Serialises the retained records as JSON Lines, one record per
+    /// line, oldest first.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in self.ring.lock().buf.iter() {
+            out.push_str(&serde_json::to_string(record).expect("record serialises"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL journal back into records (the inverse of
+    /// [`FlightRecorder::to_jsonl`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for the first malformed line.
+    pub fn from_jsonl(text: &str) -> Result<Vec<TelemetryRecord>, serde_json::Error> {
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note(text: &str) -> TelemetryEvent {
+        TelemetryEvent::Note { text: text.into() }
+    }
+
+    #[test]
+    fn records_keep_order_and_sequence() {
+        let rec = FlightRecorder::new(8);
+        rec.record(Tick(1), note("a"));
+        rec.record(Tick(2), note("b"));
+        let records = rec.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 1);
+        assert_eq!(records[1].seq, 2);
+        assert_eq!(records[0].tick, Tick(1));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let rec = FlightRecorder::new(3);
+        for i in 1..=5 {
+            rec.record(Tick(i), note(&format!("e{i}")));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+        let records = rec.records();
+        // Oldest two evicted; sequence numbers are preserved.
+        assert_eq!(records[0].seq, 3);
+        assert_eq!(records[2].seq, 5);
+        assert_eq!(records[2].event, note("e5"));
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_every_variant() {
+        let rec = FlightRecorder::new(32);
+        let events = vec![
+            TelemetryEvent::FaultInjected {
+                class: "transient".into(),
+            },
+            TelemetryEvent::AlphaVerdictFlip {
+                component: "c3".into(),
+                alpha: 3.25,
+                verdict: "permanent or intermittent".into(),
+            },
+            TelemetryEvent::DtofDip { n: 5, dtof: 1 },
+            TelemetryEvent::RedundancyRaised { from: 3, to: 5 },
+            TelemetryEvent::RedundancyLowered { from: 5, to: 3 },
+            TelemetryEvent::SnapshotSwapped { label: "D2".into() },
+            TelemetryEvent::AssumptionClash {
+                assumption: "temp".into(),
+                disposition: "unhandled".into(),
+            },
+            TelemetryEvent::VoteRound {
+                n: 7,
+                dissent: Some(2),
+                failed: false,
+            },
+            TelemetryEvent::VoteRound {
+                n: 3,
+                dissent: None,
+                failed: true,
+            },
+            TelemetryEvent::PatternSwitch {
+                from: "D1".into(),
+                to: "D2".into(),
+            },
+            TelemetryEvent::HeartbeatMiss {
+                component: "task".into(),
+            },
+            TelemetryEvent::Note {
+                text: "hello\n\"world\"".into(),
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            rec.record(Tick(i as u64), e.clone());
+        }
+        let jsonl = rec.to_jsonl();
+        assert_eq!(jsonl.lines().count(), events.len());
+        let back = FlightRecorder::from_jsonl(&jsonl).unwrap();
+        assert_eq!(back, rec.records());
+    }
+
+    #[test]
+    fn kind_labels_are_distinct() {
+        let kinds = [
+            TelemetryEvent::FaultInjected {
+                class: String::new(),
+            }
+            .kind(),
+            TelemetryEvent::DtofDip { n: 0, dtof: 0 }.kind(),
+            TelemetryEvent::Note {
+                text: String::new(),
+            }
+            .kind(),
+        ];
+        assert_eq!(
+            kinds
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            kinds.len()
+        );
+    }
+
+    #[test]
+    fn malformed_jsonl_is_an_error() {
+        assert!(FlightRecorder::from_jsonl("{not json}").is_err());
+        assert!(FlightRecorder::from_jsonl("").unwrap().is_empty());
+    }
+}

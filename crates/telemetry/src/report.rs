@@ -1,0 +1,227 @@
+//! The serialisable snapshot of a registry: counters, gauges, histogram
+//! buckets, and the retained journal, with a human-readable `Display`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::recorder::TelemetryRecord;
+
+/// An immutable snapshot of one fixed-bucket histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Ascending inclusive upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; one longer than `bounds` (the last
+    /// entry is the overflow bucket).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// The count in the bucket whose upper bound is exactly `bound`, or
+    /// `None` when no such bucket exists.  Useful when buckets encode
+    /// discrete levels (e.g. redundancy degrees 3/5/7/9).
+    #[must_use]
+    pub fn bucket_count(&self, bound: u64) -> Option<u64> {
+        let idx = self.bounds.iter().position(|&b| b == bound)?;
+        self.counts.get(idx).copied()
+    }
+
+    /// The overflow bucket's count (observations above the last bound).
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.counts.last().copied().unwrap_or(0)
+    }
+
+    /// Mean observed value, when any.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// Everything a registry knows, frozen: sorted metric maps plus the
+/// retained journal.  `Display` renders the human table; serde renders
+/// JSON.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// The retained journal, oldest first.
+    pub journal: Vec<TelemetryRecord>,
+    /// Journal records evicted before this snapshot.
+    pub journal_dropped: u64,
+}
+
+impl TelemetryReport {
+    /// A counter's value (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram snapshot by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Journal records of one kind (see [`crate::TelemetryEvent::kind`]).
+    pub fn journal_of_kind<'a>(
+        &'a self,
+        kind: &'a str,
+    ) -> impl Iterator<Item = &'a TelemetryRecord> {
+        self.journal.iter().filter(move |r| r.event.kind() == kind)
+    }
+
+    /// Serialises the report as pretty JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// Whether the report contains no metrics and no journal.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.journal.is_empty()
+    }
+}
+
+impl fmt::Display for TelemetryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "telemetry report")?;
+        writeln!(f, "================")?;
+        if !self.counters.is_empty() {
+            writeln!(f, "\ncounters:")?;
+            for (name, value) in &self.counters {
+                writeln!(f, "  {name:<40} {value:>14}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "\ngauges:")?;
+            for (name, value) in &self.gauges {
+                writeln!(f, "  {name:<40} {value:>14}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "\nhistograms:")?;
+            for (name, h) in &self.histograms {
+                writeln!(
+                    f,
+                    "  {name} (count {count}, sum {sum}):",
+                    count = h.count,
+                    sum = h.sum
+                )?;
+                for (i, &c) in h.counts.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    match h.bounds.get(i) {
+                        Some(bound) => writeln!(f, "    <= {bound:<12} {c:>14}")?,
+                        None => writeln!(
+                            f,
+                            "    >  {last:<12} {c:>14}",
+                            last = h.bounds.last().copied().unwrap_or(0)
+                        )?,
+                    }
+                }
+            }
+        }
+        if !self.journal.is_empty() || self.journal_dropped > 0 {
+            writeln!(
+                f,
+                "\njournal ({} retained, {} dropped):",
+                self.journal.len(),
+                self.journal_dropped
+            )?;
+            for record in &self.journal {
+                writeln!(
+                    f,
+                    "  #{seq:<6} t={tick:<10} {kind:<18} {event:?}",
+                    seq = record.seq,
+                    tick = record.tick.0,
+                    kind = record.event.kind(),
+                    event = record.event
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TelemetryEvent;
+    use afta_sim::Tick;
+
+    fn sample_report() -> TelemetryReport {
+        let mut report = TelemetryReport::default();
+        report.counters.insert("voting.rounds".into(), 1000);
+        report.counters.insert("voting.failures".into(), 2);
+        report.gauges.insert("replicas".into(), 5);
+        report.histograms.insert(
+            "time_at_r".into(),
+            HistogramSnapshot {
+                bounds: vec![3, 5, 7, 9],
+                counts: vec![950, 40, 10, 0, 0],
+                count: 1000,
+                sum: 3 * 950 + 5 * 40 + 7 * 10,
+            },
+        );
+        report.journal.push(TelemetryRecord {
+            seq: 1,
+            tick: Tick(17),
+            event: TelemetryEvent::RedundancyRaised { from: 3, to: 5 },
+        });
+        report
+    }
+
+    #[test]
+    fn accessors() {
+        let r = sample_report();
+        assert_eq!(r.counter("voting.rounds"), 1000);
+        assert_eq!(r.counter("missing"), 0);
+        let h = r.histogram("time_at_r").unwrap();
+        assert_eq!(h.bucket_count(3), Some(950));
+        assert_eq!(h.bucket_count(4), None);
+        assert_eq!(h.overflow(), 0);
+        assert!((h.mean().unwrap() - 3.12).abs() < 1e-9);
+        assert_eq!(r.journal_of_kind("redundancy-raised").count(), 1);
+        assert_eq!(r.journal_of_kind("note").count(), 0);
+        assert!(!r.is_empty());
+        assert!(TelemetryReport::default().is_empty());
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let text = sample_report().to_string();
+        assert!(text.contains("counters:"));
+        assert!(text.contains("voting.rounds"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("histograms:"));
+        assert!(text.contains("<= 3"));
+        assert!(text.contains("journal (1 retained, 0 dropped):"));
+        assert!(text.contains("redundancy-raised"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample_report();
+        let json = r.to_json();
+        let back: TelemetryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -31,8 +31,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod telemetry;
 pub mod voters;
 
+pub use telemetry::VoteTelemetry;
 pub use voters::{median_vote, plurality_vote, weighted_majority_vote};
 
 use std::collections::HashMap;

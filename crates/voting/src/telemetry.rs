@@ -1,0 +1,120 @@
+//! Telemetry bindings for voting rounds.
+//!
+//! [`VoteTelemetry`] pre-resolves the `voting.*` metric handles once and
+//! then observes [`RoundReport`]s: every round lands in the
+//! `voting.dtof` histogram, failed rounds bump `voting.failures` and are
+//! journaled, and rounds whose distance-to-failure dips to the critical
+//! band (dtof ≤ 1, the paper's "danger zone" that triggers a redundancy
+//! raise) emit an [`TelemetryEvent::DtofDip`] record.
+
+use afta_telemetry::{Counter, FixedHistogram, Registry, TelemetryEvent, Tick};
+
+use crate::RoundReport;
+
+/// Histogram bounds for the `voting.dtof` metric: dtof values 0..=8
+/// (n ≤ 16 replicas); larger distances land in the overflow bucket.
+pub const DTOF_BOUNDS: [u64; 9] = [0, 1, 2, 3, 4, 5, 6, 7, 8];
+
+/// A dtof at or below this level is journaled as a dip.
+pub const DIP_LEVEL: u32 = 1;
+
+/// Pre-resolved `voting.*` metric handles.
+#[derive(Debug)]
+pub struct VoteTelemetry {
+    registry: Registry,
+    rounds: Counter,
+    failures: Counter,
+    dtof: FixedHistogram,
+}
+
+impl VoteTelemetry {
+    /// Resolves the voting metrics on `registry`.
+    #[must_use]
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            rounds: registry.counter("voting.rounds"),
+            failures: registry.counter("voting.failures"),
+            dtof: registry.histogram("voting.dtof", &DTOF_BOUNDS),
+            registry: registry.clone(),
+        }
+    }
+
+    /// Observes one round at virtual time `tick`.
+    pub fn observe<V>(&self, tick: Tick, report: &RoundReport<V>) {
+        self.rounds.inc();
+        self.dtof.record(u64::from(report.dtof));
+        if !report.succeeded() {
+            self.failures.inc();
+            self.registry.record(
+                tick,
+                TelemetryEvent::VoteRound {
+                    n: report.n,
+                    dissent: report.outcome.dissent(),
+                    failed: true,
+                },
+            );
+        } else if report.dtof <= DIP_LEVEL {
+            self.registry.record(
+                tick,
+                TelemetryEvent::DtofDip {
+                    n: report.n,
+                    dtof: report.dtof,
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VotingFarm;
+
+    #[test]
+    fn rounds_failures_and_dips_are_observed() {
+        let registry = Registry::new();
+        let vt = VoteTelemetry::new(&registry);
+
+        // Healthy round: full consensus at n = 5, dtof = 3.
+        let mut farm = VotingFarm::new(5, |_: usize, x: &i32| *x);
+        vt.observe(Tick(1), &farm.round(&7));
+
+        // Dipping round: 2 dissenters at n = 5, dtof = 1.
+        let mut dipping = VotingFarm::new(5, |i: usize, x: &i32| if i < 2 { -1 } else { *x });
+        vt.observe(Tick(2), &dipping.round(&7));
+
+        // Failed round: three-way split.
+        let mut split = VotingFarm::new(3, |i: usize, _: &()| i);
+        vt.observe(Tick(3), &split.round(&()));
+
+        let report = registry.report();
+        assert_eq!(report.counter("voting.rounds"), 3);
+        assert_eq!(report.counter("voting.failures"), 1);
+        let h = report.histogram("voting.dtof").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.bucket_count(3), Some(1));
+        assert_eq!(h.bucket_count(1), Some(1));
+        assert_eq!(h.bucket_count(0), Some(1));
+
+        let dips: Vec<_> = report.journal_of_kind("dtof-dip").collect();
+        assert_eq!(dips.len(), 1);
+        assert_eq!(dips[0].event, TelemetryEvent::DtofDip { n: 5, dtof: 1 });
+        let failures: Vec<_> = report.journal_of_kind("vote-round").collect();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(
+            failures[0].event,
+            TelemetryEvent::VoteRound {
+                n: 3,
+                dissent: None,
+                failed: true
+            }
+        );
+    }
+
+    #[test]
+    fn disabled_registry_observes_for_free() {
+        let vt = VoteTelemetry::new(&Registry::disabled());
+        let mut farm = VotingFarm::new(3, |_: usize, x: &i32| *x);
+        vt.observe(Tick(0), &farm.round(&1));
+    }
+}

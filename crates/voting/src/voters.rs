@@ -112,10 +112,7 @@ mod tests {
     #[test]
     fn plurality_wins_without_absolute_majority() {
         // 2-2-1 split with quorum 2: tie -> no result.
-        assert_eq!(
-            plurality_vote(&[1, 1, 2, 2, 3], 2),
-            VoteOutcome::NoMajority
-        );
+        assert_eq!(plurality_vote(&[1, 1, 2, 2, 3], 2), VoteOutcome::NoMajority);
         // 2-1-1 split: plurality of 2 wins though it is not a majority.
         assert_eq!(
             plurality_vote(&[1, 1, 2, 3], 2),

@@ -29,8 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for bank in machine.banks() {
         let report = configure(&bank.spd, &kb)?;
         println!("bank {}:", bank.slot);
-        println!("  resolved behavior: {} — {}", report.behavior, report.behavior.statement());
-        println!("  match level: {:?}, severity {:?}", report.match_level, report.severity);
+        println!(
+            "  resolved behavior: {} — {}",
+            report.behavior,
+            report.behavior.statement()
+        );
+        println!(
+            "  match level: {:?}, severity {:?}",
+            report.match_level, report.severity
+        );
         println!(
             "  tolerant methods (cost order): {}",
             report.tolerant_methods.join(" < ")
@@ -73,7 +80,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = configure(spd, &kb)?;
     let rates = FaultRates::for_class(report.behavior, report.severity);
 
-    println!("\nworkload check on {} ({} {:?}):", spd.model_key(), report.behavior, report.severity);
+    println!(
+        "\nworkload check on {} ({} {:?}):",
+        spd.model_key(),
+        report.behavior,
+        report.severity
+    );
     for kind in [MethodKind::M0, report.method] {
         let mut method = kind.instantiate(4096, rates, 2024);
         let n = method.logical_size().min(512);

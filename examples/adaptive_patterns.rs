@@ -19,7 +19,10 @@ fn main() {
     // labeled "permanent or intermittent".
     // ------------------------------------------------------------------
     println!("=== Fig. 4: watchdog + alpha-count discrimination ===\n");
-    println!("{:>6} {:>7} {:>7} {:>8}  verdict", "round", "alive", "fired", "alpha");
+    println!(
+        "{:>6} {:>7} {:>7} {:>8}  verdict",
+        "round", "alive", "fired", "alpha"
+    );
     let trace = fig4_scenario(12, 10, Tick(45));
     for row in &trace.rows {
         println!(

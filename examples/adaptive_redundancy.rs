@@ -8,9 +8,7 @@
 
 use afta::eventbus::Bus;
 use afta::faultinject::{EnvironmentProfile, Phase};
-use afta::switchboard::{
-    run_experiment, ExperimentConfig, RedundancyChange, RedundancyPolicy,
-};
+use afta::switchboard::{run_experiment, ExperimentConfig, RedundancyChange, RedundancyPolicy};
 use afta::voting::{dtof, dtof_max};
 
 fn main() {
@@ -35,8 +33,8 @@ fn main() {
         seed: 2024,
         profile: EnvironmentProfile::new(
             vec![
-                Phase::new(8_000, 0.00001), // calm
-                Phase::new(3_000, 0.08),    // storm
+                Phase::new(8_000, 0.00001),  // calm
+                Phase::new(3_000, 0.08),     // storm
                 Phase::new(19_000, 0.00001), // calm again
             ],
             false,

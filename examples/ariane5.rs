@@ -87,9 +87,9 @@ fn main() -> Result<(), afta::core::Error> {
 
     println!("=== Ariane 5 maiden flight, naive reuse (§2.1) ===");
     match naive_flight("ariane5") {
-        Err(t) => println!(
-            "  naive code: OPERAND OVERFLOW at t={t}s -> IRS failure -> self-destruct\n"
-        ),
+        Err(t) => {
+            println!("  naive code: OPERAND OVERFLOW at t={t}s -> IRS failure -> self-destruct\n")
+        }
         Ok(()) => unreachable!("Ariane 5 exceeds the i16 envelope"),
     }
 

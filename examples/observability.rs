@@ -1,0 +1,62 @@
+//! Observability walkthrough: one telemetry registry watching the whole
+//! stack — the §3.3 experiment driver, the Fig. 4 watchdog scenario, and
+//! the §5 knowledge-web agents — then a single report at the end.
+//!
+//! Run with `cargo run --example observability`.
+
+use std::sync::Arc;
+
+use afta::agents::{
+    judgment_deduction, ArchitectureAgent, PatternPlannerAgent, RuntimeOracleAgent,
+};
+use afta::core::KnowledgeWeb;
+use afta::dag::{fig3_snapshots, ReflectiveArchitecture};
+use afta::faultinject::EnvironmentProfile;
+use afta::ftpatterns::fig4_scenario_observed;
+use afta::sim::Tick;
+use afta::switchboard::{run_experiment_observed, ExperimentConfig, RedundancyPolicy};
+use afta::telemetry::Registry;
+use parking_lot::Mutex;
+
+fn main() {
+    let telemetry = Registry::new();
+
+    // 1. A short §3.3 redundancy-dimensioning run, observed.
+    let config = ExperimentConfig {
+        steps: 20_000,
+        seed: 42,
+        profile: EnvironmentProfile::cyclic_storms(5_000, 300, 0.0001, 0.1),
+        policy: RedundancyPolicy::default(),
+        trace_stride: 0,
+    };
+    let report = run_experiment_observed(&config, None, &telemetry);
+    println!(
+        "switchboard: {} steps, {} raises, {} lowers, {} voting failures",
+        report.steps, report.raises, report.lowers, report.voting_failures
+    );
+
+    // 2. The Fig. 4 watchdog + alpha-count scenario, observed by the
+    //    same registry.
+    let trace = fig4_scenario_observed(12, 10, Tick(35), &telemetry);
+    println!(
+        "watchdog: fault labeled permanent at round {:?}",
+        trace.labeled_permanent_at
+    );
+
+    // 3. The §5 knowledge web, instrumented agent by agent.
+    let (d1, d2) = fig3_snapshots();
+    let mut arch = ReflectiveArchitecture::new(d1.clone());
+    arch.store_snapshot("D1", d1).unwrap();
+    arch.store_snapshot("D2", d2).unwrap();
+    let arch = Arc::new(Mutex::new(arch));
+    let mut web = KnowledgeWeb::new();
+    web.attach(RuntimeOracleAgent::new("oracle", "c3").with_telemetry(telemetry.clone()));
+    web.attach(PatternPlannerAgent::new("planner").with_telemetry(telemetry.clone()));
+    web.attach(ArchitectureAgent::new("deployer", arch).with_telemetry(telemetry.clone()));
+    for _ in 0..4 {
+        web.publish(judgment_deduction("c3", "c3", true));
+    }
+
+    // One report covering all three strategies.
+    println!("\n{}", telemetry.report());
+}

@@ -45,11 +45,12 @@ fn main() -> Result<(), afta::core::Error> {
     )?;
     registry.attach_handler(
         "mem-technology",
-        Box::new(|_, observed| {
-            Ok(format!("re-ran memory-method selection for {observed}"))
-        }),
+        Box::new(|_, observed| Ok(format!("re-ran memory-method selection for {observed}"))),
     )?;
-    println!("effective Boulding category: {}", registry.effective_category());
+    println!(
+        "effective Boulding category: {}",
+        registry.effective_category()
+    );
 
     // 3. Feed observations from context probes.
     let mut probes = ProbeSet::new().with(FnProbe::new("telemetry", || {
@@ -76,8 +77,10 @@ fn main() -> Result<(), afta::core::Error> {
     );
 
     // 5. The audit trail persists for post-mortems.
-    println!("registry now tracks {} assumptions; log has {} clash(es)",
+    println!(
+        "registry now tracks {} assumptions; log has {} clash(es)",
         registry.len(),
-        registry.clash_log().len());
+        registry.clash_log().len()
+    );
     Ok(())
 }

@@ -69,10 +69,9 @@ fn main() -> Result<(), afta::core::Error> {
     // --- The software safety contract the hardware used to embody. ----
     let contract = Contract::<Linac>::builder()
         .invariant_condition(
-            afta::core::contract::Condition::new(
-                "beam energy within safe bounds",
-                |l: &Linac| l.energy <= 100,
-            )
+            afta::core::contract::Condition::new("beam energy within safe bounds", |l: &Linac| {
+                l.energy <= 100
+            })
             .assuming("hw-interlocks-present")
             .assuming("no-residual-fault"),
         )
@@ -86,7 +85,10 @@ fn main() -> Result<(), afta::core::Error> {
     };
     dose(&mut t20, true); // the race fires, the interlock saves the day
     assert!(contract.check_exit(&t20).is_ok());
-    println!("\n{}: race occurred, interlock masked it (energy={})", t20.model, t20.energy);
+    println!(
+        "\n{}: race occurred, interlock masked it (energy={})",
+        t20.model, t20.energy
+    );
     println!("  -> field history reports a fault-free software: the S_HI trap is set");
 
     // --- Scenario B: Therac-25 (interlocks removed). -------------------

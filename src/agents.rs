@@ -30,6 +30,7 @@ use afta_core::{
     Observation, Value,
 };
 use afta_dag::ReflectiveArchitecture;
+use afta_telemetry::{Registry as TelemetryRegistry, TelemetryEvent, Tick};
 
 /// Topic used for raw per-round component judgments.
 pub const TOPIC_JUDGMENT: &str = "component-judgment";
@@ -66,6 +67,8 @@ pub struct RuntimeOracleAgent {
     component: String,
     oracle: AlphaCount,
     last_verdict: Verdict,
+    telemetry: TelemetryRegistry,
+    rounds: u64,
 }
 
 impl RuntimeOracleAgent {
@@ -78,7 +81,19 @@ impl RuntimeOracleAgent {
             component: component.into(),
             oracle: AlphaCount::with_threshold(3.0),
             last_verdict: Verdict::Transient,
+            telemetry: TelemetryRegistry::disabled(),
+            rounds: 0,
         }
+    }
+
+    /// Attaches a telemetry registry: `web.judgments` /
+    /// `web.verdict_flips` counters plus an
+    /// [`TelemetryEvent::AlphaVerdictFlip`] journal record per flip
+    /// (journaled at the judgment round, counted from 1).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryRegistry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Current alpha value (for inspection).
@@ -109,11 +124,22 @@ impl KnowledgeAgent for RuntimeOracleAgent {
         } else {
             Judgment::Correct
         };
+        self.rounds += 1;
+        self.telemetry.counter("web.judgments").inc();
         let verdict = self.oracle.record(judgment);
         if verdict == self.last_verdict {
             return Vec::new();
         }
         self.last_verdict = verdict;
+        self.telemetry.counter("web.verdict_flips").inc();
+        self.telemetry.record(
+            Tick(self.rounds),
+            TelemetryEvent::AlphaVerdictFlip {
+                component: self.component.clone(),
+                alpha: self.oracle.alpha(),
+                verdict: verdict.to_string(),
+            },
+        );
         let class = match verdict {
             Verdict::Transient => "transient",
             Verdict::PermanentOrIntermittent => "permanent",
@@ -141,6 +167,8 @@ impl KnowledgeAgent for RuntimeOracleAgent {
 pub struct PatternPlannerAgent {
     name: String,
     var: AssumptionVar<&'static str>,
+    telemetry: TelemetryRegistry,
+    rebinds: u64,
 }
 
 impl PatternPlannerAgent {
@@ -158,7 +186,17 @@ impl PatternPlannerAgent {
         Self {
             name: name.into(),
             var,
+            telemetry: TelemetryRegistry::disabled(),
+            rebinds: 0,
         }
+    }
+
+    /// Attaches a telemetry registry: a `web.adaptations` counter plus a
+    /// [`TelemetryEvent::PatternSwitch`] journal record per rebinding.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryRegistry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The currently bound snapshot label, if bound.
@@ -191,6 +229,15 @@ impl KnowledgeAgent for PatternPlannerAgent {
         if previous.as_deref() == Some(label) {
             return Vec::new();
         }
+        self.rebinds += 1;
+        self.telemetry.counter("web.adaptations").inc();
+        self.telemetry.record(
+            Tick(self.rebinds),
+            TelemetryEvent::PatternSwitch {
+                from: previous.unwrap_or_else(|| "unbound".to_owned()),
+                to: label.to_owned(),
+            },
+        );
         vec![Deduction::new(
             self.name.clone(),
             Layer::Model,
@@ -206,6 +253,8 @@ impl KnowledgeAgent for PatternPlannerAgent {
 pub struct ArchitectureAgent {
     name: String,
     arch: Arc<Mutex<ReflectiveArchitecture>>,
+    telemetry: TelemetryRegistry,
+    reshapes: u64,
 }
 
 impl std::fmt::Debug for ArchitectureAgent {
@@ -223,7 +272,19 @@ impl ArchitectureAgent {
         Self {
             name: name.into(),
             arch,
+            telemetry: TelemetryRegistry::disabled(),
+            reshapes: 0,
         }
+    }
+
+    /// Attaches a telemetry registry: `web.reshapes` /
+    /// `web.reshape_failures` counters plus a
+    /// [`TelemetryEvent::SnapshotSwapped`] journal record per successful
+    /// injection.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryRegistry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 }
 
@@ -245,24 +306,37 @@ impl KnowledgeAgent for ArchitectureAgent {
         };
         let result = self.arch.lock().inject(label);
         match result {
-            Ok(diff) => vec![Deduction::new(
-                self.name.clone(),
-                Layer::Deployment,
-                TOPIC_DESCRIPTOR,
-                Observation::new("snapshot", label),
-                format!(
-                    "architecture reshaped: +{} -{} components",
-                    diff.added_components.len(),
-                    diff.removed_components.len()
-                ),
-            )],
-            Err(e) => vec![Deduction::new(
-                self.name.clone(),
-                Layer::Deployment,
-                TOPIC_DESCRIPTOR,
-                Observation::new("error", Value::Text(e.to_string())),
-                "injection failed",
-            )],
+            Ok(diff) => {
+                self.reshapes += 1;
+                self.telemetry.counter("web.reshapes").inc();
+                self.telemetry.record(
+                    Tick(self.reshapes),
+                    TelemetryEvent::SnapshotSwapped {
+                        label: label.to_owned(),
+                    },
+                );
+                vec![Deduction::new(
+                    self.name.clone(),
+                    Layer::Deployment,
+                    TOPIC_DESCRIPTOR,
+                    Observation::new("snapshot", label),
+                    format!(
+                        "architecture reshaped: +{} -{} components",
+                        diff.added_components.len(),
+                        diff.removed_components.len()
+                    ),
+                )]
+            }
+            Err(e) => {
+                self.telemetry.counter("web.reshape_failures").inc();
+                vec![Deduction::new(
+                    self.name.clone(),
+                    Layer::Deployment,
+                    TOPIC_DESCRIPTOR,
+                    Observation::new("error", Value::Text(e.to_string())),
+                    "injection failed",
+                )]
+            }
         }
     }
 }
@@ -281,6 +355,8 @@ pub const TOPIC_CLASH: &str = "assumption-clash";
 pub struct MonitorAgent {
     name: String,
     registry: afta_core::AssumptionRegistry,
+    telemetry: TelemetryRegistry,
+    observations: u64,
 }
 
 impl MonitorAgent {
@@ -290,7 +366,18 @@ impl MonitorAgent {
         Self {
             name: name.into(),
             registry,
+            telemetry: TelemetryRegistry::disabled(),
+            observations: 0,
         }
+    }
+
+    /// Attaches a telemetry registry: `web.observations` /
+    /// `web.clashes` counters plus a
+    /// [`TelemetryEvent::AssumptionClash`] journal record per clash.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryRegistry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The wrapped registry (for audits).
@@ -314,11 +401,21 @@ impl KnowledgeAgent for MonitorAgent {
         if d.topic == TOPIC_CLASH {
             return Vec::new();
         }
+        self.observations += 1;
+        self.telemetry.counter("web.observations").inc();
         let report = self.registry.observe(d.observation.clone());
         report
             .clashes
             .into_iter()
             .map(|clash| {
+                self.telemetry.counter("web.clashes").inc();
+                self.telemetry.record(
+                    Tick(self.observations),
+                    TelemetryEvent::AssumptionClash {
+                        assumption: clash.assumption.to_string(),
+                        disposition: clash.disposition.to_string(),
+                    },
+                );
                 Deduction::new(
                     self.name.clone(),
                     Layer::Runtime,
@@ -396,6 +493,68 @@ mod tests {
             web.publish(judgment_deduction("c3", "c3", false));
         }
         assert!(arch.lock().current().contains(&"c3".into()));
+    }
+
+    #[test]
+    fn instrumented_web_reports_the_whole_loop() {
+        let telemetry = TelemetryRegistry::new();
+        let (d1, d2) = fig3_snapshots();
+        let mut arch = ReflectiveArchitecture::new(d1.clone());
+        arch.store_snapshot("D1", d1).unwrap();
+        arch.store_snapshot("D2", d2).unwrap();
+        let arch = Arc::new(Mutex::new(arch));
+
+        let mut web = afta_core::KnowledgeWeb::new();
+        web.attach(RuntimeOracleAgent::new("oracle", "c3").with_telemetry(telemetry.clone()));
+        web.attach(PatternPlannerAgent::new("planner").with_telemetry(telemetry.clone()));
+        web.attach(ArchitectureAgent::new("deployer", arch).with_telemetry(telemetry.clone()));
+
+        for _ in 0..4 {
+            web.publish(judgment_deduction("c3", "c3", true));
+        }
+
+        let report = telemetry.report();
+        assert_eq!(report.counter("web.judgments"), 4);
+        assert_eq!(report.counter("web.verdict_flips"), 1);
+        assert_eq!(report.counter("web.adaptations"), 1);
+        assert_eq!(report.counter("web.reshapes"), 1);
+        assert_eq!(report.counter("web.reshape_failures"), 0);
+        assert_eq!(report.journal_of_kind("alpha-verdict-flip").count(), 1);
+        assert_eq!(report.journal_of_kind("pattern-switch").count(), 1);
+        assert_eq!(report.journal_of_kind("snapshot-swapped").count(), 1);
+        // The journal replays the loop in causal order.
+        let kinds: Vec<_> = report.journal.iter().map(|r| r.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            ["alpha-verdict-flip", "pattern-switch", "snapshot-swapped"]
+        );
+    }
+
+    #[test]
+    fn monitor_agent_telemetry_counts_clashes() {
+        use afta_core::prelude::*;
+        let telemetry = TelemetryRegistry::new();
+        let mut registry = AssumptionRegistry::new();
+        registry
+            .register(
+                Assumption::builder("fault-transient")
+                    .expects("fault_class", Expectation::equals("transient"))
+                    .build(),
+            )
+            .unwrap();
+        let mut agent = MonitorAgent::new("monitor", registry).with_telemetry(telemetry.clone());
+        let news = Deduction::new(
+            "oracle",
+            Layer::Runtime,
+            TOPIC_FAULT_MODEL,
+            Observation::new("fault_class", "permanent"),
+            "",
+        );
+        assert_eq!(agent.consider(&news).len(), 1);
+        let report = telemetry.report();
+        assert_eq!(report.counter("web.observations"), 1);
+        assert_eq!(report.counter("web.clashes"), 1);
+        assert_eq!(report.journal_of_kind("assumption-clash").count(), 1);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`voting`] | `afta-voting` | restoring organ, majority voting, dtof (§3.3) |
 //! | [`switchboard`] | `afta-switchboard` | autonomic redundancy dimensioning (§3.3) |
 //! | [`faultinject`] | `afta-faultinject` | fault classes, schedules, environment profiles |
+//! | [`telemetry`] | `afta-telemetry` | metrics, spans, flight recorder (observability) |
 //!
 //! # Quickstart
 //!
@@ -60,4 +61,5 @@ pub use afta_memaccess as memaccess;
 pub use afta_memsim as memsim;
 pub use afta_sim as sim;
 pub use afta_switchboard as switchboard;
+pub use afta_telemetry as telemetry;
 pub use afta_voting as voting;

@@ -22,7 +22,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use afta::agents::{judgment_deduction, ArchitectureAgent, PatternPlannerAgent, RuntimeOracleAgent};
+use afta::agents::{
+    judgment_deduction, ArchitectureAgent, PatternPlannerAgent, RuntimeOracleAgent,
+};
 use afta::core::prelude::*;
 use afta::core::KnowledgeWeb;
 use afta::dag::{fig3_snapshots, ReflectiveArchitecture};
@@ -67,14 +69,16 @@ fn all_three_strategies_cooperate_in_one_system() {
     ]
     .unwrap();
     registry
-        .attach_handler("component-faults", Box::new(|_, v| {
-            Ok(format!("pattern rebound for {v}"))
-        }))
+        .attach_handler(
+            "component-faults",
+            Box::new(|_, v| Ok(format!("pattern rebound for {v}"))),
+        )
         .unwrap();
     registry
-        .attach_handler("disturbance-level", Box::new(|_, v| {
-            Ok(format!("redundancy raised for p={v}"))
-        }))
+        .attach_handler(
+            "disturbance-level",
+            Box::new(|_, v| Ok(format!("redundancy raised for p={v}"))),
+        )
         .unwrap();
 
     // ------------------------------------------------------------------
@@ -143,7 +147,11 @@ fn all_three_strategies_cooperate_in_one_system() {
         .next()
         .expect("verdict change published");
     let clash_report = registry.observe(fault_news.observation.clone());
-    assert_eq!(clash_report.clashes.len(), 1, "transient hypothesis clashed");
+    assert_eq!(
+        clash_report.clashes.len(),
+        1,
+        "transient hypothesis clashed"
+    );
     assert!(matches!(
         clash_report.clashes[0].disposition,
         ClashDisposition::Recovered(_)

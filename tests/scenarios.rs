@@ -213,5 +213,8 @@ fn runtime_detection_triggers_model_level_adaptation_request() {
     assert_eq!(web.on_topic("descriptor-updated").count(), 1);
     // The chain is fully auditable, oldest first.
     let layers: Vec<Layer> = web.log().iter().map(|d| d.origin).collect();
-    assert_eq!(layers, vec![Layer::Runtime, Layer::Model, Layer::Deployment]);
+    assert_eq!(
+        layers,
+        vec![Layer::Runtime, Layer::Model, Layer::Deployment]
+    );
 }

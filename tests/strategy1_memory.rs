@@ -2,9 +2,7 @@
 //! -> knowledge base -> min-cost tolerant method -> workload survival.
 
 use afta::memaccess::{configure, FailureKnowledgeBase, MatchLevel, MethodKind};
-use afta::memsim::{
-    BehaviorClass, FaultRates, MachineInventory, MemoryTechnology, Severity, Spd,
-};
+use afta::memsim::{BehaviorClass, FaultRates, MachineInventory, MemoryTechnology, Severity, Spd};
 
 fn spd(vendor: &str, model: &str, lot: &str, tech: MemoryTechnology) -> Spd {
     Spd {
@@ -90,7 +88,12 @@ fn every_behavior_class_configures_and_survives() {
             format!("V/{}", class.label()),
             afta::memaccess::FailureRecord::new(class, Severity::Nominal),
         );
-        let module = spd("V", class.label(), &format!("L{i}"), MemoryTechnology::Sdram);
+        let module = spd(
+            "V",
+            class.label(),
+            &format!("L{i}"),
+            MemoryTechnology::Sdram,
+        );
         let report = configure(&module, &kb).unwrap();
         assert!(
             report.method.tolerates().contains(&class),

@@ -74,7 +74,11 @@ fn static_dimensioning_comparison_thermostat_vs_cell() {
     // (b) the autonomic Cell.  The static system eats voting failures;
     // the adaptive one does not (or nearly so).
     let profile = EnvironmentProfile::new(
-        vec![Phase::new(1_000, 0.00001), Phase::new(2_000, 0.12), Phase::new(1_000, 0.00001)],
+        vec![
+            Phase::new(1_000, 0.00001),
+            Phase::new(2_000, 0.12),
+            Phase::new(1_000, 0.00001),
+        ],
         false,
     );
 
@@ -109,7 +113,11 @@ fn switchboard_publishes_knowledge_on_the_bus() {
     let readings = bus.subscribe::<DisturbanceReading>();
     let changes = bus.subscribe::<RedundancyChange>();
     let profile = EnvironmentProfile::new(
-        vec![Phase::new(200, 0.0), Phase::new(200, 0.3), Phase::new(600, 0.0)],
+        vec![
+            Phase::new(200, 0.0),
+            Phase::new(200, 0.3),
+            Phase::new(600, 0.0),
+        ],
         false,
     );
     let report = run_experiment(&base_config(1_000, profile), Some(&bus));

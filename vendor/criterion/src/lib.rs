@@ -1,0 +1,288 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the AFTA benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`] with `iter`/`iter_batched`,
+//! [`BenchmarkId`], [`BatchSize`], [`black_box`], and the
+//! `criterion_group!`/`criterion_main!` macros.  Instead of upstream's
+//! statistical machinery it runs a short warm-up, then a fixed measuring
+//! window, and prints mean wall-clock time per iteration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque optimisation barrier (re-export of `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            _name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    _name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.into_benchmark_id(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.into_benchmark_id(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream writes reports here; we do nothing).
+    pub fn finish(self) {}
+
+    fn run(&self, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up: self.criterion.warm_up,
+            measure: self.criterion.measure,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.iters == 0 {
+            println!("  {id}: no measurement taken");
+            return;
+        }
+        let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+        println!(
+            "  {id}: {} / iter ({} iters)",
+            fmt_ns(per_iter),
+            bencher.iters
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up window elapses.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Scale batch size so clock reads don't dominate sub-ns routines.
+        let batch = (warm_iters / 50).clamp(1, 1 << 20);
+        let deadline = Instant::now() + self.measure;
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += t0.elapsed();
+            iters += batch;
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+
+    /// Times `routine` over fresh inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+        let batch = (warm_iters / 50).clamp(1, 1 << 16) as usize;
+        let deadline = Instant::now() + self.measure;
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let mut inputs: Vec<I> = Vec::with_capacity(batch);
+        while Instant::now() < deadline {
+            inputs.clear();
+            inputs.extend((0..batch).map(|_| setup()));
+            let t0 = Instant::now();
+            for input in inputs.drain(..) {
+                black_box(routine(input));
+            }
+            elapsed += t0.elapsed();
+            iters += batch as u64;
+        }
+        self.iters = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+/// Hint for how much setup data `iter_batched` should build per batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function` arguments.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream's simple form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.warm_up = Duration::from_millis(5);
+        c.measure = Duration::from_millis(10);
+        let mut g = c.benchmark_group("tiny");
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter_batched(
+                || (0..n).collect::<Vec<u64>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        tiny(&mut c);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+    }
+}

@@ -1,0 +1,470 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes the AFTA workspace uses — named/tuple/unit structs and enums
+//! whose variants are unit, tuple, or struct-like — by walking the
+//! `proc_macro` token stream directly (the usual `syn`/`quote` helpers
+//! are unavailable in hermetic builds).
+//!
+//! Encoding matches the conventions implemented in the sibling `serde`
+//! stand-in: named structs become objects, newtype structs are
+//! transparent, enums are externally tagged.  `#[serde(...)]` attributes
+//! are accepted syntactically; the only processed hint is `transparent`,
+//! which newtype structs already satisfy.  Generic types are not
+//! supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the value-tree `Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen_serialize(&parsed).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the value-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen_deserialize(&parsed).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the attribute group.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Consume restricted visibility like pub(crate).
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    break word;
+                }
+                return Err(format!("serde derive: unsupported item `{word}`"));
+            }
+            other => return Err(format!("serde derive: unexpected token {other:?}")),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected type name, got {other:?}")),
+    };
+
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive: generic type `{name}` is not supported by the offline derive"
+            ));
+        }
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("serde derive: malformed struct body {other:?}")),
+        }
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(variants(g.stream())?)
+            }
+            other => return Err(format!("serde derive: malformed enum body {other:?}")),
+        }
+    };
+
+    Ok(Input { name, shape })
+}
+
+/// Extracts the field names of a named-field body, skipping attributes,
+/// visibility, and types (tracking `<...>` depth so commas inside generic
+/// arguments do not split fields).
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!("serde derive: unexpected token in fields: {other}"))
+                }
+            }
+        };
+        fields.push(name);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde derive: expected `:`, got {other:?}")),
+        }
+        // Consume the type, up to a comma at angle-bracket depth zero.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => return Ok(fields),
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple body (commas at angle-bracket depth zero).
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    let mut pending = false;
+    for token in stream {
+        saw_token = true;
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    arity += 1;
+                    pending = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if !saw_token {
+        0
+    } else if pending {
+        arity + 1
+    } else {
+        arity
+    }
+}
+
+fn variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut out = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        let name = loop {
+            match tokens.next() {
+                None => return Ok(out),
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!(
+                        "serde derive: unexpected token in enum body: {other}"
+                    ))
+                }
+            }
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                tokens.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_fields(g.stream())?;
+                tokens.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        out.push(Variant { name, shape });
+        // Consume up to and including the variant separator (skips
+        // explicit discriminants, which the workspace does not use with
+        // serde but cost nothing to tolerate).
+        for token in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &token {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_arm(name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.shape {
+        VariantShape::Unit => {
+            format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),")
+        }
+        VariantShape::Tuple(1) => format!(
+            "{name}::{v}(f0) => ::serde::Value::Object(::std::vec![(\
+                 ::std::string::String::from({v:?}), ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantShape::Tuple(arity) => {
+            let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{name}::{v}({}) => ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from({v:?}), \
+                     ::serde::Value::Array(::std::vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantShape::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                     ::std::string::String::from({v:?}), \
+                     ::serde::Value::Object(::std::vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__fields, {f:?}, {name:?})?,"))
+                .collect();
+            format!(
+                "let __fields = __value.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"expected object for \", {name:?})))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(concat!(\"expected array for \", {name:?})))?;\n\
+                 if __items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                         concat!(\"wrong tuple arity for \", {name:?})));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            format!(
+                "{:?} => ::std::result::Result::Ok({name}::{}),",
+                v.name, v.name
+            )
+        })
+        .collect();
+
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let tag = &v.name;
+            match &v.shape {
+                VariantShape::Unit => None,
+                VariantShape::Tuple(1) => Some(format!(
+                    "{tag:?} => ::std::result::Result::Ok(\
+                         {name}::{tag}(::serde::Deserialize::from_value(__payload)?)),"
+                )),
+                VariantShape::Tuple(arity) => {
+                    let items: Vec<String> = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{tag:?} => {{\n\
+                             let __items = __payload.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(concat!(\"expected array payload for \", \
+                                 {name:?}, \"::\", {tag:?})))?;\n\
+                             if __items.len() != {arity} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                     concat!(\"wrong payload arity for \", {name:?}, \"::\", \
+                                     {tag:?})));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{tag}({}))\n\
+                         }}",
+                        items.join(", ")
+                    ))
+                }
+                VariantShape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::__field(__fields, {f:?}, {name:?})?,"))
+                        .collect();
+                    Some(format!(
+                        "{tag:?} => {{\n\
+                             let __fields = __payload.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(concat!(\"expected object payload for \", \
+                                 {name:?}, \"::\", {tag:?})))?;\n\
+                             ::std::result::Result::Ok({name}::{tag} {{ {} }})\n\
+                         }}",
+                        inits.join(" ")
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    format!(
+        "match __value {{\n\
+             ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                 {}\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                     \"unknown unit variant `{{__other}}` for {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(__entry) if __entry.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__entry[0];\n\
+                 match __tag.as_str() {{\n\
+                     {}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                         \"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"expected {name} variant, found {{}}\", __other.kind()))),\n\
+         }}",
+        unit_arms.join("\n"),
+        payload_arms.join("\n")
+    )
+}
