@@ -1,0 +1,37 @@
+//! B10: campaign fan-out — the sharded §3.3 experiment runner, serial vs
+//! parallel, same merged result (the runner asserts bit-identity in its
+//! tests; here we measure what the worker pool costs and buys).
+
+use afta_campaign::Campaign;
+use afta_faultinject::EnvironmentProfile;
+use afta_switchboard::{ExperimentConfig, RedundancyPolicy};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn base_config() -> ExperimentConfig {
+    ExperimentConfig {
+        steps: 200_000, // 8 shards x 25k steps
+        seed: 42,
+        profile: EnvironmentProfile::cyclic_storms(15_000, 400, 0.0000005, 0.05),
+        policy: RedundancyPolicy::default(),
+        trace_stride: 0,
+    }
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+
+    g.bench_function("split8_jobs1", |b| {
+        let base = base_config();
+        b.iter(|| black_box(Campaign::split(&base, 8).jobs(1).run().unwrap()));
+    });
+
+    g.bench_function("split8_jobs4", |b| {
+        let base = base_config();
+        b.iter(|| black_box(Campaign::split(&base, 8).jobs(4).run().unwrap()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -6,10 +6,16 @@
 //! redundancy level across the calm -> storm -> calm environment.
 //!
 //! Flags: `--steps N` (default 30000), `--seed N` (default 42),
-//! `--json` (emit the trace + report as JSON instead of the chart).
+//! `--json` (emit the trace + report as JSON instead of the chart),
+//! `--seeds K` (default 1; with K > 1 the run becomes a cross-seed
+//! replication campaign — K derived seeds, same environment — and a
+//! cross-seed summary is appended), `--jobs N` (campaign worker
+//! threads, default 1 or `AFTA_CAMPAIGN_JOBS`).
 
-use afta_bench::arg_u64;
+use afta_bench::{arg_u64, arg_usize};
+use afta_campaign::{jobs_from_env, Campaign};
 use afta_faultinject::{EnvironmentProfile, Phase};
+use afta_sim::stats::Summary;
 use afta_sim::Tick;
 use afta_switchboard::{run_experiment_observed, ExperimentConfig, RedundancyPolicy};
 use afta_telemetry::Registry;
@@ -17,6 +23,8 @@ use afta_telemetry::Registry;
 fn main() {
     let steps = arg_u64("--steps", 30_000);
     let seed = arg_u64("--seed", 42);
+    let seeds = arg_usize("--seeds", 1).max(1);
+    let jobs = arg_usize("--jobs", jobs_from_env(1)).max(1);
     let storm_start = steps / 4;
     let storm_len = steps / 10;
 
@@ -117,6 +125,42 @@ fn main() {
         telemetry_report.journal_of_kind("dtof-dip").count(),
         telemetry_report.journal_dropped
     );
+
+    // Cross-seed replication: the Fig. 6 story must not hinge on one
+    // lucky seed.  Re-run the same environment as a campaign over
+    // derived seeds and summarise the per-seed outcomes (parallel
+    // Welford over the merged shards — deterministic for any --jobs).
+    if seeds > 1 {
+        let campaign_report = Campaign::derived_seeds(&config, seeds)
+            .jobs(jobs)
+            .run()
+            .expect("campaign shards must not panic");
+        let mut at_min = Summary::new();
+        let mut failures = Summary::new();
+        for shard in &campaign_report.shards {
+            let mut single = Summary::new();
+            single.record(100.0 * shard.fraction_at_min(3));
+            at_min.merge(&single);
+            let mut f = Summary::new();
+            f.record(shard.voting_failures as f64);
+            failures.merge(&f);
+        }
+        println!("\ncross-seed campaign ({seeds} derived seeds, {jobs} worker(s)):");
+        println!(
+            "  time at r=3: mean {:.3}% (stddev {:.3}, min {:.3}%, max {:.3}%)",
+            at_min.mean(),
+            at_min.stddev(),
+            at_min.min().unwrap_or(0.0),
+            at_min.max().unwrap_or(0.0)
+        );
+        println!(
+            "  voting failures: mean {:.2} per run (max {:.0}) | raises {} | lowers {}",
+            failures.mean(),
+            failures.max().unwrap_or(0.0),
+            campaign_report.stats.raises,
+            campaign_report.stats.lowers
+        );
+    }
 }
 
 /// Resamples the (sparse) trace into `cols` redundancy levels.

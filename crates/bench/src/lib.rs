@@ -12,8 +12,11 @@
 //! | `fig6_adaptation` | Fig. 6 — disturbance vs redundancy time series |
 //! | `fig7_histogram` | Fig. 7 — redundancy dwell-time histogram |
 //! | `table_clash` | §3.2 — the e1/e2 clash table |
+//! | `campaign_65m` | §3.3 — the paper-scale 65M-step run as a parallel campaign |
 //!
 //! Run e.g. `cargo run -p afta-bench --release --bin fig7_histogram -- --steps 65000000`.
+//! The §3.3 binaries accept `--jobs N` to fan campaign shards over N
+//! worker threads; the merged results are bit-identical for every N.
 
 #![forbid(unsafe_code)]
 
@@ -29,6 +32,36 @@ pub fn arg_u64(flag: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Parses a `--flag value` style usize argument from the command line,
+/// returning `default` when absent or malformed.
+#[must_use]
+pub fn arg_usize(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses a `--flag value` style f64 argument from the command line,
+/// returning `default` when absent or malformed.
+#[must_use]
+pub fn arg_f64(flag: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether a bare `--flag` is present on the command line.
+#[must_use]
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -36,5 +69,16 @@ mod tests {
     #[test]
     fn arg_u64_defaults_when_missing() {
         assert_eq!(arg_u64("--definitely-not-passed", 42), 42);
+    }
+
+    #[test]
+    fn arg_usize_and_f64_default_when_missing() {
+        assert_eq!(arg_usize("--definitely-not-passed", 7), 7);
+        assert!((arg_f64("--definitely-not-passed", 0.25) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn has_flag_false_when_missing() {
+        assert!(!has_flag("--definitely-not-passed"));
     }
 }

@@ -1,0 +1,178 @@
+//! The shard executor: a deterministic, panic-isolating parallel map.
+//!
+//! [`parallel_map`] fans an indexed work list out over a bounded pool of
+//! `std::thread` workers that pull shard indices from a shared atomic
+//! cursor and push `(index, result)` pairs through a vendored-`crossbeam`
+//! channel.  Results land in per-index slots, so the returned vector is
+//! **always** in shard order — worker count and OS scheduling can change
+//! which thread computes a shard, never where its result ends up.
+//!
+//! A panicking shard is caught at the shard boundary and surfaces as a
+//! per-shard [`ShardPanic`]; the remaining shards keep running and the
+//! call returns normally instead of hanging or poisoning the pool.
+
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use crossbeam::channel;
+
+/// A shard that panicked instead of producing a result.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShardPanic {
+    /// The shard's index in the work list.
+    pub index: usize,
+    /// The panic payload, rendered (`"shard panicked"` when the payload
+    /// was not a string).
+    pub message: String,
+}
+
+impl fmt::Display for ShardPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for ShardPanic {}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "shard panicked".to_owned()
+    }
+}
+
+fn run_shard<T, R, F>(index: usize, item: &T, f: &F) -> Result<R, ShardPanic>
+where
+    F: Fn(usize, &T) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| f(index, item))).map_err(|payload| ShardPanic {
+        index,
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+/// Applies `f` to every `(index, item)` pair using up to `jobs` worker
+/// threads and returns the results **in index order**, each shard's
+/// panic isolated as an `Err`.
+///
+/// * `jobs <= 1` runs the shards serially on the calling thread, in
+///   index order — this is the reference execution the differential
+///   tests compare against.
+/// * `jobs > 1` spawns `min(jobs, items.len())` scoped workers that
+///   claim indices from an atomic cursor (dynamic load balancing: a
+///   worker stuck on a storm-heavy shard does not idle the rest).
+///
+/// Every shard reports exactly once, so `result.len() == items.len()`
+/// regardless of worker count, scheduling, or panics.
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<Result<R, ShardPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run_shard(i, item, &f))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = channel::unbounded::<(usize, Result<R, ShardPanic>)>();
+    let mut slots: Vec<Option<Result<R, ShardPanic>>> = (0..items.len()).map(|_| None).collect();
+
+    thread::scope(|scope| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else {
+                    break;
+                };
+                if tx.send((index, run_shard(index, item, f))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        while let Ok((index, result)) = rx.recv() {
+            slots[index] = Some(result);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every shard reports exactly once"))
+        .collect()
+}
+
+/// Splits `results` into the ordered successes, or the ordered list of
+/// shard panics when any shard failed.
+///
+/// # Errors
+///
+/// Returns every [`ShardPanic`] (ascending index) when at least one
+/// shard panicked.
+pub fn collect_shards<R>(results: Vec<Result<R, ShardPanic>>) -> Result<Vec<R>, Vec<ShardPanic>> {
+    let mut ok = Vec::with_capacity(results.len());
+    let mut failed = Vec::new();
+    for result in results {
+        match result {
+            Ok(value) => ok.push(value),
+            Err(panic) => failed.push(panic),
+        }
+    }
+    if failed.is_empty() {
+        Ok(ok)
+    } else {
+        Err(failed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order_for_any_job_count() {
+        let items: Vec<u64> = (0..50).collect();
+        let serial = parallel_map(1, &items, |i, x| (i as u64) * 1000 + x * x);
+        for jobs in [2, 3, 8, 64] {
+            let parallel = parallel_map(jobs, &items, |i, x| (i as u64) * 1000 + x * x);
+            assert_eq!(parallel, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out = parallel_map(4, &[] as &[u8], |_, x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn collect_shards_partitions() {
+        let ok: Vec<Result<u8, ShardPanic>> = vec![Ok(1), Ok(2)];
+        assert_eq!(collect_shards(ok).unwrap(), vec![1, 2]);
+        let mixed: Vec<Result<u8, ShardPanic>> = vec![
+            Ok(1),
+            Err(ShardPanic {
+                index: 1,
+                message: "boom".into(),
+            }),
+        ];
+        let failed = collect_shards(mixed).unwrap_err();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].index, 1);
+        assert_eq!(failed[0].to_string(), "shard 1 panicked: boom");
+    }
+}

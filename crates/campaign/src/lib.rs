@@ -1,0 +1,41 @@
+//! # afta-campaign — parallel deterministic fault-injection campaigns
+//!
+//! The paper's §3.3 experiments are long: the headline figure — the
+//! system "spent 99.92798 % of its execution time making use of the
+//! minimal degree of redundancy, namely 3" — comes from a 65-million-step
+//! fault-injection run.  One deterministic simulation cannot be split
+//! across cores (each step's RNG draw depends on the adaptive replica
+//! count chosen by every step before it), but a *campaign* of
+//! independent shards can: split the step budget over K shards, give
+//! each a collision-free seed from [`afta_sim::SeedFactory::shard_seed`],
+//! run the shards on however many workers the hardware offers, and fold
+//! the per-shard results back together.
+//!
+//! The fold is engineered to be **order-independent**: dwell histograms
+//! and counters sum, gauges take the max, scalar summaries combine via
+//! Chan et al.'s parallel Welford, and per-shard results land in
+//! index-ordered slots before the fold.  Consequently the merged
+//! [`CampaignReport`] (and the merged telemetry) is bit-identical for
+//! every worker count and every OS scheduling — `--jobs 4` is a
+//! wall-clock optimisation, never a result change.  The differential and
+//! property tests in `tests/` hold this line.
+//!
+//! * [`Campaign`] — build a shard list ([`Campaign::split`],
+//!   [`Campaign::over_seeds`], [`Campaign::derived_seeds`]), pick a
+//!   worker count, [`Campaign::run`] or [`Campaign::run_observed`];
+//! * [`parallel_map`] — the underlying deterministic executor: atomic
+//!   work-stealing cursor, index-ordered result slots, per-shard panic
+//!   isolation ([`ShardPanic`]);
+//! * [`CampaignStats`] / [`CampaignReport`] — the order-independent
+//!   aggregate and the full merged result;
+//! * [`jobs_from_env`] — `AFTA_CAMPAIGN_JOBS` override, so CI forces the
+//!   same tests through both the serial and the parallel path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod runner;
+
+pub use executor::{collect_shards, parallel_map, ShardPanic};
+pub use runner::{jobs_from_env, Campaign, CampaignError, CampaignReport, CampaignStats};

@@ -1,0 +1,378 @@
+//! The campaign runner: fan experiment shards out, fold their reports
+//! back in with an order-independent reduction.
+//!
+//! A [`Campaign`] is a list of [`ExperimentConfig`] shards plus a worker
+//! count.  [`Campaign::run`] executes every shard — serially when
+//! `jobs <= 1`, over a worker pool otherwise — and merges the per-shard
+//! results into one [`CampaignReport`].  Because each shard is a fully
+//! deterministic run of its own seed, and every merge operation (dwell
+//! histogram bucket sum, counter sum, gauge max, Welford combine) is
+//! commutative and associative, the merged report is **bit-identical**
+//! for every worker count and every OS scheduling of the workers.  The
+//! differential tests in this crate assert exactly that.
+
+use std::env;
+use std::fmt;
+
+use afta_sim::stats::Histogram;
+use afta_sim::SeedFactory;
+use afta_switchboard::{
+    run_experiment, run_experiment_observed, ExperimentConfig, ExperimentReport,
+};
+use afta_telemetry::{Registry, TelemetryReport, DEFAULT_JOURNAL_CAPACITY};
+
+use crate::executor::{collect_shards, parallel_map, ShardPanic};
+
+/// One or more shards of a campaign failed instead of reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The listed shards panicked (ascending shard index); the remaining
+    /// shards completed and were discarded.
+    ShardsFailed(Vec<ShardPanic>),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::ShardsFailed(panics) => {
+                write!(f, "{} campaign shard(s) failed:", panics.len())?;
+                for p in panics {
+                    write!(f, " [{p}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Order-independent aggregate over every shard of a campaign.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CampaignStats {
+    /// Shards merged in.
+    pub shards: u64,
+    /// Total steps simulated across all shards.
+    pub steps: u64,
+    /// Merged dwell-time histogram (Fig. 7 over the whole campaign).
+    pub histogram: Histogram,
+    /// Total rounds whose vote found no majority.
+    pub voting_failures: u64,
+    /// Total faults injected.
+    pub faults_injected: u64,
+    /// Total raise adaptations.
+    pub raises: u64,
+    /// Total lower adaptations.
+    pub lowers: u64,
+}
+
+impl CampaignStats {
+    /// Folds one shard's report into the aggregate.
+    pub fn absorb(&mut self, report: &ExperimentReport) {
+        self.shards += 1;
+        self.steps += report.steps;
+        self.histogram.merge(&report.histogram);
+        self.voting_failures += report.voting_failures;
+        self.faults_injected += report.faults_injected;
+        self.raises += report.raises;
+        self.lowers += report.lowers;
+    }
+
+    /// Merges another aggregate into this one.  Commutative and
+    /// associative — the property tests check both — so any reduction
+    /// tree over per-shard stats yields the same result.
+    pub fn merge(&mut self, other: &CampaignStats) {
+        self.shards += other.shards;
+        self.steps += other.steps;
+        self.histogram.merge(&other.histogram);
+        self.voting_failures += other.voting_failures;
+        self.faults_injected += other.faults_injected;
+        self.raises += other.raises;
+        self.lowers += other.lowers;
+    }
+
+    /// Fraction of total campaign time spent at redundancy degree `min` —
+    /// the campaign-wide version of the paper's "99.92798 % of its
+    /// execution time making use of the minimal degree of redundancy".
+    #[must_use]
+    pub fn fraction_at_min(&self, min: usize) -> f64 {
+        self.histogram.fraction(min as u64)
+    }
+}
+
+/// The merged result of a campaign: the order-independent aggregate plus
+/// every per-shard report, in shard order.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CampaignReport {
+    /// The aggregate.
+    pub stats: CampaignStats,
+    /// Per-shard reports, index-aligned with the campaign's shard list.
+    pub shards: Vec<ExperimentReport>,
+}
+
+impl CampaignReport {
+    /// Builds a report from per-shard results (already in shard order).
+    #[must_use]
+    pub fn from_shards(shards: Vec<ExperimentReport>) -> Self {
+        let mut stats = CampaignStats::default();
+        for report in &shards {
+            stats.absorb(report);
+        }
+        Self { stats, shards }
+    }
+
+    /// Serialises the report as pretty JSON — the byte-identity witness
+    /// the differential tests compare across worker counts.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("campaign report serialises")
+    }
+}
+
+/// Reads the worker count from the `AFTA_CAMPAIGN_JOBS` environment
+/// variable, falling back to `default` when unset or unparsable.  CI uses
+/// this to force the differential tests through both the serial and the
+/// parallel executor.
+#[must_use]
+pub fn jobs_from_env(default: usize) -> usize {
+    env::var("AFTA_CAMPAIGN_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&jobs| jobs > 0)
+        .unwrap_or(default)
+}
+
+/// A parallel deterministic campaign over §3.3 experiment shards.
+///
+/// ```
+/// use afta_campaign::Campaign;
+/// use afta_switchboard::ExperimentConfig;
+///
+/// let base = ExperimentConfig {
+///     steps: 8_000,
+///     ..ExperimentConfig::default()
+/// };
+/// let serial = Campaign::split(&base, 4).jobs(1).run().unwrap();
+/// let parallel = Campaign::split(&base, 4).jobs(4).run().unwrap();
+/// assert_eq!(serial, parallel); // bit-identical, any worker count
+/// assert_eq!(serial.stats.steps, 8_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    shards: Vec<ExperimentConfig>,
+    jobs: usize,
+    journal_capacity: usize,
+}
+
+impl Campaign {
+    /// A campaign over explicit shard configurations.
+    #[must_use]
+    pub fn new(shards: Vec<ExperimentConfig>) -> Self {
+        Self {
+            shards,
+            jobs: 1,
+            journal_capacity: DEFAULT_JOURNAL_CAPACITY,
+        }
+    }
+
+    /// One shard per seed, each otherwise identical to `base` — the
+    /// cross-seed replication campaign behind the Fig. 6 seed sweep.
+    #[must_use]
+    pub fn over_seeds(base: &ExperimentConfig, seeds: &[u64]) -> Self {
+        Self::new(
+            seeds
+                .iter()
+                .map(|&seed| ExperimentConfig {
+                    seed,
+                    ..base.clone()
+                })
+                .collect(),
+        )
+    }
+
+    /// `count` shards with seeds derived from `base.seed` via
+    /// [`SeedFactory::shard_seed`] (collision-free), each otherwise
+    /// identical to `base`.
+    #[must_use]
+    pub fn derived_seeds(base: &ExperimentConfig, count: usize) -> Self {
+        let factory = SeedFactory::new(base.seed);
+        Self::new(
+            (0..count)
+                .map(|i| ExperimentConfig {
+                    seed: factory.shard_seed(i as u64),
+                    ..base.clone()
+                })
+                .collect(),
+        )
+    }
+
+    /// Splits `base.steps` across `count` shards (remainder steps go to
+    /// the first shards), with per-shard seeds derived via
+    /// [`SeedFactory::shard_seed`].  This is how the paper-scale
+    /// 65-million-step Fig. 7 run becomes an embarrassingly parallel
+    /// campaign: total simulated time is preserved, each shard draws its
+    /// own independent fault history.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count` is zero.
+    #[must_use]
+    pub fn split(base: &ExperimentConfig, count: usize) -> Self {
+        assert!(count > 0, "a campaign needs at least one shard");
+        let factory = SeedFactory::new(base.seed);
+        let per_shard = base.steps / count as u64;
+        let remainder = base.steps % count as u64;
+        Self::new(
+            (0..count)
+                .map(|i| ExperimentConfig {
+                    steps: per_shard + u64::from((i as u64) < remainder),
+                    seed: factory.shard_seed(i as u64),
+                    ..base.clone()
+                })
+                .collect(),
+        )
+    }
+
+    /// Sets the worker count (default 1 = serial reference execution).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Sets the per-shard flight-recorder capacity used by
+    /// [`Campaign::run_observed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn journal_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "journal capacity must be positive");
+        self.journal_capacity = capacity;
+        self
+    }
+
+    /// The shard configurations, in shard order.
+    #[must_use]
+    pub fn shards(&self) -> &[ExperimentConfig] {
+        &self.shards
+    }
+
+    /// Runs every shard and merges the reports.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::ShardsFailed`] when any shard panicked; the error
+    /// lists every failed shard by index.
+    pub fn run(&self) -> Result<CampaignReport, CampaignError> {
+        let results = parallel_map(self.jobs, &self.shards, |_, config| {
+            run_experiment(config, None)
+        });
+        let shards = collect_shards(results).map_err(CampaignError::ShardsFailed)?;
+        Ok(CampaignReport::from_shards(shards))
+    }
+
+    /// Runs every shard with its own telemetry [`Registry`] and merges
+    /// both the reports and the telemetry.
+    ///
+    /// Per-shard registries are merged in ascending shard index, so the
+    /// merged [`TelemetryReport`] — journal included — is deterministic
+    /// regardless of worker count (the metric sections would commute
+    /// anyway; the fixed order canonicalises the journal too).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::ShardsFailed`] when any shard panicked.
+    pub fn run_observed(&self) -> Result<(CampaignReport, TelemetryReport), CampaignError> {
+        let capacity = self.journal_capacity;
+        let results = parallel_map(self.jobs, &self.shards, |_, config| {
+            let registry = Registry::with_journal_capacity(capacity);
+            let report = run_experiment_observed(config, None, &registry);
+            (report, registry.report())
+        });
+        let shards = collect_shards(results).map_err(CampaignError::ShardsFailed)?;
+        let mut telemetry = TelemetryReport::default();
+        let mut reports = Vec::with_capacity(shards.len());
+        for (report, shard_telemetry) in shards {
+            telemetry.merge(&shard_telemetry);
+            reports.push(report);
+        }
+        Ok((CampaignReport::from_shards(reports), telemetry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afta_faultinject::EnvironmentProfile;
+
+    fn base_config(steps: u64) -> ExperimentConfig {
+        ExperimentConfig {
+            steps,
+            seed: 42,
+            profile: EnvironmentProfile::cyclic_storms(700, 150, 0.0005, 0.2),
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn split_preserves_total_steps_and_derives_distinct_seeds() {
+        let campaign = Campaign::split(&base_config(10_001), 4);
+        let shards = campaign.shards();
+        assert_eq!(shards.len(), 4);
+        let total: u64 = shards.iter().map(|s| s.steps).sum();
+        assert_eq!(total, 10_001);
+        assert_eq!(shards[0].steps, 2_501); // remainder goes first
+        let mut seeds: Vec<u64> = shards.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4, "shard seeds must be distinct");
+    }
+
+    #[test]
+    fn over_seeds_and_derived_seeds_shapes() {
+        let base = base_config(1_000);
+        let explicit = Campaign::over_seeds(&base, &[1, 2, 3]);
+        assert_eq!(
+            explicit.shards().iter().map(|s| s.seed).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        let derived = Campaign::derived_seeds(&base, 3);
+        let factory = SeedFactory::new(base.seed);
+        for (i, shard) in derived.shards().iter().enumerate() {
+            assert_eq!(shard.seed, factory.shard_seed(i as u64));
+            assert_eq!(shard.steps, base.steps);
+        }
+    }
+
+    #[test]
+    fn stats_absorb_matches_merge_of_singletons() {
+        let reports: Vec<ExperimentReport> = Campaign::split(&base_config(6_000), 3)
+            .run()
+            .unwrap()
+            .shards;
+        let mut folded = CampaignStats::default();
+        for r in &reports {
+            folded.absorb(r);
+        }
+        let mut merged = CampaignStats::default();
+        for r in &reports {
+            let mut single = CampaignStats::default();
+            single.absorb(r);
+            merged.merge(&single);
+        }
+        assert_eq!(folded, merged);
+        assert_eq!(folded.steps, 6_000);
+        assert_eq!(folded.histogram.total(), 6_000);
+    }
+
+    #[test]
+    fn jobs_from_env_parses_and_falls_back() {
+        // Serial scan of the parse logic without mutating the process
+        // environment (other tests read it concurrently).
+        assert_eq!(jobs_from_env(3), jobs_from_env(3));
+        let fallback = jobs_from_env(5);
+        assert!(fallback >= 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Differential tests: the parallel campaign runner must be a pure
+//! wall-clock optimisation.  For every seed and every worker count the
+//! merged campaign report — and the merged telemetry, journal included —
+//! must serialise to exactly the same bytes as the serial (`jobs = 1`)
+//! reference run.
+
+use afta_campaign::{jobs_from_env, Campaign};
+use afta_faultinject::EnvironmentProfile;
+use afta_switchboard::ExperimentConfig;
+
+fn storm_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        steps: 24_000,
+        seed,
+        profile: EnvironmentProfile::cyclic_storms(1_500, 300, 0.0002, 0.15),
+        trace_stride: 1_000,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// The worker counts every differential test sweeps: the fixed battery
+/// plus whatever CI forces through `AFTA_CAMPAIGN_JOBS`.
+fn job_counts() -> Vec<usize> {
+    let mut jobs = vec![1, 2, 4, 7];
+    let forced = jobs_from_env(1);
+    if !jobs.contains(&forced) {
+        jobs.push(forced);
+    }
+    jobs
+}
+
+#[test]
+fn merged_report_is_byte_identical_across_worker_counts() {
+    for seed in [11u64, 42] {
+        let reference = Campaign::split(&storm_config(seed), 6)
+            .jobs(1)
+            .run()
+            .unwrap();
+        let reference_json = reference.to_json();
+        assert_eq!(reference.stats.steps, 24_000, "seed {seed}");
+        assert_eq!(reference.stats.histogram.total(), 24_000, "seed {seed}");
+
+        for jobs in job_counts() {
+            let parallel = Campaign::split(&storm_config(seed), 6)
+                .jobs(jobs)
+                .run()
+                .unwrap();
+            assert_eq!(
+                parallel.to_json(),
+                reference_json,
+                "seed {seed}, jobs {jobs}: merged report diverged from serial run"
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_telemetry_is_byte_identical_across_worker_counts() {
+    for seed in [11u64, 42] {
+        let (reference, reference_telemetry) = Campaign::split(&storm_config(seed), 6)
+            .jobs(1)
+            .run_observed()
+            .unwrap();
+        let reference_json = reference_telemetry.to_json();
+        // The merged telemetry agrees with the merged report.
+        assert_eq!(
+            reference_telemetry.counter("voting.rounds"),
+            reference.stats.steps
+        );
+        assert_eq!(
+            reference_telemetry.counter("switchboard.faults_injected"),
+            reference.stats.faults_injected
+        );
+
+        for jobs in job_counts() {
+            let (parallel, telemetry) = Campaign::split(&storm_config(seed), 6)
+                .jobs(jobs)
+                .run_observed()
+                .unwrap();
+            assert_eq!(
+                parallel.to_json(),
+                reference.to_json(),
+                "seed {seed}, jobs {jobs}"
+            );
+            assert_eq!(
+                telemetry.to_json(),
+                reference_json,
+                "seed {seed}, jobs {jobs}: merged telemetry diverged from serial run"
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_seed_campaigns_differ() {
+    // Sanity check on the witness itself: distinct seeds must tell
+    // distinct stories, otherwise byte-identity above would be vacuous.
+    let a = Campaign::split(&storm_config(11), 6).run().unwrap();
+    let b = Campaign::split(&storm_config(42), 6).run().unwrap();
+    assert_ne!(a.to_json(), b.to_json());
+}

@@ -1,0 +1,146 @@
+//! Property tests for the campaign runner's determinism machinery:
+//!
+//! * the order-independent reducers (histogram and stats merge) are
+//!   associative and commutative;
+//! * shard seed derivation is collision-free across shard indices;
+//! * checkpoint/resume at an arbitrary step boundary reproduces the
+//!   uninterrupted run bit for bit.
+
+use afta_campaign::CampaignStats;
+use afta_faultinject::EnvironmentProfile;
+use afta_sim::stats::Histogram;
+use afta_sim::SeedFactory;
+use afta_switchboard::{
+    run_experiment, ExperimentCheckpoint, ExperimentConfig, ExperimentRun, RedundancyPolicy,
+};
+use afta_telemetry::Registry;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn histogram_from(pairs: &[(u64, u64)]) -> Histogram {
+    let mut h = Histogram::new();
+    for &(value, count) in pairs {
+        // Keep bin values small so distinct draws often share bins — the
+        // interesting case for merge arithmetic.
+        h.record_n(value % 16, count % 1_000);
+    }
+    h
+}
+
+fn stats_from(pairs: &[(u64, u64)]) -> CampaignStats {
+    let h = histogram_from(pairs);
+    CampaignStats {
+        shards: pairs.len() as u64,
+        steps: h.total(),
+        histogram: h,
+        voting_failures: pairs.first().map_or(0, |p| p.0 % 7),
+        faults_injected: pairs.first().map_or(0, |p| p.1 % 997),
+        raises: pairs.len() as u64 / 2,
+        lowers: pairs.len() as u64 / 3,
+    }
+}
+
+proptest! {
+    fn histogram_merge_is_commutative(
+        a in vec((any::<u64>(), any::<u64>()), 0..12),
+        b in vec((any::<u64>(), any::<u64>()), 0..12),
+    ) {
+        let (ha, hb) = (histogram_from(&a), histogram_from(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    fn histogram_merge_is_associative(
+        a in vec((any::<u64>(), any::<u64>()), 0..12),
+        b in vec((any::<u64>(), any::<u64>()), 0..12),
+        c in vec((any::<u64>(), any::<u64>()), 0..12),
+    ) {
+        let (ha, hb, hc) = (histogram_from(&a), histogram_from(&b), histogram_from(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    fn campaign_stats_merge_is_commutative_and_associative(
+        a in vec((any::<u64>(), any::<u64>()), 1..10),
+        b in vec((any::<u64>(), any::<u64>()), 1..10),
+        c in vec((any::<u64>(), any::<u64>()), 1..10),
+    ) {
+        let (sa, sb, sc) = (stats_from(&a), stats_from(&b), stats_from(&c));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut left = ab.clone();
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    fn shard_seeds_never_collide(
+        master in any::<u64>(),
+        start in 0u64..1_000_000,
+        count in 1usize..256,
+    ) {
+        let factory = SeedFactory::new(master);
+        let mut seeds: Vec<u64> = (start..start + count as u64)
+            .map(|i| factory.shard_seed(i))
+            .collect();
+        seeds.sort_unstable();
+        let before = seeds.len();
+        seeds.dedup();
+        prop_assert_eq!(
+            seeds.len(), before,
+            "collision for master {} in indices {}..{}", master, start, start + count as u64
+        );
+        // A shard's seed also never equals the master itself mapping
+        // through a different index window start.
+        prop_assert_eq!(factory.shard_seed(start), factory.shard_seed(start));
+    }
+
+    fn checkpoint_resume_at_any_boundary_reproduces_run(
+        steps in 100u64..2_000,
+        split_num in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let config = ExperimentConfig {
+            steps,
+            seed,
+            profile: EnvironmentProfile::cyclic_storms(300, 80, 0.001, 0.25),
+            policy: RedundancyPolicy { lower_after: 120, ..RedundancyPolicy::default() },
+            trace_stride: 97,
+        };
+        let whole = run_experiment(&config, None);
+
+        // Interrupt at an arbitrary boundary (0..=steps), serialise the
+        // checkpoint, resume from the deserialised copy.
+        let split = split_num % (steps + 1);
+        let registry = Registry::disabled();
+        let mut first = ExperimentRun::new(&config);
+        let advanced = first.run_chunk(split, None, &registry);
+        prop_assert_eq!(advanced, split);
+        let json = serde_json::to_string(&first.checkpoint()).expect("checkpoint serialises");
+        let checkpoint: ExperimentCheckpoint =
+            serde_json::from_str(&json).expect("checkpoint deserialises");
+
+        let mut resumed = ExperimentRun::resume(checkpoint);
+        let rest = resumed.run_chunk(u64::MAX, None, &registry);
+        prop_assert_eq!(rest, steps - split);
+        prop_assert_eq!(resumed.into_report(&registry), whole);
+    }
+}

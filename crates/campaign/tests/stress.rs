@@ -1,0 +1,171 @@
+//! Concurrency stress tests: more shards than workers, telemetry-heavy
+//! fault schedules, and deliberately panicking shards.  The properties
+//! under stress are the executor's delivery guarantees — no shard result
+//! is lost, no telemetry record is dropped, and a panicking shard is a
+//! per-shard error, never a hang or a poisoned pool.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use afta_campaign::{parallel_map, Campaign, CampaignError};
+use afta_faultinject::{
+    EnvironmentProfile, FaultClass, Injector, ObservedInjector, PeriodicInjector,
+};
+use afta_sim::Tick;
+use afta_switchboard::ExperimentConfig;
+use afta_telemetry::{Registry, TelemetryReport};
+
+fn stress_config(seed: u64, steps: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        steps,
+        seed,
+        profile: EnvironmentProfile::cyclic_storms(400, 120, 0.0005, 0.2),
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Runs `f` with the default panic hook silenced, so tests that drive
+/// shards into deliberate panics do not spray backtraces over the test
+/// output.  The hook is process-global; the existing hook is restored
+/// afterwards.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let previous = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = f();
+    panic::set_hook(previous);
+    result
+}
+
+#[test]
+fn oversubscribed_campaign_loses_no_shard_and_drops_no_telemetry() {
+    // 32 shards over 4 workers: every worker services many shards.
+    let shards: Vec<ExperimentConfig> = (0..32).map(|i| stress_config(1_000 + i, 2_000)).collect();
+    let (report, telemetry) = Campaign::new(shards.clone())
+        .jobs(4)
+        .run_observed()
+        .unwrap();
+
+    assert_eq!(report.shards.len(), 32, "no shard result may be lost");
+    for (i, shard) in report.shards.iter().enumerate() {
+        assert_eq!(
+            shard.histogram.total(),
+            shards[i].steps,
+            "shard {i} dwell accounting incomplete"
+        );
+    }
+    assert_eq!(report.stats.steps, 32 * 2_000);
+    assert_eq!(telemetry.counter("voting.rounds"), 32 * 2_000);
+    assert_eq!(
+        telemetry.journal_dropped, 0,
+        "telemetry records were dropped"
+    );
+    assert_eq!(
+        telemetry.counter("switchboard.faults_injected"),
+        report.stats.faults_injected
+    );
+}
+
+#[test]
+fn observed_injectors_in_parallel_shards_count_exactly() {
+    // Each shard drives its own ObservedInjector fault schedule into its
+    // own Registry; the merged telemetry must carry the exact
+    // deterministic injection counts, regardless of scheduling.
+    const TICKS: u64 = 1_000;
+    let periods: Vec<u64> = vec![3, 7, 11, 13, 17, 19, 23, 29];
+
+    let results = parallel_map(3, &periods, |i, &period| {
+        let registry = Registry::new();
+        let class = match i % 3 {
+            0 => FaultClass::Transient,
+            1 => FaultClass::Intermittent,
+            _ => FaultClass::Permanent,
+        };
+        let mut injector =
+            ObservedInjector::new(PeriodicInjector::new(period, 0, class), registry.clone());
+        for t in 0..TICKS {
+            let _ = injector.inject(Tick(t));
+        }
+        registry.report()
+    });
+
+    let mut merged = TelemetryReport::default();
+    let mut expected_total = 0;
+    for (i, result) in results.into_iter().enumerate() {
+        let shard = result.expect("no shard may fail");
+        // PeriodicInjector(period, 0) fires at 0, period, 2·period, ...
+        let expected = TICKS.div_ceil(periods[i]);
+        assert_eq!(
+            shard.counter("faultinject.injections"),
+            expected,
+            "shard {i}"
+        );
+        expected_total += expected;
+        merged.merge(&shard);
+    }
+    assert_eq!(merged.counter("faultinject.injections"), expected_total);
+    assert_eq!(
+        merged.counter("faultinject.transient")
+            + merged.counter("faultinject.intermittent")
+            + merged.counter("faultinject.permanent"),
+        expected_total
+    );
+    assert_eq!(merged.journal_dropped, 0);
+    assert_eq!(
+        merged.journal_of_kind("fault-injected").count() as u64,
+        expected_total
+    );
+}
+
+#[test]
+fn panicking_shard_is_isolated_not_a_hang() {
+    let items: Vec<u64> = (0..8).collect();
+    let completed = AtomicUsize::new(0);
+    let results = with_quiet_panics(|| {
+        parallel_map(2, &items, |i, &x| {
+            assert!(i != 5, "deliberate shard failure at index {i}");
+            completed.fetch_add(1, Ordering::Relaxed);
+            x * 2
+        })
+    });
+
+    assert_eq!(results.len(), 8);
+    assert_eq!(
+        completed.load(Ordering::Relaxed),
+        7,
+        "other shards must finish"
+    );
+    for (i, result) in results.iter().enumerate() {
+        if i == 5 {
+            let panic = result.as_ref().unwrap_err();
+            assert_eq!(panic.index, 5);
+            assert!(
+                panic
+                    .message
+                    .contains("deliberate shard failure at index 5"),
+                "message: {}",
+                panic.message
+            );
+        } else {
+            assert_eq!(result.as_ref().unwrap(), &(i as u64 * 2), "shard {i}");
+        }
+    }
+}
+
+#[test]
+fn campaign_reports_failed_shards_by_index() {
+    // Shard 2 carries an invalid policy (even minimum), which the
+    // controller rejects with a panic; the campaign must surface that as
+    // a per-shard error listing the index, while the healthy shards run.
+    let mut shards: Vec<ExperimentConfig> = (0..4).map(|i| stress_config(i, 500)).collect();
+    shards[2].policy.min = 4;
+
+    let err = with_quiet_panics(|| Campaign::new(shards).jobs(2).run().unwrap_err());
+    let CampaignError::ShardsFailed(panics) = err;
+    assert_eq!(panics.len(), 1);
+    assert_eq!(panics[0].index, 2);
+    assert!(
+        panics[0].message.contains("odd"),
+        "policy validation message, got: {}",
+        panics[0].message
+    );
+}

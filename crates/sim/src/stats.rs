@@ -183,6 +183,34 @@ impl Summary {
         Self::default()
     }
 
+    /// Merges another summary into this one (Chan et al.'s parallel
+    /// Welford combination), so per-shard summaries reduce to exactly the
+    /// moments a single sequential pass over all observations would have
+    /// produced (up to floating-point rounding).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
     /// Adds an observation.
     pub fn record(&mut self, x: f64) {
         self.count += 1;
@@ -262,7 +290,7 @@ impl FromIterator<f64> for Summary {
 /// assert_eq!(h.count(5), 15);
 /// assert_eq!(h.total(), 30);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TimeWeighted {
     hist: Histogram,
     since: Tick,
@@ -409,6 +437,38 @@ mod tests {
         assert_eq!(one.variance(), 0.0);
         assert_eq!(one.min(), Some(3.5));
         assert_eq!(one.max(), Some(3.5));
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let sequential: Summary = xs.into_iter().collect();
+        let mut left: Summary = xs[..3].iter().copied().collect();
+        let right: Summary = xs[3..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), sequential.count());
+        assert!((left.mean() - sequential.mean()).abs() < 1e-12);
+        assert!((left.variance() - sequential.variance()).abs() < 1e-12);
+        assert_eq!(left.min(), sequential.min());
+        assert_eq!(left.max(), sequential.max());
+
+        // Merging with an empty summary is the identity, both ways.
+        let mut e = Summary::new();
+        e.merge(&sequential);
+        assert_eq!(e.count(), sequential.count());
+        let mut s = sequential.clone();
+        s.merge(&Summary::new());
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn time_weighted_serde_roundtrip() {
+        let mut tw = TimeWeighted::new(Tick(0), 3);
+        tw.transition(Tick(10), 5);
+        let json = serde_json::to_string(&tw).unwrap();
+        let back: TimeWeighted = serde_json::from_str(&json).unwrap();
+        assert_eq!(tw, back);
+        assert_eq!(back.finish(Tick(30)).count(5), 20);
     }
 
     #[test]

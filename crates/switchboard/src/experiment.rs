@@ -53,7 +53,7 @@ pub struct TracePoint {
 }
 
 /// Configuration of a §3.3 experiment run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ExperimentConfig {
     /// Number of simulated time steps (the paper runs up to 65 million).
     pub steps: u64,
@@ -159,127 +159,292 @@ pub fn run_experiment_observed(
     bus: Option<&Bus>,
     telemetry: &Registry,
 ) -> ExperimentReport {
-    let seeds = SeedFactory::new(config.seed);
-    let mut rng = seeds.stream("replica-faults");
-    let mut controller = RedundancyController::new(config.policy);
-    let mut n = config.policy.min;
-    let mut dwell = TimeWeighted::new(Tick::ZERO, n as u64);
+    let mut run = ExperimentRun::new(config);
+    let _ = run.run_chunk(u64::MAX, bus, telemetry);
+    run.into_report(telemetry)
+}
 
-    let vote_telemetry = VoteTelemetry::new(telemetry);
-    let faults_counter = telemetry.counter("switchboard.faults_injected");
-    let raises_counter = telemetry.counter("switchboard.raises");
-    let lowers_counter = telemetry.counter("switchboard.lowers");
-    let redundancy_gauge = telemetry.gauge("switchboard.redundancy");
-    redundancy_gauge.set(n as i64);
+/// A frozen, serialisable snapshot of an [`ExperimentRun`] at a step
+/// boundary.  Feeding it to [`ExperimentRun::resume`] continues the run
+/// bit-identically — the RNG state, control law, dwell accounting, and
+/// trace are all captured, so an interrupted 65-million-step campaign
+/// shard loses no work and changes no result.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExperimentCheckpoint {
+    /// The configuration of the checkpointed run.
+    pub config: ExperimentConfig,
+    /// The first step the resumed run will simulate (`steps + 1` when the
+    /// run had already finished).
+    pub next_step: u64,
+    /// The fault-stream RNG's internal state.
+    pub rng_state: [u64; 4],
+    /// The control law, mid-flight (streak counters included).
+    pub controller: RedundancyController,
+    /// Replica count in effect.
+    pub n: usize,
+    /// Dwell-time accounting up to the checkpoint.
+    pub dwell: TimeWeighted,
+    /// Failed voting rounds so far.
+    pub voting_failures: u64,
+    /// Faults injected so far.
+    pub faults_injected: u64,
+    /// The Fig. 6 trace accumulated so far.
+    pub trace: Vec<TracePoint>,
+}
 
-    let mut voting_failures = 0u64;
-    let mut faults_injected = 0u64;
-    let mut trace = Vec::new();
+/// The §3.3 experiment as a resumable state machine.
+///
+/// [`run_experiment`]/[`run_experiment_observed`] are thin wrappers that
+/// drive one `ExperimentRun` to completion in a single chunk.  Campaign
+/// shards instead advance a run in bounded chunks ([`ExperimentRun::run_chunk`]),
+/// snapshot it at any step boundary ([`ExperimentRun::checkpoint`]), and
+/// later pick it up again ([`ExperimentRun::resume`]) — with the
+/// guarantee that any chunking of the step range produces a report
+/// bit-identical to the uninterrupted run.
+#[derive(Debug, Clone)]
+pub struct ExperimentRun {
+    config: ExperimentConfig,
+    rng: rand::rngs::StdRng,
+    controller: RedundancyController,
+    n: usize,
+    dwell: TimeWeighted,
+    voting_failures: u64,
+    faults_injected: u64,
+    trace: Vec<TracePoint>,
+    next_step: u64,
+}
 
-    // The replicated method: replica i returns the correct answer unless
-    // the environment corrupts it this round, in which case it returns a
-    // value unique to the replica (faulty channels do not collude).
-    const CORRECT: u64 = 0xC0FFEE;
-
-    for step in 1..=config.steps {
-        let tick = Tick(step);
-        let p = config.profile.probability_at(tick);
-
-        // Draw per-replica faults and synthesise the vote vector.
-        let mut votes: Vec<u64> = Vec::with_capacity(n);
-        let mut faults = 0usize;
-        for replica in 0..n {
-            if p > 0.0 && rng.gen_bool(p) {
-                faults += 1;
-                votes.push(u64::MAX - replica as u64);
-            } else {
-                votes.push(CORRECT);
-            }
+impl ExperimentRun {
+    /// Starts a run at step 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy is invalid.
+    #[must_use]
+    pub fn new(config: &ExperimentConfig) -> Self {
+        let seeds = SeedFactory::new(config.seed);
+        let controller = RedundancyController::new(config.policy);
+        let n = config.policy.min;
+        Self {
+            config: config.clone(),
+            rng: seeds.stream("replica-faults"),
+            controller,
+            n,
+            dwell: TimeWeighted::new(Tick::ZERO, n as u64),
+            voting_failures: 0,
+            faults_injected: 0,
+            trace: Vec::new(),
+            next_step: 1,
         }
-        faults_injected += faults as u64;
-        if faults > 0 {
-            faults_counter.add(faults as u64);
-        }
+    }
 
-        let outcome = majority_vote(&votes);
-        let round_dtof = match &outcome {
-            VoteOutcome::Majority { dissent, .. } => dtof(n, Some(*dissent)),
-            VoteOutcome::NoMajority => {
-                voting_failures += 1;
-                dtof(n, None)
-            }
-        };
-        vote_telemetry.observe(
-            tick,
-            &RoundReport {
-                n,
-                outcome,
-                dtof: round_dtof,
-            },
+    /// Reconstructs a run from a [`checkpoint`](ExperimentRun::checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the checkpoint's step cursor lies outside the
+    /// configured step range.
+    #[must_use]
+    pub fn resume(checkpoint: ExperimentCheckpoint) -> Self {
+        assert!(
+            checkpoint.next_step >= 1 && checkpoint.next_step <= checkpoint.config.steps + 1,
+            "checkpoint cursor {} outside 1..={}",
+            checkpoint.next_step,
+            checkpoint.config.steps + 1
         );
-
-        if let Some(bus) = bus {
-            bus.publish(DisturbanceReading {
-                tick,
-                n,
-                faults,
-                dtof: round_dtof,
-            });
+        Self {
+            config: checkpoint.config,
+            rng: rand::rngs::StdRng::from_state(checkpoint.rng_state),
+            controller: checkpoint.controller,
+            n: checkpoint.n,
+            dwell: checkpoint.dwell,
+            voting_failures: checkpoint.voting_failures,
+            faults_injected: checkpoint.faults_injected,
+            trace: checkpoint.trace,
+            next_step: checkpoint.next_step,
         }
+    }
 
-        let decision = controller.observe(round_dtof, n);
-        let adapted = decision.new_count().is_some();
-        if let Some(new_n) = decision.new_count() {
-            n = new_n;
-            dwell.transition(tick, n as u64);
-            redundancy_gauge.set(n as i64);
-            match decision {
-                Decision::Raise { from, to } => {
-                    raises_counter.inc();
-                    telemetry.record(tick, TelemetryEvent::RedundancyRaised { from, to });
+    /// Snapshots the run at the current step boundary.
+    #[must_use]
+    pub fn checkpoint(&self) -> ExperimentCheckpoint {
+        ExperimentCheckpoint {
+            config: self.config.clone(),
+            next_step: self.next_step,
+            rng_state: self.rng.state(),
+            controller: self.controller.clone(),
+            n: self.n,
+            dwell: self.dwell.clone(),
+            voting_failures: self.voting_failures,
+            faults_injected: self.faults_injected,
+            trace: self.trace.clone(),
+        }
+    }
+
+    /// The run's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.config
+    }
+
+    /// The next step the run will simulate (1-based).
+    #[must_use]
+    pub fn next_step(&self) -> u64 {
+        self.next_step
+    }
+
+    /// Whether every configured step has been simulated.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.next_step > self.config.steps
+    }
+
+    /// Advances the run by at most `max_steps` steps and returns how many
+    /// were actually simulated (fewer only when the run finishes).
+    ///
+    /// Semantics are exactly those of [`run_experiment_observed`]: any
+    /// sequence of `run_chunk` calls covering the full step range
+    /// produces the same report and the same telemetry as one
+    /// uninterrupted call.
+    pub fn run_chunk(&mut self, max_steps: u64, bus: Option<&Bus>, telemetry: &Registry) -> u64 {
+        let vote_telemetry = VoteTelemetry::new(telemetry);
+        let faults_counter = telemetry.counter("switchboard.faults_injected");
+        let raises_counter = telemetry.counter("switchboard.raises");
+        let lowers_counter = telemetry.counter("switchboard.lowers");
+        let redundancy_gauge = telemetry.gauge("switchboard.redundancy");
+        redundancy_gauge.set(self.n as i64);
+
+        // The replicated method: replica i returns the correct answer
+        // unless the environment corrupts it this round, in which case it
+        // returns a value unique to the replica (faulty channels do not
+        // collude).
+        const CORRECT: u64 = 0xC0FFEE;
+
+        let remaining = self.config.steps.saturating_add(1) - self.next_step;
+        let todo = remaining.min(max_steps);
+
+        for _ in 0..todo {
+            let step = self.next_step;
+            let tick = Tick(step);
+            let p = self.config.profile.probability_at(tick);
+            let n = self.n;
+
+            // Draw per-replica faults and synthesise the vote vector.
+            let mut votes: Vec<u64> = Vec::with_capacity(n);
+            let mut faults = 0usize;
+            for replica in 0..n {
+                if p > 0.0 && self.rng.gen_bool(p) {
+                    faults += 1;
+                    votes.push(u64::MAX - replica as u64);
+                } else {
+                    votes.push(CORRECT);
                 }
-                Decision::Lower { from, to } => {
-                    lowers_counter.inc();
-                    telemetry.record(tick, TelemetryEvent::RedundancyLowered { from, to });
-                }
-                Decision::Hold => {}
             }
+            self.faults_injected += faults as u64;
+            if faults > 0 {
+                faults_counter.add(faults as u64);
+            }
+
+            let outcome = majority_vote(&votes);
+            let round_dtof = match &outcome {
+                VoteOutcome::Majority { dissent, .. } => dtof(n, Some(*dissent)),
+                VoteOutcome::NoMajority => {
+                    self.voting_failures += 1;
+                    dtof(n, None)
+                }
+            };
+            vote_telemetry.observe(
+                tick,
+                &RoundReport {
+                    n,
+                    outcome,
+                    dtof: round_dtof,
+                },
+            );
+
             if let Some(bus) = bus {
-                bus.publish(RedundancyChange { tick, decision });
+                bus.publish(DisturbanceReading {
+                    tick,
+                    n,
+                    faults,
+                    dtof: round_dtof,
+                });
+            }
+
+            let decision = self.controller.observe(round_dtof, n);
+            let adapted = decision.new_count().is_some();
+            if let Some(new_n) = decision.new_count() {
+                self.n = new_n;
+                self.dwell.transition(tick, new_n as u64);
+                redundancy_gauge.set(new_n as i64);
+                match decision {
+                    Decision::Raise { from, to } => {
+                        raises_counter.inc();
+                        telemetry.record(tick, TelemetryEvent::RedundancyRaised { from, to });
+                    }
+                    Decision::Lower { from, to } => {
+                        lowers_counter.inc();
+                        telemetry.record(tick, TelemetryEvent::RedundancyLowered { from, to });
+                    }
+                    Decision::Hold => {}
+                }
+                if let Some(bus) = bus {
+                    bus.publish(RedundancyChange { tick, decision });
+                }
+            }
+
+            let periodic =
+                self.config.trace_stride > 0 && step.is_multiple_of(self.config.trace_stride);
+            if periodic || adapted {
+                self.trace.push(TracePoint {
+                    tick,
+                    n: self.n,
+                    dtof: round_dtof,
+                    faults,
+                });
+            }
+
+            self.next_step += 1;
+        }
+        todo
+    }
+
+    /// Closes the dwell accounting, mirrors the Fig. 7 histogram into the
+    /// registry, and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when steps remain — finish the run with
+    /// [`ExperimentRun::run_chunk`] first.
+    #[must_use]
+    pub fn into_report(self, telemetry: &Registry) -> ExperimentReport {
+        assert!(
+            self.is_done(),
+            "experiment has only reached step {} of {}",
+            self.next_step.saturating_sub(1),
+            self.config.steps
+        );
+        let histogram = self.dwell.finish(Tick(self.config.steps));
+
+        // Mirror the exact dwell accounting into the registry so a
+        // TelemetryReport reproduces Fig. 7's per-degree numbers verbatim.
+        if telemetry.is_enabled() {
+            let bounds = redundancy_bounds(&self.config.policy);
+            let time_at_r = telemetry.histogram("switchboard.time_at_r", &bounds);
+            for (degree, ticks) in histogram.iter() {
+                time_at_r.record_n(degree, ticks);
             }
         }
 
-        let periodic = config.trace_stride > 0 && step % config.trace_stride == 0;
-        if periodic || adapted {
-            trace.push(TracePoint {
-                tick,
-                n,
-                dtof: round_dtof,
-                faults,
-            });
+        ExperimentReport {
+            steps: self.config.steps,
+            histogram,
+            voting_failures: self.voting_failures,
+            faults_injected: self.faults_injected,
+            raises: self.controller.raises(),
+            lowers: self.controller.lowers(),
+            trace: self.trace,
         }
-    }
-
-    let histogram = dwell.finish(Tick(config.steps));
-
-    // Mirror the exact dwell accounting into the registry so a
-    // TelemetryReport reproduces Fig. 7's per-degree numbers verbatim.
-    if telemetry.is_enabled() {
-        let bounds = redundancy_bounds(&config.policy);
-        let time_at_r = telemetry.histogram("switchboard.time_at_r", &bounds);
-        for (degree, ticks) in histogram.iter() {
-            time_at_r.record_n(degree, ticks);
-        }
-    }
-
-    ExperimentReport {
-        steps: config.steps,
-        histogram,
-        voting_failures,
-        faults_injected,
-        raises: controller.raises(),
-        lowers: controller.lowers(),
-        trace,
     }
 }
 
@@ -484,6 +649,69 @@ mod tests {
 
         // A different seed tells a different story.
         assert_ne!(journal_of(100), first);
+    }
+
+    #[test]
+    fn chunked_run_equals_uninterrupted_run() {
+        let profile = EnvironmentProfile::cyclic_storms(700, 150, 0.0005, 0.25);
+        let mut cfg = quick_config(6_000, profile);
+        cfg.trace_stride = 500;
+
+        let whole = run_experiment(&cfg, None);
+
+        // Uneven chunk sizes, including zero-length and oversized ones.
+        let registry = Registry::disabled();
+        let mut run = ExperimentRun::new(&cfg);
+        for chunk in [1u64, 0, 999, 2_500, 1, u64::MAX] {
+            let _ = run.run_chunk(chunk, None, &registry);
+        }
+        assert!(run.is_done());
+        assert_eq!(run.run_chunk(10, None, &registry), 0);
+        assert_eq!(run.into_report(&registry), whole);
+    }
+
+    #[test]
+    fn checkpoint_resume_preserves_run_and_telemetry() {
+        let profile = EnvironmentProfile::cyclic_storms(400, 120, 0.001, 0.3);
+        let cfg = quick_config(3_000, profile);
+
+        let whole_registry = Registry::new();
+        let whole = run_experiment_observed(&cfg, None, &whole_registry);
+
+        // Stop mid-run, serialise the checkpoint, resume elsewhere.
+        let split_registry = Registry::new();
+        let mut first = ExperimentRun::new(&cfg);
+        let advanced = first.run_chunk(1_234, None, &split_registry);
+        assert_eq!(advanced, 1_234);
+        assert_eq!(first.next_step(), 1_235);
+        let json = serde_json::to_string(&first.checkpoint()).unwrap();
+        let checkpoint: ExperimentCheckpoint = serde_json::from_str(&json).unwrap();
+
+        let mut second = ExperimentRun::resume(checkpoint);
+        assert_eq!(second.config(), &cfg);
+        let _ = second.run_chunk(u64::MAX, None, &split_registry);
+        let report = second.into_report(&split_registry);
+
+        assert_eq!(report, whole);
+        assert_eq!(split_registry.report(), whole_registry.report());
+    }
+
+    #[test]
+    #[should_panic(expected = "only reached step")]
+    fn into_report_requires_completion() {
+        let cfg = quick_config(100, EnvironmentProfile::calm(0.0));
+        let mut run = ExperimentRun::new(&cfg);
+        let _ = run.run_chunk(50, None, &Registry::disabled());
+        let _ = run.into_report(&Registry::disabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn resume_rejects_out_of_range_cursor() {
+        let cfg = quick_config(100, EnvironmentProfile::calm(0.0));
+        let mut checkpoint = ExperimentRun::new(&cfg).checkpoint();
+        checkpoint.next_step = 500;
+        let _ = ExperimentRun::resume(checkpoint);
     }
 
     #[test]

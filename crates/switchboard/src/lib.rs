@@ -11,7 +11,11 @@
 //!   critically low; lower after 1000 consecutive full-consensus rounds);
 //! * [`run_experiment`] — the fault-injection experiment driver behind
 //!   Figs. 6 and 7, publishing [`DisturbanceReading`]s and
-//!   [`RedundancyChange`]s on an event bus.
+//!   [`RedundancyChange`]s on an event bus;
+//! * [`ExperimentRun`] — the same experiment as a resumable state
+//!   machine: advance in bounded chunks, [`ExperimentRun::checkpoint`]
+//!   at any step boundary, resume bit-identically.  This is what lets
+//!   `afta-campaign` shard and restart the paper-scale 65M-step runs.
 //!
 //! The resulting system "complies to Boulding's categories of 'Cells' and
 //! 'Plants', i.e. open software systems with a self-maintaining
@@ -28,5 +32,6 @@ pub use ablation::{ablation_base, sweep_lower_after, sweep_raise_threshold, Abla
 pub use controller::{Decision, RedundancyController, RedundancyPolicy};
 pub use experiment::{
     redundancy_bounds, run_experiment, run_experiment_observed, DisturbanceReading,
-    ExperimentConfig, ExperimentReport, RedundancyChange, TracePoint,
+    ExperimentCheckpoint, ExperimentConfig, ExperimentReport, ExperimentRun, RedundancyChange,
+    TracePoint,
 };

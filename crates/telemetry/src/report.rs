@@ -43,6 +43,36 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
+
+    /// Merges another snapshot into this one, bucket by bucket.  Merging
+    /// into an empty (default) snapshot adopts `other` wholesale, so a
+    /// fold over per-shard snapshots needs no seed special-casing.
+    ///
+    /// The operation is commutative and associative — the foundation of
+    /// the campaign runner's order-independent reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when both snapshots are non-empty and their bounds differ:
+    /// histograms of different shapes have no meaningful bucket-wise sum.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.bounds.is_empty() && other.count == 0 {
+            return;
+        }
+        if self.bounds.is_empty() && self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
 }
 
 /// Everything a registry knows, frozen: sorted metric maps plus the
@@ -96,6 +126,51 @@ impl TelemetryReport {
             && self.gauges.is_empty()
             && self.histograms.is_empty()
             && self.journal.is_empty()
+    }
+
+    /// Merges another report into this one:
+    ///
+    /// * counters — summed by name;
+    /// * gauges — element-wise **max** by name (a gauge is a level, not a
+    ///   flow; the merged report keeps the highest level any shard
+    ///   reached, which is commutative);
+    /// * histograms — bucket-wise sum via [`HistogramSnapshot::merge`]
+    ///   (panics on mismatched bounds);
+    /// * journal — `other`'s records appended after `self`'s, then the
+    ///   whole journal renumbered so `seq` stays 1-based and gap-free;
+    /// * `journal_dropped` — summed.
+    ///
+    /// The metric sections commute, so any merge order yields the same
+    /// counters/gauges/histograms; only the journal's record order
+    /// depends on merge order.  Callers wanting a canonical journal (the
+    /// campaign runner does) must merge in a fixed order, e.g. ascending
+    /// shard index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a histogram name is shared but the bucket bounds
+    /// differ.
+    pub fn merge(&mut self, other: &TelemetryReport) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges
+                .entry(name.clone())
+                .and_modify(|mine| *mine = (*mine).max(*value))
+                .or_insert(*value);
+        }
+        for (name, snapshot) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_default()
+                .merge(snapshot);
+        }
+        self.journal.extend(other.journal.iter().cloned());
+        for (i, record) in self.journal.iter_mut().enumerate() {
+            record.seq = i as u64 + 1;
+        }
+        self.journal_dropped += other.journal_dropped;
     }
 }
 
@@ -215,6 +290,54 @@ mod tests {
         assert!(text.contains("<= 3"));
         assert!(text.contains("journal (1 retained, 0 dropped):"));
         assert!(text.contains("redundancy-raised"));
+    }
+
+    #[test]
+    fn merge_sums_metrics_and_renumbers_journal() {
+        let mut a = sample_report();
+        let mut b = sample_report();
+        b.gauges.insert("replicas".into(), 9);
+        b.journal_dropped = 3;
+
+        a.merge(&b);
+        assert_eq!(a.counter("voting.rounds"), 2000);
+        assert_eq!(a.counter("voting.failures"), 4);
+        assert_eq!(a.gauges["replicas"], 9); // max, not sum
+        let h = a.histogram("time_at_r").unwrap();
+        assert_eq!(h.bucket_count(3), Some(1900));
+        assert_eq!(h.count, 2000);
+        assert_eq!(a.journal.len(), 2);
+        assert_eq!(a.journal[0].seq, 1);
+        assert_eq!(a.journal[1].seq, 2);
+        assert_eq!(a.journal_dropped, 3);
+
+        // Merging into an empty report adopts the other wholesale; metric
+        // sections commute.
+        let mut empty = TelemetryReport::default();
+        empty.merge(&b);
+        let mut other_order = b.clone();
+        other_order.merge(&TelemetryReport::default());
+        assert_eq!(empty.counters, other_order.counters);
+        assert_eq!(empty.gauges, other_order.gauges);
+        assert_eq!(empty.histograms, other_order.histograms);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = HistogramSnapshot {
+            bounds: vec![1, 2],
+            counts: vec![0, 0, 0],
+            count: 1,
+            sum: 1,
+        };
+        let b = HistogramSnapshot {
+            bounds: vec![1, 3],
+            counts: vec![0, 0, 0],
+            count: 1,
+            sum: 1,
+        };
+        a.merge(&b);
     }
 
     #[test]

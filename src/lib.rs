@@ -21,6 +21,7 @@
 //! | [`ftpatterns`] | `afta-ftpatterns` | redoing/reconfiguration, watchdog, adaptive manager (§3.2) |
 //! | [`voting`] | `afta-voting` | restoring organ, majority voting, dtof (§3.3) |
 //! | [`switchboard`] | `afta-switchboard` | autonomic redundancy dimensioning (§3.3) |
+//! | [`campaign`] | `afta-campaign` | parallel deterministic fault-injection campaigns (§3.3) |
 //! | [`faultinject`] | `afta-faultinject` | fault classes, schedules, environment profiles |
 //! | [`telemetry`] | `afta-telemetry` | metrics, spans, flight recorder (observability) |
 //!
@@ -52,6 +53,7 @@
 pub mod agents;
 
 pub use afta_alphacount as alphacount;
+pub use afta_campaign as campaign;
 pub use afta_core as core;
 pub use afta_dag as dag;
 pub use afta_eventbus as eventbus;

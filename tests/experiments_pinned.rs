@@ -4,6 +4,7 @@
 //! re-derived here, so a drive-by change to a substrate cannot silently
 //! invalidate the published paper-vs-measured table.
 
+use afta::campaign::{jobs_from_env, Campaign};
 use afta::faultinject::EnvironmentProfile;
 use afta::ftpatterns::{fig4_scenario, run_scenario, Environment, ScenarioConfig, Strategy};
 use afta::memaccess::{configure, FailureKnowledgeBase, MethodKind};
@@ -140,4 +141,54 @@ fn e6_fig7_shape_at_one_million_steps() {
         assert!(report.histogram.count(r) > 0, "r={r} unused");
     }
     assert_eq!(report.histogram.total(), steps);
+}
+
+#[test]
+fn e6_campaign_exact_values_seed_42() {
+    // A small stormy campaign, pinned cell by cell: 24k steps split over
+    // 6 shards with derived seeds.  Every number below is deterministic
+    // for master seed 42 — and must stay deterministic for ANY worker
+    // count, which the jobs sweep at the end re-verifies byte for byte.
+    let base = ExperimentConfig {
+        steps: 24_000,
+        seed: 42,
+        profile: EnvironmentProfile::cyclic_storms(1_500, 300, 0.0002, 0.15),
+        policy: RedundancyPolicy::default(),
+        trace_stride: 0,
+    };
+    let (report, telemetry) = Campaign::split(&base, 6)
+        .jobs(jobs_from_env(1))
+        .run_observed()
+        .unwrap();
+
+    let stats = &report.stats;
+    assert_eq!(stats.shards, 6);
+    assert_eq!(stats.steps, 24_000);
+    assert_eq!(stats.voting_failures, 26);
+    assert_eq!(stats.faults_injected, 4_874);
+    assert_eq!(stats.raises, 23);
+    assert_eq!(stats.lowers, 5);
+    // The merged Fig. 7 histogram, degree by degree.
+    assert_eq!(stats.histogram.count(3), 4_411);
+    assert_eq!(stats.histogram.count(5), 4_607);
+    assert_eq!(stats.histogram.count(7), 1_873);
+    assert_eq!(stats.histogram.count(9), 13_109);
+    assert_eq!(stats.histogram.total(), 24_000);
+
+    // The merged dtof distribution (bounds 0..=8, plus overflow bucket).
+    let dtof_hist = telemetry.histogram("voting.dtof").unwrap();
+    assert_eq!(dtof_hist.bounds, vec![0, 1, 2, 3, 4, 5, 6, 7, 8]);
+    assert_eq!(
+        dtof_hist.counts,
+        vec![26, 128, 4_786, 5_590, 3_007, 10_463, 0, 0, 0, 0]
+    );
+    assert_eq!(telemetry.counter("voting.rounds"), 24_000);
+    assert_eq!(telemetry.journal_dropped, 0);
+
+    // Worker count is a wall-clock knob, never a result knob.
+    let reference_json = Campaign::split(&base, 6).jobs(1).run().unwrap().to_json();
+    for jobs in [2usize, 5] {
+        let parallel = Campaign::split(&base, 6).jobs(jobs).run().unwrap();
+        assert_eq!(parallel.to_json(), reference_json, "jobs {jobs}");
+    }
 }

@@ -226,6 +226,27 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The generator's internal state words.
+        ///
+        /// Offline-shim extension (upstream `rand` has no such accessor):
+        /// AFTA's checkpoint/resume machinery snapshots the state so a
+        /// long deterministic run can be split at an arbitrary step
+        /// boundary and later resumed bit-identically.
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Reconstructs a generator from state words captured by
+        /// [`StdRng::state`].  The resumed stream continues exactly where
+        /// the snapshotted one left off.
+        #[must_use]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
@@ -279,6 +300,16 @@ mod tests {
         let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
         let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
         assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let _burn: Vec<u64> = (0..5).map(|_| a.gen()).collect();
+        let mut b = StdRng::from_state(a.state());
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
     }
 
     #[test]
