@@ -90,17 +90,35 @@ impl DecayPolicy {
         }
     }
 
-    fn validate(self) {
+    /// Non-panicking validity check: returns a description of the problem
+    /// for an out-of-range parameter.  Static tools (`afta-lint`) use
+    /// this to reject a configuration before construction would panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint when `K` is outside `[0, 1)` or
+    /// `D` is not positive.
+    pub fn check(self) -> Result<(), String> {
         match self {
             DecayPolicy::Multiplicative(k) => {
-                assert!(
-                    (0.0..1.0).contains(&k),
-                    "multiplicative decay K must satisfy 0 <= K < 1, got {k}"
-                );
+                if !(0.0..1.0).contains(&k) {
+                    return Err(format!(
+                        "multiplicative decay K must satisfy 0 <= K < 1, got {k}"
+                    ));
+                }
             }
             DecayPolicy::Subtractive(d) => {
-                assert!(d > 0.0, "subtractive decay D must be positive, got {d}");
+                if d.is_nan() || d <= 0.0 {
+                    return Err(format!("subtractive decay D must be positive, got {d}"));
+                }
             }
+        }
+        Ok(())
+    }
+
+    fn validate(self) {
+        if let Err(reason) = self.check() {
+            panic!("{reason}");
         }
     }
 }
@@ -130,6 +148,23 @@ impl AlphaCount {
     #[must_use]
     pub fn with_threshold(threshold: f64) -> Self {
         Self::new(1.0, threshold, Self::DEFAULT_DECAY)
+    }
+
+    /// Non-panicking validity check over a full parameterisation, for
+    /// static tools that vet configurations before construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated constraint when `increment <= 0`,
+    /// `threshold <= 0`, or the decay parameter is out of range.
+    pub fn check_params(increment: f64, threshold: f64, decay: DecayPolicy) -> Result<(), String> {
+        if increment.is_nan() || increment <= 0.0 {
+            return Err(format!("increment must be positive, got {increment}"));
+        }
+        if threshold.is_nan() || threshold <= 0.0 {
+            return Err(format!("threshold must be positive, got {threshold}"));
+        }
+        decay.check()
     }
 
     /// Creates a fully parameterised filter.
@@ -423,6 +458,27 @@ mod tests {
         assert_eq!(ac.errors(), 0);
         assert_eq!(ac.crossed_at(), None);
         assert_eq!(ac.verdict(), Verdict::Transient);
+    }
+
+    #[test]
+    fn check_params_reports_without_panicking() {
+        assert!(AlphaCount::check_params(1.0, 3.0, AlphaCount::DEFAULT_DECAY).is_ok());
+        assert!(
+            AlphaCount::check_params(0.0, 3.0, AlphaCount::DEFAULT_DECAY)
+                .unwrap_err()
+                .contains("increment")
+        );
+        assert!(
+            AlphaCount::check_params(1.0, -1.0, AlphaCount::DEFAULT_DECAY)
+                .unwrap_err()
+                .contains("threshold")
+        );
+        assert!(
+            AlphaCount::check_params(1.0, 3.0, DecayPolicy::Multiplicative(1.5))
+                .unwrap_err()
+                .contains("0 <= K < 1")
+        );
+        assert!(DecayPolicy::Subtractive(0.0).check().is_err());
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! B11: static-analysis cost — a full three-pass lint of a defect-laden
+//! target, the interval proof on its own, and target JSON round-trips,
+//! at growing manifest sizes.
+
+use afta_core::{Assumption, Expectation};
+use afta_lint::{int_domain, ConversionDecl, LintDriver, LintTarget};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A target with `n` assumptions (alternately probed and stale) plus
+/// `n / 4` guarded narrowings, half of them unproven.
+fn target_of_size(n: usize) -> LintTarget {
+    let mut t = LintTarget::new();
+    for i in 0..n {
+        let key = format!("fact-{i}");
+        t.manifest.assumptions.push(
+            Assumption::builder(format!("a-{i}"))
+                .statement("bench assumption")
+                .expects(&key, Expectation::int_range(-32_768, 32_767))
+                .build(),
+        );
+        if i % 2 == 0 {
+            t.probed_facts.insert(key);
+        }
+    }
+    for i in 0..n / 4 {
+        let guard = format!("a-{}", i * 4);
+        let fact = format!("fact-{}", i * 4);
+        let mut conv = ConversionDecl::narrowing_bits(fact, if i % 2 == 0 { 64 } else { 32 }, 16);
+        conv = conv.guarded(guard);
+        t.conversions.push(conv);
+    }
+    t
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lint");
+
+    for n in [16usize, 64, 256] {
+        let target = target_of_size(n);
+        g.bench_with_input(BenchmarkId::new("full_run", n), &target, |b, target| {
+            let driver = LintDriver::new();
+            b.iter(|| black_box(driver.run(black_box(target))));
+        });
+    }
+
+    g.bench_function("int_domain_composite", |b| {
+        let e = Expectation::AllOf(vec![
+            Expectation::int_range(-100_000, 100_000),
+            Expectation::AnyOf(vec![
+                Expectation::AtLeast(0.0),
+                Expectation::int_range(-32_768, -1),
+            ]),
+        ]);
+        b.iter(|| black_box(int_domain(black_box(&e))));
+    });
+
+    g.bench_function("target_json_roundtrip_64", |b| {
+        let target = target_of_size(64);
+        b.iter(|| {
+            let json = target.to_json().unwrap();
+            black_box(LintTarget::from_json(&json).unwrap())
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_lint);
+criterion_main!(benches);

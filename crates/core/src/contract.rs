@@ -9,10 +9,12 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use crate::assumption::AssumptionId;
 
 /// Which clause of a contract was violated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ViolationKind {
     /// A client obligation did not hold on entry.
     Precondition,
@@ -102,6 +104,12 @@ impl<S: ?Sized> Condition<S> {
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The assumptions this condition declared itself dependent on.
+    #[must_use]
+    pub fn assumes(&self) -> &[AssumptionId] {
+        &self.assumes
     }
 
     /// Evaluates the condition on `state`.
@@ -239,6 +247,52 @@ impl<S: ?Sized> Contract<S> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// A serialisable description of one contract clause: its protocol slot,
+/// its name, and the assumptions it declared itself dependent on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClauseDescriptor {
+    /// Which protocol slot the clause occupies.
+    pub kind: ViolationKind,
+    /// The clause's name.
+    pub name: String,
+    /// Assumptions the clause rests on (empty = unstated hypotheses).
+    pub assumes: Vec<AssumptionId>,
+}
+
+/// A serialisable description of a [`Contract`]: the §4 "exposed
+/// knowledge" view of it.  Check predicates are code and do not
+/// serialise; everything inspectable — clause names and the assumption
+/// web they hang on — does, so deployment-time tools (e.g. `afta-lint`)
+/// can reason over contracts without executing them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ContractDescriptor {
+    /// A name for the contract (e.g. the operation or component it guards).
+    pub name: String,
+    /// Every clause, in protocol order: invariants, pre, post.
+    pub clauses: Vec<ClauseDescriptor>,
+}
+
+impl<S: ?Sized> Contract<S> {
+    /// Exports the contract's inspectable structure under `name`.
+    pub fn describe(&self, name: impl Into<String>) -> ContractDescriptor {
+        let clause = |kind: ViolationKind| {
+            move |c: &Condition<S>| ClauseDescriptor {
+                kind,
+                name: c.name.clone(),
+                assumes: c.assumes.clone(),
+            }
+        };
+        let mut clauses = Vec::with_capacity(self.len());
+        clauses.extend(self.invariants.iter().map(clause(ViolationKind::Invariant)));
+        clauses.extend(self.pre.iter().map(clause(ViolationKind::Precondition)));
+        clauses.extend(self.post.iter().map(clause(ViolationKind::Postcondition)));
+        ContractDescriptor {
+            name: name.into(),
+            clauses,
+        }
     }
 }
 
@@ -470,5 +524,37 @@ mod tests {
         let c = therac_contract();
         let dbg = format!("{c:?}");
         assert!(dbg.contains("Contract"));
+    }
+
+    #[test]
+    fn describe_exports_clauses_in_protocol_order() {
+        let d = therac_contract().describe("dose-delivery");
+        assert_eq!(d.name, "dose-delivery");
+        assert_eq!(d.clauses.len(), 3);
+        assert_eq!(d.clauses[0].kind, ViolationKind::Invariant);
+        assert_eq!(
+            d.clauses[0].assumes,
+            vec![
+                AssumptionId::new("no-residual-fault"),
+                AssumptionId::new("hw-interlocks-present")
+            ]
+        );
+        assert_eq!(d.clauses[1].kind, ViolationKind::Precondition);
+        assert!(d.clauses[1].assumes.is_empty());
+        assert_eq!(d.clauses[2].kind, ViolationKind::Postcondition);
+    }
+
+    #[test]
+    fn descriptor_roundtrips_serde() {
+        let d = therac_contract().describe("dose-delivery");
+        let json = serde_json::to_string(&d).unwrap();
+        let back: ContractDescriptor = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn condition_assumes_accessor() {
+        let cond = Condition::new("positive", |&x: &i32| x > 0).assuming("a1");
+        assert_eq!(cond.assumes(), &[AssumptionId::new("a1")]);
     }
 }

@@ -86,7 +86,10 @@ pub use assumption::{
     Provenance, Visibility,
 };
 pub use binding::{Alternative, AssumptionVar, Binder, BindingError, MinCostBinder};
-pub use contract::{Condition, Contract, ContractBuilder, ContractViolation, ViolationKind};
+pub use contract::{
+    ClauseDescriptor, Condition, Contract, ContractBuilder, ContractDescriptor, ContractViolation,
+    ViolationKind,
+};
 pub use error::Error;
 pub use knowledge::{Deduction, KnowledgeAgent, KnowledgeWeb, Layer};
 pub use manifest::RegistryManifest;

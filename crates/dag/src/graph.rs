@@ -273,8 +273,12 @@ impl ComponentGraph {
             .map(|(a, _)| a)
     }
 
-    /// BFS reachability from `src` to `dst`.
-    fn reaches(&self, src: &ComponentId, dst: &ComponentId) -> bool {
+    /// BFS reachability: whether `dst` is reachable from `src` along
+    /// directed edges (`src == dst` counts as reachable).  This is the
+    /// primitive the acyclicity guard and static analyzers (`afta-lint`'s
+    /// fault-notification-path rule) share.
+    #[must_use]
+    pub fn reaches(&self, src: &ComponentId, dst: &ComponentId) -> bool {
         if src == dst {
             return true;
         }
@@ -526,6 +530,14 @@ mod tests {
         assert_eq!(diff.added_edges.len(), 2);
         assert!(!diff.is_empty());
         assert!(GraphDiff::between(&d1, &d1).is_empty());
+    }
+
+    #[test]
+    fn reachability_is_public_and_directed() {
+        let g = chain(3);
+        assert!(g.reaches(&"c0".into(), &"c2".into()));
+        assert!(!g.reaches(&"c2".into(), &"c0".into()));
+        assert!(g.reaches(&"c1".into(), &"c1".into()));
     }
 
     #[test]

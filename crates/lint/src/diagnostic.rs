@@ -1,0 +1,388 @@
+//! Diagnostics: stable rule codes, severities, syndrome classification,
+//! source pointers, and rustc-style rendering.
+
+use std::fmt;
+
+use afta_core::Syndrome;
+use serde::{Deserialize, Serialize};
+
+/// Every rule the analyzer knows, keyed by its stable code.
+///
+/// Codes never change meaning once shipped; retired rules are not reused.
+/// The letter block names the syndrome the rule guards against: `H` for
+/// Horning (changed or never-valid assumption), `HI` for Hidden
+/// Intelligence (knowledge kept outside the assumption web), `B` for
+/// Boulding (system class mismatch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// `AFTA-H001`: assumption declared but never bound.
+    H001,
+    /// `AFTA-H002`: assumption bound but not monitored by any probe.
+    H002,
+    /// `AFTA-H003`: unproven value-range narrowing (the Ariane 5 check).
+    H003,
+    /// `AFTA-HI001`: reference to an assumption absent from the manifest.
+    HI001,
+    /// `AFTA-HI002`: contract clause that names no assumption.
+    HI002,
+    /// `AFTA-HI003`: knowledge-base entry no declared method tolerates.
+    HI003,
+    /// `AFTA-HI004`: deployed module with no failure knowledge at all.
+    HI004,
+    /// `AFTA-B001`: declared Boulding category below the requirement.
+    B001,
+    /// `AFTA-B002`: fault-topic subscriber unreachable from any publisher.
+    B002,
+    /// `AFTA-B003`: alpha-count threshold statically unreachable.
+    B003,
+    /// `AFTA-B004`: voting farm with `dtof <= 0` under the declared
+    /// fault hypothesis at minimal redundancy.
+    B004,
+    /// `AFTA-B005`: redundancy policy whose construction would panic.
+    B005,
+}
+
+impl Rule {
+    /// Every rule, in code order.
+    pub const ALL: [Rule; 12] = [
+        Rule::H001,
+        Rule::H002,
+        Rule::H003,
+        Rule::HI001,
+        Rule::HI002,
+        Rule::HI003,
+        Rule::HI004,
+        Rule::B001,
+        Rule::B002,
+        Rule::B003,
+        Rule::B004,
+        Rule::B005,
+    ];
+
+    /// The stable diagnostic code, e.g. `AFTA-H003`.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::H001 => "AFTA-H001",
+            Rule::H002 => "AFTA-H002",
+            Rule::H003 => "AFTA-H003",
+            Rule::HI001 => "AFTA-HI001",
+            Rule::HI002 => "AFTA-HI002",
+            Rule::HI003 => "AFTA-HI003",
+            Rule::HI004 => "AFTA-HI004",
+            Rule::B001 => "AFTA-B001",
+            Rule::B002 => "AFTA-B002",
+            Rule::B003 => "AFTA-B003",
+            Rule::B004 => "AFTA-B004",
+            Rule::B005 => "AFTA-B005",
+        }
+    }
+
+    /// Resolves a code (with or without the `AFTA-` prefix) to its rule.
+    #[must_use]
+    pub fn from_code(code: &str) -> Option<Rule> {
+        let bare = code.strip_prefix("AFTA-").unwrap_or(code);
+        Rule::ALL
+            .into_iter()
+            .find(|r| r.code().strip_prefix("AFTA-") == Some(bare))
+    }
+
+    /// The assumption-failure syndrome this rule guards against.
+    #[must_use]
+    pub fn syndrome(self) -> Syndrome {
+        match self {
+            Rule::H001 | Rule::H002 | Rule::H003 => Syndrome::Horning,
+            Rule::HI001 | Rule::HI002 | Rule::HI003 | Rule::HI004 => Syndrome::HiddenIntelligence,
+            Rule::B001 | Rule::B002 | Rule::B003 | Rule::B004 | Rule::B005 => Syndrome::Boulding,
+        }
+    }
+
+    /// The severity the rule fires at unless overridden.
+    #[must_use]
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Rule::H001 | Rule::H002 | Rule::HI002 => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// One-line description, used by `afta-lint --list-rules`.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::H001 => "assumption declared but never bound: no fact and no probe covers it",
+            Rule::H002 => "assumption bound once but never re-verified by a monitor probe",
+            Rule::H003 => "unproven value-range narrowing across a conversion (the Ariane 5 check)",
+            Rule::HI001 => "clause or conversion references an assumption absent from the manifest",
+            Rule::HI002 => "contract clause names no assumption: its hypotheses stay hidden",
+            Rule::HI003 => "knowledge-base entry whose behaviour no declared method tolerates",
+            Rule::HI004 => "deployed module with no failure knowledge at any granularity",
+            Rule::B001 => "declared Boulding category below what the manifest requires",
+            Rule::B002 => "fault-topic subscriber with no DAG path from any publisher",
+            Rule::B003 => "alpha-count parameters invalid or threshold statically unreachable",
+            Rule::B004 => "voting farm already at dtof <= 0 under the declared fault hypothesis",
+            Rule::B005 => "redundancy policy invalid: construction would panic",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+impl Serialize for Rule {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.code().to_string())
+    }
+}
+
+impl Deserialize for Rule {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected a rule code string"))?;
+        Rule::from_code(s).ok_or_else(|| serde::Error::custom(format!("unknown rule code `{s}`")))
+    }
+}
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational; never affects the exit code.
+    Note,
+    /// Suspicious but not necessarily wrong; fails under `--deny warnings`.
+    Warning,
+    /// A defect; always fails the lint.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase label used in text rendering.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A span-like pointer into the declarative artefact that triggered a
+/// finding, e.g. `manifest.assumptions[hvel-16bit]`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SourceRef(pub String);
+
+impl SourceRef {
+    /// Pointer to an assumption in the manifest.
+    #[must_use]
+    pub fn assumption(id: &str) -> Self {
+        Self(format!("manifest.assumptions[{id}]"))
+    }
+
+    /// Pointer to the manifest's required-category field.
+    #[must_use]
+    pub fn required_category() -> Self {
+        Self("manifest.required_category".to_string())
+    }
+
+    /// Pointer to a declared conversion.
+    #[must_use]
+    pub fn conversion(fact_key: &str) -> Self {
+        Self(format!("conversions[{fact_key}]"))
+    }
+
+    /// Pointer to a clause of a contract.
+    #[must_use]
+    pub fn clause(contract: &str, clause: &str) -> Self {
+        Self(format!("contracts[{contract}].clauses[{clause}]"))
+    }
+
+    /// Pointer to a component of the architecture graph.
+    #[must_use]
+    pub fn component(id: &str) -> Self {
+        Self(format!("graph.components[{id}]"))
+    }
+
+    /// Pointer to a knowledge-base record.
+    #[must_use]
+    pub fn knowledge(key: &str) -> Self {
+        Self(format!("knowledge[{key}]"))
+    }
+
+    /// Pointer to a deployed memory module.
+    #[must_use]
+    pub fn module(lot_key: &str) -> Self {
+        Self(format!("modules[{lot_key}]"))
+    }
+
+    /// Pointer to the alpha-count declaration.
+    #[must_use]
+    pub fn alpha() -> Self {
+        Self("alpha".to_string())
+    }
+
+    /// Pointer to the redundancy declaration.
+    #[must_use]
+    pub fn redundancy() -> Self {
+        Self("redundancy.policy".to_string())
+    }
+}
+
+impl fmt::Display for SourceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One finding, ready to render as text or JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Effective severity (after per-rule levels and `--deny warnings`).
+    pub severity: Severity,
+    /// The syndrome class of the rule.
+    pub syndrome: Syndrome,
+    /// One-line statement of the problem.
+    pub message: String,
+    /// Where in the artefact the problem lives.
+    pub source: SourceRef,
+    /// Supporting facts (bounds, counts, names).
+    pub notes: Vec<String>,
+    /// A suggested remedy, when one is known.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at the rule's default severity.
+    #[must_use]
+    pub fn new(rule: Rule, source: SourceRef, message: impl Into<String>) -> Self {
+        Self {
+            severity: rule.default_severity(),
+            syndrome: rule.syndrome(),
+            rule,
+            message: message.into(),
+            source,
+            notes: Vec::new(),
+            help: None,
+        }
+    }
+
+    /// Appends a supporting note.
+    #[must_use]
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Sets the suggested remedy.
+    #[must_use]
+    pub fn help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Renders the finding in rustc style:
+    ///
+    /// ```text
+    /// error[AFTA-H003]: conversion narrows [-big, big] into [-32768, 32767]
+    ///   --> conversions[horizontal_velocity]
+    ///   = syndrome: Horning syndrome (S_H)
+    ///   = note: ...
+    ///   = help: ...
+    /// ```
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}[{}]: {}\n  --> {}\n  = syndrome: {}\n",
+            self.severity, self.rule, self.message, self.source, self.syndrome
+        );
+        for note in &self.notes {
+            out.push_str(&format!("  = note: {note}\n"));
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("  = help: {help}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_bijective() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_code(rule.code()), Some(rule));
+            assert!(rule.code().starts_with("AFTA-"));
+        }
+        assert_eq!(Rule::from_code("H003"), Some(Rule::H003));
+        assert_eq!(Rule::from_code("AFTA-B004"), Some(Rule::B004));
+        assert_eq!(Rule::from_code("AFTA-X999"), None);
+        assert_eq!(Rule::ALL.len(), 12);
+    }
+
+    #[test]
+    fn syndromes_follow_the_letter_block() {
+        assert_eq!(Rule::H001.syndrome(), Syndrome::Horning);
+        assert_eq!(Rule::HI004.syndrome(), Syndrome::HiddenIntelligence);
+        assert_eq!(Rule::B005.syndrome(), Syndrome::Boulding);
+    }
+
+    #[test]
+    fn default_severities() {
+        assert_eq!(Rule::H001.default_severity(), Severity::Warning);
+        assert_eq!(Rule::H003.default_severity(), Severity::Error);
+        assert_eq!(Rule::HI002.default_severity(), Severity::Warning);
+        assert_eq!(Rule::B004.default_severity(), Severity::Error);
+    }
+
+    #[test]
+    fn rule_serde_uses_the_code_string() {
+        let json = serde_json::to_string(&Rule::H003).unwrap();
+        assert_eq!(json, "\"AFTA-H003\"");
+        let back: Rule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Rule::H003);
+        assert!(serde_json::from_str::<Rule>("\"AFTA-Z001\"").is_err());
+    }
+
+    #[test]
+    fn rendering_includes_all_sections() {
+        let d = Diagnostic::new(
+            Rule::H003,
+            SourceRef::conversion("horizontal_velocity"),
+            "narrowing not proven",
+        )
+        .note("guard admits [-100000, 100000]")
+        .help("tighten the guard to the destination range");
+        let text = d.render();
+        assert!(text.starts_with("error[AFTA-H003]: narrowing not proven\n"));
+        assert!(text.contains("--> conversions[horizontal_velocity]"));
+        assert!(text.contains("= syndrome: Horning"));
+        assert!(text.contains("= note: guard admits"));
+        assert!(text.contains("= help: tighten"));
+    }
+
+    #[test]
+    fn diagnostic_serde_roundtrip() {
+        let d = Diagnostic::new(
+            Rule::B001,
+            SourceRef::required_category(),
+            "category too low",
+        )
+        .note("declared Clockwork, required Cell");
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Diagnostic = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

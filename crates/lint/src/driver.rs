@@ -1,0 +1,285 @@
+//! The pass driver: composes the syndrome passes, applies per-rule
+//! levels, and produces a canonical, order-independent report.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::diagnostic::{Diagnostic, Rule, Severity};
+use crate::passes::{BouldingPass, HiddenIntelligencePass, HorningPass, LintPass};
+use crate::target::LintTarget;
+
+/// What to do with a rule's findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Level {
+    /// Drop the findings entirely.
+    Allow,
+    /// Report at warning severity.
+    Warn,
+    /// Report at error severity.
+    Deny,
+}
+
+/// Runs every pass over a target and assembles a [`LintReport`].
+///
+/// Diagnostics are sorted by (rule, source, message), so the report is a
+/// pure function of the target's *content* — insertion order of
+/// assumptions, conversions, or components never changes the output.
+pub struct LintDriver {
+    passes: Vec<Box<dyn LintPass>>,
+    levels: BTreeMap<Rule, Level>,
+    deny_warnings: bool,
+}
+
+impl Default for LintDriver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LintDriver {
+    /// A driver with the three syndrome passes and default levels.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            passes: vec![
+                Box::new(HorningPass),
+                Box::new(HiddenIntelligencePass),
+                Box::new(BouldingPass),
+            ],
+            levels: BTreeMap::new(),
+            deny_warnings: false,
+        }
+    }
+
+    /// Overrides the reporting level of one rule.
+    pub fn set_level(&mut self, rule: Rule, level: Level) -> &mut Self {
+        self.levels.insert(rule, level);
+        self
+    }
+
+    /// Escalates every warning-severity finding to an error (`--deny
+    /// warnings`).  Notes are unaffected.
+    pub fn deny_warnings(&mut self, on: bool) -> &mut Self {
+        self.deny_warnings = on;
+        self
+    }
+
+    /// The names of the installed passes, in execution order.
+    #[must_use]
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass over `target` and returns the canonical report.
+    #[must_use]
+    pub fn run(&self, target: &LintTarget) -> LintReport {
+        let mut raw = Vec::new();
+        for pass in &self.passes {
+            pass.run(target, &mut raw);
+        }
+        let mut diagnostics: Vec<Diagnostic> = raw
+            .into_iter()
+            .filter_map(|mut d| {
+                match self.levels.get(&d.rule) {
+                    Some(Level::Allow) => return None,
+                    Some(Level::Warn) => d.severity = Severity::Warning,
+                    Some(Level::Deny) => d.severity = Severity::Error,
+                    None => {}
+                }
+                if self.deny_warnings && d.severity == Severity::Warning {
+                    d.severity = Severity::Error;
+                }
+                Some(d)
+            })
+            .collect();
+        diagnostics
+            .sort_by(|a, b| (a.rule, &a.source, &a.message).cmp(&(b.rule, &b.source, &b.message)));
+        LintReport::new(diagnostics)
+    }
+}
+
+/// The outcome of linting one target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// Every finding, in canonical order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings at error severity.
+    pub errors: usize,
+    /// Findings at warning severity.
+    pub warnings: usize,
+    /// Findings at note severity.
+    pub notes: usize,
+}
+
+impl LintReport {
+    /// Wraps sorted diagnostics, computing the severity counts.
+    #[must_use]
+    pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
+        let count = |s: Severity| diagnostics.iter().filter(|d| d.severity == s).count();
+        Self {
+            errors: count(Severity::Error),
+            warnings: count(Severity::Warning),
+            notes: count(Severity::Note),
+            diagnostics,
+        }
+    }
+
+    /// True when nothing was found at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The process exit code the CLI maps this report to: `1` when any
+    /// finding is at error severity, `0` otherwise.
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.errors > 0)
+    }
+
+    /// Renders the whole report as rustc-style text, ending with a
+    /// one-line summary.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        if self.is_clean() {
+            out.push_str("clean: no diagnostics\n");
+        } else {
+            out.push_str(&format!(
+                "summary: {} error(s), {} warning(s), {} note(s)\n",
+                self.errors, self.warnings, self.notes
+            ));
+        }
+        out
+    }
+
+    /// Serialises the report to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if serialisation fails (practically
+    /// impossible for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::ConversionDecl;
+    use afta_core::{Assumption, Expectation};
+
+    /// One unbound assumption (H001, warning) plus one unguarded
+    /// narrowing (H003, error).
+    fn mixed_target() -> LintTarget {
+        let mut t = LintTarget::new();
+        t.manifest.assumptions.push(
+            Assumption::builder("a-ghost")
+                .statement("never bound")
+                .expects("ghost", Expectation::Present)
+                .build(),
+        );
+        t.conversions
+            .push(ConversionDecl::narrowing_bits("hvel", 64, 16));
+        t
+    }
+
+    #[test]
+    fn default_driver_runs_all_three_passes() {
+        let driver = LintDriver::new();
+        assert_eq!(
+            driver.pass_names(),
+            vec!["horning", "hidden-intelligence", "boulding"]
+        );
+    }
+
+    #[test]
+    fn report_counts_and_exit_code() {
+        let report = LintDriver::new().run(&mixed_target());
+        assert_eq!(report.errors, 1);
+        assert_eq!(report.warnings, 1);
+        assert_eq!(report.notes, 0);
+        assert_eq!(report.exit_code(), 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn empty_target_is_clean() {
+        let report = LintDriver::new().run(&LintTarget::new());
+        assert!(report.is_clean());
+        assert_eq!(report.exit_code(), 0);
+        assert!(report.render_text().contains("clean: no diagnostics"));
+    }
+
+    #[test]
+    fn allow_drops_a_rule() {
+        let mut driver = LintDriver::new();
+        driver.set_level(Rule::H003, Level::Allow);
+        let report = driver.run(&mixed_target());
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.warnings, 1);
+        assert_eq!(report.exit_code(), 0);
+    }
+
+    #[test]
+    fn deny_escalates_a_rule() {
+        let mut driver = LintDriver::new();
+        driver.set_level(Rule::H001, Level::Deny);
+        let report = driver.run(&mixed_target());
+        assert_eq!(report.errors, 2);
+        assert_eq!(report.warnings, 0);
+    }
+
+    #[test]
+    fn warn_downgrades_a_rule() {
+        let mut driver = LintDriver::new();
+        driver.set_level(Rule::H003, Level::Warn);
+        let report = driver.run(&mixed_target());
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.warnings, 2);
+        assert_eq!(report.exit_code(), 0);
+    }
+
+    #[test]
+    fn deny_warnings_escalates_everything() {
+        let mut driver = LintDriver::new();
+        driver.deny_warnings(true);
+        let report = driver.run(&mixed_target());
+        assert_eq!(report.errors, 2);
+        assert_eq!(report.warnings, 0);
+        assert_eq!(report.exit_code(), 1);
+    }
+
+    #[test]
+    fn diagnostics_come_out_sorted() {
+        let report = LintDriver::new().run(&mixed_target());
+        let codes: Vec<&str> = report.diagnostics.iter().map(|d| d.rule.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        assert_eq!(codes, sorted);
+    }
+
+    #[test]
+    fn report_text_has_summary() {
+        let report = LintDriver::new().run(&mixed_target());
+        let text = report.render_text();
+        assert!(text.contains("summary: 1 error(s), 1 warning(s), 0 note(s)"));
+        assert!(text.contains("error[AFTA-H003]"));
+        assert!(text.contains("warning[AFTA-H001]"));
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let report = LintDriver::new().run(&mixed_target());
+        let json = report.to_json().unwrap();
+        let back: LintReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        assert!(json.contains("\"AFTA-H003\""));
+    }
+}

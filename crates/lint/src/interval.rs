@@ -1,0 +1,268 @@
+//! A small interval abstract domain over `i64`.
+//!
+//! The Horning pass uses it to decide, statically, whether a value-range
+//! narrowing is *proven* safe by the assumption web — the check the
+//! Ariane 5 SRI software lacked for its 64-bit-to-16-bit conversion.
+
+use std::fmt;
+
+use afta_core::{Expectation, Value};
+use serde::{Deserialize, Serialize};
+
+/// A closed integer interval `[min, max]`.
+///
+/// An interval with `min > max` is *empty* (bottom: no integer admitted);
+/// [`IntInterval::full`] is top (every `i64` admitted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IntInterval {
+    /// Inclusive lower bound.
+    pub min: i64,
+    /// Inclusive upper bound.
+    pub max: i64,
+}
+
+/// The empty interval (bottom).
+pub const EMPTY: IntInterval = IntInterval { min: 0, max: -1 };
+
+impl IntInterval {
+    /// Creates `[min, max]`.
+    #[must_use]
+    pub fn new(min: i64, max: i64) -> Self {
+        Self { min, max }
+    }
+
+    /// The full `i64` range (top).
+    #[must_use]
+    pub fn full() -> Self {
+        Self::new(i64::MIN, i64::MAX)
+    }
+
+    /// The representable range of a signed two's-complement integer of
+    /// `bits` width — `of_bits(16)` is the Ariane 5 destination type.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is zero or exceeds 64.
+    #[must_use]
+    pub fn of_bits(bits: u32) -> Self {
+        assert!((1..=64).contains(&bits), "bits must be in 1..=64");
+        if bits == 64 {
+            return Self::full();
+        }
+        let half = 1_i64 << (bits - 1);
+        Self::new(-half, half - 1)
+    }
+
+    /// True when no integer is admitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.min > self.max
+    }
+
+    /// True when `other` is entirely contained in `self` (the empty
+    /// interval is contained in everything).
+    #[must_use]
+    pub fn contains_interval(&self, other: &IntInterval) -> bool {
+        other.is_empty() || (other.min >= self.min && other.max <= self.max)
+    }
+
+    /// True when the single value `v` is admitted.
+    #[must_use]
+    pub fn contains(&self, v: i64) -> bool {
+        self.min <= v && v <= self.max
+    }
+
+    /// Greatest lower bound: the intersection of the two intervals.
+    #[must_use]
+    pub fn intersect(&self, other: &IntInterval) -> IntInterval {
+        IntInterval::new(self.min.max(other.min), self.max.min(other.max))
+    }
+
+    /// Least upper bound: the smallest interval covering both.
+    #[must_use]
+    pub fn hull(&self, other: &IntInterval) -> IntInterval {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        IntInterval::new(self.min.min(other.min), self.max.max(other.max))
+    }
+}
+
+impl fmt::Display for IntInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "(empty)");
+        }
+        write!(f, "[{}, {}]", self.min, self.max)
+    }
+}
+
+/// Saturating `f64` → `i64` floor, mapping NaN to the given default.
+fn floor_i64(x: f64, nan_default: i64) -> i64 {
+    if x.is_nan() {
+        return nan_default;
+    }
+    // `as` saturates at the type bounds since Rust 1.45.
+    x.floor() as i64
+}
+
+/// Saturating `f64` → `i64` ceiling, mapping NaN to the given default.
+fn ceil_i64(x: f64, nan_default: i64) -> i64 {
+    if x.is_nan() {
+        return nan_default;
+    }
+    x.ceil() as i64
+}
+
+/// The set of *integer* values an [`Expectation`] admits, widened to an
+/// interval.  `full()` means "no finite integer bound" (top); [`EMPTY`]
+/// means the expectation admits no integer at all.
+///
+/// The abstraction is conservative in the sound direction for the
+/// narrowing check: the returned interval always *over*-approximates the
+/// admitted integers, so `to ⊇ domain(guard)` genuinely proves the
+/// conversion safe.
+#[must_use]
+pub fn int_domain(e: &Expectation) -> IntInterval {
+    match e {
+        Expectation::Equals(Value::Int(i)) => IntInterval::new(*i, *i),
+        // Equality with a non-integer value admits no integer.
+        Expectation::Equals(_) => EMPTY,
+        // Removing at most one point leaves the hull unchanged.
+        Expectation::NotEquals(_) | Expectation::Present | Expectation::Not(_) => {
+            IntInterval::full()
+        }
+        Expectation::IntRange { min, max } => IntInterval::new(*min, *max),
+        Expectation::FloatRange { min, max } => {
+            IntInterval::new(ceil_i64(*min, i64::MAX), floor_i64(*max, i64::MIN))
+        }
+        Expectation::AtMost(max) => IntInterval::new(i64::MIN, floor_i64(*max, i64::MIN)),
+        Expectation::AtLeast(min) => IntInterval::new(ceil_i64(*min, i64::MAX), i64::MAX),
+        Expectation::OneOf(values) => values
+            .iter()
+            .filter_map(|v| match v {
+                Value::Int(i) => Some(IntInterval::new(*i, *i)),
+                _ => None,
+            })
+            .fold(EMPTY, |acc, p| acc.hull(&p)),
+        Expectation::AllOf(parts) => parts
+            .iter()
+            .map(int_domain)
+            .fold(IntInterval::full(), |acc, p| acc.intersect(&p)),
+        Expectation::AnyOf(parts) => parts
+            .iter()
+            .map(int_domain)
+            .fold(EMPTY, |acc, p| acc.hull(&p)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_widths_match_twos_complement() {
+        assert_eq!(IntInterval::of_bits(16), IntInterval::new(-32768, 32767));
+        assert_eq!(IntInterval::of_bits(8), IntInterval::new(-128, 127));
+        assert_eq!(IntInterval::of_bits(64), IntInterval::full());
+        assert_eq!(IntInterval::of_bits(1), IntInterval::new(-1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn zero_bits_rejected() {
+        let _ = IntInterval::of_bits(0);
+    }
+
+    #[test]
+    fn containment_and_lattice_ops() {
+        let narrow = IntInterval::of_bits(16);
+        let wide = IntInterval::of_bits(32);
+        assert!(wide.contains_interval(&narrow));
+        assert!(!narrow.contains_interval(&wide));
+        assert!(narrow.contains_interval(&EMPTY));
+        assert!(EMPTY.is_empty());
+        assert_eq!(wide.intersect(&narrow), narrow);
+        assert_eq!(wide.hull(&narrow), wide);
+        assert_eq!(EMPTY.hull(&narrow), narrow);
+        assert!(narrow.contains(0));
+        assert!(!narrow.contains(40_000));
+    }
+
+    #[test]
+    fn domains_of_simple_expectations() {
+        assert_eq!(
+            int_domain(&Expectation::int_range(-100, 100)),
+            IntInterval::new(-100, 100)
+        );
+        assert_eq!(
+            int_domain(&Expectation::Equals(Value::Int(7))),
+            IntInterval::new(7, 7)
+        );
+        assert_eq!(
+            int_domain(&Expectation::Equals(Value::Text("x".into()))),
+            EMPTY
+        );
+        assert_eq!(int_domain(&Expectation::Present), IntInterval::full());
+        assert_eq!(
+            int_domain(&Expectation::AtMost(99.5)),
+            IntInterval::new(i64::MIN, 99)
+        );
+        assert_eq!(
+            int_domain(&Expectation::AtLeast(-2.5)),
+            IntInterval::new(-2, i64::MAX)
+        );
+        assert_eq!(
+            int_domain(&Expectation::FloatRange { min: 0.1, max: 9.9 }),
+            IntInterval::new(1, 9)
+        );
+    }
+
+    #[test]
+    fn domains_of_composite_expectations() {
+        let conj = Expectation::AllOf(vec![
+            Expectation::int_range(-1000, 1000),
+            Expectation::AtLeast(0.0),
+        ]);
+        assert_eq!(int_domain(&conj), IntInterval::new(0, 1000));
+
+        let disj = Expectation::AnyOf(vec![
+            Expectation::int_range(-10, -5),
+            Expectation::int_range(5, 10),
+        ]);
+        assert_eq!(int_domain(&disj), IntInterval::new(-10, 10));
+
+        let one_of = Expectation::OneOf(vec![
+            Value::Int(3),
+            Value::Text("n/a".into()),
+            Value::Int(-3),
+        ]);
+        assert_eq!(int_domain(&one_of), IntInterval::new(-3, 3));
+    }
+
+    #[test]
+    fn nan_bounds_collapse_to_empty() {
+        let d = int_domain(&Expectation::FloatRange {
+            min: f64::NAN,
+            max: f64::NAN,
+        });
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(IntInterval::new(-1, 1).to_string(), "[-1, 1]");
+        assert_eq!(EMPTY.to_string(), "(empty)");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let i = IntInterval::of_bits(16);
+        let json = serde_json::to_string(&i).unwrap();
+        let back: IntInterval = serde_json::from_str(&json).unwrap();
+        assert_eq!(i, back);
+    }
+}

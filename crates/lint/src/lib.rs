@@ -1,0 +1,49 @@
+//! # afta-lint — static analysis of the assumption web
+//!
+//! The paper argues that assumption failures should be *"captured as
+//! early as possible"*; the runtime crates catch them in flight, and
+//! this crate catches them before the system ever runs.  It lints the
+//! workspace's declarative artefacts — a [`LintTarget`] bundling the
+//! registry manifest, contract descriptors, value conversions, probe
+//! coverage, the component DAG, the failure knowledge base, and the
+//! adaptive-organ configurations — and reports typed [`Diagnostic`]s,
+//! each carrying a stable rule code and the syndrome it guards against:
+//!
+//! | Block | Syndrome | Example defect |
+//! |-------|----------|----------------|
+//! | `AFTA-H*` | Horning (changed/never-valid assumption) | the Ariane 5 unproven 64→16-bit narrowing |
+//! | `AFTA-HI*` | Hidden Intelligence (knowledge outside the web) | a contract clause naming no assumption |
+//! | `AFTA-B*` | Boulding (system class mismatch) | a voting farm born with `dtof = 0` |
+//!
+//! ```
+//! use afta_lint::{ConversionDecl, LintDriver, LintTarget, Rule};
+//!
+//! let mut target = LintTarget::new();
+//! // The Ariane 5 defect, statically: a 64-bit value forced into 16
+//! // bits with nothing proving it fits.
+//! target
+//!     .conversions
+//!     .push(ConversionDecl::narrowing_bits("horizontal_velocity", 64, 16));
+//!
+//! let report = LintDriver::new().run(&target);
+//! assert_eq!(report.diagnostics[0].rule, Rule::H003);
+//! assert_eq!(report.exit_code(), 1);
+//! ```
+//!
+//! The same analysis ships as the `afta-lint` binary: `afta-lint
+//! target.json --format json --deny warnings`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnostic;
+pub mod driver;
+pub mod interval;
+pub mod passes;
+pub mod target;
+
+pub use diagnostic::{Diagnostic, Rule, Severity, SourceRef};
+pub use driver::{Level, LintDriver, LintReport};
+pub use interval::{int_domain, IntInterval};
+pub use passes::{BouldingPass, HiddenIntelligencePass, HorningPass, LintPass};
+pub use target::{AlphaDecl, ConversionDecl, LintTarget, RedundancyDecl};

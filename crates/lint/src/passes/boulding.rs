@@ -1,0 +1,400 @@
+//! The Boulding pass: treating the system as a lower class than its
+//! environment demands.
+//!
+//! Boulding's syndrome is a category mistake — modelling a living
+//! deployment as clockwork.  Statically it surfaces as an honest
+//! category shortfall (`AFTA-B001`), fault notifications that can never
+//! arrive (`AFTA-B002`), and adaptive organs dimensioned so that the
+//! adaptation can never trigger: an unreachable alpha-count threshold
+//! (`AFTA-B003`), a voting farm born with no distance-to-failure
+//! (`AFTA-B004`), or a redundancy policy that would not even construct
+//! (`AFTA-B005`).
+
+use afta_dag::{Component, ComponentGraph};
+use afta_voting::dtof_checked;
+
+use crate::diagnostic::{Diagnostic, Rule, SourceRef};
+use crate::passes::LintPass;
+use crate::target::LintTarget;
+
+/// Lints for the Boulding syndrome (`AFTA-B*` rules).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BouldingPass;
+
+impl LintPass for BouldingPass {
+    fn name(&self) -> &'static str {
+        "boulding"
+    }
+
+    fn run(&self, target: &LintTarget, out: &mut Vec<Diagnostic>) {
+        check_category(target, out);
+        if let Some(graph) = &target.graph {
+            check_fault_topics(graph, out);
+        }
+        check_alpha(target, out);
+        check_redundancy(target, out);
+    }
+}
+
+/// `AFTA-B001`: the category the deployment claims must suffice for the
+/// category the manifest requires of its environment.
+fn check_category(target: &LintTarget, out: &mut Vec<Diagnostic>) {
+    let declared = target.effective_category();
+    let required = target.manifest.required_category;
+    if !declared.suffices_for(required) {
+        let mut d = Diagnostic::new(
+            Rule::B001,
+            SourceRef::required_category(),
+            format!(
+                "the manifest requires {required:?}-level awareness but the deployment \
+                 declares only {declared:?}"
+            ),
+        )
+        .note("a Boulding category mismatch is the paper's third syndrome")
+        .help("raise the deployment's declared category or lower the requirement");
+        if target.declared_category.is_none() {
+            d = d.note("no category was declared; undeclared deployments count as Clockwork");
+        }
+        out.push(d);
+    }
+}
+
+/// Splits a comma-separated topic list from component metadata.
+fn topics(component: &Component, key: &str) -> Vec<String> {
+    component
+        .metadata
+        .get(key)
+        .map(|list| {
+            list.split(',')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// `AFTA-B002`: a component subscribed to a fault topic (`fault*`) needs
+/// at least one publisher of that topic with a directed path to it —
+/// otherwise the failure detector exists but its alarm can never arrive.
+fn check_fault_topics(graph: &ComponentGraph, out: &mut Vec<Diagnostic>) {
+    for subscriber in graph.components() {
+        for topic in topics(subscriber, "subscribes") {
+            if !topic.starts_with("fault") {
+                continue;
+            }
+            let publishers: Vec<&Component> = graph
+                .components()
+                .filter(|c| topics(c, "publishes").contains(&topic))
+                .collect();
+            if publishers.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        Rule::B002,
+                        SourceRef::component(subscriber.id.as_str()),
+                        format!(
+                            "component `{}` subscribes to fault topic `{topic}` which \
+                             no component publishes",
+                            subscriber.id.as_str()
+                        ),
+                    )
+                    .note("a subscription without a publisher is a dead failure detector")
+                    .help("add a monitor component publishing this topic"),
+                );
+            } else if !publishers
+                .iter()
+                .any(|p| graph.reaches(&p.id, &subscriber.id))
+            {
+                out.push(
+                    Diagnostic::new(
+                        Rule::B002,
+                        SourceRef::component(subscriber.id.as_str()),
+                        format!(
+                            "component `{}` subscribes to fault topic `{topic}` but no \
+                             publisher of it has a path there",
+                            subscriber.id.as_str()
+                        ),
+                    )
+                    .note(format!(
+                        "publishers: {}",
+                        publishers
+                            .iter()
+                            .map(|p| p.id.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                    .help("connect a publisher to the subscriber in the component graph"),
+                );
+            }
+        }
+    }
+}
+
+/// `AFTA-B003`: invalid alpha-count parameters, or a threshold the
+/// declared worst-case error burst can never exceed — a fault detector
+/// that by construction never detects.
+fn check_alpha(target: &LintTarget, out: &mut Vec<Diagnostic>) {
+    let Some(alpha) = &target.alpha else {
+        return;
+    };
+    if let Err(reason) =
+        afta_alphacount::AlphaCount::check_params(alpha.increment, alpha.threshold, alpha.decay)
+    {
+        out.push(
+            Diagnostic::new(
+                Rule::B003,
+                SourceRef::alpha(),
+                format!("alpha-count parameters are invalid: {reason}"),
+            )
+            .help("fix the parameters; constructing this filter would panic"),
+        );
+        return;
+    }
+    if let Some(burst) = alpha.max_burst {
+        // With decay on correct observations, the declared worst-case
+        // burst bounds alpha from above by increment * burst.
+        let peak = alpha.increment * burst as f64;
+        if peak <= alpha.threshold {
+            out.push(
+                Diagnostic::new(
+                    Rule::B003,
+                    SourceRef::alpha(),
+                    format!(
+                        "threshold {} is statically unreachable: the declared worst \
+                         burst of {burst} errors raises alpha to at most {peak}",
+                        alpha.threshold
+                    ),
+                )
+                .note("a verdict requires alpha to exceed the threshold")
+                .help("lower the threshold, raise the increment, or revisit the burst bound"),
+            );
+        }
+    }
+}
+
+/// `AFTA-B004` / `AFTA-B005`: the voting farm must construct, and must
+/// start with a positive distance-to-failure under its own declared
+/// fault hypothesis.
+fn check_redundancy(target: &LintTarget, out: &mut Vec<Diagnostic>) {
+    let Some(decl) = &target.redundancy else {
+        return;
+    };
+    if let Err(reason) = decl.policy.check() {
+        out.push(
+            Diagnostic::new(
+                Rule::B005,
+                SourceRef::redundancy(),
+                format!("redundancy policy is invalid: {reason}"),
+            )
+            .help("fix the policy; constructing the controller would panic"),
+        );
+    }
+    // The dtof check still applies to the declared minimum even when the
+    // policy itself is malformed — the two defects are independent.
+    let n = decl.policy.min;
+    let m = decl.max_simultaneous_faults;
+    match dtof_checked(n, Some(m)) {
+        None => out.push(
+            Diagnostic::new(
+                Rule::B004,
+                SourceRef::redundancy(),
+                format!(
+                    "the fault hypothesis (m = {m} simultaneous faults) exceeds the \
+                     minimal replica count n = {n}"
+                ),
+            )
+            .help("raise the policy's minimum redundancy or weaken the hypothesis"),
+        ),
+        Some(0) => out.push(
+            Diagnostic::new(
+                Rule::B004,
+                SourceRef::redundancy(),
+                format!(
+                    "dtof(n = {n}, m = {m}) = 0: at minimal redundancy the farm is \
+                     already at its failure boundary"
+                ),
+            )
+            .note("the controller can only react *after* the organ has failed")
+            .help(format!(
+                "raise the policy's minimum above {n} replicas, or weaken the fault \
+                 hypothesis below m = {m}"
+            )),
+        ),
+        Some(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::{AlphaDecl, RedundancyDecl};
+    use afta_alphacount::DecayPolicy;
+    use afta_core::BouldingCategory;
+    use afta_switchboard::RedundancyPolicy;
+
+    fn run(target: &LintTarget) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        BouldingPass.run(target, &mut out);
+        out
+    }
+
+    #[test]
+    fn category_shortfall_fires_b001() {
+        let mut t = LintTarget::new();
+        t.manifest.required_category = BouldingCategory::Cell;
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::B001);
+        assert!(diags[0].notes.iter().any(|n| n.contains("Clockwork")));
+    }
+
+    #[test]
+    fn sufficient_category_is_clean() {
+        let mut t = LintTarget::new();
+        t.manifest.required_category = BouldingCategory::Cell;
+        t.declared_category = Some(BouldingCategory::Cell);
+        assert!(run(&t).is_empty());
+    }
+
+    fn graph(connect: bool) -> ComponentGraph {
+        let mut g = ComponentGraph::new();
+        g.add(Component::new("monitor", "watchdog").with_meta("publishes", "fault.memory"))
+            .unwrap();
+        g.add(Component::new("guard", "handler").with_meta("subscribes", "fault.memory, stats"))
+            .unwrap();
+        if connect {
+            g.connect("monitor", "guard").unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn unreachable_fault_subscriber_fires_b002() {
+        let mut t = LintTarget::new();
+        t.graph = Some(graph(false));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::B002);
+        assert!(diags[0].message.contains("no publisher of it has a path"));
+    }
+
+    #[test]
+    fn reachable_fault_subscriber_is_clean() {
+        let mut t = LintTarget::new();
+        t.graph = Some(graph(true));
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn missing_publisher_fires_b002() {
+        let mut t = LintTarget::new();
+        let mut g = ComponentGraph::new();
+        g.add(Component::new("guard", "handler").with_meta("subscribes", "fault.disk"))
+            .unwrap();
+        t.graph = Some(g);
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("no component publishes"));
+    }
+
+    #[test]
+    fn non_fault_topics_are_ignored() {
+        let mut t = LintTarget::new();
+        let mut g = ComponentGraph::new();
+        g.add(Component::new("stats", "sink").with_meta("subscribes", "telemetry"))
+            .unwrap();
+        t.graph = Some(g);
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn unreachable_alpha_threshold_fires_b003() {
+        let mut t = LintTarget::new();
+        t.alpha = Some(AlphaDecl {
+            increment: 1.0,
+            threshold: 10.0,
+            decay: DecayPolicy::Multiplicative(0.5),
+            max_burst: Some(8),
+        });
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::B003);
+        assert!(diags[0].message.contains("statically unreachable"));
+    }
+
+    #[test]
+    fn invalid_alpha_params_fire_b003() {
+        let mut t = LintTarget::new();
+        t.alpha = Some(AlphaDecl {
+            increment: -1.0,
+            threshold: 10.0,
+            decay: DecayPolicy::Multiplicative(0.5),
+            max_burst: None,
+        });
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("invalid"));
+    }
+
+    #[test]
+    fn reachable_alpha_threshold_is_clean() {
+        let mut t = LintTarget::new();
+        t.alpha = Some(AlphaDecl {
+            increment: 1.0,
+            threshold: 3.0,
+            decay: DecayPolicy::Subtractive(0.1),
+            max_burst: Some(8),
+        });
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn doomed_voting_farm_fires_b004() {
+        let mut t = LintTarget::new();
+        t.redundancy = Some(RedundancyDecl {
+            policy: RedundancyPolicy::default(), // min = 3 -> dtof(3, 2) = 0
+            max_simultaneous_faults: 2,
+        });
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::B004);
+    }
+
+    #[test]
+    fn oversized_hypothesis_fires_b004() {
+        let mut t = LintTarget::new();
+        t.redundancy = Some(RedundancyDecl {
+            policy: RedundancyPolicy::default(),
+            max_simultaneous_faults: 5, // m > n = 3
+        });
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("exceeds"));
+    }
+
+    #[test]
+    fn viable_voting_farm_is_clean() {
+        let mut t = LintTarget::new();
+        t.redundancy = Some(RedundancyDecl {
+            policy: RedundancyPolicy::default(),
+            max_simultaneous_faults: 1, // dtof(3, 1) = 1 > 0
+        });
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn invalid_policy_fires_b005() {
+        let mut t = LintTarget::new();
+        t.redundancy = Some(RedundancyDecl {
+            policy: RedundancyPolicy {
+                min: 4,
+                ..RedundancyPolicy::default()
+            },
+            max_simultaneous_faults: 1,
+        });
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::B005);
+        assert!(diags[0].message.contains("odd"));
+    }
+}

@@ -1,0 +1,315 @@
+//! The Hidden Intelligence pass: knowledge the system depends on but
+//! keeps outside its assumption web.
+//!
+//! The paper's second syndrome is strategic knowledge "hidden in the
+//! code" — the Therac-25's safety argument lived in its operators'
+//! heads, not in the software.  Statically, hidden intelligence shows up
+//! as dangling references (`AFTA-HI001`), contract clauses that rest on
+//! unstated hypotheses (`AFTA-HI002`), failure knowledge no declared
+//! method can act on (`AFTA-HI003`), and deployed modules the knowledge
+//! base cannot say anything about (`AFTA-HI004`).
+
+use std::collections::BTreeSet;
+
+use afta_memaccess::FailureKnowledgeBase;
+
+use crate::diagnostic::{Diagnostic, Rule, SourceRef};
+use crate::passes::LintPass;
+use crate::target::LintTarget;
+
+/// Lints for the Hidden Intelligence syndrome (`AFTA-HI*` rules).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HiddenIntelligencePass;
+
+impl LintPass for HiddenIntelligencePass {
+    fn name(&self) -> &'static str {
+        "hidden-intelligence"
+    }
+
+    fn run(&self, target: &LintTarget, out: &mut Vec<Diagnostic>) {
+        check_references(target, out);
+        check_knowledge_base(target, out);
+        check_module_coverage(target, out);
+    }
+}
+
+/// `AFTA-HI001` / `AFTA-HI002`: every named assumption must exist, and
+/// every contract clause must name at least one.
+fn check_references(target: &LintTarget, out: &mut Vec<Diagnostic>) {
+    let declared: BTreeSet<&str> = target
+        .manifest
+        .assumptions
+        .iter()
+        .map(|a| a.id().as_str())
+        .collect();
+
+    for contract in &target.contracts {
+        for clause in &contract.clauses {
+            if clause.assumes.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        Rule::HI002,
+                        SourceRef::clause(&contract.name, &clause.name),
+                        format!(
+                            "clause `{}` of contract `{}` names no assumption: the \
+                             hypotheses it rests on stay hidden",
+                            clause.name, contract.name
+                        ),
+                    )
+                    .note("every checked condition encodes somebody's assumption")
+                    .help("link the clause to the manifest entries it depends on"),
+                );
+            }
+            for id in &clause.assumes {
+                if !declared.contains(id.as_str()) {
+                    out.push(
+                        Diagnostic::new(
+                            Rule::HI001,
+                            SourceRef::clause(&contract.name, &clause.name),
+                            format!(
+                                "clause `{}` of contract `{}` references assumption \
+                                 `{}` which is not in the manifest",
+                                clause.name,
+                                contract.name,
+                                id.as_str()
+                            ),
+                        )
+                        .help("declare the assumption, or fix the reference"),
+                    );
+                }
+            }
+        }
+    }
+
+    for conv in &target.conversions {
+        if let Some(guard) = &conv.guarded_by {
+            if !declared.contains(guard.as_str()) {
+                out.push(
+                    Diagnostic::new(
+                        Rule::HI001,
+                        SourceRef::conversion(&conv.fact_key),
+                        format!(
+                            "conversion of `{}` is guarded by assumption `{}` which \
+                             is not in the manifest",
+                            conv.fact_key,
+                            guard.as_str()
+                        ),
+                    )
+                    .help("declare the guarding assumption in the manifest"),
+                );
+            }
+        }
+    }
+}
+
+/// `AFTA-HI003`: a knowledge-base record is *actionable* only when some
+/// declared method tolerates the behaviour it reports; otherwise the
+/// knowledge sits outside every cost-function path of the §3.1 selection
+/// rule and `configure` fails at deployment.
+fn check_knowledge_base(target: &LintTarget, out: &mut Vec<Diagnostic>) {
+    let Some(kb) = &target.knowledge else {
+        return;
+    };
+    let methods = target.effective_methods();
+    for (_, key, record) in kb.records() {
+        let behavior = record.behavior.label();
+        let tolerated = methods
+            .iter()
+            .any(|m| m.tolerates.iter().any(|b| b == behavior));
+        if !tolerated {
+            out.push(
+                Diagnostic::new(
+                    Rule::HI003,
+                    SourceRef::knowledge(key),
+                    format!(
+                        "knowledge-base entry `{key}` reports behaviour `{behavior}` \
+                         which no declared method tolerates"
+                    ),
+                )
+                .note(format!(
+                    "declared methods: {}",
+                    methods
+                        .iter()
+                        .map(|m| m.label.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+                .help("add a method tolerating this behaviour, or retire the record"),
+            );
+        }
+    }
+}
+
+/// `AFTA-HI004`: every deployed module must resolve to *some* record at
+/// lot, model, or technology granularity; an uncovered module means the
+/// deployment's behaviour hypothesis is nowhere on record.
+fn check_module_coverage(target: &LintTarget, out: &mut Vec<Diagnostic>) {
+    if target.modules.is_empty() {
+        return;
+    }
+    let empty = FailureKnowledgeBase::new();
+    let kb = target.knowledge.as_ref().unwrap_or(&empty);
+    for spd in &target.modules {
+        if kb.lookup(spd).is_none() {
+            let mut d = Diagnostic::new(
+                Rule::HI004,
+                SourceRef::module(&spd.lot_key()),
+                format!(
+                    "module `{}` ({}) has no failure knowledge at lot, model, or \
+                     technology granularity",
+                    spd.lot_key(),
+                    spd.technology
+                ),
+            )
+            .help("record at least a technology-wide default behaviour for it");
+            if target.knowledge.is_none() {
+                d = d.note("the target declares no knowledge base at all");
+            }
+            out.push(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afta_core::{Assumption, AssumptionId, ClauseDescriptor, ContractDescriptor, Expectation};
+    use afta_memaccess::{FailureRecord, MethodProfile};
+    use afta_memsim::{BehaviorClass, MemoryTechnology, Severity, Spd};
+
+    fn run(target: &LintTarget) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        HiddenIntelligencePass.run(target, &mut out);
+        out
+    }
+
+    fn clause(name: &str, assumes: &[&str]) -> ClauseDescriptor {
+        ClauseDescriptor {
+            kind: afta_core::ViolationKind::Precondition,
+            name: name.to_string(),
+            assumes: assumes.iter().map(|id| AssumptionId::new(*id)).collect(),
+        }
+    }
+
+    fn spd() -> Spd {
+        Spd {
+            vendor: "CE00".into(),
+            model: "K4H510838B".into(),
+            serial: "S1".into(),
+            lot: "L2004-17".into(),
+            size_mib: 512,
+            clock_mhz: 533,
+            width_bits: 64,
+            technology: MemoryTechnology::Sdram,
+        }
+    }
+
+    #[test]
+    fn dangling_clause_reference_fires_hi001() {
+        let mut t = LintTarget::new();
+        t.contracts.push(ContractDescriptor {
+            name: "dose".into(),
+            clauses: vec![clause("beam-energy", &["missing-id"])],
+        });
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::HI001);
+        assert!(diags[0].message.contains("missing-id"));
+    }
+
+    #[test]
+    fn dangling_conversion_guard_fires_hi001() {
+        let mut t = LintTarget::new();
+        t.conversions
+            .push(crate::target::ConversionDecl::narrowing_bits("hvel", 64, 16).guarded("ghost"));
+        let diags = run(&t);
+        assert!(diags.iter().any(|d| d.rule == Rule::HI001));
+    }
+
+    #[test]
+    fn clause_without_assumptions_fires_hi002() {
+        let mut t = LintTarget::new();
+        t.contracts.push(ContractDescriptor {
+            name: "dose".into(),
+            clauses: vec![clause("anonymous", &[])],
+        });
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::HI002);
+    }
+
+    #[test]
+    fn declared_references_are_clean() {
+        let mut t = LintTarget::new();
+        t.manifest.assumptions.push(
+            Assumption::builder("a1")
+                .statement("declared")
+                .expects("k", Expectation::Present)
+                .build(),
+        );
+        t.probed_facts.insert("k".into());
+        t.contracts.push(ContractDescriptor {
+            name: "c".into(),
+            clauses: vec![clause("uses-a1", &["a1"])],
+        });
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn intolerable_behaviour_fires_hi003() {
+        let mut t = LintTarget::new();
+        let mut kb = FailureKnowledgeBase::new();
+        kb.insert_technology(
+            MemoryTechnology::Sdram,
+            FailureRecord::new(BehaviorClass::F4, Severity::Nominal),
+        );
+        t.knowledge = Some(kb);
+        // Only a raw method that tolerates nothing but f0.
+        t.methods = vec![MethodProfile {
+            label: "M0".into(),
+            tolerates: vec!["f0".into()],
+            cost: 1.0,
+        }];
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::HI003);
+        assert!(diags[0].message.contains("f4"));
+    }
+
+    #[test]
+    fn builtin_ladder_tolerates_builtin_base() {
+        let mut t = LintTarget::new();
+        t.knowledge = Some(FailureKnowledgeBase::builtin());
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn uncovered_module_fires_hi004() {
+        let mut t = LintTarget::new();
+        t.knowledge = Some(FailureKnowledgeBase::new());
+        t.modules.push(spd());
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::HI004);
+    }
+
+    #[test]
+    fn absent_knowledge_base_is_noted() {
+        let mut t = LintTarget::new();
+        t.modules.push(spd());
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0]
+            .notes
+            .iter()
+            .any(|n| n.contains("no knowledge base")));
+    }
+
+    #[test]
+    fn covered_module_is_clean() {
+        let mut t = LintTarget::new();
+        t.knowledge = Some(FailureKnowledgeBase::builtin());
+        t.modules.push(spd());
+        assert!(run(&t).is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! The Horning pass: assumptions that can drift out from under the
+//! system without anyone noticing.
+//!
+//! Horning's syndrome — "a hidden or changed assumption" — is fought in
+//! the paper by making assumptions explicit, *bound*, and *monitored*.
+//! This pass flags the three static shadows of that discipline: an
+//! assumption nobody ever binds (`AFTA-H001`), an assumption bound once
+//! and never re-verified (`AFTA-H002`), and the Ariane 5 special case of
+//! a value-range narrowing whose safety no monitored assumption proves
+//! (`AFTA-H003`).
+
+use crate::diagnostic::{Diagnostic, Rule, SourceRef};
+use crate::interval::int_domain;
+use crate::passes::LintPass;
+use crate::target::LintTarget;
+
+/// Lints for the Horning syndrome (`AFTA-H*` rules).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HorningPass;
+
+impl LintPass for HorningPass {
+    fn name(&self) -> &'static str {
+        "horning"
+    }
+
+    fn run(&self, target: &LintTarget, out: &mut Vec<Diagnostic>) {
+        check_binding_coverage(target, out);
+        check_conversions(target, out);
+    }
+}
+
+/// `AFTA-H001` / `AFTA-H002`: every declared assumption must be bound to
+/// a fact, and the fact must stay under probe surveillance.
+fn check_binding_coverage(target: &LintTarget, out: &mut Vec<Diagnostic>) {
+    for a in &target.manifest.assumptions {
+        let key = a.fact_key();
+        let bound = target.manifest.facts.contains_key(key);
+        let probed = target.probed_facts.contains(key);
+        if !bound && !probed {
+            out.push(
+                Diagnostic::new(
+                    Rule::H001,
+                    SourceRef::assumption(a.id().as_str()),
+                    format!(
+                        "assumption `{}` is never bound: no fact `{key}` is observed \
+                         and no probe covers it",
+                        a.id().as_str()
+                    ),
+                )
+                .note(format!("stated as: {}", a.statement()))
+                .help(format!(
+                    "bind `{key}` at deployment time or register a context probe for it"
+                )),
+            );
+        } else if bound && !probed {
+            out.push(
+                Diagnostic::new(
+                    Rule::H002,
+                    SourceRef::assumption(a.id().as_str()),
+                    format!(
+                        "assumption `{}` is bound but unmonitored: fact `{key}` was \
+                         observed once and is never re-verified",
+                        a.id().as_str()
+                    ),
+                )
+                .note("a changed assumption is exactly Horning's syndrome")
+                .help(format!("register a monitor probe covering `{key}`")),
+            );
+        }
+    }
+}
+
+/// `AFTA-H003`: a conversion that narrows the representable range is only
+/// clean when a manifest assumption on the same fact *proves* — in the
+/// interval domain — that every admitted value fits the destination.
+fn check_conversions(target: &LintTarget, out: &mut Vec<Diagnostic>) {
+    for conv in &target.conversions {
+        if conv.to.contains_interval(&conv.from) {
+            continue; // Widening or same-width: always safe.
+        }
+        let fire = |message: String| {
+            Diagnostic::new(Rule::H003, SourceRef::conversion(&conv.fact_key), message)
+                .note(format!(
+                    "source range {} does not fit destination range {}",
+                    conv.from, conv.to
+                ))
+                .note(
+                    "an out-of-range value here reproduces the Ariane 5 Operand Error \
+                     (unproven assumption on horizontal velocity)",
+                )
+        };
+        match &conv.guarded_by {
+            None => out.push(
+                fire(format!(
+                    "conversion of `{}` narrows {} into {} with no guarding assumption",
+                    conv.fact_key, conv.from, conv.to
+                ))
+                .help(
+                    "declare a monitored assumption whose expectation bounds the \
+                     source value within the destination range, and name it in \
+                     `guarded_by`",
+                ),
+            ),
+            Some(guard_id) => {
+                // A dangling guard is Hidden Intelligence (AFTA-HI001,
+                // reported by that pass); the narrowing itself stays
+                // unproven either way.
+                let Some(guard) = target
+                    .manifest
+                    .assumptions
+                    .iter()
+                    .find(|a| a.id() == guard_id)
+                else {
+                    out.push(
+                        fire(format!(
+                            "conversion of `{}` narrows {} into {}, and its guard `{}` \
+                             does not exist in the manifest",
+                            conv.fact_key,
+                            conv.from,
+                            conv.to,
+                            guard_id.as_str()
+                        ))
+                        .help("add the guarding assumption to the manifest"),
+                    );
+                    continue;
+                };
+                if guard.fact_key() != conv.fact_key {
+                    out.push(
+                        fire(format!(
+                            "guard `{}` constrains fact `{}`, not `{}`: the narrowing \
+                             stays unproven",
+                            guard.id().as_str(),
+                            guard.fact_key(),
+                            conv.fact_key
+                        ))
+                        .help("guard the conversion with an assumption on the converted fact"),
+                    );
+                    continue;
+                }
+                let admitted = int_domain(guard.expectation());
+                if !conv.to.contains_interval(&admitted) {
+                    out.push(
+                        fire(format!(
+                            "guard `{}` admits {}, which does not fit the destination \
+                             range {}",
+                            guard.id().as_str(),
+                            admitted,
+                            conv.to
+                        ))
+                        .help(format!(
+                            "tighten the guard's expectation so every admitted value \
+                             lies in {}",
+                            conv.to
+                        )),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::ConversionDecl;
+    use afta_core::{Assumption, Expectation, Value};
+
+    fn run(target: &LintTarget) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        HorningPass.run(target, &mut out);
+        out
+    }
+
+    fn assumption(id: &str, key: &str, e: Expectation) -> Assumption {
+        Assumption::builder(id)
+            .statement("test assumption")
+            .expects(key, e)
+            .build()
+    }
+
+    #[test]
+    fn unbound_assumption_fires_h001() {
+        let mut t = LintTarget::new();
+        t.manifest
+            .assumptions
+            .push(assumption("a", "ghost", Expectation::Present));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::H001);
+        assert!(diags[0].message.contains("never bound"));
+    }
+
+    #[test]
+    fn bound_but_unprobed_fires_h002() {
+        let mut t = LintTarget::new();
+        t.manifest
+            .assumptions
+            .push(assumption("a", "seen", Expectation::Present));
+        t.manifest.facts.insert("seen".into(), Value::Int(1));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::H002);
+    }
+
+    #[test]
+    fn probed_assumption_is_clean() {
+        let mut t = LintTarget::new();
+        t.manifest
+            .assumptions
+            .push(assumption("a", "live", Expectation::Present));
+        t.probed_facts.insert("live".into());
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn unguarded_narrowing_fires_h003() {
+        let mut t = LintTarget::new();
+        t.conversions
+            .push(ConversionDecl::narrowing_bits("hvel", 64, 16));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::H003);
+        assert!(diags[0].message.contains("no guarding assumption"));
+    }
+
+    #[test]
+    fn widening_is_always_clean() {
+        let mut t = LintTarget::new();
+        t.conversions
+            .push(ConversionDecl::narrowing_bits("x", 16, 64));
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn too_wide_guard_fires_h003() {
+        let mut t = LintTarget::new();
+        t.manifest.assumptions.push(assumption(
+            "a-hvel",
+            "hvel",
+            Expectation::int_range(-100_000, 100_000),
+        ));
+        t.probed_facts.insert("hvel".into());
+        t.conversions
+            .push(ConversionDecl::narrowing_bits("hvel", 64, 16).guarded("a-hvel"));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::H003);
+        assert!(diags[0].message.contains("does not fit"));
+    }
+
+    #[test]
+    fn proven_guard_is_clean() {
+        let mut t = LintTarget::new();
+        t.manifest.assumptions.push(assumption(
+            "a-hvel",
+            "hvel",
+            Expectation::int_range(-32_768, 32_767),
+        ));
+        t.probed_facts.insert("hvel".into());
+        t.conversions
+            .push(ConversionDecl::narrowing_bits("hvel", 64, 16).guarded("a-hvel"));
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn guard_on_wrong_fact_fires_h003() {
+        let mut t = LintTarget::new();
+        t.manifest.assumptions.push(assumption(
+            "a-other",
+            "other",
+            Expectation::int_range(0, 10),
+        ));
+        t.probed_facts.insert("other".into());
+        t.conversions
+            .push(ConversionDecl::narrowing_bits("hvel", 64, 16).guarded("a-other"));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("not `hvel`"));
+    }
+
+    #[test]
+    fn dangling_guard_fires_h003_here_too() {
+        let mut t = LintTarget::new();
+        t.conversions
+            .push(ConversionDecl::narrowing_bits("hvel", 64, 16).guarded("nope"));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("does not exist"));
+    }
+}

@@ -1,0 +1,25 @@
+//! The analyzer's passes, one per assumption-failure syndrome.
+
+mod boulding;
+mod hidden;
+mod horning;
+
+pub use boulding::BouldingPass;
+pub use hidden::HiddenIntelligencePass;
+pub use horning::HorningPass;
+
+use crate::diagnostic::Diagnostic;
+use crate::target::LintTarget;
+
+/// A single analysis pass over a [`LintTarget`].
+///
+/// Passes are pure: they read the target and append [`Diagnostic`]s.
+/// Ordering between passes carries no meaning — the driver sorts the
+/// combined output into a canonical order before reporting.
+pub trait LintPass {
+    /// Human-readable pass name.
+    fn name(&self) -> &'static str;
+
+    /// Appends this pass's findings for `target` to `out`.
+    fn run(&self, target: &LintTarget, out: &mut Vec<Diagnostic>);
+}

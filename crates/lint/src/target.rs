@@ -1,0 +1,261 @@
+//! The unit of analysis: everything a deployment declares, in one
+//! serializable bundle.
+//!
+//! A [`LintTarget`] is the static, machine-readable face of an AFTA
+//! deployment — the registry manifest, contract descriptors, declared
+//! value conversions, probe coverage, the component DAG, the failure
+//! knowledge base with the modules it must cover, and the adaptive-organ
+//! configurations.  Everything here can be checked *before* the system
+//! runs, which is exactly where the paper wants assumption failures
+//! caught.
+
+use std::collections::BTreeSet;
+
+use afta_alphacount::DecayPolicy;
+use afta_core::{AssumptionId, BouldingCategory, ContractDescriptor, RegistryManifest};
+use afta_dag::ComponentGraph;
+use afta_memaccess::{method_profiles, FailureKnowledgeBase, MethodProfile};
+use afta_memsim::Spd;
+use afta_switchboard::RedundancyPolicy;
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::interval::IntInterval;
+
+/// A declared value conversion between two integer representations —
+/// the artefact behind the Ariane 5 Operand Error.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConversionDecl {
+    /// The fact being converted (its key in the manifest).
+    pub fact_key: String,
+    /// The source representation's range.
+    pub from: IntInterval,
+    /// The destination representation's range.
+    pub to: IntInterval,
+    /// The assumption that allegedly proves the value fits, if any.
+    pub guarded_by: Option<AssumptionId>,
+}
+
+impl ConversionDecl {
+    /// A conversion between two signed bit-widths, e.g. the Ariane
+    /// trajectory code's 64-bit float (integer part) into 16 bits.
+    #[must_use]
+    pub fn narrowing_bits(fact_key: impl Into<String>, from_bits: u32, to_bits: u32) -> Self {
+        Self {
+            fact_key: fact_key.into(),
+            from: IntInterval::of_bits(from_bits),
+            to: IntInterval::of_bits(to_bits),
+            guarded_by: None,
+        }
+    }
+
+    /// Names the guarding assumption.
+    #[must_use]
+    pub fn guarded(mut self, id: impl Into<String>) -> Self {
+        self.guarded_by = Some(AssumptionId::new(id));
+        self
+    }
+}
+
+/// A declared alpha-count configuration (§2's count-and-threshold organ).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlphaDecl {
+    /// Added to alpha on each erroneous observation.
+    pub increment: f64,
+    /// The verdict threshold (a verdict needs `alpha > threshold`).
+    pub threshold: f64,
+    /// How alpha decays on correct observations.
+    pub decay: DecayPolicy,
+    /// The longest error burst the deployment expects to see, when the
+    /// designer declared one; enables the reachability check.
+    pub max_burst: Option<u64>,
+}
+
+/// A declared voting-farm dimensioning (§3.3's redundant organ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RedundancyDecl {
+    /// The controller's policy.
+    pub policy: RedundancyPolicy,
+    /// The fault hypothesis: how many replicas may fail at once.
+    pub max_simultaneous_faults: usize,
+}
+
+/// Everything a deployment declares, bundled for static analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+pub struct LintTarget {
+    /// The assumption registry's manifest.
+    pub manifest: RegistryManifest,
+    /// Descriptors of the deployment's contracts.
+    pub contracts: Vec<ContractDescriptor>,
+    /// Declared integer conversions.
+    pub conversions: Vec<ConversionDecl>,
+    /// Fact keys covered by a runtime monitor probe.
+    pub probed_facts: BTreeSet<String>,
+    /// The Boulding category the deployment claims to handle; `None`
+    /// means nothing was declared (treated as the paper's "clockwork").
+    pub declared_category: Option<BouldingCategory>,
+    /// The component architecture, when one is declared.
+    pub graph: Option<ComponentGraph>,
+    /// The failure knowledge base, when one is declared.
+    pub knowledge: Option<FailureKnowledgeBase>,
+    /// The memory modules the deployment runs on.
+    pub modules: Vec<Spd>,
+    /// The access methods available to the selection rule; empty means
+    /// the built-in `M0..M4` set.
+    pub methods: Vec<MethodProfile>,
+    /// The alpha-count configuration, when one is declared.
+    pub alpha: Option<AlphaDecl>,
+    /// The voting-farm dimensioning, when one is declared.
+    pub redundancy: Option<RedundancyDecl>,
+}
+
+/// Reads one field of the target object, substituting the default when
+/// the field is absent (so hand-written targets can stay sparse).
+fn field_or<T: Deserialize + Default>(fields: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match fields.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| Error::custom(format!("LintTarget.{name}: {e}")))
+        }
+        None => Ok(T::default()),
+    }
+}
+
+// Hand-written so that sparse JSON targets (a manifest alone, say) parse
+// with every other section defaulted — the derive requires all fields.
+impl Deserialize for LintTarget {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object for LintTarget"))?;
+        Ok(LintTarget {
+            manifest: field_or(fields, "manifest")?,
+            contracts: field_or(fields, "contracts")?,
+            conversions: field_or(fields, "conversions")?,
+            probed_facts: field_or(fields, "probed_facts")?,
+            declared_category: field_or(fields, "declared_category")?,
+            graph: field_or(fields, "graph")?,
+            knowledge: field_or(fields, "knowledge")?,
+            modules: field_or(fields, "modules")?,
+            methods: field_or(fields, "methods")?,
+            alpha: field_or(fields, "alpha")?,
+            redundancy: field_or(fields, "redundancy")?,
+        })
+    }
+}
+
+impl LintTarget {
+    /// Creates an empty target (lints clean).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The method set the deployment selects from: the declared profiles,
+    /// or the built-in `M0..M4` ladder when none were declared.
+    #[must_use]
+    pub fn effective_methods(&self) -> Vec<MethodProfile> {
+        if self.methods.is_empty() {
+            method_profiles()
+        } else {
+            self.methods.clone()
+        }
+    }
+
+    /// The category the deployment is prepared for; undeclared means
+    /// Boulding's lowest rung, "clockwork".
+    #[must_use]
+    pub fn effective_category(&self) -> BouldingCategory {
+        self.declared_category
+            .unwrap_or(BouldingCategory::Clockwork)
+    }
+
+    /// Serialises to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if serialisation fails (practically
+    /// impossible for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a target from JSON; absent sections default to empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afta_core::{Assumption, Expectation};
+
+    fn small_target() -> LintTarget {
+        let mut target = LintTarget::new();
+        target.manifest.assumptions.push(
+            Assumption::builder("a1")
+                .statement("velocity fits 16 bits")
+                .expects("hvel", Expectation::int_range(-32768, 32767))
+                .build(),
+        );
+        target
+            .conversions
+            .push(ConversionDecl::narrowing_bits("hvel", 64, 16).guarded("a1"));
+        target.probed_facts.insert("hvel".to_string());
+        target
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let t = small_target();
+        let json = t.to_json().unwrap();
+        let back = LintTarget::from_json(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn sparse_json_defaults_missing_sections() {
+        let t = LintTarget::from_json("{}").unwrap();
+        assert_eq!(t, LintTarget::new());
+        let manifest_only = r#"{ "probed_facts": ["hvel"] }"#;
+        let t = LintTarget::from_json(manifest_only).unwrap();
+        assert!(t.probed_facts.contains("hvel"));
+        assert!(t.conversions.is_empty());
+        assert!(t.graph.is_none());
+    }
+
+    #[test]
+    fn malformed_sections_name_the_field() {
+        let err = LintTarget::from_json(r#"{ "conversions": 3 }"#)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("conversions"), "got: {err}");
+    }
+
+    #[test]
+    fn effective_methods_fall_back_to_builtin_ladder() {
+        let t = LintTarget::new();
+        let methods = t.effective_methods();
+        assert_eq!(methods.len(), 5);
+        assert_eq!(methods[0].label, "M0");
+    }
+
+    #[test]
+    fn effective_category_defaults_to_clockwork() {
+        let mut t = LintTarget::new();
+        assert_eq!(t.effective_category(), BouldingCategory::Clockwork);
+        t.declared_category = Some(BouldingCategory::Cell);
+        assert_eq!(t.effective_category(), BouldingCategory::Cell);
+    }
+
+    #[test]
+    fn conversion_builder() {
+        let c = ConversionDecl::narrowing_bits("bh", 64, 16).guarded("a-bh");
+        assert_eq!(c.from, IntInterval::full());
+        assert_eq!(c.to, IntInterval::of_bits(16));
+        assert_eq!(c.guarded_by.as_ref().unwrap().as_str(), "a-bh");
+    }
+}

@@ -1,0 +1,143 @@
+//! Fixture builders shared by the afta-lint integration tests.
+// Each test binary compiles this module but uses only some builders.
+#![allow(dead_code)]
+
+use afta_core::{
+    Assumption, AssumptionId, BouldingCategory, ClauseDescriptor, ContractDescriptor, Expectation,
+    Value, ViolationKind,
+};
+use afta_dag::{Component, ComponentGraph};
+use afta_lint::{AlphaDecl, ConversionDecl, LintTarget, RedundancyDecl};
+use afta_memaccess::{FailureKnowledgeBase, FailureRecord, MethodKind};
+use afta_memsim::{BehaviorClass, MemoryTechnology, Severity as FaultSeverity, Spd};
+use afta_switchboard::RedundancyPolicy;
+
+/// The Ariane 5 scenario as a lint target.
+///
+/// The horizontal-velocity fact is converted from 64 to 16 bits behind a
+/// guarding assumption.  In the seeded (bad) variant the guard still
+/// admits the Ariane 5 flight envelope, `[-100000, 100000]` — wider than
+/// the destination — so `AFTA-H003` fires.  The fixed variant tightens
+/// the guard to the destination range and lints fully clean.
+#[must_use]
+pub fn ariane_target(fixed: bool) -> LintTarget {
+    let envelope = if fixed {
+        Expectation::int_range(-32_768, 32_767)
+    } else {
+        Expectation::int_range(-100_000, 100_000)
+    };
+    let mut target = LintTarget::new();
+    target.manifest.assumptions.push(
+        Assumption::builder("a-hvel")
+            .statement("horizontal velocity stays within the trajectory envelope")
+            .expects("horizontal_velocity", envelope)
+            .origin("ariane4/flight-software")
+            .build(),
+    );
+    target.probed_facts.insert("horizontal_velocity".into());
+    target
+        .conversions
+        .push(ConversionDecl::narrowing_bits("horizontal_velocity", 64, 16).guarded("a-hvel"));
+    target.contracts.push(ContractDescriptor {
+        name: "sri-alignment".into(),
+        clauses: vec![ClauseDescriptor {
+            kind: ViolationKind::Precondition,
+            name: "velocity representable".into(),
+            assumes: vec![AssumptionId::new("a-hvel")],
+        }],
+    });
+    target
+}
+
+/// A target that triggers every rule exactly once — the golden fixture.
+#[must_use]
+pub fn one_per_rule_target() -> LintTarget {
+    let mut target = LintTarget::new();
+
+    // AFTA-H001: declared, never bound, never probed.
+    target.manifest.assumptions.push(
+        Assumption::builder("a-unbound")
+            .statement("the operator re-checks the dose on the console")
+            .expects("console_dose_check", Expectation::Present)
+            .build(),
+    );
+    // AFTA-H002: bound once, never re-verified.
+    target.manifest.assumptions.push(
+        Assumption::builder("a-stale")
+            .statement("ambient temperature stays in the qualified band")
+            .expects("ambient_temp_c", Expectation::int_range(0, 40))
+            .build(),
+    );
+    target
+        .manifest
+        .facts
+        .insert("ambient_temp_c".into(), Value::Int(21));
+    // AFTA-H003: unguarded 64 -> 16 bit narrowing.
+    target.conversions.push(ConversionDecl::narrowing_bits(
+        "horizontal_velocity",
+        64,
+        16,
+    ));
+    // AFTA-HI001 / AFTA-HI002: one dangling reference, one silent clause.
+    target.contracts.push(ContractDescriptor {
+        name: "dose-delivery".into(),
+        clauses: vec![
+            ClauseDescriptor {
+                kind: ViolationKind::Precondition,
+                name: "interlock engaged".into(),
+                assumes: vec![AssumptionId::new("a-missing")],
+            },
+            ClauseDescriptor {
+                kind: ViolationKind::Invariant,
+                name: "beam energy bounded".into(),
+                assumes: vec![],
+            },
+        ],
+    });
+    // AFTA-HI003: an f4 record while only M0 (tolerates f0) is declared.
+    let mut kb = FailureKnowledgeBase::new();
+    kb.insert_technology(
+        MemoryTechnology::Sdram,
+        FailureRecord::new(BehaviorClass::F4, FaultSeverity::Nominal),
+    );
+    target.knowledge = Some(kb);
+    target.methods = vec![MethodKind::M0.profile()];
+    // AFTA-HI004: a CMOS module the base says nothing about.
+    target.modules.push(Spd {
+        vendor: "ACME".into(),
+        model: "X1".into(),
+        serial: "S1".into(),
+        lot: "L1".into(),
+        size_mib: 256,
+        clock_mhz: 100,
+        width_bits: 32,
+        technology: MemoryTechnology::Cmos,
+    });
+    // AFTA-B001: Cell required, nothing declared (counts as Clockwork).
+    target.manifest.required_category = BouldingCategory::Cell;
+    // AFTA-B002: publisher and subscriber exist but are not connected.
+    let mut graph = ComponentGraph::new();
+    graph
+        .add(Component::new("memory-monitor", "watchdog").with_meta("publishes", "fault.memory"))
+        .unwrap();
+    graph
+        .add(Component::new("recovery-guard", "handler").with_meta("subscribes", "fault.memory"))
+        .unwrap();
+    target.graph = Some(graph);
+    // AFTA-B003: a burst of 8 x 1.0 can never exceed a threshold of 10.
+    target.alpha = Some(AlphaDecl {
+        increment: 1.0,
+        threshold: 10.0,
+        decay: afta_alphacount::DecayPolicy::Multiplicative(0.5),
+        max_burst: Some(8),
+    });
+    // AFTA-B005 (even minimum) and AFTA-B004 (dtof(4, 2) = 0) at once.
+    target.redundancy = Some(RedundancyDecl {
+        policy: RedundancyPolicy {
+            min: 4,
+            ..RedundancyPolicy::default()
+        },
+        max_simultaneous_faults: 2,
+    });
+    target
+}

@@ -1,0 +1,59 @@
+//! Keeps the example manifests under `examples/manifests/` in lockstep
+//! with the fixture builders.
+//!
+//! Run with `AFTA_LINT_BLESS=1` to regenerate the JSON files; without
+//! the variable the test asserts the committed files still parse to the
+//! same targets and lint the same way.
+
+mod common;
+
+use std::path::PathBuf;
+
+use afta_lint::{LintDriver, LintTarget, Rule};
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/manifests")
+}
+
+fn sync(name: &str, target: &LintTarget) -> LintTarget {
+    let path = manifest_dir().join(name);
+    if std::env::var("AFTA_LINT_BLESS").is_ok() {
+        std::fs::create_dir_all(manifest_dir()).unwrap();
+        std::fs::write(&path, target.to_json().unwrap()).unwrap();
+    }
+    let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (regenerate with AFTA_LINT_BLESS=1)",
+            path.display()
+        )
+    });
+    LintTarget::from_json(&on_disk).unwrap()
+}
+
+#[test]
+fn ariane_manifest_matches_builder_and_fires_h003() {
+    let built = common::ariane_target(false);
+    let parsed = sync("ariane.json", &built);
+    assert_eq!(built, parsed);
+
+    let report = LintDriver::new().run(&parsed);
+    assert_eq!(report.errors, 1);
+    assert_eq!(report.diagnostics[0].rule, Rule::H003);
+    assert_eq!(report.exit_code(), 1);
+}
+
+#[test]
+fn fixed_ariane_manifest_matches_builder_and_lints_clean() {
+    let built = common::ariane_target(true);
+    let parsed = sync("ariane_fixed.json", &built);
+    assert_eq!(built, parsed);
+
+    let mut driver = LintDriver::new();
+    driver.deny_warnings(true);
+    let report = driver.run(&parsed);
+    assert!(
+        report.is_clean(),
+        "expected clean, got:\n{}",
+        report.render_text()
+    );
+}

@@ -1,0 +1,69 @@
+//! Golden-file tests pinning the exact rendered output — text and JSON —
+//! of a report with one finding per rule.
+//!
+//! Run with `AFTA_LINT_BLESS=1` to regenerate the golden files after an
+//! intentional rendering change.
+
+mod common;
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use afta_lint::{LintDriver, Rule};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("AFTA_LINT_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (regenerate with AFTA_LINT_BLESS=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "rendered output drifted from {name}; bless if intentional"
+    );
+}
+
+#[test]
+fn every_rule_fires_exactly_once() {
+    let report = LintDriver::new().run(&common::one_per_rule_target());
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in &report.diagnostics {
+        *by_rule.entry(d.rule.code()).or_default() += 1;
+    }
+    for rule in Rule::ALL {
+        assert_eq!(
+            by_rule.get(rule.code()),
+            Some(&1),
+            "expected exactly one {} finding, got {:?}",
+            rule.code(),
+            by_rule
+        );
+    }
+    assert_eq!(report.diagnostics.len(), Rule::ALL.len());
+}
+
+#[test]
+fn text_rendering_matches_golden() {
+    let report = LintDriver::new().run(&common::one_per_rule_target());
+    check_golden("report.txt", &report.render_text());
+}
+
+#[test]
+fn json_rendering_matches_golden() {
+    let report = LintDriver::new().run(&common::one_per_rule_target());
+    let mut json = report.to_json().unwrap();
+    json.push('\n');
+    check_golden("report.json", &json);
+}

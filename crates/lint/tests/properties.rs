@@ -1,0 +1,207 @@
+//! Property-based tests: lint output is a pure, order-independent
+//! function of the target's content, and a known-bad edit to a clean
+//! target always re-triggers the corresponding rule.
+
+mod common;
+
+use afta_core::{Assumption, Expectation};
+use afta_lint::{ConversionDecl, LintDriver, LintTarget, Rule};
+use afta_switchboard::RedundancyPolicy;
+use proptest::prelude::*;
+
+/// A target with `n` assumptions in mixed binding states plus a few
+/// conversions, parameterised so proptest explores the content space.
+fn synthetic_target(bound: &[bool], probed: &[bool], narrow_bits: &[u32]) -> LintTarget {
+    let mut t = LintTarget::new();
+    for (i, (&b, &p)) in bound.iter().zip(probed).enumerate() {
+        let key = format!("fact-{i}");
+        t.manifest.assumptions.push(
+            Assumption::builder(format!("a-{i}"))
+                .statement("synthetic")
+                .expects(&key, Expectation::int_range(-32_768, 32_767))
+                .build(),
+        );
+        if b {
+            t.manifest
+                .facts
+                .insert(key.clone(), afta_core::Value::Int(0));
+        }
+        if p {
+            t.probed_facts.insert(key);
+        }
+    }
+    for (i, &bits) in narrow_bits.iter().enumerate() {
+        t.conversions.push(ConversionDecl::narrowing_bits(
+            format!("conv-{i}"),
+            64,
+            bits,
+        ));
+    }
+    t
+}
+
+/// Rebuilds `t` with its assumption and conversion lists rotated by `k`
+/// — same content, different insertion order.
+fn rotated(t: &LintTarget, k: usize) -> LintTarget {
+    let mut r = t.clone();
+    if !r.manifest.assumptions.is_empty() {
+        let k = k % r.manifest.assumptions.len();
+        r.manifest.assumptions.rotate_left(k);
+    }
+    if !r.conversions.is_empty() {
+        let k = k % r.conversions.len();
+        r.conversions.rotate_left(k);
+    }
+    if !r.contracts.is_empty() {
+        let k = k % r.contracts.len();
+        r.contracts.rotate_left(k);
+    }
+    r
+}
+
+/// The known-bad edits of the mutation property, one per lintable
+/// artefact family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BadEdit {
+    WidenGuard,
+    DropProbe,
+    DanglingGuard,
+    RequireCell,
+    EvenMinimum,
+}
+
+impl BadEdit {
+    const ALL: [BadEdit; 5] = [
+        BadEdit::WidenGuard,
+        BadEdit::DropProbe,
+        BadEdit::DanglingGuard,
+        BadEdit::RequireCell,
+        BadEdit::EvenMinimum,
+    ];
+
+    /// Applies the edit to a clean Ariane target.
+    fn apply(self, t: &mut LintTarget) {
+        match self {
+            // Re-widen the guard to the Ariane 5 envelope.
+            BadEdit::WidenGuard => {
+                let a = t.manifest.assumptions.remove(0);
+                t.manifest.assumptions.push(
+                    Assumption::builder(a.id().as_str())
+                        .statement(a.statement())
+                        .expects(a.fact_key(), Expectation::int_range(-100_000, 100_000))
+                        .build(),
+                );
+            }
+            // Stop monitoring the velocity fact.
+            BadEdit::DropProbe => {
+                t.probed_facts.clear();
+                t.manifest
+                    .facts
+                    .insert("horizontal_velocity".into(), afta_core::Value::Int(0));
+            }
+            // Point the conversion guard at a ghost assumption.
+            BadEdit::DanglingGuard => {
+                t.conversions[0].guarded_by = Some(afta_core::AssumptionId::new("a-ghost"));
+            }
+            // Demand more of the environment than the deployment declares.
+            BadEdit::RequireCell => {
+                t.manifest.required_category = afta_core::BouldingCategory::Cell;
+            }
+            // Break the voting-farm policy.
+            BadEdit::EvenMinimum => {
+                t.redundancy = Some(afta_lint::RedundancyDecl {
+                    policy: RedundancyPolicy {
+                        min: 4,
+                        ..RedundancyPolicy::default()
+                    },
+                    max_simultaneous_faults: 1,
+                });
+            }
+        }
+    }
+
+    /// The rule the edit must re-trigger.
+    fn expected_rule(self) -> Rule {
+        match self {
+            BadEdit::WidenGuard => Rule::H003,
+            BadEdit::DropProbe => Rule::H002,
+            BadEdit::DanglingGuard => Rule::HI001,
+            BadEdit::RequireCell => Rule::B001,
+            BadEdit::EvenMinimum => Rule::B005,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn lint_is_deterministic(
+        bound in proptest::collection::vec(any::<bool>(), 0..6),
+        probed in proptest::collection::vec(any::<bool>(), 0..6),
+        bits in proptest::collection::vec(8u32..64, 0..4),
+    ) {
+        let n = bound.len().min(probed.len());
+        let t = synthetic_target(&bound[..n], &probed[..n], &bits);
+        let a = LintDriver::new().run(&t);
+        let b = LintDriver::new().run(&t);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lint_output_is_insertion_order_independent(
+        bound in proptest::collection::vec(any::<bool>(), 1..6),
+        probed in proptest::collection::vec(any::<bool>(), 1..6),
+        bits in proptest::collection::vec(8u32..64, 1..4),
+        rotation in 0usize..8,
+    ) {
+        let n = bound.len().min(probed.len());
+        let t = synthetic_target(&bound[..n], &probed[..n], &bits);
+        let report = LintDriver::new().run(&t);
+        let report_rotated = LintDriver::new().run(&rotated(&t, rotation));
+        prop_assert_eq!(&report, &report_rotated);
+        // And the canonical order really is sorted.
+        let keys: Vec<_> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.rule, d.source.clone(), d.message.clone()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        prop_assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn known_bad_edit_always_retriggers_its_rule(
+        edit in proptest::sample::select(BadEdit::ALL.to_vec()),
+    ) {
+        let mut t = common::ariane_target(true);
+        // The baseline is clean even with warnings denied.
+        let mut driver = LintDriver::new();
+        driver.deny_warnings(true);
+        prop_assert!(driver.run(&t).is_clean());
+
+        edit.apply(&mut t);
+        let report = driver.run(&t);
+        let rule = edit.expected_rule();
+        prop_assert!(
+            report.diagnostics.iter().any(|d| d.rule == rule),
+            "edit {:?} did not trigger {}: {}",
+            edit,
+            rule.code(),
+            report.render_text()
+        );
+        prop_assert!(report.exit_code() == 1);
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless_for_synthetic_targets(
+        bound in proptest::collection::vec(any::<bool>(), 0..5),
+        probed in proptest::collection::vec(any::<bool>(), 0..5),
+        bits in proptest::collection::vec(8u32..64, 0..3),
+    ) {
+        let n = bound.len().min(probed.len());
+        let t = synthetic_target(&bound[..n], &probed[..n], &bits);
+        let back = LintTarget::from_json(&t.to_json().unwrap()).unwrap();
+        prop_assert_eq!(&t, &back);
+        prop_assert_eq!(LintDriver::new().run(&t), LintDriver::new().run(&back));
+    }
+}

@@ -102,6 +102,26 @@ impl FailureKnowledgeBase {
         None
     }
 
+    /// Iterates over every record with the granularity and lookup key it
+    /// is filed under, technology records first, then models, then lots.
+    /// This is the introspection surface static tools (`afta-lint`) use
+    /// to audit the base without probing concrete modules.
+    pub fn records(&self) -> impl Iterator<Item = (MatchLevel, &str, FailureRecord)> {
+        self.by_technology
+            .iter()
+            .map(|(k, r)| (MatchLevel::Technology, k.as_str(), *r))
+            .chain(
+                self.by_model
+                    .iter()
+                    .map(|(k, r)| (MatchLevel::Model, k.as_str(), *r)),
+            )
+            .chain(
+                self.by_lot
+                    .iter()
+                    .map(|(k, r)| (MatchLevel::Lot, k.as_str(), *r)),
+            )
+    }
+
     /// Serialises the base to JSON (the stand-in for the paper's shared
     /// remote databases).
     ///
@@ -234,6 +254,19 @@ mod tests {
     #[test]
     fn malformed_json_is_an_error() {
         assert!(FailureKnowledgeBase::from_json("{nope").is_err());
+    }
+
+    #[test]
+    fn records_iterates_every_granularity() {
+        let kb = FailureKnowledgeBase::builtin();
+        let all: Vec<_> = kb.records().collect();
+        assert_eq!(all.len(), kb.len());
+        assert!(all
+            .iter()
+            .any(|(l, k, _)| *l == MatchLevel::Lot && *k == "CE00/K4H510838B/L2004-17"));
+        assert!(all
+            .iter()
+            .any(|(l, k, _)| *l == MatchLevel::Technology && *k == "CMOS"));
     }
 
     #[test]

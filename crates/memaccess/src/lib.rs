@@ -41,5 +41,8 @@ pub mod workload;
 pub use deployment::{DeploymentManager, DeploymentRecord};
 pub use knowledge::{FailureKnowledgeBase, FailureRecord, MatchLevel};
 pub use methods::{AccessError, AccessMethod, M0Raw, M1Ecc, M2EccRemap, MethodStats, MirroredEcc};
-pub use select::{configure, method_assumption_var, ConfigReport, ConfigureError, MethodKind};
+pub use select::{
+    configure, method_assumption_var, method_profiles, ConfigReport, ConfigureError, MethodKind,
+    MethodProfile,
+};
 pub use workload::{run_workload, WorkloadConfig, WorkloadReport};

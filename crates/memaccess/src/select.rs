@@ -126,6 +126,46 @@ impl fmt::Display for MethodKind {
     }
 }
 
+/// A declarative description of an access method — label, tolerated
+/// behaviour classes, cost — detached from the executable implementation.
+/// This is the form deployment descriptors and static tools (`afta-lint`)
+/// reason over: the method set as *exposed knowledge* rather than code.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MethodProfile {
+    /// The method's label, e.g. `"M3"`.
+    pub label: String,
+    /// Labels of the behaviour classes the method tolerates
+    /// (`"f0"`..`"f4"`).
+    pub tolerates: Vec<String>,
+    /// The method's cost under the §3.1 cost function.
+    pub cost: f64,
+}
+
+impl MethodKind {
+    /// This method's declarative profile.
+    #[must_use]
+    pub fn profile(self) -> MethodProfile {
+        MethodProfile {
+            label: self.label().to_owned(),
+            tolerates: self
+                .tolerates()
+                .iter()
+                .map(|c| c.label().to_owned())
+                .collect(),
+            cost: self.cost(),
+        }
+    }
+}
+
+/// Profiles of the builtin §3.1 method set `M0..M4`, cheapest first.
+#[must_use]
+pub fn method_profiles() -> Vec<MethodProfile> {
+    MethodKind::ALL
+        .into_iter()
+        .map(MethodKind::profile)
+        .collect()
+}
+
 /// Why configuration failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigureError {
@@ -372,5 +412,20 @@ mod tests {
     fn labels() {
         assert_eq!(MethodKind::M0.label(), "M0");
         assert_eq!(MethodKind::M4.to_string(), "M4");
+    }
+
+    #[test]
+    fn profiles_mirror_the_method_set() {
+        let profiles = method_profiles();
+        assert_eq!(profiles.len(), MethodKind::ALL.len());
+        for (profile, kind) in profiles.iter().zip(MethodKind::ALL) {
+            assert_eq!(profile.label, kind.label());
+            assert_eq!(profile.cost, kind.cost());
+            assert_eq!(profile.tolerates.len(), kind.tolerates().len());
+        }
+        // The profile is exposed knowledge: it survives serialisation.
+        let json = serde_json::to_string(&profiles).unwrap();
+        let back: Vec<MethodProfile> = serde_json::from_str(&json).unwrap();
+        assert_eq!(profiles, back);
     }
 }

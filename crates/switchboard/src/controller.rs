@@ -40,6 +40,37 @@ impl Default for RedundancyPolicy {
 }
 
 impl RedundancyPolicy {
+    /// Non-panicking validity check: returns the first problem found, or
+    /// `Ok(())` for a well-formed policy.  Static tools (`afta-lint`) use
+    /// this to reject a configuration *before* construction would panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint when `min` is
+    /// zero or even, `max < min`, `step` is zero or odd, or `lower_after`
+    /// is zero.
+    pub fn check(&self) -> Result<(), String> {
+        if self.min < 1 {
+            return Err("min must be at least 1".into());
+        }
+        if self.min % 2 != 1 {
+            return Err("min must be odd for clean majorities".into());
+        }
+        if self.max < self.min {
+            return Err("max must be >= min".into());
+        }
+        if self.step < 1 {
+            return Err("step must be positive".into());
+        }
+        if !self.step.is_multiple_of(2) {
+            return Err("step must be even to preserve parity".into());
+        }
+        if self.lower_after < 1 {
+            return Err("lower_after must be positive".into());
+        }
+        Ok(())
+    }
+
     /// Validates the policy.
     ///
     /// # Panics
@@ -47,15 +78,9 @@ impl RedundancyPolicy {
     /// Panics when `min` is zero or even, `max < min`, `step` is zero or
     /// odd, or `lower_after` is zero.
     pub fn validate(&self) {
-        assert!(self.min >= 1, "min must be at least 1");
-        assert!(self.min % 2 == 1, "min must be odd for clean majorities");
-        assert!(self.max >= self.min, "max must be >= min");
-        assert!(self.step >= 1, "step must be positive");
-        assert!(
-            self.step.is_multiple_of(2),
-            "step must be even to preserve parity"
-        );
-        assert!(self.lower_after >= 1, "lower_after must be positive");
+        if let Err(reason) = self.check() {
+            panic!("{reason}");
+        }
     }
 }
 
@@ -305,6 +330,21 @@ mod tests {
             ..RedundancyPolicy::default()
         }
         .validate();
+    }
+
+    #[test]
+    fn check_reports_without_panicking() {
+        assert!(RedundancyPolicy::default().check().is_ok());
+        let bad = RedundancyPolicy {
+            max: 1,
+            ..RedundancyPolicy::default()
+        };
+        assert_eq!(bad.check().unwrap_err(), "max must be >= min");
+        let bad = RedundancyPolicy {
+            lower_after: 0,
+            ..RedundancyPolicy::default()
+        };
+        assert!(bad.check().unwrap_err().contains("lower_after"));
     }
 
     #[test]

@@ -106,12 +106,26 @@ impl<V: fmt::Display> fmt::Display for VoteOutcome<V> {
 #[must_use]
 pub fn dtof(n: usize, m: Option<usize>) -> u32 {
     assert!(n > 0, "dtof requires at least one replica");
+    if let Some(m) = m {
+        assert!(m <= n, "dissent cannot exceed the replica count");
+    }
+    dtof_checked(n, m).expect("arguments validated above")
+}
+
+/// Non-panicking variant of [`dtof`] for static analyzers: returns `None`
+/// when `n == 0` or `m > n` instead of panicking, so a misconfigured
+/// voting-farm dimensioning can be *diagnosed* rather than crashed on.
+#[must_use]
+pub fn dtof_checked(n: usize, m: Option<usize>) -> Option<u32> {
+    if n == 0 {
+        return None;
+    }
     match m {
-        None => 0,
+        None => Some(0),
+        Some(m) if m > n => None,
         Some(m) => {
-            assert!(m <= n, "dissent cannot exceed the replica count");
             let half_up = n.div_ceil(2) as i64;
-            (half_up - m as i64).max(0) as u32
+            Some((half_up - m as i64).max(0) as u32)
         }
     }
 }
@@ -392,6 +406,19 @@ mod tests {
             }
             assert_eq!(dtof(n, None), 0);
         }
+    }
+
+    #[test]
+    fn dtof_checked_agrees_and_never_panics() {
+        for n in 1..=15usize {
+            for m in 0..=n {
+                assert_eq!(dtof_checked(n, Some(m)), Some(dtof(n, Some(m))));
+            }
+            assert_eq!(dtof_checked(n, None), Some(0));
+        }
+        assert_eq!(dtof_checked(0, Some(0)), None);
+        assert_eq!(dtof_checked(0, None), None);
+        assert_eq!(dtof_checked(3, Some(4)), None);
     }
 
     #[test]

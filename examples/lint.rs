@@ -1,0 +1,78 @@
+//! Catching the Ariane 5 defect *before launch* with the static
+//! analyzer (paper §2.1 meets §6's vision of assumption-aware tooling).
+//!
+//! The `ariane5` example shows the clash being caught *in flight* by the
+//! runtime registry.  This walkthrough moves the same check to the
+//! earliest possible binding time: the deployment descriptor is linted
+//! on the ground, the seeded 64→16-bit narrowing is rejected as
+//! `AFTA-H003` (Horning syndrome), and only the corrected descriptor —
+//! whose guarding assumption provably bounds the velocity within the
+//! destination range — lints clean.
+//!
+//! ```sh
+//! cargo run --example lint
+//! ```
+
+use afta::core::{
+    Assumption, AssumptionId, ClauseDescriptor, ContractDescriptor, Expectation, ViolationKind,
+};
+use afta::lint::{ConversionDecl, LintDriver, LintTarget, Rule};
+
+/// The Ariane flight-software deployment as a lint target.  `envelope`
+/// is what the guarding assumption claims about horizontal velocity.
+fn deployment(envelope: Expectation) -> LintTarget {
+    let mut target = LintTarget::new();
+    target.manifest.assumptions.push(
+        Assumption::builder("a-hvel")
+            .statement("horizontal velocity stays within the trajectory envelope")
+            .expects("horizontal_velocity", envelope)
+            .origin("ariane4/flight-software")
+            .build(),
+    );
+    // The velocity fact is under runtime surveillance...
+    target.probed_facts.insert("horizontal_velocity".into());
+    // ...and the reused conversion squeezes it into a 16-bit register,
+    // claiming `a-hvel` proves that this is safe.
+    target
+        .conversions
+        .push(ConversionDecl::narrowing_bits("horizontal_velocity", 64, 16).guarded("a-hvel"));
+    target.contracts.push(ContractDescriptor {
+        name: "sri-alignment".into(),
+        clauses: vec![ClauseDescriptor {
+            kind: ViolationKind::Precondition,
+            name: "velocity representable".into(),
+            assumes: vec![AssumptionId::new("a-hvel")],
+        }],
+    });
+    target
+}
+
+fn main() {
+    let driver = LintDriver::new();
+
+    // ------------------------------------------------------------------
+    // 1. The seeded defect: the guard still describes the *Ariane 5*
+    //    flight envelope, which does not fit a 16-bit register.  The
+    //    Ariane 4 code was "proven" safe against the wrong assumption.
+    // ------------------------------------------------------------------
+    println!("=== seeded deployment (guard admits [-100000, 100000]) ===\n");
+    let seeded = deployment(Expectation::int_range(-100_000, 100_000));
+    let report = driver.run(&seeded);
+    print!("{}", report.render_text());
+    assert_eq!(report.exit_code(), 1);
+    assert_eq!(report.diagnostics[0].rule, Rule::H003);
+
+    // ------------------------------------------------------------------
+    // 2. The fix: tighten the guard to the destination range.  Now the
+    //    interval proof goes through — every value the assumption admits
+    //    is representable, and the runtime monitor (the probe on
+    //    `horizontal_velocity`) will catch any clash with reality.
+    // ------------------------------------------------------------------
+    println!("\n=== fixed deployment (guard admits [-32768, 32767]) ===\n");
+    let fixed = deployment(Expectation::int_range(-32_768, 32_767));
+    let report = driver.run(&fixed);
+    print!("{}", report.render_text());
+    assert_eq!(report.exit_code(), 0);
+
+    println!("\nthe defect that destroyed Flight 501 never left the ground");
+}

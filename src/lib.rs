@@ -24,6 +24,7 @@
 //! | [`campaign`] | `afta-campaign` | parallel deterministic fault-injection campaigns (§3.3) |
 //! | [`faultinject`] | `afta-faultinject` | fault classes, schedules, environment profiles |
 //! | [`telemetry`] | `afta-telemetry` | metrics, spans, flight recorder (observability) |
+//! | [`lint`] | `afta-lint` | static analysis of the assumption web, syndrome-coded diagnostics (§2, §6) |
 //!
 //! # Quickstart
 //!
@@ -59,6 +60,7 @@ pub use afta_dag as dag;
 pub use afta_eventbus as eventbus;
 pub use afta_faultinject as faultinject;
 pub use afta_ftpatterns as ftpatterns;
+pub use afta_lint as lint;
 pub use afta_memaccess as memaccess;
 pub use afta_memsim as memsim;
 pub use afta_sim as sim;
