@@ -56,6 +56,18 @@ pub fn arg_f64(flag: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// Parses a `--flag value` style string argument from the command line,
+/// returning `default` when absent.
+#[must_use]
+pub fn arg_str(flag: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_owned())
+}
+
 /// Whether a bare `--flag` is present on the command line.
 #[must_use]
 pub fn has_flag(flag: &str) -> bool {
@@ -80,5 +92,10 @@ mod tests {
     #[test]
     fn has_flag_false_when_missing() {
         assert!(!has_flag("--definitely-not-passed"));
+    }
+
+    #[test]
+    fn arg_str_defaults_when_missing() {
+        assert_eq!(arg_str("--definitely-not-passed", "both"), "both");
     }
 }

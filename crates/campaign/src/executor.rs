@@ -139,6 +139,36 @@ pub fn collect_shards<R>(results: Vec<Result<R, ShardPanic>>) -> Result<Vec<R>, 
     }
 }
 
+/// One-call shard execution: [`parallel_map`] followed by
+/// [`collect_shards`].
+///
+/// This is the helper downstream crates use to put their own shard type
+/// through the deterministic executor (afta-net's sim-vs-TCP campaign
+/// axis runs [`run_shards`] over `NetExperimentConfig`s, for example)
+/// without restating the fan-out/fold boilerplate.
+///
+/// ```
+/// use afta_campaign::run_shards;
+///
+/// let items: Vec<u64> = (0..10).collect();
+/// let serial = run_shards(1, &items, |_, x| x * x).unwrap();
+/// let parallel = run_shards(4, &items, |_, x| x * x).unwrap();
+/// assert_eq!(serial, parallel); // index order, any worker count
+/// ```
+///
+/// # Errors
+///
+/// Returns every [`ShardPanic`] (ascending index) when at least one
+/// shard panicked; the remaining shards still ran to completion.
+pub fn run_shards<T, R, F>(jobs: usize, items: &[T], f: F) -> Result<Vec<R>, Vec<ShardPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    collect_shards(parallel_map(jobs, items, f))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +187,22 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out = parallel_map(4, &[] as &[u8], |_, x| *x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_shards_folds_and_reports_failures() {
+        let items: Vec<u32> = (0..8).collect();
+        assert_eq!(
+            run_shards(4, &items, |_, x| x + 1).unwrap(),
+            vec![1, 2, 3, 4, 5, 6, 7, 8]
+        );
+        let failed = run_shards(4, &items, |i, x| {
+            assert!(i != 3, "shard three always fails");
+            *x
+        })
+        .unwrap_err();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].index, 3);
     }
 
     #[test]

@@ -25,7 +25,9 @@
 //!   worker count, [`Campaign::run`] or [`Campaign::run_observed`];
 //! * [`parallel_map`] — the underlying deterministic executor: atomic
 //!   work-stealing cursor, index-ordered result slots, per-shard panic
-//!   isolation ([`ShardPanic`]);
+//!   isolation ([`ShardPanic`]); [`run_shards`] is the one-call
+//!   map-then-fold wrapper downstream crates use for their own shard
+//!   types;
 //! * [`CampaignStats`] / [`CampaignReport`] — the order-independent
 //!   aggregate and the full merged result;
 //! * [`jobs_from_env`] — `AFTA_CAMPAIGN_JOBS` override, so CI forces the
@@ -37,5 +39,5 @@
 pub mod executor;
 pub mod runner;
 
-pub use executor::{collect_shards, parallel_map, ShardPanic};
+pub use executor::{collect_shards, parallel_map, run_shards, ShardPanic};
 pub use runner::{jobs_from_env, Campaign, CampaignError, CampaignReport, CampaignStats};

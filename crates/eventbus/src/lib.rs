@@ -28,7 +28,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
@@ -56,6 +56,9 @@ struct Topic {
     delivered: u64,
     /// Publishes that reached no subscriber and no callback.
     dropped: u64,
+    /// Deliveries lost because a pull-subscriber's receiver was already
+    /// gone when the event arrived (the sender was pruned mid-publish).
+    lost: u64,
     /// Whether to retain the last event for late joiners.
     retain: bool,
     /// The last event published, when retention is on.
@@ -71,6 +74,7 @@ impl Topic {
             published: 0,
             delivered: 0,
             dropped: 0,
+            lost: 0,
             retain: false,
             retained: None,
         }
@@ -82,6 +86,7 @@ impl Topic {
             published: self.published,
             delivered: self.delivered,
             dropped: self.dropped,
+            lost: self.lost,
             subscribers: self.senders.len(),
             callbacks: self.callbacks.len(),
         }
@@ -100,6 +105,11 @@ pub struct TopicStats {
     pub delivered: u64,
     /// Publishes that reached no subscriber and no callback.
     pub dropped: u64,
+    /// Individual deliveries lost to pull-subscribers whose receiver was
+    /// already gone at publish time.  `dropped` counts publishes nobody
+    /// heard; `lost` counts per-subscriber deliveries that silently
+    /// failed even though the publish reached others.
+    pub lost: u64,
     /// Live pull-subscribers (as of the last publish).
     pub subscribers: usize,
     /// Registered push callbacks.
@@ -112,6 +122,7 @@ struct BusCounters {
     published: Counter,
     delivered: Counter,
     dropped: Counter,
+    bus_dropped_total: Counter,
 }
 
 /// A pull-style subscription to events of type `E`.
@@ -177,13 +188,19 @@ impl Bus {
     }
 
     /// Mirrors bus-wide delivery counters (`eventbus.published`,
-    /// `eventbus.delivered`, `eventbus.dropped`) into a telemetry
-    /// registry.  Per-topic breakdowns stay available via [`Bus::stats`].
+    /// `eventbus.delivered`, `eventbus.dropped`,
+    /// `eventbus.bus_dropped_total`) into a telemetry registry.
+    /// Per-topic breakdowns stay available via [`Bus::stats`].
+    ///
+    /// `eventbus.dropped` counts publishes that reached nobody;
+    /// `eventbus.bus_dropped_total` counts individual deliveries lost to
+    /// subscribers whose receiver was already gone at publish time.
     pub fn attach_telemetry(&self, registry: &Registry) {
         *self.counters.lock() = Some(BusCounters {
             published: registry.counter("eventbus.published"),
             delivered: registry.counter("eventbus.delivered"),
             dropped: registry.counter("eventbus.dropped"),
+            bus_dropped_total: registry.counter("eventbus.bus_dropped_total"),
         });
     }
 
@@ -243,9 +260,14 @@ impl Bus {
             return 0;
         };
         topic.published += 1;
-        // Deliver and prune disconnected pull-subscribers in one pass.
+        // Deliver and prune disconnected pull-subscribers in one pass,
+        // counting every delivery that silently failed because the
+        // receiving end was already gone.
+        let before = topic.senders.len();
         topic.senders.retain(|send| send(&event));
         let delivered = topic.senders.len();
+        let lost = (before - delivered) as u64;
+        topic.lost += lost;
         let reached = delivered + topic.callbacks.len();
         topic.delivered += reached as u64;
         if reached == 0 {
@@ -264,6 +286,7 @@ impl Bus {
             if reached == 0 {
                 counters.dropped.inc();
             }
+            counters.bus_dropped_total.add(lost);
         }
         delivered
     }
@@ -508,6 +531,105 @@ mod tests {
         assert_eq!(report.counter("eventbus.published"), 2);
         assert_eq!(report.counter("eventbus.delivered"), 2);
         assert_eq!(report.counter("eventbus.dropped"), 0);
+    }
+
+    #[test]
+    fn lagging_subscriber_loss_is_counted() {
+        let registry = afta_telemetry::Registry::new();
+        let bus = Bus::new();
+        bus.attach_telemetry(&registry);
+        let a = bus.subscribe::<Ping>();
+        let b = bus.subscribe::<Ping>();
+        bus.publish(Ping(1)); // both alive
+        drop(b);
+        bus.publish(Ping(2)); // b's delivery is lost, a still hears it
+        let stats = bus.topic_stats::<Ping>().unwrap();
+        assert_eq!(stats.lost, 1);
+        assert_eq!(stats.delivered, 3);
+        assert_eq!(stats.dropped, 0, "the publish reached a; not a drop");
+        assert_eq!(registry.report().counter("eventbus.bus_dropped_total"), 1);
+
+        drop(a);
+        bus.publish(Ping(3)); // nobody left: a drop AND a lost delivery
+        let stats = bus.topic_stats::<Ping>().unwrap();
+        assert_eq!(stats.lost, 2);
+        assert_eq!(stats.dropped, 1);
+        let report = registry.report();
+        assert_eq!(report.counter("eventbus.bus_dropped_total"), 2);
+        assert_eq!(report.counter("eventbus.dropped"), 1);
+    }
+
+    #[test]
+    fn concurrent_publishers_lose_nothing() {
+        // Satellite for ISSUE: drain()/pending() under concurrent
+        // publishers.  Four threads publish interleaved; a consumer
+        // drains while they run.  No event may be lost or reordered
+        // within its publisher's stream.
+        const PUBLISHERS: u32 = 4;
+        const PER_PUBLISHER: u32 = 250;
+        let bus = Bus::new();
+        let sub = bus.subscribe::<Ping>();
+        let handles: Vec<_> = (0..PUBLISHERS)
+            .map(|t| {
+                let handle = bus.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_PUBLISHER {
+                        handle.publish(Ping(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        let total = (PUBLISHERS * PER_PUBLISHER) as usize;
+        let mut got = Vec::new();
+        while got.len() < total {
+            let promised = sub.pending();
+            let batch = sub.drain();
+            // pending() is a lower bound on what an immediate drain sees:
+            // more events may land between the two calls, never fewer.
+            assert!(batch.len() >= promised);
+            got.extend(batch);
+            std::thread::yield_now();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.extend(sub.drain());
+        assert_eq!(got.len(), total);
+        for t in 0..PUBLISHERS {
+            let stream: Vec<u32> = got.iter().map(|p| p.0).filter(|v| v / 1000 == t).collect();
+            assert_eq!(stream.len(), PER_PUBLISHER as usize);
+            assert!(
+                stream.windows(2).all(|w| w[0] < w[1]),
+                "per-publisher order must be preserved"
+            );
+        }
+        let stats = bus.topic_stats::<Ping>().unwrap();
+        assert_eq!(stats.published, u64::from(PUBLISHERS * PER_PUBLISHER));
+        assert_eq!(stats.lost, 0);
+    }
+
+    #[test]
+    fn pending_is_exact_when_quiescent() {
+        let bus = Bus::new();
+        let sub = bus.subscribe::<Ping>();
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                let handle = bus.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        handle.publish(Ping(t * 100 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All publishers joined: pending() is now exact and drain()
+        // returns exactly that many events.
+        assert_eq!(sub.pending(), 150);
+        assert_eq!(sub.drain().len(), 150);
+        assert_eq!(sub.pending(), 0);
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! Bridging typed `afta-eventbus` topics across nodes.
+//!
+//! §3.2's fault-notification middleware is a publish/subscribe system
+//! whose publishers and subscribers live on *different* machines.  The
+//! in-process [`Bus`] already gives every component a typed topic space;
+//! [`RemoteBus`] extends chosen topics over a [`Transport`]:
+//!
+//! * a **bridged** event type is re-published to every peer when
+//!   published locally, and remote copies are re-published locally when
+//!   they arrive — subscribers cannot tell local and remote publishers
+//!   apart;
+//! * the bus's **late-joiner retention** survives distribution: bridging
+//!   a topic turns retention on, and [`RemoteBus::sync_from`] lets a
+//!   node that joined late pull a peer's retained event so its own
+//!   [`Bus::latest`] catches up before the next live publish;
+//! * a re-entrancy guard keeps a remote event from echoing back out,
+//!   so two bridged nodes do not ping-pong forever.
+//!
+//! The bridge is pump-driven: call [`RemoteBus::pump`] on your schedule
+//! (deterministic runs) or [`RemoteBus::spawn_pump`] for a background
+//! thread (live runs).
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use afta_eventbus::Bus;
+use afta_telemetry::{Counter, Registry};
+use serde::{Deserialize, Serialize};
+
+use crate::{NetError, NodeId, Transport, Wire};
+
+thread_local! {
+    /// Set while a remote event is being re-published locally, so the
+    /// forwarding callback knows not to send it back out.
+    static APPLYING_REMOTE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Deserialises a payload and publishes it on the local bus; `false`
+/// when it does not parse as the topic's type.
+type ApplyFn = Box<dyn Fn(&Bus, &str) -> bool + Send>;
+/// Serialises the local bus's retained event, if any.
+type RetainedFn = Box<dyn Fn(&Bus) -> Option<String> + Send>;
+
+/// Type-erased glue for one bridged topic.
+struct TopicBridge {
+    apply: ApplyFn,
+    retained: RetainedFn,
+}
+
+struct RemoteBusInner {
+    bus: Bus,
+    transport: Arc<dyn Transport>,
+    bridges: Mutex<HashMap<String, TopicBridge>>,
+    forwarded: Counter,
+    applied: Counter,
+    sync_served: Counter,
+    rejected: Counter,
+}
+
+impl RemoteBusInner {
+    fn bridges(&self) -> std::sync::MutexGuard<'_, HashMap<String, TopicBridge>> {
+        self.bridges.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// What one [`RemoteBus::pump_one`] round did.
+enum Pumped {
+    /// Nothing arrived before the deadline.
+    Quiet,
+    /// A bridged event (live or sync) was re-published locally.
+    Applied,
+    /// A message arrived but could not be handled (unknown topic,
+    /// malformed payload).
+    Rejected,
+    /// A peer's sync request was answered.
+    SyncServed,
+    /// A sync reply for `topic` arrived; `got` says whether it carried a
+    /// retained event that was applied.
+    SyncAnswered { topic: String, got: bool },
+    /// Farm traffic on a shared transport: skipped.
+    Ignored,
+}
+
+/// Bridges selected event types of an [`afta_eventbus::Bus`] across a
+/// [`Transport`].  Cloning yields another handle onto the same bridge.
+#[derive(Clone)]
+pub struct RemoteBus {
+    inner: Arc<RemoteBusInner>,
+}
+
+impl std::fmt::Debug for RemoteBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteBus")
+            .field("node", &self.inner.transport.local())
+            .field("topics", &self.inner.bridges().len())
+            .finish()
+    }
+}
+
+impl RemoteBus {
+    /// Wraps `bus` so bridged topics flow over `transport`.  Counters
+    /// (`net.bus.forwarded`, `net.bus.applied`, `net.bus.sync_served`,
+    /// `net.bus.rejected`) land in `registry`.
+    #[must_use]
+    pub fn new(bus: Bus, transport: Arc<dyn Transport>, registry: &Registry) -> Self {
+        Self {
+            inner: Arc::new(RemoteBusInner {
+                bus,
+                transport,
+                bridges: Mutex::new(HashMap::new()),
+                forwarded: registry.counter("net.bus.forwarded"),
+                applied: registry.counter("net.bus.applied"),
+                sync_served: registry.counter("net.bus.sync_served"),
+                rejected: registry.counter("net.bus.rejected"),
+            }),
+        }
+    }
+
+    /// The wrapped local bus.
+    #[must_use]
+    pub fn bus(&self) -> &Bus {
+        &self.inner.bus
+    }
+
+    /// This node's id.
+    #[must_use]
+    pub fn local(&self) -> NodeId {
+        self.inner.transport.local()
+    }
+
+    /// Bridges events of type `E` under `topic`: local publishes are
+    /// forwarded to every peer, and remote copies are re-published
+    /// locally.  Also enables last-value retention for `E`, so the
+    /// late-joiner contract of [`Bus::latest`] holds across nodes.
+    ///
+    /// The topic name must match on every node bridging this type.
+    pub fn bridge<E>(&self, topic: &str)
+    where
+        E: Serialize + Deserialize + Clone + Send + 'static,
+    {
+        self.inner.bus.retain::<E>();
+        self.inner.bridges().insert(
+            topic.to_string(),
+            TopicBridge {
+                apply: Box::new(|bus, json| match serde_json::from_str::<E>(json) {
+                    Ok(event) => {
+                        APPLYING_REMOTE.with(|flag| flag.set(true));
+                        bus.publish(event);
+                        APPLYING_REMOTE.with(|flag| flag.set(false));
+                        true
+                    }
+                    Err(_) => false,
+                }),
+                retained: Box::new(|bus| {
+                    bus.latest::<E>()
+                        .and_then(|e| serde_json::to_string(&e).ok())
+                }),
+            },
+        );
+        let inner = self.inner.clone();
+        let topic = topic.to_string();
+        self.inner.bus.on::<E>(move |event| {
+            if APPLYING_REMOTE.with(Cell::get) {
+                return; // arrived from a peer: do not echo it back
+            }
+            let Ok(json) = serde_json::to_string(event) else {
+                return;
+            };
+            let wire = Wire::Event {
+                topic: topic.clone(),
+                json,
+            }
+            .encode();
+            for peer in inner.transport.peers() {
+                if inner.transport.send(peer, wire.clone()).is_ok() {
+                    inner.forwarded.inc();
+                }
+            }
+        });
+    }
+
+    /// Receives and handles at most one message, waiting up to
+    /// `timeout`.  Returns `Ok(true)` when a message was handled and
+    /// `Ok(false)` when the deadline passed quietly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`] once the transport shuts down.
+    pub fn pump(&self, timeout: Duration) -> Result<bool, NetError> {
+        match self.pump_one(timeout)? {
+            Pumped::Quiet => Ok(false),
+            _ => Ok(true),
+        }
+    }
+
+    /// Receives and dispatches one message, reporting what it was.
+    fn pump_one(&self, timeout: Duration) -> Result<Pumped, NetError> {
+        let envelope = match self.inner.transport.recv_deadline(timeout) {
+            Ok(envelope) => envelope,
+            Err(NetError::Timeout) => return Ok(Pumped::Quiet),
+            Err(e) => return Err(e),
+        };
+        let Ok(wire) = Wire::decode(&envelope.payload) else {
+            self.inner.rejected.inc();
+            return Ok(Pumped::Rejected);
+        };
+        Ok(match wire {
+            Wire::Event { topic, json } => {
+                if self.apply(&topic, &json) {
+                    Pumped::Applied
+                } else {
+                    Pumped::Rejected
+                }
+            }
+            Wire::SyncRequest { topic } => {
+                let json = self
+                    .inner
+                    .bridges()
+                    .get(&topic)
+                    .and_then(|b| (b.retained)(&self.inner.bus));
+                let reply = Wire::SyncReply { topic, json }.encode();
+                if self.inner.transport.send(envelope.from, reply).is_ok() {
+                    self.inner.sync_served.inc();
+                }
+                Pumped::SyncServed
+            }
+            Wire::SyncReply { topic, json } => {
+                let got = match json {
+                    Some(json) => self.apply(&topic, &json),
+                    None => false,
+                };
+                Pumped::SyncAnswered { topic, got }
+            }
+            // Farm traffic sharing the transport: not ours to handle.
+            Wire::VoteRequest { .. } | Wire::VoteReply { .. } => Pumped::Ignored,
+        })
+    }
+
+    /// Re-publishes a serialised remote event locally via its bridge.
+    fn apply(&self, topic: &str, json: &str) -> bool {
+        let handled = self
+            .inner
+            .bridges()
+            .get(topic)
+            .is_some_and(|b| (b.apply)(&self.inner.bus, json));
+        if handled {
+            self.inner.applied.inc();
+        } else {
+            self.inner.rejected.inc();
+        }
+        handled
+    }
+
+    /// Asks `peer` for its retained event on `topic` and pumps until the
+    /// reply arrives (applying it locally) or `timeout` passes.  Returns
+    /// whether a retained value was obtained.
+    ///
+    /// Other messages arriving meanwhile are handled normally, so this
+    /// is safe to call on a live bridge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownPeer`] / [`NetError::Closed`] from the
+    /// underlying sends and receives.
+    pub fn sync_from(
+        &self,
+        peer: NodeId,
+        topic: &str,
+        timeout: Duration,
+    ) -> Result<bool, NetError> {
+        self.inner.transport.send(
+            peer,
+            Wire::SyncRequest {
+                topic: topic.into(),
+            }
+            .encode(),
+        )?;
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(false);
+            }
+            if let Pumped::SyncAnswered {
+                topic: answered,
+                got,
+            } = self.pump_one(deadline - now)?
+            {
+                if answered == topic {
+                    return Ok(got);
+                }
+            }
+        }
+    }
+
+    /// Spawns a thread pumping the bridge until the transport closes.
+    #[must_use]
+    pub fn spawn_pump(&self) -> std::thread::JoinHandle<()> {
+        let this = self.clone();
+        std::thread::spawn(move || loop {
+            match this.pump(Duration::from_millis(100)) {
+                Ok(_) => {}
+                Err(_) => return,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimNetwork;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct FaultDetected {
+        component: String,
+        tick: u64,
+    }
+
+    fn bridged_pair() -> (RemoteBus, RemoteBus, SimNetwork) {
+        let net = SimNetwork::new(7);
+        let a = RemoteBus::new(
+            Bus::new(),
+            Arc::new(net.endpoint(NodeId(1))),
+            &Registry::disabled(),
+        );
+        let b = RemoteBus::new(
+            Bus::new(),
+            Arc::new(net.endpoint(NodeId(2))),
+            &Registry::disabled(),
+        );
+        a.bridge::<FaultDetected>("faults");
+        b.bridge::<FaultDetected>("faults");
+        (a, b, net)
+    }
+
+    #[test]
+    fn published_event_crosses_nodes() {
+        let (a, b, _net) = bridged_pair();
+        let sub = b.bus().subscribe::<FaultDetected>();
+        a.bus().publish(FaultDetected {
+            component: "watchdog".into(),
+            tick: 9,
+        });
+        assert!(b.pump(Duration::from_millis(500)).unwrap());
+        let got = sub.try_recv().unwrap();
+        assert_eq!(got.component, "watchdog");
+        assert_eq!(got.tick, 9);
+    }
+
+    #[test]
+    fn remote_events_do_not_echo() {
+        let (a, b, _net) = bridged_pair();
+        a.bus().publish(FaultDetected {
+            component: "c1".into(),
+            tick: 1,
+        });
+        assert!(b.pump(Duration::from_millis(500)).unwrap());
+        // If B re-forwarded the applied event, A would now have a
+        // message pending; it must not.
+        assert!(!a.pump(Duration::from_millis(50)).unwrap());
+        assert_eq!(b.bus().published_count::<FaultDetected>(), 1);
+    }
+
+    #[test]
+    fn late_joiner_syncs_retained_event() {
+        let (a, b, _net) = bridged_pair();
+        // A publishes before B pumps anything: B misses the live event
+        // (nobody pumped), then catches up via sync.
+        a.bus().publish(FaultDetected {
+            component: "alpha".into(),
+            tick: 3,
+        });
+        // Drain the live copy first so the sync answer is what we test.
+        assert!(b.pump(Duration::from_millis(500)).unwrap());
+
+        // A third node joins late and syncs from A.
+        let net2 = &_net;
+        let c = RemoteBus::new(
+            Bus::new(),
+            Arc::new(net2.endpoint(NodeId(3))),
+            &Registry::disabled(),
+        );
+        c.bridge::<FaultDetected>("faults");
+        assert_eq!(c.bus().latest::<FaultDetected>(), None);
+
+        // The sync request must be served by A's pump.
+        let a2 = a.clone();
+        let server = std::thread::spawn(move || {
+            let _ = a2.pump(Duration::from_secs(2));
+        });
+        let got = c
+            .sync_from(NodeId(1), "faults", Duration::from_secs(2))
+            .unwrap();
+        server.join().unwrap();
+        assert!(got, "late joiner must obtain the retained event");
+        assert_eq!(
+            c.bus().latest::<FaultDetected>().unwrap().component,
+            "alpha"
+        );
+    }
+
+    #[test]
+    fn sync_from_peer_with_nothing_retained() {
+        let (a, b, _net) = bridged_pair();
+        let b2 = b.clone();
+        let server = std::thread::spawn(move || {
+            let _ = b2.pump(Duration::from_secs(2));
+        });
+        let got = a
+            .sync_from(NodeId(2), "faults", Duration::from_millis(300))
+            .unwrap();
+        server.join().unwrap();
+        assert!(!got, "no retained event means sync yields nothing");
+    }
+
+    #[test]
+    fn unbridged_topics_stay_local() {
+        let (a, b, _net) = bridged_pair();
+        #[derive(Debug, Clone, PartialEq)]
+        struct LocalOnly(u32);
+        let sub = b.bus().subscribe::<LocalOnly>();
+        a.bus().on::<LocalOnly>(|_| {});
+        a.bus().publish(LocalOnly(5));
+        assert!(!b.pump(Duration::from_millis(50)).unwrap());
+        assert_eq!(sub.pending(), 0);
+    }
+
+    #[test]
+    fn spawned_pump_bridges_in_background() {
+        let net = SimNetwork::new(11);
+        let registry = Registry::new();
+        let a = RemoteBus::new(Bus::new(), Arc::new(net.endpoint(NodeId(1))), &registry);
+        let b = RemoteBus::new(Bus::new(), Arc::new(net.endpoint(NodeId(2))), &registry);
+        a.bridge::<FaultDetected>("faults");
+        b.bridge::<FaultDetected>("faults");
+        let sub = b.bus().subscribe::<FaultDetected>();
+        let pump = b.spawn_pump();
+        a.bus().publish(FaultDetected {
+            component: "bg".into(),
+            tick: 0,
+        });
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while sub.pending() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(sub.drain().len(), 1);
+        net.close();
+        pump.join().unwrap();
+        assert!(registry.report().counter("net.bus.forwarded") >= 1);
+        assert!(registry.report().counter("net.bus.applied") >= 1);
+    }
+
+    #[test]
+    fn garbage_payloads_are_rejected_not_fatal() {
+        let net = SimNetwork::new(3);
+        let registry = Registry::new();
+        let a = net.endpoint(NodeId(1));
+        let b = RemoteBus::new(Bus::new(), Arc::new(net.endpoint(NodeId(2))), &registry);
+        b.bridge::<FaultDetected>("faults");
+        a.send(NodeId(2), b"not json".to_vec()).unwrap();
+        a.send(
+            NodeId(2),
+            Wire::Event {
+                topic: "faults".into(),
+                json: "{\"wrong\":true}".into(),
+            }
+            .encode(),
+        )
+        .unwrap();
+        assert!(b.pump(Duration::from_millis(500)).unwrap());
+        assert!(b.pump(Duration::from_millis(500)).unwrap());
+        assert_eq!(registry.report().counter("net.bus.rejected"), 2);
+    }
+}

@@ -1,0 +1,406 @@
+//! The E7 differential experiment: one seeded distributed-voting run,
+//! two transports, identical outcomes.
+//!
+//! The §3.3 adaptation loop is supposed to be a property of the
+//! *protocol* — majority voting over a fixed quorum, timeouts as
+//! dissent, dtof-driven re-dimensioning — not of the wires underneath
+//! it.  [`run_net_experiment`] makes that claim testable: it runs the
+//! same seeded campaign once over the deterministic [`SimNetwork`] and
+//! once over real loopback TCP, and returns per-round digests that must
+//! match bit-for-bit.
+//!
+//! Determinism across such different backends holds because every
+//! ballot is a pure function of `(seed, voter, round)`: the replica
+//! fault draw uses a fresh named RNG stream per voter and round, so no
+//! hidden iteration state can diverge when the two transports deliver
+//! replies in different orders — and strict-majority voting has a
+//! unique winner regardless of ballot arrival order.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use afta_campaign::{run_shards, ShardPanic};
+use afta_faultinject::EnvironmentProfile;
+use afta_sim::{SeedFactory, Tick};
+use afta_telemetry::Registry;
+use rand::Rng;
+
+use crate::farm::{run_voter, DistributedVotingFarm, FarmConfig};
+use crate::sim::SimNetwork;
+use crate::tcp::{TcpConfig, TcpTransport};
+use crate::{NodeId, Transport};
+
+/// Which backend carries the experiment's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportKind {
+    /// The deterministic in-process [`SimNetwork`].
+    Sim,
+    /// Real loopback TCP sockets.
+    Tcp,
+}
+
+impl fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportKind::Sim => write!(f, "sim"),
+            TransportKind::Tcp => write!(f, "tcp"),
+        }
+    }
+}
+
+impl FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sim" => Ok(TransportKind::Sim),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!("unknown transport {other:?} (expected sim|tcp)")),
+        }
+    }
+}
+
+/// Parameters of one differential run.
+#[derive(Debug, Clone)]
+pub struct NetExperimentConfig {
+    /// Master seed; the only source of randomness.
+    pub seed: u64,
+    /// Voting rounds to run.
+    pub rounds: u64,
+    /// Size of the voter pool (node ids 1..=voters).
+    pub voters: usize,
+    /// Replicas the farm starts with.
+    pub initial_replicas: usize,
+    /// Per-replica fault environment: at each round, a replica lies with
+    /// the profile's probability at that tick.
+    pub profile: EnvironmentProfile,
+    /// Ballot-gathering deadline per round (generous for loopback TCP).
+    pub round_timeout: Duration,
+    /// The backend to run on.
+    pub transport: TransportKind,
+}
+
+impl Default for NetExperimentConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xE7,
+            rounds: 40,
+            voters: 9,
+            initial_replicas: 3,
+            profile: EnvironmentProfile::cyclic_storms(12, 4, 0.02, 0.6),
+            round_timeout: Duration::from_secs(2),
+            transport: TransportKind::Sim,
+        }
+    }
+}
+
+/// The digest of one differential run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetExperimentReport {
+    /// The backend the run used.
+    pub transport: TransportKind,
+    /// The master seed.
+    pub seed: u64,
+    /// One deterministic digest line per round (see
+    /// [`crate::farm::NetRoundReport::digest`]).
+    pub digests: Vec<String>,
+    /// The farm's target replica count after the last round.
+    pub final_replicas: usize,
+    /// Rounds that found a majority.
+    pub majorities: u64,
+    /// Rounds that failed (no majority).
+    pub failures: u64,
+}
+
+/// The ballot a replica casts: a pure function of `(seed, voter, round,
+/// input)`.  Both transports call exactly this, which is what makes the
+/// differential comparison meaningful.
+#[must_use]
+pub fn replica_ballot(
+    seeds: &SeedFactory,
+    profile: &EnvironmentProfile,
+    voter: NodeId,
+    round: u64,
+    input: &str,
+) -> String {
+    let p = profile.probability_at(Tick(round));
+    let faulty = p > 0.0 && {
+        let mut rng = seeds.stream(&format!("net.replica.{voter}.r{round}"));
+        rng.gen_bool(p)
+    };
+    if faulty {
+        format!("garbage-{voter}")
+    } else {
+        input.to_string()
+    }
+}
+
+/// Runs the experiment on the configured backend, reporting telemetry
+/// into `registry`.
+///
+/// # Panics
+///
+/// Panics when `voters == 0` or (TCP only) when loopback sockets cannot
+/// be bound.
+#[must_use]
+pub fn run_net_experiment(
+    config: &NetExperimentConfig,
+    registry: &Registry,
+) -> NetExperimentReport {
+    assert!(config.voters > 0, "the experiment needs at least one voter");
+    let pool: Vec<NodeId> = (1..=config.voters)
+        .map(|i| NodeId(u16::try_from(i).expect("voter pool fits u16")))
+        .collect();
+    match config.transport {
+        TransportKind::Sim => run_on_sim(config, &pool, registry),
+        TransportKind::Tcp => run_on_tcp(config, &pool, registry),
+    }
+}
+
+/// Runs `shards` independent replications of `base` — seeds derived
+/// collision-free via [`SeedFactory::shard_seed`] — through the
+/// deterministic campaign executor, `jobs` shards at a time.
+///
+/// This is the `--transport sim|tcp` campaign axis: the same shard list
+/// replayed on either backend yields index-aligned reports that can be
+/// compared shard by shard (`afta-bench`'s `e7_differential` binary does
+/// exactly that).  Worker count is a wall-clock knob only; the result
+/// vector is identical for every `jobs`.
+///
+/// ```
+/// use afta_net::experiment::{run_net_campaign, NetExperimentConfig};
+///
+/// let base = NetExperimentConfig { rounds: 3, voters: 3, ..NetExperimentConfig::default() };
+/// let serial = run_net_campaign(&base, 2, 1).unwrap();
+/// let parallel = run_net_campaign(&base, 2, 2).unwrap();
+/// assert_eq!(serial, parallel);
+/// ```
+///
+/// # Errors
+///
+/// Returns every [`ShardPanic`] (ascending shard index) when at least
+/// one shard panicked; the remaining shards still ran.
+pub fn run_net_campaign(
+    base: &NetExperimentConfig,
+    shards: usize,
+    jobs: usize,
+) -> Result<Vec<NetExperimentReport>, Vec<ShardPanic>> {
+    let factory = SeedFactory::new(base.seed);
+    let configs: Vec<NetExperimentConfig> = (0..shards)
+        .map(|i| NetExperimentConfig {
+            seed: factory.shard_seed(i as u64),
+            ..base.clone()
+        })
+        .collect();
+    run_shards(jobs, &configs, |_, config| {
+        run_net_experiment(config, &Registry::disabled())
+    })
+}
+
+fn farm_config(config: &NetExperimentConfig) -> FarmConfig {
+    FarmConfig {
+        initial_replicas: config.initial_replicas,
+        round_timeout: config.round_timeout,
+        ..FarmConfig::default()
+    }
+}
+
+fn drive_rounds(
+    farm: &mut DistributedVotingFarm,
+    config: &NetExperimentConfig,
+) -> NetExperimentReport {
+    let mut digests = Vec::with_capacity(usize::try_from(config.rounds).unwrap_or(0));
+    let mut majorities = 0;
+    let mut failures = 0;
+    for round in 1..=config.rounds {
+        // The correct value changes every round so a stuck replica
+        // replaying an old ballot cannot masquerade as healthy.
+        let input = format!("v{round}");
+        let report = farm.round(&input);
+        if report.succeeded() {
+            majorities += 1;
+        } else {
+            failures += 1;
+        }
+        digests.push(report.digest());
+    }
+    NetExperimentReport {
+        transport: config.transport,
+        seed: config.seed,
+        digests,
+        final_replicas: farm.target_replicas(),
+        majorities,
+        failures,
+    }
+}
+
+fn run_on_sim(
+    config: &NetExperimentConfig,
+    pool: &[NodeId],
+    registry: &Registry,
+) -> NetExperimentReport {
+    let net = SimNetwork::new(config.seed);
+    net.attach_telemetry(registry);
+    let seeds = SeedFactory::new(config.seed);
+    let handles: Vec<_> = pool
+        .iter()
+        .map(|&voter| {
+            let endpoint = net.endpoint(voter); // attach before any send
+            let profile = config.profile.clone();
+            std::thread::spawn(move || {
+                run_voter(&endpoint, Duration::from_millis(50), |round, input| {
+                    replica_ballot(&seeds, &profile, voter, round, input)
+                })
+            })
+        })
+        .collect();
+    let coordinator = Arc::new(net.endpoint(NodeId(0)));
+    let mut farm =
+        DistributedVotingFarm::new(coordinator, pool.to_vec(), farm_config(config), registry);
+    let report = drive_rounds(&mut farm, config);
+    net.close();
+    for handle in handles {
+        let _ = handle.join();
+    }
+    report
+}
+
+fn run_on_tcp(
+    config: &NetExperimentConfig,
+    pool: &[NodeId],
+    registry: &Registry,
+) -> NetExperimentReport {
+    let tcp_config = TcpConfig::default();
+    let coordinator = TcpTransport::bind(NodeId(0), "127.0.0.1:0", tcp_config.clone(), registry)
+        .expect("bind coordinator");
+    let seeds = SeedFactory::new(config.seed);
+    let mut handles = Vec::with_capacity(pool.len());
+    let mut voters = Vec::with_capacity(pool.len());
+    for &voter in pool {
+        let transport = TcpTransport::bind(voter, "127.0.0.1:0", tcp_config.clone(), registry)
+            .expect("bind voter");
+        transport.add_peer(NodeId(0), coordinator.local_addr());
+        coordinator.add_peer(voter, transport.local_addr());
+        voters.push(transport);
+    }
+    for transport in &voters {
+        let transport = transport.clone();
+        let profile = config.profile.clone();
+        let voter = transport.local();
+        handles.push(std::thread::spawn(move || {
+            run_voter(&transport, Duration::from_millis(50), |round, input| {
+                replica_ballot(&seeds, &profile, voter, round, input)
+            })
+        }));
+    }
+    let mut farm = DistributedVotingFarm::new(
+        Arc::new(coordinator.clone()),
+        pool.to_vec(),
+        farm_config(config),
+        registry,
+    );
+    let report = drive_rounds(&mut farm, config);
+    coordinator.shutdown();
+    // `run_voter` only returns once its transport closes: shut each
+    // voter down from here, then reap the threads.
+    for transport in &voters {
+        transport.shutdown();
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_kind_parses_and_displays() {
+        assert_eq!("sim".parse::<TransportKind>().unwrap(), TransportKind::Sim);
+        assert_eq!("tcp".parse::<TransportKind>().unwrap(), TransportKind::Tcp);
+        assert!("udp".parse::<TransportKind>().is_err());
+        assert_eq!(TransportKind::Sim.to_string(), "sim");
+        assert_eq!(TransportKind::Tcp.to_string(), "tcp");
+    }
+
+    #[test]
+    fn replica_ballot_is_stateless_and_seeded() {
+        let seeds = SeedFactory::new(99);
+        let profile = EnvironmentProfile::calm(0.5);
+        let a = replica_ballot(&seeds, &profile, NodeId(3), 7, "x");
+        let b = replica_ballot(&seeds, &profile, NodeId(3), 7, "x");
+        assert_eq!(a, b, "same (seed, voter, round) => same ballot");
+        // A calm-zero profile never lies.
+        let honest = EnvironmentProfile::calm(0.0);
+        for round in 0..50 {
+            assert_eq!(
+                replica_ballot(&seeds, &honest, NodeId(1), round, "in"),
+                "in"
+            );
+        }
+        // Different voters draw independently somewhere in 50 rounds.
+        let always = EnvironmentProfile::calm(0.5);
+        let differs = (0..50).any(|round| {
+            replica_ballot(&seeds, &always, NodeId(1), round, "in")
+                != replica_ballot(&seeds, &always, NodeId(2), round, "in")
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn sim_run_is_reproducible() {
+        let config = NetExperimentConfig {
+            rounds: 12,
+            voters: 5,
+            ..NetExperimentConfig::default()
+        };
+        let a = run_net_experiment(&config, &Registry::disabled());
+        let b = run_net_experiment(&config, &Registry::disabled());
+        assert_eq!(a, b, "same seed, same transport => identical report");
+        assert_eq!(a.digests.len(), 12);
+        assert_eq!(a.majorities + a.failures, 12);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let config = NetExperimentConfig {
+            rounds: 16,
+            voters: 5,
+            profile: EnvironmentProfile::calm(0.4),
+            ..NetExperimentConfig::default()
+        };
+        let a = run_net_experiment(&config, &Registry::disabled());
+        let b = run_net_experiment(
+            &NetExperimentConfig {
+                seed: config.seed + 1,
+                ..config
+            },
+            &Registry::disabled(),
+        );
+        assert_ne!(
+            a.digests, b.digests,
+            "different seeds should produce different fault histories"
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_worker_counts() {
+        let base = NetExperimentConfig {
+            rounds: 6,
+            voters: 5,
+            round_timeout: Duration::from_secs(5),
+            ..NetExperimentConfig::default()
+        };
+        let serial = run_net_campaign(&base, 3, 1).unwrap();
+        let parallel = run_net_campaign(&base, 3, 3).unwrap();
+        assert_eq!(serial, parallel, "worker count is a wall-clock knob only");
+        let mut seeds: Vec<u64> = serial.iter().map(|r| r.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 3, "shard seeds must be collision-free");
+    }
+}

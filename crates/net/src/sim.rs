@@ -1,0 +1,603 @@
+//! Deterministic in-process network: the simulation backend of
+//! [`Transport`].
+//!
+//! A [`SimNetwork`] is a hub of per-node inboxes plus a fault plan per
+//! directed link.  Every fault draw — drop, duplicate, delay — comes
+//! from a per-link RNG stream derived from the network's master seed
+//! ([`afta_sim::SeedFactory`]) and is indexed by the link's message
+//! counter, so a seeded run replays the exact same loss pattern no
+//! matter how the OS schedules the participating threads.  Partitions
+//! are explicit, reversible cuts ([`SimNetwork::partition`] /
+//! [`SimNetwork::heal`]), the tool the differential tests use to prove
+//! the voting farm degrades instead of hanging.
+//!
+//! ```
+//! use afta_net::sim::{LinkProfile, SimNetwork};
+//! use afta_net::{NodeId, Transport};
+//! use afta_faultinject::EnvironmentProfile;
+//! use std::time::Duration;
+//!
+//! let net = SimNetwork::new(7);
+//! // Lose every message from n1 to n2.
+//! net.set_link(
+//!     NodeId(1),
+//!     NodeId(2),
+//!     LinkProfile {
+//!         drop: Some(EnvironmentProfile::calm(1.0)),
+//!         ..LinkProfile::default()
+//!     },
+//! );
+//! let a = net.endpoint(NodeId(1));
+//! let b = net.endpoint(NodeId(2));
+//! a.send(NodeId(2), vec![1]).unwrap();
+//! assert!(b.recv_deadline(Duration::from_millis(5)).is_err());
+//! ```
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use afta_faultinject::EnvironmentProfile;
+use afta_sim::{SeedFactory, Tick};
+use afta_telemetry::{Counter, Registry};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+
+use crate::{Envelope, Inbox, NetError, NodeId, Transport};
+
+/// The fault plan of one directed link, each fault a seeded
+/// [`EnvironmentProfile`] evaluated at the link's message index (so a
+/// plan can be calm for the first thousand messages and stormy after —
+/// the same piecewise machinery that drives the §3.3 experiments).
+#[derive(Debug, Clone, Default)]
+pub struct LinkProfile {
+    /// Probability profile for losing a message outright.
+    pub drop: Option<EnvironmentProfile>,
+    /// Probability profile for delivering a message twice.
+    pub duplicate: Option<EnvironmentProfile>,
+    /// Probability profile for late delivery, and the added latency.
+    pub delay: Option<(EnvironmentProfile, Duration)>,
+}
+
+impl LinkProfile {
+    /// A link that delivers every message exactly once, immediately.
+    #[must_use]
+    pub fn perfect() -> Self {
+        Self::default()
+    }
+
+    /// Whether this profile can never fault a message.
+    #[must_use]
+    pub fn is_perfect(&self) -> bool {
+        self.drop.is_none() && self.duplicate.is_none() && self.delay.is_none()
+    }
+}
+
+/// Delivery counters of a [`SimNetwork`], via [`SimNetwork::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimNetStats {
+    /// Messages accepted from senders.
+    pub sent: u64,
+    /// Copies placed in destination inboxes (duplicates count twice).
+    pub delivered: u64,
+    /// Messages lost to the drop profile.
+    pub dropped: u64,
+    /// Extra copies created by the duplicate profile.
+    pub duplicated: u64,
+    /// Messages that incurred added latency.
+    pub delayed: u64,
+    /// Messages lost to an active partition.
+    pub partition_dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct SimCounters {
+    sent: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    delayed: Counter,
+    partition_dropped: Counter,
+}
+
+struct LinkState {
+    profile: LinkProfile,
+    /// Messages sent over this link so far (the fault-profile index).
+    index: u64,
+    rng: StdRng,
+}
+
+struct SimInner {
+    seeds: SeedFactory,
+    nodes: Mutex<HashMap<NodeId, Arc<Inbox>>>,
+    links: Mutex<HashMap<(NodeId, NodeId), LinkState>>,
+    /// Directed pairs currently cut.
+    partitions: Mutex<HashSet<(NodeId, NodeId)>>,
+    /// Default fault plan for links without an explicit profile.
+    default_profile: Mutex<LinkProfile>,
+    /// Messages awaiting their delivery instant, per destination.
+    held: Mutex<HashMap<NodeId, VecDeque<(Instant, Envelope)>>>,
+    stats: Mutex<SimNetStats>,
+    counters: Mutex<SimCounters>,
+    closed: AtomicBool,
+}
+
+/// A deterministic in-process network of [`SimTransport`] endpoints.
+///
+/// Cloning is cheap; clones share the hub.
+#[derive(Clone)]
+pub struct SimNetwork {
+    inner: Arc<SimInner>,
+}
+
+impl std::fmt::Debug for SimNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNetwork")
+            .field("nodes", &self.inner.nodes.lock().len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl SimNetwork {
+    /// Creates a network whose fault draws derive from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: Arc::new(SimInner {
+                seeds: SeedFactory::new(seed),
+                nodes: Mutex::new(HashMap::new()),
+                links: Mutex::new(HashMap::new()),
+                partitions: Mutex::new(HashSet::new()),
+                default_profile: Mutex::new(LinkProfile::perfect()),
+                held: Mutex::new(HashMap::new()),
+                stats: Mutex::new(SimNetStats::default()),
+                counters: Mutex::new(SimCounters::default()),
+                closed: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Mirrors network-wide delivery counters (`net.sim.*`) into a
+    /// telemetry registry.
+    pub fn attach_telemetry(&self, registry: &Registry) {
+        *self.inner.counters.lock() = SimCounters {
+            sent: registry.counter("net.sim.sent"),
+            delivered: registry.counter("net.sim.delivered"),
+            dropped: registry.counter("net.sim.dropped"),
+            duplicated: registry.counter("net.sim.duplicated"),
+            delayed: registry.counter("net.sim.delayed"),
+            partition_dropped: registry.counter("net.sim.partition_dropped"),
+        };
+    }
+
+    /// Registers (or re-attaches) the endpoint for `node`.
+    #[must_use]
+    pub fn endpoint(&self, node: NodeId) -> SimTransport {
+        let inbox = self
+            .inner
+            .nodes
+            .lock()
+            .entry(node)
+            .or_insert_with(|| Arc::new(Inbox::default()))
+            .clone();
+        SimTransport {
+            node,
+            inbox,
+            net: self.clone(),
+        }
+    }
+
+    /// Sets the fault plan of the directed link `from -> to`.
+    pub fn set_link(&self, from: NodeId, to: NodeId, profile: LinkProfile) {
+        let mut links = self.inner.links.lock();
+        let rng = self.link_rng(from, to);
+        links.insert(
+            (from, to),
+            LinkState {
+                profile,
+                index: 0,
+                rng,
+            },
+        );
+    }
+
+    /// Sets the fault plan applied to links without an explicit
+    /// [`SimNetwork::set_link`] profile.
+    pub fn set_default_link(&self, profile: LinkProfile) {
+        *self.inner.default_profile.lock() = profile;
+    }
+
+    /// Cuts both directions between `a` and `b`: messages are silently
+    /// lost until [`SimNetwork::heal`] — exactly how a real partition
+    /// presents to the endpoints.
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        let mut partitions = self.inner.partitions.lock();
+        partitions.insert((a, b));
+        partitions.insert((b, a));
+    }
+
+    /// Restores both directions between `a` and `b`.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        let mut partitions = self.inner.partitions.lock();
+        partitions.remove(&(a, b));
+        partitions.remove(&(b, a));
+    }
+
+    /// Whether messages from `a` to `b` are currently cut.
+    #[must_use]
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.inner.partitions.lock().contains(&(a, b))
+    }
+
+    /// A snapshot of the network's delivery counters.
+    #[must_use]
+    pub fn stats(&self) -> SimNetStats {
+        *self.inner.stats.lock()
+    }
+
+    /// Closes the network: subsequent sends and receives fail with
+    /// [`NetError::Closed`].
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::Release);
+        // Wake every blocked receiver so it observes the closure.
+        for inbox in self.inner.nodes.lock().values() {
+            inbox.push(Envelope {
+                from: NodeId(u16::MAX),
+                payload: Vec::new(),
+            });
+        }
+    }
+
+    fn link_rng(&self, from: NodeId, to: NodeId) -> StdRng {
+        self.inner.seeds.stream(&format!("net.link.{from}->{to}"))
+    }
+
+    /// Moves every held message for `node` whose delivery instant has
+    /// passed into its inbox; returns the next pending instant, if any.
+    fn release_ready(&self, node: NodeId) -> Option<Instant> {
+        let now = Instant::now();
+        let mut held = self.inner.held.lock();
+        let queue = held.get_mut(&node)?;
+        let inbox = self.inner.nodes.lock().get(&node)?.clone();
+        let mut next = None;
+        let mut idx = 0;
+        while idx < queue.len() {
+            let ready_at = queue[idx].0;
+            if ready_at <= now {
+                let (_, envelope) = queue.remove(idx).expect("index in bounds");
+                inbox.push(envelope);
+            } else {
+                next = Some(next.map_or(ready_at, |n: Instant| n.min(ready_at)));
+                idx += 1;
+            }
+        }
+        next
+    }
+
+    fn transmit(&self, from: NodeId, to: NodeId, payload: Vec<u8>) -> Result<(), NetError> {
+        if self.inner.closed.load(Ordering::Acquire) {
+            return Err(NetError::Closed);
+        }
+        let inbox = self
+            .inner
+            .nodes
+            .lock()
+            .get(&to)
+            .cloned()
+            .ok_or(NetError::UnknownPeer(to))?;
+
+        {
+            let mut stats = self.inner.stats.lock();
+            stats.sent += 1;
+        }
+        self.inner.counters.lock().sent.inc();
+
+        if self.inner.partitions.lock().contains(&(from, to)) {
+            self.inner.stats.lock().partition_dropped += 1;
+            self.inner.counters.lock().partition_dropped.inc();
+            return Ok(()); // the network eats it; senders cannot tell
+        }
+
+        // Draw the link faults.  Draw order is fixed (drop, duplicate,
+        // delay) so the per-link RNG stream consumption is independent
+        // of the outcomes.
+        let (dropped, duplicated, delay) = {
+            let mut links = self.inner.links.lock();
+            let link = links.entry((from, to)).or_insert_with(|| LinkState {
+                profile: self.inner.default_profile.lock().clone(),
+                index: 0,
+                rng: self.link_rng(from, to),
+            });
+            let tick = Tick(link.index);
+            link.index += 1;
+            let dropped = link
+                .profile
+                .drop
+                .as_ref()
+                .is_some_and(|p| p.draw(tick, &mut link.rng));
+            let duplicated = link
+                .profile
+                .duplicate
+                .as_ref()
+                .is_some_and(|p| p.draw(tick, &mut link.rng));
+            let delay = link
+                .profile
+                .delay
+                .as_ref()
+                .and_then(|(p, latency)| p.draw(tick, &mut link.rng).then_some(*latency));
+            (dropped, duplicated, delay)
+        };
+
+        if dropped {
+            self.inner.stats.lock().dropped += 1;
+            self.inner.counters.lock().dropped.inc();
+            return Ok(());
+        }
+
+        let copies = if duplicated { 2 } else { 1 };
+        if duplicated {
+            self.inner.stats.lock().duplicated += 1;
+            self.inner.counters.lock().duplicated.inc();
+        }
+        for _ in 0..copies {
+            let envelope = Envelope {
+                from,
+                payload: payload.clone(),
+            };
+            match delay {
+                Some(latency) => {
+                    self.inner.stats.lock().delayed += 1;
+                    self.inner.counters.lock().delayed.inc();
+                    self.inner
+                        .held
+                        .lock()
+                        .entry(to)
+                        .or_default()
+                        .push_back((Instant::now() + latency, envelope));
+                }
+                None => inbox.push(envelope),
+            }
+            self.inner.stats.lock().delivered += 1;
+            self.inner.counters.lock().delivered.inc();
+        }
+        Ok(())
+    }
+}
+
+/// One node's endpoint on a [`SimNetwork`].
+#[derive(Clone)]
+pub struct SimTransport {
+    node: NodeId,
+    inbox: Arc<Inbox>,
+    net: SimNetwork,
+}
+
+impl std::fmt::Debug for SimTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimTransport")
+            .field("node", &self.node)
+            .field("pending", &self.inbox.len())
+            .finish()
+    }
+}
+
+impl SimTransport {
+    /// The network this endpoint belongs to.
+    #[must_use]
+    pub fn network(&self) -> &SimNetwork {
+        &self.net
+    }
+}
+
+impl Transport for SimTransport {
+    fn local(&self) -> NodeId {
+        self.node
+    }
+
+    fn send(&self, to: NodeId, payload: Vec<u8>) -> Result<(), NetError> {
+        self.net.transmit(self.node, to, payload)
+    }
+
+    fn recv_deadline(&self, timeout: Duration) -> Result<Envelope, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.net.inner.closed.load(Ordering::Acquire) {
+                return Err(NetError::Closed);
+            }
+            let next_held = self.net.release_ready(self.node);
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Timeout);
+            }
+            let slice_end = next_held.map_or(deadline, |t| t.min(deadline));
+            let wait = slice_end
+                .saturating_duration_since(now)
+                .max(Duration::from_millis(1));
+            match self.inbox.pop_deadline(wait) {
+                Ok(envelope) => {
+                    if self.net.inner.closed.load(Ordering::Acquire) {
+                        return Err(NetError::Closed);
+                    }
+                    return Ok(envelope);
+                }
+                Err(NetError::Timeout) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn peers(&self) -> Vec<NodeId> {
+        let mut peers: Vec<NodeId> = self
+            .net
+            .inner
+            .nodes
+            .lock()
+            .keys()
+            .copied()
+            .filter(|&n| n != self.node)
+            .collect();
+        peers.sort_unstable();
+        peers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHORT: Duration = Duration::from_millis(20);
+    const LONG: Duration = Duration::from_secs(2);
+
+    #[test]
+    fn perfect_link_delivers_in_order() {
+        let net = SimNetwork::new(1);
+        let a = net.endpoint(NodeId(1));
+        let b = net.endpoint(NodeId(2));
+        for i in 0..5u8 {
+            a.send(NodeId(2), vec![i]).unwrap();
+        }
+        for i in 0..5u8 {
+            assert_eq!(b.recv_deadline(LONG).unwrap().payload, vec![i]);
+        }
+        let stats = net.stats();
+        assert_eq!(stats.sent, 5);
+        assert_eq!(stats.delivered, 5);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn unknown_peer_is_an_error() {
+        let net = SimNetwork::new(1);
+        let a = net.endpoint(NodeId(1));
+        assert_eq!(
+            a.send(NodeId(9), vec![0]),
+            Err(NetError::UnknownPeer(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn drop_profile_loses_messages_deterministically() {
+        let run = |seed: u64| -> Vec<bool> {
+            let net = SimNetwork::new(seed);
+            net.set_link(
+                NodeId(1),
+                NodeId(2),
+                LinkProfile {
+                    drop: Some(EnvironmentProfile::calm(0.5)),
+                    ..LinkProfile::default()
+                },
+            );
+            let a = net.endpoint(NodeId(1));
+            let b = net.endpoint(NodeId(2));
+            (0..50)
+                .map(|i| {
+                    a.send(NodeId(2), vec![i]).unwrap();
+                    b.recv_deadline(SHORT).is_ok()
+                })
+                .collect()
+        };
+        let first = run(42);
+        assert_eq!(first, run(42), "same seed must replay the same losses");
+        assert_ne!(first, run(43), "different seed must differ");
+        assert!(first.iter().any(|&ok| ok) && first.iter().any(|&ok| !ok));
+    }
+
+    #[test]
+    fn duplicate_profile_delivers_twice() {
+        let net = SimNetwork::new(5);
+        net.set_link(
+            NodeId(1),
+            NodeId(2),
+            LinkProfile {
+                duplicate: Some(EnvironmentProfile::calm(1.0)),
+                ..LinkProfile::default()
+            },
+        );
+        let a = net.endpoint(NodeId(1));
+        let b = net.endpoint(NodeId(2));
+        a.send(NodeId(2), vec![7]).unwrap();
+        assert_eq!(b.recv_deadline(LONG).unwrap().payload, vec![7]);
+        assert_eq!(b.recv_deadline(LONG).unwrap().payload, vec![7]);
+        assert_eq!(net.stats().duplicated, 1);
+        assert_eq!(net.stats().delivered, 2);
+    }
+
+    #[test]
+    fn delay_profile_defers_past_short_deadlines() {
+        let net = SimNetwork::new(5);
+        net.set_link(
+            NodeId(1),
+            NodeId(2),
+            LinkProfile {
+                delay: Some((EnvironmentProfile::calm(1.0), Duration::from_millis(60))),
+                ..LinkProfile::default()
+            },
+        );
+        let a = net.endpoint(NodeId(1));
+        let b = net.endpoint(NodeId(2));
+        a.send(NodeId(2), vec![9]).unwrap();
+        // Too early: the message is still held.
+        assert_eq!(b.recv_deadline(SHORT), Err(NetError::Timeout));
+        // Late enough: it arrives.
+        assert_eq!(b.recv_deadline(LONG).unwrap().payload, vec![9]);
+        assert_eq!(net.stats().delayed, 1);
+    }
+
+    #[test]
+    fn partition_cuts_and_heals() {
+        let net = SimNetwork::new(3);
+        let a = net.endpoint(NodeId(1));
+        let b = net.endpoint(NodeId(2));
+        net.partition(NodeId(1), NodeId(2));
+        assert!(net.is_partitioned(NodeId(1), NodeId(2)));
+        assert!(net.is_partitioned(NodeId(2), NodeId(1)));
+        a.send(NodeId(2), vec![1]).unwrap(); // silently lost
+        assert_eq!(b.recv_deadline(SHORT), Err(NetError::Timeout));
+        assert_eq!(net.stats().partition_dropped, 1);
+
+        net.heal(NodeId(1), NodeId(2));
+        a.send(NodeId(2), vec![2]).unwrap();
+        assert_eq!(b.recv_deadline(LONG).unwrap().payload, vec![2]);
+    }
+
+    #[test]
+    fn close_wakes_blocked_receivers() {
+        let net = SimNetwork::new(3);
+        let a = net.endpoint(NodeId(1));
+        let closer = net.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            closer.close();
+        });
+        let got = a.recv_deadline(Duration::from_secs(10));
+        t.join().unwrap();
+        assert_eq!(got, Err(NetError::Closed));
+        assert_eq!(a.send(NodeId(1), vec![0]), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn peers_lists_other_endpoints_sorted() {
+        let net = SimNetwork::new(3);
+        let a = net.endpoint(NodeId(5));
+        let _ = net.endpoint(NodeId(2));
+        let _ = net.endpoint(NodeId(9));
+        assert_eq!(a.peers(), vec![NodeId(2), NodeId(9)]);
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_stats() {
+        let registry = Registry::new();
+        let net = SimNetwork::new(11);
+        net.attach_telemetry(&registry);
+        let a = net.endpoint(NodeId(1));
+        let b = net.endpoint(NodeId(2));
+        a.send(NodeId(2), vec![1]).unwrap();
+        let _ = b.recv_deadline(LONG).unwrap();
+        let report = registry.report();
+        assert_eq!(report.counter("net.sim.sent"), 1);
+        assert_eq!(report.counter("net.sim.delivered"), 1);
+        assert_eq!(report.counter("net.sim.dropped"), 0);
+    }
+}

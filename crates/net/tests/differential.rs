@@ -1,0 +1,295 @@
+//! E7: the sim-vs-TCP differential experiment.
+//!
+//! The acceptance bar for `afta-net` (see EXPERIMENTS.md §E7): a seeded
+//! distributed-voting run must produce **identical vote outcomes and
+//! final redundancy dimensioning** on the deterministic in-process
+//! transport and on real loopback TCP sockets; and a partitioned voter
+//! must degrade the quorum gracefully — no hang, no panic, and a
+//! telemetry trail showing the loss and the reconnect.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use afta_faultinject::EnvironmentProfile;
+use afta_net::experiment::{run_net_experiment, NetExperimentConfig, TransportKind};
+use afta_net::farm::{run_voter, DistributedVotingFarm, FarmConfig};
+use afta_net::sim::SimNetwork;
+use afta_net::tcp::{TcpConfig, TcpTransport};
+use afta_net::NodeId;
+use afta_telemetry::{Registry, TelemetryEvent};
+
+/// Same seed, same protocol, two very different wires: every per-round
+/// digest (winner, dissent, dtof, controller decision) and the final
+/// replica dimensioning must agree bit-for-bit.
+#[test]
+fn same_seed_same_outcomes_on_sim_and_tcp() {
+    let base = NetExperimentConfig {
+        seed: 0xD5F1,
+        rounds: 25,
+        voters: 7,
+        initial_replicas: 3,
+        profile: EnvironmentProfile::cyclic_storms(8, 3, 0.05, 0.55),
+        round_timeout: Duration::from_secs(5),
+        transport: TransportKind::Sim,
+    };
+    let sim_registry = Registry::new();
+    let sim = run_net_experiment(&base, &sim_registry);
+
+    let tcp_config = NetExperimentConfig {
+        transport: TransportKind::Tcp,
+        ..base.clone()
+    };
+    let tcp_registry = Registry::new();
+    let tcp = run_net_experiment(&tcp_config, &tcp_registry);
+
+    assert_eq!(
+        sim.digests, tcp.digests,
+        "per-round outcomes must not depend on the transport"
+    );
+    assert_eq!(
+        sim.final_replicas, tcp.final_replicas,
+        "final redundancy dimensioning must not depend on the transport"
+    );
+    assert_eq!(sim.majorities, tcp.majorities);
+    assert_eq!(sim.failures, tcp.failures);
+    // The fault profile has storms: the run must actually exercise the
+    // adaptation loop, not coast through 25 unanimous rounds.
+    assert!(
+        sim.digests.iter().any(|d| d.contains("raise")),
+        "storms should force at least one redundancy raise: {:?}",
+        sim.digests
+    );
+    // Both transports served real traffic.
+    assert!(sim_registry.report().counter("net.sim.delivered") > 0);
+    assert!(tcp_registry.report().counter("net.tcp.received") > 0);
+}
+
+/// Reruns on each transport are internally reproducible too (no hidden
+/// wall-clock or scheduling dependence in the digests).
+#[test]
+fn each_transport_is_self_reproducible() {
+    let config = NetExperimentConfig {
+        seed: 7,
+        rounds: 10,
+        voters: 5,
+        round_timeout: Duration::from_secs(5),
+        ..NetExperimentConfig::default()
+    };
+    let a = run_net_experiment(&config, &Registry::disabled());
+    let b = run_net_experiment(&config, &Registry::disabled());
+    assert_eq!(a, b);
+
+    let tcp = NetExperimentConfig {
+        transport: TransportKind::Tcp,
+        ..config
+    };
+    let c = run_net_experiment(&tcp, &Registry::disabled());
+    let d = run_net_experiment(&tcp, &Registry::disabled());
+    assert_eq!(c.digests, d.digests);
+}
+
+/// A partitioned voter on the simulated network: the farm keeps making
+/// progress (no hang), the lost replica is counted as dissent and then
+/// quarantined, and healing the partition brings it back through a
+/// probe — with the whole story visible in the telemetry journal.
+#[test]
+fn partitioned_voter_degrades_quorum_then_reconnects() {
+    let registry = Registry::new();
+    let net = SimNetwork::new(31);
+    net.attach_telemetry(&registry);
+    let pool = [NodeId(1), NodeId(2), NodeId(3)];
+    let handles: Vec<_> = pool
+        .iter()
+        .map(|&v| {
+            let endpoint = net.endpoint(v);
+            std::thread::spawn(move || {
+                run_voter(&endpoint, Duration::from_millis(50), |_round, input| {
+                    input.to_string()
+                })
+            })
+        })
+        .collect();
+    let config = FarmConfig {
+        initial_replicas: 3,
+        round_timeout: Duration::from_millis(300),
+        alpha_threshold: 2.0,
+        probe_every: 2,
+        ..FarmConfig::default()
+    };
+    let mut farm = DistributedVotingFarm::new(
+        Arc::new(net.endpoint(NodeId(0))),
+        pool.to_vec(),
+        config,
+        &registry,
+    );
+
+    // Healthy baseline round.
+    let report = farm.round("a");
+    assert_eq!(report.timeouts, 0);
+    assert!(report.succeeded());
+
+    // Cut voter 3 off from the coordinator.
+    net.partition(NodeId(0), NodeId(3));
+    let started = Instant::now();
+    let mut quarantined = false;
+    for _ in 0..12 {
+        let report = farm.round("b");
+        assert!(
+            report.succeeded(),
+            "two healthy voters of three asked still carry the majority"
+        );
+        if report.quarantined.contains(&NodeId(3)) {
+            quarantined = true;
+            break;
+        }
+    }
+    assert!(quarantined, "partitioned voter must be quarantined");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "degradation must be bounded by round deadlines, not a hang"
+    );
+
+    // Heal the partition: the next probe brings the voter back.
+    net.heal(NodeId(0), NodeId(3));
+    let mut rejoined = false;
+    for _ in 0..8 {
+        farm.round("c");
+        if farm.quarantined().is_empty() {
+            rejoined = true;
+            break;
+        }
+    }
+    assert!(rejoined, "healed voter must rejoin via probe");
+
+    // The telemetry trail shows the loss and the reconnect.
+    let snapshot = registry.report();
+    assert!(snapshot.counter("net.farm.timeouts") >= 1);
+    assert!(snapshot.counter("net.farm.quarantines") >= 1);
+    assert!(snapshot.counter("net.farm.rejoins") >= 1);
+    assert!(snapshot.counter("net.sim.partition_dropped") >= 1);
+    assert!(snapshot.journal.iter().any(|r| r.event
+        == TelemetryEvent::HeartbeatMiss {
+            component: "n3".into()
+        }));
+    assert!(snapshot
+        .journal
+        .iter()
+        .any(|r| matches!(&r.event, TelemetryEvent::Note { text } if text.contains("rejoined"))));
+
+    net.close();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// The same degradation story over real sockets: a killed voter process
+/// is quarantined; restarting it on the same address lets the TCP link
+/// reconnect (visible in `net.tcp.reconnects`) and the probe rejoins it.
+#[test]
+fn killed_tcp_voter_is_quarantined_then_rejoins_after_restart() {
+    let registry = Registry::new();
+    let tcp_config = TcpConfig {
+        heartbeat_every: Duration::from_millis(50),
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(50),
+        max_connect_attempts: 4,
+        ..TcpConfig::default()
+    };
+    let coordinator =
+        TcpTransport::bind(NodeId(0), "127.0.0.1:0", tcp_config.clone(), &registry).unwrap();
+    let pool = [NodeId(1), NodeId(2), NodeId(3)];
+    let mut voter_addrs = Vec::new();
+    let mut voter_transports = Vec::new();
+    let mut handles = Vec::new();
+    for &v in &pool {
+        let transport =
+            TcpTransport::bind(v, "127.0.0.1:0", tcp_config.clone(), &registry).unwrap();
+        transport.add_peer(NodeId(0), coordinator.local_addr());
+        coordinator.add_peer(v, transport.local_addr());
+        voter_addrs.push(transport.local_addr());
+        voter_transports.push(transport.clone());
+        handles.push(std::thread::spawn(move || {
+            run_voter(&transport, Duration::from_millis(50), |_round, input| {
+                input.to_string()
+            })
+        }));
+    }
+    let config = FarmConfig {
+        initial_replicas: 3,
+        round_timeout: Duration::from_millis(400),
+        alpha_threshold: 2.0,
+        probe_every: 2,
+        ..FarmConfig::default()
+    };
+    let mut farm = DistributedVotingFarm::new(
+        Arc::new(coordinator.clone()),
+        pool.to_vec(),
+        config,
+        &registry,
+    );
+
+    let report = farm.round("warmup");
+    assert!(report.succeeded());
+    assert_eq!(report.timeouts, 0);
+
+    // Kill voter 3.
+    voter_transports[2].shutdown();
+    let mut quarantined = false;
+    for _ in 0..12 {
+        let report = farm.round("degraded");
+        assert!(
+            report.succeeded(),
+            "the two survivors still hold a majority"
+        );
+        if report.quarantined.contains(&NodeId(3)) {
+            quarantined = true;
+            break;
+        }
+    }
+    assert!(quarantined, "dead TCP voter must be quarantined");
+
+    // Restart it on the same address; the coordinator's writer thread
+    // reconnects and the next probe rejoins the voter.
+    let revived = TcpTransport::bind(
+        NodeId(3),
+        &voter_addrs[2].to_string(),
+        tcp_config,
+        &registry,
+    )
+    .unwrap();
+    revived.add_peer(NodeId(0), coordinator.local_addr());
+    let revived_thread = {
+        let transport = revived.clone();
+        std::thread::spawn(move || {
+            run_voter(&transport, Duration::from_millis(50), |_round, input| {
+                input.to_string()
+            })
+        })
+    };
+    let mut rejoined = false;
+    for _ in 0..20 {
+        farm.round("healed");
+        if farm.quarantined().is_empty() {
+            rejoined = true;
+            break;
+        }
+    }
+    assert!(rejoined, "restarted TCP voter must rejoin via probe");
+    let snapshot = registry.report();
+    assert!(
+        snapshot.counter("net.tcp.reconnects") >= 1,
+        "telemetry must show the link reconnect"
+    );
+    assert!(snapshot.counter("net.farm.rejoins") >= 1);
+
+    coordinator.shutdown();
+    revived.shutdown();
+    // run_voter only returns once its transport closes.
+    for t in &voter_transports {
+        t.shutdown();
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let _ = revived_thread.join();
+}

@@ -22,6 +22,7 @@
 //! | [`voting`] | `afta-voting` | restoring organ, majority voting, dtof (§3.3) |
 //! | [`switchboard`] | `afta-switchboard` | autonomic redundancy dimensioning (§3.3) |
 //! | [`campaign`] | `afta-campaign` | parallel deterministic fault-injection campaigns (§3.3) |
+//! | [`net`] | `afta-net` | distributed fault-notification bus & voting farm over sim/TCP transports (§3.2, §3.3) |
 //! | [`faultinject`] | `afta-faultinject` | fault classes, schedules, environment profiles |
 //! | [`telemetry`] | `afta-telemetry` | metrics, spans, flight recorder (observability) |
 //! | [`lint`] | `afta-lint` | static analysis of the assumption web, syndrome-coded diagnostics (§2, §6) |
@@ -63,6 +64,7 @@ pub use afta_ftpatterns as ftpatterns;
 pub use afta_lint as lint;
 pub use afta_memaccess as memaccess;
 pub use afta_memsim as memsim;
+pub use afta_net as net;
 pub use afta_sim as sim;
 pub use afta_switchboard as switchboard;
 pub use afta_telemetry as telemetry;

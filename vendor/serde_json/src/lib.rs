@@ -25,6 +25,15 @@ impl Error {
             msg: msg.to_string(),
         }
     }
+
+    /// Creates an error carrying a caller-supplied message (mirrors
+    /// upstream `serde::de::Error::custom`), so layers that wrap JSON
+    /// parsing — e.g. a wire decoder rejecting non-UTF-8 bytes before
+    /// parsing — can report through the same error type.
+    #[must_use]
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error::new(msg)
+    }
 }
 
 impl fmt::Display for Error {
