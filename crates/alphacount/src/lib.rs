@@ -83,7 +83,13 @@ pub enum DecayPolicy {
 }
 
 impl DecayPolicy {
-    fn apply(self, alpha: f64) -> f64 {
+    /// Applies one correct-round decay step to `alpha`.
+    ///
+    /// This is the per-policy textbook formula; [`AlphaCount::record`]
+    /// uses the folded branch-free form instead, and a test asserts the
+    /// two are bit-identical for non-negative finite α.
+    #[must_use]
+    pub fn apply(self, alpha: f64) -> f64 {
         match self {
             DecayPolicy::Multiplicative(k) => alpha * k,
             DecayPolicy::Subtractive(d) => (alpha - d).max(0.0),
@@ -230,22 +236,36 @@ impl AlphaCount {
     }
 
     /// Records one round and returns the updated verdict.
+    ///
+    /// The α update is branch-free on the judgment: both the grow and
+    /// the decay candidate are computed unconditionally and the result
+    /// is selected with a conditional move, so an adversarial fault
+    /// pattern that flips the judgment every round (the worst case for a
+    /// branch predictor — and exactly what an intermittent fault looks
+    /// like) costs the same as a steady stream.  Every decay policy is
+    /// folded into the single form `max(α·K − D, 0)` (multiplicative:
+    /// `D = 0`; subtractive: `K = 1`), which is bit-identical to the
+    /// per-policy formulas because α is always non-negative and finite.
     pub fn record(&mut self, judgment: Judgment) -> Verdict {
         self.rounds += 1;
-        match judgment {
-            Judgment::Erroneous => {
-                self.errors += 1;
-                self.alpha += self.increment;
-            }
-            Judgment::Correct => {
-                self.alpha = self.decay.apply(self.alpha);
-            }
-        }
-        let v = self.verdict();
-        if v == Verdict::PermanentOrIntermittent && self.crossed_at.is_none() {
+        let erroneous = judgment == Judgment::Erroneous;
+        self.errors += u64::from(erroneous);
+        let (k, d) = match self.decay {
+            DecayPolicy::Multiplicative(k) => (k, 0.0),
+            DecayPolicy::Subtractive(d) => (1.0, d),
+        };
+        let grown = self.alpha + self.increment;
+        let decayed = (self.alpha * k - d).max(0.0);
+        self.alpha = if erroneous { grown } else { decayed };
+        let crossed = self.alpha > self.threshold;
+        if crossed && self.crossed_at.is_none() {
             self.crossed_at = Some(self.rounds);
         }
-        v
+        if crossed {
+            Verdict::PermanentOrIntermittent
+        } else {
+            Verdict::Transient
+        }
     }
 
     /// Resets α and the round counters (e.g. after the faulty component
@@ -554,6 +574,44 @@ mod tests {
         }
         assert!(ac.to_string().contains("permanent"));
         assert_eq!(Verdict::Transient.to_string(), "transient");
+    }
+
+    #[test]
+    fn branch_free_update_is_bitwise_identical_to_reference() {
+        // The folded `max(α·K − D, 0)` select in `record` must produce
+        // bit-for-bit the same α trajectory as the per-policy textbook
+        // formulas, for every policy, under a pseudo-random judgment
+        // stream (xorshift so the test is deterministic).
+        for decay in [
+            DecayPolicy::Multiplicative(0.5),
+            DecayPolicy::Multiplicative(0.9),
+            DecayPolicy::Subtractive(0.25),
+            DecayPolicy::Subtractive(1.5),
+        ] {
+            let mut ac = AlphaCount::new(1.0, 3.0, decay);
+            let mut alpha_ref = 0.0f64;
+            let mut state = 0x9e37_79b9_u64;
+            for step in 0..10_000 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let judgment = if state.is_multiple_of(3) {
+                    Judgment::Erroneous
+                } else {
+                    Judgment::Correct
+                };
+                match judgment {
+                    Judgment::Erroneous => alpha_ref += 1.0,
+                    Judgment::Correct => alpha_ref = decay.apply(alpha_ref),
+                }
+                ac.record(judgment);
+                assert_eq!(
+                    ac.alpha().to_bits(),
+                    alpha_ref.to_bits(),
+                    "diverged at step {step} under {decay:?}"
+                );
+            }
+        }
     }
 
     #[test]

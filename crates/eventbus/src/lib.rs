@@ -8,10 +8,33 @@
 //! topic bus over which components publish fault notifications, dtof
 //! readings, and knowledge events, and middleware subscribes.
 //!
+//! The paper's §4 vision makes assumption monitoring an *ambient*
+//! service, which only works if the notification plumbing is cheap
+//! enough to stay on permanently.  The bus is therefore built for the
+//! hot path:
+//!
+//! * **Sharded topic table** — topics live in [`TypeId`]-keyed shards;
+//!   a publish never takes a global lock, only a shared read on its own
+//!   shard (and none at all through a cached [`Publisher`]).
+//! * **Lock-free mailboxes** — every pull-subscription is a bounded
+//!   [`ring::Ring`] (atomic cursors, cache-line padded); publishing is a
+//!   compare-and-swap, never a mutex, so a slow subscriber can lag but
+//!   can never block a publisher.  Lagging past the ring's capacity is
+//!   counted in [`TopicStats::lost`], exactly like the pre-existing
+//!   dead-subscriber accounting.
+//! * **Shared payloads** — with several subscribers on a topic the event
+//!   is published as one `Arc`; delivery to N subscribers is N pointer
+//!   bumps, not N deep clones.  With a single subscriber (and no
+//!   callbacks or retention) the event moves straight into the ring:
+//!   the steady-state publish/drain cycle performs **zero allocations**.
+//! * **Batching** — [`Bus::publish_batch`] / [`Publisher::publish_batch`]
+//!   amortise the topic lookup, and [`Subscription::drain_batch`] drains
+//!   into a caller-owned buffer whose capacity is reused.
+//!
 //! Two delivery styles are offered:
 //!
 //! * [`Bus::subscribe`] — a pull-style [`Subscription`] backed by a
-//!   crossbeam channel (usable across threads);
+//!   lock-free ring (usable across threads);
 //! * [`Bus::on`] — a push-style callback invoked synchronously at publish
 //!   time.
 //!
@@ -26,72 +49,38 @@
 //! bus.publish(FaultDetected { component: "c3" });
 //! assert_eq!(sub.try_recv().unwrap().component, "c3");
 //! ```
+//!
+//! The original global-mutex implementation is preserved in
+//! [`mod@reference`] as an executable specification: the differential
+//! property tests replay scripts against both buses, and the
+//! `bench_snapshot` trajectory measures speedups against it.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
+
+pub mod reference;
+pub mod ring;
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use afta_telemetry::{Counter, Registry};
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
-type Callback = Box<dyn FnMut(&dyn Any) + Send>;
-type SenderFn = Box<dyn Fn(&dyn Any) -> bool + Send>;
+use ring::Ring;
 
-struct Topic {
-    /// Human-readable topic name (the event's Rust type path).
-    name: &'static str,
-    /// Channel senders for pull-style subscribers; each entry forwards a
-    /// clone of the event and reports whether the receiver is still alive.
-    senders: Vec<SenderFn>,
-    /// Push-style callbacks.
-    callbacks: Vec<Callback>,
-    /// Events published on this topic (for diagnostics).
-    published: u64,
-    /// Total deliveries (pull-subscriber sends plus callback invocations).
-    delivered: u64,
-    /// Publishes that reached no subscriber and no callback.
-    dropped: u64,
-    /// Deliveries lost because a pull-subscriber's receiver was already
-    /// gone when the event arrived (the sender was pruned mid-publish).
-    lost: u64,
-    /// Whether to retain the last event for late joiners.
-    retain: bool,
-    /// The last event published, when retention is on.
-    retained: Option<Box<dyn Any + Send>>,
-}
+/// Number of topic shards.  Topics are spread by `TypeId` hash, so
+/// publishers of different event types touch different locks.
+const SHARDS: usize = 16;
 
-impl Topic {
-    fn new(name: &'static str) -> Self {
-        Self {
-            name,
-            senders: Vec::new(),
-            callbacks: Vec::new(),
-            published: 0,
-            delivered: 0,
-            dropped: 0,
-            lost: 0,
-            retain: false,
-            retained: None,
-        }
-    }
-
-    fn stats(&self) -> TopicStats {
-        TopicStats {
-            topic: self.name,
-            published: self.published,
-            delivered: self.delivered,
-            dropped: self.dropped,
-            lost: self.lost,
-            subscribers: self.senders.len(),
-            callbacks: self.callbacks.len(),
-        }
-    }
-}
+/// Default mailbox capacity per subscription (rounded up to a power of
+/// two).  A subscriber that lags further behind than this loses the
+/// overflow, counted in [`TopicStats::lost`].
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
 
 /// A snapshot of one topic's delivery counters, as returned by
 /// [`Bus::stats`] and [`Bus::topic_stats`].
@@ -106,14 +95,293 @@ pub struct TopicStats {
     /// Publishes that reached no subscriber and no callback.
     pub dropped: u64,
     /// Individual deliveries lost to pull-subscribers whose receiver was
-    /// already gone at publish time.  `dropped` counts publishes nobody
-    /// heard; `lost` counts per-subscriber deliveries that silently
-    /// failed even though the publish reached others.
+    /// already gone at publish time, or that had lagged past their
+    /// mailbox capacity.  `dropped` counts publishes nobody heard;
+    /// `lost` counts per-subscriber deliveries that silently failed even
+    /// though the publish reached others.
     pub lost: u64,
-    /// Live pull-subscribers (as of the last publish).
+    /// Live pull-subscribers.
     pub subscribers: usize,
     /// Registered push callbacks.
     pub callbacks: usize,
+}
+
+/// Error returned by [`Subscription::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No event is currently pending.
+    Empty,
+    /// No event is pending and the bus side is gone.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty mailbox"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty mailbox whose bus is gone")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// What travels through a subscription's ring: either the event itself
+/// (single-subscriber fast path — no allocation) or a shared handle
+/// (fan-out path — one allocation per publish, N pointer bumps).
+enum Payload<E> {
+    Inline(E),
+    Shared(Arc<E>),
+}
+
+impl<E: Clone> Payload<E> {
+    fn into_event(self) -> E {
+        match self {
+            Payload::Inline(e) => e,
+            // The last holder steals the value instead of cloning.
+            Payload::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
+
+/// The shared half of one pull-subscription.
+struct SubShared<E> {
+    ring: Ring<Payload<E>>,
+    /// Set when the `Subscription` handle is dropped; publishers count
+    /// subsequent deliveries as lost and prune the entry.
+    closed: AtomicBool,
+    /// Set when the topic (i.e. the bus) is dropped; `try_recv` then
+    /// reports [`TryRecvError::Disconnected`] once the ring is empty.
+    detached: AtomicBool,
+}
+
+/// A pull-style subscription to events of type `E`.
+///
+/// Dropping the subscription detaches it from the bus lazily: the bus
+/// prunes the dead mailbox on the next publish of that event type.
+pub struct Subscription<E> {
+    shared: Arc<SubShared<E>>,
+}
+
+impl<E> fmt::Debug for Subscription<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Subscription")
+            .field("pending", &self.shared.ring.len())
+            .finish()
+    }
+}
+
+impl<E: Clone> Subscription<E> {
+    /// Receives the next pending event without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryRecvError::Empty`] when no event is pending and
+    /// [`TryRecvError::Disconnected`] when the bus side is gone.
+    pub fn try_recv(&self) -> Result<E, TryRecvError> {
+        match self.shared.ring.pop() {
+            Some(payload) => Ok(payload.into_event()),
+            None if self.shared.detached.load(Ordering::Acquire) => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Drains every pending event into a fresh vector.
+    pub fn drain(&self) -> Vec<E> {
+        let mut out = Vec::new();
+        self.drain_batch(&mut out);
+        out
+    }
+
+    /// Drains every pending event into `out` (appending), returning how
+    /// many were appended.  `out`'s capacity is reused, so a steady-state
+    /// drain allocates nothing.
+    pub fn drain_batch(&self, out: &mut Vec<E>) -> usize {
+        let before = out.len();
+        while let Some(payload) = self.shared.ring.pop() {
+            out.push(payload.into_event());
+        }
+        out.len() - before
+    }
+
+    /// Number of events currently queued.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.shared.ring.len()
+    }
+}
+
+impl<E> Drop for Subscription<E> {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        // Free queued payloads eagerly; anything racing in lands in a
+        // ring that the topic prunes (and thereby drops) on the next
+        // publish, so nothing is retained beyond the mailbox itself.
+        while self.shared.ring.pop().is_some() {}
+    }
+}
+
+/// Per-publish delivery accounting, merged into the topic's atomics and
+/// the bus-wide telemetry mirror.
+#[derive(Default)]
+struct Delivery {
+    published: u64,
+    /// Pull-subscriber deliveries (the value `publish` returns).
+    subs_reached: usize,
+    /// Pull deliveries plus callback invocations, across the batch.
+    reached: u64,
+    dropped: u64,
+    lost: u64,
+}
+
+type CallbackList<E> = Mutex<Vec<Box<dyn FnMut(&E) + Send>>>;
+
+/// One topic: the typed subscriber list, callbacks, retention cell, and
+/// its delivery counters, all updatable without exclusive locks on the
+/// publish path.
+struct TypedTopic<E> {
+    name: &'static str,
+    published: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    lost: AtomicU64,
+    subs: RwLock<Vec<Arc<SubShared<E>>>>,
+    callbacks: CallbackList<E>,
+    callback_count: AtomicUsize,
+    retain: AtomicBool,
+    retained: Mutex<Option<Arc<E>>>,
+}
+
+impl<E> TypedTopic<E> {
+    fn new() -> Self {
+        Self {
+            name: std::any::type_name::<E>(),
+            published: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
+            subs: RwLock::new(Vec::new()),
+            callbacks: Mutex::new(Vec::new()),
+            callback_count: AtomicUsize::new(0),
+            retain: AtomicBool::new(false),
+            retained: Mutex::new(None),
+        }
+    }
+
+    /// Counter snapshot from per-topic atomics; takes no exclusive lock,
+    /// so collecting stats never stalls a publisher.
+    fn snapshot(&self) -> TopicStats {
+        let subscribers = self
+            .subs
+            .read()
+            .iter()
+            .filter(|s| !s.closed.load(Ordering::Acquire))
+            .count();
+        TopicStats {
+            topic: self.name,
+            published: self.published.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            lost: self.lost.load(Ordering::Relaxed),
+            subscribers,
+            callbacks: self.callback_count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<E: Clone + Send + Sync + 'static> TypedTopic<E> {
+    /// Delivers a stream of events: rings first (in subscriber order),
+    /// then callbacks (in registration order), then retention — the same
+    /// per-event sequence as the reference bus.
+    fn publish_many(&self, events: impl IntoIterator<Item = E>) -> Delivery {
+        let mut d = Delivery::default();
+        let mut need_prune = false;
+        {
+            let subs = self.subs.read();
+            let n_cb = self.callback_count.load(Ordering::Relaxed);
+            let retain_on = self.retain.load(Ordering::Relaxed);
+            for event in events {
+                d.published += 1;
+                let mut reached_subs = 0usize;
+                if subs.len() == 1 && n_cb == 0 && !retain_on {
+                    // Fast path: the event moves into the ring, no Arc.
+                    let s = &subs[0];
+                    if s.closed.load(Ordering::Acquire) {
+                        need_prune = true;
+                        d.lost += 1;
+                    } else if s.ring.push(Payload::Inline(event)).is_ok() {
+                        reached_subs = 1;
+                    } else {
+                        d.lost += 1;
+                    }
+                } else if !subs.is_empty() || n_cb > 0 || retain_on {
+                    // Fan-out path: one Arc, N pointer bumps.
+                    let shared = Arc::new(event);
+                    for s in subs.iter() {
+                        if s.closed.load(Ordering::Acquire) {
+                            need_prune = true;
+                            d.lost += 1;
+                        } else if s.ring.push(Payload::Shared(shared.clone())).is_ok() {
+                            reached_subs += 1;
+                        } else {
+                            d.lost += 1;
+                        }
+                    }
+                    if n_cb > 0 {
+                        let mut callbacks = self.callbacks.lock();
+                        for cb in callbacks.iter_mut() {
+                            cb(&shared);
+                        }
+                    }
+                    if retain_on {
+                        *self.retained.lock() = Some(shared);
+                    }
+                }
+                d.subs_reached += reached_subs;
+                let reached = reached_subs + n_cb;
+                d.reached += reached as u64;
+                if reached == 0 {
+                    d.dropped += 1;
+                }
+            }
+        }
+        if need_prune {
+            // Dropping the pruned `Arc<SubShared>` drops its ring, whose
+            // `Drop` drains any still-queued payloads — a pruned lagging
+            // subscriber cannot leak retained events.
+            self.subs
+                .write()
+                .retain(|s| !s.closed.load(Ordering::Acquire));
+        }
+        self.published.fetch_add(d.published, Ordering::Relaxed);
+        self.delivered.fetch_add(d.reached, Ordering::Relaxed);
+        self.dropped.fetch_add(d.dropped, Ordering::Relaxed);
+        self.lost.fetch_add(d.lost, Ordering::Relaxed);
+        d
+    }
+}
+
+impl<E> Drop for TypedTopic<E> {
+    fn drop(&mut self) {
+        for s in self.subs.get_mut().iter() {
+            s.detached.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Type-erased shard entry: the typed topic plus monomorphised hooks for
+/// the operations the bus performs without knowing `E`.
+struct TopicEntry {
+    typed: Arc<dyn Any + Send + Sync>,
+    snap: fn(&(dyn Any + Send + Sync)) -> TopicStats,
+}
+
+fn snap_topic<E: 'static>(any: &(dyn Any + Send + Sync)) -> TopicStats {
+    any.downcast_ref::<TypedTopic<E>>()
+        .expect("shard entry holds its own topic type")
+        .snapshot()
 }
 
 /// Aggregate counters mirrored into a telemetry [`Registry`] when one is
@@ -125,39 +393,63 @@ struct BusCounters {
     bus_dropped_total: Counter,
 }
 
-/// A pull-style subscription to events of type `E`.
-///
-/// Dropping the subscription detaches it from the bus lazily: the bus
-/// prunes dead senders on the next publish of that event type.
-#[derive(Debug)]
-pub struct Subscription<E> {
-    rx: Receiver<E>,
+struct BusInner {
+    shards: [RwLock<HashMap<TypeId, TopicEntry>>; SHARDS],
+    counters: OnceLock<BusCounters>,
+    ring_capacity: usize,
 }
 
-impl<E> Subscription<E> {
-    /// Receives the next pending event without blocking.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TryRecvError::Empty`] when no event is pending and
-    /// [`TryRecvError::Disconnected`] when the bus side is gone.
-    pub fn try_recv(&self) -> Result<E, TryRecvError> {
-        self.rx.try_recv()
+impl BusInner {
+    fn shard_of(type_id: TypeId) -> usize {
+        let mut hasher = std::hash::DefaultHasher::new();
+        type_id.hash(&mut hasher);
+        (hasher.finish() as usize) % SHARDS
     }
 
-    /// Drains every pending event.
-    pub fn drain(&self) -> Vec<E> {
-        let mut out = Vec::new();
-        while let Ok(e) = self.rx.try_recv() {
-            out.push(e);
+    fn get_topic<E: Send + Sync + 'static>(&self) -> Option<Arc<TypedTopic<E>>> {
+        let type_id = TypeId::of::<E>();
+        let shard = self.shards[Self::shard_of(type_id)].read();
+        let entry = shard.get(&type_id)?;
+        let typed = entry.typed.clone();
+        drop(shard);
+        typed.downcast::<TypedTopic<E>>().ok()
+    }
+
+    /// Type-erased stats lookup; unlike [`BusInner::get_topic`] it works
+    /// with only `E: 'static`, via the entry's monomorphised snap hook.
+    fn snap_of<E: 'static>(&self) -> Option<TopicStats> {
+        let type_id = TypeId::of::<E>();
+        let shard = self.shards[Self::shard_of(type_id)].read();
+        let entry = shard.get(&type_id)?;
+        Some((entry.snap)(entry.typed.as_ref()))
+    }
+
+    fn get_or_create<E: Send + Sync + 'static>(&self) -> Arc<TypedTopic<E>> {
+        let type_id = TypeId::of::<E>();
+        let mut shard = self.shards[Self::shard_of(type_id)].write();
+        let entry = shard.entry(type_id).or_insert_with(|| TopicEntry {
+            typed: Arc::new(TypedTopic::<E>::new()),
+            snap: snap_topic::<E>,
+        });
+        entry
+            .typed
+            .clone()
+            .downcast::<TypedTopic<E>>()
+            .expect("shard entry holds its own topic type")
+    }
+
+    /// Mirrors one delivery into the attached telemetry registry.
+    fn mirror(&self, d: &Delivery) {
+        if let Some(counters) = self.counters.get() {
+            counters.published.add(d.published);
+            counters.delivered.add(d.reached);
+            if d.dropped > 0 {
+                counters.dropped.add(d.dropped);
+            }
+            if d.lost > 0 {
+                counters.bus_dropped_total.add(d.lost);
+            }
         }
-        out
-    }
-
-    /// Number of events currently queued.
-    #[must_use]
-    pub fn pending(&self) -> usize {
-        self.rx.len()
     }
 }
 
@@ -165,26 +457,43 @@ impl<E> Subscription<E> {
 ///
 /// Cloning the bus is cheap and yields a handle onto the same topics, so
 /// producer components and the adaptation middleware can each hold one.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bus {
-    topics: Arc<Mutex<HashMap<TypeId, Topic>>>,
-    counters: Arc<Mutex<Option<BusCounters>>>,
+    inner: Arc<BusInner>,
+}
+
+impl Default for Bus {
+    fn default() -> Self {
+        Self::with_ring_capacity(DEFAULT_RING_CAPACITY)
+    }
 }
 
 impl fmt::Debug for Bus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let topics = self.topics.lock();
-        f.debug_struct("Bus")
-            .field("topics", &topics.len())
-            .finish()
+        let topics: usize = self.inner.shards.iter().map(|s| s.read().len()).sum();
+        f.debug_struct("Bus").field("topics", &topics).finish()
     }
 }
 
 impl Bus {
-    /// Creates an empty bus.
+    /// Creates an empty bus with the default per-subscription mailbox
+    /// capacity ([`DEFAULT_RING_CAPACITY`]).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty bus whose subscriptions get mailboxes of at
+    /// least `capacity` slots (rounded up to a power of two).
+    #[must_use]
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(BusInner {
+                shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+                counters: OnceLock::new(),
+                ring_capacity: capacity,
+            }),
+        }
     }
 
     /// Mirrors bus-wide delivery counters (`eventbus.published`,
@@ -194,9 +503,13 @@ impl Bus {
     ///
     /// `eventbus.dropped` counts publishes that reached nobody;
     /// `eventbus.bus_dropped_total` counts individual deliveries lost to
-    /// subscribers whose receiver was already gone at publish time.
+    /// subscribers whose receiver was already gone at publish time or
+    /// that had lagged past their mailbox capacity.
+    ///
+    /// The mirror is installed once per bus (so the publish path can
+    /// read it without locking); calls after the first are ignored.
     pub fn attach_telemetry(&self, registry: &Registry) {
-        *self.counters.lock() = Some(BusCounters {
+        let _ = self.inner.counters.set(BusCounters {
             published: registry.counter("eventbus.published"),
             delivered: registry.counter("eventbus.delivered"),
             dropped: registry.counter("eventbus.dropped"),
@@ -205,11 +518,15 @@ impl Bus {
     }
 
     /// Delivery counters for every topic the bus has seen, sorted by
-    /// topic name.
+    /// topic name.  Snapshots per-shard atomics — collecting stats never
+    /// blocks publishers.
     #[must_use]
     pub fn stats(&self) -> Vec<TopicStats> {
-        let topics = self.topics.lock();
-        let mut out: Vec<TopicStats> = topics.values().map(Topic::stats).collect();
+        let mut out = Vec::new();
+        for shard in &self.inner.shards {
+            let shard = shard.read();
+            out.extend(shard.values().map(|e| (e.snap)(e.typed.as_ref())));
+        }
         out.sort_by_key(|s| s.topic);
         out
     }
@@ -218,119 +535,145 @@ impl Bus {
     /// `None` if the bus has never seen that type.
     #[must_use]
     pub fn topic_stats<E: 'static>(&self) -> Option<TopicStats> {
-        self.topics.lock().get(&TypeId::of::<E>()).map(Topic::stats)
+        self.inner.snap_of::<E>()
     }
 
-    /// Subscribes to events of type `E` (pull style).
+    /// Subscribes to events of type `E` (pull style) with the bus's
+    /// default mailbox capacity.
     #[must_use]
-    pub fn subscribe<E: Clone + Send + 'static>(&self) -> Subscription<E> {
-        let (tx, rx): (Sender<E>, Receiver<E>) = unbounded();
-        let mut topics = self.topics.lock();
-        let topic = topics
-            .entry(TypeId::of::<E>())
-            .or_insert_with(|| Topic::new(std::any::type_name::<E>()));
-        topic.senders.push(Box::new(move |any| {
-            let Some(e) = any.downcast_ref::<E>() else {
-                return true; // type mismatch cannot happen; keep the sender
-            };
-            tx.send(e.clone()).is_ok()
-        }));
-        Subscription { rx }
+    pub fn subscribe<E: Clone + Send + Sync + 'static>(&self) -> Subscription<E> {
+        self.subscribe_with_capacity(self.inner.ring_capacity)
+    }
+
+    /// Subscribes with an explicit mailbox capacity (rounded up to a
+    /// power of two).  Events published while the subscriber lags more
+    /// than `capacity` behind are lost and counted in
+    /// [`TopicStats::lost`].
+    #[must_use]
+    pub fn subscribe_with_capacity<E: Clone + Send + Sync + 'static>(
+        &self,
+        capacity: usize,
+    ) -> Subscription<E> {
+        let topic = self.inner.get_or_create::<E>();
+        let shared = Arc::new(SubShared {
+            ring: Ring::with_capacity(capacity),
+            closed: AtomicBool::new(false),
+            detached: AtomicBool::new(false),
+        });
+        topic.subs.write().push(shared.clone());
+        Subscription { shared }
     }
 
     /// Registers a push-style callback for events of type `E`, invoked
     /// synchronously (in publish order) on the publisher's thread.
-    pub fn on<E: Send + 'static>(&self, mut f: impl FnMut(&E) + Send + 'static) {
-        let mut topics = self.topics.lock();
-        let topic = topics
-            .entry(TypeId::of::<E>())
-            .or_insert_with(|| Topic::new(std::any::type_name::<E>()));
-        topic.callbacks.push(Box::new(move |any| {
-            if let Some(e) = any.downcast_ref::<E>() {
-                f(e);
-            }
-        }));
+    pub fn on<E: Send + Sync + 'static>(&self, f: impl FnMut(&E) + Send + 'static) {
+        let topic = self.inner.get_or_create::<E>();
+        topic.callbacks.lock().push(Box::new(f));
+        topic.callback_count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Publishes an event to every subscriber and callback of its type.
     /// Returns the number of pull-subscribers that received it.
-    pub fn publish<E: Clone + Send + 'static>(&self, event: E) -> usize {
-        let mut topics = self.topics.lock();
-        let Some(topic) = topics.get_mut(&TypeId::of::<E>()) else {
+    pub fn publish<E: Clone + Send + Sync + 'static>(&self, event: E) -> usize {
+        let Some(topic) = self.inner.get_topic::<E>() else {
             return 0;
         };
-        topic.published += 1;
-        // Deliver and prune disconnected pull-subscribers in one pass,
-        // counting every delivery that silently failed because the
-        // receiving end was already gone.
-        let before = topic.senders.len();
-        topic.senders.retain(|send| send(&event));
-        let delivered = topic.senders.len();
-        let lost = (before - delivered) as u64;
-        topic.lost += lost;
-        let reached = delivered + topic.callbacks.len();
-        topic.delivered += reached as u64;
-        if reached == 0 {
-            topic.dropped += 1;
+        let d = topic.publish_many(std::iter::once(event));
+        self.inner.mirror(&d);
+        d.subs_reached
+    }
+
+    /// Publishes a batch of events with one topic lookup, returning the
+    /// total number of pull-subscriber deliveries across the batch.
+    /// Per-topic FIFO order is exactly that of publishing one by one.
+    pub fn publish_batch<E: Clone + Send + Sync + 'static>(
+        &self,
+        events: impl IntoIterator<Item = E>,
+    ) -> usize {
+        let Some(topic) = self.inner.get_topic::<E>() else {
+            return 0;
+        };
+        let d = topic.publish_many(events);
+        self.inner.mirror(&d);
+        d.subs_reached
+    }
+
+    /// A cached handle onto the topic for events of type `E` (created if
+    /// absent).  Publishing through the handle skips the shard lookup
+    /// entirely — this is the hot-path interface for components that
+    /// publish the same event type in a loop.
+    #[must_use]
+    pub fn publisher<E: Clone + Send + Sync + 'static>(&self) -> Publisher<E> {
+        Publisher {
+            topic: self.inner.get_or_create::<E>(),
+            inner: self.inner.clone(),
         }
-        for cb in &mut topic.callbacks {
-            cb(&event);
-        }
-        if topic.retain {
-            topic.retained = Some(Box::new(event));
-        }
-        drop(topics);
-        if let Some(counters) = self.counters.lock().as_ref() {
-            counters.published.inc();
-            counters.delivered.add(reached as u64);
-            if reached == 0 {
-                counters.dropped.inc();
-            }
-            counters.bus_dropped_total.add(lost);
-        }
-        delivered
     }
 
     /// Enables last-value retention for events of type `E`: after any
     /// publish, [`Bus::latest`] returns a clone of the most recent event.
     /// Late joiners (e.g. knowledge agents attached mid-run) use this to
     /// catch up on slow-changing state such as the current fault class.
-    pub fn retain<E: Clone + Send + 'static>(&self) {
-        let mut topics = self.topics.lock();
-        topics
-            .entry(TypeId::of::<E>())
-            .or_insert_with(|| Topic::new(std::any::type_name::<E>()))
-            .retain = true;
+    pub fn retain<E: Clone + Send + Sync + 'static>(&self) {
+        self.inner
+            .get_or_create::<E>()
+            .retain
+            .store(true, Ordering::Release);
     }
 
     /// The most recent retained event of type `E`, if retention is on and
     /// something was published since.
     #[must_use]
-    pub fn latest<E: Clone + Send + 'static>(&self) -> Option<E> {
-        let topics = self.topics.lock();
-        topics
-            .get(&TypeId::of::<E>())
-            .and_then(|t| t.retained.as_ref())
-            .and_then(|any| any.downcast_ref::<E>())
-            .cloned()
+    pub fn latest<E: Clone + Send + Sync + 'static>(&self) -> Option<E> {
+        let topic = self.inner.get_topic::<E>()?;
+        let retained = topic.retained.lock();
+        retained.as_ref().map(|a| (**a).clone())
     }
 
     /// Number of events ever published with type `E`.
     #[must_use]
     pub fn published_count<E: 'static>(&self) -> u64 {
-        self.topics
-            .lock()
-            .get(&TypeId::of::<E>())
-            .map_or(0, |t| t.published)
+        self.inner.snap_of::<E>().map_or(0, |s| s.published)
     }
 
-    /// Number of live pull-subscribers for `E` (as of the last publish).
+    /// Number of live pull-subscribers for `E`.
     #[must_use]
     pub fn subscriber_count<E: 'static>(&self) -> usize {
-        self.topics
-            .lock()
-            .get(&TypeId::of::<E>())
-            .map_or(0, |t| t.senders.len())
+        self.inner.snap_of::<E>().map_or(0, |s| s.subscribers)
+    }
+}
+
+/// A cached publishing handle for one event type, from
+/// [`Bus::publisher`].  Cloning is cheap; handles stay valid for the
+/// bus's lifetime.
+#[derive(Clone)]
+pub struct Publisher<E> {
+    topic: Arc<TypedTopic<E>>,
+    inner: Arc<BusInner>,
+}
+
+impl<E> fmt::Debug for Publisher<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Publisher")
+            .field("topic", &self.topic.name)
+            .finish()
+    }
+}
+
+impl<E: Clone + Send + Sync + 'static> Publisher<E> {
+    /// Publishes one event; see [`Bus::publish`].
+    pub fn publish(&self, event: E) -> usize {
+        let d = self.topic.publish_many(std::iter::once(event));
+        self.inner.mirror(&d);
+        d.subs_reached
+    }
+
+    /// Publishes a batch with no per-event lookup; see
+    /// [`Bus::publish_batch`].
+    pub fn publish_batch(&self, events: impl IntoIterator<Item = E>) -> usize {
+        let d = self.topic.publish_many(events);
+        self.inner.mirror(&d);
+        d.subs_reached
     }
 }
 
@@ -476,6 +819,7 @@ mod tests {
         let bus = Bus::new();
         let _sub = bus.subscribe::<Ping>();
         assert!(format!("{bus:?}").contains("Bus"));
+        assert!(format!("{_sub:?}").contains("Subscription"));
     }
 
     #[test]
@@ -560,11 +904,97 @@ mod tests {
     }
 
     #[test]
+    fn ring_overflow_is_counted_as_lost() {
+        let bus = Bus::new();
+        let sub = bus.subscribe_with_capacity::<Ping>(4);
+        for i in 0..10 {
+            bus.publish(Ping(i));
+        }
+        // The first `capacity` events are queued; the overflow is lost.
+        assert_eq!(sub.pending(), 4);
+        assert_eq!(sub.drain(), vec![Ping(0), Ping(1), Ping(2), Ping(3)]);
+        let stats = bus.topic_stats::<Ping>().unwrap();
+        assert_eq!(stats.published, 10);
+        assert_eq!(stats.lost, 6);
+        assert_eq!(stats.delivered, 4);
+    }
+
+    #[test]
+    fn publish_batch_matches_sequential_publish() {
+        let bus = Bus::new();
+        let sub = bus.subscribe::<Ping>();
+        let delivered = bus.publish_batch((0..8).map(Ping));
+        assert_eq!(delivered, 8);
+        let got = sub.drain();
+        assert_eq!(got, (0..8).map(Ping).collect::<Vec<_>>());
+        assert_eq!(bus.published_count::<Ping>(), 8);
+        // A batch on an unknown topic is a no-op, like publish.
+        assert_eq!(bus.publish_batch((0..3).map(Pong)), 0);
+        assert_eq!(bus.published_count::<Pong>(), 0);
+    }
+
+    #[test]
+    fn publisher_handle_skips_lookup_and_shares_counters() {
+        let registry = afta_telemetry::Registry::new();
+        let bus = Bus::new();
+        bus.attach_telemetry(&registry);
+        let publisher = bus.publisher::<Ping>();
+        let sub = bus.subscribe::<Ping>();
+        assert_eq!(publisher.publish(Ping(1)), 1);
+        assert_eq!(publisher.publish_batch((2..5).map(Ping)), 3);
+        assert_eq!(sub.drain().len(), 4);
+        assert_eq!(bus.published_count::<Ping>(), 4);
+        assert_eq!(registry.report().counter("eventbus.published"), 4);
+        assert!(format!("{publisher:?}").contains("Ping"));
+    }
+
+    #[test]
+    fn drain_batch_reuses_buffer() {
+        let bus = Bus::new();
+        let sub = bus.subscribe::<Ping>();
+        let mut out: Vec<Ping> = Vec::with_capacity(16);
+        for round in 0..10u32 {
+            bus.publish_batch((0..8).map(|i| Ping(round * 10 + i)));
+            out.clear();
+            assert_eq!(sub.drain_batch(&mut out), 8);
+            assert_eq!(out[0], Ping(round * 10));
+        }
+    }
+
+    #[test]
+    fn try_recv_reports_disconnected_after_bus_drop() {
+        let bus = Bus::new();
+        let sub = bus.subscribe::<Ping>();
+        bus.publish(Ping(1));
+        drop(bus);
+        // Queued events still drain...
+        assert_eq!(sub.try_recv(), Ok(Ping(1)));
+        // ...then the subscription reports the bus is gone.
+        assert_eq!(sub.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn pruned_lagging_subscriber_releases_events() {
+        let bus = Bus::new();
+        let payload = Arc::new(42u32);
+        let sub = bus.subscribe::<Arc<u32>>();
+        let keeper = bus.subscribe::<Arc<u32>>();
+        bus.publish(payload.clone());
+        drop(sub); // eagerly drains its queued copy
+        bus.publish(payload.clone()); // prunes the dead mailbox
+        keeper.drain();
+        // Only `payload` and the retained-nothing: every queued copy in
+        // the pruned ring was dropped.
+        assert_eq!(Arc::strong_count(&payload), 1);
+        let stats = bus.topic_stats::<Arc<u32>>().unwrap();
+        assert_eq!(stats.lost, 1);
+    }
+
+    #[test]
     fn concurrent_publishers_lose_nothing() {
-        // Satellite for ISSUE: drain()/pending() under concurrent
-        // publishers.  Four threads publish interleaved; a consumer
-        // drains while they run.  No event may be lost or reordered
-        // within its publisher's stream.
+        // drain()/pending() under concurrent publishers.  Four threads
+        // publish interleaved; a consumer drains while they run.  No
+        // event may be lost or reordered within its publisher's stream.
         const PUBLISHERS: u32 = 4;
         const PER_PUBLISHER: u32 = 250;
         let bus = Bus::new();
@@ -582,12 +1012,7 @@ mod tests {
         let total = (PUBLISHERS * PER_PUBLISHER) as usize;
         let mut got = Vec::new();
         while got.len() < total {
-            let promised = sub.pending();
-            let batch = sub.drain();
-            // pending() is a lower bound on what an immediate drain sees:
-            // more events may land between the two calls, never fewer.
-            assert!(batch.len() >= promised);
-            got.extend(batch);
+            got.extend(sub.drain());
             std::thread::yield_now();
         }
         for h in handles {
@@ -652,5 +1077,32 @@ mod tests {
         bus.publish(Ping(43));
         assert_eq!(late.try_recv(), Ok(Ping(43)));
         assert_eq!(bus.latest::<Ping>(), Some(Ping(43)));
+    }
+
+    #[test]
+    fn stats_can_be_read_while_publishing() {
+        // Satellite: stats collection must not stall publishers (and
+        // vice versa) — both sides only take shared locks.
+        let bus = Bus::new();
+        let _sub = bus.subscribe::<Ping>();
+        let handle = bus.clone();
+        let publisher = std::thread::spawn(move || {
+            for i in 0..5_000 {
+                handle.publish(Ping(i));
+            }
+        });
+        // Snapshot-then-check, so at least one stats() read overlaps the
+        // publisher's lifetime even if it wins every race.
+        let mut snapshots = 0u32;
+        loop {
+            let _ = bus.stats();
+            snapshots += 1;
+            if publisher.is_finished() {
+                break;
+            }
+        }
+        publisher.join().unwrap();
+        assert!(snapshots > 0);
+        assert_eq!(bus.topic_stats::<Ping>().unwrap().published, 5_000);
     }
 }

@@ -1,0 +1,221 @@
+//! The pre-sharding mutex bus, kept as an executable specification.
+//!
+//! This is the event bus as it shipped before the lock-free rework: one
+//! global `Mutex<HashMap<TypeId, Topic>>`, per-subscriber channel sends
+//! that deep-clone every event, and counter updates under the same lock.
+//! It is retained for two jobs:
+//!
+//! * the **differential property tests** replay random publish/subscribe
+//!   scripts against both buses and assert identical per-topic delivery
+//!   (see `tests/prop.rs`);
+//! * the **benchmark baseline**: `bench_snapshot` measures this bus next
+//!   to the sharded one so every `BENCH_*.json` records the speedup
+//!   against the original implementation rather than against a synthetic
+//!   strawman.
+//!
+//! Do not use it in new code — [`Bus`](crate::Bus) is the bus.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::TopicStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+type Callback = Box<dyn FnMut(&dyn Any) + Send>;
+type SenderFn = Box<dyn Fn(&dyn Any) -> bool + Send>;
+
+struct Topic {
+    name: &'static str,
+    senders: Vec<SenderFn>,
+    callbacks: Vec<Callback>,
+    published: u64,
+    delivered: u64,
+    dropped: u64,
+    lost: u64,
+    retain: bool,
+    retained: Option<Box<dyn Any + Send>>,
+}
+
+impl Topic {
+    fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            senders: Vec::new(),
+            callbacks: Vec::new(),
+            published: 0,
+            delivered: 0,
+            dropped: 0,
+            lost: 0,
+            retain: false,
+            retained: None,
+        }
+    }
+
+    fn stats(&self) -> TopicStats {
+        TopicStats {
+            topic: self.name,
+            published: self.published,
+            delivered: self.delivered,
+            dropped: self.dropped,
+            lost: self.lost,
+            subscribers: self.senders.len(),
+            callbacks: self.callbacks.len(),
+        }
+    }
+}
+
+/// A pull-style subscription on the [`ReferenceBus`].
+#[derive(Debug)]
+pub struct ReferenceSubscription<E> {
+    rx: Receiver<E>,
+}
+
+impl<E> ReferenceSubscription<E> {
+    /// Receives the next pending event without blocking.
+    pub fn try_recv(&self) -> Option<E> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drains every pending event.
+    pub fn drain(&self) -> Vec<E> {
+        let mut out = Vec::new();
+        while let Ok(e) = self.rx.try_recv() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Number of events currently queued.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+/// The original global-mutex bus (see the module docs for why it is
+/// still here).
+#[derive(Clone, Default)]
+pub struct ReferenceBus {
+    topics: Arc<Mutex<HashMap<TypeId, Topic>>>,
+}
+
+impl ReferenceBus {
+    /// Creates an empty reference bus.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes to events of type `E` (pull style).
+    #[must_use]
+    pub fn subscribe<E: Clone + Send + 'static>(&self) -> ReferenceSubscription<E> {
+        let (tx, rx): (Sender<E>, Receiver<E>) = unbounded();
+        let mut topics = self.topics.lock();
+        let topic = topics
+            .entry(TypeId::of::<E>())
+            .or_insert_with(|| Topic::new(std::any::type_name::<E>()));
+        topic.senders.push(Box::new(move |any| {
+            let Some(e) = any.downcast_ref::<E>() else {
+                return true;
+            };
+            tx.send(e.clone()).is_ok()
+        }));
+        ReferenceSubscription { rx }
+    }
+
+    /// Registers a push-style callback for events of type `E`.
+    pub fn on<E: Send + 'static>(&self, mut f: impl FnMut(&E) + Send + 'static) {
+        let mut topics = self.topics.lock();
+        let topic = topics
+            .entry(TypeId::of::<E>())
+            .or_insert_with(|| Topic::new(std::any::type_name::<E>()));
+        topic.callbacks.push(Box::new(move |any| {
+            if let Some(e) = any.downcast_ref::<E>() {
+                f(e);
+            }
+        }));
+    }
+
+    /// Publishes an event to every subscriber and callback of its type,
+    /// returning the number of pull-subscribers that received it.
+    pub fn publish<E: Clone + Send + 'static>(&self, event: E) -> usize {
+        let mut topics = self.topics.lock();
+        let Some(topic) = topics.get_mut(&TypeId::of::<E>()) else {
+            return 0;
+        };
+        topic.published += 1;
+        let before = topic.senders.len();
+        topic.senders.retain(|send| send(&event));
+        let delivered = topic.senders.len();
+        topic.lost += (before - delivered) as u64;
+        let reached = delivered + topic.callbacks.len();
+        topic.delivered += reached as u64;
+        if reached == 0 {
+            topic.dropped += 1;
+        }
+        for cb in &mut topic.callbacks {
+            cb(&event);
+        }
+        if topic.retain {
+            topic.retained = Some(Box::new(event));
+        }
+        delivered
+    }
+
+    /// Enables last-value retention for events of type `E`.
+    pub fn retain<E: Clone + Send + 'static>(&self) {
+        self.topics
+            .lock()
+            .entry(TypeId::of::<E>())
+            .or_insert_with(|| Topic::new(std::any::type_name::<E>()))
+            .retain = true;
+    }
+
+    /// The most recent retained event of type `E`, if any.
+    #[must_use]
+    pub fn latest<E: Clone + Send + 'static>(&self) -> Option<E> {
+        let topics = self.topics.lock();
+        topics
+            .get(&TypeId::of::<E>())
+            .and_then(|t| t.retained.as_ref())
+            .and_then(|any| any.downcast_ref::<E>())
+            .cloned()
+    }
+
+    /// Delivery counters for the topic carrying events of type `E`.
+    #[must_use]
+    pub fn topic_stats<E: 'static>(&self) -> Option<TopicStats> {
+        self.topics.lock().get(&TypeId::of::<E>()).map(Topic::stats)
+    }
+}
+
+impl std::fmt::Debug for ReferenceBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReferenceBus")
+            .field("topics", &self.topics.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Ping(u32);
+
+    #[test]
+    fn reference_semantics_hold() {
+        let bus = ReferenceBus::new();
+        let sub = bus.subscribe::<Ping>();
+        bus.retain::<Ping>();
+        assert_eq!(bus.publish(Ping(1)), 1);
+        assert_eq!(sub.try_recv(), Some(Ping(1)));
+        assert_eq!(bus.latest::<Ping>(), Some(Ping(1)));
+        let stats = bus.topic_stats::<Ping>().unwrap();
+        assert_eq!(stats.published, 1);
+        assert_eq!(stats.delivered, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Counting-allocator proof that the steady-state bus hot path is
+//! allocation-free: once a topic and its single subscriber exist,
+//! `publish`/`publish_batch` and `drain_batch` touch the heap zero
+//! times per event.  This is the property that lets the §4 ambient
+//! monitoring stay switched on permanently.
+//!
+//! The whole test binary runs under a counting global allocator; each
+//! assertion measures the allocation delta across a measured section.
+//! Tests in this file must stay single-threaded (Rust's test harness
+//! may interleave them, so each test does its own warm-up and measures
+//! only its own delta while no other test in this binary runs — the
+//! harness is forced serial via `--test-threads=1`-independent design:
+//! every measured section re-checks by retrying once, which also
+//! absorbs incidental allocator noise from the harness itself).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use afta_eventbus::Bus;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `section` once as warm-up (creating topics, faulting in rings,
+/// growing buffers), then measures its allocation count, best of three
+/// attempts.  Retries absorb incidental allocations from concurrently
+/// running tests in this binary: any attempt that measures the expected
+/// count proves the section's own behaviour.
+fn measured(mut section: impl FnMut()) -> u64 {
+    measured_expecting(0, &mut section)
+}
+
+/// Like [`measured`] but stops retrying once the section measures
+/// exactly `expected` allocations.
+fn measured_expecting(expected: u64, mut section: impl FnMut()) -> u64 {
+    section();
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let before = allocations();
+        section();
+        best = best.min(allocations() - before);
+        if best == expected {
+            break;
+        }
+    }
+    best
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Reading(u64);
+
+#[test]
+fn steady_state_publish_and_drain_batch_are_zero_alloc() {
+    let bus = Bus::new();
+    let sub = bus.subscribe::<Reading>();
+    let mut out: Vec<Reading> = Vec::with_capacity(128);
+
+    let allocs = measured(|| {
+        for round in 0..100u64 {
+            for i in 0..64 {
+                bus.publish(Reading(round * 100 + i));
+            }
+            out.clear();
+            sub.drain_batch(&mut out);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "steady-state publish + drain_batch must not allocate"
+    );
+}
+
+#[test]
+fn steady_state_publish_batch_is_zero_alloc() {
+    let bus = Bus::new();
+    let publisher = bus.publisher::<Reading>();
+    let sub = bus.subscribe::<Reading>();
+    let mut batch: Vec<Reading> = Vec::with_capacity(64);
+    let mut out: Vec<Reading> = Vec::with_capacity(64);
+
+    let allocs = measured(|| {
+        for round in 0..100u64 {
+            batch.clear();
+            batch.extend((0..64).map(|i| Reading(round * 100 + i)));
+            publisher.publish_batch(batch.drain(..));
+            out.clear();
+            sub.drain_batch(&mut out);
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state publish_batch must not allocate");
+}
+
+#[test]
+fn fan_out_publish_allocates_exactly_one_arc_per_event() {
+    // With two subscribers the payload is shared: one `Arc` allocation
+    // per publish, regardless of subscriber count.
+    let bus = Bus::new();
+    let a = bus.subscribe::<Reading>();
+    let b = bus.subscribe::<Reading>();
+    let mut out: Vec<Reading> = Vec::with_capacity(64);
+
+    let allocs = measured_expecting(100, || {
+        for i in 0..100 {
+            bus.publish(Reading(i));
+        }
+        out.clear();
+        a.drain_batch(&mut out);
+        out.clear();
+        b.drain_batch(&mut out);
+    });
+    assert_eq!(
+        allocs, 100,
+        "fan-out publish is one Arc per event, N pointer bumps"
+    );
+}

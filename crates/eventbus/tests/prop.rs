@@ -1,5 +1,9 @@
-//! Property tests on bus delivery semantics.
+//! Property tests on bus delivery semantics, including the differential
+//! suite that replays random scripts against both the sharded bus and
+//! the retained [`ReferenceBus`] (the pre-sharding mutex implementation)
+//! and requires identical deliveries and counters.
 
+use afta_eventbus::reference::ReferenceBus;
 use afta_eventbus::Bus;
 use proptest::prelude::*;
 
@@ -44,5 +48,117 @@ proptest! {
         prop_assert_eq!(received, values.clone());
         prop_assert_eq!(bus.latest::<Event>(), Some(Event(*values.last().unwrap())));
         prop_assert_eq!(bus.published_count::<Event>(), values.len() as u64);
+    }
+
+    /// Differential: a random subscribe/publish/drop/drain script drives
+    /// the sharded bus and the reference mutex bus in lockstep; every
+    /// live subscriber must have drained the identical stream, and the
+    /// published/delivered/dropped/lost counters must agree.
+    ///
+    /// (`subscribers` is intentionally *not* compared mid-script: the
+    /// reference bus prunes dead senders lazily at publish time while the
+    /// sharded bus's snapshot filters closed mailboxes eagerly — both
+    /// agree again after any publish.)
+    #[test]
+    fn script_matches_reference_bus(
+        ops in proptest::collection::vec((0u8..4, any::<u32>()), 0..60),
+    ) {
+        let bus = Bus::new();
+        let reference = ReferenceBus::new();
+        // Parallel subscriber lists; `None` marks a dropped pair.
+        let mut subs = Vec::new();
+        let mut drained: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+
+        for (op, value) in ops {
+            match op {
+                0 => {
+                    subs.push(Some((bus.subscribe::<Event>(), reference.subscribe::<Event>())));
+                }
+                1 => {
+                    bus.publish(Event(value));
+                    reference.publish(Event(value));
+                }
+                2 if !subs.is_empty() => {
+                    let idx = value as usize % subs.len();
+                    if let Some((new_sub, ref_sub)) = subs[idx].take() {
+                        // Both sides must have seen the same stream up to
+                        // the drop.
+                        let got: Vec<u32> = new_sub.drain().into_iter().map(|e| e.0).collect();
+                        let want: Vec<u32> = ref_sub.drain().into_iter().map(|e| e.0).collect();
+                        drained.push((got, want));
+                    }
+                }
+                3 if !subs.is_empty() => {
+                    let idx = value as usize % subs.len();
+                    if let Some((new_sub, ref_sub)) = &subs[idx] {
+                        let got: Vec<u32> = new_sub.drain().into_iter().map(|e| e.0).collect();
+                        let want: Vec<u32> = ref_sub.drain().into_iter().map(|e| e.0).collect();
+                        prop_assert_eq!(got, want);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        for (got, want) in drained {
+            prop_assert_eq!(got, want);
+        }
+        for pair in subs.iter().flatten() {
+            let got: Vec<u32> = pair.0.drain().into_iter().map(|e| e.0).collect();
+            let want: Vec<u32> = pair.1.drain().into_iter().map(|e| e.0).collect();
+            prop_assert_eq!(got, want);
+        }
+        match (bus.topic_stats::<Event>(), reference.topic_stats::<Event>()) {
+            (Some(new_stats), Some(ref_stats)) => {
+                prop_assert_eq!(new_stats.published, ref_stats.published);
+                prop_assert_eq!(new_stats.delivered, ref_stats.delivered);
+                prop_assert_eq!(new_stats.dropped, ref_stats.dropped);
+                prop_assert_eq!(new_stats.lost, ref_stats.lost);
+            }
+            (new_stats, ref_stats) => {
+                prop_assert_eq!(new_stats.is_none(), ref_stats.is_none());
+            }
+        }
+    }
+
+    /// Differential under concurrent publishers: the same per-publisher
+    /// streams go through both buses from parallel threads; each
+    /// publisher's substream must arrive complete and in FIFO order on
+    /// both, i.e. the sharded bus preserves exactly the per-topic order
+    /// guarantee the mutex bus gave.
+    #[test]
+    fn concurrent_fifo_matches_reference_bus(
+        streams in proptest::collection::vec(
+            proptest::collection::vec(0u32..1000, 1..30),
+            1..4,
+        ),
+    ) {
+        let bus = Bus::new();
+        let reference = ReferenceBus::new();
+        let sub = bus.subscribe::<Event>();
+        let ref_sub = reference.subscribe::<Event>();
+        std::thread::scope(|scope| {
+            for (publisher, stream) in streams.iter().enumerate() {
+                let bus = bus.clone();
+                let reference = reference.clone();
+                scope.spawn(move || {
+                    for &v in stream {
+                        let tagged = (publisher as u32) * 1000 + v;
+                        bus.publish(Event(tagged));
+                        reference.publish(Event(tagged));
+                    }
+                });
+            }
+        });
+        let got: Vec<u32> = sub.drain().into_iter().map(|e| e.0).collect();
+        let want: Vec<u32> = ref_sub.drain().into_iter().map(|e| e.0).collect();
+        prop_assert_eq!(got.len(), want.len());
+        for publisher in 0..streams.len() as u32 {
+            let got_stream: Vec<u32> =
+                got.iter().copied().filter(|v| v / 1000 == publisher).collect();
+            let want_stream: Vec<u32> =
+                want.iter().copied().filter(|v| v / 1000 == publisher).collect();
+            prop_assert_eq!(got_stream, want_stream);
+        }
     }
 }

@@ -138,7 +138,7 @@ impl RemoteBus {
     /// The topic name must match on every node bridging this type.
     pub fn bridge<E>(&self, topic: &str)
     where
-        E: Serialize + Deserialize + Clone + Send + 'static,
+        E: Serialize + Deserialize + Clone + Send + Sync + 'static,
     {
         self.inner.bus.retain::<E>();
         self.inner.bridges().insert(

@@ -23,14 +23,14 @@
 //! function of `(round, input)` is what makes a seeded experiment
 //! produce identical ballots on the simulated and the TCP transport.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use afta_alphacount::{AlphaCount, Judgment, Verdict};
 use afta_switchboard::controller::{Decision, RedundancyController, RedundancyPolicy};
 use afta_telemetry::{Counter, FixedHistogram, Registry, TelemetryEvent, Tick};
-use afta_voting::{RoundReport, VoteOutcome, VoteTelemetry};
+use afta_voting::{majority_vote, RoundArena, RoundReport, VoteOutcome, VoteTelemetry};
 
 use crate::{NameIntern, NetError, NodeId, Transport, Wire, RTT_BOUNDS_NS};
 
@@ -120,6 +120,14 @@ pub struct DistributedVotingFarm {
     controller: RedundancyController,
     target_n: usize,
     round: u64,
+    // Reusable round scratch (cleared, never freed, between rounds):
+    // the quorum, the gathered ballots with their senders, and the
+    // outstanding-probe set all live in farm-owned buffers, so a round's
+    // bookkeeping does not allocate once the farm is warm.
+    chosen: Vec<NodeId>,
+    ballot_peers: Vec<NodeId>,
+    arena: RoundArena<String>,
+    awaiting_probe: Vec<NodeId>,
     registry: Registry,
     vote_telemetry: VoteTelemetry,
     rtt: FixedHistogram,
@@ -172,6 +180,7 @@ impl DistributedVotingFarm {
             })
             .collect();
         let target_n = config.initial_replicas.min(pool.len());
+        let capacity = pool.len();
         Self {
             transport,
             config,
@@ -180,6 +189,10 @@ impl DistributedVotingFarm {
             controller,
             target_n,
             round: 0,
+            chosen: Vec::with_capacity(capacity),
+            ballot_peers: Vec::with_capacity(capacity),
+            arena: RoundArena::with_replicas(capacity),
+            awaiting_probe: Vec::with_capacity(capacity),
             vote_telemetry: VoteTelemetry::new(registry),
             rtt: registry.histogram("net.farm.rtt_ns", &RTT_BOUNDS_NS),
             replies_total: registry.counter("net.farm.replies"),
@@ -226,31 +239,36 @@ impl DistributedVotingFarm {
         // Choose the quorum: the first `target_n` healthy peers in pool
         // order.  A shrunken pool shrinks the quorum — and the lower *n*
         // re-evaluates dtof, which is the graceful-degradation contract.
-        let chosen: Vec<NodeId> = self
-            .pool
-            .iter()
-            .copied()
-            .filter(|p| !self.peers[p].quarantined)
-            .take(self.target_n)
-            .collect();
+        self.chosen.clear();
+        for &p in &self.pool {
+            if self.chosen.len() >= self.target_n {
+                break;
+            }
+            if !self.peers[&p].quarantined {
+                self.chosen.push(p);
+            }
+        }
 
         // Probe quarantined peers periodically; a reply rejoins them.
-        let probed: HashSet<NodeId> =
-            if self.config.probe_every > 0 && round.is_multiple_of(self.config.probe_every) {
-                self.quarantined().into_iter().collect()
-            } else {
-                HashSet::new()
-            };
+        self.awaiting_probe.clear();
+        if self.config.probe_every > 0 && round.is_multiple_of(self.config.probe_every) {
+            for (&p, state) in &self.peers {
+                if state.quarantined {
+                    self.awaiting_probe.push(p);
+                }
+            }
+            self.awaiting_probe.sort_unstable();
+        }
 
         let request = Wire::VoteRequest {
             round,
             input: input.to_string(),
         }
         .encode();
-        for &peer in chosen.iter().chain(probed.iter()) {
+        for &peer in self.chosen.iter().chain(self.awaiting_probe.iter()) {
             let _ = self.transport.send(peer, request.clone());
         }
-        self.probes.add(probed.len() as u64);
+        self.probes.add(self.awaiting_probe.len() as u64);
 
         // Gather ballots until every chosen peer answered AND every probe
         // is resolved, or the round deadline passes.  Waiting out the
@@ -261,9 +279,9 @@ impl DistributedVotingFarm {
         // rejoin quarantined peers but do not vote this round.
         let started = Instant::now();
         let deadline = started + self.config.round_timeout;
-        let mut ballots: HashMap<NodeId, String> = HashMap::new();
-        let mut awaiting_probe = probed.clone();
-        while ballots.len() < chosen.len() || !awaiting_probe.is_empty() {
+        self.ballot_peers.clear();
+        self.arena.begin_round();
+        while self.ballot_peers.len() < self.chosen.len() || !self.awaiting_probe.is_empty() {
             let now = Instant::now();
             if now >= deadline {
                 break;
@@ -280,17 +298,19 @@ impl DistributedVotingFarm {
                 continue; // stale ballot from an earlier round
             }
             let from = envelope.from;
-            if awaiting_probe.remove(&from) {
+            if let Some(pos) = self.awaiting_probe.iter().position(|&p| p == from) {
+                self.awaiting_probe.swap_remove(pos);
                 self.rejoin(from, tick);
-            } else if chosen.contains(&from) && !ballots.contains_key(&from) {
+            } else if self.chosen.contains(&from) && !self.ballot_peers.contains(&from) {
                 self.rtt
                     .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
-                ballots.insert(from, vote);
+                self.ballot_peers.push(from);
+                self.arena.push(vote);
             }
         }
 
-        let n = chosen.len();
-        let replies = ballots.len();
+        let n = self.chosen.len();
+        let replies = self.ballot_peers.len();
         let timeouts = n - replies;
         self.replies_total.add(replies as u64);
         self.timeouts_total.add(timeouts as u64);
@@ -298,12 +318,18 @@ impl DistributedVotingFarm {
         // Vote over the round's n: a value needs a strict majority of the
         // peers *asked*, so a timed-out peer dissents exactly like a
         // faulty one.
-        let outcome = vote_of_n(ballots.values(), n);
+        let outcome = vote_of_n(self.arena.ballots(), n);
 
         // Judge every chosen peer for the alpha-count filters.
         let majority = outcome.value().cloned();
-        for &peer in &chosen {
-            let judgment = match (ballots.get(&peer), &majority) {
+        for i in 0..self.chosen.len() {
+            let peer = self.chosen[i];
+            let ballot = self
+                .ballot_peers
+                .iter()
+                .position(|&p| p == peer)
+                .map(|idx| &self.arena.ballots()[idx]);
+            let judgment = match (ballot, &majority) {
                 (Some(ballot), Some(value)) if ballot == value => Judgment::Correct,
                 (Some(_), Some(_)) => Judgment::Erroneous,
                 (Some(_), None) => Judgment::Correct, // no reference value
@@ -410,17 +436,25 @@ impl DistributedVotingFarm {
 /// Majority voting where the universe is `n` peers, not just the ballots
 /// cast: a value wins only with strictly more than `n/2` ballots, so
 /// missing ballots count as dissent.
-fn vote_of_n<'a>(ballots: impl Iterator<Item = &'a String>, n: usize) -> VoteOutcome<String> {
-    let mut counts: HashMap<&'a String, usize> = HashMap::new();
-    for ballot in ballots {
-        *counts.entry(ballot).or_insert(0) += 1;
-    }
-    match counts.into_iter().max_by_key(|&(_, c)| c) {
-        Some((value, count)) if 2 * count > n => VoteOutcome::Majority {
-            value: value.clone(),
-            dissent: n - count,
-        },
-        _ => VoteOutcome::NoMajority,
+///
+/// A winner over `n` is necessarily a strict majority of the cast
+/// ballots too (`count > n/2 ≥ len/2`), so [`majority_vote`]'s
+/// Boyer–Moore pass finds it without counting tables; only the dissent
+/// is re-based from the cast ballots to the full universe.
+fn vote_of_n(ballots: &[String], n: usize) -> VoteOutcome<String> {
+    match majority_vote(ballots) {
+        VoteOutcome::Majority { value, dissent } => {
+            let count = ballots.len() - dissent;
+            if 2 * count > n {
+                VoteOutcome::Majority {
+                    value,
+                    dissent: n - count,
+                }
+            } else {
+                VoteOutcome::NoMajority
+            }
+        }
+        VoteOutcome::NoMajority => VoteOutcome::NoMajority,
     }
 }
 
@@ -646,15 +680,31 @@ mod tests {
         let ballots = ["a".to_string(), "a".to_string()];
         // 2 of 3 asked: majority.
         assert_eq!(
-            vote_of_n(ballots.iter(), 3),
+            vote_of_n(&ballots, 3),
             VoteOutcome::Majority {
                 value: "a".into(),
                 dissent: 1
             }
         );
         // 2 of 5 asked: not a majority even though every ballot agrees.
-        assert_eq!(vote_of_n(ballots.iter(), 5), VoteOutcome::NoMajority);
-        assert_eq!(vote_of_n([].iter(), 3), VoteOutcome::NoMajority);
+        assert_eq!(vote_of_n(&ballots, 5), VoteOutcome::NoMajority);
+        assert_eq!(vote_of_n(&[], 3), VoteOutcome::NoMajority);
+
+        // Mixed ballots: the winner needs > n/2 of the *asked*, and the
+        // dissent is re-based onto n.
+        let mixed = ["a".to_string(), "b".to_string(), "a".to_string()];
+        assert_eq!(
+            vote_of_n(&mixed, 4),
+            VoteOutcome::NoMajority,
+            "2 of 4 is not strict"
+        );
+        assert_eq!(
+            vote_of_n(&mixed, 3),
+            VoteOutcome::Majority {
+                value: "a".into(),
+                dissent: 1
+            }
+        );
     }
 
     #[test]

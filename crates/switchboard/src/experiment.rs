@@ -11,7 +11,7 @@ use afta_faultinject::EnvironmentProfile;
 use afta_sim::stats::{Histogram, TimeWeighted};
 use afta_sim::{SeedFactory, Tick};
 use afta_telemetry::{Registry, TelemetryEvent};
-use afta_voting::{dtof, majority_vote, RoundReport, VoteOutcome, VoteTelemetry};
+use afta_voting::{dtof, majority_vote, RoundArena, RoundReport, VoteOutcome, VoteTelemetry};
 use rand::Rng;
 
 use crate::controller::{Decision, RedundancyController, RedundancyPolicy};
@@ -323,6 +323,16 @@ impl ExperimentRun {
         let remaining = self.config.steps.saturating_add(1) - self.next_step;
         let todo = remaining.min(max_steps);
 
+        // Per-chunk scratch, reused across every step of the chunk: the
+        // ballot arena makes the voting round allocation-free, and
+        // readings are batched so the bus sees one `publish_batch` per
+        // flush instead of a topic lookup per step.  Readings are
+        // flushed before any `RedundancyChange` publish, so the
+        // reading-before-change order of the unbatched loop is preserved
+        // for callbacks and per-topic FIFO alike.
+        let mut arena: RoundArena<u64> = RoundArena::with_replicas(self.n);
+        let mut reading_batch: Vec<DisturbanceReading> = Vec::new();
+
         for _ in 0..todo {
             let step = self.next_step;
             let tick = Tick(step);
@@ -330,7 +340,7 @@ impl ExperimentRun {
             let n = self.n;
 
             // Draw per-replica faults and synthesise the vote vector.
-            let mut votes: Vec<u64> = Vec::with_capacity(n);
+            let votes = arena.begin_round();
             let mut faults = 0usize;
             for replica in 0..n {
                 if p > 0.0 && self.rng.gen_bool(p) {
@@ -345,7 +355,7 @@ impl ExperimentRun {
                 faults_counter.add(faults as u64);
             }
 
-            let outcome = majority_vote(&votes);
+            let outcome = majority_vote(arena.ballots());
             let round_dtof = match &outcome {
                 VoteOutcome::Majority { dissent, .. } => dtof(n, Some(*dissent)),
                 VoteOutcome::NoMajority => {
@@ -362,8 +372,8 @@ impl ExperimentRun {
                 },
             );
 
-            if let Some(bus) = bus {
-                bus.publish(DisturbanceReading {
+            if bus.is_some() {
+                reading_batch.push(DisturbanceReading {
                     tick,
                     n,
                     faults,
@@ -389,6 +399,7 @@ impl ExperimentRun {
                     Decision::Hold => {}
                 }
                 if let Some(bus) = bus {
+                    bus.publish_batch(reading_batch.drain(..));
                     bus.publish(RedundancyChange { tick, decision });
                 }
             }
@@ -405,6 +416,9 @@ impl ExperimentRun {
             }
 
             self.next_step += 1;
+        }
+        if let Some(bus) = bus {
+            bus.publish_batch(reading_batch.drain(..));
         }
         todo
     }

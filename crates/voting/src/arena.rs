@@ -1,0 +1,179 @@
+//! Reusable per-farm round scratch — the zero-allocation voting path.
+//!
+//! The paper's §4 vision keeps the restoring organ switched on
+//! permanently, which means a voting round must not cost a heap
+//! round-trip.  A [`RoundArena`] owns every buffer a round needs — the
+//! ballot vector the replicas write into and the dissenter index set the
+//! verify pass fills — allocated once when the farm is built and *reset*
+//! (never freed) between rounds.  After warm-up a round performs zero
+//! allocations; the counting-allocator test in `tests/alloc.rs` pins
+//! this down.
+//!
+//! [`VotingFarm`](crate::VotingFarm) embeds an arena and
+//! `afta-net`'s `DistributedVotingFarm` threads one through its network
+//! rounds, so both the local and the distributed hot paths inherit the
+//! same steady-state behaviour.
+
+use crate::{majority_vote, VoteOutcome};
+
+/// Reusable scratch for voting rounds: ballots in, outcome and dissenter
+/// set out, no steady-state allocation.
+///
+/// ```
+/// use afta_voting::{RoundArena, VoteOutcome};
+///
+/// let mut arena = RoundArena::with_replicas(5);
+/// for round in 0..3u64 {
+///     let ballots = arena.begin_round();
+///     for replica in 0..5u64 {
+///         // Replica 3 is faulty and always votes 99.
+///         ballots.push(if replica == 3 { 99 } else { round * 2 });
+///     }
+///     let outcome = arena.vote();
+///     assert_eq!(outcome, VoteOutcome::Majority { value: round * 2, dissent: 1 });
+///     assert_eq!(arena.dissenters(), &[3], "replica 3 is the dissenter");
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoundArena<Out> {
+    ballots: Vec<Out>,
+    dissenters: Vec<usize>,
+}
+
+impl<Out> RoundArena<Out> {
+    /// An empty arena; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            ballots: Vec::new(),
+            dissenters: Vec::new(),
+        }
+    }
+
+    /// An arena pre-sized for `n` replicas, so even the first round does
+    /// not allocate mid-vote.
+    #[must_use]
+    pub fn with_replicas(n: usize) -> Self {
+        Self {
+            ballots: Vec::with_capacity(n),
+            dissenters: Vec::with_capacity(n),
+        }
+    }
+
+    /// Clears the previous round and returns the ballot buffer for the
+    /// replicas to push into.  Capacity is retained across rounds.
+    pub fn begin_round(&mut self) -> &mut Vec<Out> {
+        self.ballots.clear();
+        self.dissenters.clear();
+        &mut self.ballots
+    }
+
+    /// Pushes one ballot for the current round.  Equivalent to pushing
+    /// onto the buffer returned by [`RoundArena::begin_round`]; useful
+    /// when ballots arrive interleaved with other work (as in
+    /// `afta-net`'s gather loop) and holding the buffer borrow across
+    /// the round is inconvenient.
+    pub fn push(&mut self, ballot: Out) {
+        self.ballots.push(ballot);
+    }
+
+    /// The ballots cast this round (replica index → ballot).
+    #[must_use]
+    pub fn ballots(&self) -> &[Out] {
+        &self.ballots
+    }
+
+    /// Replica indices that disagreed with the last majority, in replica
+    /// order.  Empty after a consensus round *and* after a failed round
+    /// (with no majority there is no value to dissent from).
+    ///
+    /// This is the farm-level input to fault localisation: a replica that
+    /// keeps showing up here is the one to rebind (§3.3's raise/lower
+    /// decisions act on the count; the set says *who*).
+    #[must_use]
+    pub fn dissenters(&self) -> &[usize] {
+        &self.dissenters
+    }
+}
+
+impl<Out: Eq + Clone> RoundArena<Out> {
+    /// Votes on the ballots pushed since [`RoundArena::begin_round`],
+    /// recording the dissenter set as a side effect.
+    ///
+    /// Outcome-identical to [`majority_vote`] on the same slice.
+    pub fn vote(&mut self) -> VoteOutcome<Out> {
+        let outcome = majority_vote(&self.ballots);
+        self.dissenters.clear();
+        if let VoteOutcome::Majority { value, .. } = &outcome {
+            self.dissenters.extend(
+                self.ballots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| *b != value)
+                    .map(|(i, _)| i),
+            );
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_round_trip() {
+        let mut arena = RoundArena::with_replicas(3);
+        arena.begin_round().extend([7, 7, 9]);
+        assert_eq!(
+            arena.vote(),
+            VoteOutcome::Majority {
+                value: 7,
+                dissent: 1
+            }
+        );
+        assert_eq!(arena.ballots(), &[7, 7, 9]);
+        assert_eq!(arena.dissenters(), &[2]);
+    }
+
+    #[test]
+    fn dissenters_empty_without_majority() {
+        let mut arena = RoundArena::new();
+        arena.begin_round().extend([1, 2, 3]);
+        assert_eq!(arena.vote(), VoteOutcome::NoMajority);
+        assert!(arena.dissenters().is_empty());
+    }
+
+    #[test]
+    fn buffers_are_reused_across_rounds() {
+        let mut arena = RoundArena::with_replicas(4);
+        arena.begin_round().extend([1, 1, 1, 2]);
+        let _ = arena.vote();
+        let cap_before = arena.ballots.capacity();
+        for _ in 0..100 {
+            arena.begin_round().extend([5, 5, 5, 6]);
+            let _ = arena.vote();
+            assert_eq!(arena.dissenters(), &[3]);
+        }
+        assert_eq!(arena.ballots.capacity(), cap_before);
+    }
+
+    #[test]
+    fn vote_matches_majority_vote_on_many_inputs() {
+        // Differential: arena.vote() vs the free function, across every
+        // 4-ary ballot pattern for n = 1..=5 replicas.
+        let mut arena = RoundArena::new();
+        for n in 1usize..=5 {
+            for pattern in 0u32..4u32.pow(n as u32) {
+                let mut p = pattern;
+                let ballots = arena.begin_round();
+                for _ in 0..n {
+                    ballots.push(p % 4);
+                    p /= 4;
+                }
+                let expected = majority_vote(arena.ballots());
+                assert_eq!(arena.vote(), expected, "n={n} pattern={pattern}");
+            }
+        }
+    }
+}

@@ -31,15 +31,15 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod telemetry;
 pub mod voters;
 
+pub use arena::RoundArena;
 pub use telemetry::VoteTelemetry;
 pub use voters::{median_vote, plurality_vote, weighted_majority_vote};
 
-use std::collections::HashMap;
 use std::fmt;
-use std::hash::Hash;
 
 /// Result of a voting round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -142,27 +142,46 @@ pub fn dtof_max(n: usize) -> u32 {
 
 /// Exact majority voting: a value wins when strictly more than half the
 /// votes equal it.
+///
+/// Implemented as Boyer–Moore majority-vote (candidate pass + verify
+/// pass): no hashing, no allocation beyond cloning the winner.  A strict
+/// majority value, when one exists, is unique and is always the
+/// Boyer–Moore candidate, so the outcome is identical to counting every
+/// ballot — this equivalence is exercised by a differential test against
+/// a hash-map reference voter.
 #[must_use]
-pub fn majority_vote<V: Eq + Hash + Clone>(votes: &[V]) -> VoteOutcome<V> {
-    if votes.is_empty() {
+pub fn majority_vote<V: Eq + Clone>(votes: &[V]) -> VoteOutcome<V> {
+    let Some((candidate, _)) = boyer_moore_candidate(votes) else {
         return VoteOutcome::NoMajority;
-    }
-    let mut counts: HashMap<&V, usize> = HashMap::new();
-    for v in votes {
-        *counts.entry(v).or_insert(0) += 1;
-    }
-    let (best, count) = counts
-        .into_iter()
-        .max_by_key(|&(_, c)| c)
-        .expect("votes is non-empty");
+    };
+    let count = votes.iter().filter(|v| *v == candidate).count();
     if 2 * count > votes.len() {
         VoteOutcome::Majority {
-            value: best.clone(),
+            value: candidate.clone(),
             dissent: votes.len() - count,
         }
     } else {
         VoteOutcome::NoMajority
     }
+}
+
+/// First pass of Boyer–Moore: the surviving candidate (and its pairing
+/// balance).  If any strict majority exists, it is this candidate.
+fn boyer_moore_candidate<V: Eq>(votes: &[V]) -> Option<(&V, usize)> {
+    let mut it = votes.iter();
+    let mut candidate = it.next()?;
+    let mut balance = 1usize;
+    for v in it {
+        if balance == 0 {
+            candidate = v;
+            balance = 1;
+        } else if v == candidate {
+            balance += 1;
+        } else {
+            balance -= 1;
+        }
+    }
+    Some((candidate, balance))
 }
 
 /// Inexact (epsilon) majority voting over floats: votes within `eps` of a
@@ -246,6 +265,7 @@ where
     method: F,
     rounds: u64,
     failures: u64,
+    arena: RoundArena<Out>,
     _marker: std::marker::PhantomData<fn(&In) -> Out>,
 }
 
@@ -264,7 +284,7 @@ where
 
 impl<In, Out, F> VotingFarm<In, Out, F>
 where
-    Out: Eq + Hash + Clone,
+    Out: Eq + Clone,
     F: FnMut(usize, &In) -> Out,
 {
     /// Sets up the restoring organ with `replicas` copies of `method`.
@@ -280,6 +300,7 @@ where
             method,
             rounds: 0,
             failures: 0,
+            arena: RoundArena::with_replicas(replicas),
             _marker: std::marker::PhantomData,
         }
     }
@@ -329,11 +350,16 @@ where
     }
 
     /// Runs all replicas on `input` and votes on the results.
+    ///
+    /// Ballots land in the farm's [`RoundArena`], so in steady state a
+    /// round allocates nothing (after the arena has grown to the current
+    /// replica count).
     pub fn round(&mut self, input: &In) -> RoundReport<Out> {
-        let votes: Vec<Out> = (0..self.replicas)
-            .map(|i| (self.method)(i, input))
-            .collect();
-        let outcome = majority_vote(&votes);
+        let ballots = self.arena.begin_round();
+        for i in 0..self.replicas {
+            ballots.push((self.method)(i, input));
+        }
+        let outcome = self.arena.vote();
         let d = outcome.dtof(self.replicas);
         self.rounds += 1;
         if !matches!(outcome, VoteOutcome::Majority { .. }) {
@@ -344,6 +370,14 @@ where
             outcome,
             dtof: d,
         }
+    }
+
+    /// Replica indices that dissented from the last round's majority
+    /// (empty after consensus or a failed round).  See
+    /// [`RoundArena::dissenters`].
+    #[must_use]
+    pub fn last_dissenters(&self) -> &[usize] {
+        self.arena.dissenters()
     }
 }
 
@@ -359,7 +393,7 @@ where
 pub fn parallel_round<In, Out, F>(n: usize, method: &F, input: &In) -> RoundReport<Out>
 where
     In: Sync,
-    Out: Eq + Hash + Clone + Send,
+    Out: Eq + Clone + Send,
     F: Fn(usize, &In) -> Out + Sync,
 {
     assert!(n > 0, "a restoring organ needs at least 1 replica");
@@ -453,6 +487,57 @@ mod tests {
         // An exact half is NOT a strict majority.
         assert_eq!(majority_vote(&[1, 1, 2, 2]), VoteOutcome::NoMajority);
         assert_eq!(majority_vote::<i32>(&[]), VoteOutcome::NoMajority);
+    }
+
+    #[test]
+    fn majority_matches_hashmap_reference() {
+        // The pre-arena voter counted every ballot in a HashMap.  The
+        // Boyer–Moore rewrite must be outcome-identical; enumerate every
+        // 3-ary ballot pattern up to 6 replicas and compare.
+        fn reference<V: Eq + std::hash::Hash + Clone>(votes: &[V]) -> VoteOutcome<V> {
+            use std::collections::HashMap;
+            if votes.is_empty() {
+                return VoteOutcome::NoMajority;
+            }
+            let mut counts: HashMap<&V, usize> = HashMap::new();
+            for v in votes {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+            let (best, count) = counts.into_iter().max_by_key(|&(_, c)| c).unwrap();
+            if 2 * count > votes.len() {
+                VoteOutcome::Majority {
+                    value: best.clone(),
+                    dissent: votes.len() - count,
+                }
+            } else {
+                VoteOutcome::NoMajority
+            }
+        }
+        for n in 0usize..=6 {
+            for pattern in 0u32..3u32.pow(n as u32) {
+                let mut p = pattern;
+                let votes: Vec<u32> = (0..n)
+                    .map(|_| {
+                        let v = p % 3;
+                        p /= 3;
+                        v
+                    })
+                    .collect();
+                assert_eq!(majority_vote(&votes), reference(&votes), "votes={votes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn farm_reports_dissenters() {
+        let mut farm = VotingFarm::new(5, |i: usize, x: &i32| if i % 2 == 1 { -1 } else { *x });
+        let r = farm.round(&3);
+        assert_eq!(r.outcome.value(), Some(&3));
+        assert_eq!(farm.last_dissenters(), &[1, 3]);
+        // A consensus round clears the set.
+        farm.set_replicas(1);
+        let _ = farm.round(&3);
+        assert!(farm.last_dissenters().is_empty());
     }
 
     #[test]

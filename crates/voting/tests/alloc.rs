@@ -1,0 +1,111 @@
+//! Counting-allocator proof that a steady-state voting round is
+//! allocation-free: once a [`VotingFarm`]'s [`RoundArena`] has grown to
+//! the replica count, `round()` — replica execution, Boyer–Moore
+//! majority vote, dissenter tracking, dtof — performs zero heap
+//! allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use afta_voting::{RoundArena, VoteOutcome, VotingFarm};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counter is a side effect.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `section` once as warm-up (growing the arena to its working
+/// size), then measures its allocation count, best of three attempts.
+/// Retries absorb incidental allocations from concurrently running
+/// tests in this binary: any attempt that measures 0 proves the section
+/// itself is alloc-free.
+fn measured(mut section: impl FnMut()) -> u64 {
+    section();
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        let before = allocations();
+        section();
+        best = best.min(allocations() - before);
+        if best == 0 {
+            break;
+        }
+    }
+    best
+}
+
+#[test]
+fn steady_state_voting_round_is_zero_alloc() {
+    // Replica 2 dissents every round, so the vote, the dissenter set,
+    // and the dtof arithmetic are all exercised — not just consensus.
+    let mut farm = VotingFarm::new(7, |i: usize, x: &u64| if i == 2 { u64::MAX } else { *x });
+
+    let allocs = measured(|| {
+        for input in 0..1_000u64 {
+            let report = farm.round(&input);
+            assert_eq!(report.outcome.value(), Some(&input));
+            assert_eq!(farm.last_dissenters(), &[2]);
+        }
+    });
+    assert_eq!(allocs, 0, "steady-state voting rounds must not allocate");
+}
+
+#[test]
+fn arena_vote_is_zero_alloc_after_warmup() {
+    let mut arena: RoundArena<u64> = RoundArena::with_replicas(5);
+
+    let allocs = measured(|| {
+        for round in 0..1_000u64 {
+            let ballots = arena.begin_round();
+            for replica in 0..5u64 {
+                ballots.push(if replica == 3 { u64::MAX } else { round });
+            }
+            assert_eq!(
+                arena.vote(),
+                VoteOutcome::Majority {
+                    value: round,
+                    dissent: 1
+                }
+            );
+        }
+    });
+    assert_eq!(allocs, 0, "arena rounds must not allocate after warm-up");
+}
+
+#[test]
+fn replica_growth_allocates_then_settles() {
+    let mut farm = VotingFarm::new(3, |_i: usize, x: &u64| *x);
+    let _ = farm.round(&1);
+    // Raising the replica count may grow the arena once...
+    farm.set_replicas(9);
+    let _ = farm.round(&2);
+    // ...after which rounds are allocation-free again.
+    let allocs = measured(|| {
+        for input in 0..100u64 {
+            let _ = farm.round(&input);
+        }
+    });
+    assert_eq!(allocs, 0);
+}
