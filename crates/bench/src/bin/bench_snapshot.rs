@@ -2,7 +2,7 @@
 //!
 //! Runs pinned bus / voting / alpha-count workloads under a counting
 //! global allocator and emits a schema-stable snapshot
-//! (`BENCH_6.json`): ops/sec, p50/p99 latency in ns/op, and allocs/op
+//! (`BENCH_7.json`): ops/sec, p50/p99 latency in ns/op, and allocs/op
 //! for each workload, plus the sharded-bus and arena-voting speedups
 //! over their retained pre-change baselines ([`ReferenceBus`] and a
 //! fresh-`Vec` + `HashMap` majority loop).
@@ -11,11 +11,19 @@
 //!
 //! - `bench_snapshot` — run and print the snapshot JSON to stdout.
 //! - `bench_snapshot --write [PATH]` — run and write `PATH`
-//!   (default `BENCH_6.json`), refreshing the committed trajectory.
+//!   (default `BENCH_7.json`), refreshing the committed trajectory.
 //! - `bench_snapshot --check PATH` — run and compare against the
 //!   committed snapshot with ±15% bands; exits non-zero on regression
 //!   and writes the candidate run next to `PATH` as
 //!   `<stem>.candidate.json` so CI can upload it as an artifact.
+//!   **First run**: a missing `PATH` is not a failure — there is no
+//!   baseline yet, so ratio checks are skipped and the gate passes with
+//!   a note telling you to `--write` one.
+//! - `--prior PATH` (with any mode) — compare against an earlier
+//!   `BENCH_*.json` and emit a `trajectory` field: the current
+//!   speedup ratios divided by the prior snapshot's (a ratio of ratios,
+//!   so machines divide out).  With no prior snapshot the field is
+//!   `"trajectory": null` — never a fabricated baseline.
 //!
 //! Absolute throughput depends on the machine, so the `--check` gate
 //! compares the *machine-independent* signals: the sharded-vs-reference
@@ -92,16 +100,30 @@ struct Speedups {
     voting_round: f64,
 }
 
+/// How the machine-independent speedups moved relative to a prior
+/// committed snapshot: a ratio of ratios, so the machine divides out.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Trajectory {
+    /// The `bench` tag of the prior snapshot, e.g. `BENCH_6`.
+    prior_bench: String,
+    /// Current speedups divided by the prior snapshot's (> 1 means the
+    /// optimized path pulled further ahead of its baseline).
+    speedup: Speedups,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Snapshot {
     schema: String,
     bench: String,
     workloads: Vec<Workload>,
     speedups: Speedups,
+    /// `null` on a first run with no prior `BENCH_*.json` to compare
+    /// against — never a fabricated baseline.
+    trajectory: Option<Trajectory>,
 }
 
-const SCHEMA: &str = "afta-bench-snapshot/v1";
-const BENCH: &str = "BENCH_6";
+const SCHEMA: &str = "afta-bench-snapshot/v2";
+const BENCH: &str = "BENCH_7";
 const TOLERANCE: f64 = 0.15;
 
 // ---------------------------------------------------------------------------
@@ -334,7 +356,39 @@ fn run_all() -> Snapshot {
         bench: BENCH.to_string(),
         workloads,
         speedups,
+        trajectory: None,
     }
+}
+
+/// Fills in the trajectory against the prior snapshot at `path`.  A
+/// missing prior is the first-run case: the trajectory stays `null` and
+/// the run carries on — only an unreadable or unparsable file is fatal.
+fn attach_trajectory(snapshot: &mut Snapshot, path: &str) -> Result<(), String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!(
+                "bench_snapshot: first run — no prior snapshot at {path}; \
+                 emitting trajectory: null"
+            );
+            return Ok(());
+        }
+        Err(err) => return Err(format!("cannot read prior {path}: {err}")),
+    };
+    let prior: Snapshot =
+        serde_json::from_str(&text).map_err(|err| format!("cannot parse prior {path}: {err}"))?;
+    if !prior.schema.starts_with("afta-bench-snapshot/") {
+        return Err(format!("prior {path} is not a bench snapshot"));
+    }
+    snapshot.trajectory = Some(Trajectory {
+        prior_bench: prior.bench,
+        speedup: Speedups {
+            bus_publish_drain: snapshot.speedups.bus_publish_drain
+                / prior.speedups.bus_publish_drain,
+            voting_round: snapshot.speedups.voting_round / prior.speedups.voting_round,
+        },
+    });
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -430,13 +484,35 @@ fn main() -> ExitCode {
         .position(|a| a == "--check")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let prior_path = args
+        .iter()
+        .position(|a| a == "--prior")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
-    let snapshot = run_all();
+    let mut snapshot = run_all();
+    if let Some(prior) = &prior_path {
+        if let Err(msg) = attach_trajectory(&mut snapshot, prior) {
+            eprintln!("bench_snapshot: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let snapshot = snapshot;
     let json = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
 
     if let Some(path) = check_path {
         let committed_text = match std::fs::read_to_string(&path) {
             Ok(text) => text,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+                // First run: there is no baseline to drift from.  Skip
+                // the ratio checks instead of failing (or fabricating
+                // one); the gate goes red only once a snapshot exists.
+                println!(
+                    "bench_snapshot: first run — no committed snapshot at {path}; \
+                     skipping ratio checks (create one with --write {path})"
+                );
+                return ExitCode::SUCCESS;
+            }
             Err(err) => {
                 eprintln!("bench_snapshot: cannot read {path}: {err}");
                 return ExitCode::FAILURE;
@@ -484,9 +560,9 @@ fn main() -> ExitCode {
     }
 
     if write {
-        let path = arg_str("--write", "BENCH_6.json");
+        let path = arg_str("--write", "BENCH_7.json");
         let path = if path.starts_with("--") || path.is_empty() {
-            "BENCH_6.json".to_string()
+            "BENCH_7.json".to_string()
         } else {
             path
         };

@@ -34,7 +34,7 @@
 //!   same tests through both the serial and the parallel path.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod executor;
 pub mod runner;

@@ -1,0 +1,202 @@
+//! JUnit XML export for campaign and differential results.
+//!
+//! JUnit's `<testsuites>` format is the lingua franca of CI result
+//! ingestion.  The mapping here: one suite per evidence stream (the E6
+//! campaign, the E7 sim-vs-TCP differential, checkpoint-resume
+//! equality), one testcase per shard or invariant, and **failure
+//! messages that carry the divergent seed** — a red testcase names the
+//! exact `seed 0x…` to re-run, never just "mismatch".
+//!
+//! Times are virtual (tick counts scaled to seconds) when present and
+//! zero otherwise; nothing wall-clock-dependent reaches the bytes, so
+//! two exports of the same seeded run are identical.
+
+use std::fmt::Write as _;
+
+use crate::xml::escape;
+
+/// A recorded failure of one testcase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JunitFailure {
+    /// Short message; by convention includes `seed 0x…` for seeded runs.
+    pub message: String,
+    /// Longer details (diffs, digests), rendered as element text.
+    pub details: String,
+}
+
+/// One testcase: a shard or invariant check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JunitCase {
+    /// The case name, e.g. `shard-3-seed-0x6c8ff6f human-readable`.
+    pub name: String,
+    /// The JUnit classname grouping, e.g. `afta.e6.campaign`.
+    pub classname: String,
+    /// `Some` when the case failed.
+    pub failure: Option<JunitFailure>,
+}
+
+impl JunitCase {
+    /// A passing case.
+    #[must_use]
+    pub fn pass(classname: &str, name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            classname: classname.to_string(),
+            failure: None,
+        }
+    }
+
+    /// A failing case; `message` should carry the divergent seed.
+    #[must_use]
+    pub fn fail(classname: &str, name: &str, message: &str, details: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            classname: classname.to_string(),
+            failure: Some(JunitFailure {
+                message: message.to_string(),
+                details: details.to_string(),
+            }),
+        }
+    }
+}
+
+/// One `<testsuite>`: a named group of cases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JunitSuite {
+    /// The suite name, e.g. `e7.differential`.
+    pub name: String,
+    /// The cases, in execution order.
+    pub cases: Vec<JunitCase>,
+}
+
+impl JunitSuite {
+    /// An empty suite with the given name.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            cases: Vec::new(),
+        }
+    }
+
+    /// Cases with a failure recorded.
+    #[must_use]
+    pub fn failures(&self) -> usize {
+        self.cases.iter().filter(|c| c.failure.is_some()).count()
+    }
+}
+
+/// A whole `<testsuites>` document.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JunitReport {
+    /// The suites, in execution order.
+    pub suites: Vec<JunitSuite>,
+}
+
+impl JunitReport {
+    /// Total testcases across all suites.
+    #[must_use]
+    pub fn tests(&self) -> usize {
+        self.suites.iter().map(|s| s.cases.len()).sum()
+    }
+
+    /// Total failures across all suites.
+    #[must_use]
+    pub fn failures(&self) -> usize {
+        self.suites.iter().map(JunitSuite::failures).sum()
+    }
+
+    /// Renders the document as JUnit XML.
+    #[must_use]
+    pub fn to_xml(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        let _ = writeln!(
+            out,
+            "<testsuites tests=\"{}\" failures=\"{}\">",
+            self.tests(),
+            self.failures()
+        );
+        for suite in &self.suites {
+            let _ = writeln!(
+                out,
+                "  <testsuite name=\"{}\" tests=\"{}\" failures=\"{}\">",
+                escape(&suite.name),
+                suite.cases.len(),
+                suite.failures()
+            );
+            for case in &suite.cases {
+                match &case.failure {
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "    <testcase name=\"{}\" classname=\"{}\"/>",
+                            escape(&case.name),
+                            escape(&case.classname)
+                        );
+                    }
+                    Some(failure) => {
+                        let _ = writeln!(
+                            out,
+                            "    <testcase name=\"{}\" classname=\"{}\">",
+                            escape(&case.name),
+                            escape(&case.classname)
+                        );
+                        let _ = writeln!(
+                            out,
+                            "      <failure message=\"{}\">{}</failure>",
+                            escape(&failure.message),
+                            escape(&failure.details)
+                        );
+                        let _ = writeln!(out, "    </testcase>");
+                    }
+                }
+            }
+            let _ = writeln!(out, "  </testsuite>");
+        }
+        out.push_str("</testsuites>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml;
+
+    fn sample() -> JunitReport {
+        let mut campaign = JunitSuite::new("e6.campaign");
+        campaign
+            .cases
+            .push(JunitCase::pass("afta.e6", "shard-0-seed-0x2a"));
+        campaign.cases.push(JunitCase::fail(
+            "afta.e6",
+            "shard-1-seed-0x9e3779b9",
+            "seed 0x9e3779b9 diverged",
+            "expected digest a\nactual digest b & <c>",
+        ));
+        JunitReport {
+            suites: vec![campaign],
+        }
+    }
+
+    #[test]
+    fn xml_parses_and_counts_match() {
+        let report = sample();
+        let root = xml::parse(&report.to_xml()).unwrap();
+        assert_eq!(root.name, "testsuites");
+        assert_eq!(root.attr("tests"), Some("2"));
+        assert_eq!(root.attr("failures"), Some("1"));
+        let suite = root.elements("testsuite")[0].clone();
+        assert_eq!(suite.attr("name"), Some("e6.campaign"));
+        let cases = suite.elements("testcase");
+        assert_eq!(cases.len(), 2);
+        let failure = cases[1].elements("failure")[0].clone();
+        assert_eq!(failure.attr("message"), Some("seed 0x9e3779b9 diverged"));
+        assert!(failure.text().contains("b & <c>"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        assert_eq!(sample().to_xml(), sample().to_xml());
+    }
+}

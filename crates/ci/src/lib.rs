@@ -1,0 +1,43 @@
+//! # afta-ci — the machine-readable observability pipeline
+//!
+//! De Florio's §5 vision is assumption failure tolerance as an *ambient,
+//! continuously checked* property.  That only holds if every run leaves
+//! evidence a toolchain can diff — not log lines a human has to eyeball.
+//! This crate turns the repo's three evidence streams into standard CI
+//! artifacts:
+//!
+//! * [`sarif`] — `afta-lint` diagnostics as **SARIF 2.1.0**, so
+//!   syndrome findings annotate pull requests via code scanning.  Rule
+//!   ids are the stable `AFTA-*` codes; logical locations come from the
+//!   manifest [`SourceRef`](afta_lint::SourceRef) paths.
+//! * [`junit`] — campaign and differential results as **JUnit XML**:
+//!   one testcase per shard or invariant, failure messages carrying the
+//!   divergent seed so a red CI run is immediately reproducible.
+//! * OTel-style **JSONL spans** — exported by
+//!   [`afta_telemetry::otel`], with trace ids derived from seed+shard;
+//!   this crate wires campaign telemetry through that exporter.
+//! * [`pins`] + [`evidence`] — the drift gate.  `ci/pins.toml` holds
+//!   the E1–E7 measured values and the machine-independent `BENCH_*`
+//!   signals with tolerance bands; `afta-ci check` recomputes every
+//!   signal from the seeded experiments and exits non-zero with a
+//!   human-readable diff when any pin drifts out of band.
+//!
+//! The [`xml`] module is a minimal well-formedness parser used to prove
+//! the JUnit output parses without reaching for a network dependency —
+//! this workspace builds offline.
+//!
+//! The `afta-ci` binary stitches these together; see its `--help`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod evidence;
+pub mod junit;
+pub mod pins;
+pub mod sarif;
+pub mod xml;
+
+pub use evidence::{collect_signals, EvidenceOptions, Signal};
+pub use junit::{JunitCase, JunitReport, JunitSuite};
+pub use pins::{check_pins, CheckOutcome, Pin, PinFile, PinValue};
+pub use sarif::{sarif_report, validate_sarif};

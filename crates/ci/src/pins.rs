@@ -1,0 +1,394 @@
+//! The pin file: measured values with tolerance bands, and the drift
+//! check against freshly computed evidence signals.
+//!
+//! `ci/pins.toml` is the repo's contract with its own history: every
+//! number EXPERIMENTS.md publishes (E1–E7) and every machine-independent
+//! `BENCH_*` signal is pinned here, and `afta-ci check` recomputes them
+//! all from the seeded experiments on every CI run.  Drift outside a
+//! pin's tolerance band fails the build with a diff naming the signal —
+//! a silent substrate change can no longer invalidate the published
+//! table.
+//!
+//! The file is a deliberately small TOML subset (this workspace builds
+//! offline, so no TOML crate): top-level `key = value` entries, one
+//! `[section]` per pin, `#` comments, quoted strings, and decimal
+//! numbers.  Each pin section carries `value` (number or string) and an
+//! optional relative `tol` (default `0` = exact).
+//!
+//! ```toml
+//! schema = "afta-pins/v1"
+//!
+//! [e6_voting_failures]
+//! value = 26
+//!
+//! [bench_speedup_bus_publish_drain]
+//! value = 7.04
+//! tol = 0.35   # ±35 % relative band
+//! ```
+
+use std::fmt;
+
+use crate::evidence::Signal;
+
+/// The `schema` value this parser accepts.
+pub const PINS_SCHEMA: &str = "afta-pins/v1";
+
+/// A pinned value: numeric signals get tolerance bands, string signals
+/// are exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PinValue {
+    /// A numeric signal (counts, ratios, fractions).
+    Num(f64),
+    /// A string signal (method names, hex digests).
+    Str(String),
+}
+
+impl fmt::Display for PinValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinValue::Num(n) => write!(f, "{n}"),
+            PinValue::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// One pinned signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pin {
+    /// The signal name, e.g. `e6_voting_failures`.
+    pub name: String,
+    /// The pinned value.
+    pub value: PinValue,
+    /// Relative tolerance (0 = exact). `0.15` accepts ±15 % around the
+    /// pinned value. Ignored for string pins.
+    pub tol: f64,
+}
+
+/// A parsed pin file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PinFile {
+    /// The schema tag (must be [`PINS_SCHEMA`]).
+    pub schema: String,
+    /// The pins, in file order.
+    pub pins: Vec<Pin>,
+}
+
+impl PinFile {
+    /// Parses the TOML subset described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-annotated message on syntax errors, duplicate pin
+    /// names, a missing `value`, or a schema mismatch.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut schema = None;
+        let mut pins: Vec<Pin> = Vec::new();
+        let mut current: Option<(String, Option<PinValue>, f64)> = None;
+
+        let finish =
+            |current: &mut Option<(String, Option<PinValue>, f64)>| -> Result<Option<Pin>, String> {
+                match current.take() {
+                    None => Ok(None),
+                    Some((name, Some(value), tol)) => Ok(Some(Pin { name, value, tol })),
+                    Some((name, None, _)) => Err(format!("pin [{name}] has no `value`")),
+                }
+            };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                if let Some(pin) = finish(&mut current)? {
+                    pins.push(pin);
+                }
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(format!("line {line_no}: empty section name"));
+                }
+                if pins.iter().any(|p| p.name == name) {
+                    return Err(format!("line {line_no}: duplicate pin `{name}`"));
+                }
+                current = Some((name.to_string(), None, 0.0));
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {line_no}: expected `key = value`"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let parsed = parse_value(value).map_err(|e| format!("line {line_no}: {e}"))?;
+            match (&mut current, key) {
+                (None, "schema") => match parsed {
+                    PinValue::Str(s) => schema = Some(s),
+                    PinValue::Num(_) => {
+                        return Err(format!("line {line_no}: schema must be a string"));
+                    }
+                },
+                (None, other) => {
+                    return Err(format!("line {line_no}: unknown top-level key `{other}`"));
+                }
+                (Some(section), "value") => {
+                    if section.1.is_some() {
+                        return Err(format!("line {line_no}: duplicate `value`"));
+                    }
+                    section.1 = Some(parsed);
+                }
+                (Some(section), "tol") => match parsed {
+                    PinValue::Num(t) if (0.0..1.0).contains(&t) => section.2 = t,
+                    _ => {
+                        return Err(format!("line {line_no}: tol must be a number in [0, 1)"));
+                    }
+                },
+                (Some(section), other) => {
+                    return Err(format!(
+                        "line {line_no}: unknown key `{other}` in pin [{}]",
+                        section.0
+                    ));
+                }
+            }
+        }
+        if let Some(pin) = finish(&mut current)? {
+            pins.push(pin);
+        }
+        match schema {
+            Some(s) if s == PINS_SCHEMA => Ok(Self { schema: s, pins }),
+            Some(s) => Err(format!(
+                "unsupported schema {s:?} (expected {PINS_SCHEMA:?})"
+            )),
+            None => Err(format!("missing `schema = {PINS_SCHEMA:?}` header")),
+        }
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(raw: &str) -> Result<PinValue, String> {
+    if let Some(stripped) = raw.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string {raw:?}"))?;
+        if inner.contains('"') {
+            return Err(format!("embedded quote in {raw:?}"));
+        }
+        return Ok(PinValue::Str(inner.to_string()));
+    }
+    raw.parse::<f64>()
+        .map(PinValue::Num)
+        .map_err(|_| format!("not a number or quoted string: {raw:?}"))
+}
+
+/// One pin that drifted out of its band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// The signal name.
+    pub name: String,
+    /// The pinned value.
+    pub pinned: PinValue,
+    /// What the fresh run measured.
+    pub actual: PinValue,
+    /// The pin's relative tolerance.
+    pub tol: f64,
+}
+
+impl fmt::Display for Drift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: pinned {} (tol ±{}%), measured {}",
+            self.name,
+            self.pinned,
+            self.tol * 100.0,
+            self.actual
+        )
+    }
+}
+
+/// The verdict of one [`check_pins`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckOutcome {
+    /// Pins that matched within tolerance.
+    pub passed: Vec<String>,
+    /// Pins that drifted out of band.
+    pub drifted: Vec<Drift>,
+    /// Pins with no corresponding measured signal.
+    pub missing: Vec<String>,
+    /// Pins skipped for a stated reason (e.g. no bench snapshot yet).
+    pub skipped: Vec<(String, String)>,
+}
+
+impl CheckOutcome {
+    /// `true` when nothing drifted and nothing was missing.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.drifted.is_empty() && self.missing.is_empty()
+    }
+
+    /// Human-readable multi-line summary (the "human diff on drift").
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for drift in &self.drifted {
+            out.push_str(&format!("DRIFT  {drift}\n"));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("MISSING  {name}: no signal computed\n"));
+        }
+        for (name, why) in &self.skipped {
+            out.push_str(&format!("SKIP  {name}: {why}\n"));
+        }
+        out.push_str(&format!(
+            "{} passed, {} drifted, {} missing, {} skipped\n",
+            self.passed.len(),
+            self.drifted.len(),
+            self.missing.len(),
+            self.skipped.len()
+        ));
+        out
+    }
+}
+
+/// Checks every pin against the measured signals.
+///
+/// Numeric pins pass when `|actual - pinned| <= tol * |pinned|` (exact
+/// match for `tol = 0`, with a tiny epsilon for float round-trips);
+/// string pins require equality.  Pins named `bench_*` with no signal
+/// are *skipped* rather than failed when `bench_available` is false —
+/// the first CI run of a fresh machine has no snapshot yet (see the
+/// bench-gate's first-run rule).
+#[must_use]
+pub fn check_pins(pins: &PinFile, signals: &[Signal], bench_available: bool) -> CheckOutcome {
+    let mut outcome = CheckOutcome::default();
+    for pin in &pins.pins {
+        let Some(signal) = signals.iter().find(|s| s.name == pin.name) else {
+            if pin.name.starts_with("bench_") && !bench_available {
+                outcome.skipped.push((
+                    pin.name.clone(),
+                    "no bench snapshot (first run)".to_string(),
+                ));
+            } else {
+                outcome.missing.push(pin.name.clone());
+            }
+            continue;
+        };
+        let matches = match (&pin.value, &signal.value) {
+            (PinValue::Num(pinned), PinValue::Num(actual)) => {
+                let band = if pin.tol == 0.0 {
+                    1e-9 * pinned.abs().max(1.0)
+                } else {
+                    pin.tol * pinned.abs()
+                };
+                (actual - pinned).abs() <= band
+            }
+            (PinValue::Str(pinned), PinValue::Str(actual)) => pinned == actual,
+            _ => false,
+        };
+        if matches {
+            outcome.passed.push(pin.name.clone());
+        } else {
+            outcome.drifted.push(Drift {
+                name: pin.name.clone(),
+                pinned: pin.value.clone(),
+                actual: signal.value.clone(),
+                tol: pin.tol,
+            });
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+schema = "afta-pins/v1"
+
+# The E6 campaign, seed 42.
+[e6_voting_failures]
+value = 26
+
+[bench_speedup_bus]
+value = 7.0
+tol = 0.35
+
+[e2_dell_bank_method]
+value = "M3"  # exact
+"#;
+
+    fn signal(name: &str, value: PinValue) -> Signal {
+        Signal {
+            name: name.to_string(),
+            value,
+        }
+    }
+
+    #[test]
+    fn parses_sections_comments_and_both_value_kinds() {
+        let file = PinFile::parse(SAMPLE).unwrap();
+        assert_eq!(file.schema, PINS_SCHEMA);
+        assert_eq!(file.pins.len(), 3);
+        assert_eq!(file.pins[0].value, PinValue::Num(26.0));
+        assert_eq!(file.pins[0].tol, 0.0);
+        assert_eq!(file.pins[1].tol, 0.35);
+        assert_eq!(file.pins[2].value, PinValue::Str("M3".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        assert!(PinFile::parse("value = 1").is_err()); // no schema
+        assert!(PinFile::parse("schema = \"other/v9\"").is_err());
+        assert!(PinFile::parse("schema = \"afta-pins/v1\"\n[a]\ntol = 0.1").is_err()); // no value
+        assert!(
+            PinFile::parse("schema = \"afta-pins/v1\"\n[a]\nvalue = 1\n[a]\nvalue = 2").is_err()
+        ); // dup
+        assert!(PinFile::parse("schema = \"afta-pins/v1\"\n[a]\nvalue = 1\ntol = 2").is_err());
+    }
+
+    #[test]
+    fn check_passes_within_band_and_drifts_outside() {
+        let file = PinFile::parse(SAMPLE).unwrap();
+        let good = [
+            signal("e6_voting_failures", PinValue::Num(26.0)),
+            signal("bench_speedup_bus", PinValue::Num(8.9)), // within ±35 %
+            signal("e2_dell_bank_method", PinValue::Str("M3".into())),
+        ];
+        assert!(check_pins(&file, &good, true).ok());
+
+        let bad = [
+            signal("e6_voting_failures", PinValue::Num(27.0)), // exact pin
+            signal("bench_speedup_bus", PinValue::Num(12.0)),  // out of band
+            signal("e2_dell_bank_method", PinValue::Str("M1".into())),
+        ];
+        let outcome = check_pins(&file, &bad, true);
+        assert_eq!(outcome.drifted.len(), 3);
+        assert!(outcome.render().contains("e6_voting_failures"));
+    }
+
+    #[test]
+    fn bench_pins_skip_on_first_run_but_fail_when_bench_exists() {
+        let file = PinFile::parse(SAMPLE).unwrap();
+        let partial = [
+            signal("e6_voting_failures", PinValue::Num(26.0)),
+            signal("e2_dell_bank_method", PinValue::Str("M3".into())),
+        ];
+        let first_run = check_pins(&file, &partial, false);
+        assert!(first_run.ok(), "{}", first_run.render());
+        assert_eq!(first_run.skipped.len(), 1);
+
+        let with_bench = check_pins(&file, &partial, true);
+        assert!(!with_bench.ok());
+        assert_eq!(with_bench.missing, vec!["bench_speedup_bus".to_string()]);
+    }
+}

@@ -1,0 +1,314 @@
+//! SARIF 2.1.0 export for `afta-lint` diagnostics.
+//!
+//! SARIF (Static Analysis Results Interchange Format) is what GitHub
+//! code scanning ingests: upload one file and every finding becomes a
+//! PR annotation.  The mapping is deliberately boring and stable:
+//!
+//! * `ruleId` — the `AFTA-*` code ([`Rule::code`]), which never changes
+//!   meaning once shipped; the full rule table rides along in
+//!   `tool.driver.rules` with the syndrome class as a rule property.
+//! * `level` — [`Severity`] mapped onto SARIF's `error`/`warning`/`note`.
+//! * locations — the linted manifest file as the physical location, the
+//!   [`SourceRef`](afta_lint::SourceRef) path (e.g.
+//!   `conversions[horizontal_velocity]`) as the logical location.
+//! * notes and help — result properties, so nothing the text renderer
+//!   prints is lost in the machine format.
+//!
+//! [`validate_sarif`] structurally checks a document against the parts
+//! of the 2.1.0 schema this exporter exercises; the golden-file test
+//! keeps the emitted bytes themselves honest.
+
+use afta_lint::{LintReport, Rule, Severity};
+use serde::Value;
+
+/// The schema URI stamped into every report.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+/// The SARIF spec version this exporter targets.
+pub const SARIF_VERSION: &str = "2.1.0";
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(text: &str) -> Value {
+    Value::Str(text.to_string())
+}
+
+fn text_message(text: &str) -> Value {
+    obj(vec![("text", s(text))])
+}
+
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Note => "note",
+    }
+}
+
+fn rule_descriptor(rule: Rule) -> Value {
+    obj(vec![
+        ("id", s(rule.code())),
+        ("shortDescription", text_message(rule.summary())),
+        (
+            "defaultConfiguration",
+            obj(vec![("level", s(level(rule.default_severity())))]),
+        ),
+        (
+            "properties",
+            obj(vec![("afta.syndrome", s(&rule.syndrome().to_string()))]),
+        ),
+    ])
+}
+
+/// Renders one lint report over one artifact as a complete SARIF 2.1.0
+/// document.  `artifact_uri` is the repo-relative path of the linted
+/// manifest (forward slashes), used as every result's physical location.
+#[must_use]
+pub fn sarif_report(report: &LintReport, artifact_uri: &str) -> Value {
+    let rule_index = |rule: Rule| -> u64 {
+        Rule::ALL
+            .iter()
+            .position(|r| *r == rule)
+            .expect("every rule is in ALL") as u64
+    };
+    let results: Vec<Value> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let mut properties = vec![("afta.syndrome", s(&d.syndrome.to_string()))];
+            if !d.notes.is_empty() {
+                properties.push((
+                    "afta.notes",
+                    Value::Array(d.notes.iter().map(|n| s(n)).collect()),
+                ));
+            }
+            if let Some(help) = &d.help {
+                properties.push(("afta.help", s(help)));
+            }
+            obj(vec![
+                ("ruleId", s(d.rule.code())),
+                ("ruleIndex", Value::UInt(rule_index(d.rule))),
+                ("level", s(level(d.severity))),
+                ("message", text_message(&d.message)),
+                (
+                    "locations",
+                    Value::Array(vec![obj(vec![
+                        (
+                            "physicalLocation",
+                            obj(vec![(
+                                "artifactLocation",
+                                obj(vec![
+                                    ("uri", s(artifact_uri)),
+                                    ("uriBaseId", s("%SRCROOT%")),
+                                ]),
+                            )]),
+                        ),
+                        (
+                            "logicalLocations",
+                            Value::Array(vec![obj(vec![("fullyQualifiedName", s(&d.source.0))])]),
+                        ),
+                    ])]),
+                ),
+                ("properties", obj(properties)),
+            ])
+        })
+        .collect();
+
+    obj(vec![
+        ("$schema", s(SARIF_SCHEMA)),
+        ("version", s(SARIF_VERSION)),
+        (
+            "runs",
+            Value::Array(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", s("afta-lint")),
+                            ("informationUri", s("https://github.com/afta-rs/afta")),
+                            ("version", s(env!("CARGO_PKG_VERSION"))),
+                            (
+                                "rules",
+                                Value::Array(Rule::ALL.into_iter().map(rule_descriptor).collect()),
+                            ),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Array(results)),
+            ])]),
+        ),
+    ])
+}
+
+/// Structurally validates a document against the SARIF 2.1.0 shape this
+/// pipeline relies on: version, run/tool/driver skeleton, unique rule
+/// ids, and for every result a known `ruleId`, a legal `level`, a
+/// non-empty `message.text`, and at least one physical location with a
+/// URI.
+///
+/// # Errors
+///
+/// Returns every violation found (not just the first).
+pub fn validate_sarif(doc: &Value) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    if doc.get("version").and_then(Value::as_str) != Some(SARIF_VERSION) {
+        errors.push(format!("version must be \"{SARIF_VERSION}\""));
+    }
+    let Some(runs) = doc.get("runs").and_then(Value::as_array) else {
+        errors.push("missing runs array".to_string());
+        return Err(errors);
+    };
+    if runs.is_empty() {
+        errors.push("runs must be non-empty".to_string());
+    }
+    for (ri, run) in runs.iter().enumerate() {
+        let driver = run.get("tool").and_then(|t| t.get("driver"));
+        let Some(driver) = driver else {
+            errors.push(format!("runs[{ri}]: missing tool.driver"));
+            continue;
+        };
+        if driver.get("name").and_then(Value::as_str).is_none() {
+            errors.push(format!("runs[{ri}]: tool.driver.name missing"));
+        }
+        let mut rule_ids = Vec::new();
+        for rule in driver.get("rules").and_then(Value::as_array).unwrap_or(&[]) {
+            match rule.get("id").and_then(Value::as_str) {
+                Some(id) if rule_ids.contains(&id.to_string()) => {
+                    errors.push(format!("runs[{ri}]: duplicate rule id `{id}`"));
+                }
+                Some(id) => rule_ids.push(id.to_string()),
+                None => errors.push(format!("runs[{ri}]: rule without an id")),
+            }
+        }
+        let results = run.get("results").and_then(Value::as_array);
+        let Some(results) = results else {
+            errors.push(format!("runs[{ri}]: missing results array"));
+            continue;
+        };
+        for (i, result) in results.iter().enumerate() {
+            let at = format!("runs[{ri}].results[{i}]");
+            match result.get("ruleId").and_then(Value::as_str) {
+                Some(id) if !rule_ids.is_empty() && !rule_ids.iter().any(|r| r == id) => {
+                    errors.push(format!("{at}: ruleId `{id}` not in tool.driver.rules"));
+                }
+                Some(_) => {}
+                None => errors.push(format!("{at}: missing ruleId")),
+            }
+            match result.get("level").and_then(Value::as_str) {
+                Some("none" | "note" | "warning" | "error") => {}
+                Some(other) => errors.push(format!("{at}: illegal level `{other}`")),
+                None => errors.push(format!("{at}: missing level")),
+            }
+            match result
+                .get("message")
+                .and_then(|m| m.get("text"))
+                .and_then(Value::as_str)
+            {
+                Some(text) if !text.is_empty() => {}
+                _ => errors.push(format!("{at}: message.text missing or empty")),
+            }
+            let has_uri = result
+                .get("locations")
+                .and_then(Value::as_array)
+                .and_then(|locs| locs.first())
+                .and_then(|l| l.get("physicalLocation"))
+                .and_then(|p| p.get("artifactLocation"))
+                .and_then(|a| a.get("uri"))
+                .and_then(Value::as_str)
+                .is_some();
+            if !has_uri {
+                errors.push(format!("{at}: no physical location uri"));
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afta_lint::{LintDriver, LintTarget};
+
+    fn ariane_report() -> (LintReport, String) {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/manifests/ariane.json"
+        );
+        let text = std::fs::read_to_string(path).unwrap();
+        let target = LintTarget::from_json(&text).unwrap();
+        (
+            LintDriver::new().run(&target),
+            "examples/manifests/ariane.json".to_string(),
+        )
+    }
+
+    #[test]
+    fn ariane_sarif_is_schema_valid_and_nonempty() {
+        let (report, uri) = ariane_report();
+        assert!(!report.diagnostics.is_empty(), "ariane must lint dirty");
+        let doc = sarif_report(&report, &uri);
+        validate_sarif(&doc).unwrap();
+        let json = serde_json::to_string_pretty(&doc).unwrap();
+        // Round-trip: the serialised document re-parses and re-validates.
+        let parsed: Value = serde_json::from_str(&json).unwrap();
+        validate_sarif(&parsed).unwrap();
+    }
+
+    #[test]
+    fn results_carry_stable_rule_ids_and_logical_locations() {
+        let (report, uri) = ariane_report();
+        let doc = sarif_report(&report, &uri);
+        let results = doc.get("runs").unwrap().as_array().unwrap()[0]
+            .get("results")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .to_vec();
+        assert_eq!(results.len(), report.diagnostics.len());
+        for (result, diag) in results.iter().zip(&report.diagnostics) {
+            assert_eq!(
+                result.get("ruleId").unwrap().as_str(),
+                Some(diag.rule.code())
+            );
+            let logical = result.get("locations").unwrap().as_array().unwrap()[0]
+                .get("logicalLocations")
+                .unwrap()
+                .as_array()
+                .unwrap()[0]
+                .get("fullyQualifiedName")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string();
+            assert_eq!(logical, diag.source.0);
+        }
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        let (report, uri) = ariane_report();
+        let mut doc = sarif_report(&report, &uri);
+        // Sabotage the version.
+        if let Value::Object(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "version" {
+                    *v = Value::Str("3.0".into());
+                }
+            }
+        }
+        let errors = validate_sarif(&doc).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("version")), "{errors:?}");
+        assert!(validate_sarif(&Value::Object(Vec::new())).is_err());
+    }
+}

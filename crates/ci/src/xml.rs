@@ -1,0 +1,342 @@
+//! A minimal XML well-formedness parser.
+//!
+//! The acceptance bar for the JUnit export is "parses with a stock
+//! parser".  The workspace builds offline, so instead of pulling one in,
+//! this module implements the subset of XML that JUnit files use —
+//! declaration, elements with attributes, character data, entity
+//! references, self-closing tags — strictly enough that malformed output
+//! (unbalanced tags, unescaped `<`, duplicate attributes) is rejected.
+//! It is a *validator and reader*, not a general XML implementation:
+//! doctypes, processing instructions beyond the declaration, CDATA, and
+//! namespaces are out of scope.
+
+/// One parsed element: name, attributes in document order, children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlElement {
+    /// The tag name.
+    pub name: String,
+    /// Attributes, in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes, in document order.
+    pub children: Vec<XmlNode>,
+}
+
+/// A node in the parsed tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlNode {
+    /// A nested element.
+    Element(XmlElement),
+    /// Character data (entities decoded, whitespace preserved).
+    Text(String),
+}
+
+impl XmlElement {
+    /// The value of `name`, if the attribute is present.
+    #[must_use]
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements with the given tag name, in document order.
+    #[must_use]
+    pub fn elements(&self, name: &str) -> Vec<&XmlElement> {
+        self.children
+            .iter()
+            .filter_map(|n| match n {
+                XmlNode::Element(e) if e.name == name => Some(e),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Concatenated direct character data of this element.
+    #[must_use]
+    pub fn text(&self) -> String {
+        self.children
+            .iter()
+            .filter_map(|n| match n {
+                XmlNode::Text(t) => Some(t.as_str()),
+                XmlNode::Element(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// Escapes a string for use as XML character data or an attribute value.
+#[must_use]
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Parses a complete XML document into its root element.
+///
+/// # Errors
+///
+/// Returns a position-annotated message on any well-formedness
+/// violation: unbalanced or mismatched tags, bare `<`/`&`, duplicate
+/// attributes, trailing content after the root element.
+pub fn parse(input: &str) -> Result<XmlElement, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.skip_declaration()?;
+    p.skip_ws();
+    let root = p.parse_element()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after the root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("xml error at byte {}: {msg}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_declaration(&mut self) -> Result<(), String> {
+        if self.starts_with("<?xml") {
+            match self.bytes[self.pos..].windows(2).position(|w| w == b"?>") {
+                Some(end) => self.pos += end + 2,
+                None => return Err(self.err("unterminated <?xml declaration")),
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_name(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<XmlElement, String> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected `<`"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected `>` after `/`"));
+                    }
+                    self.pos += 1;
+                    return Ok(XmlElement {
+                        name,
+                        attrs,
+                        children: Vec::new(),
+                    });
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    if attrs.iter().any(|(k, _)| *k == key) {
+                        return Err(self.err(&format!("duplicate attribute `{key}`")));
+                    }
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected `=` in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek();
+                    if !matches!(quote, Some(b'"' | b'\'')) {
+                        return Err(self.err("attribute value must be quoted"));
+                    }
+                    let quote = quote.expect("checked above");
+                    self.pos += 1;
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == quote {
+                            break;
+                        }
+                        if c == b'<' {
+                            return Err(self.err("raw `<` in attribute value"));
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    attrs.push((key, decode_entities(&raw).map_err(|m| self.err(&m))?));
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        let children = self.parse_children(&name)?;
+        Ok(XmlElement {
+            name,
+            attrs,
+            children,
+        })
+    }
+
+    fn parse_children(&mut self, parent: &str) -> Result<Vec<XmlNode>, String> {
+        let mut children = Vec::new();
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err(&format!("unclosed element `{parent}`"))),
+                Some(b'<') => {
+                    if !text.is_empty() {
+                        children.push(XmlNode::Text(std::mem::take(&mut text)));
+                    }
+                    if self.starts_with("</") {
+                        self.pos += 2;
+                        let name = self.parse_name()?;
+                        if name != parent {
+                            return Err(self.err(&format!(
+                                "mismatched close tag: expected `</{parent}>`, found `</{name}>`"
+                            )));
+                        }
+                        self.skip_ws();
+                        if self.peek() != Some(b'>') {
+                            return Err(self.err("expected `>` in close tag"));
+                        }
+                        self.pos += 1;
+                        return Ok(children);
+                    }
+                    children.push(XmlNode::Element(self.parse_element()?));
+                }
+                Some(b'>') => return Err(self.err("raw `>` is not allowed; escape as &gt;")),
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' || c == b'>' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    text.push_str(&decode_entities(&raw).map_err(|m| self.err(&m))?);
+                }
+            }
+        }
+    }
+}
+
+fn decode_entities(raw: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &raw[i + 1..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| "bare `&`; escape as &amp;".to_string())?;
+        let entity = &rest[..semi];
+        out.push(match entity {
+            "amp" => '&',
+            "lt" => '<',
+            "gt" => '>',
+            "quot" => '"',
+            "apos" => '\'',
+            other => return Err(format!("unknown entity `&{other};`")),
+        });
+        for _ in 0..=semi {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_attributes_and_text() {
+        let doc = r#"<?xml version="1.0" encoding="UTF-8"?>
+<testsuites tests="2" failures="1">
+  <testsuite name="e6.campaign">
+    <testcase name="shard-0"/>
+    <testcase name="shard-1"><failure message="seed 0x2a &amp; friends">boom &lt;here&gt;</failure></testcase>
+  </testsuite>
+</testsuites>"#;
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "testsuites");
+        assert_eq!(root.attr("tests"), Some("2"));
+        let suite = &root.elements("testsuite")[0];
+        let cases = suite.elements("testcase");
+        assert_eq!(cases.len(), 2);
+        let failure = &cases[1].elements("failure")[0];
+        assert_eq!(failure.attr("message"), Some("seed 0x2a & friends"));
+        assert_eq!(failure.text(), "boom <here>");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("<a><b></a></b>").is_err()); // mismatched close
+        assert!(parse("<a>").is_err()); // unclosed
+        assert!(parse("<a x=\"1\" x=\"2\"/>").is_err()); // duplicate attr
+        assert!(parse("<a>& bare</a>").is_err()); // bare ampersand
+        assert!(parse("<a/><b/>").is_err()); // two roots
+        assert!(parse("<a attr=unquoted/>").is_err());
+    }
+
+    #[test]
+    fn escape_round_trips_through_parse() {
+        let nasty = "a<b&c>\"d'e";
+        let doc = format!("<t m=\"{}\">{}</t>", escape(nasty), escape(nasty));
+        let root = parse(&doc).unwrap();
+        assert_eq!(root.attr("m"), Some(nasty));
+        assert_eq!(root.text(), nasty);
+    }
+}

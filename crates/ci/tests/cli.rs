@@ -1,0 +1,167 @@
+//! End-to-end tests of the `afta-ci` binary: one evidence run emits all
+//! three artifact formats, the JSONL spans are byte-identical across
+//! runs, and the pin gate demonstrably fails on a perturbed pin.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use afta_ci::xml;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn afta_ci(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_afta-ci"))
+        .args(args)
+        .output()
+        .expect("spawn afta-ci")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("afta-ci-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn run_emits_all_three_formats_from_one_evidence_run() {
+    let dir = tmp_dir("run");
+    let manifest = repo_path("examples/manifests/ariane_fixed.json");
+    let out = afta_ci(&[
+        "run",
+        "--skip-tcp",
+        "--manifest",
+        manifest.to_str().unwrap(),
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "afta-ci run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // SARIF: present and structurally valid 2.1.0.
+    let sarif = std::fs::read_to_string(dir.join("afta-lint.sarif")).unwrap();
+    let doc: serde::Value = serde_json::from_str(&sarif).unwrap();
+    afta_ci::validate_sarif(&doc).unwrap();
+
+    // JUnit: parses, covers all three suites, and is green.
+    let junit = std::fs::read_to_string(dir.join("afta-ci.junit.xml")).unwrap();
+    let root = xml::parse(&junit).unwrap();
+    assert_eq!(root.name, "testsuites");
+    assert_eq!(root.attr("failures"), Some("0"), "{junit}");
+    let suites: Vec<String> = root
+        .elements("testsuite")
+        .iter()
+        .map(|s| s.attr("name").unwrap().to_string())
+        .collect();
+    assert!(suites.iter().any(|s| s == "e6.campaign"), "{suites:?}");
+    assert!(suites.iter().any(|s| s.starts_with("e7.differential")));
+    assert!(suites.iter().any(|s| s == "checkpoint.resume"));
+    let case_count: usize = root
+        .elements("testsuite")
+        .iter()
+        .map(|s| s.elements("testcase").len())
+        .sum();
+    assert_eq!(case_count.to_string(), root.attr("tests").unwrap());
+    // Every campaign case names its shard seed for reproduction.
+    let campaign = root
+        .elements("testsuite")
+        .into_iter()
+        .find(|s| s.attr("name") == Some("e6.campaign"))
+        .unwrap()
+        .clone();
+    for case in campaign.elements("testcase") {
+        assert!(case.attr("name").unwrap().contains("seed-0x"));
+    }
+
+    // OTel JSONL: every line is a JSON object tagged span or metric.
+    let jsonl = std::fs::read_to_string(dir.join("afta-spans.jsonl")).unwrap();
+    assert!(jsonl.lines().count() > 1);
+    for line in jsonl.lines() {
+        let value: serde::Value = serde_json::from_str(line).unwrap();
+        let kind = value.get("otel").and_then(serde::Value::as_str).unwrap();
+        assert!(kind == "span" || kind == "metric");
+        assert_eq!(
+            value
+                .get("traceId")
+                .and_then(serde::Value::as_str)
+                .unwrap()
+                .len(),
+            32
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn otel_export_is_byte_identical_across_two_runs_of_the_same_seed() {
+    let first = afta_ci(&["otel", "--seed", "42"]);
+    let second = afta_ci(&["otel", "--seed", "42"]);
+    assert!(first.status.success() && second.status.success());
+    assert!(!first.stdout.is_empty());
+    assert_eq!(first.stdout, second.stdout);
+
+    let other_seed = afta_ci(&["otel", "--seed", "43"]);
+    assert!(other_seed.status.success());
+    assert_ne!(first.stdout, other_seed.stdout);
+}
+
+#[test]
+fn check_passes_on_committed_pins_and_fails_on_a_perturbed_pin() {
+    let pins = repo_path("ci/pins.toml");
+    let bench = repo_path("BENCH_7.json");
+
+    let ok = afta_ci(&[
+        "check",
+        pins.to_str().unwrap(),
+        "--bench",
+        bench.to_str().unwrap(),
+    ]);
+    assert!(
+        ok.status.success(),
+        "committed pins drifted:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&ok.stdout),
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    // Perturb one pin beyond tolerance: the gate must fail and name it.
+    let text = std::fs::read_to_string(&pins).unwrap();
+    let perturbed = text.replace(
+        "[e6_voting_failures]\nvalue = 26",
+        "[e6_voting_failures]\nvalue = 9999",
+    );
+    assert_ne!(
+        text, perturbed,
+        "perturbation target not found in pins.toml"
+    );
+    let dir = tmp_dir("check");
+    let perturbed_path = dir.join("pins.toml");
+    std::fs::write(&perturbed_path, perturbed).unwrap();
+
+    let bad = afta_ci(&[
+        "check",
+        perturbed_path.to_str().unwrap(),
+        "--bench",
+        bench.to_str().unwrap(),
+    ]);
+    assert!(!bad.status.success(), "perturbed pins must fail the gate");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("e6_voting_failures"), "{stdout}");
+    assert!(stdout.contains("DRIFT"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = afta_ci(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = afta_ci(&["check"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,60 @@
+//! Golden-file test for the SARIF export.
+//!
+//! The emitted bytes for the Ariane 5 manifest are committed at
+//! `tests/golden/ariane.sarif`; any change to the exporter shows up as
+//! a reviewable diff.  Re-bless intentionally with:
+//!
+//! ```text
+//! AFTA_CI_BLESS=1 cargo test -p afta-ci --test golden_sarif
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/ariane.sarif")
+}
+
+fn emit_ariane_sarif() -> String {
+    let output = Command::new(env!("CARGO_BIN_EXE_afta-ci"))
+        .arg("sarif")
+        .arg(repo_path("examples/manifests/ariane.json"))
+        .args(["--uri", "examples/manifests/ariane.json"])
+        .output()
+        .expect("spawn afta-ci");
+    assert!(
+        output.status.success(),
+        "afta-ci sarif failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("sarif output is utf-8")
+}
+
+#[test]
+fn ariane_sarif_matches_the_golden_file() {
+    let actual = emit_ariane_sarif();
+
+    if std::env::var_os("AFTA_CI_BLESS").is_some() {
+        std::fs::write(golden_path(), &actual).expect("write golden");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(golden_path())
+        .expect("golden file missing — bless with AFTA_CI_BLESS=1");
+    assert_eq!(
+        actual, expected,
+        "SARIF output drifted from tests/golden/ariane.sarif; \
+         review and re-bless with AFTA_CI_BLESS=1 if intentional"
+    );
+
+    // The golden bytes themselves satisfy the 2.1.0 structural checks
+    // and round-trip through the JSON layer.
+    let doc: serde::Value = serde_json::from_str(&expected).expect("golden parses");
+    afta_ci::validate_sarif(&doc).expect("golden validates");
+}

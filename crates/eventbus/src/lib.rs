@@ -1105,4 +1105,43 @@ mod tests {
         assert!(snapshots > 0);
         assert_eq!(bus.topic_stats::<Ping>().unwrap().published, 5_000);
     }
+
+    #[test]
+    fn lost_count_and_mirrored_telemetry_counter_agree_exactly() {
+        // Regression: `TopicStats::lost` is accumulated on the topic's
+        // per-shard atomic while `eventbus.bus_dropped_total` is added by
+        // the telemetry mirror — two different code paths fed from the
+        // same per-publish `Delivery`.  Under concurrent publishers with
+        // a lagging subscriber the two must still agree to the event.
+        let bus = Bus::new();
+        let registry = Registry::new();
+        bus.attach_telemetry(&registry);
+
+        // Tiny mailbox, never drained: almost every delivery overflows.
+        let lagging = bus.subscribe_with_capacity::<Ping>(8);
+
+        let threads: Vec<_> = (0..4u32)
+            .map(|t| {
+                let handle = bus.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u32 {
+                        handle.publish(Ping(t * 10_000 + i));
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+
+        let stats = bus.topic_stats::<Ping>().unwrap();
+        assert_eq!(stats.published, 40_000);
+        assert!(stats.lost > 0, "the lagging subscriber must overflow");
+        assert_eq!(
+            stats.lost,
+            registry.report().counter("eventbus.bus_dropped_total"),
+            "TopicStats::lost and the mirrored counter diverged"
+        );
+        drop(lagging);
+    }
 }

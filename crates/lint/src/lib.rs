@@ -34,7 +34,7 @@
 //! target.json --format json --deny warnings`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod diagnostic;
 pub mod driver;

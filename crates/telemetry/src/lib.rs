@@ -39,11 +39,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod otel;
 pub mod recorder;
 pub mod report;
 
+pub use otel::TraceContext;
 pub use recorder::{FlightRecorder, TelemetryEvent, TelemetryRecord};
 pub use report::{HistogramSnapshot, TelemetryReport};
 

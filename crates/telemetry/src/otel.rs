@@ -1,0 +1,346 @@
+//! OTel-style JSONL export: the CI-facing serialisation of a telemetry
+//! snapshot.
+//!
+//! The flight recorder's raw JSONL (one [`TelemetryRecord`] per line) is
+//! a debugging format; external tooling wants the OpenTelemetry shape —
+//! spans with ids, span events, and metric data points.  This module
+//! renders a [`TelemetryReport`] that way, one JSON object per line:
+//!
+//! * one **span** line per export — the root span of the run, carrying
+//!   every flight-recorder record as a span *event* (name = the record's
+//!   [`kind`](crate::TelemetryEvent::kind), attributes = the event's
+//!   fields, timestamp = the virtual tick);
+//! * one **metric** line per counter, gauge, and histogram, in sorted
+//!   name order.
+//!
+//! Everything is derived from the report and the [`TraceContext`]; no
+//! wall clock, hostname, or process id leaks in.  Two exports of the
+//! same seeded run are therefore **byte-identical** — the property the
+//! `afta-ci` evidence gate asserts.
+//!
+//! Trace and span ids are derived deterministically from `(seed, shard)`
+//! with splitmix64, so a campaign's shards share nothing yet every
+//! re-run of a shard maps to the same ids — artifacts diff cleanly
+//! across CI runs.
+//!
+//! ```
+//! use afta_telemetry::{otel::TraceContext, Registry, TelemetryEvent, Tick};
+//!
+//! let registry = Registry::new();
+//! registry.counter("voting.rounds").add(3);
+//! registry.record(Tick(7), TelemetryEvent::DtofDip { n: 3, dtof: 1 });
+//!
+//! let ctx = TraceContext::derive(42, 0);
+//! let jsonl = ctx.export("campaign.shard", &registry.report());
+//! assert_eq!(jsonl.lines().count(), 2); // one span, one metric
+//! assert_eq!(jsonl, ctx.export("campaign.shard", &registry.report()));
+//! ```
+
+use serde::Value;
+
+use crate::report::{HistogramSnapshot, TelemetryReport};
+use crate::TelemetryRecord;
+
+/// Splitmix64 — the same mixer `afta-sim`'s `SeedFactory` uses, so id
+/// derivation is stable and collision-resistant across shards.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic OTel trace identity for one shard of one seeded run.
+///
+/// The 128-bit trace id and the 64-bit root span id are pure functions
+/// of `(seed, shard)`; re-exporting the same run reproduces them
+/// exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The master seed the ids derive from.
+    pub seed: u64,
+    /// The shard index within the campaign.
+    pub shard: u64,
+    trace_hi: u64,
+    trace_lo: u64,
+    root_span: u64,
+}
+
+impl TraceContext {
+    /// Derives the trace identity for `(seed, shard)`.
+    #[must_use]
+    pub fn derive(seed: u64, shard: u64) -> Self {
+        // Chain the seed and shard through the mixer so adjacent shards
+        // (and adjacent seeds) land far apart in id space.
+        let mut state = seed ^ 0xA5A5_5A5A_C3C3_3C3C;
+        let a = splitmix64(&mut state);
+        let mut state = a ^ shard;
+        let trace_hi = splitmix64(&mut state);
+        let trace_lo = splitmix64(&mut state);
+        let root_span = splitmix64(&mut state);
+        Self {
+            seed,
+            shard,
+            trace_hi,
+            trace_lo,
+            root_span,
+        }
+    }
+
+    /// The 32-hex-digit W3C trace id.
+    #[must_use]
+    pub fn trace_id(&self) -> String {
+        format!("{:016x}{:016x}", self.trace_hi, self.trace_lo)
+    }
+
+    /// The 16-hex-digit root span id.
+    #[must_use]
+    pub fn span_id(&self) -> String {
+        format!("{:016x}", self.root_span)
+    }
+
+    /// Renders `report` as OTel-style JSONL: the root span (journal as
+    /// span events) followed by one metric line per counter, gauge, and
+    /// histogram in sorted name order.  Pure function of `(self, name,
+    /// report)` — byte-identical across re-exports.
+    #[must_use]
+    pub fn export(&self, name: &str, report: &TelemetryReport) -> String {
+        let mut out = String::new();
+        push_line(&mut out, &self.span_value(name, report));
+        for (metric, value) in &report.counters {
+            push_line(
+                &mut out,
+                &self.metric_value("counter", metric, |fields| {
+                    fields.push(("value".into(), Value::UInt(*value)));
+                }),
+            );
+        }
+        for (metric, value) in &report.gauges {
+            push_line(
+                &mut out,
+                &self.metric_value("gauge", metric, |fields| {
+                    fields.push(("value".into(), Value::Int(*value)));
+                }),
+            );
+        }
+        for (metric, h) in &report.histograms {
+            push_line(
+                &mut out,
+                &self.metric_value("histogram", metric, |fields| {
+                    append_histogram(fields, h);
+                }),
+            );
+        }
+        out
+    }
+
+    /// The root span as a JSON value tree.
+    fn span_value(&self, name: &str, report: &TelemetryReport) -> Value {
+        let start = report.journal.first().map_or(0, |r| r.tick.0);
+        let end = report.journal.last().map_or(start, |r| r.tick.0);
+        Value::Object(vec![
+            ("otel".into(), Value::Str("span".into())),
+            ("traceId".into(), Value::Str(self.trace_id())),
+            ("spanId".into(), Value::Str(self.span_id())),
+            ("parentSpanId".into(), Value::Null),
+            ("name".into(), Value::Str(name.into())),
+            ("kind".into(), Value::Str("SPAN_KIND_INTERNAL".into())),
+            ("startTick".into(), Value::UInt(start)),
+            ("endTick".into(), Value::UInt(end)),
+            (
+                "attributes".into(),
+                Value::Object(vec![
+                    ("afta.seed".into(), Value::UInt(self.seed)),
+                    ("afta.shard".into(), Value::UInt(self.shard)),
+                ]),
+            ),
+            (
+                "events".into(),
+                Value::Array(report.journal.iter().map(span_event).collect()),
+            ),
+            (
+                "droppedEventsCount".into(),
+                Value::UInt(report.journal_dropped),
+            ),
+        ])
+    }
+
+    /// A metric line skeleton; `fill` appends the type-specific fields.
+    fn metric_value(
+        &self,
+        kind: &str,
+        metric: &str,
+        fill: impl FnOnce(&mut Vec<(String, Value)>),
+    ) -> Value {
+        let mut fields = vec![
+            ("otel".into(), Value::Str("metric".into())),
+            ("traceId".into(), Value::Str(self.trace_id())),
+            ("type".into(), Value::Str(kind.into())),
+            ("name".into(), Value::Str(metric.into())),
+        ];
+        fill(&mut fields);
+        Value::Object(fields)
+    }
+}
+
+fn push_line(out: &mut String, value: &Value) {
+    out.push_str(&serde_json::to_string(value).expect("otel line serialises"));
+    out.push('\n');
+}
+
+/// One flight-recorder record as an OTel span event: name = the stable
+/// kind label, timestamp = the virtual tick, attributes = the typed
+/// event's own fields (unwrapped from serde's external enum tag).
+fn span_event(record: &TelemetryRecord) -> Value {
+    use serde::Serialize as _;
+    let attributes = match record.event.to_value() {
+        // Externally tagged payload variant: {"RedundancyRaised": {...}}.
+        Value::Object(entries) if entries.len() == 1 => entries.into_iter().next().expect("one").1,
+        // Unit variants (none today) or unexpected shapes: no attributes.
+        _ => Value::Object(Vec::new()),
+    };
+    Value::Object(vec![
+        ("name".into(), Value::Str(record.event.kind().into())),
+        ("tick".into(), Value::UInt(record.tick.0)),
+        ("seq".into(), Value::UInt(record.seq)),
+        ("attributes".into(), attributes),
+    ])
+}
+
+fn append_histogram(fields: &mut Vec<(String, Value)>, h: &HistogramSnapshot) {
+    fields.push((
+        "bounds".into(),
+        Value::Array(h.bounds.iter().map(|&b| Value::UInt(b)).collect()),
+    ));
+    fields.push((
+        "bucketCounts".into(),
+        Value::Array(h.counts.iter().map(|&c| Value::UInt(c)).collect()),
+    ));
+    fields.push(("count".into(), Value::UInt(h.count)));
+    fields.push(("sum".into(), Value::UInt(h.sum)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Registry, TelemetryEvent};
+    use afta_sim::Tick;
+
+    /// The JSONL parser yields `Int` for small non-negative numbers;
+    /// normalise before comparing against the exporter's `UInt`s.
+    fn num(v: &Value) -> u64 {
+        match v {
+            Value::Int(i) => u64::try_from(*i).unwrap(),
+            Value::UInt(u) => *u,
+            other => panic!("expected integer, got {other:?}"),
+        }
+    }
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("voting.rounds").add(100);
+        r.counter("voting.failures").add(2);
+        r.gauge("switchboard.redundancy").set(5);
+        r.histogram("voting.dtof", &[0, 1, 2, 3]).record(2);
+        r.record(Tick(10), TelemetryEvent::DtofDip { n: 5, dtof: 1 });
+        r.record(
+            Tick(20),
+            TelemetryEvent::RedundancyRaised { from: 3, to: 5 },
+        );
+        r
+    }
+
+    #[test]
+    fn ids_are_deterministic_and_distinct_across_shards() {
+        let a = TraceContext::derive(42, 0);
+        let b = TraceContext::derive(42, 0);
+        assert_eq!(a, b);
+        assert_eq!(a.trace_id().len(), 32);
+        assert_eq!(a.span_id().len(), 16);
+        let other_shard = TraceContext::derive(42, 1);
+        let other_seed = TraceContext::derive(43, 0);
+        assert_ne!(a.trace_id(), other_shard.trace_id());
+        assert_ne!(a.trace_id(), other_seed.trace_id());
+    }
+
+    #[test]
+    fn export_is_byte_identical_across_runs() {
+        let report = sample_registry().report();
+        let ctx = TraceContext::derive(42, 3);
+        assert_eq!(
+            ctx.export("e6.shard", &report),
+            ctx.export("e6.shard", &report)
+        );
+        // An independently rebuilt registry with the same content exports
+        // the same bytes too.
+        let again = sample_registry().report();
+        assert_eq!(
+            ctx.export("e6.shard", &report),
+            ctx.export("e6.shard", &again)
+        );
+    }
+
+    #[test]
+    fn span_line_carries_journal_as_events() {
+        let report = sample_registry().report();
+        let jsonl = TraceContext::derive(7, 0).export("run", &report);
+        let span_line = jsonl.lines().next().unwrap();
+        let span: Value = serde_json::from_str(span_line).unwrap();
+        assert_eq!(span.get("otel").unwrap().as_str(), Some("span"));
+        assert_eq!(span.get("name").unwrap().as_str(), Some("run"));
+        let events = span.get("events").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("dtof-dip"));
+        let attrs = events[1].get("attributes").unwrap();
+        assert!(attrs.get("from").is_some() && attrs.get("to").is_some());
+        assert_eq!(num(span.get("startTick").unwrap()), 10);
+        assert_eq!(num(span.get("endTick").unwrap()), 20);
+    }
+
+    #[test]
+    fn metric_lines_cover_every_metric_in_sorted_order() {
+        let report = sample_registry().report();
+        let jsonl = TraceContext::derive(7, 0).export("run", &report);
+        let lines: Vec<Value> = jsonl
+            .lines()
+            .skip(1)
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        let names: Vec<String> = lines
+            .iter()
+            .map(|l| l.get("name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "voting.failures",
+                "voting.rounds",
+                "switchboard.redundancy",
+                "voting.dtof"
+            ]
+        );
+        let hist = lines.last().unwrap();
+        assert_eq!(hist.get("type").unwrap().as_str(), Some("histogram"));
+        assert_eq!(num(hist.get("count").unwrap()), 1);
+    }
+
+    #[test]
+    fn empty_report_exports_a_lone_span() {
+        let jsonl = TraceContext::derive(1, 0).export("empty", &TelemetryReport::default());
+        assert_eq!(jsonl.lines().count(), 1);
+        let span: Value = serde_json::from_str(jsonl.lines().next().unwrap()).unwrap();
+        assert_eq!(num(span.get("startTick").unwrap()), 0);
+        assert_eq!(span.get("events").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn trace_ids_do_not_collide_over_a_campaign() {
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..16u64 {
+            for shard in 0..64u64 {
+                assert!(seen.insert(TraceContext::derive(seed, shard).trace_id()));
+            }
+        }
+    }
+}

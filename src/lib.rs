@@ -56,6 +56,7 @@ pub mod agents;
 
 pub use afta_alphacount as alphacount;
 pub use afta_campaign as campaign;
+pub use afta_ci as ci;
 pub use afta_core as core;
 pub use afta_dag as dag;
 pub use afta_eventbus as eventbus;
