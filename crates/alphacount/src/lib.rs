@@ -481,6 +481,35 @@ mod tests {
     }
 
     #[test]
+    fn decay_factor_exactly_one_is_rejected() {
+        // K = 1.0 means "never forgive": α only grows and every
+        // transient eventually reads as permanent.  The canonical
+        // alpha-count requires K strictly below one, and the boundary
+        // must be rejected exactly — not K = 1 + ε only.
+        assert!(DecayPolicy::Multiplicative(1.0)
+            .check()
+            .unwrap_err()
+            .contains("0 <= K < 1"));
+        assert!(AlphaCount::check_params(1.0, 3.0, DecayPolicy::Multiplicative(1.0)).is_err());
+        // The open boundary: the largest f64 below 1.0 is fine, as are
+        // both extremes of the valid range.
+        assert!(DecayPolicy::Multiplicative(1.0 - f64::EPSILON)
+            .check()
+            .is_ok());
+        assert!(DecayPolicy::Multiplicative(0.0).check().is_ok());
+        assert!(DecayPolicy::Multiplicative(f64::NAN).check().is_err());
+    }
+
+    #[test]
+    fn subtractive_decay_edge_parameters() {
+        // D must be strictly positive: zero would also never forgive.
+        assert!(DecayPolicy::Subtractive(0.0).check().is_err());
+        assert!(DecayPolicy::Subtractive(-1.0).check().is_err());
+        assert!(DecayPolicy::Subtractive(f64::NAN).check().is_err());
+        assert!(DecayPolicy::Subtractive(f64::MIN_POSITIVE).check().is_ok());
+    }
+
+    #[test]
     fn check_params_reports_without_panicking() {
         assert!(AlphaCount::check_params(1.0, 3.0, AlphaCount::DEFAULT_DECAY).is_ok());
         assert!(

@@ -1,0 +1,197 @@
+//! Reproducer files and the committed regression corpus.
+//!
+//! Every shrunk failure is written as a self-contained JSON
+//! [`Reproducer`]: the minimized schedule, the invariant it trips, the
+//! `AFTA_SEED` it came from, and the one-line replay command.  Corpus
+//! files live in `crates/fuzz/corpus/` and are replayed as pinned
+//! regression tests — plus a meta-test asserting each entry is still
+//! 1-minimal.
+//!
+//! Corpus entries never carry [`BugFlags`]: a committed reproducer must
+//! fail against the *production* runner, not against a planted bug.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use afta_telemetry::Registry;
+use serde::{Deserialize, Serialize};
+
+use crate::invariant::Invariant;
+use crate::run::{run_schedule, BugFlags, RunConfig, RunReport};
+use crate::schedule::Schedule;
+use crate::shrink::ShrinkOutcome;
+
+/// A self-contained, replayable record of one minimized failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reproducer {
+    /// The originating seed, as the `AFTA_SEED` hex string.
+    pub afta_seed: String,
+    /// The invariant the schedule trips.
+    pub invariant: Invariant,
+    /// The strategy driver that observed it.
+    pub strategy: String,
+    /// The violation's evidence line at shrink time.
+    pub detail: String,
+    /// Total runs the shrink cost.
+    pub shrink_runs: u64,
+    /// Events removed by shrinking (original minus minimized).
+    pub removed_events: u64,
+    /// One-line replay command.
+    pub replay: String,
+    /// The 1-minimal failing schedule.
+    pub schedule: Schedule,
+}
+
+impl Reproducer {
+    /// Packages a shrink outcome as a reproducer file.
+    #[must_use]
+    pub fn from_shrink(outcome: &ShrinkOutcome, original_events: usize) -> Self {
+        Self {
+            afta_seed: format!("0x{:016x}", outcome.minimized.seed),
+            invariant: outcome.violation.invariant,
+            strategy: outcome.violation.strategy.clone(),
+            detail: outcome.violation.detail.clone(),
+            shrink_runs: outcome.runs,
+            removed_events: (original_events - outcome.minimized.events.len()) as u64,
+            replay: "afta-fuzz replay <this-file>".into(),
+            schedule: outcome.minimized.clone(),
+        }
+    }
+
+    /// Canonical pretty JSON encoding.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reproducer serializes")
+    }
+
+    /// Parses a reproducer file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Loads every `*.json` reproducer under `dir`, sorted by file name (so
+/// replay order is stable).
+///
+/// # Errors
+///
+/// Propagates I/O errors; a malformed file is an
+/// [`io::ErrorKind::InvalidData`] error naming the file.
+pub fn load_corpus(dir: &Path) -> io::Result<Vec<(String, Reproducer)>> {
+    let mut names = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "json") {
+            names.push(path);
+        }
+    }
+    names.sort();
+    let mut out = Vec::with_capacity(names.len());
+    for path in names {
+        let text = fs::read_to_string(&path)?;
+        let rep = Reproducer::from_json(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })?;
+        let name = path
+            .file_stem()
+            .map_or_else(String::new, |s| s.to_string_lossy().into_owned());
+        out.push((name, rep));
+    }
+    Ok(out)
+}
+
+/// Replays a reproducer against the production runner (no bug flags).
+///
+/// # Errors
+///
+/// Returns a description of the drift if the named invariant no longer
+/// trips — the regression the corpus exists to catch never regressed, or
+/// the runner's behaviour changed.
+pub fn replay_reproducer(rep: &Reproducer, cfg: &RunConfig) -> Result<RunReport, String> {
+    let report = run_schedule(
+        &rep.schedule,
+        &BugFlags::default(),
+        cfg,
+        &Registry::disabled(),
+    );
+    match report.violation_of(rep.invariant) {
+        Some(_) => Ok(report),
+        None => Err(format!(
+            "reproducer for {} (seed {}) no longer trips: got {:?}",
+            rep.invariant,
+            rep.afta_seed,
+            report
+                .violations
+                .iter()
+                .map(|v| v.invariant)
+                .collect::<Vec<_>>()
+        )),
+    }
+}
+
+/// Certifies that `rep.schedule` is 1-minimal: deleting any single event
+/// must make the whole run pass (no violations at all).
+///
+/// # Errors
+///
+/// Returns a description of the first event whose removal still fails.
+pub fn assert_one_minimal(rep: &Reproducer, cfg: &RunConfig) -> Result<(), String> {
+    let session = Registry::disabled();
+    for index in 0..rep.schedule.events.len() {
+        let candidate = rep.schedule.without_event(index);
+        let report = run_schedule(&candidate, &BugFlags::default(), cfg, &session);
+        if !report.passed() {
+            return Err(format!(
+                "not 1-minimal: removing event {index} ({}) still yields {:?}",
+                rep.schedule.events[index],
+                report
+                    .violations
+                    .iter()
+                    .map(|v| v.invariant)
+                    .collect::<Vec<_>>()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FaultEvent, FaultKind};
+
+    #[test]
+    fn reproducer_json_round_trips() {
+        let rep = Reproducer {
+            afta_seed: "0x000000000000002a".into(),
+            invariant: Invariant::NoLivelock,
+            strategy: "farm".into(),
+            detail: "no majority".into(),
+            shrink_runs: 17,
+            removed_events: 3,
+            replay: "afta-fuzz replay <this-file>".into(),
+            schedule: Schedule {
+                seed: 42,
+                max_steps: 16,
+                events: vec![FaultEvent {
+                    at: 1,
+                    kind: FaultKind::Partition {
+                        a: 0,
+                        b: 1,
+                        heal_after: 0,
+                    },
+                }],
+            },
+        };
+        let back = Reproducer::from_json(&rep.to_json()).unwrap();
+        assert_eq!(rep, back);
+    }
+}

@@ -1,0 +1,149 @@
+//! The typed invariant set checked after every schedule.
+//!
+//! Two tiers, mirroring the paper's distinction between *implementation*
+//! assumptions and *policy* assumptions:
+//!
+//! * **Implementation invariants** must hold under *any* schedule, wild
+//!   or battery — a violation is always a bug: [`DtofNonNegative`],
+//!   [`BusAccounting`], [`MonotonicSpans`], [`NoLostShard`].
+//! * **Policy invariants** are guaranteed only inside the battery
+//!   envelope (faults heal, edits never downgrade protection):
+//!   [`NoLivelock`], [`QuarantineRejoins`].  Wild schedules may
+//!   legitimately defeat them — that is what the reproducer corpus
+//!   records.
+//!
+//! [`DtofNonNegative`]: Invariant::DtofNonNegative
+//! [`BusAccounting`]: Invariant::BusAccounting
+//! [`MonotonicSpans`]: Invariant::MonotonicSpans
+//! [`NoLostShard`]: Invariant::NoLostShard
+//! [`NoLivelock`]: Invariant::NoLivelock
+//! [`QuarantineRejoins`]: Invariant::QuarantineRejoins
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One checkable property of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Invariant {
+    /// No strategy may fail every round beyond its step budget: the §3.3
+    /// farm recovers a majority within 12 consecutive rounds, the §3.2
+    /// manager delivers a result within 8.
+    NoLivelock,
+    /// The §3.1 memory never *silently* loses a shard: every read either
+    /// errors (detected, tolerable) or returns the last stored value.
+    NoLostShard,
+    /// Every reported distance-to-failure is the checked `dtof` for the
+    /// round's `(n, m)` and never exceeds `dtof_max(n)` — the unsigned
+    /// arithmetic never wraps.
+    DtofNonNegative,
+    /// An alpha-count-quarantined voter rejoins within a grace period
+    /// once the obstruction that condemned it has healed.
+    QuarantineRejoins,
+    /// The event bus accounts for every undelivered notification:
+    /// `TopicStats::lost` equals the `eventbus.bus_dropped_total`
+    /// telemetry counter.
+    BusAccounting,
+    /// Telemetry tick observations never decrease, no matter what clock
+    /// skew the schedule injects.
+    MonotonicSpans,
+}
+
+impl Invariant {
+    /// All invariants, in checking order.
+    pub const ALL: [Invariant; 6] = [
+        Invariant::NoLivelock,
+        Invariant::NoLostShard,
+        Invariant::DtofNonNegative,
+        Invariant::QuarantineRejoins,
+        Invariant::BusAccounting,
+        Invariant::MonotonicSpans,
+    ];
+
+    /// Whether the battery envelope guarantees this invariant (`false`
+    /// for the two that any schedule must uphold — wild included).
+    #[must_use]
+    pub fn is_policy(self) -> bool {
+        matches!(self, Invariant::NoLivelock | Invariant::QuarantineRejoins)
+    }
+
+    /// Stable machine-readable name (used in reproducer files and JUnit
+    /// case names).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::NoLivelock => "no-livelock",
+            Invariant::NoLostShard => "no-lost-shard",
+            Invariant::DtofNonNegative => "dtof-non-negative",
+            Invariant::QuarantineRejoins => "quarantine-rejoins",
+            Invariant::BusAccounting => "bus-accounting",
+            Invariant::MonotonicSpans => "monotonic-spans",
+        }
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One observed invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The violated invariant.
+    pub invariant: Invariant,
+    /// Which strategy driver observed it (`"farm"`, `"mem"`,
+    /// `"patterns"`).
+    pub strategy: String,
+    /// The virtual step at which the violation was established.
+    pub step: u64,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} @ step {}]: {}",
+            self.invariant, self.strategy, self.step, self.detail
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let names: Vec<_> = Invariant::ALL.iter().map(|i| i.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert_eq!(Invariant::NoLostShard.to_string(), "no-lost-shard");
+    }
+
+    #[test]
+    fn policy_tier_is_exactly_the_two_recovery_properties() {
+        let policy: Vec<_> = Invariant::ALL.iter().filter(|i| i.is_policy()).collect();
+        assert_eq!(
+            policy,
+            vec![&Invariant::NoLivelock, &Invariant::QuarantineRejoins]
+        );
+    }
+
+    #[test]
+    fn violation_serde_round_trip() {
+        let v = Violation {
+            invariant: Invariant::BusAccounting,
+            strategy: "patterns".into(),
+            step: 7,
+            detail: "lost 3 != dropped 2".into(),
+        };
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Violation = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

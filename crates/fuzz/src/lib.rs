@@ -1,0 +1,56 @@
+//! Deterministic-simulation scenario fuzzer for the AFTA reproduction.
+//!
+//! De Florio's argument is that assumption failures surface at the
+//! *composition* of strategies, not inside any single one.  This crate
+//! hunts those compositions mechanically: a seeded generator composes
+//! random fault programs — network partitions, drop/duplicate/delay
+//! bursts, SEFI bit-flip storms, clashing `e1`/`e2` knowledge-base
+//! edits, cascading voter loss, clock skew on the virtual Tick — and
+//! replays each against all three of the paper's strategies at once:
+//!
+//! * §3.1 memory access (`afta-memaccess` over `afta-memsim` modules),
+//! * §3.2 fault-tolerance patterns (`afta-ftpatterns` adaptive manager),
+//! * §3.3 redundant voting (`afta-net`'s `DistributedVotingFarm` over
+//!   `SimTransport`).
+//!
+//! After every schedule a typed [`Invariant`] set is checked; on
+//! violation a delta-debugging [`shrink()`] minimizes the schedule to a
+//! 1-minimal failing core keyed by a single `AFTA_SEED`, emitted as a
+//! self-contained [`Reproducer`] file.  Minimized reproducers are
+//! committed under `crates/fuzz/corpus/` and replayed as pinned
+//! regression tests.
+//!
+//! Everything is keyed by one `u64` seed: the same seed produces the
+//! byte-identical schedule JSON, run verdict, and shrink trace.
+//!
+//! # Example
+//!
+//! ```
+//! use afta_fuzz::{generate, run_schedule, BugFlags, Profile, RunConfig};
+//! use afta_telemetry::Registry;
+//! use std::time::Duration;
+//!
+//! let schedule = generate(0xAF7A, 28, Profile::Battery);
+//! let cfg = RunConfig { round_timeout: Duration::from_millis(25) };
+//! let report = run_schedule(&schedule, &BugFlags::default(), &cfg, &Registry::disabled());
+//! assert!(report.passed(), "battery schedules uphold every invariant");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod invariant;
+pub mod run;
+pub mod schedule;
+pub mod shrink;
+
+pub use corpus::{assert_one_minimal, load_corpus, replay_reproducer, Reproducer};
+pub use invariant::{Invariant, Violation};
+pub use run::{
+    run_schedule, BugFlags, FarmSummary, MemSummary, PatternsSummary, RunConfig, RunReport,
+};
+pub use schedule::{
+    generate, ClashSide, FaultEvent, FaultKind, LinkFault, Profile, Schedule, DEFAULT_MAX_STEPS,
+};
+pub use shrink::{shrink, ShrinkOutcome};

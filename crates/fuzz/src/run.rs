@@ -1,0 +1,1033 @@
+//! The deterministic runner: execute one [`Schedule`] against all three
+//! strategies and check the invariant set.
+//!
+//! Each run is hermetic — its own [`SimNetwork`], memory modules, event
+//! bus, and per-run telemetry registry — and every random draw comes
+//! from a named stream of the schedule's seed, so the same schedule
+//! always yields the byte-identical [`RunReport`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use afta_eventbus::Bus;
+use afta_ftpatterns::{AdaptiveFtManager, Fault, FaultNotification};
+use afta_memaccess::{configure, AccessMethod, FailureKnowledgeBase, FailureRecord};
+use afta_memsim::{BehaviorClass, FaultRates, MemoryDevice, MemoryTechnology, Severity, Spd};
+use afta_net::{
+    run_voter, DistributedVotingFarm, FarmConfig, LinkProfile, NodeId, SimNetwork, Transport,
+};
+use afta_sim::{SeedFactory, SkewedClock};
+use afta_telemetry::Registry;
+use afta_voting::{dtof_checked, dtof_max, VoteOutcome};
+use rand::{rngs::StdRng, Rng};
+use serde::{Deserialize, Serialize};
+
+use crate::invariant::{Invariant, Violation};
+use crate::schedule::{ClashSide, FaultKind, LinkFault, Schedule, VOTERS};
+
+/// Consecutive majority-less §3.3 rounds tolerated before the farm is
+/// declared livelocked.
+pub const FARM_LIVELOCK_WINDOW: u64 = 12;
+/// Consecutive result-less §3.2 rounds tolerated before the manager is
+/// declared livelocked.
+pub const PATTERNS_LIVELOCK_WINDOW: u64 = 8;
+/// Rounds after (quarantine, obstruction healed) within which a
+/// quarantined voter must rejoin: two probe cycles plus slack.
+pub const QUARANTINE_GRACE: u64 = 10;
+/// §3.1 shards under test (one byte each).
+pub const SHARDS: usize = 48;
+/// Physical bytes per simulated memory module.
+pub const MODULE_SIZE: usize = 256;
+/// Memory operations (reads/writes) per virtual step.
+pub const MEM_OPS_PER_STEP: usize = 4;
+/// Steps a [`FaultKind::SefiStorm`] keeps the §3.2 transient-fault
+/// window open.
+pub const TRANSIENT_WINDOW: u64 = 3;
+
+/// Intentionally plantable bugs, used by the invariant-coverage tests to
+/// prove every invariant actually fires.  All off in production runs;
+/// reproducer files never carry flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BugFlags {
+    /// §3.1: update the shadow model without writing the device
+    /// (lost-update bug) — trips [`Invariant::NoLostShard`].
+    pub mem_blind_writes: bool,
+    /// §3.3: recompute majority-less rounds' dtof with wrapping
+    /// arithmetic — trips [`Invariant::DtofNonNegative`].
+    pub dtof_wrapping: bool,
+    /// §3.3: disable quarantine probes — trips
+    /// [`Invariant::QuarantineRejoins`].
+    pub farm_no_probes: bool,
+    /// §3.2: bump the bus-drop counter without a matching loss — trips
+    /// [`Invariant::BusAccounting`].
+    pub bus_miscount: bool,
+    /// §3.2: report raw (unclamped) skewed ticks — trips
+    /// [`Invariant::MonotonicSpans`].
+    pub raw_skew: bool,
+}
+
+/// Runner knobs that are *not* part of the schedule (they affect
+/// wall-clock speed, never the verdict).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// §3.3 round deadline.  Healthy rounds finish in microseconds; only
+    /// faulted rounds pay this, so smaller is faster but must leave the
+    /// in-process voters room to reply.
+    pub round_timeout: Duration,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            round_timeout: Duration::from_millis(80),
+        }
+    }
+}
+
+impl RunConfig {
+    /// Reads `AFTA_FUZZ_ROUND_TIMEOUT_MS` from the environment, falling
+    /// back to the default.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(ms) = std::env::var("AFTA_FUZZ_ROUND_TIMEOUT_MS") {
+            if let Ok(ms) = ms.trim().parse::<u64>() {
+                cfg.round_timeout = Duration::from_millis(ms.max(1));
+            }
+        }
+        cfg
+    }
+}
+
+/// §3.3 driver summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FarmSummary {
+    /// Voting rounds executed.
+    pub rounds: u64,
+    /// Rounds that reached a majority.
+    pub majorities: u64,
+    /// Longest run of consecutive majority-less rounds.
+    pub longest_outage: u64,
+    /// Per-round digests (`r1 n3 v1/m0 dtof2 -> Hold` style).
+    pub digests: Vec<String>,
+}
+
+/// §3.1 driver summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemSummary {
+    /// Method labels in binding order (reconfigurations append).
+    pub method_history: Vec<String>,
+    /// Shard operations executed.
+    pub ops: u64,
+    /// Errors the method *reported* (detected, hence tolerable).
+    pub detected_losses: u64,
+    /// Reads that returned wrong data with no error — each one is a
+    /// [`Invariant::NoLostShard`] violation.
+    pub wrong_reads: u64,
+    /// KB-edit-driven reconfigurations performed.
+    pub reconfigures: u64,
+}
+
+/// §3.2 driver summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternsSummary {
+    /// Manager rounds executed.
+    pub rounds: u64,
+    /// Rounds that delivered no result.
+    pub failed_rounds: u64,
+    /// Longest run of consecutive result-less rounds.
+    pub longest_outage: u64,
+    /// D1<->D2 reshapes performed by the adaptive manager.
+    pub reshapes: u64,
+    /// Spares consumed (adaptive + forced-static paths).
+    pub spares_consumed: u64,
+    /// Fault notifications published on the bus.
+    pub notifications: u64,
+    /// Deliveries lost to the deliberately lagging subscriber.
+    pub bus_lost: u64,
+    /// Value of the `eventbus.bus_dropped_total` telemetry counter.
+    pub bus_dropped_counter: u64,
+    /// Tick observation per round (raw signed when the `raw_skew` bug
+    /// flag is set, clamped otherwise).
+    pub tick_trace: Vec<i64>,
+}
+
+/// The complete, deterministic verdict of one schedule run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The schedule's seed.
+    pub seed: u64,
+    /// Every invariant violation observed, in driver order (farm, mem,
+    /// patterns).
+    pub violations: Vec<Violation>,
+    /// §3.3 summary.
+    pub farm: FarmSummary,
+    /// §3.1 summary.
+    pub mem: MemSummary,
+    /// §3.2 summary.
+    pub patterns: PatternsSummary,
+}
+
+impl RunReport {
+    /// Whether the run upheld every invariant.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// First violation of `invariant`, if any.
+    #[must_use]
+    pub fn violation_of(&self, invariant: Invariant) -> Option<&Violation> {
+        self.violations.iter().find(|v| v.invariant == invariant)
+    }
+
+    /// Canonical pretty JSON encoding (deterministic field order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// Executes `schedule` against all three strategies and checks every
+/// invariant.
+///
+/// `session` receives aggregate `fuzz.*` counters; the run itself uses
+/// private registries so schedules never observe each other.
+#[must_use]
+pub fn run_schedule(
+    schedule: &Schedule,
+    flags: &BugFlags,
+    cfg: &RunConfig,
+    session: &Registry,
+) -> RunReport {
+    session.counter("fuzz.schedules").inc();
+
+    let (farm, mut violations) = run_farm(schedule, flags, cfg);
+    let (mem, mem_violations) = run_mem(schedule, flags);
+    let (patterns, pattern_violations) = run_patterns(schedule, flags);
+    violations.extend(mem_violations);
+    violations.extend(pattern_violations);
+
+    session.counter("fuzz.rounds").add(farm.rounds);
+    session
+        .counter("fuzz.violations")
+        .add(violations.len() as u64);
+
+    RunReport {
+        seed: schedule.seed,
+        violations,
+        farm,
+        mem,
+        patterns,
+    }
+}
+
+// ---------------------------------------------------------------------
+// §3.3 driver: DistributedVotingFarm over SimTransport
+// ---------------------------------------------------------------------
+
+enum NetAction {
+    Cut(NodeId, NodeId),
+    Heal(NodeId, NodeId),
+    SetLink(NodeId, NodeId, LinkFault),
+    ClearLink(NodeId, NodeId),
+}
+
+fn node(id: u16) -> NodeId {
+    NodeId(id % (VOTERS + 1))
+}
+
+/// Per-voter intervals `[start, end)` during which the coordinator link
+/// is obstructed (partition, crash, or drop/delay burst), for the
+/// quarantine-rejoin deadline.  `end == u64::MAX` means "never heals".
+fn obstruction_end(schedule: &Schedule, voter: u16) -> Option<u64> {
+    let mut end = 0u64;
+    let mut any = false;
+    for ev in &schedule.events {
+        let (start, this_end) = match &ev.kind {
+            FaultKind::Partition { a, b, heal_after } => {
+                let (a, b) = (node(*a).0, node(*b).0);
+                if (a, b) != (0, voter) && (b, a) != (0, voter) {
+                    continue;
+                }
+                (
+                    ev.at,
+                    if *heal_after == 0 {
+                        u64::MAX
+                    } else {
+                        ev.at + heal_after
+                    },
+                )
+            }
+            FaultKind::VoterCrash {
+                voter: v,
+                revive_after,
+            } => {
+                if node(*v).0 != voter {
+                    continue;
+                }
+                (
+                    ev.at,
+                    if *revive_after == 0 {
+                        u64::MAX
+                    } else {
+                        ev.at + revive_after
+                    },
+                )
+            }
+            FaultKind::LinkBurst {
+                from,
+                to,
+                fault: LinkFault::Drop | LinkFault::Delay,
+                len,
+            } => {
+                let (f, t) = (node(*from).0, node(*to).0);
+                if (f, t) != (0, voter) && (t, f) != (0, voter) {
+                    continue;
+                }
+                (ev.at, ev.at + len)
+            }
+            _ => continue,
+        };
+        let _ = start;
+        any = true;
+        if this_end == u64::MAX {
+            return None; // never heals: the invariant is excused
+        }
+        end = end.max(this_end);
+    }
+    any.then_some(end)
+}
+
+fn run_farm(
+    schedule: &Schedule,
+    flags: &BugFlags,
+    cfg: &RunConfig,
+) -> (FarmSummary, Vec<Violation>) {
+    // Compile the schedule into per-step network actions.
+    let mut plan: BTreeMap<u64, Vec<NetAction>> = BTreeMap::new();
+    for ev in &schedule.events {
+        match &ev.kind {
+            FaultKind::Partition { a, b, heal_after } => {
+                let (a, b) = (node(*a), node(*b));
+                if a == b {
+                    continue;
+                }
+                plan.entry(ev.at).or_default().push(NetAction::Cut(a, b));
+                if *heal_after > 0 {
+                    plan.entry(ev.at + heal_after)
+                        .or_default()
+                        .push(NetAction::Heal(a, b));
+                }
+            }
+            FaultKind::VoterCrash {
+                voter,
+                revive_after,
+            } => {
+                let v = node(*voter);
+                if v.0 == 0 {
+                    continue;
+                }
+                plan.entry(ev.at)
+                    .or_default()
+                    .push(NetAction::Cut(NodeId(0), v));
+                if *revive_after > 0 {
+                    plan.entry(ev.at + revive_after)
+                        .or_default()
+                        .push(NetAction::Heal(NodeId(0), v));
+                }
+            }
+            FaultKind::LinkBurst {
+                from,
+                to,
+                fault,
+                len,
+            } => {
+                let (f, t) = (node(*from), node(*to));
+                if f == t {
+                    continue;
+                }
+                plan.entry(ev.at)
+                    .or_default()
+                    .push(NetAction::SetLink(f, t, *fault));
+                plan.entry(ev.at + (*len).max(1))
+                    .or_default()
+                    .push(NetAction::ClearLink(f, t));
+            }
+            _ => {}
+        }
+    }
+
+    let net = SimNetwork::new(schedule.seed);
+    let local = Registry::new();
+    net.attach_telemetry(&local);
+
+    let mut handles = Vec::new();
+    for v in 1..=VOTERS {
+        let endpoint = net.endpoint(NodeId(v));
+        handles.push(std::thread::spawn(move || {
+            // Honest voters: echo the round's input.
+            run_voter(&endpoint, Duration::from_millis(5), |_round, input| {
+                input.to_string()
+            })
+        }));
+    }
+
+    let coordinator: Arc<dyn Transport> = Arc::new(net.endpoint(NodeId(0)));
+    let mut farm = DistributedVotingFarm::new(
+        coordinator,
+        (1..=VOTERS).map(NodeId).collect(),
+        FarmConfig {
+            initial_replicas: 3,
+            round_timeout: cfg.round_timeout,
+            alpha_threshold: 3.0,
+            probe_every: if flags.farm_no_probes { 0 } else { 4 },
+            ..FarmConfig::default()
+        },
+        &local,
+    );
+
+    let mut violations = Vec::new();
+    let mut digests = Vec::with_capacity(schedule.max_steps as usize);
+    let mut quarantined_by_round: Vec<Vec<NodeId>> = Vec::new();
+    let mut majorities = 0u64;
+    let mut outage = 0u64;
+    let mut longest_outage = 0u64;
+
+    for step in 1..=schedule.max_steps {
+        if let Some(actions) = plan.get(&step) {
+            for action in actions {
+                match action {
+                    NetAction::Cut(a, b) => net.partition(*a, *b),
+                    NetAction::Heal(a, b) => net.heal(*a, *b),
+                    NetAction::SetLink(f, t, fault) => {
+                        let profile = match fault {
+                            LinkFault::Drop => LinkProfile {
+                                drop: Some(afta_faultinject::EnvironmentProfile::calm(1.0)),
+                                ..LinkProfile::perfect()
+                            },
+                            LinkFault::Duplicate => LinkProfile {
+                                duplicate: Some(afta_faultinject::EnvironmentProfile::calm(1.0)),
+                                ..LinkProfile::perfect()
+                            },
+                            LinkFault::Delay => LinkProfile {
+                                delay: Some((
+                                    afta_faultinject::EnvironmentProfile::calm(1.0),
+                                    cfg.round_timeout * 3,
+                                )),
+                                ..LinkProfile::perfect()
+                            },
+                        };
+                        net.set_link(*f, *t, profile);
+                    }
+                    NetAction::ClearLink(f, t) => net.set_link(*f, *t, LinkProfile::perfect()),
+                }
+            }
+        }
+
+        let report = farm.round(&format!("v{step}"));
+        digests.push(report.digest());
+        quarantined_by_round.push(report.quarantined.clone());
+
+        if report.succeeded() {
+            majorities += 1;
+            outage = 0;
+        } else {
+            outage += 1;
+            longest_outage = longest_outage.max(outage);
+            if outage == FARM_LIVELOCK_WINDOW + 1 {
+                violations.push(Violation {
+                    invariant: Invariant::NoLivelock,
+                    strategy: "farm".into(),
+                    step,
+                    detail: format!(
+                        "no majority for {} consecutive rounds (budget {FARM_LIVELOCK_WINDOW}); last: {}",
+                        outage,
+                        report.digest()
+                    ),
+                });
+            }
+        }
+
+        // dtof arithmetic check (the `dtof_wrapping` flag re-derives the
+        // value the way a naive unsigned subtraction would).
+        let reported = if flags.dtof_wrapping
+            && report.n > 0
+            && matches!(report.outcome, VoteOutcome::NoMajority)
+        {
+            (report.n.div_ceil(2) as u32).wrapping_sub(report.n as u32)
+        } else {
+            report.dtof
+        };
+        let expected = match &report.outcome {
+            VoteOutcome::Majority { dissent, .. } => dtof_checked(report.n, Some(*dissent)),
+            VoteOutcome::NoMajority => Some(0),
+        };
+        let sound = match expected {
+            Some(expected) if report.n == 0 => reported == expected,
+            Some(expected) => reported == expected && reported <= dtof_max(report.n),
+            None => false,
+        };
+        if !sound {
+            violations.push(Violation {
+                invariant: Invariant::DtofNonNegative,
+                strategy: "farm".into(),
+                step,
+                detail: format!(
+                    "round reported dtof {reported} for n={} outcome={:?} (expected {:?})",
+                    report.n,
+                    report.outcome.dissent(),
+                    expected
+                ),
+            });
+        }
+    }
+
+    net.close();
+    for handle in handles {
+        let _ = handle.join();
+    }
+
+    // Quarantine-rejoin deadlines, from the schedule's obstruction map.
+    for v in 1..=VOTERS {
+        let first_q = quarantined_by_round
+            .iter()
+            .position(|q| q.contains(&NodeId(v)));
+        let Some(first_q) = first_q else { continue };
+        let first_q_round = first_q as u64 + 1;
+        let Some(healed) = obstruction_end(schedule, v) else {
+            continue; // the obstruction never heals: excused
+        };
+        let deadline = first_q_round.max(healed) + QUARANTINE_GRACE;
+        if deadline > schedule.max_steps {
+            continue; // deadline beyond the horizon: not observable
+        }
+        let rejoined = (first_q_round..deadline)
+            .any(|round| !quarantined_by_round[round as usize].contains(&NodeId(v)));
+        if !rejoined {
+            violations.push(Violation {
+                invariant: Invariant::QuarantineRejoins,
+                strategy: "farm".into(),
+                step: deadline,
+                detail: format!(
+                    "voter {v} quarantined at round {first_q_round}, obstruction healed by \
+                     round {healed}, still quarantined at deadline {deadline}"
+                ),
+            });
+        }
+    }
+
+    (
+        FarmSummary {
+            rounds: schedule.max_steps,
+            majorities,
+            longest_outage,
+            digests,
+        },
+        violations,
+    )
+}
+
+// ---------------------------------------------------------------------
+// §3.1 driver: memory access methods under storms and clashing edits
+// ---------------------------------------------------------------------
+
+fn mem_spd() -> Spd {
+    Spd {
+        vendor: "acme".into(),
+        model: "mx-1".into(),
+        serial: "sn-0001".into(),
+        lot: "lot-7".into(),
+        size_mib: 64,
+        clock_mhz: 100,
+        width_bits: 8,
+        technology: MemoryTechnology::Sdram,
+    }
+}
+
+fn honest_record(schedule: &Schedule) -> FailureRecord {
+    let storms = schedule
+        .events
+        .iter()
+        .any(|ev| matches!(ev.kind, FaultKind::SefiStorm { .. }));
+    if storms {
+        FailureRecord::new(BehaviorClass::F4, Severity::Harsh)
+    } else {
+        FailureRecord::new(BehaviorClass::F1, Severity::Benign)
+    }
+}
+
+fn run_mem(schedule: &Schedule, flags: &BugFlags) -> (MemSummary, Vec<Violation>) {
+    let factory = SeedFactory::new(schedule.seed);
+    let spd = mem_spd();
+    let mut kb = FailureKnowledgeBase::new();
+    kb.insert_lot(spd.lot_key(), honest_record(schedule));
+
+    let report = configure(&spd, &kb).expect("builtin-free KB still matches the inserted lot");
+    let mut method: Box<dyn AccessMethod> = report.method.instantiate(
+        MODULE_SIZE,
+        FaultRates::none(),
+        factory.derived_seed("fuzz.mem.module"),
+    );
+    let mut method_history = vec![report.method.label().to_string()];
+
+    let mut model = [0u8; SHARDS];
+    let mut detected = [false; SHARDS];
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut ops = 0u64;
+    let mut detected_losses = 0u64;
+    let mut wrong_reads = 0u64;
+    let mut reconfigures = 0u64;
+
+    let push_wrong_read = |violations: &mut Vec<Violation>,
+                           wrong_reads: &mut u64,
+                           step: u64,
+                           shard: usize,
+                           got: u8,
+                           want: u8,
+                           label: &str| {
+        *wrong_reads += 1;
+        // Keep reports bounded: every wrong read is counted, the first
+        // few carry full evidence.
+        if *wrong_reads <= 8 {
+            violations.push(Violation {
+                invariant: Invariant::NoLostShard,
+                strategy: "mem".into(),
+                step,
+                detail: format!("shard {shard} silently read {got} (expected {want}) via {label}"),
+            });
+        }
+    };
+
+    // Write every shard once so the model and the devices agree.
+    for shard in 0..SHARDS {
+        if !flags.mem_blind_writes {
+            match method.store(shard, &[0]) {
+                Ok(()) => {}
+                Err(_) => {
+                    detected[shard] = true;
+                    detected_losses += 1;
+                }
+            }
+        }
+        model[shard] = 0;
+        ops += 1;
+    }
+
+    let mut ops_rng = factory.stream("fuzz.mem.ops");
+
+    for step in 1..=schedule.max_steps {
+        for ev in schedule.events.iter().filter(|ev| ev.at == step) {
+            match &ev.kind {
+                FaultKind::ClashEdit { side } => {
+                    let record = match side {
+                        ClashSide::E1 => FailureRecord::new(BehaviorClass::F0, Severity::Benign),
+                        ClashSide::E2 => FailureRecord::new(BehaviorClass::F4, Severity::Harsh),
+                    };
+                    kb.insert_lot(spd.lot_key(), record);
+                    let new_report = configure(&spd, &kb).expect("edited KB still matches the lot");
+                    if new_report.method.label() != method_history.last().unwrap().as_str() {
+                        reconfigures += 1;
+                        let mut next: Box<dyn AccessMethod> = new_report.method.instantiate(
+                            MODULE_SIZE,
+                            FaultRates::none(),
+                            factory.derived_seed("fuzz.mem.module") ^ reconfigures,
+                        );
+                        // Migrate shard contents.  A silently-wrong read
+                        // here propagates the wrong value — exactly the
+                        // hazard a clashing downgrade edit creates.
+                        for (shard, flag) in detected.iter_mut().enumerate() {
+                            let mut buf = [0u8; 1];
+                            match method.load(shard, &mut buf) {
+                                Ok(()) => {
+                                    if next.store(shard, &buf).is_err() {
+                                        *flag = true;
+                                        detected_losses += 1;
+                                    }
+                                }
+                                Err(_) => {
+                                    *flag = true;
+                                    detected_losses += 1;
+                                }
+                            }
+                        }
+                        method = next;
+                        method_history.push(new_report.method.label().to_string());
+                    }
+                }
+                FaultKind::SefiStorm { flips, sefi } => {
+                    let mut storm_rng: StdRng =
+                        factory.indexed_stream("fuzz.mem.storm", step as usize);
+                    let mut devices = method.devices_mut();
+                    if !devices.is_empty() {
+                        for _ in 0..*flips {
+                            let d = storm_rng.gen_range(0..devices.len());
+                            let size = devices[d].size();
+                            let addr = storm_rng.gen_range(0..size);
+                            let bit = storm_rng.gen_range(0..8u32) as u8;
+                            devices[d].inject_bit_flip(addr, bit);
+                        }
+                        if *sefi {
+                            devices[0].inject_sefi();
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        for _ in 0..MEM_OPS_PER_STEP {
+            let shard = ops_rng.gen_range(0..SHARDS);
+            if ops_rng.gen_bool(0.5) {
+                let value = ops_rng.gen_range(0..=255u32) as u8;
+                if flags.mem_blind_writes {
+                    model[shard] = value;
+                    detected[shard] = false;
+                } else {
+                    match method.store(shard, &[value]) {
+                        Ok(()) => {
+                            model[shard] = value;
+                            detected[shard] = false;
+                        }
+                        Err(_) => {
+                            model[shard] = value;
+                            detected[shard] = true;
+                            detected_losses += 1;
+                        }
+                    }
+                }
+            } else {
+                let mut buf = [0u8; 1];
+                match method.load(shard, &mut buf) {
+                    Ok(()) => {
+                        if buf[0] != model[shard] && !detected[shard] {
+                            push_wrong_read(
+                                &mut violations,
+                                &mut wrong_reads,
+                                step,
+                                shard,
+                                buf[0],
+                                model[shard],
+                                method.label(),
+                            );
+                        }
+                    }
+                    Err(_) => {
+                        detected[shard] = true;
+                        detected_losses += 1;
+                    }
+                }
+            }
+            ops += 1;
+        }
+
+        let _ = method.maintain();
+    }
+
+    // Final sweep: every shard must still read back as the model says,
+    // or have announced its loss.
+    for shard in 0..SHARDS {
+        let mut buf = [0u8; 1];
+        match method.load(shard, &mut buf) {
+            Ok(()) => {
+                if buf[0] != model[shard] && !detected[shard] {
+                    push_wrong_read(
+                        &mut violations,
+                        &mut wrong_reads,
+                        schedule.max_steps,
+                        shard,
+                        buf[0],
+                        model[shard],
+                        method.label(),
+                    );
+                }
+            }
+            Err(_) => {
+                detected_losses += 1;
+            }
+        }
+        ops += 1;
+    }
+
+    (
+        MemSummary {
+            method_history,
+            ops,
+            detected_losses,
+            wrong_reads,
+            reconfigures,
+        },
+        violations,
+    )
+}
+
+// ---------------------------------------------------------------------
+// §3.2 driver: adaptive FT manager under oracle faults and clock skew
+// ---------------------------------------------------------------------
+
+fn run_patterns(schedule: &Schedule, flags: &BugFlags) -> (PatternsSummary, Vec<Violation>) {
+    let registry = Registry::new();
+    let bus = Bus::new();
+    bus.attach_telemetry(&registry);
+    // A deliberately tiny, never-drained subscriber: under notification
+    // pressure the bus must *account* for every delivery it sheds.
+    let lagging = bus.subscribe_with_capacity::<FaultNotification>(4);
+
+    let mut manager = AdaptiveFtManager::new(3, 16, 3.0, bus.clone());
+    manager.set_telemetry(registry.clone());
+
+    // Oracle windows from the schedule.
+    let transient: Vec<(u64, u64)> = schedule
+        .events
+        .iter()
+        .filter_map(|ev| match ev.kind {
+            FaultKind::SefiStorm { .. } => Some((ev.at, ev.at + TRANSIENT_WINDOW)),
+            _ => None,
+        })
+        .collect();
+    let permanent: Vec<(u64, u64)> = schedule
+        .events
+        .iter()
+        .filter_map(|ev| match ev.kind {
+            FaultKind::VoterCrash {
+                voter: _,
+                revive_after,
+            } => Some((
+                ev.at,
+                if revive_after == 0 {
+                    u64::MAX
+                } else {
+                    ev.at + revive_after
+                },
+            )),
+            _ => None,
+        })
+        .collect();
+
+    let mut clock = SkewedClock::new();
+    let mut forced: Option<ClashSide> = None;
+    let mut forced_version = 0usize;
+    let mut forced_spares = 16u64;
+    let mut forced_spares_consumed = 0u64;
+
+    let mut failed_rounds = 0u64;
+    let mut outage = 0u64;
+    let mut longest_outage = 0u64;
+    let mut tick_trace: Vec<i64> = Vec::with_capacity(schedule.max_steps as usize);
+    let mut violations = Vec::new();
+
+    for step in 1..=schedule.max_steps {
+        for ev in schedule.events.iter().filter(|ev| ev.at == step) {
+            match ev.kind {
+                FaultKind::ClockSkew { delta } => {
+                    clock.apply_skew(delta);
+                }
+                FaultKind::ClashEdit { side } => forced = Some(side),
+                _ => {}
+            }
+        }
+
+        let observed = clock.tick();
+        tick_trace.push(if flags.raw_skew {
+            // Bug flag: report the raw skewed reading, clamping skipped.
+            clock.base().now().0 as i64 + clock.skew()
+        } else {
+            observed.0 as i64
+        });
+        let span = registry.virtual_span("fuzz.patterns.round", observed);
+
+        let perm_active = permanent.iter().any(|&(s, e)| step >= s && step < e);
+        let tran_active = transient.iter().any(|&(s, e)| step >= s && step <= e);
+        let mut first_attempt = true;
+        let mut attempt = |version: usize, _retry: u32| -> Result<u64, Fault> {
+            let is_first = std::mem::take(&mut first_attempt);
+            if perm_active && version == 0 {
+                return Err(Fault);
+            }
+            if tran_active && is_first {
+                return Err(Fault);
+            }
+            Ok(step)
+        };
+
+        let succeeded = match forced {
+            // Adaptive path: the manager picks and re-picks D1/D2.
+            None => manager.execute_round(observed, attempt).is_some(),
+            // The `e1` editor statically bound redoing: retries cannot
+            // outwait a permanent fault.
+            Some(ClashSide::E1) => {
+                let mut value = None;
+                let mut extra = false;
+                for retry in 0..3u32 {
+                    if retry > 0 {
+                        extra = true;
+                    }
+                    if let Ok(v) = attempt(forced_version, retry) {
+                        value = Some(v);
+                        break;
+                    }
+                }
+                if extra || value.is_none() {
+                    bus.publish(FaultNotification {
+                        component: "c3".into(),
+                        tick: observed,
+                    });
+                }
+                value.is_some()
+            }
+            // The `e2` editor statically bound reconfiguration: spares
+            // burn on transient faults that a retry would have absorbed.
+            Some(ClashSide::E2) => {
+                let mut value = None;
+                let mut consumed = false;
+                loop {
+                    match attempt(forced_version, 0) {
+                        Ok(v) => {
+                            value = Some(v);
+                            break;
+                        }
+                        Err(Fault) => {
+                            if forced_spares == 0 {
+                                break;
+                            }
+                            forced_spares -= 1;
+                            forced_version += 1;
+                            forced_spares_consumed += 1;
+                            consumed = true;
+                        }
+                    }
+                }
+                if consumed || value.is_none() {
+                    bus.publish(FaultNotification {
+                        component: "c3".into(),
+                        tick: observed,
+                    });
+                }
+                value.is_some()
+            }
+        };
+
+        span.finish(clock.now());
+
+        if succeeded {
+            outage = 0;
+        } else {
+            failed_rounds += 1;
+            outage += 1;
+            longest_outage = longest_outage.max(outage);
+            if outage == PATTERNS_LIVELOCK_WINDOW + 1 {
+                violations.push(Violation {
+                    invariant: Invariant::NoLivelock,
+                    strategy: "patterns".into(),
+                    step,
+                    detail: format!(
+                        "no result for {outage} consecutive rounds \
+                         (budget {PATTERNS_LIVELOCK_WINDOW}); pattern {}",
+                        forced.map_or_else(
+                            || manager.active_pattern().to_string(),
+                            |side| format!("forced {side:?}")
+                        )
+                    ),
+                });
+            }
+        }
+    }
+
+    // Monotonicity of the reported tick trace.
+    for (i, pair) in tick_trace.windows(2).enumerate() {
+        if pair[1] < pair[0] {
+            violations.push(Violation {
+                invariant: Invariant::MonotonicSpans,
+                strategy: "patterns".into(),
+                step: i as u64 + 2,
+                detail: format!(
+                    "tick observation went backwards: {} -> {}",
+                    pair[0], pair[1]
+                ),
+            });
+            break;
+        }
+    }
+
+    if flags.bus_miscount {
+        // Bug flag: a drop path that bumps the counter without an
+        // accompanying TopicStats loss.
+        registry.counter("eventbus.bus_dropped_total").inc();
+    }
+    let stats = bus.topic_stats::<FaultNotification>();
+    let (published, lost) = stats.map_or((0, 0), |s| (s.published, s.lost));
+    let dropped_counter = registry.counter("eventbus.bus_dropped_total").get();
+    if lost != dropped_counter {
+        violations.push(Violation {
+            invariant: Invariant::BusAccounting,
+            strategy: "patterns".into(),
+            step: schedule.max_steps,
+            detail: format!(
+                "TopicStats.lost = {lost} but eventbus.bus_dropped_total = {dropped_counter}"
+            ),
+        });
+    }
+    drop(lagging);
+
+    let stats = manager.stats();
+    (
+        PatternsSummary {
+            rounds: schedule.max_steps,
+            failed_rounds,
+            longest_outage,
+            reshapes: stats.reshapes,
+            spares_consumed: stats.spares_consumed + forced_spares_consumed,
+            notifications: published,
+            bus_lost: lost,
+            bus_dropped_counter: dropped_counter,
+            tick_trace,
+        },
+        violations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{generate, Profile, DEFAULT_MAX_STEPS};
+
+    fn fast() -> RunConfig {
+        RunConfig {
+            round_timeout: Duration::from_millis(25),
+        }
+    }
+
+    #[test]
+    fn quiet_schedule_upholds_every_invariant() {
+        let schedule = Schedule::quiet(11, 16);
+        let report = run_schedule(
+            &schedule,
+            &BugFlags::default(),
+            &fast(),
+            &Registry::disabled(),
+        );
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.farm.majorities, 16);
+        assert_eq!(report.mem.wrong_reads, 0);
+        assert_eq!(report.patterns.failed_rounds, 0);
+    }
+
+    #[test]
+    fn run_is_byte_deterministic() {
+        let schedule = generate(0xFEED_BEEF, DEFAULT_MAX_STEPS, Profile::Battery);
+        let a = run_schedule(
+            &schedule,
+            &BugFlags::default(),
+            &fast(),
+            &Registry::disabled(),
+        );
+        let b = run_schedule(
+            &schedule,
+            &BugFlags::default(),
+            &fast(),
+            &Registry::disabled(),
+        );
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

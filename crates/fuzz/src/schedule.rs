@@ -1,0 +1,421 @@
+//! Fault schedules: the fuzzer's input grammar and its seeded generator.
+//!
+//! A [`Schedule`] is a finite, sorted program of [`FaultEvent`]s over
+//! virtual time — the *hazard script* one deterministic simulation run
+//! executes against all three of the paper's strategies.  Everything
+//! about a schedule derives from a single `u64` seed: the same seed
+//! always produces the byte-identical schedule (and, downstream, the
+//! byte-identical run and shrink trace).
+
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default virtual-step budget for generated schedules.
+pub const DEFAULT_MAX_STEPS: u64 = 28;
+
+/// Number of voter nodes in the §3.3 farm driver (`NodeId(1)..=NodeId(5)`;
+/// `NodeId(0)` is the coordinator).
+pub const VOTERS: u16 = 5;
+
+/// Which link fault a [`FaultKind::LinkBurst`] applies for its duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkFault {
+    /// Lose every frame on the link.
+    Drop,
+    /// Deliver every frame twice.
+    Duplicate,
+    /// Delay every frame past the round deadline.
+    Delay,
+}
+
+/// Which side of the §2 *clashing edit* scenario a [`FaultKind::ClashEdit`]
+/// plays: two operators concurrently revising the failure knowledge base
+/// with contradictory beliefs about the module population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClashSide {
+    /// `e1`: "the lot is benign" — downgrades the record to `F0`, which
+    /// deselects memory protection and rebinds the patterns side to
+    /// redoing (transient-fault assumption).
+    E1,
+    /// `e2`: "the lot is harsh" — upgrades the record to `F4`, selecting
+    /// the most expensive memory method and rebinding the patterns side
+    /// to reconfiguration (permanent-fault assumption).
+    E2,
+}
+
+/// One atomic fault in a schedule, fired when the run reaches virtual
+/// step [`FaultEvent::at`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Cut the network between nodes `a` and `b` (coordinator is node 0,
+    /// voters 1..=5).  Healed `heal_after` steps later; `0` = never.
+    Partition {
+        /// One end of the cut link.
+        a: u16,
+        /// The other end.
+        b: u16,
+        /// Steps until the cut heals (`0` = stays cut).
+        heal_after: u64,
+    },
+    /// Degrade the directed link `from -> to` with `fault` for `len`
+    /// steps, then restore it to perfect.
+    LinkBurst {
+        /// Sending node.
+        from: u16,
+        /// Receiving node.
+        to: u16,
+        /// Which fault the link applies.
+        fault: LinkFault,
+        /// Steps until the link is restored.
+        len: u64,
+    },
+    /// Crash voter `voter` (all its traffic is cut), revived
+    /// `revive_after` steps later; `0` = stays down.  Also drives the
+    /// §3.2 component oracle: the protected component fails permanently
+    /// while the crash window is open.
+    VoterCrash {
+        /// The crashed voter (1..=5).
+        voter: u16,
+        /// Steps until the voter revives (`0` = stays down).
+        revive_after: u64,
+    },
+    /// A radiation burst against the §3.1 memory: `flips` seeded bit
+    /// flips across the method's devices, plus (when `sefi` is set) a
+    /// single-event functional interrupt halting device 0 until a power
+    /// cycle.  Also opens a transient-fault window on the §3.2 oracle.
+    SefiStorm {
+        /// Bit flips to inject, spread deterministically over devices.
+        flips: u32,
+        /// Whether to additionally inject a SEFI on device 0.
+        sefi: bool,
+    },
+    /// One side of the clashing knowledge-base edit lands: the KB record
+    /// for the module lot is rewritten and the memory strategy
+    /// reconfigures (§3.1) while the patterns strategy rebinds (§3.2).
+    ClashEdit {
+        /// Which operator's belief wins this edit.
+        side: ClashSide,
+    },
+    /// Step the virtual Tick source by `delta` ticks (negative = the
+    /// clock tries to run backwards; the clamped-step discipline of
+    /// `SkewedClock` must keep observations monotone).
+    ClockSkew {
+        /// Skew step in ticks.
+        delta: i64,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Partition { a, b, heal_after } => {
+                write!(f, "partition {a}<->{b} heal_after={heal_after}")
+            }
+            FaultKind::LinkBurst {
+                from,
+                to,
+                fault,
+                len,
+            } => write!(f, "link {from}->{to} {fault:?} len={len}"),
+            FaultKind::VoterCrash {
+                voter,
+                revive_after,
+            } => write!(f, "crash voter {voter} revive_after={revive_after}"),
+            FaultKind::SefiStorm { flips, sefi } => {
+                write!(f, "sefi-storm flips={flips} sefi={sefi}")
+            }
+            FaultKind::ClashEdit { side } => write!(f, "clash-edit {side:?}"),
+            FaultKind::ClockSkew { delta } => write!(f, "clock-skew {delta:+}"),
+        }
+    }
+}
+
+/// One scheduled fault: fire `kind` when the run reaches step `at`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Virtual step (1-based round number) at which the fault fires.
+    pub at: u64,
+    /// The fault.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}: {}", self.at, self.kind)
+    }
+}
+
+/// A complete fuzz input: seed, step budget, and the sorted fault
+/// program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// The seed this schedule was generated from (also seeds the run's
+    /// own random streams — network, memory scrubs, workload ops).
+    pub seed: u64,
+    /// Virtual steps (voting rounds / memory epochs) the run executes.
+    pub max_steps: u64,
+    /// The fault program, sorted by [`FaultEvent::at`] (stable, so
+    /// same-step events keep generation order).
+    pub events: Vec<FaultEvent>,
+}
+
+impl Schedule {
+    /// A fault-free schedule over `max_steps` steps.
+    #[must_use]
+    pub fn quiet(seed: u64, max_steps: u64) -> Self {
+        Self {
+            seed,
+            max_steps,
+            events: Vec::new(),
+        }
+    }
+
+    /// Canonical pretty JSON encoding.  Field order follows declaration
+    /// order, so the same schedule always encodes to the same bytes.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("schedule serializes")
+    }
+
+    /// Parses a schedule from its JSON encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Returns a copy with event `index` removed (used by the shrinker's
+    /// singleton pass and the corpus 1-minimality meta-test).
+    #[must_use]
+    pub fn without_event(&self, index: usize) -> Self {
+        let mut events = self.events.clone();
+        events.remove(index);
+        Self {
+            seed: self.seed,
+            max_steps: self.max_steps,
+            events,
+        }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed 0x{:016x} steps {} events {}",
+            self.seed,
+            self.max_steps,
+            self.events.len()
+        )?;
+        for ev in &self.events {
+            write!(f, "\n  {ev}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Generator hazard envelope.
+///
+/// The distinction mirrors the invariant taxonomy (see
+/// [`crate::Invariant`]): *battery* schedules stay inside margins under
+/// which even the policy invariants are guaranteed — they gate CI green.
+/// *Wild* schedules roam the full hazard space (unhealed partitions,
+/// `e1` downgrade edits, longer bursts) and are how new reproducers are
+/// hunted; a wild schedule violating a policy invariant is a finding to
+/// triage, not automatically a bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Profile {
+    /// CI-safe margins: every generated schedule must pass all
+    /// invariants.
+    Battery,
+    /// Full hazard space, including schedules that legitimately defeat
+    /// the policy invariants.
+    Wild,
+}
+
+/// Generates the schedule for `seed` under `profile`.
+///
+/// Deterministic: the event stream is drawn from the dedicated
+/// `"fuzz.schedule"` named stream of [`afta_sim::SeedFactory`], so runs
+/// and replays that share a seed share the schedule byte-for-byte.
+#[must_use]
+pub fn generate(seed: u64, max_steps: u64, profile: Profile) -> Schedule {
+    let factory = afta_sim::SeedFactory::new(seed);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(factory.derived_seed("fuzz.schedule"));
+    let battery = profile == Profile::Battery;
+
+    let count = if battery {
+        rng.gen_range(1..=4usize)
+    } else {
+        rng.gen_range(1..=6usize)
+    };
+    // Leave a healing tail so battery schedules can always recover
+    // before the step budget runs out.
+    let latest = if battery {
+        max_steps.saturating_sub(16).max(1)
+    } else {
+        max_steps.max(1)
+    };
+
+    let mut events = Vec::with_capacity(count);
+    for _ in 0..count {
+        let at = rng.gen_range(1..=latest);
+        let kind = match rng.gen_range(0..6u32) {
+            0 => {
+                let a = rng.gen_range(0..=VOTERS);
+                let mut b = rng.gen_range(0..=VOTERS);
+                if b == a {
+                    b = (b + 1) % (VOTERS + 1);
+                }
+                let heal_after = if battery {
+                    rng.gen_range(1..=5u64)
+                } else if rng.gen_bool(0.2) {
+                    0
+                } else {
+                    rng.gen_range(1..=8u64)
+                };
+                FaultKind::Partition { a, b, heal_after }
+            }
+            1 => {
+                let from = rng.gen_range(0..=VOTERS);
+                let mut to = rng.gen_range(0..=VOTERS);
+                if to == from {
+                    to = (to + 1) % (VOTERS + 1);
+                }
+                let fault = match rng.gen_range(0..3u32) {
+                    0 => LinkFault::Drop,
+                    1 => LinkFault::Duplicate,
+                    _ => LinkFault::Delay,
+                };
+                let len = if battery {
+                    rng.gen_range(1..=5u64)
+                } else {
+                    rng.gen_range(1..=10u64)
+                };
+                FaultKind::LinkBurst {
+                    from,
+                    to,
+                    fault,
+                    len,
+                }
+            }
+            2 => {
+                let voter = rng.gen_range(1..=VOTERS);
+                let revive_after = if battery {
+                    rng.gen_range(1..=5u64)
+                } else if rng.gen_bool(0.2) {
+                    0
+                } else {
+                    rng.gen_range(1..=8u64)
+                };
+                FaultKind::VoterCrash {
+                    voter,
+                    revive_after,
+                }
+            }
+            3 => FaultKind::SefiStorm {
+                flips: rng.gen_range(1..=24u32),
+                sefi: rng.gen_bool(0.3),
+            },
+            4 => FaultKind::ClashEdit {
+                side: if battery || rng.gen_bool(0.5) {
+                    // E1 downgrades protection below the module's real
+                    // behaviour — outside the battery envelope.
+                    ClashSide::E2
+                } else {
+                    ClashSide::E1
+                },
+            },
+            _ => FaultKind::ClockSkew {
+                delta: rng.gen_range(-12..=20i64),
+            },
+        };
+        events.push(FaultEvent { at, kind });
+    }
+    events.sort_by_key(|ev| ev.at);
+
+    Schedule {
+        seed,
+        max_steps,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule_bytes() {
+        let a = generate(0xABCD_1234, DEFAULT_MAX_STEPS, Profile::Battery);
+        let b = generate(0xABCD_1234, DEFAULT_MAX_STEPS, Profile::Battery);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = generate(7, DEFAULT_MAX_STEPS, Profile::Wild);
+        let back = Schedule::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn battery_schedules_stay_inside_margins() {
+        for seed in 0..200u64 {
+            let s = generate(seed, DEFAULT_MAX_STEPS, Profile::Battery);
+            assert!(!s.events.is_empty() && s.events.len() <= 4);
+            for ev in &s.events {
+                assert!(ev.at >= 1 && ev.at <= DEFAULT_MAX_STEPS - 16);
+                match &ev.kind {
+                    FaultKind::Partition { heal_after, .. } => {
+                        assert!(
+                            (1..=5).contains(heal_after),
+                            "battery partitions always heal: {ev}"
+                        );
+                    }
+                    FaultKind::VoterCrash { revive_after, .. } => {
+                        assert!(
+                            (1..=5).contains(revive_after),
+                            "battery crashes always revive: {ev}"
+                        );
+                    }
+                    FaultKind::LinkBurst { len, .. } => assert!((1..=5).contains(len)),
+                    FaultKind::ClashEdit { side } => {
+                        assert_eq!(
+                            *side,
+                            ClashSide::E2,
+                            "battery never downgrades the KB: {ev}"
+                        );
+                    }
+                    FaultKind::SefiStorm { .. } | FaultKind::ClockSkew { .. } => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_are_sorted_by_step() {
+        for seed in 0..50u64 {
+            let s = generate(seed, DEFAULT_MAX_STEPS, Profile::Wild);
+            for pair in s.events.windows(2) {
+                assert!(pair[0].at <= pair[1].at);
+            }
+        }
+    }
+
+    #[test]
+    fn without_event_removes_exactly_one() {
+        let s = generate(3, DEFAULT_MAX_STEPS, Profile::Wild);
+        if s.events.is_empty() {
+            return;
+        }
+        let t = s.without_event(0);
+        assert_eq!(t.events.len(), s.events.len() - 1);
+        assert_eq!(t.seed, s.seed);
+        assert_eq!(t.max_steps, s.max_steps);
+    }
+}

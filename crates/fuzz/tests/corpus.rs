@@ -1,0 +1,65 @@
+//! The committed reproducer corpus, pinned as regression tests.
+//!
+//! Every entry must (a) still trip the invariant it records and (b) be
+//! 1-minimal: deleting any single fault event makes the whole run pass.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use afta_fuzz::{assert_one_minimal, load_corpus, replay_reproducer, Invariant, RunConfig};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+fn fast() -> RunConfig {
+    RunConfig {
+        round_timeout: Duration::from_millis(25),
+    }
+}
+
+fn entry(name: &str) -> afta_fuzz::Reproducer {
+    load_corpus(&corpus_dir())
+        .expect("corpus directory loads")
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("corpus entry `{name}` missing"))
+        .1
+}
+
+#[test]
+fn corpus_partition_quarantine_livelock_still_trips() {
+    let rep = entry("partition-quarantine-livelock");
+    assert_eq!(rep.invariant, Invariant::NoLivelock);
+    let report = replay_reproducer(&rep, &fast()).expect("reproducer still reproduces");
+    let violation = report.violation_of(Invariant::NoLivelock).unwrap();
+    assert_eq!(violation.strategy, "farm");
+}
+
+#[test]
+fn corpus_clash_edit_silent_loss_still_trips() {
+    let rep = entry("clash-edit-silent-loss");
+    assert_eq!(rep.invariant, Invariant::NoLostShard);
+    let report = replay_reproducer(&rep, &fast()).expect("reproducer still reproduces");
+    let violation = report.violation_of(Invariant::NoLostShard).unwrap();
+    assert_eq!(violation.strategy, "mem");
+    // The downgrade edit is what strips protection: M4 -> M0.
+    assert_eq!(report.mem.method_history, vec!["M4", "M0"]);
+}
+
+#[test]
+fn every_corpus_entry_replays_and_is_one_minimal() {
+    let entries = load_corpus(&corpus_dir()).expect("corpus directory loads");
+    assert!(entries.len() >= 2, "corpus must keep its seed entries");
+    let cfg = fast();
+    for (name, rep) in entries {
+        replay_reproducer(&rep, &cfg)
+            .unwrap_or_else(|e| panic!("corpus entry `{name}` drifted: {e}"));
+        assert_one_minimal(&rep, &cfg)
+            .unwrap_or_else(|e| panic!("corpus entry `{name}` not minimal: {e}"));
+        assert!(
+            !rep.afta_seed.is_empty() && rep.afta_seed.starts_with("0x"),
+            "corpus entry `{name}` must record its AFTA_SEED"
+        );
+    }
+}

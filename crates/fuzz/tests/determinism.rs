@@ -1,0 +1,88 @@
+//! End-to-end determinism: one `AFTA_SEED` pins the schedule bytes, the
+//! run verdict bytes, and the shrink trace.
+
+use std::time::Duration;
+
+use afta_fuzz::{
+    generate, run_schedule, shrink, BugFlags, FaultEvent, FaultKind, Invariant, Profile, RunConfig,
+    Schedule, DEFAULT_MAX_STEPS,
+};
+use afta_telemetry::Registry;
+
+fn fast() -> RunConfig {
+    RunConfig {
+        round_timeout: Duration::from_millis(25),
+    }
+}
+
+#[test]
+fn seed_pins_schedule_verdict_and_shrink_bytes() {
+    let seed = 0x00DE_F109_u64;
+
+    let schedule_a = generate(seed, DEFAULT_MAX_STEPS, Profile::Battery);
+    let schedule_b = generate(seed, DEFAULT_MAX_STEPS, Profile::Battery);
+    assert_eq!(schedule_a.to_json(), schedule_b.to_json());
+
+    let report_a = run_schedule(
+        &schedule_a,
+        &BugFlags::default(),
+        &fast(),
+        &Registry::disabled(),
+    );
+    let report_b = run_schedule(
+        &schedule_b,
+        &BugFlags::default(),
+        &fast(),
+        &Registry::disabled(),
+    );
+    assert_eq!(report_a.to_json(), report_b.to_json());
+
+    // Shrink determinism, on a schedule known to fail under a planted
+    // bug: both passes must walk the identical trace.
+    let failing = Schedule {
+        seed,
+        max_steps: 10,
+        events: vec![
+            FaultEvent {
+                at: 1,
+                kind: FaultKind::ClockSkew { delta: 6 },
+            },
+            FaultEvent {
+                at: 2,
+                kind: FaultKind::SefiStorm {
+                    flips: 2,
+                    sefi: false,
+                },
+            },
+            FaultEvent {
+                at: 3,
+                kind: FaultKind::ClockSkew { delta: -5 },
+            },
+        ],
+    };
+    let flags = BugFlags {
+        raw_skew: true,
+        ..BugFlags::default()
+    };
+    let shrink_a = shrink(&failing, Invariant::MonotonicSpans, &flags, &fast()).unwrap();
+    let shrink_b = shrink(&failing, Invariant::MonotonicSpans, &flags, &fast()).unwrap();
+    assert_eq!(shrink_a.minimized.to_json(), shrink_b.minimized.to_json());
+    assert_eq!(shrink_a.trace, shrink_b.trace);
+    assert_eq!(shrink_a.runs, shrink_b.runs);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = generate(1, DEFAULT_MAX_STEPS, Profile::Battery);
+    let b = generate(2, DEFAULT_MAX_STEPS, Profile::Battery);
+    assert_ne!(a, b, "adjacent seeds should not collide");
+}
+
+#[test]
+fn wild_profile_is_deterministic_too() {
+    for seed in [3u64, 0xDEAD_BEEF, u64::MAX] {
+        let a = generate(seed, DEFAULT_MAX_STEPS, Profile::Wild);
+        let b = generate(seed, DEFAULT_MAX_STEPS, Profile::Wild);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

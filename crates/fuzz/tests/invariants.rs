@@ -1,0 +1,272 @@
+//! Invariant coverage: every one of the six invariants is tripped by at
+//! least one seeded schedule — against an intentionally-broken runner
+//! variant (a [`BugFlags`] plant) or, for the policy invariants, a wild
+//! schedule outside the battery envelope — and each trip test is paired
+//! with the flag-off/healed-schedule run passing.
+
+use std::time::Duration;
+
+use afta_fuzz::{
+    run_schedule, BugFlags, ClashSide, FaultEvent, FaultKind, Invariant, RunConfig, Schedule,
+};
+use afta_telemetry::Registry;
+
+fn fast() -> RunConfig {
+    RunConfig {
+        round_timeout: Duration::from_millis(25),
+    }
+}
+
+fn event(at: u64, kind: FaultKind) -> FaultEvent {
+    FaultEvent { at, kind }
+}
+
+fn all_voters_cut(seed: u64, max_steps: u64) -> Schedule {
+    Schedule {
+        seed,
+        max_steps,
+        events: (1..=5)
+            .map(|b| {
+                event(
+                    1,
+                    FaultKind::Partition {
+                        a: 0,
+                        b,
+                        heal_after: 0,
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn no_livelock_trips_when_every_voter_is_cut_forever() {
+    let schedule = all_voters_cut(1, 16);
+    let report = run_schedule(
+        &schedule,
+        &BugFlags::default(),
+        &fast(),
+        &Registry::disabled(),
+    );
+    let violation = report
+        .violation_of(Invariant::NoLivelock)
+        .expect("a fully cut farm livelocks");
+    assert_eq!(violation.strategy, "farm");
+
+    // Healed variant: the same cuts, healing after 2 rounds.
+    let healed = Schedule {
+        events: schedule
+            .events
+            .iter()
+            .map(|ev| match ev.kind {
+                FaultKind::Partition { a, b, .. } => event(
+                    ev.at,
+                    FaultKind::Partition {
+                        a,
+                        b,
+                        heal_after: 2,
+                    },
+                ),
+                _ => unreachable!(),
+            })
+            .collect(),
+        ..schedule
+    };
+    let report = run_schedule(
+        &healed,
+        &BugFlags::default(),
+        &fast(),
+        &Registry::disabled(),
+    );
+    assert!(
+        report.violation_of(Invariant::NoLivelock).is_none(),
+        "healing within the budget clears the livelock: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn no_lost_shard_trips_under_blind_writes() {
+    let schedule = Schedule::quiet(2, 10);
+    let flags = BugFlags {
+        mem_blind_writes: true,
+        ..BugFlags::default()
+    };
+    let report = run_schedule(&schedule, &flags, &fast(), &Registry::disabled());
+    let violation = report
+        .violation_of(Invariant::NoLostShard)
+        .expect("blind writes lose the first nonzero store");
+    assert_eq!(violation.strategy, "mem");
+    assert!(report.mem.wrong_reads > 0);
+
+    let report = run_schedule(
+        &schedule,
+        &BugFlags::default(),
+        &fast(),
+        &Registry::disabled(),
+    );
+    assert!(report.passed(), "violations: {:?}", report.violations);
+}
+
+#[test]
+fn dtof_non_negative_trips_under_wrapping_arithmetic() {
+    // Majority-less rounds are where a naive `ceil(n/2) - n` wraps.
+    let schedule = all_voters_cut(3, 16);
+    let flags = BugFlags {
+        dtof_wrapping: true,
+        ..BugFlags::default()
+    };
+    let report = run_schedule(&schedule, &flags, &fast(), &Registry::disabled());
+    let violation = report
+        .violation_of(Invariant::DtofNonNegative)
+        .expect("wrapping dtof must be caught");
+    assert_eq!(violation.strategy, "farm");
+    assert!(
+        violation.detail.contains("dtof"),
+        "detail: {}",
+        violation.detail
+    );
+
+    let report = run_schedule(
+        &schedule,
+        &BugFlags::default(),
+        &fast(),
+        &Registry::disabled(),
+    );
+    assert!(report.violation_of(Invariant::DtofNonNegative).is_none());
+}
+
+#[test]
+fn quarantine_rejoins_trips_without_probes() {
+    // Voter 1 cut for 4 rounds, healed with 15+ rounds to spare: with
+    // probing disabled the quarantine is a roach motel.
+    let schedule = Schedule {
+        seed: 4,
+        max_steps: 20,
+        events: vec![event(
+            1,
+            FaultKind::Partition {
+                a: 0,
+                b: 1,
+                heal_after: 4,
+            },
+        )],
+    };
+    let flags = BugFlags {
+        farm_no_probes: true,
+        ..BugFlags::default()
+    };
+    let report = run_schedule(&schedule, &flags, &fast(), &Registry::disabled());
+    let violation = report
+        .violation_of(Invariant::QuarantineRejoins)
+        .expect("no probes means no rejoin");
+    assert_eq!(violation.strategy, "farm");
+
+    let report = run_schedule(
+        &schedule,
+        &BugFlags::default(),
+        &fast(),
+        &Registry::disabled(),
+    );
+    assert!(
+        report.violation_of(Invariant::QuarantineRejoins).is_none(),
+        "probes rejoin the healed voter: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn bus_accounting_trips_under_a_phantom_drop() {
+    let schedule = Schedule::quiet(5, 10);
+    let flags = BugFlags {
+        bus_miscount: true,
+        ..BugFlags::default()
+    };
+    let report = run_schedule(&schedule, &flags, &fast(), &Registry::disabled());
+    let violation = report
+        .violation_of(Invariant::BusAccounting)
+        .expect("counter and TopicStats.lost must agree");
+    assert_eq!(violation.strategy, "patterns");
+
+    let report = run_schedule(
+        &schedule,
+        &BugFlags::default(),
+        &fast(),
+        &Registry::disabled(),
+    );
+    assert!(report.violation_of(Invariant::BusAccounting).is_none());
+}
+
+#[test]
+fn bus_accounting_holds_even_when_the_lagging_subscriber_loses() {
+    // Enough notifications to overflow the capacity-4 lagging
+    // subscriber: losses happen, and the counter must track them 1:1.
+    let schedule = Schedule {
+        seed: 6,
+        max_steps: 24,
+        events: vec![
+            event(
+                1,
+                FaultKind::ClashEdit {
+                    side: ClashSide::E1,
+                },
+            ),
+            event(
+                2,
+                FaultKind::VoterCrash {
+                    voter: 1,
+                    revive_after: 0,
+                },
+            ),
+        ],
+    };
+    let report = run_schedule(
+        &schedule,
+        &BugFlags::default(),
+        &fast(),
+        &Registry::disabled(),
+    );
+    assert!(
+        report.patterns.bus_lost > 0,
+        "expected the lagging subscriber to shed deliveries: {:?}",
+        report.patterns
+    );
+    assert!(report.violation_of(Invariant::BusAccounting).is_none());
+    assert_eq!(
+        report.patterns.bus_lost,
+        report.patterns.bus_dropped_counter
+    );
+}
+
+#[test]
+fn monotonic_spans_trips_when_clamping_is_bypassed() {
+    let schedule = Schedule {
+        seed: 7,
+        max_steps: 10,
+        events: vec![
+            event(2, FaultKind::ClockSkew { delta: 10 }),
+            event(5, FaultKind::ClockSkew { delta: -8 }),
+        ],
+    };
+    let flags = BugFlags {
+        raw_skew: true,
+        ..BugFlags::default()
+    };
+    let report = run_schedule(&schedule, &flags, &fast(), &Registry::disabled());
+    let violation = report
+        .violation_of(Invariant::MonotonicSpans)
+        .expect("raw skew runs the trace backwards");
+    assert_eq!(violation.strategy, "patterns");
+
+    let report = run_schedule(
+        &schedule,
+        &BugFlags::default(),
+        &fast(),
+        &Registry::disabled(),
+    );
+    assert!(
+        report.violation_of(Invariant::MonotonicSpans).is_none(),
+        "the skewed clock's clamp keeps observations monotone"
+    );
+}

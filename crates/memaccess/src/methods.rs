@@ -118,6 +118,13 @@ pub trait AccessMethod: Send {
 
     /// Operation counters.
     fn stats(&self) -> MethodStats;
+
+    /// Mutable access to the underlying memory devices, for fault
+    /// injection by the scenario fuzzer (bit flips, SEFIs, power
+    /// resets applied mid-run).  Default: none exposed.
+    fn devices_mut(&mut self) -> Vec<&mut SimMemory> {
+        Vec::new()
+    }
 }
 
 fn check_range(addr: usize, len: usize, size: usize) -> Result<(), AccessError> {
@@ -178,6 +185,10 @@ impl AccessMethod for M0Raw {
 
     fn stats(&self) -> MethodStats {
         self.stats
+    }
+
+    fn devices_mut(&mut self) -> Vec<&mut SimMemory> {
+        vec![&mut self.dev]
     }
 }
 
@@ -274,6 +285,10 @@ impl AccessMethod for M1Ecc {
 
     fn stats(&self) -> MethodStats {
         self.stats
+    }
+
+    fn devices_mut(&mut self) -> Vec<&mut SimMemory> {
+        vec![&mut self.dev]
     }
 }
 
@@ -415,6 +430,10 @@ impl AccessMethod for M2EccRemap {
 
     fn stats(&self) -> MethodStats {
         self.stats
+    }
+
+    fn devices_mut(&mut self) -> Vec<&mut SimMemory> {
+        vec![&mut self.dev]
     }
 }
 
@@ -737,6 +756,10 @@ impl AccessMethod for MirroredEcc {
 
     fn stats(&self) -> MethodStats {
         self.stats
+    }
+
+    fn devices_mut(&mut self) -> Vec<&mut SimMemory> {
+        vec![&mut self.a, &mut self.b]
     }
 }
 

@@ -212,6 +212,14 @@ impl SimNetwork {
     /// Cuts both directions between `a` and `b`: messages are silently
     /// lost until [`SimNetwork::heal`] — exactly how a real partition
     /// presents to the endpoints.
+    ///
+    /// The cut is evaluated at *delivery* time, not send time: a frame
+    /// that picked up link latency and is still in flight when the
+    /// partition lands is lost too (counted in
+    /// [`SimNetStats::partition_dropped`]), just as a real cable cut
+    /// eats the packets already on the wire.  Conversely, a delayed
+    /// frame sent during a partition was dropped at send time and is
+    /// *not* resurrected by [`SimNetwork::heal`].
     pub fn partition(&self, a: NodeId, b: NodeId) {
         let mut partitions = self.inner.partitions.lock();
         partitions.insert((a, b));
@@ -256,6 +264,10 @@ impl SimNetwork {
 
     /// Moves every held message for `node` whose delivery instant has
     /// passed into its inbox; returns the next pending instant, if any.
+    ///
+    /// Partitions are re-checked here, at delivery time: a frame held
+    /// for latency when a [`SimNetwork::partition`] lands is eaten by
+    /// the cut exactly like a freshly-sent one.
     fn release_ready(&self, node: NodeId) -> Option<Instant> {
         let now = Instant::now();
         let mut held = self.inner.held.lock();
@@ -267,7 +279,19 @@ impl SimNetwork {
             let ready_at = queue[idx].0;
             if ready_at <= now {
                 let (_, envelope) = queue.remove(idx).expect("index in bounds");
-                inbox.push(envelope);
+                if self
+                    .inner
+                    .partitions
+                    .lock()
+                    .contains(&(envelope.from, node))
+                {
+                    self.inner.stats.lock().partition_dropped += 1;
+                    self.inner.counters.lock().partition_dropped.inc();
+                } else {
+                    self.inner.stats.lock().delivered += 1;
+                    self.inner.counters.lock().delivered.inc();
+                    inbox.push(envelope);
+                }
             } else {
                 next = Some(next.map_or(ready_at, |n: Instant| n.min(ready_at)));
                 idx += 1;
@@ -348,6 +372,8 @@ impl SimNetwork {
             };
             match delay {
                 Some(latency) => {
+                    // Held frames count as delivered (or partition_dropped)
+                    // only once `release_ready` decides their fate.
                     self.inner.stats.lock().delayed += 1;
                     self.inner.counters.lock().delayed.inc();
                     self.inner
@@ -357,10 +383,12 @@ impl SimNetwork {
                         .or_default()
                         .push_back((Instant::now() + latency, envelope));
                 }
-                None => inbox.push(envelope),
+                None => {
+                    self.inner.stats.lock().delivered += 1;
+                    self.inner.counters.lock().delivered.inc();
+                    inbox.push(envelope);
+                }
             }
-            self.inner.stats.lock().delivered += 1;
-            self.inner.counters.lock().delivered.inc();
         }
         Ok(())
     }
@@ -558,6 +586,40 @@ mod tests {
         assert_eq!(net.stats().partition_dropped, 1);
 
         net.heal(NodeId(1), NodeId(2));
+        a.send(NodeId(2), vec![2]).unwrap();
+        assert_eq!(b.recv_deadline(LONG).unwrap().payload, vec![2]);
+    }
+
+    #[test]
+    fn partition_eats_delayed_frames_in_flight() {
+        // Regression: a frame that picked up link latency used to sail
+        // through a partition created *after* it was sent.  The cut must
+        // apply at delivery time.
+        let net = SimNetwork::new(8);
+        net.set_link(
+            NodeId(1),
+            NodeId(2),
+            LinkProfile {
+                delay: Some((EnvironmentProfile::calm(1.0), Duration::from_millis(40))),
+                ..LinkProfile::default()
+            },
+        );
+        let a = net.endpoint(NodeId(1));
+        let b = net.endpoint(NodeId(2));
+        a.send(NodeId(2), vec![1]).unwrap(); // in flight for 40ms
+        net.partition(NodeId(1), NodeId(2)); // lands while held
+        assert_eq!(
+            b.recv_deadline(Duration::from_millis(120)),
+            Err(NetError::Timeout)
+        );
+        let stats = net.stats();
+        assert_eq!(stats.delayed, 1);
+        assert_eq!(stats.partition_dropped, 1);
+        assert_eq!(stats.delivered, 0, "held frame must not count as delivered");
+
+        // Healing does not resurrect it, but new traffic flows again.
+        net.heal(NodeId(1), NodeId(2));
+        assert_eq!(b.recv_deadline(SHORT), Err(NetError::Timeout));
         a.send(NodeId(2), vec![2]).unwrap();
         assert_eq!(b.recv_deadline(LONG).unwrap().payload, vec![2]);
     }

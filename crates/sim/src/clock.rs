@@ -160,6 +160,110 @@ impl VirtualClock {
     }
 }
 
+/// A virtual clock with injectable skew whose *observed* time stays
+/// monotone.
+///
+/// Scenario fuzzing perturbs the Tick source the way real deployments
+/// perturb wall clocks: a drifting oscillator or a bad time sync steps the
+/// clock forward or backward by an arbitrary offset.  Downstream consumers
+/// — telemetry spans most of all — assume time never runs backwards, so
+/// the skewed clock follows the clamped-step discipline production time
+/// libraries use: positive skew is visible immediately, while negative
+/// skew *holds the observed time still* until the underlying
+/// [`VirtualClock`] catches back up.  Every value returned by [`now`],
+/// [`tick`], [`advance`], or [`apply_skew`] is therefore `>=` every value
+/// returned before it.
+///
+/// [`now`]: SkewedClock::now
+/// [`tick`]: SkewedClock::tick
+/// [`advance`]: SkewedClock::advance
+/// [`apply_skew`]: SkewedClock::apply_skew
+///
+/// ```
+/// use afta_sim::{SkewedClock, Tick};
+/// let mut clock = SkewedClock::new();
+/// clock.advance(10);
+/// assert_eq!(clock.apply_skew(-4), Tick(10)); // held, not rewound
+/// clock.advance(3);
+/// assert_eq!(clock.now(), Tick(10)); // base 13 - 4 = 9, still clamped
+/// clock.advance(2);
+/// assert_eq!(clock.now(), Tick(11)); // base caught up, time flows again
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SkewedClock {
+    base: VirtualClock,
+    skew: i64,
+    /// Highest observed tick so far; `now()` never reports below this.
+    watermark: Tick,
+}
+
+impl SkewedClock {
+    /// Creates an unskewed clock at [`Tick::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The skewed-but-clamped observation: `max(watermark, base + skew)`.
+    fn observed(&self) -> Tick {
+        let raw = (self.base.now().0 as i128 + self.skew as i128).clamp(0, u64::MAX as i128);
+        Tick((raw as u64).max(self.watermark.0))
+    }
+
+    /// Current observed virtual time (never less than any earlier
+    /// observation).
+    #[must_use]
+    pub fn now(&self) -> Tick {
+        self.observed()
+    }
+
+    /// The raw underlying clock, skew not applied.
+    #[must_use]
+    pub fn base(&self) -> &VirtualClock {
+        &self.base
+    }
+
+    /// Current accumulated skew offset in ticks (negative = behind).
+    #[must_use]
+    pub fn skew(&self) -> i64 {
+        self.skew
+    }
+
+    /// Advances the underlying clock by one tick; returns the observed
+    /// time.
+    pub fn tick(&mut self) -> Tick {
+        self.base.tick();
+        self.bump()
+    }
+
+    /// Advances the underlying clock by `n` ticks; returns the observed
+    /// time.
+    pub fn advance(&mut self, n: u64) -> Tick {
+        self.base.advance(n);
+        self.bump()
+    }
+
+    /// Injects a skew step of `delta` ticks (saturating accumulation) and
+    /// returns the observed time.
+    ///
+    /// A positive step is visible immediately; a negative step pins the
+    /// observation at its current value until the base clock overtakes it,
+    /// so the returned time — like every observation — never decreases.
+    pub fn apply_skew(&mut self, delta: i64) -> Tick {
+        // Pin the watermark *before* changing the offset so no earlier
+        // observation can be contradicted.
+        self.watermark = self.observed();
+        self.skew = self.skew.saturating_add(delta);
+        self.bump()
+    }
+
+    fn bump(&mut self) -> Tick {
+        let t = self.observed();
+        self.watermark = t;
+        t
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,5 +335,53 @@ mod tests {
         assert!(err.to_string().contains("backwards"));
         // Time unchanged on error.
         assert_eq!(c.now(), Tick(5));
+    }
+
+    #[test]
+    fn skewed_clock_clamps_negative_skew() {
+        let mut c = SkewedClock::new();
+        c.advance(10);
+        assert_eq!(c.now(), Tick(10));
+        // Positive skew is visible immediately.
+        assert_eq!(c.apply_skew(5), Tick(15));
+        // A negative step larger than the positive one holds the observed
+        // time still instead of rewinding it.
+        assert_eq!(c.apply_skew(-9), Tick(15));
+        assert_eq!(c.skew(), -4);
+        // Base keeps moving underneath; observation stays pinned until the
+        // raw skewed time overtakes the watermark.
+        assert_eq!(c.advance(8), Tick(15)); // raw 18 - 4 = 14 < 15
+        assert_eq!(c.tick(), Tick(15)); // raw 19 - 4 = 15
+        assert_eq!(c.tick(), Tick(16)); // flowing again
+        assert_eq!(c.base().now(), Tick(20));
+    }
+
+    #[test]
+    fn skewed_clock_observations_are_monotone_under_random_skew() {
+        // Deterministic LCG so the test needs no rng dependency: a storm of
+        // interleaved ticks and skew steps must never produce a decreasing
+        // observation.
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut c = SkewedClock::new();
+        let mut last = c.now();
+        for _ in 0..10_000 {
+            let observed = match next() % 3 {
+                0 => c.tick(),
+                1 => c.advance(next() % 7),
+                _ => c.apply_skew((next() % 41) as i64 - 20),
+            };
+            assert!(
+                observed >= last,
+                "clock ran backwards: {last} -> {observed}"
+            );
+            assert_eq!(observed, c.now());
+            last = observed;
+        }
     }
 }

@@ -40,7 +40,7 @@ pub mod experiment;
 pub mod rng;
 pub mod stats;
 
-pub use clock::{Tick, VirtualClock};
+pub use clock::{SkewedClock, Tick, VirtualClock};
 pub use events::Scheduler;
 pub use experiment::{Experiment, RunOutcome, StepControl};
 pub use rng::SeedFactory;

@@ -601,6 +601,35 @@ mod tests {
     }
 
     #[test]
+    fn virtual_spans_stay_monotonic_under_clock_skew() {
+        // The fuzzer's skew fault steps the Tick source backwards;
+        // `SkewedClock` clamps the observation, so a span opened before the
+        // step and finished after it still sees end >= start and records a
+        // well-defined (possibly zero) duration instead of panicking or
+        // underflowing.
+        let r = Registry::new();
+        let mut clock = afta_sim::SkewedClock::new();
+        clock.advance(100);
+        let span = r.virtual_span("fuzz.round", clock.now());
+        clock.apply_skew(-60); // observed time holds at 100
+        let end = clock.advance(5); // raw 105 - 60 = 45, clamped to 100
+        assert_eq!(end, Tick(100));
+        span.finish(end);
+        let snap = r
+            .histogram("fuzz.round", &DEFAULT_TIME_BOUNDS_NS)
+            .snapshot();
+        assert_eq!((snap.count, snap.sum), (1, 0));
+        // Once the base clock overtakes the watermark, spans measure real
+        // distance again.
+        let span = r.virtual_span("fuzz.round", clock.now());
+        span.finish(clock.advance(200)); // raw 305 - 60 = 245
+        let snap = r
+            .histogram("fuzz.round", &DEFAULT_TIME_BOUNDS_NS)
+            .snapshot();
+        assert_eq!((snap.count, snap.sum), (2, 145));
+    }
+
+    #[test]
     fn clones_share_everything() {
         let r = Registry::new();
         let r2 = r.clone();

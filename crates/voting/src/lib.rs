@@ -456,6 +456,29 @@ mod tests {
     }
 
     #[test]
+    fn dtof_zero_voter_round_is_undefined_not_zero() {
+        // A round that asked nobody has no distance-to-failure: the
+        // checked variant must distinguish "undefined" (None) from the
+        // legitimate "majority already failed" (Some(0)).
+        for m in [None, Some(0), Some(1), Some(usize::MAX)] {
+            assert_eq!(dtof_checked(0, m), None);
+        }
+    }
+
+    #[test]
+    fn dtof_all_dissent_round_is_exactly_zero() {
+        // m == n: every replica dissented.  The distance must clamp at
+        // zero for every n — the subtraction ceil(n/2) - n would go
+        // negative for n >= 1 if computed naively in unsigned arithmetic.
+        for n in 1..=25usize {
+            assert_eq!(dtof_checked(n, Some(n)), Some(0), "n = {n}");
+            assert_eq!(dtof(n, Some(n)), 0, "n = {n}");
+            // One past all-dissent is no longer a valid round at all.
+            assert_eq!(dtof_checked(n, Some(n + 1)), None, "n = {n}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one replica")]
     fn dtof_zero_replicas_panics() {
         let _ = dtof(0, Some(0));

@@ -26,6 +26,7 @@
 //! | [`faultinject`] | `afta-faultinject` | fault classes, schedules, environment profiles |
 //! | [`telemetry`] | `afta-telemetry` | metrics, spans, flight recorder (observability) |
 //! | [`lint`] | `afta-lint` | static analysis of the assumption web, syndrome-coded diagnostics (§2, §6) |
+//! | [`fuzz`] | `afta-fuzz` | deterministic scenario fuzzer: seeded fault schedules, invariants, shrinking (§3.1–§3.3) |
 //!
 //! # Quickstart
 //!
@@ -62,6 +63,7 @@ pub use afta_dag as dag;
 pub use afta_eventbus as eventbus;
 pub use afta_faultinject as faultinject;
 pub use afta_ftpatterns as ftpatterns;
+pub use afta_fuzz as fuzz;
 pub use afta_lint as lint;
 pub use afta_memaccess as memaccess;
 pub use afta_memsim as memsim;
