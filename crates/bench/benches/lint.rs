@@ -1,9 +1,17 @@
 //! B11: static-analysis cost — a full three-pass lint of a defect-laden
 //! target, the interval proof on its own, and target JSON round-trips,
 //! at growing manifest sizes.
+//!
+//! B-dataflow: the whole-program fixpoint engine on its own — a layered
+//! DAG with dense inter-layer edges, the interval-environment lattice,
+//! and an identity transfer, so the measurement is pure solver overhead
+//! (rounds, joins, the certificate sweep).
 
 use afta_core::{Assumption, Expectation};
-use afta_lint::{int_domain, ConversionDecl, LintDriver, LintTarget};
+use afta_dag::{Component, ComponentGraph};
+use afta_lint::{
+    int_domain, ConversionDecl, DataflowSolver, IntInterval, IntervalEnv, LintDriver, LintTarget,
+};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// A target with `n` assumptions (alternately probed and stale) plus
@@ -65,5 +73,58 @@ fn bench_lint(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_lint);
+/// A `layers x width` DAG: every node in layer `i` feeds every node in
+/// layer `i + 1`, so each round joins `width` predecessor environments
+/// per node — the worst case the component passes can present.
+fn layered_graph(layers: usize, width: usize) -> ComponentGraph {
+    let mut graph = ComponentGraph::new();
+    for layer in 0..layers {
+        for lane in 0..width {
+            graph
+                .add(Component::new(format!("n{layer}_{lane}"), "service"))
+                .unwrap();
+        }
+    }
+    for layer in 1..layers {
+        for from in 0..width {
+            for to in 0..width {
+                graph
+                    .connect(format!("n{}_{from}", layer - 1), format!("n{layer}_{to}"))
+                    .unwrap();
+            }
+        }
+    }
+    graph
+}
+
+fn bench_dataflow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataflow");
+
+    for (layers, width) in [(4usize, 4usize), (8, 8), (16, 16)] {
+        let graph = layered_graph(layers, width);
+        g.bench_with_input(
+            BenchmarkId::new("fixpoint", layers * width),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let mut solver = DataflowSolver::<IntervalEnv>::new(graph);
+                    for lane in 0..width {
+                        solver.seed(
+                            format!("n0_{lane}"),
+                            IntervalEnv::of(
+                                format!("fact-{lane}"),
+                                IntInterval::new(-(lane as i64) - 1, lane as i64 + 1),
+                            ),
+                        );
+                    }
+                    black_box(solver.solve(|_, _, env| env.clone()))
+                });
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_lint, bench_dataflow);
 criterion_main!(benches);

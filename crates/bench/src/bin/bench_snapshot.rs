@@ -1,8 +1,8 @@
 //! `bench_snapshot` — the tracked BENCH trajectory for the hot paths.
 //!
-//! Runs pinned bus / voting / alpha-count workloads under a counting
-//! global allocator and emits a schema-stable snapshot
-//! (`BENCH_7.json`): ops/sec, p50/p99 latency in ns/op, and allocs/op
+//! Runs pinned bus / voting / alpha-count / dataflow workloads under a
+//! counting global allocator and emits a schema-stable snapshot
+//! (`BENCH_9.json`): ops/sec, p50/p99 latency in ns/op, and allocs/op
 //! for each workload, plus the sharded-bus and arena-voting speedups
 //! over their retained pre-change baselines ([`ReferenceBus`] and a
 //! fresh-`Vec` + `HashMap` majority loop).
@@ -11,7 +11,7 @@
 //!
 //! - `bench_snapshot` — run and print the snapshot JSON to stdout.
 //! - `bench_snapshot --write [PATH]` — run and write `PATH`
-//!   (default `BENCH_7.json`), refreshing the committed trajectory.
+//!   (default `BENCH_9.json`), refreshing the committed trajectory.
 //! - `bench_snapshot --check PATH` — run and compare against the
 //!   committed snapshot with ±15% bands; exits non-zero on regression
 //!   and writes the candidate run next to `PATH` as
@@ -40,8 +40,10 @@ use std::time::Instant;
 
 use afta_alphacount::{AlphaCount, DecayPolicy, Judgment};
 use afta_bench::arg_str;
+use afta_dag::{Component, ComponentGraph};
 use afta_eventbus::reference::ReferenceBus;
 use afta_eventbus::Bus;
+use afta_lint::{DataflowSolver, IntInterval, IntervalEnv};
 use afta_voting::{VoteOutcome, VotingFarm};
 use serde::{Deserialize, Serialize};
 
@@ -123,7 +125,7 @@ struct Snapshot {
 }
 
 const SCHEMA: &str = "afta-bench-snapshot/v2";
-const BENCH: &str = "BENCH_7";
+const BENCH: &str = "BENCH_9";
 const TOLERANCE: f64 = 0.15;
 
 // ---------------------------------------------------------------------------
@@ -311,6 +313,56 @@ fn hashmap_majority<V: Eq + std::hash::Hash + Clone>(votes: &[V]) -> VoteOutcome
 const ALPHA_RECORDS: u64 = 4_096;
 const ALPHA_BATCHES: usize = 2_000;
 
+const DATAFLOW_SOLVES: u64 = 8;
+const DATAFLOW_BATCHES: usize = 1_000;
+const DATAFLOW_LAYERS: usize = 8;
+const DATAFLOW_WIDTH: usize = 8;
+
+/// The whole-program dataflow solver on a dense 8x8 layered DAG: one
+/// full interval-environment fixpoint (plus its certificate sweep) per
+/// op, the engine behind every `AFTA-D*` rule (tracked for the
+/// trajectory; no baseline counterpart).
+fn dataflow_fixpoint() -> Workload {
+    let mut graph = ComponentGraph::new();
+    for layer in 0..DATAFLOW_LAYERS {
+        for lane in 0..DATAFLOW_WIDTH {
+            graph
+                .add(Component::new(format!("n{layer}_{lane}"), "service"))
+                .expect("fresh component id");
+        }
+    }
+    for layer in 1..DATAFLOW_LAYERS {
+        for from in 0..DATAFLOW_WIDTH {
+            for to in 0..DATAFLOW_WIDTH {
+                graph
+                    .connect(format!("n{}_{from}", layer - 1), format!("n{layer}_{to}"))
+                    .expect("fresh edge");
+            }
+        }
+    }
+    measure(
+        "dataflow_fixpoint",
+        DATAFLOW_BATCHES,
+        DATAFLOW_SOLVES,
+        || {
+            for _ in 0..DATAFLOW_SOLVES {
+                let mut solver = DataflowSolver::<IntervalEnv>::new(&graph);
+                for lane in 0..DATAFLOW_WIDTH {
+                    solver.seed(
+                        format!("n0_{lane}"),
+                        IntervalEnv::of(
+                            format!("fact-{lane}"),
+                            IntInterval::new(-(lane as i64) - 1, lane as i64 + 1),
+                        ),
+                    );
+                }
+                let fixpoint = solver.solve(|_, _, env| env.clone());
+                assert!(!fixpoint.widened);
+            }
+        },
+    )
+}
+
 /// Branch-free alpha-count update over a deterministic mixed judgment
 /// stream (tracked for the trajectory; no baseline counterpart).
 fn alphacount_record() -> Workload {
@@ -339,6 +391,7 @@ fn run_all() -> Snapshot {
         voting_round(),
         voting_round_reference(),
         alphacount_record(),
+        dataflow_fixpoint(),
     ];
     let ops = |name: &str| {
         workloads
@@ -560,9 +613,9 @@ fn main() -> ExitCode {
     }
 
     if write {
-        let path = arg_str("--write", "BENCH_7.json");
+        let path = arg_str("--write", "BENCH_9.json");
         let path = if path.starts_with("--") || path.is_empty() {
-            "BENCH_7.json".to_string()
+            "BENCH_9.json".to_string()
         } else {
             path
         };

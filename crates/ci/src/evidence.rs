@@ -12,6 +12,9 @@
 //!   cell-identical to `tests/experiments_pinned.rs`.
 //! * `e7_*`/`e8_*`/`e9_*` — the strategy-vs-environment clash table.
 //! * `e7net_*` — the distributed voting campaign over the sim transport.
+//! * `lint_*` — `afta-lint` re-run over the committed example manifests:
+//!   the rule-table size, findings per manifest, and a total per
+//!   whole-program dataflow rule (`AFTA-D*`).
 //! * `bench_*` — machine-independent signals (speedup ratios, allocs
 //!   per op) read from a committed `BENCH_*.json` snapshot.
 //!
@@ -64,6 +67,10 @@ pub struct EvidenceOptions {
     /// means first run: `bench_*` signals are omitted and bench pins
     /// are skipped rather than failed.
     pub bench_json: Option<String>,
+    /// The committed example-manifest directory, when one exists.
+    /// `None` (e.g. running outside the repo checkout) omits the
+    /// `lint_*` signals and skips lint pins rather than failing them.
+    pub manifest_dir: Option<String>,
 }
 
 /// The E6 campaign configuration every evidence run uses — identical to
@@ -232,11 +239,75 @@ pub fn collect_signals(options: &EvidenceOptions) -> Result<Vec<Signal>, String>
     signals.push(Signal::num("e7net_failures", failures as f64));
     signals.push(Signal::str("e7net_final_replicas", replicas.join(",")));
 
+    // LINT — the whole-program checker over the committed manifests.
+    if let Some(dir) = &options.manifest_dir {
+        signals.extend(lint_signals(dir)?);
+    }
+
     // BENCH — machine-independent signals from the committed snapshot.
     if let Some(json) = &options.bench_json {
         signals.extend(bench_signals(json)?);
     }
 
+    Ok(signals)
+}
+
+/// Runs `afta-lint` over every `*.json` manifest in `dir` and pins the
+/// outcome: the size of the rule table (`lint_rules_total`), a finding
+/// count per manifest (`lint_findings_<stem>`), and one total per
+/// whole-program dataflow rule (`lint_d001`..`lint_d007`) across the
+/// directory.  A new rule, a fixture edit, or a dataflow-pass regression
+/// all surface here as drift against `ci/pins.toml`.
+///
+/// # Errors
+///
+/// Returns an error when the directory cannot be read or a manifest
+/// fails to parse — the committed examples must always load.
+pub fn lint_signals(dir: &str) -> Result<Vec<Signal>, String> {
+    use afta_lint::{LintDriver, LintTarget, Rule};
+
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("manifest dir {dir}: {e}"))?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("manifest dir {dir}: no *.json manifests"));
+    }
+
+    let mut signals = vec![Signal::num("lint_rules_total", Rule::ALL.len() as f64)];
+    let driver = LintDriver::new();
+    let dataflow: Vec<Rule> = Rule::ALL
+        .into_iter()
+        .filter(|r| r.code().starts_with("AFTA-D"))
+        .collect();
+    let mut per_rule = vec![0u64; dataflow.len()];
+    for path in &paths {
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| format!("unreadable manifest name {}", path.display()))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("manifest {}: {e}", path.display()))?;
+        let target = LintTarget::from_json(&text)
+            .map_err(|e| format!("manifest {}: parse error: {e}", path.display()))?;
+        let report = driver.run(&target);
+        signals.push(Signal::num(
+            &format!("lint_findings_{stem}"),
+            report.diagnostics.len() as f64,
+        ));
+        for d in &report.diagnostics {
+            if let Some(i) = dataflow.iter().position(|r| *r == d.rule) {
+                per_rule[i] += 1;
+            }
+        }
+    }
+    for (rule, count) in dataflow.iter().zip(per_rule) {
+        let name = rule.code().trim_start_matches("AFTA-").to_lowercase();
+        signals.push(Signal::num(&format!("lint_{name}"), count as f64));
+    }
     Ok(signals)
 }
 

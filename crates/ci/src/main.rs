@@ -13,10 +13,10 @@
 //!   run                       All three artifacts from one evidence run
 //!       [--manifest PATH] [--out-dir DIR] [--skip-tcp]
 //!   check <PINS.toml>         Recompute evidence signals, diff against the pins
-//!       [--bench PATH]
+//!       [--bench PATH] [--manifests DIR]
 //!   signals                   Print freshly computed signals as pin sections
 //!       [--bench PATH]          (the blessing path: redirect into ci/pins.toml,
-//!                                then re-add tolerance bands by hand)
+//!       [--manifests DIR]        then re-add tolerance bands by hand)
 //!
 //! Exit codes:
 //!   0  artifacts written / every pin within tolerance
@@ -393,6 +393,7 @@ fn cmd_run(args: &[String]) -> Result<u8, String> {
 fn cmd_check(args: &[String]) -> Result<u8, String> {
     let mut args = args.to_vec();
     let bench = take_flag(&mut args, "--bench")?;
+    let manifests = take_flag(&mut args, "--manifests")?;
     reject_unknown_flags(&args)?;
     let [pins_path] = args.as_slice() else {
         return Err("check takes exactly one pins.toml path".to_string());
@@ -400,7 +401,7 @@ fn cmd_check(args: &[String]) -> Result<u8, String> {
     let text = std::fs::read_to_string(pins_path).map_err(|e| format!("{pins_path}: {e}"))?;
     let pins = PinFile::parse(&text).map_err(|e| format!("{pins_path}: {e}"))?;
 
-    let bench_path = bench.unwrap_or_else(|| "BENCH_7.json".into());
+    let bench_path = bench.unwrap_or_else(|| "BENCH_9.json".into());
     let bench_json = match std::fs::read_to_string(&bench_path) {
         Ok(json) => Some(json),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -410,8 +411,19 @@ fn cmd_check(args: &[String]) -> Result<u8, String> {
         Err(e) => return Err(format!("{bench_path}: {e}")),
     };
     let bench_available = bench_json.is_some();
-    let signals = evidence::collect_signals(&EvidenceOptions { bench_json })?;
-    let outcome = check_pins(&pins, &signals, bench_available);
+    let manifest_path = manifests.unwrap_or_else(|| "examples/manifests".into());
+    let manifest_dir = if std::path::Path::new(&manifest_path).is_dir() {
+        Some(manifest_path)
+    } else {
+        eprintln!("afta-ci: no manifest dir at {manifest_path}; lint pins will be skipped");
+        None
+    };
+    let lint_available = manifest_dir.is_some();
+    let signals = evidence::collect_signals(&EvidenceOptions {
+        bench_json,
+        manifest_dir,
+    })?;
+    let outcome = check_pins(&pins, &signals, bench_available, lint_available);
     print!("{}", outcome.render());
     Ok(u8::from(!outcome.ok()))
 }
@@ -423,6 +435,7 @@ fn cmd_check(args: &[String]) -> Result<u8, String> {
 fn cmd_signals(args: &[String]) -> Result<u8, String> {
     let mut args = args.to_vec();
     let bench = take_flag(&mut args, "--bench")?;
+    let manifests = take_flag(&mut args, "--manifests")?;
     reject_unknown_flags(&args)?;
     if !args.is_empty() {
         return Err("signals takes no positional arguments".to_string());
@@ -431,7 +444,10 @@ fn cmd_signals(args: &[String]) -> Result<u8, String> {
         None => None,
         Some(path) => Some(std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?),
     };
-    let signals = evidence::collect_signals(&EvidenceOptions { bench_json })?;
+    let signals = evidence::collect_signals(&EvidenceOptions {
+        bench_json,
+        manifest_dir: manifests,
+    })?;
     println!("schema = \"{}\"", afta_ci::pins::PINS_SCHEMA);
     for signal in signals {
         println!("\n[{}]", signal.name);

@@ -266,9 +266,16 @@ impl CheckOutcome {
 /// string pins require equality.  Pins named `bench_*` with no signal
 /// are *skipped* rather than failed when `bench_available` is false —
 /// the first CI run of a fresh machine has no snapshot yet (see the
-/// bench-gate's first-run rule).
+/// bench-gate's first-run rule).  `lint_*` pins skip the same way when
+/// `lint_available` is false (no manifest directory, e.g. an installed
+/// binary run outside the checkout).
 #[must_use]
-pub fn check_pins(pins: &PinFile, signals: &[Signal], bench_available: bool) -> CheckOutcome {
+pub fn check_pins(
+    pins: &PinFile,
+    signals: &[Signal],
+    bench_available: bool,
+    lint_available: bool,
+) -> CheckOutcome {
     let mut outcome = CheckOutcome::default();
     for pin in &pins.pins {
         let Some(signal) = signals.iter().find(|s| s.name == pin.name) else {
@@ -277,6 +284,10 @@ pub fn check_pins(pins: &PinFile, signals: &[Signal], bench_available: bool) -> 
                     pin.name.clone(),
                     "no bench snapshot (first run)".to_string(),
                 ));
+            } else if pin.name.starts_with("lint_") && !lint_available {
+                outcome
+                    .skipped
+                    .push((pin.name.clone(), "no manifest directory".to_string()));
             } else {
                 outcome.missing.push(pin.name.clone());
             }
@@ -364,14 +375,14 @@ value = "M3"  # exact
             signal("bench_speedup_bus", PinValue::Num(8.9)), // within ±35 %
             signal("e2_dell_bank_method", PinValue::Str("M3".into())),
         ];
-        assert!(check_pins(&file, &good, true).ok());
+        assert!(check_pins(&file, &good, true, true).ok());
 
         let bad = [
             signal("e6_voting_failures", PinValue::Num(27.0)), // exact pin
             signal("bench_speedup_bus", PinValue::Num(12.0)),  // out of band
             signal("e2_dell_bank_method", PinValue::Str("M1".into())),
         ];
-        let outcome = check_pins(&file, &bad, true);
+        let outcome = check_pins(&file, &bad, true, true);
         assert_eq!(outcome.drifted.len(), 3);
         assert!(outcome.render().contains("e6_voting_failures"));
     }
@@ -383,12 +394,28 @@ value = "M3"  # exact
             signal("e6_voting_failures", PinValue::Num(26.0)),
             signal("e2_dell_bank_method", PinValue::Str("M3".into())),
         ];
-        let first_run = check_pins(&file, &partial, false);
+        let first_run = check_pins(&file, &partial, false, true);
         assert!(first_run.ok(), "{}", first_run.render());
         assert_eq!(first_run.skipped.len(), 1);
 
-        let with_bench = check_pins(&file, &partial, true);
+        let with_bench = check_pins(&file, &partial, true, true);
         assert!(!with_bench.ok());
         assert_eq!(with_bench.missing, vec!["bench_speedup_bus".to_string()]);
+    }
+
+    #[test]
+    fn lint_pins_skip_without_manifests_but_fail_with_them() {
+        let file = PinFile::parse(
+            "schema = \"afta-pins/v1\"\n[lint_d001]\nvalue = 1\n[e6_voting_failures]\nvalue = 26\n",
+        )
+        .unwrap();
+        let partial = [signal("e6_voting_failures", PinValue::Num(26.0))];
+        let no_manifests = check_pins(&file, &partial, true, false);
+        assert!(no_manifests.ok(), "{}", no_manifests.render());
+        assert_eq!(no_manifests.skipped.len(), 1);
+
+        let with_manifests = check_pins(&file, &partial, true, true);
+        assert!(!with_manifests.ok());
+        assert_eq!(with_manifests.missing, vec!["lint_d001".to_string()]);
     }
 }

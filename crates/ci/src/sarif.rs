@@ -11,6 +11,9 @@
 //! * locations — the linted manifest file as the physical location, the
 //!   [`SourceRef`](afta_lint::SourceRef) path (e.g.
 //!   `conversions[horizontal_velocity]`) as the logical location.
+//! * `relatedLocations` — the propagation path of a whole-program
+//!   (`AFTA-D*`) finding, one ordered entry per DAG hop, so a code
+//!   -scanning UI can walk the flow from source to sink.
 //! * notes and help — result properties, so nothing the text renderer
 //!   prints is lost in the machine format.
 //!
@@ -91,32 +94,57 @@ pub fn sarif_report(report: &LintReport, artifact_uri: &str) -> Value {
             if let Some(help) = &d.help {
                 properties.push(("afta.help", s(help)));
             }
-            obj(vec![
+            let location = |logical: &str| {
+                obj(vec![
+                    (
+                        "physicalLocation",
+                        obj(vec![(
+                            "artifactLocation",
+                            obj(vec![
+                                ("uri", s(artifact_uri)),
+                                ("uriBaseId", s("%SRCROOT%")),
+                            ]),
+                        )]),
+                    ),
+                    (
+                        "logicalLocations",
+                        Value::Array(vec![obj(vec![("fullyQualifiedName", s(logical))])]),
+                    ),
+                ])
+            };
+            let mut fields = vec![
                 ("ruleId", s(d.rule.code())),
                 ("ruleIndex", Value::UInt(rule_index(d.rule))),
                 ("level", s(level(d.severity))),
                 ("message", text_message(&d.message)),
-                (
-                    "locations",
-                    Value::Array(vec![obj(vec![
-                        (
-                            "physicalLocation",
-                            obj(vec![(
-                                "artifactLocation",
-                                obj(vec![
-                                    ("uri", s(artifact_uri)),
-                                    ("uriBaseId", s("%SRCROOT%")),
-                                ]),
-                            )]),
-                        ),
-                        (
-                            "logicalLocations",
-                            Value::Array(vec![obj(vec![("fullyQualifiedName", s(&d.source.0))])]),
-                        ),
-                    ])]),
-                ),
-                ("properties", obj(properties)),
-            ])
+                ("locations", Value::Array(vec![location(&d.source.0)])),
+            ];
+            if !d.path.is_empty() {
+                // Whole-program findings carry their propagation path as
+                // ordered relatedLocations, one per DAG hop.
+                let related: Vec<Value> = d
+                    .path
+                    .iter()
+                    .enumerate()
+                    .map(|(hop, site)| {
+                        let mut l = location(&site.0);
+                        if let Value::Object(fields) = &mut l {
+                            fields.push((
+                                "message".to_string(),
+                                text_message(&format!(
+                                    "propagation hop {} of {}",
+                                    hop + 1,
+                                    d.path.len()
+                                )),
+                            ));
+                        }
+                        l
+                    })
+                    .collect();
+                fields.push(("relatedLocations", Value::Array(related)));
+            }
+            fields.push(("properties", obj(properties)));
+            obj(fields)
         })
         .collect();
 
@@ -151,7 +179,9 @@ pub fn sarif_report(report: &LintReport, artifact_uri: &str) -> Value {
 /// pipeline relies on: version, run/tool/driver skeleton, unique rule
 /// ids, and for every result a known `ruleId`, a legal `level`, a
 /// non-empty `message.text`, and at least one physical location with a
-/// URI.
+/// URI.  A result carrying `relatedLocations` must make each entry
+/// walkable: a physical location URI and a non-empty
+/// `fullyQualifiedName` per hop.
 ///
 /// # Errors
 ///
@@ -226,6 +256,37 @@ pub fn validate_sarif(doc: &Value) -> Result<(), Vec<String>> {
             if !has_uri {
                 errors.push(format!("{at}: no physical location uri"));
             }
+            if let Some(related) = result.get("relatedLocations") {
+                let Some(related) = related.as_array() else {
+                    errors.push(format!("{at}: relatedLocations must be an array"));
+                    continue;
+                };
+                if related.is_empty() {
+                    errors.push(format!("{at}: relatedLocations present but empty"));
+                }
+                for (li, loc) in related.iter().enumerate() {
+                    let at = format!("{at}.relatedLocations[{li}]");
+                    let uri_ok = loc
+                        .get("physicalLocation")
+                        .and_then(|p| p.get("artifactLocation"))
+                        .and_then(|a| a.get("uri"))
+                        .and_then(Value::as_str)
+                        .is_some();
+                    if !uri_ok {
+                        errors.push(format!("{at}: no physical location uri"));
+                    }
+                    let logical_ok = loc
+                        .get("logicalLocations")
+                        .and_then(Value::as_array)
+                        .and_then(|ls| ls.first())
+                        .and_then(|l| l.get("fullyQualifiedName"))
+                        .and_then(Value::as_str)
+                        .is_some_and(|n| !n.is_empty());
+                    if !logical_ok {
+                        errors.push(format!("{at}: no fullyQualifiedName"));
+                    }
+                }
+            }
         }
     }
     if errors.is_empty() {
@@ -293,6 +354,122 @@ mod tests {
                 .to_string();
             assert_eq!(logical, diag.source.0);
         }
+    }
+
+    fn chain_report() -> (LintReport, String) {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/manifests/ariane_chain.json"
+        );
+        let text = std::fs::read_to_string(path).unwrap();
+        let target = LintTarget::from_json(&text).unwrap();
+        (
+            LintDriver::new().run(&target),
+            "examples/manifests/ariane_chain.json".to_string(),
+        )
+    }
+
+    #[test]
+    fn chain_finding_carries_ordered_related_locations() {
+        let (report, uri) = chain_report();
+        // The chain manifest declares no conversion, so the single-site
+        // Ariane rule is blind; only the whole-program dataflow pass sees
+        // the narrowing, two DAG hops from the source.
+        assert_eq!(report.diagnostics.len(), 1);
+        let diag = &report.diagnostics[0];
+        assert_eq!(diag.rule.code(), "AFTA-D001");
+        assert_eq!(diag.path.len(), 3, "source, intermediate hop, sink");
+
+        let doc = sarif_report(&report, &uri);
+        validate_sarif(&doc).unwrap();
+        let result = doc.get("runs").unwrap().as_array().unwrap()[0]
+            .get("results")
+            .unwrap()
+            .as_array()
+            .unwrap()[0]
+            .clone();
+        let related = result
+            .get("relatedLocations")
+            .expect("path-carrying result emits relatedLocations")
+            .as_array()
+            .unwrap()
+            .to_vec();
+        assert_eq!(related.len(), diag.path.len());
+        for (hop, (loc, site)) in related.iter().zip(&diag.path).enumerate() {
+            let logical = loc.get("logicalLocations").unwrap().as_array().unwrap()[0]
+                .get("fullyQualifiedName")
+                .unwrap()
+                .as_str()
+                .unwrap();
+            assert_eq!(logical, site.0, "hops stay in propagation order");
+            let message = loc
+                .get("message")
+                .and_then(|m| m.get("text"))
+                .and_then(Value::as_str)
+                .unwrap();
+            assert_eq!(
+                message,
+                format!("propagation hop {} of {}", hop + 1, diag.path.len())
+            );
+        }
+    }
+
+    #[test]
+    fn single_site_results_omit_related_locations() {
+        let (report, uri) = ariane_report();
+        let doc = sarif_report(&report, &uri);
+        for result in doc.get("runs").unwrap().as_array().unwrap()[0]
+            .get("results")
+            .unwrap()
+            .as_array()
+            .unwrap()
+        {
+            assert!(result.get("relatedLocations").is_none());
+        }
+    }
+
+    #[test]
+    fn validator_rejects_unwalkable_related_locations() {
+        let (report, uri) = chain_report();
+        let mut doc = sarif_report(&report, &uri);
+        // Strip every hop's logical location: the path is no longer
+        // walkable and the validator must say so.
+        let strip = |v: &mut Value| {
+            if let Value::Object(fields) = v {
+                fields.retain(|(k, _)| k != "logicalLocations");
+            }
+        };
+        if let Value::Object(fields) = &mut doc {
+            for (_, run_list) in fields.iter_mut().filter(|(k, _)| k == "runs") {
+                if let Value::Array(runs) = run_list {
+                    for run in runs {
+                        let Value::Object(run) = run else { continue };
+                        for (_, results) in run.iter_mut().filter(|(k, _)| k == "results") {
+                            let Value::Array(results) = results else {
+                                continue;
+                            };
+                            for result in results {
+                                let Value::Object(result) = result else {
+                                    continue;
+                                };
+                                for (_, related) in
+                                    result.iter_mut().filter(|(k, _)| k == "relatedLocations")
+                                {
+                                    if let Value::Array(entries) = related {
+                                        entries.iter_mut().for_each(strip);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let errors = validate_sarif(&doc).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("fullyQualifiedName")),
+            "{errors:?}"
+        );
     }
 
     #[test]

@@ -115,13 +115,16 @@ fn otel_export_is_byte_identical_across_two_runs_of_the_same_seed() {
 #[test]
 fn check_passes_on_committed_pins_and_fails_on_a_perturbed_pin() {
     let pins = repo_path("ci/pins.toml");
-    let bench = repo_path("BENCH_7.json");
+    let bench = repo_path("BENCH_9.json");
+    let manifests = repo_path("examples/manifests");
 
     let ok = afta_ci(&[
         "check",
         pins.to_str().unwrap(),
         "--bench",
         bench.to_str().unwrap(),
+        "--manifests",
+        manifests.to_str().unwrap(),
     ]);
     assert!(
         ok.status.success(),
@@ -129,16 +132,22 @@ fn check_passes_on_committed_pins_and_fails_on_a_perturbed_pin() {
         String::from_utf8_lossy(&ok.stdout),
         String::from_utf8_lossy(&ok.stderr)
     );
+    // The manifest directory resolved, so no lint pin may have skipped.
+    let ok_stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(!ok_stdout.contains("SKIP  lint_"), "{ok_stdout}");
 
-    // Perturb one pin beyond tolerance: the gate must fail and name it.
+    // Perturb pins beyond tolerance: the gate must fail and name them —
+    // one campaign signal, one whole-program lint signal.
     let text = std::fs::read_to_string(&pins).unwrap();
-    let perturbed = text.replace(
-        "[e6_voting_failures]\nvalue = 26",
-        "[e6_voting_failures]\nvalue = 9999",
-    );
-    assert_ne!(
-        text, perturbed,
-        "perturbation target not found in pins.toml"
+    let perturbed = text
+        .replace(
+            "[e6_voting_failures]\nvalue = 26",
+            "[e6_voting_failures]\nvalue = 9999",
+        )
+        .replace("[lint_d001]\nvalue = 1", "[lint_d001]\nvalue = 7");
+    assert!(
+        perturbed.contains("9999") && perturbed.contains("value = 7"),
+        "perturbation targets not found in pins.toml"
     );
     let dir = tmp_dir("check");
     let perturbed_path = dir.join("pins.toml");
@@ -149,10 +158,13 @@ fn check_passes_on_committed_pins_and_fails_on_a_perturbed_pin() {
         perturbed_path.to_str().unwrap(),
         "--bench",
         bench.to_str().unwrap(),
+        "--manifests",
+        manifests.to_str().unwrap(),
     ]);
     assert!(!bad.status.success(), "perturbed pins must fail the gate");
     let stdout = String::from_utf8_lossy(&bad.stdout);
     assert!(stdout.contains("e6_voting_failures"), "{stdout}");
+    assert!(stdout.contains("lint_d001"), "{stdout}");
     assert!(stdout.contains("DRIFT"), "{stdout}");
 
     std::fs::remove_dir_all(&dir).ok();

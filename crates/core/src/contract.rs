@@ -11,7 +11,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::assumption::AssumptionId;
+use crate::assumption::{AssumptionId, BindingTime};
 
 /// Which clause of a contract was violated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -68,6 +68,7 @@ impl std::error::Error for ContractViolation {}
 pub struct Condition<S: ?Sized> {
     name: String,
     assumes: Vec<AssumptionId>,
+    binding: Option<BindingTime>,
     check: Box<dyn Fn(&S) -> bool + Send + Sync>,
 }
 
@@ -89,6 +90,7 @@ impl<S: ?Sized> Condition<S> {
         Self {
             name: name.into(),
             assumes: Vec::new(),
+            binding: None,
             check: Box::new(check),
         }
     }
@@ -98,6 +100,21 @@ impl<S: ?Sized> Condition<S> {
     pub fn assuming(mut self, id: impl Into<AssumptionId>) -> Self {
         self.assumes.push(id.into());
         self
+    }
+
+    /// Declares when the condition's logic was fixed.  A consumer bound
+    /// at compile time cannot adapt to a value bound later — the static
+    /// analyzer uses this to catch binding-time inversions.
+    #[must_use]
+    pub fn bound_at(mut self, binding: BindingTime) -> Self {
+        self.binding = Some(binding);
+        self
+    }
+
+    /// When the condition's logic was fixed, if declared.
+    #[must_use]
+    pub fn binding(&self) -> Option<BindingTime> {
+        self.binding
     }
 
     /// The condition's name.
@@ -260,6 +277,8 @@ pub struct ClauseDescriptor {
     pub name: String,
     /// Assumptions the clause rests on (empty = unstated hypotheses).
     pub assumes: Vec<AssumptionId>,
+    /// When the clause's logic was fixed, if the designer declared it.
+    pub binding: Option<BindingTime>,
 }
 
 /// A serialisable description of a [`Contract`]: the §4 "exposed
@@ -283,6 +302,7 @@ impl<S: ?Sized> Contract<S> {
                 kind,
                 name: c.name.clone(),
                 assumes: c.assumes.clone(),
+                binding: c.binding,
             }
         };
         let mut clauses = Vec::with_capacity(self.len());
@@ -556,5 +576,23 @@ mod tests {
     fn condition_assumes_accessor() {
         let cond = Condition::new("positive", |&x: &i32| x > 0).assuming("a1");
         assert_eq!(cond.assumes(), &[AssumptionId::new("a1")]);
+    }
+
+    #[test]
+    fn clause_binding_time_is_exported() {
+        let c = Contract::<i32>::builder()
+            .pre_condition(
+                Condition::new("table index in range", |&x| x < 64)
+                    .bound_at(BindingTime::CompileTime),
+            )
+            .build();
+        let d = c.describe("lookup");
+        assert_eq!(d.clauses[0].binding, Some(BindingTime::CompileTime));
+        // Undeclared binding stays None and still round-trips.
+        let undeclared = therac_contract().describe("dose-delivery");
+        assert_eq!(undeclared.clauses[0].binding, None);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: ContractDescriptor = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
     }
 }

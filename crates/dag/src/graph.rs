@@ -105,6 +105,42 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
+/// Typed metadata attached to one directed edge.
+///
+/// `carries` names the fact keys the connection transports; an empty set
+/// means the edge is *transparent* and carries everything (the default,
+/// and what untyped [`ComponentGraph::connect`] produces).  `tags` holds
+/// free-form annotations, mirroring [`Component::metadata`].
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EdgeMeta {
+    /// Fact keys this edge transports; empty = everything.
+    pub carries: BTreeSet<String>,
+    /// Arbitrary key/value annotations.
+    pub tags: BTreeMap<String, String>,
+}
+
+impl EdgeMeta {
+    /// Metadata restricting the edge to the given fact keys.
+    #[must_use]
+    pub fn carrying<I, S>(keys: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            carries: keys.into_iter().map(Into::into).collect(),
+            tags: BTreeMap::new(),
+        }
+    }
+
+    /// Whether this edge transports `fact_key` (transparent edges
+    /// transport everything).
+    #[must_use]
+    pub fn transports(&self, fact_key: &str) -> bool {
+        self.carries.is_empty() || self.carries.contains(fact_key)
+    }
+}
+
 /// A directed acyclic graph of components.
 ///
 /// The graph enforces acyclicity on every [`ComponentGraph::connect`], so
@@ -120,10 +156,41 @@ impl std::error::Error for GraphError {}
 /// assert!(g.connect("c2", "c1").is_err()); // cycle rejected
 /// # Ok::<(), afta_dag::GraphError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Default)]
 pub struct ComponentGraph {
     components: BTreeMap<ComponentId, Component>,
     edges: BTreeSet<(ComponentId, ComponentId)>,
+    /// Metadata for edges that declared any; untyped edges stay out of
+    /// this map and behave as [`EdgeMeta::default`].
+    edge_meta: BTreeMap<(ComponentId, ComponentId), EdgeMeta>,
+}
+
+// Hand-written so graphs stored before edges grew typed metadata (no
+// `edge_meta` key) still parse; the derive would reject the missing
+// field.
+impl Deserialize for ComponentGraph {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let fields = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for ComponentGraph"))?;
+        let field = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let required = |name: &'static str| {
+            field(name).ok_or_else(|| {
+                serde::Error::custom(format!("missing field `{name}` in ComponentGraph"))
+            })
+        };
+        Ok(ComponentGraph {
+            components: Deserialize::from_value(required("components")?)
+                .map_err(|e| serde::Error::custom(format!("ComponentGraph.components: {e}")))?,
+            edges: Deserialize::from_value(required("edges")?)
+                .map_err(|e| serde::Error::custom(format!("ComponentGraph.edges: {e}")))?,
+            edge_meta: match field("edge_meta") {
+                Some(v) => Deserialize::from_value(v)
+                    .map_err(|e| serde::Error::custom(format!("ComponentGraph.edge_meta: {e}")))?,
+                None => BTreeMap::new(),
+            },
+        })
+    }
 }
 
 impl ComponentGraph {
@@ -176,6 +243,7 @@ impl ComponentGraph {
             .remove(&id)
             .ok_or_else(|| GraphError::UnknownComponent(id.clone()))?;
         self.edges.retain(|(a, b)| a != &id && b != &id);
+        self.edge_meta.retain(|(a, b), _| a != &id && b != &id);
         Ok(c)
     }
 
@@ -234,6 +302,61 @@ impl ComponentGraph {
         Ok(())
     }
 
+    /// Connects `from -> to` with typed metadata, preserving acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`ComponentGraph::connect`].
+    pub fn connect_labeled(
+        &mut self,
+        from: impl Into<ComponentId>,
+        to: impl Into<ComponentId>,
+        meta: EdgeMeta,
+    ) -> Result<(), GraphError> {
+        let from = from.into();
+        let to = to.into();
+        self.connect(from.clone(), to.clone())?;
+        if meta != EdgeMeta::default() {
+            self.edge_meta.insert((from, to), meta);
+        }
+        Ok(())
+    }
+
+    /// The metadata on edge `from -> to`; `None` when the edge does not
+    /// exist, default metadata when the edge exists but is untyped.
+    #[must_use]
+    pub fn edge_meta(&self, from: &ComponentId, to: &ComponentId) -> Option<EdgeMeta> {
+        let key = (from.clone(), to.clone());
+        if !self.edges.contains(&key) {
+            return None;
+        }
+        Some(self.edge_meta.get(&key).cloned().unwrap_or_default())
+    }
+
+    /// Replaces the metadata on an existing edge (default metadata makes
+    /// the edge untyped again).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownEdge`] when the edge is absent.
+    pub fn set_edge_meta(
+        &mut self,
+        from: impl Into<ComponentId>,
+        to: impl Into<ComponentId>,
+        meta: EdgeMeta,
+    ) -> Result<(), GraphError> {
+        let key = (from.into(), to.into());
+        if !self.edges.contains(&key) {
+            return Err(GraphError::UnknownEdge(key.0, key.1));
+        }
+        if meta == EdgeMeta::default() {
+            self.edge_meta.remove(&key);
+        } else {
+            self.edge_meta.insert(key, meta);
+        }
+        Ok(())
+    }
+
     /// Removes the edge `from -> to`.
     ///
     /// # Errors
@@ -248,6 +371,7 @@ impl ComponentGraph {
         if !self.edges.remove(&key) {
             return Err(GraphError::UnknownEdge(key.0, key.1));
         }
+        self.edge_meta.remove(&key);
         Ok(())
     }
 
@@ -325,6 +449,113 @@ impl ComponentGraph {
         }
         debug_assert_eq!(order.len(), self.components.len(), "graph must be acyclic");
         order
+    }
+
+    /// Maps every component to its position in [`topological_order`]
+    /// (`0` = a source).  Dataflow solvers use it to drain worklists in a
+    /// deterministic, forward direction.
+    ///
+    /// [`topological_order`]: ComponentGraph::topological_order
+    #[must_use]
+    pub fn topological_index(&self) -> BTreeMap<ComponentId, usize> {
+        self.topological_order()
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| (id, i))
+            .collect()
+    }
+
+    /// The strongly connected components, in reverse topological order of
+    /// the condensation (Tarjan's algorithm, iterative).  The acyclicity
+    /// invariant makes every SCC a singleton here, so this doubles as a
+    /// structural self-check for analyzers that must not assume a cycle
+    /// can never slip in through deserialization.
+    #[must_use]
+    pub fn sccs(&self) -> Vec<Vec<ComponentId>> {
+        #[derive(Clone)]
+        struct NodeState {
+            index: Option<usize>,
+            lowlink: usize,
+            on_stack: bool,
+        }
+        let ids: Vec<&ComponentId> = self.components.keys().collect();
+        let mut state: BTreeMap<&ComponentId, NodeState> = ids
+            .iter()
+            .map(|id| {
+                (
+                    *id,
+                    NodeState {
+                        index: None,
+                        lowlink: 0,
+                        on_stack: false,
+                    },
+                )
+            })
+            .collect();
+        let mut next_index = 0usize;
+        let mut stack: Vec<&ComponentId> = Vec::new();
+        let mut sccs: Vec<Vec<ComponentId>> = Vec::new();
+
+        for &root in &ids {
+            if state[root].index.is_some() {
+                continue;
+            }
+            // Explicit DFS frames: (node, successor iterator position).
+            let mut frames: Vec<(&ComponentId, Vec<&ComponentId>, usize)> = Vec::new();
+            let succs: Vec<&ComponentId> = self.successors(root).collect();
+            let s = state.get_mut(root).expect("known node");
+            s.index = Some(next_index);
+            s.lowlink = next_index;
+            s.on_stack = true;
+            next_index += 1;
+            stack.push(root);
+            frames.push((root, succs, 0));
+
+            while let Some((node, succs, pos)) = frames.last_mut() {
+                if let Some(next) = succs.get(*pos).copied() {
+                    *pos += 1;
+                    let next_state = state[next].clone();
+                    match next_state.index {
+                        None => {
+                            let s = state.get_mut(next).expect("known node");
+                            s.index = Some(next_index);
+                            s.lowlink = next_index;
+                            s.on_stack = true;
+                            next_index += 1;
+                            stack.push(next);
+                            let next_succs: Vec<&ComponentId> = self.successors(next).collect();
+                            frames.push((next, next_succs, 0));
+                        }
+                        Some(idx) if next_state.on_stack => {
+                            let s = state.get_mut(*node).expect("known node");
+                            s.lowlink = s.lowlink.min(idx);
+                        }
+                        Some(_) => {}
+                    }
+                } else {
+                    let (node, _, _) = frames.pop().expect("frame present");
+                    let node_state = state[node].clone();
+                    if let Some((parent, _, _)) = frames.last() {
+                        let p = state.get_mut(*parent).expect("known node");
+                        p.lowlink = p.lowlink.min(node_state.lowlink);
+                    }
+                    if Some(node_state.lowlink) == node_state.index {
+                        let mut component = Vec::new();
+                        loop {
+                            let member = stack.pop().expect("stack holds the SCC");
+                            state.get_mut(member).expect("known node").on_stack = false;
+                            component.push(member.clone());
+                            if member == node {
+                                break;
+                            }
+                        }
+                        component.sort();
+                        sccs.push(component);
+                    }
+                }
+            }
+        }
+        sccs
     }
 }
 
@@ -556,5 +787,109 @@ mod tests {
         let json = serde_json::to_string(&g).unwrap();
         let back: ComponentGraph = serde_json::from_str(&json).unwrap();
         assert_eq!(g, back);
+    }
+
+    #[test]
+    fn legacy_json_without_edge_meta_still_parses() {
+        let json = r#"{
+            "components": {"a": {"id": "a", "kind": "svc", "metadata": {}},
+                           "b": {"id": "b", "kind": "svc", "metadata": {}}},
+            "edges": [["a", "b"]]
+        }"#;
+        let g: ComponentGraph = serde_json::from_str(json).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(
+            g.edge_meta(&"a".into(), &"b".into()),
+            Some(EdgeMeta::default())
+        );
+    }
+
+    #[test]
+    fn labeled_edges_round_trip_and_filter() {
+        let mut g = ComponentGraph::new();
+        g.add(Component::new("a", "svc")).unwrap();
+        g.add(Component::new("b", "svc")).unwrap();
+        g.connect_labeled("a", "b", EdgeMeta::carrying(["hvel"]))
+            .unwrap();
+        let meta = g.edge_meta(&"a".into(), &"b".into()).unwrap();
+        assert!(meta.transports("hvel"));
+        assert!(!meta.transports("other"));
+        assert!(EdgeMeta::default().transports("anything"));
+        let json = serde_json::to_string(&g).unwrap();
+        let back: ComponentGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+        // Unknown edge: no metadata at all.
+        assert_eq!(g.edge_meta(&"b".into(), &"a".into()), None);
+    }
+
+    #[test]
+    fn edge_meta_follows_edge_lifecycle() {
+        let mut g = ComponentGraph::new();
+        g.add(Component::new("a", "svc")).unwrap();
+        g.add(Component::new("b", "svc")).unwrap();
+        g.connect("a", "b").unwrap();
+        // Typing an existing edge, then erasing the type again.
+        g.set_edge_meta("a", "b", EdgeMeta::carrying(["k"]))
+            .unwrap();
+        assert_eq!(
+            g.edge_meta(&"a".into(), &"b".into()).unwrap().carries.len(),
+            1
+        );
+        g.set_edge_meta("a", "b", EdgeMeta::default()).unwrap();
+        let json = serde_json::to_string(&g).unwrap();
+        assert!(
+            !json.contains("carries"),
+            "default meta is not stored: {json}"
+        );
+        assert_eq!(
+            g.set_edge_meta("b", "a", EdgeMeta::default()),
+            Err(GraphError::UnknownEdge("b".into(), "a".into()))
+        );
+        // Disconnect and remove both drop the metadata.
+        g.set_edge_meta("a", "b", EdgeMeta::carrying(["k"]))
+            .unwrap();
+        g.disconnect("a", "b").unwrap();
+        g.connect("a", "b").unwrap();
+        assert_eq!(
+            g.edge_meta(&"a".into(), &"b".into()),
+            Some(EdgeMeta::default())
+        );
+        g.set_edge_meta("a", "b", EdgeMeta::carrying(["k"]))
+            .unwrap();
+        g.remove("b").unwrap();
+        g.add(Component::new("b", "svc")).unwrap();
+        g.connect("a", "b").unwrap();
+        assert_eq!(
+            g.edge_meta(&"a".into(), &"b".into()),
+            Some(EdgeMeta::default())
+        );
+    }
+
+    #[test]
+    fn topological_index_matches_order() {
+        let mut g = chain(4);
+        g.add(Component::new("side", "svc")).unwrap();
+        g.connect("side", "c2").unwrap();
+        let order = g.topological_order();
+        let index = g.topological_index();
+        assert_eq!(index.len(), order.len());
+        for (i, id) in order.iter().enumerate() {
+            assert_eq!(index[id], i);
+        }
+    }
+
+    #[test]
+    fn sccs_are_singletons_in_reverse_topological_order() {
+        let mut g = chain(3);
+        g.add(Component::new("iso", "svc")).unwrap();
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|scc| scc.len() == 1));
+        // Every edge target appears before its source (reverse topo).
+        let pos = |id: &str| sccs.iter().position(|scc| scc[0].as_str() == id).unwrap();
+        assert!(pos("c2") < pos("c1"));
+        assert!(pos("c1") < pos("c0"));
+        // Empty graph: no SCCs.
+        assert!(ComponentGraph::new().sccs().is_empty());
     }
 }

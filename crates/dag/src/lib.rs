@@ -25,5 +25,5 @@ pub mod graph;
 pub mod reflective;
 
 pub use export::GraphStats;
-pub use graph::{Component, ComponentGraph, ComponentId, GraphDiff, GraphError};
+pub use graph::{Component, ComponentGraph, ComponentId, EdgeMeta, GraphDiff, GraphError};
 pub use reflective::{fig3_snapshots, InjectionRecord, ReflectiveArchitecture, ReflectiveError};

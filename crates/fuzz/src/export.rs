@@ -1,0 +1,100 @@
+//! Exporting fuzz artefacts to the static analyzer.
+//!
+//! `afta-lint`'s envelope pass (`AFTA-D006`/`AFTA-D007`) checks a
+//! schedule against the hazard envelope it claims *without executing
+//! it*.  The lint crate deliberately does not depend on this one — it
+//! mirrors the schedule JSON grammar instead — so this module is the
+//! bridge in the only allowed direction: it renders a [`Schedule`] or a
+//! corpus [`Reproducer`] to its canonical JSON and hands that to the
+//! linter's parser.  A plain schedule claims the *battery* envelope (it
+//! is what the battery profile generates for CI); a reproducer claims
+//! *wild* (it was hunted in the full hazard space).
+//!
+//! The differential tests at the bottom are the point: every schedule
+//! the battery generator can emit must lint clean under the battery
+//! claim, pinning the linter's mirrored margins to the generator's real
+//! ones.
+
+use afta_lint::ScheduleDecl;
+
+use crate::corpus::Reproducer;
+use crate::schedule::Schedule;
+
+/// Abstracts a generated schedule for the linter, under the battery
+/// envelope claim.
+///
+/// `name` becomes the diagnostic's source label (use the file path or
+/// the corpus entry name).
+///
+/// # Panics
+///
+/// Never in practice: the schedule serializes to the exact grammar the
+/// linter mirrors.
+#[must_use]
+pub fn schedule_to_lint(name: &str, schedule: &Schedule) -> ScheduleDecl {
+    ScheduleDecl::from_fuzz_json(name, &schedule.to_json())
+        .expect("generated schedule JSON matches the linter's mirrored grammar")
+}
+
+/// Abstracts a corpus reproducer for the linter, under the wild
+/// envelope claim.
+///
+/// # Panics
+///
+/// Never in practice: reproducer JSON embeds a well-formed schedule.
+#[must_use]
+pub fn reproducer_to_lint(name: &str, rep: &Reproducer) -> ScheduleDecl {
+    ScheduleDecl::from_fuzz_json(name, &rep.to_json())
+        .expect("reproducer JSON matches the linter's mirrored grammar")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{generate, FaultEvent, FaultKind, Profile, DEFAULT_MAX_STEPS};
+    use afta_lint::EnvelopeClaim;
+
+    #[test]
+    fn plain_schedules_claim_the_battery() {
+        let s = generate(7, DEFAULT_MAX_STEPS, Profile::Battery);
+        let decl = schedule_to_lint("battery/7.json", &s);
+        assert_eq!(decl.envelope, EnvelopeClaim::Battery);
+        assert_eq!(decl.source, "battery/7.json");
+        assert_eq!(decl.max_steps, s.max_steps);
+        assert_eq!(decl.events.len(), s.events.len());
+    }
+
+    #[test]
+    fn reproducers_claim_the_wild() {
+        let rep = Reproducer {
+            afta_seed: "0x0000000000000007".into(),
+            invariant: crate::invariant::Invariant::NoLivelock,
+            strategy: "farm".into(),
+            detail: "x".into(),
+            shrink_runs: 1,
+            removed_events: 0,
+            replay: "afta-fuzz replay <this-file>".into(),
+            schedule: Schedule {
+                seed: 7,
+                max_steps: DEFAULT_MAX_STEPS,
+                events: vec![FaultEvent {
+                    at: 2,
+                    kind: FaultKind::ClockSkew { delta: -3 },
+                }],
+            },
+        };
+        let decl = reproducer_to_lint("wild/skew.json", &rep);
+        assert_eq!(decl.envelope, EnvelopeClaim::Wild);
+        assert_eq!(decl.events.len(), 1);
+        assert_eq!(decl.events[0].at, 2);
+    }
+
+    #[test]
+    fn hazard_steps_mirror_the_event_stream() {
+        let s = generate(0xAF7A, DEFAULT_MAX_STEPS, Profile::Wild);
+        let decl = schedule_to_lint("wild/af7a.json", &s);
+        let lint_steps: Vec<u64> = decl.events.iter().map(|e| e.at).collect();
+        let fuzz_steps: Vec<u64> = s.events.iter().map(|e| e.at).collect();
+        assert_eq!(lint_steps, fuzz_steps);
+    }
+}

@@ -40,12 +40,14 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod export;
 pub mod invariant;
 pub mod run;
 pub mod schedule;
 pub mod shrink;
 
 pub use corpus::{assert_one_minimal, load_corpus, replay_reproducer, Reproducer};
+pub use export::{reproducer_to_lint, schedule_to_lint};
 pub use invariant::{Invariant, Violation};
 pub use run::{
     run_schedule, BugFlags, FarmSummary, MemSummary, PatternsSummary, RunConfig, RunReport,

@@ -851,16 +851,29 @@ fn run_patterns(schedule: &Schedule, flags: &BugFlags) -> (PatternsSummary, Vec<
             Ok(step)
         };
 
+        // The statically bound redoing pattern compiled in its round
+        // deadline: retries are spaced on the *observed* clock, so once a
+        // skew step has pushed observed time past the wall-clock round
+        // index the budget reads as already spent and no retry is issued.
+        // The adaptive manager re-derives its deadline every round and is
+        // immune — binding the timing assumption early is what a leap
+        // second defeats.
+        let deadline_spent = observed.0 > step;
+
         let succeeded = match forced {
             // Adaptive path: the manager picks and re-picks D1/D2.
             None => manager.execute_round(observed, attempt).is_some(),
             // The `e1` editor statically bound redoing: retries cannot
-            // outwait a permanent fault.
+            // outwait a permanent fault, and their deadline arithmetic
+            // trusts the observed clock.
             Some(ClashSide::E1) => {
                 let mut value = None;
                 let mut extra = false;
                 for retry in 0..3u32 {
                     if retry > 0 {
+                        if deadline_spent {
+                            break;
+                        }
                         extra = true;
                     }
                     if let Ok(v) = attempt(forced_version, retry) {
@@ -1011,6 +1024,92 @@ mod tests {
         assert_eq!(report.farm.majorities, 16);
         assert_eq!(report.mem.wrong_reads, 0);
         assert_eq!(report.patterns.failed_rounds, 0);
+    }
+
+    /// The leap-second composition: a clash edit statically binds
+    /// redoing (with its compiled-in round deadline), a skew step pushes
+    /// the observed clock past the round index, and a run of transient
+    /// storms then starves the retry budget for nine straight rounds.
+    fn leap_second_schedule() -> Schedule {
+        use crate::schedule::{ClashSide, FaultEvent, FaultKind};
+        Schedule {
+            seed: 0x1EAF,
+            max_steps: DEFAULT_MAX_STEPS,
+            events: vec![
+                FaultEvent {
+                    at: 2,
+                    kind: FaultKind::ClashEdit {
+                        side: ClashSide::E1,
+                    },
+                },
+                FaultEvent {
+                    at: 3,
+                    kind: FaultKind::ClockSkew { delta: 9 },
+                },
+                FaultEvent {
+                    at: 4,
+                    kind: FaultKind::SefiStorm {
+                        flips: 0,
+                        sefi: false,
+                    },
+                },
+                FaultEvent {
+                    at: 8,
+                    kind: FaultKind::SefiStorm {
+                        flips: 0,
+                        sefi: false,
+                    },
+                },
+                FaultEvent {
+                    at: 12,
+                    kind: FaultKind::SefiStorm {
+                        flips: 0,
+                        sefi: false,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn skew_starves_statically_bound_retries() {
+        let schedule = leap_second_schedule();
+        let report = run_schedule(
+            &schedule,
+            &BugFlags::default(),
+            &fast(),
+            &Registry::disabled(),
+        );
+        let v = report
+            .violation_of(Invariant::NoLivelock)
+            .expect("the composition livelocks the forced-redoing pattern");
+        assert_eq!(v.strategy, "patterns");
+        // Only the livelock trips: the zero-flip storms leave memory
+        // untouched and the farm never sees the clock.
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.invariant == Invariant::NoLivelock));
+    }
+
+    #[test]
+    fn each_leap_second_event_is_load_bearing() {
+        let schedule = leap_second_schedule();
+        for index in 0..schedule.events.len() {
+            let candidate = schedule.without_event(index);
+            let report = run_schedule(
+                &candidate,
+                &BugFlags::default(),
+                &fast(),
+                &Registry::disabled(),
+            );
+            assert!(
+                report.passed(),
+                "removing event {index} ({:?}) should make the run pass, got {:?}",
+                schedule.events[index],
+                report.violations
+            );
+        }
     }
 
     #[test]

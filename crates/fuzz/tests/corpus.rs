@@ -48,9 +48,26 @@ fn corpus_clash_edit_silent_loss_still_trips() {
 }
 
 #[test]
+fn corpus_leap_second_retry_starvation_still_trips() {
+    let rep = entry("leap-second-retry-starvation");
+    assert_eq!(rep.invariant, Invariant::NoLivelock);
+    let report = replay_reproducer(&rep, &fast()).expect("reproducer still reproduces");
+    let violation = report.violation_of(Invariant::NoLivelock).unwrap();
+    assert_eq!(violation.strategy, "patterns");
+    assert!(violation.detail.contains("forced E1"));
+    // The zero-flip storms are pure timing disturbances: memory and the
+    // farm stay clean, the skewed deadline arithmetic alone livelocks.
+    assert_eq!(report.mem.wrong_reads, 0);
+    assert!(report
+        .violations
+        .iter()
+        .all(|v| v.invariant == Invariant::NoLivelock));
+}
+
+#[test]
 fn every_corpus_entry_replays_and_is_one_minimal() {
     let entries = load_corpus(&corpus_dir()).expect("corpus directory loads");
-    assert!(entries.len() >= 2, "corpus must keep its seed entries");
+    assert!(entries.len() >= 3, "corpus must keep its seed entries");
     let cfg = fast();
     for (name, rep) in entries {
         replay_reproducer(&rep, &cfg)

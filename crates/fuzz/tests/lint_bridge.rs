@@ -1,0 +1,78 @@
+//! Differential tests between the fuzz generator and `afta-lint`'s
+//! static envelope mirror (`AFTA-D006`/`AFTA-D007`).
+//!
+//! The lint crate does not execute schedules — it re-derives the battery
+//! margins from the schedule JSON alone.  These tests pin that mirror to
+//! the generator's real behaviour: every schedule the battery profile
+//! can emit must lint clean under the battery claim, and every committed
+//! corpus reproducer must lint without a single error-severity finding.
+
+use std::path::PathBuf;
+
+use afta_fuzz::{load_corpus, reproducer_to_lint, schedule_to_lint, Profile, DEFAULT_MAX_STEPS};
+use afta_lint::{LintDriver, LintTarget, Rule, Severity};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+#[test]
+fn battery_generator_never_escapes_the_lint_envelope() {
+    let driver = LintDriver::new();
+    for seed in 0..256u64 {
+        let schedule = afta_fuzz::generate(seed, DEFAULT_MAX_STEPS, Profile::Battery);
+        let mut target = LintTarget::new();
+        target
+            .schedules
+            .push(schedule_to_lint(&format!("battery/{seed}.json"), &schedule));
+        let report = driver.run(&target);
+        assert!(
+            report.is_clean(),
+            "battery schedule for seed {seed} escaped the static envelope: {}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn corpus_reproducers_lint_without_errors() {
+    let entries = load_corpus(&corpus_dir()).expect("corpus directory loads");
+    assert!(!entries.is_empty());
+    let driver = LintDriver::new();
+    for (name, rep) in entries {
+        let mut target = LintTarget::new();
+        target.schedules.push(reproducer_to_lint(&name, &rep));
+        let report = driver.run(&target);
+        // Wild reproducers may earn the informational D007 note, never a
+        // D006 error: the battery gate stays closed to them by claim.
+        assert_eq!(
+            report.errors,
+            0,
+            "corpus entry `{name}` must lint clean of errors: {}",
+            report.render_text()
+        );
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .all(|d| d.rule == Rule::D007 && d.severity == Severity::Note),
+            "corpus entry `{name}` may only carry D007 notes: {}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn deny_warnings_keeps_notes_note_level() {
+    // `--deny warnings` over the corpus must stay green: D007 is a note,
+    // and notes never escalate.
+    let entries = load_corpus(&corpus_dir()).expect("corpus directory loads");
+    let mut driver = LintDriver::new();
+    driver.deny_warnings(true);
+    for (name, rep) in entries {
+        let mut target = LintTarget::new();
+        target.schedules.push(reproducer_to_lint(&name, &rep));
+        let report = driver.run(&target);
+        assert_eq!(report.exit_code(), 0, "corpus entry `{name}` gated CI");
+    }
+}

@@ -6,78 +6,205 @@ use std::fmt;
 use afta_core::Syndrome;
 use serde::{Deserialize, Serialize};
 
-/// Every rule the analyzer knows, keyed by its stable code.
-///
-/// Codes never change meaning once shipped; retired rules are not reused.
-/// The letter block names the syndrome the rule guards against: `H` for
-/// Horning (changed or never-valid assumption), `HI` for Hidden
-/// Intelligence (knowledge kept outside the assumption web), `B` for
-/// Boulding (system class mismatch).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Rule {
+/// Generates the whole rule table from one declaration per rule, so a
+/// new rule cannot ship with a missing code, syndrome, severity, or
+/// `--list-rules` line: every accessor and [`Rule::ALL`] itself derive
+/// from the same rows.
+macro_rules! rule_table {
+    ( $( $(#[$doc:meta])* $variant:ident {
+            code: $code:literal,
+            syndrome: $syndrome:ident,
+            severity: $severity:ident,
+            summary: $summary:literal $(,)?
+        } ),+ $(,)? ) => {
+        /// Every rule the analyzer knows, keyed by its stable code.
+        ///
+        /// Codes never change meaning once shipped; retired rules are not
+        /// reused.  The letter block names the syndrome the rule guards
+        /// against: `H` for Horning (changed or never-valid assumption),
+        /// `HI` for Hidden Intelligence (knowledge kept outside the
+        /// assumption web), `B` for Boulding (system class mismatch) —
+        /// and `D` for the whole-program dataflow family, whose members
+        /// carry their syndrome individually.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub enum Rule {
+            $( $(#[$doc])* $variant, )+
+        }
+
+        impl Rule {
+            /// Every rule, in code order.
+            pub const ALL: [Rule; [$($code),+].len()] = [ $(Rule::$variant),+ ];
+
+            /// The stable diagnostic code, e.g. `AFTA-H003`.
+            #[must_use]
+            pub fn code(self) -> &'static str {
+                match self { $(Rule::$variant => $code),+ }
+            }
+
+            /// The assumption-failure syndrome this rule guards against.
+            #[must_use]
+            pub fn syndrome(self) -> Syndrome {
+                match self { $(Rule::$variant => Syndrome::$syndrome),+ }
+            }
+
+            /// The severity the rule fires at unless overridden.
+            #[must_use]
+            pub fn default_severity(self) -> Severity {
+                match self { $(Rule::$variant => Severity::$severity),+ }
+            }
+
+            /// One-line description, used by `afta-lint --list-rules`.
+            #[must_use]
+            pub fn summary(self) -> &'static str {
+                match self { $(Rule::$variant => $summary),+ }
+            }
+        }
+    };
+}
+
+rule_table! {
     /// `AFTA-H001`: assumption declared but never bound.
-    H001,
+    H001 {
+        code: "AFTA-H001",
+        syndrome: Horning,
+        severity: Warning,
+        summary: "assumption declared but never bound: no fact and no probe covers it",
+    },
     /// `AFTA-H002`: assumption bound but not monitored by any probe.
-    H002,
+    H002 {
+        code: "AFTA-H002",
+        syndrome: Horning,
+        severity: Warning,
+        summary: "assumption bound once but never re-verified by a monitor probe",
+    },
     /// `AFTA-H003`: unproven value-range narrowing (the Ariane 5 check).
-    H003,
+    H003 {
+        code: "AFTA-H003",
+        syndrome: Horning,
+        severity: Error,
+        summary: "unproven value-range narrowing across a conversion (the Ariane 5 check)",
+    },
     /// `AFTA-HI001`: reference to an assumption absent from the manifest.
-    HI001,
+    HI001 {
+        code: "AFTA-HI001",
+        syndrome: HiddenIntelligence,
+        severity: Error,
+        summary: "clause or conversion references an assumption absent from the manifest",
+    },
     /// `AFTA-HI002`: contract clause that names no assumption.
-    HI002,
+    HI002 {
+        code: "AFTA-HI002",
+        syndrome: HiddenIntelligence,
+        severity: Warning,
+        summary: "contract clause names no assumption: its hypotheses stay hidden",
+    },
     /// `AFTA-HI003`: knowledge-base entry no declared method tolerates.
-    HI003,
+    HI003 {
+        code: "AFTA-HI003",
+        syndrome: HiddenIntelligence,
+        severity: Error,
+        summary: "knowledge-base entry whose behaviour no declared method tolerates",
+    },
     /// `AFTA-HI004`: deployed module with no failure knowledge at all.
-    HI004,
+    HI004 {
+        code: "AFTA-HI004",
+        syndrome: HiddenIntelligence,
+        severity: Error,
+        summary: "deployed module with no failure knowledge at any granularity",
+    },
     /// `AFTA-B001`: declared Boulding category below the requirement.
-    B001,
+    B001 {
+        code: "AFTA-B001",
+        syndrome: Boulding,
+        severity: Error,
+        summary: "declared Boulding category below what the manifest requires",
+    },
     /// `AFTA-B002`: fault-topic subscriber unreachable from any publisher.
-    B002,
+    B002 {
+        code: "AFTA-B002",
+        syndrome: Boulding,
+        severity: Error,
+        summary: "fault-topic subscriber with no DAG path from any publisher",
+    },
     /// `AFTA-B003`: alpha-count threshold statically unreachable.
-    B003,
+    B003 {
+        code: "AFTA-B003",
+        syndrome: Boulding,
+        severity: Error,
+        summary: "alpha-count parameters invalid or threshold statically unreachable",
+    },
     /// `AFTA-B004`: voting farm with `dtof <= 0` under the declared
     /// fault hypothesis at minimal redundancy.
-    B004,
+    B004 {
+        code: "AFTA-B004",
+        syndrome: Boulding,
+        severity: Error,
+        summary: "voting farm already at dtof <= 0 under the declared fault hypothesis",
+    },
     /// `AFTA-B005`: redundancy policy whose construction would panic.
-    B005,
+    B005 {
+        code: "AFTA-B005",
+        syndrome: Boulding,
+        severity: Error,
+        summary: "redundancy policy invalid: construction would panic",
+    },
+    /// `AFTA-D001`: a value range reaching a flow sink across the DAG is
+    /// not proven to fit (the multi-hop Ariane check).
+    D001 {
+        code: "AFTA-D001",
+        syndrome: Horning,
+        severity: Error,
+        summary: "dataflow: value range reaching a sink across the DAG is unproven to fit",
+    },
+    /// `AFTA-D002`: a flow sink no declared source can reach.
+    D002 {
+        code: "AFTA-D002",
+        syndrome: Horning,
+        severity: Warning,
+        summary: "dataflow: sink constraint is vacuous, no declared source reaches it",
+    },
+    /// `AFTA-D003`: a later-bound value flowing into an earlier-bound
+    /// consumer.
+    D003 {
+        code: "AFTA-D003",
+        syndrome: HiddenIntelligence,
+        severity: Error,
+        summary: "dataflow: later-bound value flows into an earlier-bound consumer",
+    },
+    /// `AFTA-D004`: a rebind site no declared flow reaches.
+    D004 {
+        code: "AFTA-D004",
+        syndrome: HiddenIntelligence,
+        severity: Warning,
+        summary: "dataflow: rebind site is unreachable from every declared source",
+    },
+    /// `AFTA-D005`: an unmonitored assumption transitively reaching a
+    /// critical component (voting farm, switchboard).
+    D005 {
+        code: "AFTA-D005",
+        syndrome: Horning,
+        severity: Error,
+        summary: "dataflow: unmonitored assumption taints a critical component",
+    },
+    /// `AFTA-D006`: a schedule claiming the battery envelope while
+    /// containing hazards outside it.
+    D006 {
+        code: "AFTA-D006",
+        syndrome: Boulding,
+        severity: Error,
+        summary: "schedule claims the battery envelope but contains hazards outside it",
+    },
+    /// `AFTA-D007`: wild-only hazards checked into the CI corpus
+    /// (informational).
+    D007 {
+        code: "AFTA-D007",
+        syndrome: Boulding,
+        severity: Note,
+        summary: "schedule carries wild-only hazards: policy invariants are not guaranteed",
+    },
 }
 
 impl Rule {
-    /// Every rule, in code order.
-    pub const ALL: [Rule; 12] = [
-        Rule::H001,
-        Rule::H002,
-        Rule::H003,
-        Rule::HI001,
-        Rule::HI002,
-        Rule::HI003,
-        Rule::HI004,
-        Rule::B001,
-        Rule::B002,
-        Rule::B003,
-        Rule::B004,
-        Rule::B005,
-    ];
-
-    /// The stable diagnostic code, e.g. `AFTA-H003`.
-    #[must_use]
-    pub fn code(self) -> &'static str {
-        match self {
-            Rule::H001 => "AFTA-H001",
-            Rule::H002 => "AFTA-H002",
-            Rule::H003 => "AFTA-H003",
-            Rule::HI001 => "AFTA-HI001",
-            Rule::HI002 => "AFTA-HI002",
-            Rule::HI003 => "AFTA-HI003",
-            Rule::HI004 => "AFTA-HI004",
-            Rule::B001 => "AFTA-B001",
-            Rule::B002 => "AFTA-B002",
-            Rule::B003 => "AFTA-B003",
-            Rule::B004 => "AFTA-B004",
-            Rule::B005 => "AFTA-B005",
-        }
-    }
-
     /// Resolves a code (with or without the `AFTA-` prefix) to its rule.
     #[must_use]
     pub fn from_code(code: &str) -> Option<Rule> {
@@ -85,44 +212,6 @@ impl Rule {
         Rule::ALL
             .into_iter()
             .find(|r| r.code().strip_prefix("AFTA-") == Some(bare))
-    }
-
-    /// The assumption-failure syndrome this rule guards against.
-    #[must_use]
-    pub fn syndrome(self) -> Syndrome {
-        match self {
-            Rule::H001 | Rule::H002 | Rule::H003 => Syndrome::Horning,
-            Rule::HI001 | Rule::HI002 | Rule::HI003 | Rule::HI004 => Syndrome::HiddenIntelligence,
-            Rule::B001 | Rule::B002 | Rule::B003 | Rule::B004 | Rule::B005 => Syndrome::Boulding,
-        }
-    }
-
-    /// The severity the rule fires at unless overridden.
-    #[must_use]
-    pub fn default_severity(self) -> Severity {
-        match self {
-            Rule::H001 | Rule::H002 | Rule::HI002 => Severity::Warning,
-            _ => Severity::Error,
-        }
-    }
-
-    /// One-line description, used by `afta-lint --list-rules`.
-    #[must_use]
-    pub fn summary(self) -> &'static str {
-        match self {
-            Rule::H001 => "assumption declared but never bound: no fact and no probe covers it",
-            Rule::H002 => "assumption bound once but never re-verified by a monitor probe",
-            Rule::H003 => "unproven value-range narrowing across a conversion (the Ariane 5 check)",
-            Rule::HI001 => "clause or conversion references an assumption absent from the manifest",
-            Rule::HI002 => "contract clause names no assumption: its hypotheses stay hidden",
-            Rule::HI003 => "knowledge-base entry whose behaviour no declared method tolerates",
-            Rule::HI004 => "deployed module with no failure knowledge at any granularity",
-            Rule::B001 => "declared Boulding category below what the manifest requires",
-            Rule::B002 => "fault-topic subscriber with no DAG path from any publisher",
-            Rule::B003 => "alpha-count parameters invalid or threshold statically unreachable",
-            Rule::B004 => "voting farm already at dtof <= 0 under the declared fault hypothesis",
-            Rule::B005 => "redundancy policy invalid: construction would panic",
-        }
     }
 }
 
@@ -235,6 +324,18 @@ impl SourceRef {
     pub fn redundancy() -> Self {
         Self("redundancy.policy".to_string())
     }
+
+    /// Pointer to a declared dataflow fact at a component.
+    #[must_use]
+    pub fn flow(component: &str, fact_key: &str) -> Self {
+        Self(format!("flows[{component}:{fact_key}]"))
+    }
+
+    /// Pointer to a fault-injection schedule under lint.
+    #[must_use]
+    pub fn schedule(name: &str) -> Self {
+        Self(format!("schedules[{name}]"))
+    }
 }
 
 impl fmt::Display for SourceRef {
@@ -256,6 +357,9 @@ pub struct Diagnostic {
     pub message: String,
     /// Where in the artefact the problem lives.
     pub source: SourceRef,
+    /// The propagation path that carried the offending value to
+    /// `source`, outermost origin first.  Empty for local findings.
+    pub path: Vec<SourceRef>,
     /// Supporting facts (bounds, counts, names).
     pub notes: Vec<String>,
     /// A suggested remedy, when one is known.
@@ -272,9 +376,17 @@ impl Diagnostic {
             rule,
             message: message.into(),
             source,
+            path: Vec::new(),
             notes: Vec::new(),
             help: None,
         }
+    }
+
+    /// Attaches the propagation path (origin first) that led here.
+    #[must_use]
+    pub fn with_path(mut self, path: Vec<SourceRef>) -> Self {
+        self.path = path;
+        self
     }
 
     /// Appends a supporting note.
@@ -306,6 +418,10 @@ impl Diagnostic {
             "{}[{}]: {}\n  --> {}\n  = syndrome: {}\n",
             self.severity, self.rule, self.message, self.source, self.syndrome
         );
+        if !self.path.is_empty() {
+            let hops: Vec<&str> = self.path.iter().map(|s| s.0.as_str()).collect();
+            out.push_str(&format!("  = path: {}\n", hops.join(" -> ")));
+        }
         for note in &self.notes {
             out.push_str(&format!("  = note: {note}\n"));
         }
@@ -329,7 +445,8 @@ mod tests {
         assert_eq!(Rule::from_code("H003"), Some(Rule::H003));
         assert_eq!(Rule::from_code("AFTA-B004"), Some(Rule::B004));
         assert_eq!(Rule::from_code("AFTA-X999"), None);
-        assert_eq!(Rule::ALL.len(), 12);
+        assert_eq!(Rule::from_code("D005"), Some(Rule::D005));
+        assert_eq!(Rule::ALL.len(), 19);
     }
 
     #[test]
@@ -337,6 +454,10 @@ mod tests {
         assert_eq!(Rule::H001.syndrome(), Syndrome::Horning);
         assert_eq!(Rule::HI004.syndrome(), Syndrome::HiddenIntelligence);
         assert_eq!(Rule::B005.syndrome(), Syndrome::Boulding);
+        // The D family carries its syndrome per rule.
+        assert_eq!(Rule::D001.syndrome(), Syndrome::Horning);
+        assert_eq!(Rule::D003.syndrome(), Syndrome::HiddenIntelligence);
+        assert_eq!(Rule::D006.syndrome(), Syndrome::Boulding);
     }
 
     #[test]
@@ -345,6 +466,8 @@ mod tests {
         assert_eq!(Rule::H003.default_severity(), Severity::Error);
         assert_eq!(Rule::HI002.default_severity(), Severity::Warning);
         assert_eq!(Rule::B004.default_severity(), Severity::Error);
+        assert_eq!(Rule::D002.default_severity(), Severity::Warning);
+        assert_eq!(Rule::D007.default_severity(), Severity::Note);
     }
 
     #[test]
@@ -371,6 +494,25 @@ mod tests {
         assert!(text.contains("= syndrome: Horning"));
         assert!(text.contains("= note: guard admits"));
         assert!(text.contains("= help: tighten"));
+    }
+
+    #[test]
+    fn rendering_includes_the_propagation_path() {
+        let d = Diagnostic::new(
+            Rule::D001,
+            SourceRef::flow("flight-computer", "horizontal_velocity"),
+            "range reaches a 16-bit sink",
+        )
+        .with_path(vec![
+            SourceRef::component("inertial-ref"),
+            SourceRef::component("guidance"),
+            SourceRef::component("flight-computer"),
+        ]);
+        let text = d.render();
+        assert!(text.contains(
+            "= path: graph.components[inertial-ref] -> graph.components[guidance] \
+             -> graph.components[flight-computer]"
+        ));
     }
 
     #[test]

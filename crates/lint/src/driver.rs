@@ -6,7 +6,10 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use crate::diagnostic::{Diagnostic, Rule, Severity};
-use crate::passes::{BouldingPass, HiddenIntelligencePass, HorningPass, LintPass};
+use crate::passes::{
+    BindingFlowPass, BouldingPass, EnvelopePass, HiddenIntelligencePass, HorningPass,
+    IntervalFlowPass, LintPass, MonitorTaintPass,
+};
 use crate::target::LintTarget;
 
 /// What to do with a rule's findings.
@@ -38,7 +41,8 @@ impl Default for LintDriver {
 }
 
 impl LintDriver {
-    /// A driver with the three syndrome passes and default levels.
+    /// A driver with the three syndrome passes, the four whole-program
+    /// dataflow passes, and default levels.
     #[must_use]
     pub fn new() -> Self {
         Self {
@@ -46,6 +50,10 @@ impl LintDriver {
                 Box::new(HorningPass),
                 Box::new(HiddenIntelligencePass),
                 Box::new(BouldingPass),
+                Box::new(IntervalFlowPass),
+                Box::new(BindingFlowPass),
+                Box::new(MonitorTaintPass),
+                Box::new(EnvelopePass),
             ],
             levels: BTreeMap::new(),
             deny_warnings: false,
@@ -191,11 +199,19 @@ mod tests {
     }
 
     #[test]
-    fn default_driver_runs_all_three_passes() {
+    fn default_driver_runs_all_seven_passes() {
         let driver = LintDriver::new();
         assert_eq!(
             driver.pass_names(),
-            vec!["horning", "hidden-intelligence", "boulding"]
+            vec![
+                "horning",
+                "hidden-intelligence",
+                "boulding",
+                "interval-flow",
+                "binding-flow",
+                "monitor-taint",
+                "envelope"
+            ]
         );
     }
 

@@ -36,14 +36,24 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod dataflow;
 pub mod diagnostic;
 pub mod driver;
 pub mod interval;
 pub mod passes;
 pub mod target;
 
+pub use dataflow::{
+    witness_path, BindingEnv, DataflowSolver, Fixpoint, IntervalEnv, Lattice, TaintSet,
+};
 pub use diagnostic::{Diagnostic, Rule, Severity, SourceRef};
 pub use driver::{Level, LintDriver, LintReport};
 pub use interval::{int_domain, IntInterval};
-pub use passes::{BouldingPass, HiddenIntelligencePass, HorningPass, LintPass};
-pub use target::{AlphaDecl, ConversionDecl, LintTarget, RedundancyDecl};
+pub use passes::{
+    BindingFlowPass, BouldingPass, EnvelopePass, HiddenIntelligencePass, HorningPass,
+    IntervalFlowPass, LintPass, MonitorTaintPass,
+};
+pub use target::{
+    AlphaDecl, ConversionDecl, EnvelopeClaim, FlowDecl, FlowRole, HazardClass, HazardDecl,
+    LintTarget, RedundancyDecl, ScheduleDecl,
+};

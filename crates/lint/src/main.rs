@@ -1,7 +1,7 @@
 //! The `afta-lint` command-line interface.
 //!
 //! ```text
-//! afta-lint [OPTIONS] <TARGET.json>...
+//! afta-lint [OPTIONS] [<TARGET.json>...]
 //!
 //! Options:
 //!   --format <text|json>   Output format (default: text)
@@ -9,6 +9,8 @@
 //!   --deny <CODE>          Report the rule at error severity
 //!   --warn <CODE>          Report the rule at warning severity
 //!   --allow <CODE>         Drop the rule's findings
+//!   --schedule <FILE>      Lint a fuzz schedule JSON file against the
+//!                          envelope it claims (repeatable; may stand alone)
 //!   --list-rules           Print the rule table and exit
 //!   -h, --help             Print usage and exit
 //!
@@ -23,11 +25,19 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use afta_lint::{Level, LintDriver, LintReport, LintTarget, Rule};
+use afta_lint::{Level, LintDriver, LintReport, LintTarget, Rule, ScheduleDecl};
 use serde::Serialize;
 
 const USAGE: &str = "usage: afta-lint [--format text|json] [--deny warnings] \
-                     [--allow|--warn|--deny CODE]... [--list-rules] <TARGET.json>...";
+                     [--allow|--warn|--deny CODE]... [--schedule FILE]... \
+                     [--list-rules] [<TARGET.json>...]";
+
+/// Every target linted clean of error-severity findings.
+const EXIT_CLEAN: u8 = 0;
+/// At least one error-severity finding (including escalated warnings).
+const EXIT_FINDINGS: u8 = 1;
+/// Usage, I/O, or parse error.
+const EXIT_USAGE: u8 = 2;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -35,9 +45,11 @@ enum Format {
     Json,
 }
 
+#[derive(Debug)]
 struct Options {
     format: Format,
     files: Vec<String>,
+    schedules: Vec<String>,
     levels: Vec<(Rule, Level)>,
     deny_warnings: bool,
     list_rules: bool,
@@ -48,6 +60,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         format: Format::Text,
         files: Vec::new(),
+        schedules: Vec::new(),
         levels: Vec::new(),
         deny_warnings: false,
         list_rules: false,
@@ -80,13 +93,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 let value = it.next().ok_or("--allow needs a value")?;
                 opts.levels.push((parse_rule(value)?, Level::Allow));
             }
+            "--schedule" => {
+                let value = it.next().ok_or("--schedule needs a value")?;
+                opts.schedules.push(value.clone());
+            }
             "--list-rules" => opts.list_rules = true,
             "-h" | "--help" => opts.help = true,
             flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
             file => opts.files.push(file.to_string()),
         }
     }
-    if !opts.help && !opts.list_rules && opts.files.is_empty() {
+    if !opts.help && !opts.list_rules && opts.files.is_empty() && opts.schedules.is_empty() {
         return Err("no target files given".to_string());
     }
     Ok(opts)
@@ -122,11 +139,11 @@ fn run(args: &[String]) -> Result<u8, String> {
     let opts = parse_args(args)?;
     if opts.help {
         println!("{USAGE}");
-        return Ok(0);
+        return Ok(EXIT_CLEAN);
     }
     if opts.list_rules {
         print!("{}", rule_table());
-        return Ok(0);
+        return Ok(EXIT_CLEAN);
     }
 
     let mut driver = LintDriver::new();
@@ -135,13 +152,31 @@ fn run(args: &[String]) -> Result<u8, String> {
         driver.set_level(*rule, *level);
     }
 
+    let mut schedules = Vec::new();
+    for file in &opts.schedules {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let decl = ScheduleDecl::from_fuzz_json(file, &text)
+            .map_err(|e| format!("{file}: parse error: {e}"))?;
+        schedules.push(decl);
+    }
+
     let mut results = Vec::new();
     for file in &opts.files {
         let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
-        let target =
+        let mut target =
             LintTarget::from_json(&text).map_err(|e| format!("{file}: parse error: {e}"))?;
+        target.schedules.extend(schedules.iter().cloned());
         results.push(FileReport {
             file: file.clone(),
+            report: driver.run(&target),
+        });
+    }
+    if opts.files.is_empty() {
+        // Schedules alone: lint them as a standalone target.
+        let mut target = LintTarget::new();
+        target.schedules = schedules;
+        results.push(FileReport {
+            file: "<schedules>".to_string(),
             report: driver.run(&target),
         });
     }
@@ -163,7 +198,7 @@ fn run(args: &[String]) -> Result<u8, String> {
             println!("{json}");
         }
     }
-    Ok(u8::from(any_error))
+    Ok(if any_error { EXIT_FINDINGS } else { EXIT_CLEAN })
 }
 
 fn main() -> ExitCode {
@@ -175,7 +210,54 @@ fn main() -> ExitCode {
                 eprintln!("afta-lint: {msg}");
             }
             eprintln!("{USAGE}");
-            ExitCode::from(2)
+            ExitCode::from(EXIT_USAGE)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn rule_listing_covers_every_variant() {
+        let table = rule_table();
+        for rule in Rule::ALL {
+            assert!(
+                table.contains(rule.code()),
+                "--list-rules output is missing {}",
+                rule.code()
+            );
+        }
+        assert_eq!(table.lines().count(), Rule::ALL.len());
+    }
+
+    #[test]
+    fn schedules_stand_alone_without_target_files() {
+        let opts = parse_args(&args(&["--schedule", "corpus/a.json"])).unwrap();
+        assert!(opts.files.is_empty());
+        assert_eq!(opts.schedules, vec!["corpus/a.json"]);
+    }
+
+    #[test]
+    fn bare_invocation_is_a_usage_error() {
+        assert!(parse_args(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn unknown_rule_code_is_rejected() {
+        let err = parse_args(&args(&["--deny", "AFTA-Z999", "t.json"])).unwrap_err();
+        assert!(err.contains("AFTA-Z999"));
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_documented() {
+        assert_eq!(EXIT_CLEAN, 0);
+        assert_eq!(EXIT_FINDINGS, 1);
+        assert_eq!(EXIT_USAGE, 2);
     }
 }

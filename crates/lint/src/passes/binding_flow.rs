@@ -1,0 +1,371 @@
+//! The binding-flow pass: binding-time consistency across the DAG.
+//!
+//! §4 of the paper orders the stages an assumption can be *bound* at —
+//! design, verification, compile, deployment, run time.  A consumer
+//! whose logic froze at an early stage cannot adapt to a value fixed at
+//! a later one: the later binding silently invalidates the earlier
+//! hypothesis, which is Hidden Intelligence by construction.  This pass
+//! propagates the [`BindingEnv`] domain (join = latest time) along the
+//! component DAG and flags:
+//!
+//! * `AFTA-D003` — a sink (or contract clause) bound earlier than a
+//!   value that reaches it;
+//! * `AFTA-D004` — a [`FlowRole::Rebind`] site no declared source
+//!   reaches, i.e. a rebind that can never execute.
+
+use afta_core::BindingTime;
+use afta_dag::ComponentId;
+
+use crate::dataflow::{witness_path, BindingEnv, DataflowSolver, TaintSet};
+use crate::diagnostic::{Diagnostic, Rule, SourceRef};
+use crate::passes::LintPass;
+use crate::target::{FlowRole, LintTarget};
+
+/// Lints binding-time consistency (`AFTA-D003`/`AFTA-D004`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BindingFlowPass;
+
+impl LintPass for BindingFlowPass {
+    fn name(&self) -> &'static str {
+        "binding-flow"
+    }
+
+    fn run(&self, target: &LintTarget, out: &mut Vec<Diagnostic>) {
+        check_clause_bindings(target, out);
+        let Some(graph) = &target.graph else {
+            return;
+        };
+        if target.flows.is_empty() {
+            return;
+        }
+
+        // Binding times flow from sources *and* rebind sites: a rebind
+        // fixes the value anew, so everything downstream sees its stage.
+        let mut binding_solver = DataflowSolver::<BindingEnv>::new(graph);
+        // Reachability flows from sources only: a rebind site that no
+        // source feeds never executes, so it must not count as an origin.
+        let mut reach_solver = DataflowSolver::<TaintSet>::new(graph);
+        for flow in &target.flows {
+            let id = ComponentId::new(flow.component.clone());
+            if !graph.contains(&id) {
+                continue;
+            }
+            match &flow.role {
+                FlowRole::Source { binding, .. } => {
+                    reach_solver.seed(id.clone(), TaintSet::of(flow.fact_key.clone()));
+                    if let Some(b) = binding {
+                        binding_solver.seed(id, BindingEnv::of(flow.fact_key.clone(), *b));
+                    }
+                }
+                FlowRole::Rebind { binding } => {
+                    binding_solver.seed(id, BindingEnv::of(flow.fact_key.clone(), *binding));
+                }
+                FlowRole::Sink { .. } => {}
+            }
+        }
+        let restrict_binding = |from: &ComponentId, to: &ComponentId, env: &BindingEnv| match graph
+            .edge_meta(from, to)
+        {
+            Some(meta) => BindingEnv(
+                env.0
+                    .iter()
+                    .filter(|(k, _)| meta.transports(k))
+                    .map(|(k, v)| (k.clone(), *v))
+                    .collect(),
+            ),
+            None => env.clone(),
+        };
+        let bindings = binding_solver.solve(restrict_binding);
+        let reach = reach_solver.solve(|from, to, taint| match graph.edge_meta(from, to) {
+            Some(meta) => TaintSet(
+                taint
+                    .0
+                    .iter()
+                    .filter(|k| meta.transports(k))
+                    .cloned()
+                    .collect(),
+            ),
+            None => taint.clone(),
+        });
+
+        for flow in &target.flows {
+            let id = ComponentId::new(flow.component.clone());
+            match &flow.role {
+                FlowRole::Sink {
+                    binding: Some(consumer),
+                    ..
+                } => {
+                    let Some(arriving) = bindings.at(&id).get(&flow.fact_key) else {
+                        continue;
+                    };
+                    if arriving <= *consumer {
+                        continue;
+                    }
+                    let origin = latest_origin(target, graph, &id, &flow.fact_key, arriving);
+                    let path = origin
+                        .as_ref()
+                        .and_then(|o| witness_path(graph, o, &id))
+                        .unwrap_or_default();
+                    out.push(
+                        Diagnostic::new(
+                            Rule::D003,
+                            SourceRef::flow(&flow.component, &flow.fact_key),
+                            format!(
+                                "`{}` consumes `{}` with logic fixed at {consumer}, but a \
+                                 value bound at {arriving} reaches it",
+                                flow.component, flow.fact_key
+                            ),
+                        )
+                        .with_path(
+                            path.iter()
+                                .map(|id| SourceRef::component(id.as_str()))
+                                .collect(),
+                        )
+                        .note(
+                            "the consumer's hypothesis froze before the value did: any \
+                             later rebind silently invalidates it",
+                        )
+                        .help(format!(
+                            "rebind the consumer at {arriving} or later, or fix the \
+                             value's binding stage no later than {consumer}"
+                        )),
+                    );
+                }
+                FlowRole::Rebind { binding } => {
+                    if reach.at(&id).0.contains(&flow.fact_key) {
+                        continue;
+                    }
+                    out.push(
+                        Diagnostic::new(
+                            Rule::D004,
+                            SourceRef::flow(&flow.component, &flow.fact_key),
+                            format!(
+                                "rebind of `{}` at `{}` ({binding}) is unreachable: no \
+                                 declared source feeds it",
+                                flow.fact_key, flow.component
+                            ),
+                        )
+                        .note("an unreachable rebind is dead adaptation machinery")
+                        .help(format!(
+                            "declare the producing component as a source of `{}` or \
+                             remove the rebind site",
+                            flow.fact_key
+                        )),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// `AFTA-D003`, clause flavour: a contract clause whose logic froze at
+/// an early stage resting on an assumption bound later — *and* whose
+/// fact is unmonitored, so the late rebind would go unnoticed.  (A
+/// probed fact re-verifies the clause's hypothesis at run time, which is
+/// exactly the paper's remedy.)
+fn check_clause_bindings(target: &LintTarget, out: &mut Vec<Diagnostic>) {
+    for contract in &target.contracts {
+        for clause in &contract.clauses {
+            let Some(clause_binding) = clause.binding else {
+                continue;
+            };
+            for id in &clause.assumes {
+                let Some(assumption) = target.manifest.assumptions.iter().find(|a| a.id() == id)
+                else {
+                    continue; // Dangling reference: AFTA-HI001's finding.
+                };
+                let bound_at = assumption.binding_time();
+                if bound_at <= clause_binding || target.probed_facts.contains(assumption.fact_key())
+                {
+                    continue;
+                }
+                out.push(
+                    Diagnostic::new(
+                        Rule::D003,
+                        SourceRef::clause(&contract.name, &clause.name),
+                        format!(
+                            "clause `{}` was fixed at {clause_binding} but rests on \
+                             `{}`, bound at {bound_at} and unmonitored",
+                            clause.name,
+                            id.as_str()
+                        ),
+                    )
+                    .note(format!(
+                        "fact `{}` can change after the clause's logic froze, and no \
+                         probe would notice",
+                        assumption.fact_key()
+                    ))
+                    .help(format!(
+                        "register a monitor probe for `{}` or bind the assumption by \
+                         {clause_binding}",
+                        assumption.fact_key()
+                    )),
+                );
+            }
+        }
+    }
+}
+
+/// The first declared origin (source or rebind) of `fact` bound exactly
+/// at the offending stage that reaches `sink` — the witness for D003.
+fn latest_origin(
+    target: &LintTarget,
+    graph: &afta_dag::ComponentGraph,
+    sink: &ComponentId,
+    fact: &str,
+    stage: BindingTime,
+) -> Option<ComponentId> {
+    target.flows.iter().find_map(|flow| {
+        if flow.fact_key != fact {
+            return None;
+        }
+        let declared = match &flow.role {
+            FlowRole::Source { binding, .. } => *binding,
+            FlowRole::Rebind { binding } => Some(*binding),
+            FlowRole::Sink { .. } => None,
+        };
+        if declared != Some(stage) {
+            return None;
+        }
+        let origin = ComponentId::new(flow.component.clone());
+        witness_path(graph, &origin, sink).map(|_| origin)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::IntInterval;
+    use crate::target::FlowDecl;
+    use afta_core::{
+        Assumption, AssumptionId, ClauseDescriptor, ContractDescriptor, Expectation, ViolationKind,
+    };
+    use afta_dag::{Component, ComponentGraph};
+
+    fn run(target: &LintTarget) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        BindingFlowPass.run(target, &mut out);
+        out
+    }
+
+    /// kb -> selector -> executor with a run-time-bound value feeding a
+    /// compile-time consumer two hops later.
+    fn inversion_target() -> LintTarget {
+        let mut t = LintTarget::new();
+        let mut g = ComponentGraph::new();
+        g.add(Component::new("kb", "knowledge")).unwrap();
+        g.add(Component::new("selector", "service")).unwrap();
+        g.add(Component::new("executor", "service")).unwrap();
+        g.connect("kb", "selector").unwrap();
+        g.connect("selector", "executor").unwrap();
+        t.graph = Some(g);
+        t.flows.push(
+            FlowDecl::source("kb", "mem_method", IntInterval::new(0, 4))
+                .bound_at(BindingTime::RunTime),
+        );
+        t.flows.push(
+            FlowDecl::sink("executor", "mem_method", IntInterval::new(0, 4))
+                .bound_at(BindingTime::CompileTime),
+        );
+        t
+    }
+
+    #[test]
+    fn later_bound_value_into_earlier_consumer_fires_d003() {
+        let diags = run(&inversion_target());
+        assert_eq!(diags.len(), 1);
+        let d = &diags[0];
+        assert_eq!(d.rule, Rule::D003);
+        assert!(d.message.contains("compile-time"));
+        assert!(d.message.contains("run-time"));
+        assert_eq!(
+            d.path,
+            vec![
+                SourceRef::component("kb"),
+                SourceRef::component("selector"),
+                SourceRef::component("executor"),
+            ]
+        );
+    }
+
+    #[test]
+    fn consistent_bindings_are_clean() {
+        let mut t = inversion_target();
+        t.flows[1] = t.flows[1].clone().bound_at(BindingTime::RunTime);
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn rebind_raises_the_arriving_stage() {
+        let mut t = inversion_target();
+        // Source is compile-time (fine on its own) ...
+        t.flows[0] = t.flows[0].clone().bound_at(BindingTime::CompileTime);
+        // ... but the middle component rebinds at run time.
+        t.flows.push(FlowDecl::rebind(
+            "selector",
+            "mem_method",
+            BindingTime::RunTime,
+        ));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::D003);
+        // The witness starts at the rebind, not the source.
+        assert_eq!(diags[0].path[0], SourceRef::component("selector"));
+    }
+
+    #[test]
+    fn unreached_rebind_fires_d004() {
+        let mut t = inversion_target();
+        t.flows[1] = t.flows[1].clone().bound_at(BindingTime::RunTime);
+        t.flows.push(FlowDecl::rebind(
+            "executor",
+            "spare_policy",
+            BindingTime::DeploymentTime,
+        ));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::D004);
+        assert!(diags[0].message.contains("spare_policy"));
+    }
+
+    #[test]
+    fn undeclared_bindings_stay_silent() {
+        let mut t = inversion_target();
+        t.flows[0] = FlowDecl::source("kb", "mem_method", IntInterval::new(0, 4));
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn frozen_clause_on_late_unprobed_assumption_fires_d003() {
+        let mut t = LintTarget::new();
+        t.manifest.assumptions.push(
+            Assumption::builder("a-lot")
+                .statement("the module lot is benign")
+                .expects("lot_class", Expectation::Present)
+                .binding_time(BindingTime::RunTime)
+                .build(),
+        );
+        t.manifest
+            .facts
+            .insert("lot_class".into(), afta_core::Value::Int(0));
+        t.contracts.push(ContractDescriptor {
+            name: "scrub-plan".into(),
+            clauses: vec![ClauseDescriptor {
+                kind: ViolationKind::Precondition,
+                name: "lot stays benign".into(),
+                assumes: vec![AssumptionId::new("a-lot")],
+                binding: Some(BindingTime::CompileTime),
+            }],
+        });
+        let diags = run(&t);
+        // H002 belongs to the Horning pass; here only the inversion fires.
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::D003);
+        assert!(diags[0].source.0.contains("scrub-plan"));
+
+        // Probing the fact discharges the finding.
+        t.probed_facts.insert("lot_class".into());
+        assert!(run(&t).is_empty());
+    }
+}

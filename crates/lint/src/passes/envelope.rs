@@ -1,0 +1,245 @@
+//! The envelope pass: fault-injection schedules checked against the
+//! hazard envelope they claim, without executing a single run.
+//!
+//! The fuzzer's *battery* profile promises CI-safe margins: few events,
+//! an untouched healing tail, every fault recoverable within a short
+//! window, no knowledge-base downgrades.  A schedule that claims the
+//! battery while carrying hazards outside it would gate CI on invariants
+//! the envelope never guaranteed — a Boulding mismatch between the class
+//! of disturbance the system is dimensioned for and the class actually
+//! injected.  `AFTA-D006` catches that statically.  `AFTA-D007` is the
+//! informational mirror: wild corpus entries carrying wild-only hazards
+//! are *expected*, and the note simply records that policy invariants
+//! are off the table for them.
+
+use crate::diagnostic::{Diagnostic, Rule, SourceRef};
+use crate::passes::LintPass;
+use crate::target::{EnvelopeClaim, HazardClass, LintTarget, ScheduleDecl};
+
+/// Lints schedule envelope claims (`AFTA-D006`/`AFTA-D007`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EnvelopePass;
+
+/// Battery margins, mirrored from the fuzz generator: at most this many
+/// events per schedule ...
+const BATTERY_MAX_EVENTS: usize = 4;
+/// ... every recovery window inside `1..=BATTERY_MAX_WINDOW` steps ...
+const BATTERY_MAX_WINDOW: u64 = 5;
+/// ... and a healing tail of this many steps left untouched at the end.
+const BATTERY_HEAL_TAIL: u64 = 16;
+
+impl LintPass for EnvelopePass {
+    fn name(&self) -> &'static str {
+        "envelope"
+    }
+
+    fn run(&self, target: &LintTarget, out: &mut Vec<Diagnostic>) {
+        for schedule in &target.schedules {
+            match schedule.envelope {
+                EnvelopeClaim::Battery => check_battery(schedule, out),
+                EnvelopeClaim::Wild => note_wild_hazards(schedule, out),
+            }
+        }
+    }
+}
+
+fn check_battery(schedule: &ScheduleDecl, out: &mut Vec<Diagnostic>) {
+    let latest = schedule.max_steps.saturating_sub(BATTERY_HEAL_TAIL).max(1);
+    let mut violations = Vec::new();
+    if schedule.events.len() > BATTERY_MAX_EVENTS {
+        violations.push(format!(
+            "{} events exceed the battery maximum of {BATTERY_MAX_EVENTS}",
+            schedule.events.len()
+        ));
+    }
+    for ev in &schedule.events {
+        if ev.at < 1 || ev.at > latest {
+            violations.push(format!(
+                "@{}: `{}` fires inside the healing tail (battery events stop at \
+                 step {latest})",
+                ev.at, ev.label
+            ));
+        }
+        match &ev.hazard {
+            HazardClass::Recoverable { window } => {
+                if !(1..=BATTERY_MAX_WINDOW).contains(window) {
+                    violations.push(format!(
+                        "@{}: `{}` needs {window} steps to recover (battery allows \
+                         1..={BATTERY_MAX_WINDOW})",
+                        ev.at, ev.label
+                    ));
+                }
+            }
+            HazardClass::Permanent => violations.push(format!(
+                "@{}: `{}` never heals (battery faults always recover)",
+                ev.at, ev.label
+            )),
+            HazardClass::Downgrade => violations.push(format!(
+                "@{}: `{}` downgrades declared protection (wild-only hazard)",
+                ev.at, ev.label
+            )),
+            HazardClass::Neutral => {}
+        }
+    }
+    if violations.is_empty() {
+        return;
+    }
+    let mut diag = Diagnostic::new(
+        Rule::D006,
+        SourceRef::schedule(&schedule.source),
+        format!(
+            "schedule `{}` claims the battery envelope but {} hazard{} fall{} \
+             outside it",
+            schedule.source,
+            violations.len(),
+            if violations.len() == 1 { "" } else { "s" },
+            if violations.len() == 1 { "s" } else { "" },
+        ),
+    );
+    for v in &violations {
+        diag = diag.note(v.clone());
+    }
+    out.push(diag.help(
+        "regenerate the schedule under the battery profile, or reclassify the \
+         corpus entry as wild",
+    ));
+}
+
+fn note_wild_hazards(schedule: &ScheduleDecl, out: &mut Vec<Diagnostic>) {
+    let wild_only: Vec<String> = schedule
+        .events
+        .iter()
+        .filter(|ev| matches!(ev.hazard, HazardClass::Permanent | HazardClass::Downgrade))
+        .map(|ev| format!("@{}: {}", ev.at, ev.label))
+        .collect();
+    if wild_only.is_empty() {
+        return;
+    }
+    let mut diag = Diagnostic::new(
+        Rule::D007,
+        SourceRef::schedule(&schedule.source),
+        format!(
+            "wild schedule `{}` carries {} wild-only hazard{}: policy invariants \
+             are not guaranteed for it",
+            schedule.source,
+            wild_only.len(),
+            if wild_only.len() == 1 { "" } else { "s" },
+        ),
+    );
+    for h in &wild_only {
+        diag = diag.note(h.clone());
+    }
+    out.push(diag.help(
+        "expected for hunted reproducers; keep the entry out of any battery-gated \
+         signal",
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::HazardDecl;
+
+    fn run(target: &LintTarget) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        EnvelopePass.run(target, &mut out);
+        out
+    }
+
+    fn schedule(envelope: EnvelopeClaim, events: Vec<HazardDecl>) -> ScheduleDecl {
+        ScheduleDecl {
+            source: "fixture".to_string(),
+            envelope,
+            max_steps: 28,
+            events,
+        }
+    }
+
+    fn ev(at: u64, hazard: HazardClass) -> HazardDecl {
+        HazardDecl {
+            at,
+            label: format!("hazard@{at}"),
+            hazard,
+        }
+    }
+
+    #[test]
+    fn battery_schedule_inside_margins_is_clean() {
+        let mut t = LintTarget::new();
+        t.schedules.push(schedule(
+            EnvelopeClaim::Battery,
+            vec![
+                ev(3, HazardClass::Recoverable { window: 5 }),
+                ev(12, HazardClass::Neutral),
+            ],
+        ));
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn permanent_fault_breaks_the_battery_claim() {
+        let mut t = LintTarget::new();
+        t.schedules.push(schedule(
+            EnvelopeClaim::Battery,
+            vec![ev(3, HazardClass::Permanent)],
+        ));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::D006);
+        assert!(diags[0].notes.iter().any(|n| n.contains("never heals")));
+    }
+
+    #[test]
+    fn every_violation_becomes_a_note() {
+        let mut t = LintTarget::new();
+        t.schedules.push(schedule(
+            EnvelopeClaim::Battery,
+            vec![
+                ev(3, HazardClass::Downgrade),
+                ev(20, HazardClass::Recoverable { window: 9 }),
+                ev(2, HazardClass::Recoverable { window: 2 }),
+            ],
+        ));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        // @20 is both in the tail and over-window: 3 violations total.
+        assert_eq!(diags[0].notes.len(), 3);
+        assert!(diags[0].message.contains("3 hazards"));
+    }
+
+    #[test]
+    fn too_many_events_violate_even_when_each_is_tame() {
+        let mut t = LintTarget::new();
+        let events = (1..=5)
+            .map(|at| ev(at, HazardClass::Recoverable { window: 1 }))
+            .collect();
+        t.schedules.push(schedule(EnvelopeClaim::Battery, events));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].notes[0].contains("5 events"));
+    }
+
+    #[test]
+    fn wild_schedule_with_wild_hazards_gets_the_d007_note() {
+        let mut t = LintTarget::new();
+        t.schedules.push(schedule(
+            EnvelopeClaim::Wild,
+            vec![ev(3, HazardClass::Permanent), ev(9, HazardClass::Neutral)],
+        ));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::D007);
+        assert_eq!(diags[0].severity, crate::diagnostic::Severity::Note);
+        assert_eq!(diags[0].notes.len(), 1);
+    }
+
+    #[test]
+    fn tame_wild_schedule_is_silent() {
+        let mut t = LintTarget::new();
+        t.schedules.push(schedule(
+            EnvelopeClaim::Wild,
+            vec![ev(3, HazardClass::Recoverable { window: 9 })],
+        ));
+        assert!(run(&t).is_empty());
+    }
+}

@@ -188,6 +188,7 @@ mod tests {
             kind: afta_core::ViolationKind::Precondition,
             name: name.to_string(),
             assumes: assumes.iter().map(|id| AssumptionId::new(*id)).collect(),
+            binding: None,
         }
     }
 

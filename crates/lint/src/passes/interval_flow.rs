@@ -1,0 +1,340 @@
+//! The interval-flow pass: the Ariane 5 check, whole-program.
+//!
+//! `AFTA-H003` sees a narrowing only when source and destination meet in
+//! one declared conversion.  The Ariane defect generalises: a value can
+//! leave its producer wide, pass through any number of components
+//! unchanged, and only hit the too-narrow consumer several hops later —
+//! at which point no single artefact shows both ranges.  This pass runs
+//! the [`IntervalEnv`] domain over the component DAG: every
+//! [`FlowRole::Source`] seeds its range, typed edges restrict what they
+//! transport, and every [`FlowRole::Sink`] is checked against the join
+//! of everything that actually reaches it (`AFTA-D001`), with a concrete
+//! witness path attached.  A sink nothing reaches is a vacuous
+//! constraint and gets `AFTA-D002`.
+
+use afta_dag::ComponentId;
+
+use crate::dataflow::{witness_path, DataflowSolver, IntervalEnv};
+use crate::diagnostic::{Diagnostic, Rule, SourceRef};
+use crate::interval::int_domain;
+use crate::passes::LintPass;
+use crate::target::{FlowRole, LintTarget};
+
+/// Lints value ranges propagated across the architecture
+/// (`AFTA-D001`/`AFTA-D002`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IntervalFlowPass;
+
+impl LintPass for IntervalFlowPass {
+    fn name(&self) -> &'static str {
+        "interval-flow"
+    }
+
+    fn run(&self, target: &LintTarget, out: &mut Vec<Diagnostic>) {
+        let Some(graph) = &target.graph else {
+            return;
+        };
+        if target.flows.is_empty() {
+            return;
+        }
+
+        let mut solver = DataflowSolver::<IntervalEnv>::new(graph);
+        for flow in &target.flows {
+            if let FlowRole::Source { range, .. } = &flow.role {
+                let id = ComponentId::new(flow.component.clone());
+                if graph.contains(&id) {
+                    solver.seed(id, IntervalEnv::of(flow.fact_key.clone(), *range));
+                }
+            }
+        }
+        let fix = solver.solve(|from, to, env| match graph.edge_meta(from, to) {
+            Some(meta) => env.restricted(&meta),
+            None => env.clone(),
+        });
+
+        for flow in &target.flows {
+            let FlowRole::Sink {
+                accepts,
+                guarded_by,
+                ..
+            } = &flow.role
+            else {
+                continue;
+            };
+            let sink = ComponentId::new(flow.component.clone());
+            let reaching = fix.at(&sink).get(&flow.fact_key);
+            let source = SourceRef::flow(&flow.component, &flow.fact_key);
+
+            if reaching.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        Rule::D002,
+                        source,
+                        format!(
+                            "sink `{}` constrains `{}` to {accepts}, but no declared \
+                             source reaches it",
+                            flow.component, flow.fact_key
+                        ),
+                    )
+                    .note("the constraint is vacuous: either dead architecture or a missing flow declaration")
+                    .help(format!(
+                        "declare the producing component as a source of `{}` or connect it in the DAG",
+                        flow.fact_key
+                    )),
+                );
+                continue;
+            }
+            if accepts.contains_interval(&reaching) {
+                continue;
+            }
+            // The range arriving here overflows the consumer.  A guard on
+            // the same fact whose admitted domain fits still proves it —
+            // the same discharge rule AFTA-H003 uses.
+            if let Some(guard_id) = guarded_by {
+                let proven = target
+                    .manifest
+                    .assumptions
+                    .iter()
+                    .find(|a| a.id() == guard_id)
+                    .is_some_and(|guard| {
+                        guard.fact_key() == flow.fact_key
+                            && accepts.contains_interval(&int_domain(guard.expectation()))
+                    });
+                if proven {
+                    continue;
+                }
+            }
+            let origin = reaching_source(target, graph, &fix, flow);
+            let path = origin
+                .as_ref()
+                .and_then(|o| witness_path(graph, o, &sink))
+                .unwrap_or_default();
+            let mut diag = Diagnostic::new(
+                Rule::D001,
+                source,
+                format!(
+                    "range {reaching} reaches sink `{}` for `{}`, which only \
+                     accepts {accepts}",
+                    flow.component, flow.fact_key
+                ),
+            )
+            .with_path(
+                path.iter()
+                    .map(|id| SourceRef::component(id.as_str()))
+                    .collect(),
+            )
+            .note(format!(
+                "joined over every declared source of `{}` that reaches the sink",
+                flow.fact_key
+            ))
+            .note(
+                "an out-of-range value here reproduces the Ariane 5 Operand Error \
+                 across component boundaries",
+            );
+            if !path.is_empty() {
+                let hops: Vec<&str> = path.iter().map(ComponentId::as_str).collect();
+                diag = diag.note(format!("propagation path: {}", hops.join(" -> ")));
+            }
+            out.push(diag.help(format!(
+                "guard the sink with a monitored assumption admitting at most \
+                 {accepts}, or widen the consumer"
+            )));
+        }
+    }
+}
+
+/// The first declared source of the sink's fact whose range escapes the
+/// sink's bound and whose component reaches it — the witness origin.
+/// Falls back to any reaching source when the overflow only appears in
+/// the join.
+fn reaching_source(
+    target: &LintTarget,
+    graph: &afta_dag::ComponentGraph,
+    fix: &crate::dataflow::Fixpoint<IntervalEnv>,
+    sink_flow: &crate::target::FlowDecl,
+) -> Option<ComponentId> {
+    let sink = ComponentId::new(sink_flow.component.clone());
+    let FlowRole::Sink { accepts, .. } = &sink_flow.role else {
+        return None;
+    };
+    let mut fallback = None;
+    for flow in &target.flows {
+        let FlowRole::Source { range, .. } = &flow.role else {
+            continue;
+        };
+        if flow.fact_key != sink_flow.fact_key {
+            continue;
+        }
+        let origin = ComponentId::new(flow.component.clone());
+        // "Reaches" in the analysis sense: the fixpoint already accounts
+        // for typed-edge restrictions, so re-check via the sink's value.
+        if !fix.at(&sink).get(&flow.fact_key).is_empty()
+            && witness_path(graph, &origin, &sink).is_some()
+        {
+            if !accepts.contains_interval(range) {
+                return Some(origin);
+            }
+            fallback.get_or_insert(origin);
+        }
+    }
+    fallback
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::IntInterval;
+    use crate::target::FlowDecl;
+    use afta_core::{Assumption, Expectation};
+    use afta_dag::{Component, ComponentGraph, EdgeMeta};
+
+    fn run(target: &LintTarget) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        IntervalFlowPass.run(target, &mut out);
+        out
+    }
+
+    /// inertial-ref -> guidance -> flight-computer: the Ariane chain with
+    /// the conversion two hops from the producer.
+    fn chain_target() -> LintTarget {
+        let mut t = LintTarget::new();
+        let mut g = ComponentGraph::new();
+        g.add(Component::new("inertial-ref", "sensor")).unwrap();
+        g.add(Component::new("guidance", "service")).unwrap();
+        g.add(Component::new("flight-computer", "service")).unwrap();
+        g.connect("inertial-ref", "guidance").unwrap();
+        g.connect("guidance", "flight-computer").unwrap();
+        t.graph = Some(g);
+        t.flows.push(FlowDecl::source(
+            "inertial-ref",
+            "horizontal_velocity",
+            IntInterval::new(-100_000, 100_000),
+        ));
+        t.flows.push(FlowDecl::sink(
+            "flight-computer",
+            "horizontal_velocity",
+            IntInterval::of_bits(16),
+        ));
+        t
+    }
+
+    #[test]
+    fn multi_hop_narrowing_fires_d001_with_the_full_path() {
+        let diags = run(&chain_target());
+        assert_eq!(diags.len(), 1);
+        let d = &diags[0];
+        assert_eq!(d.rule, Rule::D001);
+        assert_eq!(
+            d.path,
+            vec![
+                SourceRef::component("inertial-ref"),
+                SourceRef::component("guidance"),
+                SourceRef::component("flight-computer"),
+            ]
+        );
+        assert!(d.message.contains("[-100000, 100000]"));
+    }
+
+    #[test]
+    fn fitting_range_is_clean() {
+        let mut t = chain_target();
+        t.flows[0] = FlowDecl::source(
+            "inertial-ref",
+            "horizontal_velocity",
+            IntInterval::new(-30_000, 30_000),
+        );
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn proven_guard_discharges_d001() {
+        let mut t = chain_target();
+        t.flows[1] = t.flows[1].clone().guarded("a-hvel");
+        t.manifest.assumptions.push(
+            Assumption::builder("a-hvel")
+                .statement("velocity clamped before the bus")
+                .expects(
+                    "horizontal_velocity",
+                    Expectation::int_range(-32_768, 32_767),
+                )
+                .build(),
+        );
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn too_wide_guard_still_fires_d001() {
+        let mut t = chain_target();
+        t.flows[1] = t.flows[1].clone().guarded("a-hvel");
+        t.manifest.assumptions.push(
+            Assumption::builder("a-hvel")
+                .statement("velocity stays in the flight envelope")
+                .expects(
+                    "horizontal_velocity",
+                    Expectation::int_range(-100_000, 100_000),
+                )
+                .build(),
+        );
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::D001);
+    }
+
+    #[test]
+    fn unreached_sink_fires_d002() {
+        let mut t = chain_target();
+        t.flows[0] = FlowDecl::source("inertial-ref", "vertical_velocity", IntInterval::new(0, 10));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::D002);
+        assert!(diags[0].message.contains("no declared source"));
+    }
+
+    #[test]
+    fn typed_edge_stops_untransported_facts() {
+        let mut t = chain_target();
+        let g = t.graph.as_mut().unwrap();
+        // The guidance -> flight-computer link only carries attitude.
+        g.set_edge_meta(
+            "guidance",
+            "flight-computer",
+            EdgeMeta::carrying(["attitude"]),
+        )
+        .unwrap();
+        let diags = run(&t);
+        // The wide range no longer reaches, so the sink is vacuous.
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::D002);
+    }
+
+    #[test]
+    fn no_graph_or_no_flows_is_a_no_op() {
+        let mut t = chain_target();
+        t.graph = None;
+        assert!(run(&t).is_empty());
+        let mut t = chain_target();
+        t.flows.clear();
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn join_of_two_sources_can_overflow_together() {
+        let mut t = chain_target();
+        // Each source alone fits 16 bits; their join does not.
+        t.flows[0] = FlowDecl::source(
+            "inertial-ref",
+            "horizontal_velocity",
+            IntInterval::new(-32_768, 0),
+        );
+        t.flows.push(FlowDecl::source(
+            "guidance",
+            "horizontal_velocity",
+            IntInterval::new(0, 40_000),
+        ));
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::D001);
+        // The per-source check finds the escaping source directly.
+        assert_eq!(diags[0].path[0], SourceRef::component("guidance"));
+    }
+}

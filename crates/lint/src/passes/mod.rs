@@ -1,12 +1,21 @@
-//! The analyzer's passes, one per assumption-failure syndrome.
+//! The analyzer's passes: one per assumption-failure syndrome, plus the
+//! whole-program dataflow family (`AFTA-D*`) built on [`crate::dataflow`].
 
+mod binding_flow;
 mod boulding;
+mod envelope;
 mod hidden;
 mod horning;
+mod interval_flow;
+mod monitor_taint;
 
+pub use binding_flow::BindingFlowPass;
 pub use boulding::BouldingPass;
+pub use envelope::EnvelopePass;
 pub use hidden::HiddenIntelligencePass;
 pub use horning::HorningPass;
+pub use interval_flow::IntervalFlowPass;
+pub use monitor_taint::MonitorTaintPass;
 
 use crate::diagnostic::Diagnostic;
 use crate::target::LintTarget;

@@ -1,0 +1,225 @@
+//! The monitor-coverage taint pass: unmonitored assumptions reaching
+//! critical machinery.
+//!
+//! The paper's central discipline is that assumptions stay *monitored*
+//! so their failure is caught in flight.  An unmonitored fact feeding a
+//! far-away voting farm or switchboard is the worst case: the components
+//! most trusted to mask failures are themselves standing on an
+//! assumption nobody watches.  This pass taints every declared source
+//! whose fact has no probe, propagates the [`TaintSet`] domain along the
+//! DAG — components that declare `monitors` metadata scrub the facts
+//! they re-verify from their outflow — and raises `AFTA-D005` for every
+//! tainted fact arriving at a critical component, with the full
+//! propagation path attached.
+
+use afta_dag::{Component, ComponentId};
+
+use crate::dataflow::{witness_path, DataflowSolver, TaintSet};
+use crate::diagnostic::{Diagnostic, Rule, SourceRef};
+use crate::passes::LintPass;
+use crate::target::{FlowRole, LintTarget};
+
+/// Lints monitor coverage along the architecture (`AFTA-D005`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MonitorTaintPass;
+
+/// Component kinds that mask failures for everyone else and therefore
+/// must not depend on unwatched assumptions.
+const CRITICAL_KINDS: [&str; 3] = ["voter", "voting-farm", "switchboard"];
+
+fn is_critical(c: &Component) -> bool {
+    CRITICAL_KINDS.contains(&c.kind.as_str())
+        || c.metadata.get("critical").is_some_and(|v| v == "true")
+}
+
+/// The fact keys a component re-verifies itself, from its comma-separated
+/// `monitors` metadata.
+fn monitored_facts(c: &Component) -> Vec<&str> {
+    c.metadata
+        .get("monitors")
+        .map(|list| list.split(',').map(str::trim).collect())
+        .unwrap_or_default()
+}
+
+impl LintPass for MonitorTaintPass {
+    fn name(&self) -> &'static str {
+        "monitor-taint"
+    }
+
+    fn run(&self, target: &LintTarget, out: &mut Vec<Diagnostic>) {
+        let Some(graph) = &target.graph else {
+            return;
+        };
+        if target.flows.is_empty() {
+            return;
+        }
+
+        let mut solver = DataflowSolver::<TaintSet>::new(graph);
+        for flow in &target.flows {
+            let FlowRole::Source { .. } = &flow.role else {
+                continue;
+            };
+            let id = ComponentId::new(flow.component.clone());
+            if graph.contains(&id) && !target.probed_facts.contains(&flow.fact_key) {
+                solver.seed(id, TaintSet::of(flow.fact_key.clone()));
+            }
+        }
+        let fix = solver.solve(|from, to, taint| {
+            let scrubbed = graph.get(from).map(monitored_facts).unwrap_or_default();
+            let kept = taint
+                .0
+                .iter()
+                .filter(|k| !scrubbed.contains(&k.as_str()))
+                .filter(|k| match graph.edge_meta(from, to) {
+                    Some(meta) => meta.transports(k),
+                    None => true,
+                })
+                .cloned()
+                .collect();
+            TaintSet(kept)
+        });
+
+        for component in graph.components() {
+            if !is_critical(component) {
+                continue;
+            }
+            for fact in &fix.at(&component.id).0 {
+                let origin = target.flows.iter().find_map(|flow| {
+                    let FlowRole::Source { .. } = &flow.role else {
+                        return None;
+                    };
+                    if &flow.fact_key != fact || target.probed_facts.contains(&flow.fact_key) {
+                        return None;
+                    }
+                    let id = ComponentId::new(flow.component.clone());
+                    witness_path(graph, &id, &component.id).map(|path| (id, path))
+                });
+                let path = origin.as_ref().map(|(_, p)| p.clone()).unwrap_or_default();
+                let hops: Vec<&str> = path.iter().map(ComponentId::as_str).collect();
+                let mut diag = Diagnostic::new(
+                    Rule::D005,
+                    SourceRef::component(component.id.as_str()),
+                    format!(
+                        "unmonitored fact `{fact}` reaches critical component `{}` \
+                         ({})",
+                        component.id, component.kind
+                    ),
+                )
+                .with_path(
+                    path.iter()
+                        .map(|id| SourceRef::component(id.as_str()))
+                        .collect(),
+                )
+                .note(format!(
+                    "no probe covers `{fact}`: if the assumption behind it drifts, \
+                     the failure-masking machinery inherits the error unchecked"
+                ));
+                if !hops.is_empty() {
+                    diag = diag.note(format!("propagation path: {}", hops.join(" -> ")));
+                }
+                out.push(diag.help(format!(
+                    "register a monitor probe for `{fact}`, or annotate an \
+                     intermediate component with `monitors = \"{fact}\"`"
+                )));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::IntInterval;
+    use crate::target::FlowDecl;
+    use afta_dag::ComponentGraph;
+
+    fn run(target: &LintTarget) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        MonitorTaintPass.run(target, &mut out);
+        out
+    }
+
+    /// sensor -> relay -> farm (a voting farm), with the sensor's fact
+    /// unprobed.
+    fn tainted_target() -> LintTarget {
+        let mut t = LintTarget::new();
+        let mut g = ComponentGraph::new();
+        g.add(Component::new("sensor", "sensor")).unwrap();
+        g.add(Component::new("relay", "service")).unwrap();
+        g.add(Component::new("farm", "voting-farm")).unwrap();
+        g.connect("sensor", "relay").unwrap();
+        g.connect("relay", "farm").unwrap();
+        t.graph = Some(g);
+        t.flows.push(FlowDecl::source(
+            "sensor",
+            "clock_drift",
+            IntInterval::new(-5, 5),
+        ));
+        t
+    }
+
+    #[test]
+    fn unmonitored_fact_reaching_the_farm_fires_d005_with_path() {
+        let diags = run(&tainted_target());
+        assert_eq!(diags.len(), 1);
+        let d = &diags[0];
+        assert_eq!(d.rule, Rule::D005);
+        assert_eq!(
+            d.path,
+            vec![
+                SourceRef::component("sensor"),
+                SourceRef::component("relay"),
+                SourceRef::component("farm"),
+            ]
+        );
+        assert!(d
+            .notes
+            .iter()
+            .any(|n| n.contains("sensor -> relay -> farm")));
+    }
+
+    #[test]
+    fn probed_fact_is_clean() {
+        let mut t = tainted_target();
+        t.probed_facts.insert("clock_drift".into());
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn intermediate_monitor_scrubs_the_taint() {
+        let mut t = tainted_target();
+        let g = t.graph.as_mut().unwrap();
+        let mut relay = g.get(&"relay".into()).unwrap().clone();
+        relay
+            .metadata
+            .insert("monitors".into(), "clock_drift".into());
+        g.remove("relay").unwrap();
+        g.add(relay).unwrap();
+        g.connect("sensor", "relay").unwrap();
+        g.connect("relay", "farm").unwrap();
+        assert!(run(&t).is_empty());
+    }
+
+    #[test]
+    fn metadata_critical_flag_counts() {
+        let mut t = tainted_target();
+        let g = t.graph.as_mut().unwrap();
+        g.add(Component::new("dispatch", "service").with_meta("critical", "true"))
+            .unwrap();
+        g.connect("relay", "dispatch").unwrap();
+        let diags = run(&t);
+        // Both the farm and the flagged dispatcher inherit the taint.
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == Rule::D005));
+    }
+
+    #[test]
+    fn taint_stays_off_unreached_critical_components() {
+        let mut t = tainted_target();
+        let g = t.graph.as_mut().unwrap();
+        g.add(Component::new("island-voter", "voter")).unwrap();
+        let diags = run(&t);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].source, SourceRef::component("farm"));
+    }
+}

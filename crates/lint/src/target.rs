@@ -12,7 +12,9 @@
 use std::collections::BTreeSet;
 
 use afta_alphacount::DecayPolicy;
-use afta_core::{AssumptionId, BouldingCategory, ContractDescriptor, RegistryManifest};
+use afta_core::{
+    AssumptionId, BindingTime, BouldingCategory, ContractDescriptor, RegistryManifest,
+};
 use afta_dag::ComponentGraph;
 use afta_memaccess::{method_profiles, FailureKnowledgeBase, MethodProfile};
 use afta_memsim::Spd;
@@ -79,6 +81,314 @@ pub struct RedundancyDecl {
     pub max_simultaneous_faults: usize,
 }
 
+/// What a component does with a dataflow fact: originate it, consume it
+/// under a constraint, or rebind the assumption that covers it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowRole {
+    /// The component originates the fact with values in `range`.
+    Source {
+        /// The value range the component can emit.
+        range: IntInterval,
+        /// When the emitted value is fixed, if declared.
+        binding: Option<BindingTime>,
+    },
+    /// The component consumes the fact and only accepts `accepts`.
+    Sink {
+        /// The value range the consumer can represent.
+        accepts: IntInterval,
+        /// When the consumer's constraint was baked in, if declared.
+        binding: Option<BindingTime>,
+        /// The assumption that allegedly proves arriving values fit.
+        guarded_by: Option<AssumptionId>,
+    },
+    /// The component rebinds the fact's covering assumption at `binding`
+    /// using whatever value reaches it.
+    Rebind {
+        /// The stage at which the rebind happens.
+        binding: BindingTime,
+    },
+}
+
+/// One component's declared relationship to one dataflow fact.  The
+/// whole-program passes propagate these along the component DAG.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowDecl {
+    /// The component (its [`afta_dag::ComponentId`] string).
+    pub component: String,
+    /// The fact flowing through the architecture.
+    pub fact_key: String,
+    /// What the component does with it.
+    pub role: FlowRole,
+}
+
+impl FlowDecl {
+    /// Declares a source emitting `range` for `fact_key` at `component`.
+    #[must_use]
+    pub fn source(component: &str, fact_key: &str, range: IntInterval) -> Self {
+        Self {
+            component: component.to_string(),
+            fact_key: fact_key.to_string(),
+            role: FlowRole::Source {
+                range,
+                binding: None,
+            },
+        }
+    }
+
+    /// Declares a sink accepting only `accepts` for `fact_key`.
+    #[must_use]
+    pub fn sink(component: &str, fact_key: &str, accepts: IntInterval) -> Self {
+        Self {
+            component: component.to_string(),
+            fact_key: fact_key.to_string(),
+            role: FlowRole::Sink {
+                accepts,
+                binding: None,
+                guarded_by: None,
+            },
+        }
+    }
+
+    /// Declares a rebind site fixing the fact's assumption at `binding`.
+    #[must_use]
+    pub fn rebind(component: &str, fact_key: &str, binding: BindingTime) -> Self {
+        Self {
+            component: component.to_string(),
+            fact_key: fact_key.to_string(),
+            role: FlowRole::Rebind { binding },
+        }
+    }
+
+    /// Sets the role's binding time (no-op only for roles without one).
+    #[must_use]
+    pub fn bound_at(mut self, time: BindingTime) -> Self {
+        match &mut self.role {
+            FlowRole::Source { binding, .. } | FlowRole::Sink { binding, .. } => {
+                *binding = Some(time);
+            }
+            FlowRole::Rebind { binding } => *binding = time,
+        }
+        self
+    }
+
+    /// Names the assumption guarding a sink (no-op for other roles).
+    #[must_use]
+    pub fn guarded(mut self, id: impl Into<String>) -> Self {
+        if let FlowRole::Sink { guarded_by, .. } = &mut self.role {
+            *guarded_by = Some(AssumptionId::new(id));
+        }
+        self
+    }
+}
+
+/// The hazard envelope a schedule claims to stay inside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnvelopeClaim {
+    /// CI-safe margins: every hazard heals and policy invariants hold.
+    Battery,
+    /// Full hazard space; policy invariants are not guaranteed.
+    Wild,
+}
+
+/// The lint-level classification of one scheduled hazard.  The checker
+/// does not execute schedules, so it abstracts each fault to the one
+/// property the battery envelope constrains: how (and whether) the
+/// system recovers from it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HazardClass {
+    /// The fault heals after `window` steps (`heal_after`, `revive_after`
+    /// or burst `len` in the fuzz grammar).
+    Recoverable {
+        /// Steps until the fault clears.
+        window: u64,
+    },
+    /// The fault never clears (a `0` healing window in the fuzz grammar).
+    Permanent,
+    /// The fault downgrades declared protection below the module's real
+    /// behaviour (the `e1` clashing edit).
+    Downgrade,
+    /// Envelope-neutral: allowed in any profile (SEFI storms, clock skew,
+    /// the `e2` upgrade edit).
+    Neutral,
+}
+
+/// One scheduled hazard, abstracted for static checking.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HazardDecl {
+    /// Virtual step (1-based) at which the hazard fires.
+    pub at: u64,
+    /// Human-readable description of the underlying fault.
+    pub label: String,
+    /// The envelope-relevant classification.
+    pub hazard: HazardClass,
+}
+
+/// A fault-injection schedule under static lint: its claimed envelope
+/// plus the abstracted hazard program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleDecl {
+    /// Where the schedule came from (file stem or corpus entry name).
+    pub source: String,
+    /// The envelope the schedule claims.
+    pub envelope: EnvelopeClaim,
+    /// The run's virtual-step budget.
+    pub max_steps: u64,
+    /// The abstracted hazard program.
+    pub events: Vec<HazardDecl>,
+}
+
+// Mirror of the `afta-fuzz` schedule grammar, so the lint can read raw
+// fuzzer JSON without depending on the fuzz crate (which depends on this
+// one).  Field names and variant tags must track `crates/fuzz`.
+#[derive(Deserialize)]
+struct FuzzSchedule {
+    #[allow(dead_code)]
+    seed: u64,
+    max_steps: u64,
+    events: Vec<FuzzEvent>,
+}
+
+#[derive(Deserialize)]
+struct FuzzEvent {
+    at: u64,
+    kind: FuzzFault,
+}
+
+#[derive(Deserialize)]
+enum FuzzFault {
+    Partition {
+        a: u16,
+        b: u16,
+        heal_after: u64,
+    },
+    LinkBurst {
+        from: u16,
+        to: u16,
+        fault: FuzzLinkFault,
+        len: u64,
+    },
+    VoterCrash {
+        voter: u16,
+        revive_after: u64,
+    },
+    SefiStorm {
+        flips: u32,
+        sefi: bool,
+    },
+    ClashEdit {
+        side: FuzzClashSide,
+    },
+    ClockSkew {
+        delta: i64,
+    },
+}
+
+#[derive(Deserialize)]
+enum FuzzLinkFault {
+    Drop,
+    Duplicate,
+    Delay,
+}
+
+#[derive(Deserialize)]
+enum FuzzClashSide {
+    E1,
+    E2,
+}
+
+fn recoverable_or_permanent(window: u64) -> HazardClass {
+    if window == 0 {
+        HazardClass::Permanent
+    } else {
+        HazardClass::Recoverable { window }
+    }
+}
+
+impl FuzzFault {
+    fn classify(&self) -> (String, HazardClass) {
+        match self {
+            FuzzFault::Partition { a, b, heal_after } => (
+                format!("partition {a}<->{b} heal_after={heal_after}"),
+                recoverable_or_permanent(*heal_after),
+            ),
+            FuzzFault::LinkBurst {
+                from,
+                to,
+                fault,
+                len,
+            } => {
+                let fault = match fault {
+                    FuzzLinkFault::Drop => "Drop",
+                    FuzzLinkFault::Duplicate => "Duplicate",
+                    FuzzLinkFault::Delay => "Delay",
+                };
+                (
+                    format!("link {from}->{to} {fault} len={len}"),
+                    HazardClass::Recoverable { window: *len },
+                )
+            }
+            FuzzFault::VoterCrash {
+                voter,
+                revive_after,
+            } => (
+                format!("crash voter {voter} revive_after={revive_after}"),
+                recoverable_or_permanent(*revive_after),
+            ),
+            FuzzFault::SefiStorm { flips, sefi } => (
+                format!("sefi-storm flips={flips} sefi={sefi}"),
+                HazardClass::Neutral,
+            ),
+            FuzzFault::ClashEdit { side } => match side {
+                FuzzClashSide::E1 => ("clash-edit E1".to_string(), HazardClass::Downgrade),
+                FuzzClashSide::E2 => ("clash-edit E2".to_string(), HazardClass::Neutral),
+            },
+            FuzzFault::ClockSkew { delta } => {
+                (format!("clock-skew {delta:+}"), HazardClass::Neutral)
+            }
+        }
+    }
+}
+
+impl ScheduleDecl {
+    /// Reads a raw `afta-fuzz` JSON artefact — either a bare schedule or
+    /// a reproducer wrapping one — and abstracts it for static checking.
+    ///
+    /// Bare schedules are how battery corpora are stored, so they claim
+    /// [`EnvelopeClaim::Battery`]; reproducers are by construction
+    /// hunted outside the battery, so they claim [`EnvelopeClaim::Wild`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for JSON that is neither shape.
+    pub fn from_fuzz_json(name: &str, json: &str) -> Result<Self, serde_json::Error> {
+        let value: Value = serde_json::from_str(json)?;
+        let (envelope, schedule_value) = match value.get("schedule") {
+            Some(inner) => (EnvelopeClaim::Wild, inner),
+            None => (EnvelopeClaim::Battery, &value),
+        };
+        let schedule = FuzzSchedule::from_value(schedule_value)
+            .map_err(|e| serde_json::Error::custom(format!("schedule `{name}`: {e}")))?;
+        let events = schedule
+            .events
+            .iter()
+            .map(|ev| {
+                let (label, hazard) = ev.kind.classify();
+                HazardDecl {
+                    at: ev.at,
+                    label,
+                    hazard,
+                }
+            })
+            .collect();
+        Ok(ScheduleDecl {
+            source: name.to_string(),
+            envelope,
+            max_steps: schedule.max_steps,
+            events,
+        })
+    }
+}
+
 /// Everything a deployment declares, bundled for static analysis.
 #[derive(Debug, Clone, PartialEq, Serialize, Default)]
 pub struct LintTarget {
@@ -106,6 +416,11 @@ pub struct LintTarget {
     pub alpha: Option<AlphaDecl>,
     /// The voting-farm dimensioning, when one is declared.
     pub redundancy: Option<RedundancyDecl>,
+    /// Dataflow declarations tying facts to graph components; the
+    /// whole-program passes propagate these along the DAG.
+    pub flows: Vec<FlowDecl>,
+    /// Fault-injection schedules checked against their claimed envelope.
+    pub schedules: Vec<ScheduleDecl>,
 }
 
 /// Reads one field of the target object, substituting the default when
@@ -138,6 +453,8 @@ impl Deserialize for LintTarget {
             methods: field_or(fields, "methods")?,
             alpha: field_or(fields, "alpha")?,
             redundancy: field_or(fields, "redundancy")?,
+            flows: field_or(fields, "flows")?,
+            schedules: field_or(fields, "schedules")?,
         })
     }
 }
@@ -249,6 +566,99 @@ mod tests {
         assert_eq!(t.effective_category(), BouldingCategory::Clockwork);
         t.declared_category = Some(BouldingCategory::Cell);
         assert_eq!(t.effective_category(), BouldingCategory::Cell);
+    }
+
+    #[test]
+    fn flow_builders_fill_the_roles() {
+        let src = FlowDecl::source("inertial-ref", "hvel", IntInterval::new(-100_000, 100_000))
+            .bound_at(BindingTime::RunTime);
+        assert!(matches!(
+            src.role,
+            FlowRole::Source {
+                binding: Some(BindingTime::RunTime),
+                ..
+            }
+        ));
+        let sink = FlowDecl::sink("fc", "hvel", IntInterval::of_bits(16)).guarded("a1");
+        match &sink.role {
+            FlowRole::Sink { guarded_by, .. } => {
+                assert_eq!(guarded_by.as_ref().unwrap().as_str(), "a1");
+            }
+            other => panic!("expected sink, got {other:?}"),
+        }
+        let rebind = FlowDecl::rebind("kb", "lot", BindingTime::DeploymentTime);
+        assert!(matches!(
+            rebind.role,
+            FlowRole::Rebind {
+                binding: BindingTime::DeploymentTime
+            }
+        ));
+    }
+
+    #[test]
+    fn flows_and_schedules_round_trip_and_default() {
+        let mut t = LintTarget::new();
+        t.flows
+            .push(FlowDecl::source("a", "hvel", IntInterval::new(0, 9)));
+        t.schedules.push(ScheduleDecl {
+            source: "s1".to_string(),
+            envelope: EnvelopeClaim::Battery,
+            max_steps: 28,
+            events: vec![HazardDecl {
+                at: 3,
+                label: "partition 1<->2 heal_after=2".to_string(),
+                hazard: HazardClass::Recoverable { window: 2 },
+            }],
+        });
+        let back = LintTarget::from_json(&t.to_json().unwrap()).unwrap();
+        assert_eq!(t, back);
+        // Pre-dataflow targets parse with both sections empty.
+        let legacy = LintTarget::from_json(r#"{ "probed_facts": ["x"] }"#).unwrap();
+        assert!(legacy.flows.is_empty() && legacy.schedules.is_empty());
+    }
+
+    #[test]
+    fn fuzz_schedule_json_is_abstracted_as_battery() {
+        let json = r#"{
+            "seed": 7, "max_steps": 28,
+            "events": [
+                { "at": 3, "kind": { "Partition": { "a": 1, "b": 2, "heal_after": 0 } } },
+                { "at": 5, "kind": { "LinkBurst": { "from": 0, "to": 3, "fault": "Drop", "len": 4 } } },
+                { "at": 9, "kind": { "ClashEdit": { "side": "E1" } } },
+                { "at": 11, "kind": { "ClockSkew": { "delta": -12 } } }
+            ]
+        }"#;
+        let decl = ScheduleDecl::from_fuzz_json("hand", json).unwrap();
+        assert_eq!(decl.envelope, EnvelopeClaim::Battery);
+        assert_eq!(decl.max_steps, 28);
+        assert_eq!(decl.events.len(), 4);
+        assert_eq!(decl.events[0].hazard, HazardClass::Permanent);
+        assert_eq!(
+            decl.events[1].hazard,
+            HazardClass::Recoverable { window: 4 }
+        );
+        assert_eq!(decl.events[2].hazard, HazardClass::Downgrade);
+        assert_eq!(decl.events[3].hazard, HazardClass::Neutral);
+        assert!(decl.events[3].label.contains("clock-skew"));
+    }
+
+    #[test]
+    fn fuzz_reproducer_json_is_abstracted_as_wild() {
+        let json = r#"{
+            "afta_seed": 1, "invariant": "NoLivelock",
+            "schedule": {
+                "seed": 1, "max_steps": 28,
+                "events": [
+                    { "at": 2, "kind": { "VoterCrash": { "voter": 4, "revive_after": 0 } } },
+                    { "at": 6, "kind": { "SefiStorm": { "flips": 9, "sefi": true } } }
+                ]
+            }
+        }"#;
+        let decl = ScheduleDecl::from_fuzz_json("repro", json).unwrap();
+        assert_eq!(decl.envelope, EnvelopeClaim::Wild);
+        assert_eq!(decl.events[0].hazard, HazardClass::Permanent);
+        assert_eq!(decl.events[1].hazard, HazardClass::Neutral);
+        assert!(ScheduleDecl::from_fuzz_json("bad", "{}").is_err());
     }
 
     #[test]

@@ -3,11 +3,14 @@
 #![allow(dead_code)]
 
 use afta_core::{
-    Assumption, AssumptionId, BouldingCategory, ClauseDescriptor, ContractDescriptor, Expectation,
-    Value, ViolationKind,
+    Assumption, AssumptionId, BindingTime, BouldingCategory, ClauseDescriptor, ContractDescriptor,
+    Expectation, Value, ViolationKind,
 };
 use afta_dag::{Component, ComponentGraph};
-use afta_lint::{AlphaDecl, ConversionDecl, LintTarget, RedundancyDecl};
+use afta_lint::{
+    AlphaDecl, ConversionDecl, EnvelopeClaim, FlowDecl, HazardClass, HazardDecl, IntInterval,
+    LintTarget, RedundancyDecl, ScheduleDecl,
+};
 use afta_memaccess::{FailureKnowledgeBase, FailureRecord, MethodKind};
 use afta_memsim::{BehaviorClass, MemoryTechnology, Severity as FaultSeverity, Spd};
 use afta_switchboard::RedundancyPolicy;
@@ -44,6 +47,7 @@ pub fn ariane_target(fixed: bool) -> LintTarget {
             kind: ViolationKind::Precondition,
             name: "velocity representable".into(),
             assumes: vec![AssumptionId::new("a-hvel")],
+            binding: None,
         }],
     });
     target
@@ -86,11 +90,13 @@ pub fn one_per_rule_target() -> LintTarget {
                 kind: ViolationKind::Precondition,
                 name: "interlock engaged".into(),
                 assumes: vec![AssumptionId::new("a-missing")],
+                binding: None,
             },
             ClauseDescriptor {
                 kind: ViolationKind::Invariant,
                 name: "beam energy bounded".into(),
                 assumes: vec![],
+                binding: None,
             },
         ],
     });
@@ -138,6 +144,77 @@ pub fn one_per_rule_target() -> LintTarget {
             ..RedundancyPolicy::default()
         },
         max_simultaneous_faults: 2,
+    });
+    // A small processing chain for the whole-program dataflow rules.  The
+    // components carry no publish/subscribe metadata, so AFTA-B002 above
+    // stays at exactly one finding.
+    let graph = target.graph.as_mut().unwrap();
+    graph.add(Component::new("sensor", "sensor")).unwrap();
+    graph.add(Component::new("filter", "service")).unwrap();
+    graph.add(Component::new("actuator", "actuator")).unwrap();
+    graph.add(Component::new("quorum-voter", "voter")).unwrap();
+    graph.connect("sensor", "filter").unwrap();
+    graph.connect("filter", "actuator").unwrap();
+    graph.connect("filter", "quorum-voter").unwrap();
+    // AFTA-D001: a wide pressure reading narrowed to 16 bits two hops away.
+    target.flows.push(FlowDecl::source(
+        "sensor",
+        "pressure",
+        IntInterval::new(-100_000, 100_000),
+    ));
+    target.flows.push(FlowDecl::sink(
+        "actuator",
+        "pressure",
+        IntInterval::of_bits(16),
+    ));
+    // AFTA-D002: a sink no declared source ever reaches.
+    target
+        .flows
+        .push(FlowDecl::sink("filter", "ghost_fact", IntInterval::full()));
+    // AFTA-D003: a run-time-bound gain consumed by a compile-time consumer.
+    // The full interval keeps AFTA-D001 quiet for this fact.
+    target.flows.push(
+        FlowDecl::source("sensor", "gain", IntInterval::full()).bound_at(BindingTime::RunTime),
+    );
+    target.flows.push(
+        FlowDecl::sink("filter", "gain", IntInterval::full()).bound_at(BindingTime::CompileTime),
+    );
+    // AFTA-D004: a rebind site no declared source can reach.
+    target.flows.push(FlowDecl::rebind(
+        "actuator",
+        "calibration",
+        BindingTime::DeploymentTime,
+    ));
+    // AFTA-D005: an unprobed margin flowing into the quorum voter.  The
+    // other two source facts are probed so only this one taints.
+    target.flows.push(FlowDecl::source(
+        "sensor",
+        "vibration_margin",
+        IntInterval::new(0, 100),
+    ));
+    target.probed_facts.insert("pressure".into());
+    target.probed_facts.insert("gain".into());
+    // AFTA-D006: a battery-claiming schedule with a permanent fault.
+    target.schedules.push(ScheduleDecl {
+        source: "battery/partition_no_heal.json".into(),
+        envelope: EnvelopeClaim::Battery,
+        max_steps: 28,
+        events: vec![HazardDecl {
+            at: 3,
+            label: "partition 1<->2 heal_after=0".into(),
+            hazard: HazardClass::Permanent,
+        }],
+    });
+    // AFTA-D007: a wild reproducer carrying a knowledge-base downgrade.
+    target.schedules.push(ScheduleDecl {
+        source: "wild/clash_downgrade.json".into(),
+        envelope: EnvelopeClaim::Wild,
+        max_steps: 28,
+        events: vec![HazardDecl {
+            at: 7,
+            label: "clash edit E1".into(),
+            hazard: HazardClass::Downgrade,
+        }],
     });
     target
 }

@@ -4,8 +4,12 @@
 
 mod common;
 
-use afta_core::{Assumption, Expectation};
-use afta_lint::{ConversionDecl, LintDriver, LintTarget, Rule};
+use afta_core::{Assumption, BindingTime, Expectation};
+use afta_dag::{Component, ComponentGraph, ComponentId};
+use afta_lint::{
+    BindingEnv, ConversionDecl, DataflowSolver, IntInterval, IntervalEnv, Lattice, LintDriver,
+    LintTarget, Rule, TaintSet,
+};
 use afta_switchboard::RedundancyPolicy;
 use proptest::prelude::*;
 
@@ -132,6 +136,165 @@ impl BadEdit {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Whole-program dataflow: lattice laws and solver order-independence
+// ---------------------------------------------------------------------------
+
+fn interval() -> impl Strategy<Value = IntInterval> {
+    prop_oneof![
+        Just(IntInterval::bottom()),
+        Just(IntInterval::full()),
+        (-1_000i64..1_000, -1_000i64..1_000)
+            .prop_map(|(a, b)| IntInterval::new(a.min(b), a.max(b))),
+    ]
+}
+
+fn fact_key() -> impl Strategy<Value = String> {
+    proptest::sample::select(vec!["x".to_string(), "y".to_string(), "z".to_string()])
+}
+
+fn interval_env() -> impl Strategy<Value = IntervalEnv> {
+    proptest::collection::vec((fact_key(), interval()), 0..4)
+        .prop_map(|pairs| IntervalEnv(pairs.into_iter().collect()))
+}
+
+fn binding_env() -> impl Strategy<Value = BindingEnv> {
+    let time = proptest::sample::select(vec![
+        BindingTime::DesignTime,
+        BindingTime::VerificationTime,
+        BindingTime::CompileTime,
+        BindingTime::DeploymentTime,
+        BindingTime::RunTime,
+    ]);
+    proptest::collection::vec((fact_key(), time), 0..4)
+        .prop_map(|pairs| BindingEnv(pairs.into_iter().collect()))
+}
+
+fn taint_set() -> impl Strategy<Value = TaintSet> {
+    proptest::collection::btree_set(fact_key(), 0..4).prop_map(TaintSet)
+}
+
+/// The join-semilattice laws every shipped lattice must satisfy (see
+/// the [`Lattice`] contract): join is commutative, associative, and
+/// idempotent; bottom is its identity and the least element; the join
+/// is an upper bound and closure under it implies the order.
+fn lattice_laws<L: Lattice + std::fmt::Debug>(a: &L, b: &L, c: &L) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.join(b), b.join(a));
+    prop_assert_eq!(a.join(b).join(c), a.join(&b.join(c)));
+    prop_assert_eq!(a.join(a), a.clone());
+    prop_assert_eq!(a.join(&L::bottom()), a.clone());
+    prop_assert!(L::bottom().leq(a));
+    let ab = a.join(b);
+    prop_assert!(a.leq(&ab) && b.leq(&ab));
+    if &ab == b {
+        prop_assert!(a.leq(b));
+    }
+    Ok(())
+}
+
+/// Upper bound on generated DAG size (7 nodes, 21 possible edges).
+const NODE_CAP: usize = 7;
+const EDGE_SLOTS: usize = NODE_CAP * (NODE_CAP - 1) / 2;
+
+/// A random DAG: `nodes` components and a bitmask over every `i < j`
+/// edge slot (forward edges only, so acyclicity is by construction),
+/// plus interval seeds to flow through it.
+#[derive(Debug, Clone)]
+struct DagSpec {
+    nodes: usize,
+    edges: Vec<bool>,
+    seed_specs: Vec<(usize, i64, i64)>,
+}
+
+impl DagSpec {
+    fn edge_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        let mut slot = 0usize;
+        for i in 0..NODE_CAP {
+            for j in (i + 1)..NODE_CAP {
+                if i < self.nodes && j < self.nodes && self.edges[slot] {
+                    pairs.push((i, j));
+                }
+                slot += 1;
+            }
+        }
+        pairs
+    }
+
+    fn seeds(&self) -> Vec<(ComponentId, IntervalEnv)> {
+        self.seed_specs
+            .iter()
+            .map(|&(node, a, b)| {
+                let env = IntervalEnv::of(
+                    format!("fact-{}", node % 3),
+                    IntInterval::new(a.min(b), a.max(b)),
+                );
+                (node_id(node % self.nodes), env)
+            })
+            .collect()
+    }
+}
+
+fn dag_strategy() -> impl Strategy<Value = DagSpec> {
+    (
+        2usize..=NODE_CAP,
+        proptest::collection::vec(any::<bool>(), EDGE_SLOTS),
+        proptest::collection::vec((0usize..NODE_CAP, -100i64..100, -100i64..100), 1..5),
+    )
+        .prop_map(|(nodes, edges, seed_specs)| DagSpec {
+            nodes,
+            edges,
+            seed_specs,
+        })
+}
+
+fn node_id(i: usize) -> ComponentId {
+    format!("c{i}").into()
+}
+
+/// Reorders `items` by the parallel `keys` array (ties keep index
+/// order) — a proptest-friendly way to generate permutations.
+fn sort_by_keys<T: Clone>(items: &mut Vec<T>, keys: &[u64]) {
+    let mut tagged: Vec<(u64, usize)> = keys
+        .iter()
+        .copied()
+        .take(items.len())
+        .enumerate()
+        .map(|(i, k)| (k, i))
+        .collect();
+    tagged.sort_unstable();
+    let original = items.clone();
+    *items = tagged
+        .into_iter()
+        .map(|(_, i)| original[i].clone())
+        .collect();
+}
+
+/// Builds the spec's graph, inserting components in index order or, when
+/// `node_order` keys are given, in the permutation they induce.
+fn build_graph(spec: &DagSpec, node_order: Option<&[u64]>) -> ComponentGraph {
+    let mut indices: Vec<usize> = (0..spec.nodes).collect();
+    if let Some(keys) = node_order {
+        sort_by_keys(&mut indices, keys);
+    }
+    let mut graph = ComponentGraph::new();
+    for &i in &indices {
+        graph.add(Component::new(format!("c{i}"), "svc")).unwrap();
+    }
+    for (from, to) in spec.edge_pairs() {
+        graph.connect(format!("c{from}"), format!("c{to}")).unwrap();
+    }
+    graph
+}
+
+fn solve_dag(graph: &ComponentGraph, spec: &DagSpec) -> afta_lint::Fixpoint<IntervalEnv> {
+    let mut solver = DataflowSolver::<IntervalEnv>::new(graph);
+    for (node, seed) in spec.seeds() {
+        solver.seed(node, seed);
+    }
+    solver.solve(|_, _, env| env.clone())
+}
+
 proptest! {
     #[test]
     fn lint_is_deterministic(
@@ -190,6 +353,52 @@ proptest! {
             report.render_text()
         );
         prop_assert!(report.exit_code() == 1);
+    }
+
+    #[test]
+    fn interval_lattice_laws(a in interval(), b in interval(), c in interval()) {
+        lattice_laws(&a, &b, &c)?;
+    }
+
+    #[test]
+    fn interval_env_lattice_laws(a in interval_env(), b in interval_env(), c in interval_env()) {
+        lattice_laws(&a, &b, &c)?;
+    }
+
+    #[test]
+    fn binding_env_lattice_laws(a in binding_env(), b in binding_env(), c in binding_env()) {
+        lattice_laws(&a, &b, &c)?;
+    }
+
+    #[test]
+    fn taint_set_lattice_laws(a in taint_set(), b in taint_set(), c in taint_set()) {
+        lattice_laws(&a, &b, &c)?;
+    }
+
+    #[test]
+    fn fixpoint_survives_permuted_worklist_and_insertion_orders(
+        dag in dag_strategy(),
+        node_order in proptest::collection::vec(any::<u64>(), NODE_CAP),
+        visit_order in proptest::collection::vec(any::<u64>(), NODE_CAP),
+    ) {
+        let reference = solve_dag(&build_graph(&dag, None), &dag);
+
+        // Permuting the order components are *inserted* into the graph
+        // must not move a single value.
+        let permuted_graph = build_graph(&dag, Some(&node_order));
+        prop_assert_eq!(&reference.values, &solve_dag(&permuted_graph, &dag).values);
+
+        // Neither may permuting the order the solver *visits* nodes in:
+        // rounds-to-convergence may differ, the least fixpoint may not.
+        let graph = build_graph(&dag, None);
+        let mut order: Vec<ComponentId> = (0..dag.nodes).map(node_id).collect();
+        sort_by_keys(&mut order, &visit_order);
+        let mut solver = DataflowSolver::<IntervalEnv>::new(&graph);
+        for (node, seed) in dag.seeds() {
+            solver.seed(node, seed);
+        }
+        let permuted = solver.solve_with_order(&order, |_, _, env| env.clone());
+        prop_assert_eq!(&reference.values, &permuted.values);
     }
 
     #[test]

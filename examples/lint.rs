@@ -42,6 +42,7 @@ fn deployment(envelope: Expectation) -> LintTarget {
             kind: ViolationKind::Precondition,
             name: "velocity representable".into(),
             assumes: vec![AssumptionId::new("a-hvel")],
+            binding: None,
         }],
     });
     target
