@@ -28,8 +28,10 @@ use afta_ftpatterns::{fig4_scenario, run_scenario, Environment, ScenarioConfig, 
 use afta_memaccess::{configure, FailureKnowledgeBase};
 use afta_memsim::MachineInventory;
 use afta_net::{run_net_campaign, NetExperimentConfig, TransportKind};
+use afta_serve::{run_serve_experiment, ServeExperimentConfig};
 use afta_sim::Tick;
 use afta_switchboard::{ExperimentConfig, RedundancyPolicy};
+use afta_telemetry::Registry;
 use afta_voting::{dtof, dtof_max};
 use serde::Value;
 
@@ -238,6 +240,17 @@ pub fn collect_signals(options: &EvidenceOptions) -> Result<Vec<Signal>, String>
     signals.push(Signal::num("e7net_majorities", majorities as f64));
     signals.push(Signal::num("e7net_failures", failures as f64));
     signals.push(Signal::str("e7net_final_replicas", replicas.join(",")));
+
+    // E8(serve) — the multi-tenant service over the deterministic sim
+    // frontend: 8 tenants x 16 client streams x 12 voting rounds, every
+    // value a pure function of the master seed.  The TCP half of the
+    // differential is exercised by the JUnit suite; here we pin the sim
+    // digest the TCP run must match bit for bit.
+    let serve = run_serve_experiment(&ServeExperimentConfig::default(), &Registry::disabled());
+    signals.push(Signal::str("serve_e8_digest", serve.combined.clone()));
+    signals.push(Signal::num("serve_e8_rounds", serve.rounds as f64));
+    signals.push(Signal::num("serve_e8_clashes", serve.clashes as f64));
+    signals.push(Signal::num("serve_e8_rejects", serve.rejects as f64));
 
     // LINT — the whole-program checker over the committed manifests.
     if let Some(dir) = &options.manifest_dir {

@@ -36,6 +36,7 @@ use afta_ci::pins::{check_pins, PinFile};
 use afta_ci::sarif::{sarif_report, validate_sarif};
 use afta_lint::{LintDriver, LintTarget};
 use afta_net::{run_net_experiment, NetExperimentConfig, TransportKind};
+use afta_serve::{run_serve_experiment, ServeExperimentConfig};
 use afta_switchboard::{run_experiment, ExperimentRun};
 use afta_telemetry::{Registry, TraceContext};
 
@@ -182,6 +183,7 @@ fn build_junit(skip_tcp: bool) -> Result<JunitReport, String> {
         suites: vec![
             campaign_suite(),
             differential_suite(skip_tcp),
+            serve_suite(skip_tcp),
             checkpoint_suite(),
         ],
     })
@@ -269,6 +271,67 @@ fn differential_suite(skip_tcp: bool) -> JunitSuite {
                 "afta.e7",
                 &name,
                 &format!("seed {seed:#x} diverged between sim and {reference_kind}"),
+                &first_diff,
+            ));
+        }
+    }
+    suite
+}
+
+/// E8 sim-vs-TCP: the multi-tenant service driven at full pin size
+/// (8 tenants x 16 client streams x 12 rounds) over both frontends must
+/// produce bit-identical per-tenant digests.  With `--skip-tcp` the
+/// second run is a fresh sim run — still a determinism check, minus the
+/// reactor and its sockets.
+fn serve_suite(skip_tcp: bool) -> JunitSuite {
+    let reference_kind = if skip_tcp { "sim" } else { "tcp" };
+    let mut suite = JunitSuite::new(format!("e8.serve.sim-vs-{reference_kind}").as_str());
+    let base = ServeExperimentConfig::default();
+    let factory = afta_sim::SeedFactory::new(base.seed);
+    for shard in 0..2u64 {
+        let seed = factory.shard_seed(shard);
+        let sim_config = ServeExperimentConfig {
+            seed,
+            transport: TransportKind::Sim,
+            ..base.clone()
+        };
+        let other_config = ServeExperimentConfig {
+            transport: if skip_tcp {
+                TransportKind::Sim
+            } else {
+                TransportKind::Tcp
+            },
+            ..sim_config.clone()
+        };
+        let sim = run_serve_experiment(&sim_config, &Registry::disabled());
+        let other = run_serve_experiment(&other_config, &Registry::disabled());
+        let name = format!("shard-{shard}-seed-{seed:#x}-sim-vs-{reference_kind}");
+        if afta_serve::differential_matches(&sim, &other) {
+            suite.cases.push(JunitCase::pass("afta.e8", &name));
+        } else {
+            let first_diff = sim
+                .digests
+                .iter()
+                .zip(&other.digests)
+                .find(|(a, b)| a.digest != b.digest)
+                .map_or_else(
+                    || {
+                        format!(
+                            "combined digests differ: sim {} vs {} {}",
+                            sim.combined, reference_kind, other.combined
+                        )
+                    },
+                    |(a, b)| {
+                        format!(
+                            "tenant {}: sim {} vs {} {}",
+                            a.tenant, a.digest, reference_kind, b.digest
+                        )
+                    },
+                );
+            suite.cases.push(JunitCase::fail(
+                "afta.e8",
+                &name,
+                &format!("seed {seed:#x} diverged between sim and {reference_kind} frontends"),
                 &first_diff,
             ));
         }

@@ -44,6 +44,7 @@ pub mod export;
 pub mod invariant;
 pub mod run;
 pub mod schedule;
+pub mod serve_churn;
 pub mod shrink;
 
 pub use corpus::{assert_one_minimal, load_corpus, replay_reproducer, Reproducer};
@@ -55,4 +56,5 @@ pub use run::{
 pub use schedule::{
     generate, ClashSide, FaultEvent, FaultKind, LinkFault, Profile, Schedule, DEFAULT_MAX_STEPS,
 };
+pub use serve_churn::{run_serve_churn, ServeChurnReport, SERVE_CLIENTS, SERVE_TENANTS};
 pub use shrink::{shrink, ShrinkOutcome};

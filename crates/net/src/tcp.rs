@@ -31,9 +31,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use afta_sim::SeedFactory;
 use afta_telemetry::{Counter, Registry, TelemetrySpan};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use crate::{Envelope, Inbox, NameIntern, NetError, NodeId, Transport};
 
@@ -66,6 +67,39 @@ pub struct TcpConfig {
     /// Socket read timeout (bounds how long reader threads take to
     /// notice shutdown).
     pub read_timeout: Duration,
+    /// Master seed for reconnect-backoff jitter.  Each link derives its
+    /// own named [`SeedFactory`] stream from this, so reconnect traces
+    /// are reproducible run-to-run.  The default honours the `AFTA_SEED`
+    /// environment variable (decimal or `0x`-hex), like every other
+    /// seeded component.
+    pub seed: u64,
+}
+
+/// Fallback jitter seed when `AFTA_SEED` is unset (same default master
+/// seed as `afta-fuzz`).
+const DEFAULT_JITTER_SEED: u64 = 0xAF7A;
+
+/// Parses an `AFTA_SEED`-style value: decimal or `0x`-prefixed hex.
+/// Unset or unparsable values fall back to [`DEFAULT_JITTER_SEED`] —
+/// transport construction must not fail on a bad environment string.
+fn seed_from_env(text: Option<&str>) -> u64 {
+    let Some(text) = text else {
+        return DEFAULT_JITTER_SEED;
+    };
+    let text = text.trim();
+    let parsed = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        text.parse::<u64>()
+    };
+    parsed.unwrap_or(DEFAULT_JITTER_SEED)
+}
+
+/// The per-link backoff-jitter stream: a named [`SeedFactory`] stream so
+/// the `local -> peer` direction of every link jitters independently but
+/// reproducibly under one master seed.
+fn reconnect_jitter_rng(seed: u64, local: NodeId, peer: NodeId) -> StdRng {
+    SeedFactory::new(seed).stream(&format!("net.tcp.reconnect.{}->{}", local.0, peer.0))
 }
 
 impl Default for TcpConfig {
@@ -78,6 +112,7 @@ impl Default for TcpConfig {
             backoff_cap: Duration::from_millis(500),
             max_connect_attempts: 8,
             read_timeout: Duration::from_millis(250),
+            seed: seed_from_env(std::env::var("AFTA_SEED").ok().as_deref()),
         }
     }
 }
@@ -325,9 +360,7 @@ fn connect_cycle(shared: &TcpShared, link: &PeerLink, rng: &mut StdRng) -> Optio
 }
 
 fn writer_loop(shared: Arc<TcpShared>, link: Arc<PeerLink>) {
-    let mut rng = StdRng::seed_from_u64(
-        (u64::from(shared.local.0) << 16) ^ u64::from(link.peer.0) ^ 0x5eed_1e75,
-    );
+    let mut rng = reconnect_jitter_rng(shared.config.seed, shared.local, link.peer);
     let mut stream: Option<TcpStream> = None;
     let mut last_write = Instant::now();
     // Spans an outage from the moment the link breaks to the successful
@@ -631,6 +664,52 @@ mod tests {
         a.add_peer(NodeId(2), b.local_addr());
         b.add_peer(NodeId(1), a.local_addr());
         (a, b)
+    }
+
+    fn jitter_trace(seed: u64, local: NodeId, peer: NodeId) -> Vec<u64> {
+        let mut rng = reconnect_jitter_rng(seed, local, peer);
+        (0..8).map(|_| rng.gen_range(0..1_000_000u64)).collect()
+    }
+
+    /// Regression: reconnect jitter used to come from an ad-hoc
+    /// xor-of-node-ids seed that ignored `AFTA_SEED`, so reconnect
+    /// traces could not be reproduced alongside the rest of a seeded
+    /// run.  The jitter stream must now be a [`SeedFactory`] derivation
+    /// of the configured master seed.
+    #[test]
+    fn reconnect_jitter_is_seeded_and_reproducible() {
+        let a = jitter_trace(42, NodeId(1), NodeId(2));
+        assert_eq!(
+            a,
+            jitter_trace(42, NodeId(1), NodeId(2)),
+            "same seed, same link: identical jitter trace"
+        );
+        assert_ne!(
+            a,
+            jitter_trace(43, NodeId(1), NodeId(2)),
+            "master seed must reach the jitter stream"
+        );
+        assert_ne!(
+            a,
+            jitter_trace(42, NodeId(2), NodeId(1)),
+            "each link direction draws an independent stream"
+        );
+        // The stream is the documented SeedFactory derivation, not some
+        // private mixing — operators can recompute it.
+        let mut expected = SeedFactory::new(42).stream("net.tcp.reconnect.1->2");
+        let direct: Vec<u64> = (0..8)
+            .map(|_| expected.gen_range(0..1_000_000u64))
+            .collect();
+        assert_eq!(a, direct);
+    }
+
+    #[test]
+    fn jitter_seed_env_parsing() {
+        assert_eq!(seed_from_env(None), DEFAULT_JITTER_SEED);
+        assert_eq!(seed_from_env(Some("42")), 42);
+        assert_eq!(seed_from_env(Some("0xAF7A")), 0xAF7A);
+        assert_eq!(seed_from_env(Some(" 0X10 ")), 16);
+        assert_eq!(seed_from_env(Some("nonsense")), DEFAULT_JITTER_SEED);
     }
 
     #[test]

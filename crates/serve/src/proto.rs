@@ -1,0 +1,416 @@
+//! The multiplexed wire protocol of the assumption-monitoring service.
+//!
+//! Many tenants and many client streams share one connection, so every
+//! message travels inside a [`Frame`] with a fixed 7-byte header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     tenant id, u16 big-endian
+//! 2       4     stream id, u32 big-endian (one client within the tenant)
+//! 6       1     kind: 1 = request, 2 = reply
+//! 7       ...   JSON body (a `Request` or a `Reply`)
+//! ```
+//!
+//! Over [`afta_net::Transport`] the frame *is* the envelope payload.
+//! Over raw TCP (the reactor path) each frame is additionally wrapped in
+//! a `u32` big-endian length prefix, exactly like `TcpTransport`'s own
+//! framing, so a socket carries `[len][frame][len][frame]...`.
+//!
+//! The body stays JSON (like [`afta_net::Wire`]) so frames are
+//! inspectable with nothing fancier than `xxd`; the binary header exists
+//! so the reactor can route a frame to its tenant worker without parsing
+//! JSON on the reactor thread.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Frame kind byte: the body is a [`Request`].
+pub const KIND_REQUEST: u8 = 1;
+/// Frame kind byte: the body is a [`Reply`].
+pub const KIND_REPLY: u8 = 2;
+/// Bytes before the JSON body: tenant (2) + stream (4) + kind (1).
+pub const FRAME_HEADER_LEN: usize = 7;
+
+/// Identifies one tenant hosted by the server.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TenantId(pub u16);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Everything a client can ask the server to do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Creates the tenant named in the frame header with the given
+    /// quotas.  Must arrive before any data request for that tenant.
+    RegisterTenant {
+        /// Client streams the tenant's voting rounds expect; a round
+        /// completes when all of them have balloted (or on [`Request::Tick`]).
+        expected_clients: u32,
+        /// Bounded mailbox capacity (requests queued but not yet
+        /// processed); `0` picks the server default.
+        mailbox_cap: usize,
+        /// Lower bound of the tenant's `ballot` context assumption.
+        ballot_min: i64,
+        /// Upper bound of the tenant's `ballot` context assumption.
+        ballot_max: i64,
+    },
+    /// Stops admitting data requests for the tenant; digests stay
+    /// readable and the tenant can still be evicted.
+    Quiesce,
+    /// Removes the tenant and returns its final digest.
+    Evict,
+    /// Reports a context fact into the tenant's assumption registry.
+    Observe {
+        /// Fact key (the tenant's registered assumption watches `ballot`).
+        key: String,
+        /// Observed value.
+        value: i64,
+    },
+    /// Casts this stream's ballot for voting round `round`.
+    Ballot {
+        /// 1-based round number; rounds complete strictly in order.
+        round: u64,
+        /// The replicated result this client computed.
+        value: String,
+    },
+    /// Forces round `round` to complete even if ballots are missing
+    /// (missing ballots count as dissent) — the liveness escape hatch
+    /// when clients crash mid-round.
+    Tick {
+        /// The round to force-complete.
+        round: u64,
+    },
+    /// Asks for the tenant's current digest without changing anything.
+    Digest,
+}
+
+/// Why a request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The frame names a tenant the server does not host.
+    UnknownTenant,
+    /// `RegisterTenant` for a tenant id that already exists.
+    TenantExists,
+    /// The server is at its tenant cap.
+    TenantLimit,
+    /// The tenant is quiescing and admits no new data requests.
+    Quiescing,
+    /// The tenant's bounded mailbox is full — retry after the hinted
+    /// delay.
+    QuotaExceeded,
+    /// The tenant is at its stream cap.
+    StreamLimit,
+    /// The frame body did not parse.
+    BadFrame,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RejectReason::UnknownTenant => "unknown-tenant",
+            RejectReason::TenantExists => "tenant-exists",
+            RejectReason::TenantLimit => "tenant-limit",
+            RejectReason::Quiescing => "quiescing",
+            RejectReason::QuotaExceeded => "quota-exceeded",
+            RejectReason::StreamLimit => "stream-limit",
+            RejectReason::BadFrame => "bad-frame",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The outcome of one completed voting round, broadcast to every
+/// attached stream of the tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundResult {
+    /// The completed round.
+    pub round: u64,
+    /// Expected ballots (the tenant's `expected_clients`).
+    pub n: u32,
+    /// Ballots actually received before the round completed.
+    pub ballots: u32,
+    /// The majority value, if one exists.
+    pub value: Option<String>,
+    /// Dissent rebased onto `n`, when a majority exists.
+    pub dissent: Option<u32>,
+    /// Distance-to-failure of the round.
+    pub dtof: u32,
+    /// The redundancy controller's decision, rendered.
+    pub decision: String,
+    /// The digest line this round contributed (what the tenant digest
+    /// folds), so clients can audit the fold.
+    pub line: String,
+}
+
+/// A tenant's accumulated evidence, returned by [`Request::Digest`] and
+/// on eviction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantDigest {
+    /// The tenant.
+    pub tenant: u16,
+    /// Voting rounds completed.
+    pub rounds: u64,
+    /// Observations accepted into the assumption registry.
+    pub observes: u64,
+    /// Assumption clashes those observations raised.
+    pub clashes: u64,
+    /// Requests rejected by quota or lifecycle checks.
+    pub rejected: u64,
+    /// Streams currently quarantined by their alpha-count.
+    pub quarantined: u32,
+    /// FNV-1a 64 fold of every round line plus the order-independent
+    /// totals, in hex — the value the E8 differential compares across
+    /// transports.
+    pub digest: String,
+}
+
+/// Everything the server can answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Reply {
+    /// The tenant was created.
+    Registered {
+        /// Echo of the tenant id.
+        tenant: u16,
+    },
+    /// The tenant stopped admitting data requests.
+    Quiesced {
+        /// Echo of the tenant id.
+        tenant: u16,
+    },
+    /// The tenant was removed; this is its final evidence.
+    Evicted(TenantDigest),
+    /// An observation was ingested.
+    Observed {
+        /// Whether every registered assumption still holds.
+        satisfied: bool,
+    },
+    /// A ballot was queued for its round.
+    BallotAccepted {
+        /// Echo of the round.
+        round: u64,
+    },
+    /// A round completed.
+    RoundResult(RoundResult),
+    /// Current evidence, from [`Request::Digest`].
+    Digest(TenantDigest),
+    /// The request was refused.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+        /// How long the client should wait before retrying, in
+        /// milliseconds (0 = retrying will not help, e.g. unknown
+        /// tenant).
+        retry_after_ms: u64,
+    },
+}
+
+/// One multiplexed message: routing header plus body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The tenant this frame belongs to.
+    pub tenant: TenantId,
+    /// The client stream within the tenant.
+    pub stream: u32,
+    /// Request or reply.
+    pub body: Body,
+}
+
+/// A frame body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Body {
+    /// Client-to-server.
+    Request(Request),
+    /// Server-to-client.
+    Reply(Reply),
+}
+
+/// Frame decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Shorter than [`FRAME_HEADER_LEN`].
+    Truncated,
+    /// Unknown kind byte.
+    BadKind(u8),
+    /// The JSON body did not parse.
+    BadBody(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame shorter than its header"),
+            ProtoError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            ProtoError::BadBody(e) => write!(f, "frame body did not parse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl Frame {
+    /// A request frame.
+    #[must_use]
+    pub fn request(tenant: TenantId, stream: u32, request: Request) -> Self {
+        Self {
+            tenant,
+            stream,
+            body: Body::Request(request),
+        }
+    }
+
+    /// A reply frame.
+    #[must_use]
+    pub fn reply(tenant: TenantId, stream: u32, reply: Reply) -> Self {
+        Self {
+            tenant,
+            stream,
+            body: Body::Reply(reply),
+        }
+    }
+
+    /// Encodes header + JSON body.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let (kind, json) = match &self.body {
+            Body::Request(r) => (
+                KIND_REQUEST,
+                serde_json::to_string(r)
+                    .expect("request serializes")
+                    .into_bytes(),
+            ),
+            Body::Reply(r) => (
+                KIND_REPLY,
+                serde_json::to_string(r)
+                    .expect("reply serializes")
+                    .into_bytes(),
+            ),
+        };
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + json.len());
+        out.extend_from_slice(&self.tenant.0.to_be_bytes());
+        out.extend_from_slice(&self.stream.to_be_bytes());
+        out.push(kind);
+        out.extend_from_slice(&json);
+        out
+    }
+
+    /// Decodes a frame produced by [`Frame::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtoError`] when the buffer is shorter than the
+    /// header, carries an unknown kind byte, or its body fails to parse.
+    pub fn decode(bytes: &[u8]) -> Result<Frame, ProtoError> {
+        if bytes.len() < FRAME_HEADER_LEN {
+            return Err(ProtoError::Truncated);
+        }
+        let tenant = TenantId(u16::from_be_bytes([bytes[0], bytes[1]]));
+        let stream = u32::from_be_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]);
+        let kind = bytes[6];
+        let body = std::str::from_utf8(&bytes[FRAME_HEADER_LEN..])
+            .map_err(|e| ProtoError::BadBody(e.to_string()))?;
+        let body = match kind {
+            KIND_REQUEST => Body::Request(
+                serde_json::from_str(body).map_err(|e| ProtoError::BadBody(e.to_string()))?,
+            ),
+            KIND_REPLY => Body::Reply(
+                serde_json::from_str(body).map_err(|e| ProtoError::BadBody(e.to_string()))?,
+            ),
+            other => return Err(ProtoError::BadKind(other)),
+        };
+        Ok(Frame {
+            tenant,
+            stream,
+            body,
+        })
+    }
+
+    /// Peeks only the routing header, without touching the JSON body —
+    /// what the reactor thread does to pick a tenant worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError::Truncated`] when the buffer is shorter than
+    /// the header.
+    pub fn peek_header(bytes: &[u8]) -> Result<(TenantId, u32, u8), ProtoError> {
+        if bytes.len() < FRAME_HEADER_LEN {
+            return Err(ProtoError::Truncated);
+        }
+        Ok((
+            TenantId(u16::from_be_bytes([bytes[0], bytes[1]])),
+            u32::from_be_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]),
+            bytes[6],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let frames = [
+            Frame::request(
+                TenantId(7),
+                3,
+                Request::Ballot {
+                    round: 12,
+                    value: "v12".into(),
+                },
+            ),
+            Frame::request(
+                TenantId(0),
+                0,
+                Request::RegisterTenant {
+                    expected_clients: 16,
+                    mailbox_cap: 64,
+                    ballot_min: -32768,
+                    ballot_max: 32767,
+                },
+            ),
+            Frame::reply(
+                TenantId(65535),
+                u32::MAX,
+                Reply::Rejected {
+                    reason: RejectReason::QuotaExceeded,
+                    retry_after_ms: 25,
+                },
+            ),
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            assert_eq!(Frame::decode(&bytes).unwrap(), frame);
+            let (tenant, stream, _) = Frame::peek_header(&bytes).unwrap();
+            assert_eq!((tenant, stream), (frame.tenant, frame.stream));
+        }
+    }
+
+    #[test]
+    fn header_layout_is_the_documented_seven_bytes() {
+        let bytes = Frame::request(TenantId(0x0102), 0x03040506, Request::Digest).encode();
+        assert_eq!(
+            &bytes[..FRAME_HEADER_LEN],
+            &[1, 2, 3, 4, 5, 6, KIND_REQUEST]
+        );
+        assert_eq!(bytes[FRAME_HEADER_LEN], b'"', "body starts as JSON");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Frame::decode(&[0, 1, 2]), Err(ProtoError::Truncated));
+        assert_eq!(
+            Frame::decode(&[0, 0, 0, 0, 0, 0, 9, b'{']),
+            Err(ProtoError::BadKind(9))
+        );
+        assert!(matches!(
+            Frame::decode(&[0, 0, 0, 0, 0, 0, KIND_REQUEST, b'{']),
+            Err(ProtoError::BadBody(_))
+        ));
+    }
+}

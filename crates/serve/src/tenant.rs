@@ -1,0 +1,448 @@
+//! One hosted tenant: registry + monitor + voting + redundancy control.
+//!
+//! A [`Tenant`] is the single-tenant AFTA stack in miniature, owned by
+//! the server on a client application's behalf (the paper's §5 vision of
+//! assumption failure tolerance as an *ambient service*):
+//!
+//! * an [`AssumptionRegistry`] holding the tenant's declared `ballot`
+//!   range assumption, fed by [`Request::Observe`];
+//! * an [`AlphaCount`] monitor per client stream, judged against each
+//!   completed voting round (the §3.3 restoring organ's memory);
+//! * majority voting over the streams' ballots with a **round barrier**:
+//!   round *r* completes when all `expected_clients` streams have
+//!   balloted (or a [`Request::Tick`] forces it, counting the missing
+//!   ballots as dissent);
+//! * a [`RedundancyController`] observing each round's distance to
+//!   failure.
+//!
+//! Everything a round produces is folded into a rolling FNV-1a digest of
+//! canonical text lines.  Because ballots are buffered per stream and
+//! folded in sorted stream order, the digest depends only on *what* the
+//! clients sent, never on arrival order — which is what lets the E8
+//! differential demand bit-identical digests from `SimTransport` and
+//! real TCP.
+//!
+//! [`Request::Observe`]: crate::proto::Request::Observe
+//! [`Request::Tick`]: crate::proto::Request::Tick
+
+use std::collections::BTreeMap;
+
+use afta_alphacount::{AlphaCount, Judgment, Verdict};
+use afta_core::prelude::*;
+use afta_switchboard::controller::{RedundancyController, RedundancyPolicy};
+use afta_telemetry::Scope;
+use afta_voting::{majority_vote, VoteOutcome};
+
+use crate::proto::{RoundResult, TenantDigest, TenantId};
+
+/// FNV-1a 64 offset basis (the accumulator every fold starts from).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Folds `bytes` into a rolling FNV-1a 64 accumulator.
+#[must_use]
+pub fn fnv1a_64(mut acc: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        acc = (acc ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    acc
+}
+
+/// Per-tenant quotas and policy, fixed at registration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantQuotas {
+    /// Client streams a voting round waits for before completing.
+    pub expected_clients: u32,
+    /// Bounded mailbox capacity: data requests queued but not yet
+    /// processed.  A full mailbox rejects with retry-after.
+    pub mailbox_cap: usize,
+    /// Most distinct streams the tenant may attach.
+    pub max_streams: u32,
+    /// Retry hint handed to throttled clients, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Alpha-count threshold above which a stream is quarantined.
+    pub alpha_threshold: f64,
+    /// Lower bound of the tenant's `ballot` context assumption.
+    pub ballot_min: i64,
+    /// Upper bound of the tenant's `ballot` context assumption.
+    pub ballot_max: i64,
+}
+
+impl Default for TenantQuotas {
+    fn default() -> Self {
+        Self {
+            expected_clients: 3,
+            mailbox_cap: 64,
+            max_streams: 1024,
+            retry_after_ms: 25,
+            alpha_threshold: 3.0,
+            // The Ariane-4 envelope: the default tenant watches for
+            // ballots escaping a 16-bit signed range.
+            ballot_min: -32768,
+            ballot_max: 32767,
+        }
+    }
+}
+
+/// Lifecycle of a hosted tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lifecycle {
+    /// Admitting and processing data requests.
+    Active,
+    /// Draining: data requests are rejected, digests stay readable.
+    Quiescing,
+}
+
+/// Per-stream monitoring state.
+#[derive(Debug)]
+struct StreamState {
+    alpha: AlphaCount,
+    quarantined: bool,
+}
+
+/// One hosted tenant (see the module docs).
+#[derive(Debug)]
+pub struct Tenant {
+    id: TenantId,
+    quotas: TenantQuotas,
+    state: Lifecycle,
+    registry: AssumptionRegistry,
+    streams: BTreeMap<u32, StreamState>,
+    /// Ballots buffered per round, keyed `round -> stream -> value`.
+    pending: BTreeMap<u64, BTreeMap<u32, String>>,
+    /// The next round to complete; rounds complete strictly in order.
+    cursor: u64,
+    controller: RedundancyController,
+    digest_acc: u64,
+    rounds: u64,
+    observes: u64,
+    rejected: u64,
+    scope: Scope,
+}
+
+impl Tenant {
+    /// Creates the tenant and registers its `ballot` range assumption.
+    #[must_use]
+    pub fn new(id: TenantId, quotas: TenantQuotas, scope: Scope) -> Self {
+        let mut registry = AssumptionRegistry::new();
+        let assumption = Assumption::builder("ballot-magnitude")
+            .statement("client ballots stay within the declared range")
+            .kind(AssumptionKind::ThirdPartySoftware)
+            .expects(
+                "ballot",
+                Expectation::int_range(quotas.ballot_min, quotas.ballot_max),
+            )
+            .binding_time(BindingTime::RunTime)
+            .origin("afta-serve/register-tenant")
+            .build();
+        registry
+            .register(assumption)
+            .expect("fresh registry accepts the tenant assumption");
+        Self {
+            id,
+            state: Lifecycle::Active,
+            registry,
+            streams: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            cursor: 1,
+            controller: RedundancyController::new(RedundancyPolicy::default()),
+            digest_acc: FNV_OFFSET,
+            rounds: 0,
+            observes: 0,
+            rejected: 0,
+            scope,
+            quotas,
+        }
+    }
+
+    /// The tenant's id.
+    #[must_use]
+    pub fn id(&self) -> TenantId {
+        self.id
+    }
+
+    /// The tenant's quotas.
+    #[must_use]
+    pub fn quotas(&self) -> &TenantQuotas {
+        &self.quotas
+    }
+
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn lifecycle(&self) -> Lifecycle {
+        self.state
+    }
+
+    /// Moves the tenant to [`Lifecycle::Quiescing`].
+    pub fn quiesce(&mut self) {
+        self.state = Lifecycle::Quiescing;
+        self.scope.counter("quiesced").inc();
+    }
+
+    /// Replaces the mailbox capacity (the reconfigurable quota knob).
+    pub fn set_mailbox_cap(&mut self, cap: usize) {
+        self.quotas.mailbox_cap = cap.max(1);
+    }
+
+    /// Counts one admission rejection against this tenant.
+    pub fn count_rejected(&mut self) {
+        self.rejected += 1;
+        self.scope.counter("rejected").inc();
+    }
+
+    /// Whether `stream` may attach (already known, or under the cap).
+    #[must_use]
+    pub fn admit_stream(&self, stream: u32) -> bool {
+        self.streams.contains_key(&stream) || (self.streams.len() as u32) < self.quotas.max_streams
+    }
+
+    /// Streams currently attached.
+    #[must_use]
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn attach(&mut self, stream: u32) {
+        let threshold = self.quotas.alpha_threshold;
+        self.streams.entry(stream).or_insert_with(|| StreamState {
+            alpha: AlphaCount::with_threshold(threshold),
+            quarantined: false,
+        });
+    }
+
+    /// Ingests an observation; returns whether every assumption still
+    /// holds after it.
+    pub fn observe(&mut self, stream: u32, key: &str, value: i64) -> bool {
+        self.attach(stream);
+        self.observes += 1;
+        self.scope.counter("observes").inc();
+        let report = self.registry.observe(Observation::new(key, value));
+        let satisfied = report.all_satisfied();
+        if !satisfied {
+            self.scope.counter("clashes").inc();
+        }
+        satisfied
+    }
+
+    /// Buffers `stream`'s ballot for `round`, then completes every round
+    /// whose barrier is now met, in order.  Returns the completed
+    /// rounds' results (usually zero or one).
+    pub fn ballot(&mut self, stream: u32, round: u64, value: String) -> Vec<RoundResult> {
+        self.attach(stream);
+        if round >= self.cursor {
+            self.pending.entry(round).or_default().insert(stream, value);
+        }
+        let mut out = Vec::new();
+        while self
+            .pending
+            .get(&self.cursor)
+            .is_some_and(|b| b.len() as u32 >= self.quotas.expected_clients)
+        {
+            out.push(self.complete_round());
+        }
+        out
+    }
+
+    /// Forces rounds up to and including `round` to complete, missing
+    /// ballots counting as dissent.  No-op for rounds already completed.
+    pub fn tick(&mut self, round: u64) -> Vec<RoundResult> {
+        let mut out = Vec::new();
+        while self.cursor <= round {
+            out.push(self.complete_round());
+        }
+        out
+    }
+
+    /// Completes the cursor round from whatever ballots are buffered.
+    fn complete_round(&mut self) -> RoundResult {
+        let round = self.cursor;
+        self.cursor += 1;
+        let ballots = self.pending.remove(&round).unwrap_or_default();
+        let n = self.quotas.expected_clients as usize;
+        // Sorted stream order (BTreeMap), so the outcome and the alpha
+        // updates below are arrival-order independent.
+        let values: Vec<String> = ballots.values().cloned().collect();
+        let outcome = vote_of_n(&values, n);
+        let dtof = outcome.dtof(n);
+        let mut quarantined = 0u32;
+        for (stream, state) in &mut self.streams {
+            let judgment = match (&outcome, ballots.get(stream)) {
+                (VoteOutcome::Majority { value, .. }, Some(b)) if b == value => Judgment::Correct,
+                (VoteOutcome::Majority { .. }, _) => Judgment::Erroneous,
+                // No majority: no ground truth to judge against.
+                (VoteOutcome::NoMajority, _) => Judgment::Correct,
+            };
+            let verdict = state.alpha.record(judgment);
+            state.quarantined = verdict == Verdict::PermanentOrIntermittent;
+            if state.quarantined {
+                quarantined += 1;
+            }
+        }
+        let decision = self.controller.observe(dtof, n).to_string();
+        let (value, dissent) = match &outcome {
+            VoteOutcome::Majority { value, dissent } => {
+                (Some(value.clone()), Some(*dissent as u32))
+            }
+            VoteOutcome::NoMajority => (None, None),
+        };
+        let shown = match (&value, dissent) {
+            (Some(v), Some(m)) => format!("{v}/m{m}"),
+            _ => "none".to_string(),
+        };
+        let line = format!(
+            "{} r{round} n{n} {shown} dtof{dtof} -> {decision} b{} q{quarantined}",
+            self.id,
+            values.len(),
+        );
+        self.digest_acc = fnv1a_64(self.digest_acc, line.as_bytes());
+        self.digest_acc = fnv1a_64(self.digest_acc, b"\n");
+        self.rounds += 1;
+        self.scope.counter("rounds").inc();
+        self.scope.gauge("dtof").set(i64::from(dtof));
+        RoundResult {
+            round,
+            n: self.quotas.expected_clients,
+            ballots: values.len() as u32,
+            value,
+            dissent,
+            dtof,
+            decision,
+            line,
+        }
+    }
+
+    /// The tenant's digest: the round fold combined with the
+    /// order-independent totals.
+    #[must_use]
+    pub fn digest(&self) -> TenantDigest {
+        let clashes = self.registry.clash_log().len() as u64;
+        let quarantined = self.streams.values().filter(|s| s.quarantined).count() as u32;
+        let tail = format!(
+            "rounds{} observes{} clashes{} rejected{} q{quarantined}",
+            self.rounds, self.observes, clashes, self.rejected,
+        );
+        let folded = fnv1a_64(self.digest_acc, tail.as_bytes());
+        TenantDigest {
+            tenant: self.id.0,
+            rounds: self.rounds,
+            observes: self.observes,
+            clashes,
+            rejected: self.rejected,
+            quarantined,
+            digest: format!("{folded:016x}"),
+        }
+    }
+}
+
+/// Majority over the received ballots, re-based onto the `n` *expected*
+/// ballots: the winner needs strictly more than `n/2` of the expected
+/// count, and dissent counts the expected voters that did not agree
+/// (missing ballots included) — the same timeout-as-dissent law as
+/// `afta-net`'s distributed voting farm.
+#[must_use]
+pub fn vote_of_n(ballots: &[String], n: usize) -> VoteOutcome<String> {
+    match majority_vote(ballots) {
+        VoteOutcome::Majority { value, dissent } => {
+            let count = ballots.len() - dissent;
+            if 2 * count > n {
+                VoteOutcome::Majority {
+                    value,
+                    dissent: n - count,
+                }
+            } else {
+                VoteOutcome::NoMajority
+            }
+        }
+        VoteOutcome::NoMajority => VoteOutcome::NoMajority,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afta_telemetry::Registry;
+
+    fn tenant(expected: u32) -> Tenant {
+        let quotas = TenantQuotas {
+            expected_clients: expected,
+            ..TenantQuotas::default()
+        };
+        Tenant::new(
+            TenantId(9),
+            quotas,
+            Registry::new().scoped("serve.tenant.9"),
+        )
+    }
+
+    #[test]
+    fn round_completes_only_at_the_barrier() {
+        let mut t = tenant(3);
+        assert!(t.ballot(0, 1, "a".into()).is_empty());
+        assert!(t.ballot(1, 1, "a".into()).is_empty());
+        let done = t.ballot(2, 1, "b".into());
+        assert_eq!(done.len(), 1);
+        let r = &done[0];
+        assert_eq!((r.round, r.n, r.ballots), (1, 3, 3));
+        assert_eq!(r.value.as_deref(), Some("a"));
+        assert_eq!(r.dissent, Some(1));
+    }
+
+    #[test]
+    fn digest_is_arrival_order_independent() {
+        let mut a = tenant(3);
+        let mut b = tenant(3);
+        // Same ballots, different arrival orders, over two rounds.
+        for (stream, value) in [(0, "x"), (1, "x"), (2, "y")] {
+            a.ballot(stream, 1, value.into());
+        }
+        for (stream, value) in [(2, "y"), (0, "x"), (1, "x")] {
+            b.ballot(stream, 1, value.into());
+        }
+        // Round 2 ballots may even arrive before round 1 completes.
+        for (stream, value) in [(1, "z"), (2, "z"), (0, "z")] {
+            a.ballot(stream, 2, value.into());
+        }
+        for (stream, value) in [(0, "z"), (1, "z"), (2, "z")] {
+            b.ballot(stream, 2, value.into());
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.digest().rounds, 2);
+    }
+
+    #[test]
+    fn tick_counts_missing_ballots_as_dissent() {
+        let mut t = tenant(3);
+        t.ballot(0, 1, "a".into());
+        t.ballot(1, 1, "a".into());
+        let done = t.tick(1);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].ballots, 2);
+        assert_eq!(done[0].value.as_deref(), Some("a"));
+        assert_eq!(done[0].dissent, Some(1), "the absent stream dissents");
+        // A second tick for the same round is a forced empty round, not
+        // a replay.
+        assert_eq!(t.tick(1).len(), 0);
+    }
+
+    #[test]
+    fn observations_feed_the_registry_and_clash_counting() {
+        let mut t = tenant(1);
+        assert!(t.observe(0, "ballot", 100));
+        assert!(!t.observe(0, "ballot", 40_000), "out of the declared range");
+        let d = t.digest();
+        assert_eq!(d.observes, 2);
+        assert_eq!(d.clashes, 1);
+    }
+
+    #[test]
+    fn persistent_dissenter_is_quarantined() {
+        let mut t = tenant(3);
+        for round in 1..=8 {
+            t.ballot(0, round, "good".into());
+            t.ballot(1, round, "good".into());
+            t.ballot(2, round, format!("bad{round}"));
+        }
+        assert_eq!(t.digest().quarantined, 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Quota isolation properties: an over-quota tenant is throttled with a
+//! retry-after hint while its siblings' outcomes stay bit-identical to a
+//! solo run, regardless of how the two tenants' frames interleave on
+//! arrival.
+//!
+//! The frames are enqueued without pumping in between, so the bounded
+//! mailbox — not scheduling luck — decides what is admitted: the first
+//! `cap` data frames of the noisy tenant queue, every later one rejects.
+
+use afta_serve::{
+    observe_value, Body, ClientAddr, Enqueued, Frame, RejectReason, Reply, Request, ServeConfig,
+    ServerCore, TenantId,
+};
+use afta_telemetry::Registry;
+use proptest::prelude::*;
+
+const NOISY: u16 = 0;
+const QUIET: u16 = 1;
+
+/// One pre-encoded data frame plus the address it arrives from.
+struct Arrival {
+    addr: ClientAddr,
+    bytes: Vec<u8>,
+}
+
+fn observe_frame(seed: u64, tenant: u16, stream: u32, round: u64) -> Arrival {
+    Arrival {
+        addr: ClientAddr(1000 + u64::from(tenant) * 100 + u64::from(stream)),
+        bytes: Frame::request(
+            TenantId(tenant),
+            stream,
+            Request::Observe {
+                key: "ballot".into(),
+                value: observe_value(seed, tenant, stream, round),
+            },
+        )
+        .encode(),
+    }
+}
+
+fn register(core: &mut ServerCore, tenant: u16, mailbox_cap: usize) {
+    let frame = Frame::request(
+        TenantId(tenant),
+        0,
+        Request::RegisterTenant {
+            expected_clients: u32::MAX, // rounds never complete: pure quota test
+            mailbox_cap,
+            ballot_min: -100,
+            ballot_max: 100,
+        },
+    );
+    match core.enqueue(ClientAddr(u64::from(tenant) + 1), &frame.encode()) {
+        Enqueued::Handled(replies) => {
+            let reply = decode_reply(&replies[0].1);
+            assert!(matches!(reply, Reply::Registered { tenant: t } if t == tenant));
+        }
+        other => panic!("registration was not handled inline: {other:?}"),
+    }
+}
+
+fn decode_reply(bytes: &[u8]) -> Reply {
+    match Frame::decode(bytes)
+        .expect("server emits valid frames")
+        .body
+    {
+        Body::Reply(reply) => reply,
+        Body::Request(r) => panic!("server sent a request: {r:?}"),
+    }
+}
+
+/// Drives the quiet tenant alone — same frames, no noisy sibling — and
+/// returns its digest: the envelope the shared run must land inside.
+fn solo_digest(frames: &[Arrival]) -> afta_serve::TenantDigest {
+    let mut core = ServerCore::new(ServeConfig::default(), &Registry::disabled());
+    register(&mut core, QUIET, 0); // 0 = the server default (64)
+    for arrival in frames {
+        match core.enqueue(arrival.addr, &arrival.bytes) {
+            Enqueued::Queued(tenant) => assert_eq!(tenant.0, QUIET),
+            other => panic!("solo quiet frame not queued: {other:?}"),
+        }
+    }
+    core.pump_all();
+    core.tenant_digest(TenantId(QUIET)).expect("quiet digest")
+}
+
+proptest! {
+    /// The noisy tenant floods past its mailbox cap: exactly the
+    /// overflow is rejected, every rejection carries the configured
+    /// retry-after hint, and the quiet tenant's digest is bit-identical
+    /// to its solo run — under any interleaving of the two arrival
+    /// streams.
+    #[test]
+    fn over_quota_tenant_is_throttled_without_collateral(
+        cap in 2usize..8,
+        extra in 1usize..12,
+        quiet_frames in 1usize..6,
+        seed in any::<u64>(),
+        lace in proptest::collection::vec(any::<bool>(), 0..40),
+    ) {
+        let noisy: Vec<Arrival> = (0..cap + extra)
+            .map(|i| observe_frame(seed, NOISY, i as u32, 1))
+            .collect();
+        let quiet: Vec<Arrival> = (0..quiet_frames)
+            .map(|i| observe_frame(seed, QUIET, i as u32, 1))
+            .collect();
+        let want = solo_digest(&quiet);
+
+        let config = ServeConfig::default();
+        let retry_hint = config.retry_after_ms;
+        let mut core = ServerCore::new(config, &Registry::disabled());
+        register(&mut core, NOISY, cap);
+        register(&mut core, QUIET, 0); // default cap: the quiet side never overflows
+
+        // Merge the two arrival streams; `lace` picks which side goes
+        // next, each side keeping its own order (a client's frames
+        // cannot overtake each other on one connection).
+        let (mut n, mut q) = (noisy.iter(), quiet.iter());
+        let mut merged: Vec<&Arrival> = Vec::new();
+        for take_noisy in lace.iter().chain(std::iter::repeat(&true)) {
+            match if *take_noisy { n.next() } else { q.next() } {
+                Some(arrival) => merged.push(arrival),
+                None => break,
+            }
+        }
+        merged.extend(n);
+        merged.extend(q);
+        prop_assert_eq!(merged.len(), noisy.len() + quiet.len());
+
+        let mut rejected = 0usize;
+        for arrival in merged {
+            match core.enqueue(arrival.addr, &arrival.bytes) {
+                Enqueued::Queued(_) => {}
+                Enqueued::Rejected(replies) => {
+                    rejected += 1;
+                    match decode_reply(&replies[0].1) {
+                        Reply::Rejected { reason, retry_after_ms } => {
+                            prop_assert_eq!(reason, RejectReason::QuotaExceeded);
+                            prop_assert_eq!(retry_after_ms, retry_hint);
+                        }
+                        other => panic!("rejection reply was {other:?}"),
+                    }
+                }
+                Enqueued::Handled(replies) => {
+                    panic!("data frame handled inline: {:?}", decode_reply(&replies[0].1))
+                }
+            }
+        }
+        core.pump_all();
+
+        // Exactly the overflow bounced (the quiet tenant runs under the
+        // roomy default cap, so only the noisy mailbox can trip)...
+        prop_assert_eq!(rejected, extra);
+        let noisy_digest = core.tenant_digest(TenantId(NOISY)).expect("noisy digest");
+        prop_assert_eq!(noisy_digest.observes, cap as u64);
+        prop_assert_eq!(noisy_digest.rejected, extra as u64);
+        // ...and the quiet tenant cannot tell the noisy one was ever
+        // there: same digest, same counters, bit for bit.
+        let got = core.tenant_digest(TenantId(QUIET)).expect("quiet digest");
+        prop_assert_eq!(got, want);
+    }
+}

@@ -55,10 +55,10 @@ pub use afta_sim::Tick;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 /// Number of independent metric shards; name hashes pick the shard, so
 /// unrelated instrumentation sites do not contend on one map lock.
@@ -352,6 +352,133 @@ impl Registry {
         report.journal_dropped = inner.recorder.dropped();
         report
     }
+
+    /// Returns a [`Scope`]: a view of this registry in which every metric
+    /// name is prefixed with `prefix` plus a dot.  Scopes are how
+    /// multi-tenant components (one `Registry`, many tenants) keep their
+    /// metric namespaces apart without threading name strings everywhere:
+    ///
+    /// ```
+    /// use afta_telemetry::Registry;
+    ///
+    /// let registry = Registry::new();
+    /// let tenant = registry.scoped("serve.tenant.7");
+    /// tenant.counter("rounds").inc();
+    /// assert_eq!(registry.report().counter("serve.tenant.7.rounds"), 1);
+    /// ```
+    ///
+    /// Composed names are interned process-wide (the registry's storage
+    /// is keyed by `&'static str`), so the set of *distinct* scoped names
+    /// must be bounded — scope per tenant or per shard, never per
+    /// request.  Scoping a disabled registry is free: no name is interned
+    /// and every handle is a no-op.
+    #[must_use]
+    pub fn scoped(&self, prefix: impl Into<String>) -> Scope {
+        Scope {
+            registry: self.clone(),
+            prefix: prefix.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scoped registries
+// ---------------------------------------------------------------------------
+
+/// Interns a composed metric name so it can key the `&'static str` metric
+/// maps.  The intern table is global and append-only: each distinct name
+/// is leaked exactly once, which bounds the leak by the number of scopes
+/// times the metrics per scope.
+fn intern_name(name: String) -> &'static str {
+    static INTERN: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let table = INTERN.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut table = table.lock();
+    if let Some(&s) = table.get(&name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.clone().into_boxed_str());
+    table.insert(name, leaked);
+    leaked
+}
+
+/// A prefixed view of a [`Registry`], from [`Registry::scoped`].
+///
+/// Every handle a scope hands out records into the parent registry under
+/// `"{prefix}.{name}"`; `afta-serve` uses one scope per tenant
+/// (`serve.tenant.<id>.*`) so a single report shows all tenants side by
+/// side.  Cloning is cheap.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    registry: Registry,
+    prefix: String,
+}
+
+impl Scope {
+    fn full(&self, name: &str) -> &'static str {
+        intern_name(format!("{}.{}", self.prefix, name))
+    }
+
+    /// The prefix this scope prepends (without the trailing dot).
+    #[must_use]
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The registry the scoped metrics land in.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A nested scope: `registry.scoped("a").scoped("b")` is
+    /// `registry.scoped("a.b")`.
+    #[must_use]
+    pub fn scoped(&self, sub: &str) -> Scope {
+        Scope {
+            registry: self.registry.clone(),
+            prefix: format!("{}.{sub}", self.prefix),
+        }
+    }
+
+    /// The counter `"{prefix}.{name}"`; see [`Registry::counter`].
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        if !self.registry.is_enabled() {
+            return Counter::default();
+        }
+        self.registry.counter(self.full(name))
+    }
+
+    /// The gauge `"{prefix}.{name}"`; see [`Registry::gauge`].
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if !self.registry.is_enabled() {
+            return Gauge::default();
+        }
+        self.registry.gauge(self.full(name))
+    }
+
+    /// The histogram `"{prefix}.{name}"`; see [`Registry::histogram`].
+    #[must_use]
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> FixedHistogram {
+        if !self.registry.is_enabled() {
+            return FixedHistogram::default();
+        }
+        self.registry.histogram(self.full(name), bounds)
+    }
+
+    /// A wall-clock span recording into `"{prefix}.{name}"`; see
+    /// [`Registry::span`].
+    #[must_use]
+    pub fn span(&self, name: &str) -> TelemetrySpan {
+        if !self.registry.is_enabled() {
+            return TelemetrySpan {
+                hist: FixedHistogram(None),
+                start: None,
+            };
+        }
+        self.registry.span(self.full(name))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -524,6 +651,32 @@ mod tests {
         b.add(4);
         assert_eq!(a.get(), 5);
         assert_eq!(r.report().counter("x.count"), 5);
+    }
+
+    #[test]
+    fn scoped_metrics_prefix_and_share_storage() {
+        let r = Registry::new();
+        let a = r.scoped("serve.tenant.3");
+        a.counter("rounds").add(2);
+        a.gauge("streams").set(5);
+        a.scoped("quota").counter("rejected").inc();
+        // Same composed name, any path to it: one storage cell.
+        r.counter("serve.tenant.3.rounds").inc();
+        let report = r.report();
+        assert_eq!(report.counter("serve.tenant.3.rounds"), 3);
+        assert_eq!(report.gauges["serve.tenant.3.streams"], 5);
+        assert_eq!(report.counter("serve.tenant.3.quota.rejected"), 1);
+        assert_eq!(a.prefix(), "serve.tenant.3");
+    }
+
+    #[test]
+    fn scoped_disabled_registry_is_noop() {
+        let r = Registry::disabled();
+        let scope = r.scoped("t");
+        scope.counter("c").inc();
+        scope.gauge("g").set(9);
+        assert_eq!(scope.counter("c").get(), 0);
+        assert!(!scope.registry().is_enabled());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | [`telemetry`] | `afta-telemetry` | metrics, spans, flight recorder (observability) |
 //! | [`lint`] | `afta-lint` | static analysis of the assumption web, syndrome-coded diagnostics (§2, §6) |
 //! | [`fuzz`] | `afta-fuzz` | deterministic scenario fuzzer: seeded fault schedules, invariants, shrinking (§3.1–§3.3) |
+//! | [`serve`] | `afta-serve` | multi-tenant assumption-monitoring service: poll reactor, quotas, E8 differential (§5) |
 //!
 //! # Quickstart
 //!
@@ -68,6 +69,7 @@ pub use afta_lint as lint;
 pub use afta_memaccess as memaccess;
 pub use afta_memsim as memsim;
 pub use afta_net as net;
+pub use afta_serve as serve;
 pub use afta_sim as sim;
 pub use afta_switchboard as switchboard;
 pub use afta_telemetry as telemetry;
